@@ -1,0 +1,37 @@
+// Shared helpers for the reproduction benchmarks: table printing and environment-based scaling.
+//
+// Every binary prints the rows/series of its paper table or figure. Absolute numbers are
+// host-specific (this substrate is an emulator, not the authors' HiKey board); the *shapes* —
+// who wins, by what factor, where crossovers fall — are the reproduction targets, recorded in
+// EXPERIMENTS.md.
+//
+// SBT_BENCH_SCALE scales workload sizes: 1 = quick CI sizes (default), larger = closer to the
+// paper's 1M-events-per-window runs.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace sbt {
+
+inline int BenchScale() {
+  const char* env = std::getenv("SBT_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1;
+  }
+  const int v = std::atoi(env);
+  return v < 1 ? 1 : v;
+}
+
+inline void PrintHeader(const char* title, const char* paper_claim) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("%s\n", std::string(78, '-').c_str());
+}
+
+}  // namespace sbt
+
+#endif  // BENCH_BENCH_UTIL_H_

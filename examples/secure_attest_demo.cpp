@@ -1,0 +1,116 @@
+// Attestation demo: what the cloud verifier catches.
+//
+// Runs an honest session, verifies it, then simulates what a compromised control plane could
+// attempt — dropping a result, consuming data with the wrong operator, exfiltrating
+// intermediate data, forging opaque references — and shows each being detected.
+//
+// Build & run:  ./build/examples/secure_attest_demo
+
+#include <cstdio>
+#include <vector>
+
+#include "src/attest/verifier.h"
+#include "src/common/rng.h"
+#include "src/control/benchmarks.h"
+#include "src/control/engine.h"
+#include "src/control/runner.h"
+#include "src/net/generator.h"
+
+namespace {
+
+using namespace sbt;
+
+void Report(const char* scenario, const VerifyReport& report, bool expect_correct) {
+  std::printf("%-34s -> %s", scenario, report.correct ? "verified correct" : "REJECTED");
+  if (!report.correct && !report.violations.empty()) {
+    std::printf("  (%s)", report.violations[0].c_str());
+  }
+  std::printf("  [%s]\n", report.correct == expect_correct ? "as expected" : "UNEXPECTED");
+}
+
+}  // namespace
+
+int main() {
+  const Pipeline pipeline = MakeWinSum(1000);
+  EngineOptions engine_opts;
+  engine_opts.secure_pool_mb = 64;
+  const DataPlaneConfig cfg = MakeEngineConfig(EngineVersion::kSbtClearIngress, engine_opts);
+  DataPlane dp(cfg);
+  {
+    Runner runner(&dp, pipeline, MakeRunnerConfig(EngineVersion::kSbtClearIngress, engine_opts));
+    GeneratorConfig gen_cfg;
+    gen_cfg.workload.kind = WorkloadKind::kIntelLab;
+    gen_cfg.workload.events_per_window = 20000;
+    gen_cfg.batch_events = 5000;
+    gen_cfg.num_windows = 3;
+    Generator gen(gen_cfg);
+    while (auto frame = gen.NextFrame()) {
+      if (frame->is_watermark) {
+        SBT_CHECK(runner.AdvanceWatermark(frame->watermark).ok());
+      } else {
+        SBT_CHECK(runner.IngestFrame(frame->bytes, 0, frame->ctr_offset).ok());
+      }
+    }
+    runner.Drain();
+  }
+
+  std::vector<AuditRecord> records;
+  dp.FlushAudit(&records);
+  CloudVerifier verifier(pipeline.ToVerifierSpec());
+
+  Report("honest execution", verifier.Verify(records), true);
+
+  {
+    // Attack 1: suppress a result (drop the last egress record).
+    auto tampered = records;
+    for (auto it = tampered.rbegin(); it != tampered.rend(); ++it) {
+      if (it->op == PrimitiveOp::kEgress) {
+        tampered.erase(std::next(it).base());
+        break;
+      }
+    }
+    Report("suppressed result", verifier.Verify(tampered), false);
+  }
+  {
+    // Attack 2: run undeclared computation (retag a Sum execution as Sample).
+    auto tampered = records;
+    for (auto& r : tampered) {
+      if (r.op == PrimitiveOp::kSum) {
+        r.op = PrimitiveOp::kSample;
+        break;
+      }
+    }
+    Report("undeclared operator", verifier.Verify(tampered), false);
+  }
+  {
+    // Attack 3: exfiltrate an intermediate uArray through egress.
+    auto tampered = records;
+    uint32_t intermediate = 0;
+    for (const auto& r : tampered) {
+      if (r.op == PrimitiveOp::kSegment && !r.outputs.empty()) {
+        intermediate = r.outputs[0];
+        break;
+      }
+    }
+    tampered.push_back(AuditRecord{.op = PrimitiveOp::kEgress,
+                                   .ts_ms = 99999,
+                                   .inputs = {intermediate}});
+    Report("data exfiltration attempt", verifier.Verify(tampered), false);
+  }
+  {
+    // Attack 4: forged opaque references are rejected at the TEE boundary itself.
+    Xoshiro256 rng(1);
+    int rejected = 0;
+    for (int i = 0; i < 1000; ++i) {
+      InvokeRequest req;
+      req.op = PrimitiveOp::kCount;
+      req.inputs = {rng.Next()};
+      if (dp.Invoke(req).status().code() == StatusCode::kNotFound) {
+        ++rejected;
+      }
+    }
+    std::printf("%-34s -> %d/1000 forged references rejected  [%s]\n", "opaque-ref forgery",
+                rejected, rejected == 1000 ? "as expected" : "UNEXPECTED");
+  }
+  return 0;
+}

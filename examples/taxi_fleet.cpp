@@ -1,0 +1,80 @@
+// Taxi-fleet monitoring (the paper's Distinct benchmark scenario, DEBS'15-style):
+// count the number of unique taxis reporting in each 1-second window, over an encrypted
+// telemetry stream with full attestation. Demonstrates the declarative operator API, the
+// generator/channel transport, and cloud-side decryption of results.
+//
+// Build & run:  ./build/examples/taxi_fleet
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "src/control/benchmarks.h"
+#include "src/control/engine.h"
+#include "src/control/runner.h"
+#include "src/net/channel.h"
+#include "src/net/generator.h"
+
+int main() {
+  using namespace sbt;
+
+  const Pipeline pipeline = MakeDistinct(/*window_ms=*/1000);
+  EngineOptions engine_opts;
+  engine_opts.num_workers = 4;
+  engine_opts.secure_pool_mb = 128;
+
+  const DataPlaneConfig cfg = MakeEngineConfig(EngineVersion::kStreamBoxTz, engine_opts);
+  DataPlane data_plane(cfg);
+  Runner runner(&data_plane, pipeline, MakeRunnerConfig(EngineVersion::kStreamBoxTz, engine_opts));
+
+  // Source: a fleet of ~11K taxis reporting over an untrusted link (AES-128-CTR), pushed
+  // through the in-process channel the way the paper's ZeroMQ generator feeds the engine.
+  GeneratorConfig gen_cfg;
+  gen_cfg.workload.kind = WorkloadKind::kTaxi;
+  gen_cfg.workload.events_per_window = 200000;
+  gen_cfg.batch_events = 25000;
+  gen_cfg.num_windows = 4;
+  gen_cfg.encrypt = true;
+  gen_cfg.key = cfg.ingress_key;
+  gen_cfg.nonce = cfg.ingress_nonce;
+  Generator generator(gen_cfg);
+
+  FrameChannel channel(/*capacity=*/16);
+  std::thread source([&] { generator.RunInto(&channel); });
+
+  // Engine ingestion loop: pull frames, advance watermarks.
+  while (auto frame = channel.Pop()) {
+    if (frame->is_watermark) {
+      if (!runner.AdvanceWatermark(frame->watermark).ok()) {
+        break;
+      }
+    } else if (!runner.IngestFrame(frame->bytes, frame->stream, frame->ctr_offset).ok()) {
+      break;
+    }
+  }
+  source.join();
+  runner.Drain();
+
+  // Consume results: decrypt, verify MAC, read the per-window unique-taxi count.
+  for (const WindowResult& wr : runner.TakeResults()) {
+    const EgressBlob& blob = wr.blobs[0];
+    const auto mac = HmacSha256(
+        std::span<const uint8_t>(cfg.mac_key.data(), cfg.mac_key.size()),
+        std::span<const uint8_t>(blob.ciphertext.data(), blob.ciphertext.size()));
+    Aes128Ctr cipher(cfg.egress_key, std::span<const uint8_t>(cfg.egress_nonce.data(), 12));
+    std::vector<uint8_t> plain = blob.ciphertext;
+    cipher.Crypt(std::span<uint8_t>(plain.data(), plain.size()), blob.ctr_offset);
+    uint64_t unique_taxis = 0;
+    std::memcpy(&unique_taxis, plain.data(), sizeof(unique_taxis));
+    std::printf("window %u: %llu unique taxis (signature %s, delay %ums)\n", wr.window_index,
+                static_cast<unsigned long long>(unique_taxis),
+                DigestEqual(mac, blob.mac) ? "ok" : "BAD", wr.delay_ms());
+  }
+
+  const Runner::Stats stats = runner.stats();
+  std::printf("ingested %llu events in %llu frames; %llu windows emitted\n",
+              static_cast<unsigned long long>(stats.events_ingested),
+              static_cast<unsigned long long>(stats.frames_ingested),
+              static_cast<unsigned long long>(stats.windows_emitted));
+  return stats.task_errors == 0 ? 0 : 1;
+}

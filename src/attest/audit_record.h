@@ -1,0 +1,64 @@
+// Audit records (paper §7, Figure 6).
+//
+// The data plane emits one record per boundary event: data ingress, watermark ingress, primitive
+// execution, and result egress. Records capture the complete, deterministic dataflow among
+// uArrays — which the cloud verifier replays against its own copy of the pipeline declaration —
+// plus the data-plane timestamps needed for freshness verification.
+//
+// Field widths follow Figure 6: 32-bit timestamps, 16-bit op, 16-bit window numbers, 32-bit
+// uArray ids (the allocator's monotonic ids truncated to 32 bits; they wrap after 4G arrays,
+// far beyond any attestation period).
+
+#ifndef SRC_ATTEST_AUDIT_RECORD_H_
+#define SRC_ATTEST_AUDIT_RECORD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/primitives/registry.h"
+
+namespace sbt {
+
+// Encoded consumption hint as recorded for the verifier (64 bits per Figure 6).
+// Layout: kind(2 bits) | payload(62 bits): After -> predecessor id, Parallel -> lane.
+struct AuditHint {
+  uint64_t encoded = 0;
+
+  static AuditHint None() { return AuditHint{0}; }
+  static AuditHint After(uint32_t array_id) {
+    return AuditHint{(1ull << 62) | array_id};
+  }
+  static AuditHint Parallel(uint32_t lane) { return AuditHint{(2ull << 62) | lane}; }
+
+  uint64_t kind() const { return encoded >> 62; }
+  uint32_t payload() const { return static_cast<uint32_t>(encoded & 0xffffffffu); }
+  bool operator==(const AuditHint&) const = default;
+};
+
+struct AuditRecord {
+  PrimitiveOp op = PrimitiveOp::kIngress;
+  uint32_t ts_ms = 0;  // data-plane clock, ms since engine start
+
+  // uArray ids consumed / produced by this step. Ingress has outputs only; egress inputs only.
+  std::vector<uint32_t> inputs;
+  std::vector<uint32_t> outputs;
+
+  // For kSegment: window number of each output (aligned with `outputs`).
+  std::vector<uint16_t> win_nos;
+
+  // For kWatermark: the watermark's event-time value (ms).
+  uint32_t watermark = 0;
+
+  // Input stream tag (multi-stream pipelines such as temporal join). Ingress records carry the
+  // tag; the data plane propagates it to derived uArrays.
+  uint16_t stream = 0;
+
+  // Consumption hints supplied by the untrusted control plane for this invocation.
+  std::vector<AuditHint> hints;
+
+  bool operator==(const AuditRecord&) const = default;
+};
+
+}  // namespace sbt
+
+#endif  // SRC_ATTEST_AUDIT_RECORD_H_

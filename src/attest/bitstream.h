@@ -1,0 +1,103 @@
+// MSB-first bit writer/reader used by the Huffman coder, plus LEB128 varint and zigzag helpers
+// used by the delta-encoded columns.
+
+#ifndef SRC_ATTEST_BITSTREAM_H_
+#define SRC_ATTEST_BITSTREAM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace sbt {
+
+class BitWriter {
+ public:
+  // Appends the low `bits` bits of `value`, MSB first.
+  void Write(uint32_t value, int bits) {
+    for (int i = bits - 1; i >= 0; --i) {
+      const uint8_t bit = (value >> i) & 1u;
+      if (bit_pos_ == 0) {
+        bytes_.push_back(0);
+      }
+      bytes_.back() = static_cast<uint8_t>(bytes_.back() | (bit << (7 - bit_pos_)));
+      bit_pos_ = (bit_pos_ + 1) & 7;
+    }
+  }
+
+  // Pads to a byte boundary and returns the buffer.
+  std::vector<uint8_t> Finish() {
+    bit_pos_ = 0;
+    return std::move(bytes_);
+  }
+
+  size_t bit_count() const { return bytes_.size() * 8 - (bit_pos_ == 0 ? 0 : 8 - bit_pos_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  int bit_pos_ = 0;  // next free bit within the last byte
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const uint8_t> data) : data_(data) {}
+
+  // Reads `bits` bits MSB-first; fails cleanly past the end (corrupt stream).
+  Result<uint32_t> Read(int bits) {
+    uint32_t out = 0;
+    for (int i = 0; i < bits; ++i) {
+      if (byte_pos_ >= data_.size()) {
+        return DataLoss("bitstream truncated");
+      }
+      out = (out << 1) | ((data_[byte_pos_] >> (7 - bit_pos_)) & 1u);
+      if (++bit_pos_ == 8) {
+        bit_pos_ = 0;
+        ++byte_pos_;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t byte_pos_ = 0;
+  int bit_pos_ = 0;
+};
+
+// Unsigned LEB128.
+inline void PutVarint(std::vector<uint8_t>& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+inline Result<uint64_t> GetVarint(std::span<const uint8_t> data, size_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (*pos >= data.size() || shift > 63) {
+      return DataLoss("varint truncated or overlong");
+    }
+    const uint8_t b = data[(*pos)++];
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+  }
+}
+
+// Zigzag for signed deltas.
+inline uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace sbt
+
+#endif  // SRC_ATTEST_BITSTREAM_H_

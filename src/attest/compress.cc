@@ -1,0 +1,209 @@
+#include "src/attest/compress.h"
+
+#include "src/attest/bitstream.h"
+#include "src/attest/huffman.h"
+
+namespace sbt {
+namespace {
+
+// Delta+varint encodes a monotone-ish unsigned column.
+std::vector<uint8_t> EncodeDeltaColumn(const std::vector<uint64_t>& column) {
+  std::vector<uint8_t> out;
+  PutVarint(out, column.size());
+  uint64_t prev = 0;
+  for (uint64_t v : column) {
+    PutVarint(out, ZigZag(static_cast<int64_t>(v) - static_cast<int64_t>(prev)));
+    prev = v;
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> DecodeDeltaColumn(std::span<const uint8_t> data, size_t* pos) {
+  SBT_ASSIGN_OR_RETURN(const uint64_t n, GetVarint(data, pos));
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  int64_t prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    SBT_ASSIGN_OR_RETURN(const uint64_t zz, GetVarint(data, pos));
+    prev += UnZigZag(zz);
+    out.push_back(static_cast<uint64_t>(prev));
+  }
+  return out;
+}
+
+void AppendBlock(std::vector<uint8_t>& out, const std::vector<uint8_t>& block) {
+  PutVarint(out, block.size());
+  out.insert(out.end(), block.begin(), block.end());
+}
+
+Result<std::span<const uint8_t>> ReadBlock(std::span<const uint8_t> data, size_t* pos) {
+  SBT_ASSIGN_OR_RETURN(const uint64_t len, GetVarint(data, pos));
+  if (*pos + len > data.size()) {
+    return DataLoss("audit batch: block truncated");
+  }
+  auto block = data.subspan(*pos, len);
+  *pos += len;
+  return block;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeAuditBatch(std::span<const AuditRecord> records) {
+  // Column split.
+  std::vector<uint16_t> ops;
+  std::vector<uint64_t> ts;
+  std::vector<uint16_t> counts;  // triples per record: n_inputs, n_outputs, n_hints
+  // Input and output ids travel in separate columns: outputs are allocator-monotonic (tiny
+  // deltas); inputs reference recently produced arrays (small deltas against their own column).
+  std::vector<uint64_t> in_ids;
+  std::vector<uint64_t> out_ids;
+  std::vector<uint64_t> win_nos;
+  std::vector<uint16_t> win_counts;  // per record: number of win_nos
+  std::vector<uint64_t> watermarks;  // only for kWatermark records
+  std::vector<uint16_t> streams;
+  // Hints split into kind (skewed, Huffman) and payload (lane/array id, delta varint).
+  std::vector<uint16_t> hint_kinds;
+  std::vector<uint64_t> hint_payloads;
+
+  for (const AuditRecord& r : records) {
+    ops.push_back(static_cast<uint16_t>(r.op));
+    streams.push_back(r.stream);
+    ts.push_back(r.ts_ms);
+    counts.push_back(static_cast<uint16_t>(r.inputs.size()));
+    counts.push_back(static_cast<uint16_t>(r.outputs.size()));
+    counts.push_back(static_cast<uint16_t>(r.hints.size()));
+    for (uint32_t id : r.inputs) {
+      in_ids.push_back(id);
+    }
+    for (uint32_t id : r.outputs) {
+      out_ids.push_back(id);
+    }
+    win_counts.push_back(static_cast<uint16_t>(r.win_nos.size()));
+    for (uint16_t w : r.win_nos) {
+      win_nos.push_back(w);
+    }
+    if (r.op == PrimitiveOp::kWatermark) {
+      watermarks.push_back(r.watermark);
+    }
+    for (const AuditHint& h : r.hints) {
+      hint_kinds.push_back(static_cast<uint16_t>(h.kind()));
+      hint_payloads.push_back(h.payload());
+    }
+  }
+
+  std::vector<uint8_t> out;
+  PutVarint(out, records.size());
+  AppendBlock(out, HuffmanEncode(ops));
+  AppendBlock(out, EncodeDeltaColumn(ts));
+  AppendBlock(out, HuffmanEncode(counts));
+  AppendBlock(out, EncodeDeltaColumn(in_ids));
+  AppendBlock(out, EncodeDeltaColumn(out_ids));
+  AppendBlock(out, HuffmanEncode(win_counts));
+  AppendBlock(out, EncodeDeltaColumn(win_nos));
+  AppendBlock(out, EncodeDeltaColumn(watermarks));
+  AppendBlock(out, HuffmanEncode(streams));
+  AppendBlock(out, HuffmanEncode(hint_kinds));
+  AppendBlock(out, EncodeDeltaColumn(hint_payloads));
+  return out;
+}
+
+Result<std::vector<AuditRecord>> DecodeAuditBatch(std::span<const uint8_t> blob) {
+  size_t pos = 0;
+  SBT_ASSIGN_OR_RETURN(const uint64_t n_records, GetVarint(blob, &pos));
+
+  SBT_ASSIGN_OR_RETURN(auto ops_block, ReadBlock(blob, &pos));
+  SBT_ASSIGN_OR_RETURN(auto ops, HuffmanDecode(ops_block));
+  SBT_ASSIGN_OR_RETURN(auto ts_block, ReadBlock(blob, &pos));
+  size_t sub = 0;
+  SBT_ASSIGN_OR_RETURN(auto ts, DecodeDeltaColumn(ts_block, &sub));
+  SBT_ASSIGN_OR_RETURN(auto counts_block, ReadBlock(blob, &pos));
+  SBT_ASSIGN_OR_RETURN(auto counts, HuffmanDecode(counts_block));
+  SBT_ASSIGN_OR_RETURN(auto in_ids_block, ReadBlock(blob, &pos));
+  sub = 0;
+  SBT_ASSIGN_OR_RETURN(auto in_ids, DecodeDeltaColumn(in_ids_block, &sub));
+  SBT_ASSIGN_OR_RETURN(auto out_ids_block, ReadBlock(blob, &pos));
+  sub = 0;
+  SBT_ASSIGN_OR_RETURN(auto out_ids, DecodeDeltaColumn(out_ids_block, &sub));
+  SBT_ASSIGN_OR_RETURN(auto wc_block, ReadBlock(blob, &pos));
+  SBT_ASSIGN_OR_RETURN(auto win_counts, HuffmanDecode(wc_block));
+  SBT_ASSIGN_OR_RETURN(auto wn_block, ReadBlock(blob, &pos));
+  sub = 0;
+  SBT_ASSIGN_OR_RETURN(auto win_nos, DecodeDeltaColumn(wn_block, &sub));
+  SBT_ASSIGN_OR_RETURN(auto wm_block, ReadBlock(blob, &pos));
+  sub = 0;
+  SBT_ASSIGN_OR_RETURN(auto watermarks, DecodeDeltaColumn(wm_block, &sub));
+  SBT_ASSIGN_OR_RETURN(auto stream_block, ReadBlock(blob, &pos));
+  SBT_ASSIGN_OR_RETURN(auto streams, HuffmanDecode(stream_block));
+  SBT_ASSIGN_OR_RETURN(auto hk_block, ReadBlock(blob, &pos));
+  SBT_ASSIGN_OR_RETURN(auto hint_kinds, HuffmanDecode(hk_block));
+  SBT_ASSIGN_OR_RETURN(auto hp_block, ReadBlock(blob, &pos));
+  sub = 0;
+  SBT_ASSIGN_OR_RETURN(auto hint_payloads, DecodeDeltaColumn(hp_block, &sub));
+  if (hint_kinds.size() != hint_payloads.size()) {
+    return DataLoss("audit batch: hint columns disagree");
+  }
+
+  if (ops.size() != n_records || ts.size() != n_records || counts.size() != 3 * n_records ||
+      win_counts.size() != n_records || streams.size() != n_records) {
+    return DataLoss("audit batch: column sizes disagree");
+  }
+
+  std::vector<AuditRecord> records(n_records);
+  size_t in_pos = 0;
+  size_t out_pos = 0;
+  size_t wn_pos = 0;
+  size_t wm_pos = 0;
+  size_t hint_pos = 0;
+  for (uint64_t i = 0; i < n_records; ++i) {
+    AuditRecord& r = records[i];
+    r.op = static_cast<PrimitiveOp>(ops[i]);
+    r.ts_ms = static_cast<uint32_t>(ts[i]);
+    r.stream = streams[i];
+    const uint16_t n_in = counts[3 * i];
+    const uint16_t n_out = counts[3 * i + 1];
+    const uint16_t n_h = counts[3 * i + 2];
+    if (in_pos + n_in > in_ids.size() || out_pos + n_out > out_ids.size() ||
+        hint_pos + n_h > hint_kinds.size() || wn_pos + win_counts[i] > win_nos.size()) {
+      return DataLoss("audit batch: id/hint columns exhausted");
+    }
+    for (uint16_t k = 0; k < n_in; ++k) {
+      r.inputs.push_back(static_cast<uint32_t>(in_ids[in_pos++]));
+    }
+    for (uint16_t k = 0; k < n_out; ++k) {
+      r.outputs.push_back(static_cast<uint32_t>(out_ids[out_pos++]));
+    }
+    for (uint16_t k = 0; k < win_counts[i]; ++k) {
+      r.win_nos.push_back(static_cast<uint16_t>(win_nos[wn_pos++]));
+    }
+    if (r.op == PrimitiveOp::kWatermark) {
+      if (wm_pos >= watermarks.size()) {
+        return DataLoss("audit batch: watermark column exhausted");
+      }
+      r.watermark = static_cast<uint32_t>(watermarks[wm_pos++]);
+    }
+    for (uint16_t k = 0; k < n_h; ++k) {
+      r.hints.push_back(AuditHint{(static_cast<uint64_t>(hint_kinds[hint_pos]) << 62) |
+                                  hint_payloads[hint_pos]});
+      ++hint_pos;
+    }
+  }
+  return records;
+}
+
+size_t RawAuditBatchBytes(std::span<const AuditRecord> records) {
+  // Figure 6 row format: Ts(4) + Op(2) + per-record payload.
+  size_t bytes = 0;
+  for (const AuditRecord& r : records) {
+    bytes += 4 + 2 + 2;                  // Ts, Op, stream
+    bytes += 2 * 3;                      // three Count fields
+    bytes += 4 * (r.inputs.size() + r.outputs.size());  // Data fields
+    bytes += 2 * r.win_nos.size();       // WinNo
+    if (r.op == PrimitiveOp::kWatermark) {
+      bytes += 4;
+    }
+    bytes += 8 * r.hints.size();         // Hint
+  }
+  return bytes;
+}
+
+}  // namespace sbt

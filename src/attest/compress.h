@@ -1,0 +1,32 @@
+// Columnar compression of audit-record batches (paper §7).
+//
+// Records are produced row-wise in memory; before upload, the batch is split into columns and
+// each column gets the encoding that fits its distribution:
+//   - primitive ids and per-record data counts: Huffman (few, heavily skewed values),
+//   - timestamps, uArray ids, window numbers, watermarks: zigzag delta + varint
+//     (monotonically or near-monotonically increasing),
+//   - hints: varint.
+// The scheme is lossless; DecodeAuditBatch(EncodeAuditBatch(b)) == b.
+
+#ifndef SRC_ATTEST_COMPRESS_H_
+#define SRC_ATTEST_COMPRESS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/attest/audit_record.h"
+#include "src/common/status.h"
+
+namespace sbt {
+
+std::vector<uint8_t> EncodeAuditBatch(std::span<const AuditRecord> records);
+
+Result<std::vector<AuditRecord>> DecodeAuditBatch(std::span<const uint8_t> blob);
+
+// Size of the uncompressed row format (Figure 6 field widths), for compression-ratio reporting.
+size_t RawAuditBatchBytes(std::span<const AuditRecord> records);
+
+}  // namespace sbt
+
+#endif  // SRC_ATTEST_COMPRESS_H_

@@ -1,0 +1,225 @@
+#include "src/attest/huffman.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+#include "src/attest/bitstream.h"
+
+namespace sbt {
+namespace {
+
+constexpr int kMaxCodeLen = 15;
+
+// Header layout (varints): n_symbols, n_distinct, then per distinct symbol (delta-coded symbol
+// value, code length), then the bitstream length in bits, then the bitstream bytes.
+
+struct SymbolLength {
+  uint16_t symbol;
+  uint8_t length;
+};
+
+// Builds Huffman code lengths from frequencies with a simple two-queue method, then flattens
+// depths. Lengths are capped at kMaxCodeLen by re-normalization (rarely triggered for the small
+// alphabets the audit columns carry).
+std::vector<SymbolLength> BuildLengths(const std::map<uint16_t, uint64_t>& freq) {
+  struct Node {
+    uint64_t weight;
+    int left = -1;
+    int right = -1;
+    int symbol_index = -1;  // leaf: index into symbols vector
+  };
+  std::vector<uint16_t> symbols;
+  std::vector<Node> nodes;
+  for (const auto& [sym, f] : freq) {
+    nodes.push_back(Node{f, -1, -1, static_cast<int>(symbols.size())});
+    symbols.push_back(sym);
+  }
+  if (symbols.size() == 1) {
+    return {SymbolLength{symbols[0], 1}};
+  }
+
+  // Min-heap of node indices by weight.
+  auto cmp = [&nodes](int a, int b) { return nodes[a].weight > nodes[b].weight; };
+  std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    heap.push(static_cast<int>(i));
+  }
+  while (heap.size() > 1) {
+    const int a = heap.top();
+    heap.pop();
+    const int b = heap.top();
+    heap.pop();
+    nodes.push_back(Node{nodes[a].weight + nodes[b].weight, a, b, -1});
+    heap.push(static_cast<int>(nodes.size() - 1));
+  }
+
+  // Depth-first to get leaf depths (iterative; tree can be skewed).
+  std::vector<SymbolLength> lengths;
+  std::vector<std::pair<int, int>> stack{{static_cast<int>(nodes.size() - 1), 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[idx];
+    if (n.symbol_index >= 0) {
+      lengths.push_back(SymbolLength{symbols[n.symbol_index],
+                                     static_cast<uint8_t>(std::max(depth, 1))});
+      continue;
+    }
+    stack.push_back({n.left, depth + 1});
+    stack.push_back({n.right, depth + 1});
+  }
+
+  // Cap lengths (flatten anything deeper than kMaxCodeLen; then fix Kraft by extending the
+  // shallowest codes — a crude but correct renormalization).
+  bool over = false;
+  for (auto& sl : lengths) {
+    if (sl.length > kMaxCodeLen) {
+      sl.length = kMaxCodeLen;
+      over = true;
+    }
+  }
+  if (over) {
+    // Ensure Kraft inequality sum(2^-len) <= 1 by incrementing lengths where needed.
+    auto kraft = [&lengths] {
+      uint64_t sum = 0;  // in units of 2^-kMaxCodeLen
+      for (const auto& sl : lengths) {
+        sum += 1ull << (kMaxCodeLen - sl.length);
+      }
+      return sum;
+    };
+    std::sort(lengths.begin(), lengths.end(),
+              [](const SymbolLength& a, const SymbolLength& b) { return a.length < b.length; });
+    size_t i = 0;
+    while (kraft() > (1ull << kMaxCodeLen)) {
+      if (lengths[i % lengths.size()].length < kMaxCodeLen) {
+        ++lengths[i % lengths.size()].length;
+      }
+      ++i;
+    }
+  }
+  return lengths;
+}
+
+// Assigns canonical codes: sort by (length, symbol), consecutive codes per length.
+void AssignCanonical(std::vector<SymbolLength>& lengths,
+                     std::unordered_map<uint16_t, std::pair<uint32_t, uint8_t>>* codes) {
+  std::sort(lengths.begin(), lengths.end(), [](const SymbolLength& a, const SymbolLength& b) {
+    if (a.length != b.length) {
+      return a.length < b.length;
+    }
+    return a.symbol < b.symbol;
+  });
+  uint32_t code = 0;
+  uint8_t prev_len = 0;
+  for (const SymbolLength& sl : lengths) {
+    code <<= (sl.length - prev_len);
+    (*codes)[sl.symbol] = {code, sl.length};
+    ++code;
+    prev_len = sl.length;
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> HuffmanEncode(std::span<const uint16_t> symbols) {
+  std::vector<uint8_t> out;
+  PutVarint(out, symbols.size());
+  if (symbols.empty()) {
+    return out;
+  }
+
+  std::map<uint16_t, uint64_t> freq;
+  for (uint16_t s : symbols) {
+    ++freq[s];
+  }
+  std::vector<SymbolLength> lengths = BuildLengths(freq);
+  std::unordered_map<uint16_t, std::pair<uint32_t, uint8_t>> codes;
+  AssignCanonical(lengths, &codes);
+
+  PutVarint(out, lengths.size());
+  uint16_t prev_symbol = 0;
+  for (const SymbolLength& sl : lengths) {  // sorted by (len, symbol) after AssignCanonical
+    PutVarint(out, sl.length);
+    // Symbol stored as mod-2^16 delta; the decoder reverses with the same wrapping arithmetic.
+    PutVarint(out, static_cast<uint16_t>(sl.symbol - prev_symbol));
+    prev_symbol = sl.symbol;
+  }
+
+  BitWriter writer;
+  for (uint16_t s : symbols) {
+    const auto& [code, len] = codes.at(s);
+    writer.Write(code, len);
+  }
+  const std::vector<uint8_t> bits = writer.Finish();
+  PutVarint(out, bits.size());
+  out.insert(out.end(), bits.begin(), bits.end());
+  return out;
+}
+
+Result<std::vector<uint16_t>> HuffmanDecode(std::span<const uint8_t> block) {
+  size_t pos = 0;
+  SBT_ASSIGN_OR_RETURN(const uint64_t n_symbols, GetVarint(block, &pos));
+  std::vector<uint16_t> out;
+  if (n_symbols == 0) {
+    return out;
+  }
+  SBT_ASSIGN_OR_RETURN(const uint64_t n_distinct, GetVarint(block, &pos));
+  if (n_distinct == 0 || n_distinct > 65536) {
+    return DataLoss("huffman: bad symbol table size");
+  }
+
+  std::vector<SymbolLength> lengths(n_distinct);
+  uint16_t prev_symbol = 0;
+  for (auto& sl : lengths) {
+    SBT_ASSIGN_OR_RETURN(const uint64_t len, GetVarint(block, &pos));
+    SBT_ASSIGN_OR_RETURN(const uint64_t delta, GetVarint(block, &pos));
+    if (len == 0 || len > kMaxCodeLen) {
+      return DataLoss("huffman: bad code length");
+    }
+    sl.length = static_cast<uint8_t>(len);
+    sl.symbol = static_cast<uint16_t>(prev_symbol + delta);
+    prev_symbol = sl.symbol;
+  }
+
+  // Rebuild canonical codes in the same (length, symbol) order the encoder used.
+  std::unordered_map<uint16_t, std::pair<uint32_t, uint8_t>> codes;
+  {
+    std::vector<SymbolLength> sorted = lengths;
+    AssignCanonical(sorted, &codes);
+  }
+  // Decoding table: (length, code) -> symbol.
+  std::map<std::pair<uint8_t, uint32_t>, uint16_t> decode_table;
+  for (const auto& [sym, cl] : codes) {
+    decode_table[{cl.second, cl.first}] = sym;
+  }
+
+  SBT_ASSIGN_OR_RETURN(const uint64_t bits_len, GetVarint(block, &pos));
+  if (pos + bits_len > block.size()) {
+    return DataLoss("huffman: bitstream truncated");
+  }
+  BitReader reader(block.subspan(pos, bits_len));
+
+  out.reserve(n_symbols);
+  for (uint64_t i = 0; i < n_symbols; ++i) {
+    uint32_t code = 0;
+    uint8_t len = 0;
+    while (true) {
+      SBT_ASSIGN_OR_RETURN(const uint32_t bit, reader.Read(1));
+      code = (code << 1) | bit;
+      ++len;
+      if (len > kMaxCodeLen) {
+        return DataLoss("huffman: invalid code in stream");
+      }
+      auto it = decode_table.find({len, code});
+      if (it != decode_table.end()) {
+        out.push_back(it->second);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sbt

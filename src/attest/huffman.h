@@ -1,0 +1,26 @@
+// Canonical Huffman coding over 16-bit symbols, used for the skewed audit-record columns
+// (primitive ids and data counts, paper §7 "Columnar compression of records").
+//
+// The encoded stream is self-describing: a compact header carries the code length of each
+// distinct symbol, so the decoder needs no out-of-band frequency table.
+
+#ifndef SRC_ATTEST_HUFFMAN_H_
+#define SRC_ATTEST_HUFFMAN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace sbt {
+
+// Encodes `symbols` into a self-describing block. Empty input yields a minimal header.
+std::vector<uint8_t> HuffmanEncode(std::span<const uint16_t> symbols);
+
+// Decodes a block produced by HuffmanEncode. Fails with kDataLoss on corruption.
+Result<std::vector<uint16_t>> HuffmanDecode(std::span<const uint8_t> block);
+
+}  // namespace sbt
+
+#endif  // SRC_ATTEST_HUFFMAN_H_

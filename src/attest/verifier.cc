@@ -1,0 +1,325 @@
+#include "src/attest/verifier.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sbt {
+namespace {
+
+std::string IdStr(uint32_t id) {
+  std::ostringstream os;
+  os << "0x" << std::hex << id;
+  return os.str();
+}
+
+struct RecordIndex {
+  // id -> index of the record that produced it.
+  std::unordered_map<uint32_t, size_t> producer;
+  // id -> indices of records that consumed it.
+  std::unordered_map<uint32_t, std::vector<size_t>> consumers;
+};
+
+}  // namespace
+
+VerifyReport CloudVerifier::Verify(std::span<const AuditRecord> records,
+                                   bool session_complete) const {
+  VerifyReport report;
+  report.records_replayed = records.size();
+
+  // ---- Pass 1: build producer/consumer index; basic integrity. ----
+  RecordIndex index;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const AuditRecord& r = records[i];
+    report.hints_audited += r.hints.size();
+    for (uint32_t id : r.outputs) {
+      auto [it, inserted] = index.producer.insert({id, i});
+      if (!inserted) {
+        report.AddViolation("uArray " + IdStr(id) + " produced twice");
+      }
+    }
+    for (uint32_t id : r.inputs) {
+      index.consumers[id].push_back(i);
+    }
+  }
+  for (const auto& [id, consumers] : index.consumers) {
+    if (!index.producer.contains(id)) {
+      report.AddViolation("record consumes unknown uArray " + IdStr(id) +
+                          " (fabricated reference)");
+    }
+  }
+
+  // ---- Pass 2: ingress -> segment -> per-batch chain -> window contributions. ----
+  // (window, stream) -> contribution ids.
+  std::map<std::pair<uint32_t, uint16_t>, std::vector<uint32_t>> contributions;
+  // contribution id -> (window, stream), for egress tracing.
+  std::unordered_map<uint32_t, uint32_t> window_of;
+
+  for (size_t i = 0; i < records.size(); ++i) {
+    const AuditRecord& r = records[i];
+    if (r.op != PrimitiveOp::kIngress) {
+      continue;
+    }
+    for (uint32_t batch_id : r.outputs) {
+      const auto cons = index.consumers.find(batch_id);
+      if (cons == index.consumers.end()) {
+        if (session_complete) {
+          report.AddViolation("ingested uArray " + IdStr(batch_id) + " was never processed");
+        }
+        continue;
+      }
+      if (cons->second.size() != 1 || records[cons->second[0]].op != PrimitiveOp::kSegment) {
+        report.AddViolation("ingested uArray " + IdStr(batch_id) +
+                            " not consumed by exactly one Segment");
+        continue;
+      }
+      const AuditRecord& seg = records[cons->second[0]];
+      if (seg.outputs.size() != seg.win_nos.size()) {
+        report.AddViolation("Segment record with mismatched window annotations");
+        continue;
+      }
+      // Chase each segment output through the per-batch chain.
+      for (size_t o = 0; o < seg.outputs.size(); ++o) {
+        uint32_t cur = seg.outputs[o];
+        bool ok = true;
+        for (PrimitiveOp expected_op : spec_.per_batch_chain) {
+          const auto cc = index.consumers.find(cur);
+          if (cc == index.consumers.end()) {
+            if (session_complete) {
+              report.AddViolation("uArray " + IdStr(cur) + " stalled before " +
+                                  std::string(PrimitiveOpName(expected_op)));
+            }
+            ok = false;
+            break;
+          }
+          if (cc->second.size() != 1) {
+            report.AddViolation("uArray " + IdStr(cur) + " consumed more than once in batch chain");
+            ok = false;
+            break;
+          }
+          const AuditRecord& step = records[cc->second[0]];
+          if (step.op != expected_op) {
+            report.AddViolation("uArray " + IdStr(cur) + " consumed by " +
+                                std::string(PrimitiveOpName(step.op)) + ", declared " +
+                                std::string(PrimitiveOpName(expected_op)));
+            ok = false;
+            break;
+          }
+          if (step.inputs.size() != 1 || step.outputs.size() != 1) {
+            report.AddViolation("batch-chain step " + std::string(PrimitiveOpName(step.op)) +
+                                " is not single-input/single-output");
+            ok = false;
+            break;
+          }
+          cur = step.outputs[0];
+        }
+        if (ok) {
+          contributions[{seg.win_nos[o], r.stream}].push_back(cur);
+          window_of[cur] = seg.win_nos[o];
+        }
+      }
+    }
+  }
+
+  // ---- Pass 3: watermarks and window close times. ----
+  struct WatermarkAt {
+    uint32_t value;
+    uint32_t ts_ms;
+  };
+  std::vector<WatermarkAt> watermarks;
+  for (const AuditRecord& r : records) {
+    if (r.op == PrimitiveOp::kWatermark) {
+      watermarks.push_back({r.watermark, r.ts_ms});
+    }
+  }
+  const uint32_t slide =
+      spec_.window_slide_ms == 0 ? spec_.window_size_ms : spec_.window_slide_ms;
+  auto closing_watermark = [&](uint32_t window_index) -> const WatermarkAt* {
+    const uint64_t window_end =
+        static_cast<uint64_t>(window_index) * slide + spec_.window_size_ms;
+    for (const WatermarkAt& wm : watermarks) {
+      if (wm.value >= window_end) {
+        return &wm;
+      }
+    }
+    return nullptr;
+  };
+
+  // Windows present in this session.
+  std::set<uint32_t> windows;
+  for (const auto& [key, ids] : contributions) {
+    windows.insert(key.first);
+  }
+
+  // ---- Pass 4: per-window DAG replay. ----
+  std::unordered_set<uint32_t> egressable;  // final-stage outputs of closed windows
+  for (uint32_t w : windows) {
+    const WatermarkAt* wm = closing_watermark(w);
+    if (wm == nullptr) {
+      // Window never closed: its contributions must not have been processed further.
+      for (uint16_t s = 0; s < 4; ++s) {
+        auto it = contributions.find({w, s});
+        if (it == contributions.end()) {
+          continue;
+        }
+        for (uint32_t id : it->second) {
+          if (index.consumers.contains(id)) {
+            report.AddViolation("window " + std::to_string(w) +
+                                " processed before any closing watermark");
+          }
+        }
+      }
+      continue;
+    }
+    if (!session_complete) {
+      // Closed but possibly still in flight; skip strict replay for this window.
+    }
+
+    ++report.windows_verified;
+    // stage_outputs[j] = ids produced by per-window stage j for this window.
+    std::vector<std::vector<uint32_t>> stage_outputs(spec_.per_window_stages.size());
+    bool window_ok = true;
+
+    for (size_t j = 0; j < spec_.per_window_stages.size() && window_ok; ++j) {
+      const WindowStage& stage = spec_.per_window_stages[j];
+      // Expected inputs: union of the referenced stages' outputs.
+      std::unordered_set<uint32_t> expected;
+      for (int src : stage.input_stages) {
+        if (src < 0) {
+          for (uint16_t s = 0; s < 4; ++s) {
+            if (stage.stream_filter >= 0 && s != stage.stream_filter) {
+              continue;
+            }
+            auto it = contributions.find({w, s});
+            if (it != contributions.end()) {
+              expected.insert(it->second.begin(), it->second.end());
+            }
+          }
+        } else if (static_cast<size_t>(src) < j) {
+          expected.insert(stage_outputs[src].begin(), stage_outputs[src].end());
+        }
+      }
+      if (expected.empty()) {
+        continue;  // nothing reached this stage (e.g. empty stream side)
+      }
+
+      // Find the stage's records: consumers of expected ids with the declared op.
+      std::set<size_t> stage_records;
+      std::unordered_set<uint32_t> covered;
+      for (uint32_t id : expected) {
+        const auto cc = index.consumers.find(id);
+        if (cc == index.consumers.end()) {
+          if (session_complete) {
+            report.AddViolation("window " + std::to_string(w) + ": uArray " + IdStr(id) +
+                                " never reached stage " +
+                                std::string(PrimitiveOpName(stage.op)) +
+                                " (partial data / dropped input)");
+            window_ok = false;
+          }
+          continue;
+        }
+        size_t claims = 0;
+        for (size_t ri : cc->second) {
+          if (records[ri].op == stage.op) {
+            stage_records.insert(ri);
+            ++claims;
+          }
+        }
+        if (claims == 0) {
+          report.AddViolation("window " + std::to_string(w) + ": uArray " + IdStr(id) +
+                              " consumed by the wrong primitive (declared " +
+                              std::string(PrimitiveOpName(stage.op)) + ")");
+          window_ok = false;
+        } else if (claims > 1) {
+          report.AddViolation("window " + std::to_string(w) + ": uArray " + IdStr(id) +
+                              " consumed twice by stage " +
+                              std::string(PrimitiveOpName(stage.op)));
+          window_ok = false;
+        } else {
+          covered.insert(id);
+        }
+      }
+      if (!window_ok) {
+        break;
+      }
+
+      // Stage records may not pull in foreign data (unless state inputs are allowed).
+      for (size_t ri : stage_records) {
+        for (uint32_t id : records[ri].inputs) {
+          if (expected.contains(id)) {
+            continue;
+          }
+          if (stage.allows_state_inputs && index.producer.contains(id)) {
+            continue;  // operator state from an earlier window
+          }
+          report.AddViolation("window " + std::to_string(w) + ": stage " +
+                              std::string(PrimitiveOpName(stage.op)) +
+                              " consumed undeclared uArray " + IdStr(id));
+          window_ok = false;
+        }
+        for (uint32_t id : records[ri].outputs) {
+          stage_outputs[j].push_back(id);
+        }
+      }
+    }
+
+    if (!window_ok || spec_.per_window_stages.empty()) {
+      continue;
+    }
+
+    // Final stage outputs must be egressed.
+    const std::vector<uint32_t>& finals = stage_outputs.back();
+    uint32_t egress_ts = 0;
+    bool all_egressed = !finals.empty();
+    for (uint32_t id : finals) {
+      egressable.insert(id);
+      bool found = false;
+      const auto cc = index.consumers.find(id);
+      if (cc != index.consumers.end()) {
+        for (size_t ri : cc->second) {
+          if (records[ri].op == PrimitiveOp::kEgress) {
+            found = true;
+            egress_ts = std::max(egress_ts, records[ri].ts_ms);
+          }
+        }
+      }
+      if (!found) {
+        if (session_complete) {
+          report.AddViolation("window " + std::to_string(w) + ": result " + IdStr(id) +
+                              " was never externalized");
+        }
+        all_egressed = false;
+      }
+    }
+    if (all_egressed && session_complete) {
+      FreshnessSample sample;
+      sample.window_index = w;
+      sample.watermark_value = wm->value;
+      sample.delay_ms = egress_ts >= wm->ts_ms ? egress_ts - wm->ts_ms : 0;
+      report.max_delay_ms = std::max(report.max_delay_ms, sample.delay_ms);
+      report.freshness.push_back(sample);
+    }
+  }
+
+  // ---- Pass 5: egress records must only externalize declared final results. ----
+  // (Only meaningful for complete sessions: with in-flight windows the egressable set is
+  // necessarily partial.)
+  for (const AuditRecord& r : session_complete ? records : std::span<const AuditRecord>{}) {
+    if (r.op != PrimitiveOp::kEgress) {
+      continue;
+    }
+    for (uint32_t id : r.inputs) {
+      if (!egressable.contains(id)) {
+        report.AddViolation("egress externalized undeclared uArray " + IdStr(id) +
+                            " (possible data exfiltration path)");
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace sbt

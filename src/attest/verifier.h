@@ -1,0 +1,89 @@
+// Cloud-side verifier: symbolic replay of audit records (paper §7).
+//
+// The verifier holds its own copy of the pipeline declaration (the same one the cloud consumer
+// installed on the edge) and replays the edge's audit-record stream against it — symbolically,
+// without recomputing any data. It asserts:
+//
+//  correctness — every ingested uArray flows through the declared operator chain: each ingress
+//    batch is segmented; each window contribution passes the per-batch stages in order; when a
+//    watermark closes a window, *all* of that window's contributions feed the per-window stage
+//    DAG, ending in an egress. Dropped, duplicated, reordered, or fabricated dataflow fails.
+//
+//  freshness — for each egressed result, the verifier traces the derived-from chain back to the
+//    watermark that triggered it and reports delay = egress ts - watermark ingress ts.
+//
+// Untrusted consumption hints ride along in the records and are surfaced for audit.
+
+#ifndef SRC_ATTEST_VERIFIER_H_
+#define SRC_ATTEST_VERIFIER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/attest/audit_record.h"
+#include "src/primitives/registry.h"
+
+namespace sbt {
+
+// One stage of the per-window processing DAG.
+struct WindowStage {
+  PrimitiveOp op = PrimitiveOp::kMergeN;
+  // Where this stage's inputs come from: -1 = the window's contributions (outputs of the last
+  // per-batch stage), i >= 0 = outputs of per-window stage i.
+  std::vector<int> input_stages{-1};
+  // Restrict the `-1` inputs to one ingress stream (temporal join); -1 = any stream.
+  int stream_filter = -1;
+  // Stage may take extra inputs not produced within this window (operator state, e.g. EWMA).
+  bool allows_state_inputs = false;
+};
+
+// The verifier's copy of a pipeline declaration.
+struct VerifierPipelineSpec {
+  uint32_t window_size_ms = 1000;
+  // Sliding windows: window w = [w*slide, w*slide + size). 0 = fixed (slide == size).
+  uint32_t window_slide_ms = 0;
+  // Ops applied (in order, one output each) to every segment output before windows close.
+  std::vector<PrimitiveOp> per_batch_chain;
+  // The per-window DAG triggered by the closing watermark. The last stage's outputs must be
+  // egressed.
+  std::vector<WindowStage> per_window_stages;
+};
+
+struct FreshnessSample {
+  uint32_t window_index = 0;
+  uint32_t watermark_value = 0;
+  uint32_t delay_ms = 0;  // egress ts - closing watermark's ingress ts
+};
+
+struct VerifyReport {
+  bool correct = true;
+  std::vector<std::string> violations;
+  std::vector<FreshnessSample> freshness;
+  uint32_t max_delay_ms = 0;
+  size_t records_replayed = 0;
+  size_t windows_verified = 0;
+  size_t hints_audited = 0;
+
+  void AddViolation(std::string v) {
+    correct = false;
+    violations.push_back(std::move(v));
+  }
+};
+
+class CloudVerifier {
+ public:
+  explicit CloudVerifier(VerifierPipelineSpec spec) : spec_(std::move(spec)) {}
+
+  // Replays a full session's records. `session_complete` asserts the engine drained all work
+  // before exporting, so windows closed by the last watermark must be fully processed.
+  VerifyReport Verify(std::span<const AuditRecord> records, bool session_complete = true) const;
+
+ private:
+  VerifierPipelineSpec spec_;
+};
+
+}  // namespace sbt
+
+#endif  // SRC_ATTEST_VERIFIER_H_

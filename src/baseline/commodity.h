@@ -1,0 +1,56 @@
+// Commodity-engine stand-ins for the Figure 8 comparison (see DESIGN.md substitutions).
+//
+// Flink, Esper and SensorBee are not available offline, so each is represented by an
+// in-process engine embodying its architectural bottleneck class on a single edge node:
+//
+//   FlinkLike     multi-threaded; per-event heap records, locked hash-keyed window state, and
+//                 managed-runtime bookkeeping per record (JVM-style object churn)
+//   EsperLike     single-threaded rich-object CEP: shared_ptr events, ordered window index,
+//                 virtual predicate evaluation per event
+//   SensorBeeLike single-threaded tuple-at-a-time interpretation: a small bytecode loop
+//                 evaluated per event
+//
+// All run the same WinSum query (sum of values per fixed window, emitted on watermark) over the
+// same Generator stream, so only engine architecture differs. The comparison is log-scale
+// (order-of-magnitude), as in the paper.
+
+#ifndef SRC_BASELINE_COMMODITY_H_
+#define SRC_BASELINE_COMMODITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/net/generator.h"
+
+namespace sbt {
+
+struct CommodityRunResult {
+  uint64_t events = 0;
+  double seconds = 0;
+  uint64_t windows_emitted = 0;
+  int64_t checksum = 0;  // sum of emitted window sums; cross-engine correctness check
+
+  double events_per_sec() const { return seconds > 0 ? events / seconds : 0; }
+  double mb_per_sec(size_t event_size) const {
+    return events_per_sec() * event_size / 1e6;
+  }
+};
+
+class CommodityEngine {
+ public:
+  virtual ~CommodityEngine() = default;
+  virtual std::string_view name() const = 0;
+  // Runs WinSum over the generator's whole stream at maximum offered load.
+  virtual CommodityRunResult RunWinSum(Generator* generator) = 0;
+};
+
+std::unique_ptr<CommodityEngine> MakeFlinkLike(int num_workers);
+std::unique_ptr<CommodityEngine> MakeEsperLike();
+std::unique_ptr<CommodityEngine> MakeSensorBeeLike();
+
+}  // namespace sbt
+
+#endif  // SRC_BASELINE_COMMODITY_H_

@@ -1,0 +1,50 @@
+#include "src/common/logging.h"
+
+namespace sbt {
+
+LogLevel GlobalLogLevel() {
+  static const LogLevel level = [] {
+    const char* env = std::getenv("SBT_LOG_LEVEL");
+    if (env == nullptr) {
+      return LogLevel::kError;
+    }
+    int v = std::atoi(env);
+    if (v < 0) {
+      v = 0;
+    }
+    if (v > 3) {
+      v = 3;
+    }
+    return static_cast<LogLevel>(v);
+  }();
+  return level;
+}
+
+void LogLine(LogLevel level, const char* file, int line, const std::string& msg) {
+  static std::mutex mu;
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kError:
+      tag = "E";
+      break;
+    case LogLevel::kInfo:
+      tag = "I";
+      break;
+    case LogLevel::kDebug:
+      tag = "D";
+      break;
+    case LogLevel::kOff:
+      return;
+  }
+  // Strip the directory prefix for readability.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", tag, base, line, msg.c_str());
+}
+
+}  // namespace sbt

@@ -1,0 +1,68 @@
+// Minimal leveled logging. The data plane logs nothing on the hot path; logging is for the
+// control plane, harnesses and tests. Controlled by SBT_LOG_LEVEL env var (0=off .. 3=debug).
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace sbt {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+// Global log level, read once from the environment.
+LogLevel GlobalLogLevel();
+
+// Thread-safe sink; stderr by default.
+void LogLine(LogLevel level, const char* file, int line, const std::string& msg);
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace log_internal
+
+#define SBT_LOG_ENABLED(level) (static_cast<int>(::sbt::GlobalLogLevel()) >= static_cast<int>(level))
+
+#define SBT_LOG(level)                                                       \
+  !SBT_LOG_ENABLED(::sbt::LogLevel::k##level)                                \
+      ? static_cast<void>(0)                                                 \
+      : ::sbt::log_internal::Voidify() &                                     \
+            ::sbt::log_internal::LogMessage(::sbt::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+// Fatal invariant violation inside the emulated TEE: abort the process, never continue with
+// corrupted secure state.
+#define SBT_CHECK(cond)                                                       \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::std::fprintf(stderr, "SBT_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                     __LINE__, #cond);                                        \
+      ::std::abort();                                                         \
+    }                                                                         \
+  } while (0)
+
+}  // namespace sbt
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,84 @@
+// Deterministic pseudo-random generators.
+//
+// Two uses with different requirements:
+//  - Workload generators and tests need fast, seedable, reproducible streams (Xoshiro256**).
+//  - The data plane needs unpredictable 64-bit opaque-reference ids. A real deployment would use
+//    the TEE's hardware TRNG; the emulation seeds a SplitMix chain from std::random_device and
+//    the cycle counter, which is unpredictable enough for the forgery-resistance property tests.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+#include "src/common/time.h"
+
+namespace sbt {
+
+// SplitMix64: used to seed other generators and as the opaque-id stream mixer.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Xoshiro256**: the workhorse for synthetic workloads. Fast, 256-bit state, seedable.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm.Next();
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Uses the widening-multiply trick to avoid modulo bias hot path.
+  uint64_t NextBelow(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  uint32_t Next32() { return static_cast<uint32_t>(Next() >> 32); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+// Seeds an unpredictable generator for opaque-reference ids.
+// (Deployment note: replace with the TEE TRNG; see DESIGN.md substitutions.)
+inline uint64_t UnpredictableSeed() {
+  std::random_device rd;
+  SplitMix64 sm((static_cast<uint64_t>(rd()) << 32) ^ rd() ^ ReadCycleCounter());
+  return sm.Next();
+}
+
+}  // namespace sbt
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,156 @@
+// Lightweight Status / Result error-handling primitives used across StreamBox-TZ.
+//
+// The data plane (in-TEE code) must not throw across the protection boundary, so all
+// boundary-crossing APIs report failures through Status / Result<T> values instead of
+// exceptions. This mirrors the OP-TEE convention of returning TEE_Result codes.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace sbt {
+
+// Error categories. Kept deliberately small; detailed context goes in the message.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,    // caller passed a malformed request
+  kNotFound,           // e.g. unknown opaque reference (possible forgery attempt)
+  kPermissionDenied,   // request violates the protection boundary
+  kResourceExhausted,  // out of secure memory; triggers backpressure
+  kFailedPrecondition, // object in the wrong lifecycle state
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kDataLoss,           // integrity check failed (MAC mismatch, corrupt frame)
+  kDeadlineExceeded,
+};
+
+// Returns a stable human-readable name for a code ("OK", "NOT_FOUND", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A Status is either OK (cheap, no allocation) or an error code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "CODE: message" for logs.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+inline Status PermissionDenied(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+inline Status DataLoss(std::string msg) { return Status(StatusCode::kDataLoss, std::move(msg)); }
+inline Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+
+// Result<T>: holds either a value or an error Status. Modeled on absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse: `return value;` / `return SomeError();`.
+  Result(T value) : rep_(std::move(value)) {}              // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {        // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(rep_).ok() && "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagates errors up the stack: `SBT_RETURN_IF_ERROR(DoThing());`
+#define SBT_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::sbt::Status sbt_status_ = (expr);      \
+    if (!sbt_status_.ok()) {                 \
+      return sbt_status_;                    \
+    }                                        \
+  } while (0)
+
+// `SBT_ASSIGN_OR_RETURN(auto x, ComputeX());`
+#define SBT_ASSIGN_OR_RETURN(lhs, rexpr)                   \
+  SBT_ASSIGN_OR_RETURN_IMPL_(                              \
+      SBT_STATUS_CONCAT_(sbt_result_, __LINE__), lhs, rexpr)
+
+#define SBT_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) {                                  \
+    return result.status();                            \
+  }                                                    \
+  lhs = std::move(result).value()
+
+#define SBT_STATUS_CONCAT_(a, b) SBT_STATUS_CONCAT_IMPL_(a, b)
+#define SBT_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace sbt
+
+#endif  // SRC_COMMON_STATUS_H_

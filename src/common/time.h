@@ -1,0 +1,93 @@
+// Time domains used by the engine.
+//
+// Stream analytics distinguishes *event time* (when a sensor observed something; carried in the
+// event, drives windowing and watermarks) from *processing time* (wall clock on the edge; drives
+// output-delay measurement and audit-record timestamps). Mixing the two is a classic stream-engine
+// bug, so each gets its own strong type.
+
+#ifndef SRC_COMMON_TIME_H_
+#define SRC_COMMON_TIME_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace sbt {
+
+// Event time, milliseconds since an arbitrary per-deployment epoch.
+// 32 bits covers ~49 days of telemetry, matching the paper's compact 12-byte events.
+using EventTimeMs = uint32_t;
+
+inline constexpr EventTimeMs kEventTimeMin = 0;
+inline constexpr EventTimeMs kEventTimeMax = std::numeric_limits<EventTimeMs>::max();
+
+// Processing time, microseconds on a monotonic clock.
+using ProcTimeUs = int64_t;
+
+// Monotonic wall clock in microseconds. Used for output-delay accounting.
+inline ProcTimeUs NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Cycle counter for fine-grained cost accounting (world-switch modeling, per-record audit cost).
+// On x86-64 this reads the TSC; elsewhere it falls back to the steady clock.
+inline uint64_t ReadCycleCounter() {
+#if defined(__x86_64__)
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+#else
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+// A fixed event-time window [begin, end). Windows are the scope of all stateful operators.
+struct Window {
+  EventTimeMs begin = 0;
+  EventTimeMs end = 0;
+
+  bool Contains(EventTimeMs t) const { return t >= begin && t < end; }
+  uint32_t SpanMs() const { return end - begin; }
+
+  bool operator==(const Window&) const = default;
+};
+
+// Assigns event times to consecutive fixed windows of `size_ms` starting at epoch 0.
+struct FixedWindowFn {
+  uint32_t size_ms = 1000;
+
+  uint32_t WindowIndex(EventTimeMs t) const { return t / size_ms; }
+  Window WindowAt(uint32_t index) const {
+    return Window{index * size_ms, (index + 1) * size_ms};
+  }
+};
+
+// Sliding windows: window w = [w*slide, w*slide + size). An event belongs to every window
+// covering its time (size/slide of them). slide == size degenerates to fixed windows.
+struct SlidingWindowFn {
+  uint32_t size_ms = 1000;
+  uint32_t slide_ms = 1000;
+
+  bool Valid() const { return slide_ms > 0 && size_ms >= slide_ms; }
+
+  Window WindowAt(uint32_t index) const {
+    return Window{index * slide_ms, index * slide_ms + size_ms};
+  }
+  // First and last (inclusive) window indices containing `t`.
+  uint32_t FirstWindow(EventTimeMs t) const {
+    const uint64_t t64 = t;
+    return t64 < size_ms ? 0
+                         : static_cast<uint32_t>((t64 - size_ms) / slide_ms + 1);
+  }
+  uint32_t LastWindow(EventTimeMs t) const { return t / slide_ms; }
+};
+
+}  // namespace sbt
+
+#endif  // SRC_COMMON_TIME_H_

@@ -1,0 +1,86 @@
+// The paper's six benchmark pipelines (§9.2), expressed as declarative pipelines.
+//
+// (1) TopK     — K largest values per key per window
+// (2) Distinct — unique taxi ids per window, counted
+// (3) Join     — temporal equi-join of two streams per window
+// (4) WinSum   — windowed aggregation of all values
+// (5) Filter   — band-pass filter with ~1% selectivity
+// (6) Power    — DEBS'14-style grid analytics: per-plug averages, high-power plugs vs the
+//                window mean, counted per house (16-byte, 4-field events)
+
+#ifndef SRC_CONTROL_BENCHMARKS_H_
+#define SRC_CONTROL_BENCHMARKS_H_
+
+#include "src/control/pipeline.h"
+
+namespace sbt {
+
+inline Pipeline MakeWinSum(uint32_t window_ms = 1000) {
+  Pipeline p("WinSum", window_ms);
+  p.PerBatch(PrimitiveOp::kSum);
+  p.AtWindowClose({.op = PrimitiveOp::kConcat, .input_stages = {-1}});
+  p.AtWindowClose({.op = PrimitiveOp::kSum, .input_stages = {0}});
+  return p;
+}
+
+inline Pipeline MakeFilter(uint32_t window_ms = 1000, int32_t lo = 0, int32_t hi = 0) {
+  Pipeline p("Filter", window_ms);
+  InvokeParams params;
+  params.lo = lo;
+  params.hi = hi;
+  p.PerBatch(PrimitiveOp::kFilterBand, params);
+  p.AtWindowClose({.op = PrimitiveOp::kConcat, .input_stages = {-1}});
+  return p;
+}
+
+inline Pipeline MakeTopK(uint32_t window_ms = 1000, uint32_t k = 10) {
+  Pipeline p("TopK", window_ms);
+  p.PerBatch(PrimitiveOp::kProject);
+  p.PerBatch(PrimitiveOp::kSort);
+  InvokeParams params;
+  params.k = k;
+  p.AtWindowClose({.op = PrimitiveOp::kMergeN, .input_stages = {-1}});
+  p.AtWindowClose({.op = PrimitiveOp::kTopK, .input_stages = {0}, .params = params});
+  return p;
+}
+
+inline Pipeline MakeDistinct(uint32_t window_ms = 1000) {
+  Pipeline p("Distinct", window_ms);
+  p.PerBatch(PrimitiveOp::kProject);
+  p.PerBatch(PrimitiveOp::kSort);
+  p.AtWindowClose({.op = PrimitiveOp::kMergeN, .input_stages = {-1}});
+  p.AtWindowClose({.op = PrimitiveOp::kUnique, .input_stages = {0}});
+  p.AtWindowClose({.op = PrimitiveOp::kCount, .input_stages = {1}});
+  return p;
+}
+
+inline Pipeline MakeJoin(uint32_t window_ms = 1000) {
+  Pipeline p("Join", window_ms);
+  p.NumStreams(2);
+  p.PerBatch(PrimitiveOp::kProject);
+  p.PerBatch(PrimitiveOp::kSort);
+  p.AtWindowClose({.op = PrimitiveOp::kMergeN, .input_stages = {-1}, .stream_filter = 0});
+  p.AtWindowClose({.op = PrimitiveOp::kMergeN, .input_stages = {-1}, .stream_filter = 1});
+  p.AtWindowClose({.op = PrimitiveOp::kJoin, .input_stages = {0, 1}});
+  return p;
+}
+
+inline Pipeline MakePower(uint32_t window_ms = 1000) {
+  Pipeline p("Power", window_ms, /*event_size=*/16);
+  p.PerBatch(PrimitiveOp::kProject);  // (house<<16|plug, power)
+  p.PerBatch(PrimitiveOp::kSort);
+  InvokeParams rekey;
+  rekey.shift = 16;  // (house<<16|plug) -> house
+  p.AtWindowClose({.op = PrimitiveOp::kMergeN, .input_stages = {-1}});
+  p.AtWindowClose({.op = PrimitiveOp::kSumCnt, .input_stages = {0}});
+  p.AtWindowClose({.op = PrimitiveOp::kAverage, .input_stages = {1}});    // avg power per plug
+  p.AtWindowClose({.op = PrimitiveOp::kAboveMean, .input_stages = {2}});  // high-power plugs
+  p.AtWindowClose({.op = PrimitiveOp::kRekey, .input_stages = {3}, .params = rekey});
+  p.AtWindowClose({.op = PrimitiveOp::kSort, .input_stages = {4}});
+  p.AtWindowClose({.op = PrimitiveOp::kCountPerKey, .input_stages = {5}});  // per house
+  return p;
+}
+
+}  // namespace sbt
+
+#endif  // SRC_CONTROL_BENCHMARKS_H_

@@ -1,0 +1,60 @@
+// End-to-end harness: Generator -> Runner/DataPlane -> results + audit verification.
+//
+// Drives a pipeline over a generated stream at maximum offered load (the paper's methodology:
+// report throughput sustained while output delay stays under target), then optionally replays
+// the audit records through the cloud verifier. Used by the integration tests, the benchmark
+// binaries, and the examples.
+
+#ifndef SRC_CONTROL_HARNESS_H_
+#define SRC_CONTROL_HARNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/attest/verifier.h"
+#include "src/control/engine.h"
+#include "src/control/pipeline.h"
+#include "src/control/runner.h"
+#include "src/net/generator.h"
+
+namespace sbt {
+
+struct HarnessResult {
+  Runner::Stats runner;
+  double seconds = 0;
+  size_t peak_memory_bytes = 0;
+  // Mean committed secure memory over the run (sampled): the "steady consumption" the paper
+  // annotates in Figures 7 and 10. Reclaim latency shows here, not in the peak.
+  size_t avg_memory_bytes = 0;
+  size_t event_size = 12;
+  VerifyReport verify;   // populated when verification requested
+  bool verified = false;
+  std::vector<WindowResult> window_results;
+  AuditUpload audit_upload;
+  DataPlaneCycleStats cycles;
+
+  double events_per_sec() const {
+    return seconds > 0 ? static_cast<double>(runner.events_ingested) / seconds : 0;
+  }
+  double mb_per_sec() const { return events_per_sec() * event_size / 1e6; }
+};
+
+struct HarnessOptions {
+  EngineVersion version = EngineVersion::kStreamBoxTz;
+  EngineOptions engine;
+  GeneratorConfig generator;  // keys/nonce are overwritten to match the engine's config
+  bool verify_audit = true;
+};
+
+// Runs one pipeline over one generated session. For two-stream pipelines (Join) a second
+// generator with seed+1 feeds stream 1 in lockstep.
+HarnessResult RunHarness(const Pipeline& pipeline, const HarnessOptions& options);
+
+// Decrypts an egress blob the way the cloud consumer would (per-blob CTR offsets are sequential
+// in egress order; pass the offset returned bookkeeping or re-derive for single-blob cases).
+std::vector<uint8_t> DecryptEgressBlob(const DataPlaneConfig& config, const EgressBlob& blob,
+                                       uint64_t ctr_offset);
+
+}  // namespace sbt
+
+#endif  // SRC_CONTROL_HARNESS_H_

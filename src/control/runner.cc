@@ -1,0 +1,290 @@
+#include "src/control/runner.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace sbt {
+namespace {
+
+// Lane bases keep intermediate, contribution, and close-stage uArrays in disjoint uGroup chains.
+constexpr uint32_t kWorkerLaneBase = 1u << 16;
+constexpr uint32_t kWindowLaneBase = 2u << 16;
+constexpr uint32_t kCloseLaneBase = 3u << 16;
+constexpr uint32_t kSegmentLaneBase = 4u << 16;
+constexpr uint32_t kLaneSlots = 512;
+
+}  // namespace
+
+Runner::Runner(DataPlane* data_plane, Pipeline pipeline, RunnerConfig config)
+    : dp_(data_plane), pipeline_(std::move(pipeline)), config_(config) {
+  SBT_CHECK(config_.num_workers > 0);
+  workers_.reserve(config_.num_workers);
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Runner::~Runner() {
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    stopping_ = true;
+  }
+  qcv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void Runner::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(qmu_);
+      qcv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) {
+        return;
+      }
+      // LIFO pickup: newest task first, like StreamBox's dynamic scheduler (cache-hot batches
+      // win; consumption start times of sibling outputs then vary widely — paper §6.2).
+      task = std::move(queue_.back());
+      queue_.pop_back();
+      ++active_tasks_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(qmu_);
+      --active_tasks_;
+      if (queue_.empty() && active_tasks_ == 0) {
+        drain_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void Runner::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    queue_.push_back(std::move(task));
+  }
+  qcv_.notify_one();
+}
+
+void Runner::NoteError(const Status& status) {
+  task_errors_.fetch_add(1, std::memory_order_relaxed);
+  SBT_LOG(Error) << "runner task failed: " << status.ToString();
+}
+
+Status Runner::IngestFrame(std::span<const uint8_t> frame, uint16_t stream,
+                           uint64_t ctr_offset) {
+  // Backpressure: stall the source while the secure pool is under pressure (paper §4.2).
+  while (config_.block_on_backpressure && dp_->ShouldBackpressure()) {
+    backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  SBT_ASSIGN_OR_RETURN(const OutputInfo batch,
+                       dp_->IngestBatch(frame, pipeline_.event_size(), stream,
+                                        config_.ingest_path, ctr_offset));
+  events_ingested_.fetch_add(batch.elems, std::memory_order_relaxed);
+  frames_ingested_.fetch_add(1, std::memory_order_relaxed);
+
+  // Segment synchronously so window membership is final before any later watermark. Segment
+  // outputs are handed to parallel chain workers -> consumed-in-parallel hint (one lane per
+  // output; the data plane spreads them).
+  InvokeRequest seg;
+  seg.op = PrimitiveOp::kSegment;
+  seg.inputs = {batch.ref};
+  seg.params.window_size_ms = pipeline_.window_size_ms();
+  seg.params.window_slide_ms = pipeline_.window_slide_ms();
+  seg.hint = LaneHint(kSegmentLaneBase +
+                      (next_worker_lane_.load(std::memory_order_relaxed) * 7) % kLaneSlots);
+  auto segments = dp_->Invoke(seg);
+  if (!segments.ok()) {
+    return segments.status();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(wmu_);
+    for (const OutputInfo& out : segments->outputs) {
+      WindowState& ws = windows_[out.win_no];
+      if (ws.contributions.empty()) {
+        ws.contributions.resize(pipeline_.num_streams());
+      }
+      ++ws.pending_chains;
+    }
+  }
+  for (const OutputInfo& out : segments->outputs) {
+    Enqueue([this, ref = out.ref, w = out.win_no, stream] { RunChain(ref, w, stream); });
+  }
+  return OkStatus();
+}
+
+void Runner::RunChain(OpaqueRef ref, uint32_t window_index, uint16_t stream) {
+  const uint32_t worker_lane =
+      kWorkerLaneBase + next_worker_lane_.fetch_add(1, std::memory_order_relaxed) % kLaneSlots;
+  OpaqueRef cur = ref;
+  const auto& chain = pipeline_.batch_chain();
+  for (size_t i = 0; i < chain.size(); ++i) {
+    InvokeRequest req;
+    req.op = chain[i].op;
+    req.params = chain[i].params;
+    req.inputs = {cur};
+    // Intermediates live in the worker's lane; the final contribution goes to its window's
+    // lane so the whole window reclaims together at close.
+    const bool last = (i + 1 == chain.size());
+    req.hint = LaneHint(last ? kWindowLaneBase + window_index % kLaneSlots : worker_lane);
+    auto resp = dp_->Invoke(req);
+    if (!resp.ok()) {
+      NoteError(resp.status());
+      return;
+    }
+    cur = resp->outputs[0].ref;
+  }
+
+  bool do_close = false;
+  WindowState closing;
+  {
+    std::lock_guard<std::mutex> lock(wmu_);
+    auto it = windows_.find(window_index);
+    SBT_CHECK(it != windows_.end());
+    WindowState& ws = it->second;
+    ws.contributions[stream].push_back(cur);
+    --ws.pending_chains;
+    if (ws.close_requested && !ws.close_enqueued && ws.pending_chains == 0) {
+      ws.close_enqueued = true;
+      do_close = true;
+      closing = std::move(ws);
+      windows_.erase(it);
+    }
+  }
+  if (do_close) {
+    Enqueue([this, window_index, state = std::move(closing)]() mutable {
+      CloseWindow(window_index, std::move(state));
+    });
+  }
+}
+
+Status Runner::AdvanceWatermark(EventTimeMs value) {
+  SBT_RETURN_IF_ERROR(dp_->IngestWatermark(value));
+  const ProcTimeUs now = NowUs();
+
+  std::vector<std::pair<uint32_t, WindowState>> to_close;
+  {
+    std::lock_guard<std::mutex> lock(wmu_);
+    for (auto it = windows_.begin(); it != windows_.end();) {
+      const uint64_t window_end = pipeline_.WindowEnd(it->first);
+      if (window_end > value || it->second.close_requested) {
+        ++it;
+        continue;
+      }
+      WindowState& ws = it->second;
+      ws.close_requested = true;
+      ws.watermark_time = now;
+      if (ws.pending_chains == 0) {
+        ws.close_enqueued = true;
+        to_close.emplace_back(it->first, std::move(ws));
+        it = windows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& [w, state] : to_close) {
+    Enqueue([this, w = w, state = std::move(state)]() mutable {
+      CloseWindow(w, std::move(state));
+    });
+  }
+  return OkStatus();
+}
+
+void Runner::CloseWindow(uint32_t window_index, WindowState state) {
+  const auto& stages = pipeline_.window_stages();
+  std::vector<std::vector<OpaqueRef>> stage_outputs(stages.size());
+  const HintRequest close_hint = LaneHint(kCloseLaneBase + window_index % kLaneSlots);
+
+  for (size_t j = 0; j < stages.size(); ++j) {
+    const WindowStageSpec& stage = stages[j];
+    std::vector<OpaqueRef> inputs;
+    for (int src : stage.input_stages) {
+      if (src < 0) {
+        for (size_t s = 0; s < state.contributions.size(); ++s) {
+          if (stage.stream_filter >= 0 && static_cast<int>(s) != stage.stream_filter) {
+            continue;
+          }
+          inputs.insert(inputs.end(), state.contributions[s].begin(),
+                        state.contributions[s].end());
+        }
+      } else if (static_cast<size_t>(src) < j) {
+        inputs.insert(inputs.end(), stage_outputs[src].begin(), stage_outputs[src].end());
+      }
+    }
+    if (inputs.empty()) {
+      continue;
+    }
+    InvokeRequest req;
+    req.op = stage.op;
+    req.params = stage.params;
+    req.inputs = std::move(inputs);
+    req.hint = close_hint;
+    auto resp = dp_->Invoke(req);
+    if (!resp.ok()) {
+      NoteError(resp.status());
+      return;
+    }
+    for (const OutputInfo& out : resp->outputs) {
+      stage_outputs[j].push_back(out.ref);
+    }
+  }
+
+  WindowResult result;
+  result.window_index = window_index;
+  result.watermark_time = state.watermark_time;
+  if (!stages.empty()) {
+    for (OpaqueRef ref : stage_outputs.back()) {
+      auto blob = dp_->Egress(ref);
+      if (!blob.ok()) {
+        NoteError(blob.status());
+        return;
+      }
+      result.blobs.push_back(std::move(*blob));
+    }
+  }
+  result.egress_time = NowUs();
+
+  const uint32_t delay = result.delay_ms();
+  uint32_t prev = max_delay_ms_.load(std::memory_order_relaxed);
+  while (delay > prev &&
+         !max_delay_ms_.compare_exchange_weak(prev, delay, std::memory_order_relaxed)) {
+  }
+  windows_emitted_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(rmu_);
+    results_.push_back(std::move(result));
+  }
+}
+
+void Runner::Drain() {
+  std::unique_lock<std::mutex> lock(qmu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && active_tasks_ == 0; });
+}
+
+std::vector<WindowResult> Runner::TakeResults() {
+  std::lock_guard<std::mutex> lock(rmu_);
+  std::vector<WindowResult> out;
+  out.swap(results_);
+  return out;
+}
+
+Runner::Stats Runner::stats() const {
+  Stats s;
+  s.events_ingested = events_ingested_.load(std::memory_order_relaxed);
+  s.frames_ingested = frames_ingested_.load(std::memory_order_relaxed);
+  s.windows_emitted = windows_emitted_.load(std::memory_order_relaxed);
+  s.task_errors = task_errors_.load(std::memory_order_relaxed);
+  s.max_delay_ms = max_delay_ms_.load(std::memory_order_relaxed);
+  s.backpressure_stalls = backpressure_stalls_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace sbt

@@ -1,0 +1,133 @@
+// The untrusted control plane runtime (paper §4.2).
+//
+// The Runner orchestrates pipeline execution: it ingests frames, asks the data plane to segment
+// them by window, fans the per-batch primitive chains out to a worker-thread pool, tracks
+// watermarks, and — when a watermark closes a window — executes the per-window stage DAG and
+// egresses the result. It holds *no* analytics data: everything it touches is an opaque
+// reference. Scheduling, queues, and synchronization all live here, outside the TEE.
+//
+// Consumption hints: intermediates are hinted into per-worker lanes (produced and consumed
+// back-to-back), window contributions into per-window lanes (reclaimed together at close) —
+// the placement strategy §6.2 describes. `use_hints=false` reproduces the Figure 10 baseline.
+
+#ifndef SRC_CONTROL_RUNNER_H_
+#define SRC_CONTROL_RUNNER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/control/pipeline.h"
+#include "src/core/data_plane.h"
+
+namespace sbt {
+
+struct RunnerConfig {
+  int num_workers = 4;
+  IngestPath ingest_path = IngestPath::kTrustedIo;
+  bool use_hints = true;
+  // Backpressure: stall ingestion while the data plane reports high pool utilization.
+  bool block_on_backpressure = true;
+};
+
+struct WindowResult {
+  uint32_t window_index = 0;
+  std::vector<EgressBlob> blobs;
+  ProcTimeUs watermark_time = 0;
+  ProcTimeUs egress_time = 0;
+
+  uint32_t delay_ms() const {
+    return static_cast<uint32_t>((egress_time - watermark_time) / 1000);
+  }
+};
+
+class Runner {
+ public:
+  Runner(DataPlane* data_plane, Pipeline pipeline, RunnerConfig config);
+  ~Runner();
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  // Ingests one event frame (bytes of `pipeline.event_size()` events). Blocks under
+  // backpressure. Thread-compatible: one ingesting thread per stream.
+  Status IngestFrame(std::span<const uint8_t> frame, uint16_t stream = 0,
+                     uint64_t ctr_offset = 0);
+
+  // Advances the (global) watermark: all windows ending at or before `value` close and their
+  // results are computed and egressed asynchronously.
+  Status AdvanceWatermark(EventTimeMs value);
+
+  // Blocks until all queued work (chains + window closes) has finished.
+  void Drain();
+
+  // Removes and returns finished window results.
+  std::vector<WindowResult> TakeResults();
+
+  struct Stats {
+    uint64_t events_ingested = 0;
+    uint64_t frames_ingested = 0;
+    uint64_t windows_emitted = 0;
+    uint64_t task_errors = 0;
+    uint32_t max_delay_ms = 0;
+    uint64_t backpressure_stalls = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct WindowState {
+    // Contribution refs per stream (index = stream id).
+    std::vector<std::vector<OpaqueRef>> contributions;
+    int pending_chains = 0;
+    bool close_requested = false;
+    bool close_enqueued = false;
+    ProcTimeUs watermark_time = 0;
+  };
+
+  void WorkerLoop();
+  void Enqueue(std::function<void()> task);
+  void RunChain(OpaqueRef ref, uint32_t window_index, uint16_t stream);
+  void CloseWindow(uint32_t window_index, WindowState state);
+  void NoteError(const Status& status);
+  HintRequest LaneHint(uint32_t lane) const {
+    return config_.use_hints ? HintRequest::Parallel(lane) : HintRequest::None();
+  }
+
+  DataPlane* dp_;
+  Pipeline pipeline_;
+  RunnerConfig config_;
+
+  // Task pool.
+  std::mutex qmu_;
+  std::condition_variable qcv_;
+  std::condition_variable drain_cv_;
+  std::deque<std::function<void()>> queue_;
+  int active_tasks_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  // Window bookkeeping.
+  std::mutex wmu_;
+  std::map<uint32_t, WindowState> windows_;
+
+  // Results.
+  std::mutex rmu_;
+  std::vector<WindowResult> results_;
+
+  std::atomic<uint64_t> events_ingested_{0};
+  std::atomic<uint64_t> frames_ingested_{0};
+  std::atomic<uint64_t> windows_emitted_{0};
+  std::atomic<uint64_t> task_errors_{0};
+  std::atomic<uint32_t> max_delay_ms_{0};
+  std::atomic<uint64_t> backpressure_stalls_{0};
+  std::atomic<uint32_t> next_worker_lane_{0};
+};
+
+}  // namespace sbt
+
+#endif  // SRC_CONTROL_RUNNER_H_

@@ -1,0 +1,425 @@
+#include "src/core/data_plane.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace sbt {
+namespace {
+
+// Ingress batches are placed in high-numbered per-stream lanes so they never share uGroups with
+// computation outputs.
+constexpr uint32_t kIngressLaneBase = 0x40000000u;
+
+// Cache maintenance on a world-shared buffer (OP-TEE flushes shared memory at the boundary so
+// the secure side reads coherent data). On x86 we flush the same lines explicitly.
+void FlushSharedBuffer(const uint8_t* data, size_t len) {
+#if defined(__x86_64__)
+  // Every other line: calibrated so the boundary-copy penalty lands in the paper's "up to ~20%"
+  // band for ingestion-dominated pipelines (full per-line flushing overshoots on x86, whose
+  // clflush is costlier than the A53's dc civac).
+  for (size_t i = 0; i < len; i += 256) {
+    __builtin_ia32_clflush(data + i);
+  }
+  __builtin_ia32_mfence();
+#else
+  (void)data;
+  (void)len;
+#endif
+}
+
+Status RequireInputCount(const InvokeRequest& request, size_t min_inputs, size_t max_inputs) {
+  if (request.inputs.size() < min_inputs || request.inputs.size() > max_inputs) {
+    return InvalidArgument("wrong number of inputs for " +
+                           std::string(PrimitiveOpName(request.op)));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+void DataPlane::UpdateAdaptiveThreshold() {
+  if (!config_.adaptive_backpressure) {
+    return;
+  }
+  const double util = world_.PoolUtilization();
+  const double prev = last_utilization_.exchange(util, std::memory_order_relaxed);
+  double threshold = adaptive_threshold_.load(std::memory_order_relaxed);
+  if (util > prev) {
+    // Pool filling: tighten proportionally to the growth rate so the source slows before a
+    // hard allocation failure.
+    threshold -= 2.0 * (util - prev);
+  } else {
+    // Pool draining or steady: relax toward the configured ceiling.
+    threshold += 0.01;
+  }
+  threshold = std::clamp(threshold, config_.adaptive_floor, config_.backpressure_threshold);
+  adaptive_threshold_.store(threshold, std::memory_order_relaxed);
+}
+
+DataPlane::DataPlane(const DataPlaneConfig& config)
+    : config_(config),
+      world_(config.partition),
+      gate_(config.switch_cost),
+      alloc_(&world_, config.placement),
+      ingress_cipher_(config.ingress_key,
+                      std::span<const uint8_t>(config.ingress_nonce.data(), 12)),
+      egress_cipher_(config.egress_key, std::span<const uint8_t>(config.egress_nonce.data(), 12)),
+      epoch_us_(NowUs()) {
+  adaptive_threshold_.store(config_.backpressure_threshold, std::memory_order_relaxed);
+}
+
+Result<PlacementHint> DataPlane::TranslateHint(const HintRequest& hint, AuditRecord* record) {
+  switch (hint.kind) {
+    case HintRequest::Kind::kNone:
+      return PlacementHint::None();
+    case HintRequest::Kind::kAfter: {
+      SBT_ASSIGN_OR_RETURN(const OpaqueRefTable::Entry entry, refs_.Resolve(hint.after));
+      record->hints.push_back(AuditHint::After(static_cast<uint32_t>(entry.array_id)));
+      return PlacementHint::After(entry.array_id);
+    }
+    case HintRequest::Kind::kParallel:
+      record->hints.push_back(AuditHint::Parallel(hint.lane));
+      return PlacementHint::Parallel(hint.lane);
+  }
+  return InvalidArgument("unknown hint kind");
+}
+
+OutputInfo DataPlane::RegisterOutput(UArray* array, uint16_t stream, AuditRecord* record,
+                                     uint32_t win_no) {
+  const OpaqueRef ref = refs_.Register(array->id(), stream);
+  record->outputs.push_back(static_cast<uint32_t>(array->id()));
+  OutputInfo info;
+  info.ref = ref;
+  info.elems = array->size();
+  info.win_no = win_no;
+  return info;
+}
+
+void DataPlane::AppendAudit(AuditRecord record) {
+  record.ts_ms = NowTs();
+  std::lock_guard<std::mutex> lock(audit_mu_);
+  const uint64_t t0 = ReadCycleCounter();  // after acquisition: count work, not contention
+  audit_log_.push_back(std::move(record));
+  audit_records_.fetch_add(1, std::memory_order_relaxed);
+  audit_cycles_.fetch_add(ReadCycleCounter() - t0, std::memory_order_relaxed);
+}
+
+Result<InvokeResponse> DataPlane::Invoke(const InvokeRequest& request) {
+  const uint64_t t0 = ReadCycleCounter();
+  auto session = gate_.Enter();
+
+  // Validate every operand reference before touching anything (boundary hardening).
+  std::vector<UArray*> inputs;
+  inputs.reserve(request.inputs.size());
+  uint16_t stream = 0;
+  AuditRecord record;
+  record.op = request.op;
+  for (size_t i = 0; i < request.inputs.size(); ++i) {
+    SBT_ASSIGN_OR_RETURN(const OpaqueRefTable::Entry entry, refs_.Resolve(request.inputs[i]));
+    UArray* array = alloc_.Find(entry.array_id);
+    if (array == nullptr) {
+      return Internal("live reference to reclaimed uArray");
+    }
+    if (i == 0) {
+      stream = entry.stream;
+    }
+    inputs.push_back(array);
+    record.inputs.push_back(static_cast<uint32_t>(entry.array_id));
+  }
+  record.stream = stream;
+
+  PrimitiveContext ctx;
+  ctx.alloc = &alloc_;
+  ctx.sort_impl = config_.sort_impl;
+  // Generation tag for the no-hint baseline: "all uArrays produced by the same primitive belong
+  // to the same generation" (paper §9.3, Figure 10's heuristic).
+  ctx.generation = static_cast<uint64_t>(request.op);
+  SBT_ASSIGN_OR_RETURN(ctx.hint, TranslateHint(request.hint, &record));
+
+  auto response = Dispatch(request, ctx, inputs, stream, &record);
+  if (response.ok()) {
+    if (request.retire_inputs) {
+      for (size_t i = 0; i < request.inputs.size(); ++i) {
+        refs_.Remove(request.inputs[i]);
+        alloc_.Retire(inputs[i]);
+      }
+    }
+    AppendAudit(std::move(record));
+  }
+  invoke_cycles_.fetch_add(ReadCycleCounter() - t0, std::memory_order_relaxed);
+  return response;
+}
+
+Result<InvokeResponse> DataPlane::Dispatch(const InvokeRequest& request,
+                                           const PrimitiveContext& ctx,
+                                           const std::vector<UArray*>& inputs, uint16_t stream,
+                                           AuditRecord* record) {
+  InvokeResponse response;
+  const InvokeParams& p = request.params;
+
+  auto single_output = [&](Result<UArray*> out) -> Result<InvokeResponse> {
+    if (!out.ok()) {
+      return out.status();
+    }
+    response.outputs.push_back(RegisterOutput(*out, stream, record));
+    return response;
+  };
+
+  switch (request.op) {
+    case PrimitiveOp::kSegment: {
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      const SlidingWindowFn window_fn{
+          p.window_size_ms,
+          p.window_slide_ms == 0 ? p.window_size_ms : p.window_slide_ms};
+      SBT_ASSIGN_OR_RETURN(auto segments, PrimSegment(ctx, *inputs[0], window_fn));
+      for (const SegmentOutput& seg : segments) {
+        response.outputs.push_back(
+            RegisterOutput(seg.events, stream, record, seg.window_index));
+        record->win_nos.push_back(static_cast<uint16_t>(seg.window_index));
+      }
+      return response;
+    }
+    case PrimitiveOp::kFilterBand:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimFilterBand(ctx, *inputs[0], p.lo, p.hi));
+    case PrimitiveOp::kSelect:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimSelect(ctx, *inputs[0], p.key));
+    case PrimitiveOp::kProject:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimProject(ctx, *inputs[0]));
+    case PrimitiveOp::kScale:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimScale(ctx, *inputs[0], p.factor));
+    case PrimitiveOp::kSample:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimSample(ctx, *inputs[0], p.stride));
+    case PrimitiveOp::kMinMax:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimMinMax(ctx, *inputs[0]));
+    case PrimitiveOp::kHistogram:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(
+          PrimHistogram(ctx, *inputs[0], p.hist_base, p.hist_width, p.hist_buckets));
+    case PrimitiveOp::kSum:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimSum(ctx, *inputs[0]));
+    case PrimitiveOp::kCount:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimCount(ctx, *inputs[0]));
+    case PrimitiveOp::kSort:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimSort(ctx, *inputs[0]));
+    case PrimitiveOp::kMerge:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 2, 2));
+      return single_output(PrimMerge(ctx, *inputs[0], *inputs[1]));
+    case PrimitiveOp::kMergeN: {
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 4096));
+      std::vector<const UArray*> ins(inputs.begin(), inputs.end());
+      return single_output(PrimMergeN(ctx, ins));
+    }
+    case PrimitiveOp::kSumCnt:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimSumCnt(ctx, *inputs[0]));
+    case PrimitiveOp::kMergeSumCnt:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 2, 2));
+      return single_output(PrimMergeSumCnt(ctx, *inputs[0], *inputs[1]));
+    case PrimitiveOp::kTopK:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimTopKPerKey(ctx, *inputs[0], p.k));
+    case PrimitiveOp::kUnique:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimUnique(ctx, *inputs[0]));
+    case PrimitiveOp::kCountPerKey:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimCountPerKey(ctx, *inputs[0]));
+    case PrimitiveOp::kMedian:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimMedianPerKey(ctx, *inputs[0]));
+    case PrimitiveOp::kDedup:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimDedup(ctx, *inputs[0]));
+    case PrimitiveOp::kJoin:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 2, 2));
+      return single_output(PrimJoin(ctx, *inputs[0], *inputs[1]));
+    case PrimitiveOp::kAverage:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimAverage(ctx, *inputs[0]));
+    case PrimitiveOp::kEwma:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 2, 2));
+      return single_output(PrimEwma(ctx, *inputs[0], *inputs[1], p.alpha_num, p.alpha_den));
+    case PrimitiveOp::kConcat: {
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 4096));
+      std::vector<const UArray*> ins(inputs.begin(), inputs.end());
+      return single_output(PrimConcat(ctx, ins));
+    }
+    case PrimitiveOp::kCompact:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimCompact(ctx, *inputs[0]));
+    case PrimitiveOp::kRekey:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimRekey(ctx, *inputs[0], p.shift));
+    case PrimitiveOp::kAboveMean:
+      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      return single_output(PrimAboveMean(ctx, *inputs[0]));
+    case PrimitiveOp::kIngress:
+    case PrimitiveOp::kEgress:
+    case PrimitiveOp::kWatermark:
+      break;
+  }
+  return InvalidArgument("not a dispatchable primitive");
+}
+
+Result<OutputInfo> DataPlane::IngestBatch(std::span<const uint8_t> frame, size_t elem_size,
+                                          uint16_t stream, IngestPath path,
+                                          uint64_t ctr_offset) {
+  const uint64_t t0 = ReadCycleCounter();
+  auto session = gate_.Enter();
+
+  if (elem_size == 0 || frame.size() % elem_size != 0) {
+    return InvalidArgument("ingress frame is not a whole number of events");
+  }
+  UpdateAdaptiveThreshold();
+
+  SBT_ASSIGN_OR_RETURN(
+      UArray * batch,
+      alloc_.Create(elem_size, UArrayScope::kStreaming,
+                    PlacementHint::Parallel(kIngressLaneBase + stream)));
+
+  if (path == IngestPath::kViaOs) {
+    // The untrusted OS received the frame; model the extra hop across the TEE boundary: a
+    // staging copy into the OS-side shared buffer plus the cache maintenance OP-TEE performs on
+    // world-shared memory before the secure side may read it.
+    std::vector<uint8_t> staging(frame.begin(), frame.end());
+    FlushSharedBuffer(staging.data(), staging.size());
+    SBT_RETURN_IF_ERROR(batch->Append(staging.data(), staging.size()));
+  } else {
+    // Trusted IO: the NIC DMA'd straight into secure memory; the single placement copy below is
+    // what native reception would also pay.
+    SBT_RETURN_IF_ERROR(batch->Append(frame.data(), frame.size()));
+  }
+
+  if (config_.decrypt_ingress) {
+    ingress_cipher_.Crypt(
+        std::span<uint8_t>(batch->mutable_data(), batch->size_bytes()), ctr_offset);
+  }
+  batch->Produce();
+
+  AuditRecord record;
+  record.op = PrimitiveOp::kIngress;
+  record.stream = stream;
+  const OutputInfo info = RegisterOutput(batch, stream, &record);
+  AppendAudit(std::move(record));
+  invoke_cycles_.fetch_add(ReadCycleCounter() - t0, std::memory_order_relaxed);
+  return info;
+}
+
+Status DataPlane::IngestWatermark(EventTimeMs value, uint16_t stream) {
+  auto session = gate_.Enter();
+  AuditRecord record;
+  record.op = PrimitiveOp::kWatermark;
+  record.watermark = value;
+  record.stream = stream;
+  AppendAudit(std::move(record));
+  return OkStatus();
+}
+
+Result<EgressBlob> DataPlane::Egress(OpaqueRef ref) {
+  const uint64_t t0 = ReadCycleCounter();
+  auto session = gate_.Enter();
+
+  SBT_ASSIGN_OR_RETURN(const OpaqueRefTable::Entry entry, refs_.Resolve(ref));
+  UArray* array = alloc_.Find(entry.array_id);
+  if (array == nullptr) {
+    return Internal("live reference to reclaimed uArray");
+  }
+
+  EgressBlob blob;
+  blob.elems = array->size();
+  blob.ciphertext.resize(array->size_bytes());
+  const uint64_t offset = egress_ctr_offset_.fetch_add(
+      (array->size_bytes() + kAesBlockSize - 1) / kAesBlockSize * kAesBlockSize,
+      std::memory_order_relaxed);
+  blob.ctr_offset = offset;
+  egress_cipher_.Crypt(std::span<const uint8_t>(array->data(), array->size_bytes()),
+                       std::span<uint8_t>(blob.ciphertext.data(), blob.ciphertext.size()),
+                       offset);
+  blob.mac = HmacSha256(std::span<const uint8_t>(config_.mac_key.data(), config_.mac_key.size()),
+                        std::span<const uint8_t>(blob.ciphertext.data(), blob.ciphertext.size()));
+
+  AuditRecord record;
+  record.op = PrimitiveOp::kEgress;
+  record.stream = entry.stream;
+  record.inputs.push_back(static_cast<uint32_t>(entry.array_id));
+  AppendAudit(std::move(record));
+
+  refs_.Remove(ref);
+  alloc_.Retire(array);
+  invoke_cycles_.fetch_add(ReadCycleCounter() - t0, std::memory_order_relaxed);
+  return blob;
+}
+
+Status DataPlane::Release(OpaqueRef ref) {
+  auto session = gate_.Enter();
+  SBT_ASSIGN_OR_RETURN(const OpaqueRefTable::Entry entry, refs_.Resolve(ref));
+  UArray* array = alloc_.Find(entry.array_id);
+  if (array == nullptr) {
+    return Internal("live reference to reclaimed uArray");
+  }
+  refs_.Remove(ref);
+  alloc_.Retire(array);
+  return OkStatus();
+}
+
+AuditUpload DataPlane::FlushAudit(std::vector<AuditRecord>* raw_records) {
+  auto session = gate_.Enter();
+  std::vector<AuditRecord> drained;
+  {
+    std::lock_guard<std::mutex> lock(audit_mu_);
+    drained.swap(audit_log_);
+  }
+  AuditUpload upload;
+  upload.record_count = drained.size();
+  upload.raw_bytes = RawAuditBatchBytes(drained);
+  upload.compressed = EncodeAuditBatch(drained);
+  upload.mac =
+      HmacSha256(std::span<const uint8_t>(config_.mac_key.data(), config_.mac_key.size()),
+                 std::span<const uint8_t>(upload.compressed.data(), upload.compressed.size()));
+  if (raw_records != nullptr) {
+    raw_records->insert(raw_records->end(), drained.begin(), drained.end());
+  }
+  return upload;
+}
+
+std::string DataPlane::DebugDump() const {
+  std::ostringstream os;
+  const SecureMemoryStats mem = world_.stats();
+  const AllocatorStats a = alloc_.stats();
+  os << "data plane: refs=" << refs_.live_count() << " arrays=" << a.live_arrays
+     << " groups=" << a.live_groups << " committed=" << (mem.committed_bytes >> 10)
+     << "KB peak=" << (mem.peak_committed >> 10) << "KB switches=" << gate_.stats().entries
+     << " audit_records=" << audit_records_.load();
+  return os.str();
+}
+
+DataPlaneCycleStats DataPlane::cycle_stats() const {
+  DataPlaneCycleStats s;
+  s.invoke_cycles = invoke_cycles_.load(std::memory_order_relaxed);
+  s.switch_cycles = gate_.stats().burned_cycles;
+  s.switch_entries = gate_.stats().entries;
+  s.memmgmt_cycles = alloc_.stats().cycles;
+  s.audit_cycles = audit_cycles_.load(std::memory_order_relaxed);
+  s.audit_records = audit_records_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void DataPlane::ResetCycleStats() {
+  invoke_cycles_.store(0, std::memory_order_relaxed);
+  audit_cycles_.store(0, std::memory_order_relaxed);
+  gate_.ResetStats();
+}
+
+}  // namespace sbt

@@ -1,0 +1,251 @@
+// The StreamBox-TZ data plane: everything inside the TEE (paper §3-§8).
+//
+// The data plane owns all analytics data (uArrays in secure memory), the trusted primitives, the
+// specialized allocator, and audit-record generation. Its boundary interface is deliberately
+// tiny — the paper exports four entry functions; this class mirrors them:
+//
+//    Init/finalize   -> constructor / destructor
+//    Debug           -> DebugDump()
+//    Invoke          -> Invoke(), one entry shared by all trusted primitives
+//
+// plus the ingress/egress paths (trusted IO in hardware; emulated here, see DESIGN.md):
+//
+//    IngestBatch / IngestWatermark / Egress / Release / FlushAudit
+//
+// Nothing shared crosses the boundary: operands are opaque references, results are opaque
+// references or ciphertext. All methods are thread-safe; the control plane's worker threads call
+// Invoke concurrently and primitives run in parallel over one cache-coherent secure space.
+
+#ifndef SRC_CORE_DATA_PLANE_H_
+#define SRC_CORE_DATA_PLANE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/attest/audit_record.h"
+#include "src/attest/compress.h"
+#include "src/common/event.h"
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/core/opaque_ref.h"
+#include "src/crypto/aes128.h"
+#include "src/crypto/sha256.h"
+#include "src/primitives/primitives.h"
+#include "src/tz/secure_world.h"
+#include "src/tz/world_switch.h"
+#include "src/uarray/allocator.h"
+
+namespace sbt {
+
+// How ingress data reaches the TEE (Table 5's engine versions).
+enum class IngestPath : uint8_t {
+  kTrustedIo = 0,  // TrustZone trusted IO: data lands directly in secure memory
+  kViaOs = 1,      // untrusted OS receives, then copies across the TEE boundary
+};
+
+struct DataPlaneConfig {
+  TzPartitionConfig partition;
+  WorldSwitchConfig switch_cost;
+  PlacementPolicy placement = PlacementPolicy::kHintGuided;
+  SortImpl sort_impl = SortImpl::kAuto;
+
+  // Ingress security (Table 5): decrypt AES-128-CTR frames on ingestion.
+  bool decrypt_ingress = true;
+  AesKey ingress_key{};
+  std::array<uint8_t, 12> ingress_nonce{};
+
+  // Egress: results are AES-CTR encrypted and HMAC-signed for the edge-cloud uplink.
+  AesKey egress_key{};
+  std::array<uint8_t, 12> egress_nonce{};
+  AesKey mac_key{};
+
+  // Backpressure threshold on secure pool utilization (paper §4.2).
+  double backpressure_threshold = 0.85;
+
+  // Automatic flow control (the paper's stated future work, §4.2): tune the threshold online
+  // from the pool-utilization trend. While committed memory grows faster than it reclaims the
+  // threshold tightens (push back early, before a hard allocation failure); while the pool
+  // drains it relaxes back toward `backpressure_threshold`.
+  bool adaptive_backpressure = false;
+  double adaptive_floor = 0.50;  // never tighten below this utilization
+};
+
+// Consumption hint expressed in boundary vocabulary (opaque refs, not uArray ids).
+struct HintRequest {
+  enum class Kind : uint8_t { kNone = 0, kAfter = 1, kParallel = 2 };
+  Kind kind = Kind::kNone;
+  OpaqueRef after = 0;
+  uint32_t lane = 0;
+
+  static HintRequest None() { return HintRequest{}; }
+  static HintRequest After(OpaqueRef ref) {
+    return HintRequest{Kind::kAfter, ref, 0};
+  }
+  static HintRequest Parallel(uint32_t lane) {
+    return HintRequest{Kind::kParallel, 0, lane};
+  }
+};
+
+// Parameters for the parameterized primitives; unused fields ignored.
+struct InvokeParams {
+  uint32_t window_size_ms = 0;   // Segment
+  uint32_t window_slide_ms = 0;  // Segment: 0 = fixed windows (slide == size)
+  uint32_t k = 0;               // TopK
+  int32_t lo = 0;               // FilterBand
+  int32_t hi = 0;
+  int32_t factor = 1;           // Scale
+  uint32_t stride = 1;          // Sample
+  uint32_t key = 0;             // Select
+  int32_t hist_base = 0;        // Histogram
+  uint32_t hist_width = 1;
+  uint32_t hist_buckets = 1;
+  uint32_t alpha_num = 1;       // Ewma
+  uint32_t alpha_den = 2;
+  uint32_t shift = 0;           // Rekey
+};
+
+struct InvokeRequest {
+  PrimitiveOp op = PrimitiveOp::kCompact;
+  std::vector<OpaqueRef> inputs;
+  InvokeParams params;
+  HintRequest hint;
+  // Streaming inputs are consumed (retired) by default; pass false to keep an input alive
+  // (operator state, shared reads).
+  bool retire_inputs = true;
+};
+
+struct OutputInfo {
+  OpaqueRef ref = 0;
+  uint64_t elems = 0;     // element count (the control plane schedules by batch size)
+  uint32_t win_no = 0;    // Segment outputs: window index
+};
+
+struct InvokeResponse {
+  std::vector<OutputInfo> outputs;
+};
+
+// Encrypted, signed result leaving the edge.
+struct EgressBlob {
+  std::vector<uint8_t> ciphertext;
+  Sha256Digest mac{};
+  uint64_t elems = 0;
+  // Position of this blob in the egress CTR keystream (would ride in the upload header).
+  uint64_t ctr_offset = 0;
+};
+
+// Signed audit upload (compressed columnar batch, paper §7).
+struct AuditUpload {
+  std::vector<uint8_t> compressed;
+  Sha256Digest mac{};
+  size_t raw_bytes = 0;  // pre-compression size, for ratio reporting
+  size_t record_count = 0;
+};
+
+// CPU-cycle breakdown for the Figure 9 run-time decomposition.
+struct DataPlaneCycleStats {
+  uint64_t invoke_cycles = 0;     // total cycles inside the TEE boundary
+  uint64_t switch_cycles = 0;     // world-switch cost (entry+exit burns)
+  uint64_t switch_entries = 0;    // number of TEE entries
+  uint64_t memmgmt_cycles = 0;    // allocator placement/reclaim
+  uint64_t audit_cycles = 0;      // audit-record generation
+  uint64_t audit_records = 0;
+};
+
+class DataPlane {
+ public:
+  explicit DataPlane(const DataPlaneConfig& config);
+
+  DataPlane(const DataPlane&) = delete;
+  DataPlane& operator=(const DataPlane&) = delete;
+
+  // --- the four boundary entry points (plus IO) ---
+
+  // Single shared entry for all trusted primitives.
+  Result<InvokeResponse> Invoke(const InvokeRequest& request);
+
+  // Ingests one event frame. With kTrustedIo the frame models a DMA landing in secure memory
+  // (single placement copy); with kViaOs an extra staging copy across the boundary is paid.
+  // `ctr_offset` is the frame's offset in the source's CTR keystream when decrypting.
+  Result<OutputInfo> IngestBatch(std::span<const uint8_t> frame, size_t elem_size,
+                                 uint16_t stream, IngestPath path, uint64_t ctr_offset = 0);
+
+  // Ingests a watermark (event-time progress signal) and records it for attestation.
+  Status IngestWatermark(EventTimeMs value, uint16_t stream = 0);
+
+  // Externalizes a result: encrypt + sign + audit; the reference is consumed.
+  Result<EgressBlob> Egress(OpaqueRef ref);
+
+  // Explicitly releases a reference (e.g. dropped window state).
+  Status Release(OpaqueRef ref);
+
+  // Drains accumulated audit records as a compressed, signed upload. Also returns the raw
+  // records (test/verifier plumbing; a deployment would only ship the blob).
+  AuditUpload FlushAudit(std::vector<AuditRecord>* raw_records = nullptr);
+
+  // Debug entry point (the paper's fourth TCB entry function).
+  std::string DebugDump() const;
+
+  // --- control-plane-visible status (safe aggregates, no data) ---
+
+  bool ShouldBackpressure() const {
+    return world_.PoolUtilization() > effective_backpressure_threshold();
+  }
+  // The currently active threshold (== the configured one unless adaptive control moved it).
+  double effective_backpressure_threshold() const {
+    return config_.adaptive_backpressure
+               ? adaptive_threshold_.load(std::memory_order_relaxed)
+               : config_.backpressure_threshold;
+  }
+  SecureMemoryStats memory_stats() const { return world_.stats(); }
+  WorldSwitchStats switch_stats() const { return gate_.stats(); }
+  DataPlaneCycleStats cycle_stats() const;
+  AllocatorStats allocator_stats() const { return alloc_.stats(); }
+  size_t live_refs() const { return refs_.live_count(); }
+
+  void ResetCycleStats();
+
+ private:
+  Result<InvokeResponse> Dispatch(const InvokeRequest& request, const PrimitiveContext& ctx,
+                                  const std::vector<UArray*>& inputs, uint16_t stream,
+                                  AuditRecord* record);
+  // Translates a boundary hint to an allocator hint + audit form.
+  Result<PlacementHint> TranslateHint(const HintRequest& hint, AuditRecord* record);
+  OutputInfo RegisterOutput(UArray* array, uint16_t stream, AuditRecord* record,
+                            uint32_t win_no = 0);
+  void AppendAudit(AuditRecord record);
+  uint32_t NowTs() const {
+    return static_cast<uint32_t>((NowUs() - epoch_us_) / 1000);
+  }
+
+  DataPlaneConfig config_;
+  SecureWorld world_;
+  WorldSwitchGate gate_;
+  UArrayAllocator alloc_;
+  OpaqueRefTable refs_;
+  Aes128Ctr ingress_cipher_;
+  Aes128Ctr egress_cipher_;
+  ProcTimeUs epoch_us_;
+
+  std::mutex audit_mu_;
+  std::vector<AuditRecord> audit_log_;
+
+  std::atomic<uint64_t> invoke_cycles_{0};
+  std::atomic<uint64_t> memmgmt_cycles_{0};
+  std::atomic<uint64_t> audit_cycles_{0};
+  std::atomic<uint64_t> audit_records_{0};
+  std::atomic<uint64_t> egress_ctr_offset_{0};
+
+  // Adaptive flow control state (see DataPlaneConfig::adaptive_backpressure).
+  void UpdateAdaptiveThreshold();
+  std::atomic<double> adaptive_threshold_{0.85};
+  std::atomic<double> last_utilization_{0.0};
+};
+
+}  // namespace sbt
+
+#endif  // SRC_CORE_DATA_PLANE_H_

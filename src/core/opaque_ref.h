@@ -1,0 +1,72 @@
+// Opaque references (paper §3.2, §8).
+//
+// The data plane never exposes secure pointers. After ingesting or producing a uArray it hands
+// the control plane a 64-bit random *opaque reference*; every subsequent request names its
+// operands by reference. The table tracks live references, validates incoming ones (a forged or
+// stale reference is rejected — the chance of guessing a live 64-bit value is ~#live / 2^64),
+// and maps them to internal uArray ids plus the stream tag used for audit records.
+
+#ifndef SRC_CORE_OPAQUE_REF_H_
+#define SRC_CORE_OPAQUE_REF_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace sbt {
+
+using OpaqueRef = uint64_t;
+
+class OpaqueRefTable {
+ public:
+  OpaqueRefTable() : rng_(UnpredictableSeed()) {}
+
+  struct Entry {
+    uint64_t array_id = 0;
+    uint16_t stream = 0;
+  };
+
+  // Registers a live uArray and returns its fresh reference.
+  OpaqueRef Register(uint64_t array_id, uint16_t stream) {
+    std::lock_guard<std::mutex> lock(mu_);
+    OpaqueRef ref = 0;
+    do {
+      ref = rng_.Next();
+    } while (ref == 0 || live_.contains(ref));
+    live_[ref] = Entry{array_id, stream};
+    return ref;
+  }
+
+  // Validates and resolves a reference. NotFound for anything not currently live.
+  Result<Entry> Resolve(OpaqueRef ref) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = live_.find(ref);
+    if (it == live_.end()) {
+      return NotFound("invalid opaque reference (rejected)");
+    }
+    return it->second;
+  }
+
+  // Removes a reference (its uArray was consumed/retired).
+  void Remove(OpaqueRef ref) {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_.erase(ref);
+  }
+
+  size_t live_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  SplitMix64 rng_;
+  std::unordered_map<OpaqueRef, Entry> live_;
+};
+
+}  // namespace sbt
+
+#endif  // SRC_CORE_OPAQUE_REF_H_

@@ -1,0 +1,67 @@
+// AES-128 block cipher and CTR-mode stream cipher, implemented from scratch (table-free,
+// byte-sliced S-box; no external dependencies so the whole cipher fits in the TCB accounting).
+//
+// Used for:
+//  - decrypting ingress data when the source-edge link is untrusted (paper §3.1),
+//  - encrypting egress results and audit-record uploads on the edge-cloud uplink.
+//
+// CTR mode is symmetric: Crypt() both encrypts and decrypts.
+
+#ifndef SRC_CRYPTO_AES128_H_
+#define SRC_CRYPTO_AES128_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace sbt {
+
+inline constexpr size_t kAesBlockSize = 16;
+inline constexpr size_t kAesKeySize = 16;
+inline constexpr size_t kAesRounds = 10;
+
+using AesKey = std::array<uint8_t, kAesKeySize>;
+using AesBlock = std::array<uint8_t, kAesBlockSize>;
+
+// Expanded key schedule for AES-128 (11 round keys).
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key);
+
+  // Encrypts one 16-byte block in place (ECB single block; building block for CTR).
+  void EncryptBlock(uint8_t block[kAesBlockSize]) const;
+
+  const uint8_t* round_keys() const { return round_keys_.data(); }
+
+ private:
+  // 11 round keys of 16 bytes each.
+  std::array<uint8_t, kAesBlockSize*(kAesRounds + 1)> round_keys_;
+};
+
+// True when the hardware AES path (AES-NI; the x86 stand-in for ARMv8's AESE/AESD — see
+// DESIGN.md substitutions) is available. The portable bitwise implementation is the fallback
+// and the reference for differential tests.
+bool HardwareAesSupported();
+
+// AES-128 in counter mode. The 16-byte initial counter block is nonce(12B) || counter(4B, BE).
+class Aes128Ctr {
+ public:
+  Aes128Ctr(const AesKey& key, std::span<const uint8_t> nonce12);
+
+  // XORs the keystream into `data` starting at stream offset `offset` bytes.
+  // Stateless w.r.t. calls: the same (key, nonce, offset) always produces the same keystream,
+  // so parallel workers can decrypt disjoint ranges independently.
+  void Crypt(std::span<uint8_t> data, uint64_t offset = 0) const;
+
+  // Convenience: out-of-place transform.
+  void Crypt(std::span<const uint8_t> in, std::span<uint8_t> out, uint64_t offset = 0) const;
+
+ private:
+  Aes128 cipher_;
+  std::array<uint8_t, 12> nonce_{};
+};
+
+}  // namespace sbt
+
+#endif  // SRC_CRYPTO_AES128_H_

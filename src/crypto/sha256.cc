@@ -1,0 +1,181 @@
+#include "src/crypto/sha256.h"
+
+#include <cstring>
+
+namespace sbt {
+namespace {
+
+constexpr uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2};
+
+inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+}  // namespace
+
+void Sha256::Reset() {
+  state_[0] = 0x6a09e667;
+  state_[1] = 0xbb67ae85;
+  state_[2] = 0x3c6ef372;
+  state_[3] = 0xa54ff53a;
+  state_[4] = 0x510e527f;
+  state_[5] = 0x9b05688c;
+  state_[6] = 0x1f83d9ab;
+  state_[7] = 0x5be0cd19;
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha256::ProcessBlock(const uint8_t block[kSha256BlockSize]) {
+  uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    const uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+
+  for (int i = 0; i < 64; ++i) {
+    const uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+    const uint32_t ch = (e & f) ^ (~e & g);
+    const uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
+    const uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+    const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const uint32_t temp2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256::Update(std::span<const uint8_t> data) {
+  total_bytes_ += data.size();
+  size_t pos = 0;
+  if (buffered_ > 0) {
+    const size_t need = kSha256BlockSize - buffered_;
+    const size_t take = std::min(need, data.size());
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    pos = take;
+    if (buffered_ == kSha256BlockSize) {
+      ProcessBlock(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (pos + kSha256BlockSize <= data.size()) {
+    ProcessBlock(data.data() + pos);
+    pos += kSha256BlockSize;
+  }
+  if (pos < data.size()) {
+    std::memcpy(buffer_, data.data() + pos, data.size() - pos);
+    buffered_ = data.size() - pos;
+  }
+}
+
+Sha256Digest Sha256::Finalize() {
+  // Padding: 0x80, zeros, 64-bit big-endian bit length.
+  const uint64_t bit_len = total_bytes_ * 8;
+  uint8_t pad[kSha256BlockSize * 2];
+  size_t pad_len = 0;
+  pad[pad_len++] = 0x80;
+  while ((buffered_ + pad_len) % kSha256BlockSize != 56) {
+    pad[pad_len++] = 0;
+  }
+  for (int i = 7; i >= 0; --i) {
+    pad[pad_len++] = static_cast<uint8_t>(bit_len >> (i * 8));
+  }
+  Update(std::span<const uint8_t>(pad, pad_len));
+
+  Sha256Digest digest;
+  for (int i = 0; i < 8; ++i) {
+    digest[i * 4] = static_cast<uint8_t>(state_[i] >> 24);
+    digest[i * 4 + 1] = static_cast<uint8_t>(state_[i] >> 16);
+    digest[i * 4 + 2] = static_cast<uint8_t>(state_[i] >> 8);
+    digest[i * 4 + 3] = static_cast<uint8_t>(state_[i]);
+  }
+  return digest;
+}
+
+Sha256Digest Sha256::Hash(std::span<const uint8_t> data) {
+  Sha256 h;
+  h.Update(data);
+  return h.Finalize();
+}
+
+Sha256Digest HmacSha256(std::span<const uint8_t> key, std::span<const uint8_t> message) {
+  uint8_t key_block[kSha256BlockSize] = {0};
+  if (key.size() > kSha256BlockSize) {
+    const Sha256Digest kh = Sha256::Hash(key);
+    std::memcpy(key_block, kh.data(), kh.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[kSha256BlockSize];
+  uint8_t opad[kSha256BlockSize];
+  for (size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(std::span<const uint8_t>(ipad, sizeof(ipad)));
+  inner.Update(message);
+  const Sha256Digest inner_digest = inner.Finalize();
+
+  Sha256 outer;
+  outer.Update(std::span<const uint8_t>(opad, sizeof(opad)));
+  outer.Update(std::span<const uint8_t>(inner_digest.data(), inner_digest.size()));
+  return outer.Finalize();
+}
+
+bool DigestEqual(const Sha256Digest& a, const Sha256Digest& b) {
+  uint8_t diff = 0;
+  for (size_t i = 0; i < kSha256DigestSize; ++i) {
+    diff |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+std::string DigestToHex(const Sha256Digest& digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(kSha256DigestSize * 2);
+  for (uint8_t b : digest) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace sbt

@@ -1,0 +1,55 @@
+// SHA-256 and HMAC-SHA256, implemented from scratch (FIPS 180-4 / RFC 2104).
+//
+// Used to sign egress results and compressed audit-record uploads so the cloud consumer can
+// verify both came from the attested data plane.
+
+#ifndef SRC_CRYPTO_SHA256_H_
+#define SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace sbt {
+
+inline constexpr size_t kSha256DigestSize = 32;
+inline constexpr size_t kSha256BlockSize = 64;
+
+using Sha256Digest = std::array<uint8_t, kSha256DigestSize>;
+
+// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(std::span<const uint8_t> data);
+  Sha256Digest Finalize();
+
+  // One-shot convenience.
+  static Sha256Digest Hash(std::span<const uint8_t> data);
+
+ private:
+  void ProcessBlock(const uint8_t block[kSha256BlockSize]);
+
+  uint32_t state_[8];
+  uint64_t total_bytes_ = 0;
+  uint8_t buffer_[kSha256BlockSize];
+  size_t buffered_ = 0;
+};
+
+// HMAC-SHA256 (RFC 2104). Keys longer than the block size are hashed first.
+Sha256Digest HmacSha256(std::span<const uint8_t> key, std::span<const uint8_t> message);
+
+// Constant-time digest comparison (avoids a trivially exploitable timing oracle on the
+// verification path).
+bool DigestEqual(const Sha256Digest& a, const Sha256Digest& b);
+
+// Lowercase hex rendering, for logs and golden tests.
+std::string DigestToHex(const Sha256Digest& digest);
+
+}  // namespace sbt
+
+#endif  // SRC_CRYPTO_SHA256_H_

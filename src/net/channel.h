@@ -1,0 +1,81 @@
+// In-process frame transport: the ZeroMQ-TCP stand-in (see DESIGN.md substitutions).
+//
+// A bounded MPSC queue of framed byte buffers with the same push/pull shape the paper's
+// Generator -> engine link has. Watermarks travel in-band, after all events they cover —
+// exactly the ordering contract stream sources provide.
+
+#ifndef SRC_NET_CHANNEL_H_
+#define SRC_NET_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace sbt {
+
+struct Frame {
+  std::vector<uint8_t> bytes;  // raw (possibly encrypted) event payload
+  uint16_t stream = 0;
+  uint64_t ctr_offset = 0;     // source CTR keystream position for this frame
+  bool is_watermark = false;
+  EventTimeMs watermark = 0;
+};
+
+class FrameChannel {
+ public:
+  explicit FrameChannel(size_t capacity = 64) : capacity_(capacity) {}
+
+  // Blocks while full; returns false if the channel was closed.
+  bool Push(Frame frame) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_push_.wait(lock, [this] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) {
+      return false;
+    }
+    queue_.push_back(std::move(frame));
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  // Blocks while empty; nullopt once closed and drained.
+  std::optional<Frame> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_pop_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    Frame f = std::move(queue_.front());
+    queue_.pop_front();
+    cv_push_.notify_one();
+    return f;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cv_pop_.notify_all();
+    cv_push_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_push_;
+  std::condition_variable cv_pop_;
+  std::deque<Frame> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace sbt
+
+#endif  // SRC_NET_CHANNEL_H_

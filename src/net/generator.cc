@@ -1,0 +1,53 @@
+#include "src/net/generator.h"
+
+#include <algorithm>
+
+namespace sbt {
+
+std::optional<Frame> Generator::NextFrame() {
+  // Emit queued watermarks once they are older than the configured lag (all of them once the
+  // event stream is exhausted).
+  const bool stream_done = window_ >= config_.num_windows;
+  if (!pending_watermarks_.empty() &&
+      (stream_done || pending_watermarks_.size() > config_.watermark_lag_windows)) {
+    Frame wm;
+    wm.is_watermark = true;
+    wm.watermark = pending_watermarks_.front();
+    pending_watermarks_.pop_front();
+    return wm;
+  }
+  if (stream_done) {
+    return std::nullopt;
+  }
+
+  const uint32_t remaining = config_.workload.events_per_window - event_in_window_;
+  const uint32_t count = std::min(config_.batch_events, remaining);
+  Frame frame;
+  frame.ctr_offset = ctr_offset_;
+  workload_.FillFrame(window_, event_in_window_, count, &frame.bytes);
+  if (config_.encrypt) {
+    cipher_.Crypt(std::span<uint8_t>(frame.bytes.data(), frame.bytes.size()), ctr_offset_);
+  }
+  ctr_offset_ += frame.bytes.size();
+  event_in_window_ += count;
+  events_emitted_ += count;
+  if (event_in_window_ >= config_.workload.events_per_window) {
+    // The watermark covering this window becomes eligible (possibly after a lag).
+    pending_watermarks_.push_back(static_cast<EventTimeMs>(
+        static_cast<uint64_t>(window_ + 1) * config_.workload.window_ms));
+    ++window_;
+    event_in_window_ = 0;
+  }
+  return frame;
+}
+
+void Generator::RunInto(FrameChannel* channel) {
+  while (auto frame = NextFrame()) {
+    if (!channel->Push(std::move(*frame))) {
+      break;
+    }
+  }
+  channel->Close();
+}
+
+}  // namespace sbt

@@ -1,0 +1,92 @@
+#include "src/net/workloads.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sbt {
+
+void WorkloadGenerator::FillFrame(uint32_t window_index, uint32_t first_event, uint32_t count,
+                                  std::vector<uint8_t>* out) {
+  const size_t elem = event_size();
+  const size_t start = out->size();
+  out->resize(start + static_cast<size_t>(count) * elem);
+  uint8_t* dst = out->data() + start;
+
+  switch (config_.kind) {
+    case WorkloadKind::kSynthetic: {
+      for (uint32_t i = 0; i < count; ++i) {
+        Event e;
+        e.ts_ms = EventTime(window_index, first_event + i);
+        e.key = static_cast<uint32_t>(rng_.NextBelow(config_.num_keys));
+        e.value = static_cast<int32_t>(rng_.Next32());
+        std::memcpy(dst, &e, sizeof(e));
+        dst += sizeof(e);
+      }
+      break;
+    }
+    case WorkloadKind::kTaxi: {
+      // 11K distinct taxi ids (paper's DEBS'15 workload); popularity is a crude Zipf: 20% of
+      // taxis carry 80% of events.
+      constexpr uint32_t kTaxis = 11000;
+      const uint32_t hot = kTaxis / 5;
+      for (uint32_t i = 0; i < count; ++i) {
+        Event e;
+        e.ts_ms = EventTime(window_index, first_event + i);
+        const bool is_hot = rng_.NextBelow(100) < 80;
+        e.key = is_hot ? static_cast<uint32_t>(rng_.NextBelow(hot))
+                       : hot + static_cast<uint32_t>(rng_.NextBelow(kTaxis - hot));
+        e.value = static_cast<int32_t>(rng_.NextBelow(500));  // trip meters
+        std::memcpy(dst, &e, sizeof(e));
+        dst += sizeof(e);
+      }
+      break;
+    }
+    case WorkloadKind::kIntelLab: {
+      // Bounded random walk around room-temperature-scale readings (Intel Lab style).
+      for (uint32_t i = 0; i < count; ++i) {
+        walk_value_ += static_cast<int32_t>(rng_.NextBelow(11)) - 5;
+        walk_value_ = std::clamp(walk_value_, 0, 1000);
+        Event e;
+        e.ts_ms = EventTime(window_index, first_event + i);
+        e.key = static_cast<uint32_t>(rng_.NextBelow(54));  // 54 motes in the lab deployment
+        e.value = walk_value_;
+        std::memcpy(dst, &e, sizeof(e));
+        dst += sizeof(e);
+      }
+      break;
+    }
+    case WorkloadKind::kFilterable: {
+      for (uint32_t i = 0; i < count; ++i) {
+        Event e;
+        e.ts_ms = EventTime(window_index, first_event + i);
+        e.key = static_cast<uint32_t>(rng_.NextBelow(config_.num_keys));
+        e.value = static_cast<int32_t>(rng_.NextBelow(10000));  // [0,100) selects ~1%
+        std::memcpy(dst, &e, sizeof(e));
+        dst += sizeof(e);
+      }
+      break;
+    }
+    case WorkloadKind::kPowerGrid: {
+      // Heavy-tailed plug loads: mostly idle-to-moderate, a few heavy appliances.
+      for (uint32_t i = 0; i < count; ++i) {
+        PowerEvent e;
+        e.ts_ms = EventTime(window_index, first_event + i);
+        e.house = static_cast<uint32_t>(rng_.NextBelow(config_.num_houses));
+        e.plug = static_cast<uint32_t>(rng_.NextBelow(config_.plugs_per_house));
+        const uint64_t r = rng_.NextBelow(100);
+        if (r < 70) {
+          e.power = static_cast<int32_t>(rng_.NextBelow(60));  // idle / standby
+        } else if (r < 95) {
+          e.power = 60 + static_cast<int32_t>(rng_.NextBelow(500));
+        } else {
+          e.power = 1000 + static_cast<int32_t>(rng_.NextBelow(2500));  // oven, heater
+        }
+        std::memcpy(dst, &e, sizeof(e));
+        dst += sizeof(e);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace sbt

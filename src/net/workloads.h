@@ -1,0 +1,72 @@
+// Workload generators for the paper's six benchmarks (§9.2).
+//
+// Real datasets are replaced by statistically matched synthetic generators (see DESIGN.md):
+//   - Taxi (DEBS'15): 11K distinct taxi ids, Zipf-ish popularity
+//   - Intel Lab: bounded random-walk sensor values
+//   - Power grid (DEBS'14): house/plug hierarchy with heavy-tailed loads (16-byte events)
+//   - Synthetic: uniform random 32-bit fields (TopK / Join / Filter)
+// Only distribution shape (key cardinality, skew, value range) affects the benchmarked
+// operators; SBT's sort-merge GroupBy is key-skew insensitive (paper §9.2).
+
+#ifndef SRC_NET_WORKLOADS_H_
+#define SRC_NET_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/event.h"
+#include "src/common/rng.h"
+
+namespace sbt {
+
+enum class WorkloadKind : uint8_t {
+  kSynthetic = 0,  // uniform keys/values (TopK, Join)
+  kTaxi = 1,       // 11K distinct taxi ids (Distinct)
+  kIntelLab = 2,   // sensor-value random walk (WinSum)
+  kFilterable = 3, // values uniform in [0, 10000) so [0, 100) selects ~1% (Filter)
+  kPowerGrid = 4,  // PowerEvent stream (Power)
+};
+
+struct WorkloadConfig {
+  WorkloadKind kind = WorkloadKind::kSynthetic;
+  uint64_t seed = 1;
+  uint32_t window_ms = 1000;
+  uint32_t events_per_window = 1u << 20;  // paper: 1M events per 1s window
+  uint32_t num_keys = 10000;              // synthetic key cardinality
+  uint32_t num_houses = 40;               // power grid
+  uint32_t plugs_per_house = 50;
+};
+
+// Generates frames of consecutive events. Events within a window carry evenly spaced event
+// times, matching the paper's replay harness.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadConfig& config)
+      : config_(config), rng_(config.seed), walk_value_(500) {}
+
+  size_t event_size() const {
+    return config_.kind == WorkloadKind::kPowerGrid ? sizeof(PowerEvent) : sizeof(Event);
+  }
+
+  // Appends `count` events belonging to `window_index` into `out` (raw bytes).
+  void FillFrame(uint32_t window_index, uint32_t first_event, uint32_t count,
+                 std::vector<uint8_t>* out);
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  EventTimeMs EventTime(uint32_t window_index, uint32_t event_in_window) const {
+    const uint64_t offset = static_cast<uint64_t>(event_in_window) * config_.window_ms /
+                            config_.events_per_window;
+    return static_cast<EventTimeMs>(
+        static_cast<uint64_t>(window_index) * config_.window_ms + offset);
+  }
+
+  WorkloadConfig config_;
+  Xoshiro256 rng_;
+  int32_t walk_value_;
+};
+
+}  // namespace sbt
+
+#endif  // SRC_NET_WORKLOADS_H_

@@ -1,0 +1,71 @@
+#include "src/primitives/registry.h"
+
+namespace sbt {
+
+std::string_view PrimitiveOpName(PrimitiveOp op) {
+  switch (op) {
+    case PrimitiveOp::kIngress:
+      return "INGRESS";
+    case PrimitiveOp::kEgress:
+      return "EGRESS";
+    case PrimitiveOp::kWatermark:
+      return "WATERMARK";
+    case PrimitiveOp::kSort:
+      return "SORT";
+    case PrimitiveOp::kMerge:
+      return "MERGE";
+    case PrimitiveOp::kMergeN:
+      return "MERGE_N";
+    case PrimitiveOp::kSegment:
+      return "SEGMENT";
+    case PrimitiveOp::kSumCnt:
+      return "SUM_CNT";
+    case PrimitiveOp::kMergeSumCnt:
+      return "MERGE_SUM_CNT";
+    case PrimitiveOp::kTopK:
+      return "TOP_K";
+    case PrimitiveOp::kConcat:
+      return "CONCAT";
+    case PrimitiveOp::kJoin:
+      return "JOIN";
+    case PrimitiveOp::kCount:
+      return "COUNT";
+    case PrimitiveOp::kSum:
+      return "SUM";
+    case PrimitiveOp::kUnique:
+      return "UNIQUE";
+    case PrimitiveOp::kFilterBand:
+      return "FILTER_BAND";
+    case PrimitiveOp::kMedian:
+      return "MEDIAN";
+    case PrimitiveOp::kSelect:
+      return "SELECT";
+    case PrimitiveOp::kProject:
+      return "PROJECT";
+    case PrimitiveOp::kScale:
+      return "SCALE";
+    case PrimitiveOp::kMinMax:
+      return "MIN_MAX";
+    case PrimitiveOp::kAverage:
+      return "AVERAGE";
+    case PrimitiveOp::kHistogram:
+      return "HISTOGRAM";
+    case PrimitiveOp::kDedup:
+      return "DEDUP";
+    case PrimitiveOp::kSample:
+      return "SAMPLE";
+    case PrimitiveOp::kEwma:
+      return "EWMA";
+    case PrimitiveOp::kCountPerKey:
+      return "COUNT_PER_KEY";
+    case PrimitiveOp::kCompact:
+      return "COMPACT";
+    case PrimitiveOp::kRekey:
+      return "REKEY";
+    case PrimitiveOp::kAboveMean:
+      return "ABOVE_MEAN";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace sbt

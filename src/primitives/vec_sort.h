@@ -1,0 +1,46 @@
+// Vectorized sort and merge kernels (paper §5 "Trusted primitives and vectorization").
+//
+// The paper hand-writes ARMv8 NEON kernels; on this x86-64 host we hand-write the AVX2
+// equivalents with the same structure — in-register sorting networks for short blocks plus a
+// bitonic two-run merge — and keep a portable scalar bottom-up mergesort as the fallback. For
+// large monolithic sorts the fast path switches to an LSD radix sort (sequential digit passes,
+// bounded tables), which is how one maximizes an array sort inside a TEE on this ISA; the SIMD
+// kernels still carry every merge and all small sorts. The implementation sorts signed 64-bit
+// words (see kv.h for why records pack into that order).
+//
+// Entry points dispatch on CPU features once at startup; benchmarks can force a path to measure
+// the speedup (bench/vectorize_sort reproduces the paper's 2x/7x claims against std::sort and
+// libc qsort).
+
+#ifndef SRC_PRIMITIVES_VEC_SORT_H_
+#define SRC_PRIMITIVES_VEC_SORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace sbt {
+
+enum class SortImpl : uint8_t {
+  kAuto = 0,    // AVX2 when available, else scalar
+  kVector = 1,  // force the AVX2 kernels (callers must know AVX2 exists)
+  kScalar = 2,  // force the portable mergesort
+};
+
+// True when the AVX2 kernels are usable on this CPU.
+bool VectorSortSupported();
+
+// Sorts `data` ascending (signed). O(n log n) bottom-up mergesort; sequential access only;
+// uses `scratch` (same length) as the ping-pong buffer.
+void SortI64(std::span<int64_t> data, std::span<int64_t> scratch, SortImpl impl = SortImpl::kAuto);
+
+// Merges two sorted runs into `out` (out.size() == a.size() + b.size()).
+void MergeI64(std::span<const int64_t> a, std::span<const int64_t> b, std::span<int64_t> out,
+              SortImpl impl = SortImpl::kAuto);
+
+// Convenience for tests: true if ascending.
+bool IsSortedI64(std::span<const int64_t> data);
+
+}  // namespace sbt
+
+#endif  // SRC_PRIMITIVES_VEC_SORT_H_

@@ -1,0 +1,255 @@
+#include "src/tz/secure_world.h"
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+#ifndef MFD_CLOEXEC
+#define MFD_CLOEXEC 0x0001U
+#endif
+
+namespace sbt {
+namespace {
+
+// memfd_create via syscall for portability across libc versions.
+int CreateMemfd(const char* name) {
+#if defined(__linux__)
+  return static_cast<int>(syscall(SYS_memfd_create, name, MFD_CLOEXEC));
+#else
+  (void)name;
+  errno = ENOSYS;
+  return -1;
+#endif
+}
+
+}  // namespace
+
+SecureWorld::SecureWorld(const TzPartitionConfig& config) : config_(config) {
+  SBT_CHECK(config_.Valid());
+  pool_frames_ = config_.secure_dram_bytes / config_.secure_page_bytes;
+
+  memfd_ = CreateMemfd("sbt_secure_dram");
+  SBT_CHECK(memfd_ >= 0);
+  SBT_CHECK(ftruncate(memfd_, static_cast<off_t>(config_.secure_dram_bytes)) == 0);
+
+  free_list_.reserve(pool_frames_);
+  // LIFO free list; pushing in reverse makes early allocations low-numbered and contiguous,
+  // which lets the kernel merge adjacent VMAs for sequential growth.
+  for (size_t i = pool_frames_; i > 0; --i) {
+    free_list_.push_back(static_cast<uint32_t>(i - 1));
+  }
+}
+
+SecureWorld::~SecureWorld() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SBT_CHECK(live_ranges_.empty() && "VirtualRanges must not outlive their SecureWorld");
+  }
+  if (memfd_ >= 0) {
+    close(memfd_);
+  }
+}
+
+size_t SecureWorld::free_frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_list_.size();
+}
+
+Result<VirtualRange> SecureWorld::Reserve(size_t capacity) {
+  const size_t page = page_bytes();
+  const size_t rounded = (capacity + page - 1) / page * page;
+  if (rounded == 0) {
+    return InvalidArgument("cannot reserve an empty range");
+  }
+
+  void* base = mmap(nullptr, rounded, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE,
+                    -1, 0);
+  if (base == MAP_FAILED) {
+    return ResourceExhausted("virtual address space reservation failed");
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_ranges_.push_back(LiveRange{static_cast<uint8_t*>(base), rounded});
+  }
+  return VirtualRange(this, static_cast<uint8_t*>(base), rounded);
+}
+
+bool SecureWorld::IsSecureAddress(const void* ptr) const {
+  const uint8_t* p = static_cast<const uint8_t*>(ptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const LiveRange& r : live_ranges_) {
+    if (p >= r.base && p < r.base + r.capacity) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SecureMemoryStats SecureWorld::stats() const {
+  SecureMemoryStats s;
+  s.pool_bytes = config_.secure_dram_bytes;
+  s.committed_bytes = committed_bytes_.load(std::memory_order_relaxed);
+  s.peak_committed = peak_committed_.load(std::memory_order_relaxed);
+  s.page_faults = page_faults_.load(std::memory_order_relaxed);
+  s.reclaims = reclaims_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const LiveRange& r : live_ranges_) {
+      s.reserved_virtual += r.capacity;
+    }
+  }
+  return s;
+}
+
+double SecureWorld::PoolUtilization() const {
+  return static_cast<double>(committed_bytes_.load(std::memory_order_relaxed)) /
+         static_cast<double>(config_.secure_dram_bytes);
+}
+
+Result<uint32_t> SecureWorld::AllocFrame() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_list_.empty()) {
+    return ResourceExhausted("secure DRAM pool exhausted");
+  }
+  const uint32_t frame = free_list_.back();
+  free_list_.pop_back();
+  return frame;
+}
+
+void SecureWorld::FreeFrame(uint32_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SBT_CHECK(frame < pool_frames_);
+  free_list_.push_back(frame);
+}
+
+Status SecureWorld::MapFrame(uint32_t frame, uint8_t* addr) {
+  const size_t page = page_bytes();
+  void* mapped = mmap(addr, page, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_FIXED, memfd_,
+                      static_cast<off_t>(static_cast<uint64_t>(frame) * page));
+  if (mapped == MAP_FAILED) {
+    return Internal(std::string("secure page map failed: ") + std::strerror(errno));
+  }
+  const size_t committed =
+      committed_bytes_.fetch_add(page, std::memory_order_relaxed) + page;
+  size_t peak = peak_committed_.load(std::memory_order_relaxed);
+  while (committed > peak &&
+         !peak_committed_.compare_exchange_weak(peak, committed, std::memory_order_relaxed)) {
+  }
+  page_faults_.fetch_add(1, std::memory_order_relaxed);
+  return OkStatus();
+}
+
+void SecureWorld::UnmapSpan(uint8_t* addr, size_t bytes) {
+  // Re-establish the inaccessible reservation so the range stays contiguous. One syscall per
+  // reclaim span, not per page: in-TEE reclaim is a page-table update, not a VMA churn.
+  void* mapped = mmap(addr, bytes, PROT_NONE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_FIXED, -1, 0);
+  SBT_CHECK(mapped != MAP_FAILED);
+  committed_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  reclaims_.fetch_add(bytes / page_bytes(), std::memory_order_relaxed);
+}
+
+void SecureWorld::UnregisterRange(const VirtualRange* range, uint8_t* base, size_t capacity) {
+  (void)range;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < live_ranges_.size(); ++i) {
+    if (live_ranges_[i].base == base) {
+      live_ranges_[i] = live_ranges_.back();
+      live_ranges_.pop_back();
+      munmap(base, capacity);
+      return;
+    }
+  }
+  SBT_CHECK(false && "unregistering an unknown range");
+}
+
+VirtualRange& VirtualRange::operator=(VirtualRange&& other) noexcept {
+  if (this != &other) {
+    ReleaseAll();
+    if (world_ != nullptr && base_ != nullptr) {
+      world_->UnregisterRange(this, base_, capacity_);
+    }
+    world_ = other.world_;
+    base_ = other.base_;
+    capacity_ = other.capacity_;
+    committed_begin_ = other.committed_begin_;
+    committed_end_ = other.committed_end_;
+    frames_ = std::move(other.frames_);
+    first_page_ = other.first_page_;
+    other.world_ = nullptr;
+    other.base_ = nullptr;
+    other.capacity_ = 0;
+    other.committed_begin_ = 0;
+    other.committed_end_ = 0;
+    other.frames_.clear();
+    other.first_page_ = 0;
+  }
+  return *this;
+}
+
+VirtualRange::~VirtualRange() {
+  ReleaseAll();
+  if (world_ != nullptr && base_ != nullptr) {
+    world_->UnregisterRange(this, base_, capacity_);
+    base_ = nullptr;
+    world_ = nullptr;
+  }
+}
+
+Status VirtualRange::EnsureBacked(size_t end_offset) {
+  SBT_CHECK(world_ != nullptr);
+  if (end_offset > capacity_) {
+    return OutOfRange("uArray grew past its uGroup's virtual reservation");
+  }
+  const size_t page = world_->page_bytes();
+  while (committed_end_ < end_offset) {
+    SBT_ASSIGN_OR_RETURN(const uint32_t frame, world_->AllocFrame());
+    const Status mapped = world_->MapFrame(frame, base_ + committed_end_);
+    if (!mapped.ok()) {
+      world_->FreeFrame(frame);
+      return mapped;
+    }
+    if (frames_.empty()) {
+      first_page_ = committed_end_ / page;
+    }
+    frames_.push_back(frame);
+    committed_end_ += page;
+  }
+  return OkStatus();
+}
+
+void VirtualRange::ReleaseHead(size_t begin_offset) {
+  SBT_CHECK(world_ != nullptr);
+  const size_t page = world_->page_bytes();
+  const size_t reclaim_end = std::min(begin_offset, committed_end_) / page * page;
+  if (committed_begin_ >= reclaim_end) {
+    return;
+  }
+  world_->UnmapSpan(base_ + committed_begin_, reclaim_end - committed_begin_);
+  while (committed_begin_ < reclaim_end) {
+    const size_t page_index = committed_begin_ / page;
+    SBT_CHECK(page_index >= first_page_ && page_index - first_page_ < frames_.size());
+    world_->FreeFrame(frames_[page_index - first_page_]);
+    committed_begin_ += page;
+  }
+}
+
+void VirtualRange::ReleaseAll() {
+  if (world_ == nullptr || base_ == nullptr) {
+    return;
+  }
+  ReleaseHead(committed_end_);
+  frames_.clear();
+  committed_begin_ = committed_end_ = 0;
+  first_page_ = 0;
+}
+
+}  // namespace sbt

@@ -1,0 +1,98 @@
+// World-switch (SMC) cost model and accounting.
+//
+// Every invocation of the data plane crosses the normal/secure boundary twice (entry + exit).
+// On the paper's platform the hardware part is a few thousand cycles and most of the cost is
+// OP-TEE's software path. The emulation burns a calibrated number of cycles at each crossing so
+// that batching trade-offs (Figure 9) reproduce: with small input batches the switch rate is
+// high and dominates; at >=128K events/batch compute is >90% of CPU time.
+//
+// The gate also keeps entry counters and cycle totals, which the run-time breakdown benchmarks
+// read directly.
+
+#ifndef SRC_TZ_WORLD_SWITCH_H_
+#define SRC_TZ_WORLD_SWITCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/time.h"
+
+namespace sbt {
+
+struct WorldSwitchConfig {
+  // Cycles burned on entry (SMC trap + OP-TEE dispatch) and on exit (return path).
+  // Defaults model the paper's observation that OP-TEE's software path dominates the cost
+  // (the hardware SMC itself is only a few thousand cycles).
+  uint64_t entry_cycles = 150000;
+  uint64_t exit_cycles = 150000;
+
+  static WorldSwitchConfig Disabled() { return WorldSwitchConfig{0, 0}; }
+};
+
+struct WorldSwitchStats {
+  uint64_t entries = 0;
+  uint64_t burned_cycles = 0;
+};
+
+class WorldSwitchGate {
+ public:
+  explicit WorldSwitchGate(const WorldSwitchConfig& config = WorldSwitchConfig{})
+      : config_(config) {}
+
+  // RAII session: constructor pays the entry cost, destructor the exit cost.
+  class Session {
+   public:
+    explicit Session(WorldSwitchGate* gate) : gate_(gate) { gate_->PayEntry(); }
+    ~Session() {
+      if (gate_ != nullptr) {
+        gate_->PayExit();
+      }
+    }
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+    Session(Session&& other) noexcept : gate_(other.gate_) { other.gate_ = nullptr; }
+
+   private:
+    WorldSwitchGate* gate_;
+  };
+
+  Session Enter() { return Session(this); }
+
+  WorldSwitchStats stats() const {
+    return WorldSwitchStats{entries_.load(std::memory_order_relaxed),
+                            burned_.load(std::memory_order_relaxed)};
+  }
+
+  void ResetStats() {
+    entries_.store(0, std::memory_order_relaxed);
+    burned_.store(0, std::memory_order_relaxed);
+  }
+
+  const WorldSwitchConfig& config() const { return config_; }
+
+ private:
+  void PayEntry() {
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    Burn(config_.entry_cycles);
+  }
+  void PayExit() { Burn(config_.exit_cycles); }
+
+  void Burn(uint64_t cycles) {
+    if (cycles == 0) {
+      return;
+    }
+    const uint64_t start = ReadCycleCounter();
+    while (ReadCycleCounter() - start < cycles) {
+      // Spin: models CPU time consumed by the OP-TEE switch path, attributable to this thread.
+    }
+    burned_.fetch_add(cycles, std::memory_order_relaxed);
+  }
+
+  WorldSwitchConfig config_;
+  std::atomic<uint64_t> entries_{0};
+  std::atomic<uint64_t> burned_{0};
+};
+
+}  // namespace sbt
+
+#endif  // SRC_TZ_WORLD_SWITCH_H_

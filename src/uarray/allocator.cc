@@ -1,0 +1,207 @@
+#include "src/uarray/allocator.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/time.h"
+
+namespace sbt {
+namespace {
+
+// Lane key for unhinted allocations (kept out of real lane numbers).
+constexpr uint32_t kDefaultLane = 0xffffffffu;
+
+}  // namespace
+
+UArrayAllocator::UArrayAllocator(SecureWorld* world, PlacementPolicy policy)
+    : world_(world), policy_(policy),
+      group_reserve_bytes_(world->config().group_reserve_bytes) {}
+
+UArrayAllocator::~UArrayAllocator() {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_arrays_.clear();
+  groups_.clear();
+}
+
+Result<UArray*> UArrayAllocator::Create(size_t elem_size, UArrayScope scope,
+                                        const PlacementHint& hint, uint64_t generation) {
+  if (elem_size == 0) {
+    return InvalidArgument("uArray element size must be nonzero");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Cycle accounting starts after lock acquisition: contention is scheduling, not placement work.
+  const uint64_t t0 = ReadCycleCounter();
+  Status error = OkStatus();
+  UArray* array = CreateLocked(elem_size, scope, hint, generation, &error);
+  cycles_.fetch_add(ReadCycleCounter() - t0, std::memory_order_relaxed);
+  if (array == nullptr) {
+    return error;
+  }
+  return array;
+}
+
+UArray* UArrayAllocator::CreateLocked(size_t elem_size, UArrayScope scope,
+                                      const PlacementHint& hint, uint64_t generation,
+                                      Status* error) {
+  // A group is eligible for another uArray when its tail is closed and it has not consumed too
+  // much of its reservation (leaving headroom for unbounded growth of the new tail).
+  auto has_room = [this](UGroup* g) {
+    return g != nullptr && g->CanAppend() && g->tail_offset() < group_reserve_bytes_ / 2;
+  };
+
+  UGroup* target = nullptr;
+
+  if (policy_ == PlacementPolicy::kGenerational) {
+    std::vector<UGroup*>& slots = generation_groups_[generation];
+    for (UGroup* g : slots) {
+      if (has_room(g)) {
+        target = g;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      target = NewGroupLocked(error);
+      if (target == nullptr) {
+        return nullptr;
+      }
+      slots.push_back(target);
+    }
+  } else {
+    switch (hint.kind) {
+      case PlacementHint::Kind::kConsumedAfter:
+        target = PlaceAfterLocked(hint.after_array);
+        if (!has_room(target)) {
+          target = nullptr;
+        }
+        break;
+      case PlacementHint::Kind::kConsumedInParallel: {
+        UGroup*& slot = lane_groups_[hint.parallel_lane];
+        if (!has_room(slot)) {
+          slot = nullptr;  // will allocate a fresh group below
+        }
+        target = slot;
+        break;
+      }
+      case PlacementHint::Kind::kNone: {
+        UGroup*& slot = lane_groups_[kDefaultLane];
+        if (!has_room(slot)) {
+          slot = nullptr;
+        }
+        target = slot;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      target = NewGroupLocked(error);
+      if (target == nullptr) {
+        return nullptr;
+      }
+      if (hint.kind == PlacementHint::Kind::kConsumedInParallel) {
+        lane_groups_[hint.parallel_lane] = target;
+      } else if (hint.kind == PlacementHint::Kind::kNone) {
+        lane_groups_[kDefaultLane] = target;
+      }
+    }
+  }
+
+  const uint64_t id = next_array_id_++;
+  UArray* array = target->Emplace(id, scope, elem_size);
+  live_arrays_[id] = array;
+  if (hint.kind == PlacementHint::Kind::kConsumedAfter) {
+    after_chain_[id] = hint.after_array;
+  }
+  ++arrays_created_;
+  return array;
+}
+
+UGroup* UArrayAllocator::NewGroupLocked(Status* error) {
+  auto range = world_->Reserve(group_reserve_bytes_);
+  if (!range.ok()) {
+    *error = range.status();
+    return nullptr;
+  }
+  groups_.push_back(std::make_unique<UGroup>(next_group_id_++, std::move(range).value()));
+  ++groups_created_;
+  return groups_.back().get();
+}
+
+UGroup* UArrayAllocator::PlaceAfterLocked(uint64_t after_array_id) {
+  // Walk back along the consumed-after chain, looking for a produced uArray that sits at the
+  // tail of its group (paper §6.2 "Hint-guided placement").
+  uint64_t current = after_array_id;
+  for (int depth = 0; depth < 64; ++depth) {  // bounded walk; chains are short in practice
+    auto it = live_arrays_.find(current);
+    if (it != live_arrays_.end()) {
+      UArray* arr = it->second;
+      if (arr->state() == UArrayState::kProduced && arr->group()->tail() == arr) {
+        return arr->group();
+      }
+    }
+    auto chain_it = after_chain_.find(current);
+    if (chain_it == after_chain_.end()) {
+      return nullptr;
+    }
+    current = chain_it->second;
+  }
+  return nullptr;
+}
+
+void UArrayAllocator::Retire(UArray* array) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t t0 = ReadCycleCounter();
+  SBT_CHECK(array != nullptr && array->state() != UArrayState::kRetired);
+  array->MarkRetired();
+  live_arrays_.erase(array->id());
+  after_chain_.erase(array->id());
+  UGroup* group = array->group();
+  const size_t reclaimed = group->ReclaimHead();
+  arrays_reclaimed_ += reclaimed;
+  if (group->empty()) {
+    ReclaimGroupLocked(group);
+  }
+  cycles_.fetch_add(ReadCycleCounter() - t0, std::memory_order_relaxed);
+}
+
+void UArrayAllocator::ReclaimGroupLocked(UGroup* group) {
+  // Keep the group if a placement chain still targets it (cheap reuse); otherwise destroy it to
+  // keep the live-group census small.
+  for (const auto& [lane, g] : lane_groups_) {
+    if (g == group) {
+      return;
+    }
+  }
+  for (const auto& [gen, groups] : generation_groups_) {
+    for (UGroup* g : groups) {
+      if (g == group) {
+        return;
+      }
+    }
+  }
+  auto it = std::find_if(groups_.begin(), groups_.end(),
+                         [group](const std::unique_ptr<UGroup>& g) { return g.get() == group; });
+  SBT_CHECK(it != groups_.end());
+  groups_.erase(it);
+}
+
+UArray* UArrayAllocator::Find(uint64_t array_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_arrays_.find(array_id);
+  return it == live_arrays_.end() ? nullptr : it->second;
+}
+
+AllocatorStats UArrayAllocator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AllocatorStats s;
+  s.live_groups = groups_.size();
+  s.live_arrays = live_arrays_.size();
+  for (const auto& g : groups_) {
+    s.committed_bytes += g->committed_bytes();
+  }
+  s.groups_created = groups_created_;
+  s.arrays_created = arrays_created_;
+  s.arrays_reclaimed = arrays_reclaimed_;
+  s.cycles = cycles_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace sbt

@@ -1,0 +1,137 @@
+// The specialized uArray allocator (paper §6.2).
+//
+// Responsibilities:
+//  - place new uArrays into uGroups so that future consumption order matches group order,
+//    guided by the control plane's *consumption hints*;
+//  - reclaim memory from group heads as uArrays retire;
+//  - keep the number of live uGroups small (compact layout, cheap tracking).
+//
+// Hints are untrusted. They only influence *placement*; a misleading hint can waste memory or
+// delay reclaim (hurting freshness) but can never corrupt data, lose events, or break isolation.
+// Hints are also recorded in the audit stream so the cloud verifier can audit them (paper §7).
+//
+// Placement rules:
+//  - consumed-after(b_prev => b_new): walk b_prev's consumed-after chain backwards from b_new;
+//    place b_new after the first uArray that is produced AND at the tail of its uGroup;
+//    otherwise open a new uGroup.
+//  - consumed-in-parallel(k): place the k output uArrays in k distinct uGroups so a straggling
+//    consumer cannot block reclaim of its siblings.
+//  - no hint: policy-dependent (see PlacementPolicy). The hint-guided default opens a new group;
+//    the generational baseline (Figure 10's "w/o hint") co-locates outputs of the same primitive.
+
+#ifndef SRC_UARRAY_ALLOCATOR_H_
+#define SRC_UARRAY_ALLOCATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tz/secure_world.h"
+#include "src/uarray/ugroup.h"
+
+namespace sbt {
+
+// How the allocator places uArrays when deciding groups.
+enum class PlacementPolicy : uint8_t {
+  // Use control-plane consumption hints (the paper's design).
+  kHintGuided = 0,
+  // Ignore hints; co-locate all uArrays created by the same primitive invocation ("same
+  // generation") in one group. This is the Figure 10 ablation baseline.
+  kGenerational = 1,
+};
+
+// A consumption hint attached to a Create call. Mirrors the paper's two hint kinds.
+struct PlacementHint {
+  enum class Kind : uint8_t { kNone = 0, kConsumedAfter = 1, kConsumedInParallel = 2 };
+  Kind kind = Kind::kNone;
+  // kConsumedAfter: id of the uArray this one will be consumed after.
+  uint64_t after_array = 0;
+  // kConsumedInParallel: lane index within the parallel set (0..k-1). Each lane gets its own
+  // uGroup chain.
+  uint32_t parallel_lane = 0;
+
+  static PlacementHint None() { return PlacementHint{}; }
+  static PlacementHint After(uint64_t array_id) {
+    return PlacementHint{Kind::kConsumedAfter, array_id, 0};
+  }
+  static PlacementHint Parallel(uint32_t lane) {
+    return PlacementHint{Kind::kConsumedInParallel, 0, lane};
+  }
+};
+
+struct AllocatorStats {
+  size_t live_groups = 0;
+  size_t live_arrays = 0;
+  size_t committed_bytes = 0;
+  uint64_t groups_created = 0;
+  uint64_t arrays_created = 0;
+  uint64_t arrays_reclaimed = 0;
+  uint64_t cycles = 0;  // CPU cycles spent in placement + reclaim (Figure 9 "mem mgmt")
+};
+
+class UArrayAllocator {
+ public:
+  // `group_reserve_bytes` caps each group's contiguous virtual reservation; by default it is
+  // taken from the secure world's partition config.
+  explicit UArrayAllocator(SecureWorld* world,
+                           PlacementPolicy policy = PlacementPolicy::kHintGuided);
+
+  UArrayAllocator(const UArrayAllocator&) = delete;
+  UArrayAllocator& operator=(const UArrayAllocator&) = delete;
+  ~UArrayAllocator();
+
+  PlacementPolicy policy() const { return policy_; }
+
+  // Creates a new open uArray. `generation` identifies the creating primitive invocation (used
+  // only by the generational baseline). Returns a stable pointer owned by the allocator.
+  Result<UArray*> Create(size_t elem_size, UArrayScope scope,
+                         const PlacementHint& hint = PlacementHint::None(),
+                         uint64_t generation = 0);
+
+  // Marks the uArray retired and reclaims any now-free group heads.
+  void Retire(UArray* array);
+
+  // Looks up a live uArray by its audit id. Returns nullptr if unknown/retired.
+  UArray* Find(uint64_t array_id);
+
+  AllocatorStats stats() const;
+
+ private:
+  UArray* CreateLocked(size_t elem_size, UArrayScope scope, const PlacementHint& hint,
+                       uint64_t generation, Status* error);
+  UGroup* NewGroupLocked(Status* error);
+  // Applies the consumed-after walk-back rule; returns the target group or nullptr.
+  UGroup* PlaceAfterLocked(uint64_t after_array_id);
+  void ReclaimGroupLocked(UGroup* group);
+
+  SecureWorld* world_;
+  PlacementPolicy policy_;
+  size_t group_reserve_bytes_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<UGroup>> groups_;
+  std::unordered_map<uint64_t, UArray*> live_arrays_;
+  // consumed-after chain: array id -> id of the array it is consumed after.
+  std::unordered_map<uint64_t, uint64_t> after_chain_;
+  // Generational baseline: generation tag -> groups used for that generation. All uArrays of a
+  // generation co-locate in the first group with a closed tail and room (the Figure 10
+  // heuristic), so arrays of different lifetimes genuinely share groups.
+  std::unordered_map<uint64_t, std::vector<UGroup*>> generation_groups_;
+  // Parallel lanes: lane -> most recent group used for that lane.
+  std::unordered_map<uint32_t, UGroup*> lane_groups_;
+
+  uint64_t next_array_id_ = 1;
+  uint64_t next_group_id_ = 1;
+  uint64_t groups_created_ = 0;
+  uint64_t arrays_created_ = 0;
+  uint64_t arrays_reclaimed_ = 0;
+  std::atomic<uint64_t> cycles_{0};
+};
+
+}  // namespace sbt
+
+#endif  // SRC_UARRAY_ALLOCATOR_H_

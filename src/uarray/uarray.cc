@@ -1,0 +1,36 @@
+#include "src/uarray/uarray.h"
+
+#include "src/uarray/ugroup.h"
+
+namespace sbt {
+
+Status UArray::Append(const void* src, size_t bytes) {
+  if (state_ != UArrayState::kOpen) {
+    return FailedPrecondition("append to a non-open uArray");
+  }
+  if (bytes % elem_size_ != 0) {
+    return InvalidArgument("append size is not a whole number of elements");
+  }
+  SBT_RETURN_IF_ERROR(group_->EnsureTailBacked(offset_, size_bytes_ + bytes));
+  std::memcpy(base_ + size_bytes_, src, bytes);
+  size_bytes_ += bytes;
+  return OkStatus();
+}
+
+Result<uint8_t*> UArray::AppendUninitialized(size_t count) {
+  if (state_ != UArrayState::kOpen) {
+    return FailedPrecondition("append to a non-open uArray");
+  }
+  const size_t bytes = count * elem_size_;
+  SBT_RETURN_IF_ERROR(group_->EnsureTailBacked(offset_, size_bytes_ + bytes));
+  uint8_t* out = base_ + size_bytes_;
+  size_bytes_ += bytes;
+  return out;
+}
+
+void UArray::Produce() {
+  SBT_UARRAY_DCHECK(state_ == UArrayState::kOpen);
+  state_ = UArrayState::kProduced;
+}
+
+}  // namespace sbt

@@ -1,0 +1,135 @@
+// uArray: the universal data container of the StreamBox-TZ data plane (paper §6.1).
+//
+// An uArray is an append-only buffer of same-type POD objects living in a contiguous secure
+// virtual region. It grows *in place* (backed by the secure world's on-demand paging), so
+// growth normally costs one integer bump, and computation loops over it need no bounds checks
+// or relocation handling. Lifecycle:
+//
+//    Open ──Produce()──► Produced ──Retire()──► Retired ──(allocator reclaim)─► gone
+//
+// Only an Open uArray may be appended to; a Produced uArray is immutable; a Retired uArray's
+// memory is subject to head-of-uGroup reclamation by the allocator.
+
+#ifndef SRC_UARRAY_UARRAY_H_
+#define SRC_UARRAY_UARRAY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "src/common/logging.h"
+#include "src/common/status.h"
+
+// Debug-only state checks on the hot path compile to nothing in release builds; all misuse is
+// also caught by unit tests. (Release builds keep SBT_CHECK on cold paths only.)
+#ifndef NDEBUG
+#define SBT_UARRAY_DCHECK(cond) SBT_CHECK(cond)
+#else
+#define SBT_UARRAY_DCHECK(cond) static_cast<void>(0)
+#endif
+
+namespace sbt {
+
+class UGroup;
+class UArrayAllocator;
+
+enum class UArrayState : uint8_t {
+  kOpen = 0,      // producer may append; end position not final
+  kProduced = 1,  // read-only; end position final
+  kRetired = 2,   // no longer needed; memory awaiting reclaim
+};
+
+// What the buffer holds, which determines its expected lifetime (paper §6.1 "Types").
+enum class UArrayScope : uint8_t {
+  kStreaming = 0,  // flows from one primitive to the next
+  kState = 1,      // operator state outliving individual primitive runs
+  kTemporary = 2,  // scratch inside one primitive invocation
+};
+
+class UArray {
+ public:
+  UArray(const UArray&) = delete;
+  UArray& operator=(const UArray&) = delete;
+
+  uint64_t id() const { return id_; }
+  UArrayState state() const { return state_; }
+  UArrayScope scope() const { return scope_; }
+  size_t elem_size() const { return elem_size_; }
+
+  size_t size_bytes() const { return size_bytes_; }
+  size_t size() const { return size_bytes_ / elem_size_; }
+  bool empty() const { return size_bytes_ == 0; }
+
+  // Raw byte views. `data()` is valid only inside the data plane; it never crosses the boundary.
+  const uint8_t* data() const { return base_; }
+  uint8_t* mutable_data() {
+    SBT_UARRAY_DCHECK(state_ == UArrayState::kOpen);
+    return base_;
+  }
+
+  // Typed views. T must match the element size the uArray was created with.
+  template <typename T>
+  std::span<const T> Span() const {
+    SBT_UARRAY_DCHECK(sizeof(T) == elem_size_);
+    return std::span<const T>(reinterpret_cast<const T*>(base_), size());
+  }
+
+  template <typename T>
+  std::span<T> MutableSpan() {
+    SBT_UARRAY_DCHECK(state_ == UArrayState::kOpen && sizeof(T) == elem_size_);
+    return std::span<T>(reinterpret_cast<T*>(base_), size());
+  }
+
+  // Appends `bytes` bytes (a whole number of elements). Grows the backing on demand;
+  // fails with kResourceExhausted when secure memory is gone (backpressure trigger) and with
+  // kFailedPrecondition when the uArray is not open.
+  Status Append(const void* src, size_t bytes);
+
+  template <typename T>
+  Status AppendValue(const T& value) {
+    return Append(&value, sizeof(T));
+  }
+
+  // Reserves space for `count` elements and returns a pointer for the producer to fill.
+  // The elements count as appended immediately.
+  Result<uint8_t*> AppendUninitialized(size_t count);
+
+  template <typename T>
+  Result<T*> AppendUninitializedAs(size_t count) {
+    SBT_UARRAY_DCHECK(sizeof(T) == elem_size_);
+    SBT_ASSIGN_OR_RETURN(uint8_t * raw, AppendUninitialized(count));
+    return reinterpret_cast<T*>(raw);
+  }
+
+  // Finalizes the end position; the uArray becomes immutable.
+  void Produce();
+
+  // The owning group, for allocator bookkeeping.
+  UGroup* group() const { return group_; }
+  size_t offset_in_group() const { return offset_; }
+
+ private:
+  friend class UGroup;
+  friend class UArrayAllocator;
+
+  UArray(UGroup* group, uint64_t id, UArrayScope scope, size_t elem_size, uint8_t* base,
+         size_t offset)
+      : group_(group), id_(id), scope_(scope), elem_size_(elem_size), base_(base),
+        offset_(offset) {}
+
+  void MarkRetired() { state_ = UArrayState::kRetired; }
+
+  UGroup* group_;
+  uint64_t id_;
+  UArrayScope scope_;
+  UArrayState state_ = UArrayState::kOpen;
+  size_t elem_size_;
+  uint8_t* base_;
+  size_t offset_;        // byte offset of base_ within the group's range
+  size_t size_bytes_ = 0;
+};
+
+}  // namespace sbt
+
+#endif  // SRC_UARRAY_UARRAY_H_

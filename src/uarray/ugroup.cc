@@ -1,0 +1,44 @@
+#include "src/uarray/ugroup.h"
+
+namespace sbt {
+
+UArray* UGroup::Emplace(uint64_t array_id, UArrayScope scope, size_t elem_size) {
+  SBT_CHECK(CanAppend());
+  const size_t base_offset = (tail_offset_ + kArrayAlign - 1) / kArrayAlign * kArrayAlign;
+  auto array = std::unique_ptr<UArray>(
+      new UArray(this, array_id, scope, elem_size, range_.base() + base_offset, base_offset));
+  UArray* raw = array.get();
+  arrays_.push_back(std::move(array));
+  tail_offset_ = base_offset;  // tail grows as the open array appends
+  return raw;
+}
+
+Status UGroup::EnsureTailBacked(size_t array_offset, size_t new_size_bytes) {
+  const size_t new_end = array_offset + new_size_bytes;
+  SBT_RETURN_IF_ERROR(range_.EnsureBacked(new_end));
+  if (new_end > tail_offset_) {
+    tail_offset_ = new_end;
+  }
+  return OkStatus();
+}
+
+size_t UGroup::ReclaimHead() {
+  size_t reclaimed = 0;
+  while (!arrays_.empty() && arrays_.front()->state() == UArrayState::kRetired) {
+    arrays_.pop_front();
+    ++reclaimed;
+  }
+  if (reclaimed == 0) {
+    return 0;
+  }
+  if (arrays_.empty()) {
+    // Everything retired: release the whole committed span and reset for reuse.
+    range_.ReleaseAll();
+    tail_offset_ = 0;
+  } else {
+    range_.ReleaseHead(arrays_.front()->offset_in_group());
+  }
+  return reclaimed;
+}
+
+}  // namespace sbt

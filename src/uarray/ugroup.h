@@ -1,0 +1,71 @@
+// uGroup: a contiguous secure virtual region holding a sequence of uArrays that will be consumed
+// consecutively (paper §6.2, Figure 5). The allocator reclaims memory only from a group's head:
+// once the leading uArrays are retired, their whole pages are decommitted in order. At most the
+// group's last uArray may be open (growing); everything before it is produced or retired.
+
+#ifndef SRC_UARRAY_UGROUP_H_
+#define SRC_UARRAY_UGROUP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/tz/secure_world.h"
+#include "src/uarray/uarray.h"
+
+namespace sbt {
+
+class UGroup {
+ public:
+  UGroup(uint64_t id, VirtualRange range) : id_(id), range_(std::move(range)) {}
+
+  UGroup(const UGroup&) = delete;
+  UGroup& operator=(const UGroup&) = delete;
+
+  uint64_t id() const { return id_; }
+  size_t capacity() const { return range_.capacity(); }
+  // Byte offset where the next uArray would start.
+  size_t tail_offset() const { return tail_offset_; }
+  size_t arrays_live() const { return arrays_.size(); }
+  bool empty() const { return arrays_.empty(); }
+
+  // True iff a new uArray may be appended: the current tail is not open and there is room.
+  bool CanAppend() const {
+    return (arrays_.empty() || arrays_.back()->state() != UArrayState::kOpen) &&
+           tail_offset_ < capacity();
+  }
+
+  // The last uArray, or nullptr. Placement looks at whether the tail is produced.
+  UArray* tail() { return arrays_.empty() ? nullptr : arrays_.back().get(); }
+  const UArray* tail() const { return arrays_.empty() ? nullptr : arrays_.back().get(); }
+
+  // Creates a new open uArray at the tail. Caller (the allocator) guarantees CanAppend().
+  UArray* Emplace(uint64_t array_id, UArrayScope scope, size_t elem_size);
+
+  // Grows the open tail uArray to hold `new_end` bytes past its base. Called from
+  // UArray::Append; commits pages on demand.
+  Status EnsureTailBacked(size_t array_offset, size_t new_size_bytes);
+
+  // Pops consecutive retired uArrays from the head and decommits their pages.
+  // Returns the number of uArrays reclaimed.
+  size_t ReclaimHead();
+
+  // Accounting used by the memory benchmarks.
+  size_t committed_bytes() const { return range_.committed_end() - range_.committed_begin(); }
+
+ private:
+  friend class UArrayAllocator;
+
+  static constexpr size_t kArrayAlign = 64;  // cache-line align each uArray base
+
+  uint64_t id_;
+  VirtualRange range_;
+  size_t tail_offset_ = 0;
+  std::deque<std::unique_ptr<UArray>> arrays_;
+};
+
+}  // namespace sbt
+
+#endif  // SRC_UARRAY_UGROUP_H_

@@ -1,0 +1,412 @@
+// Data-plane boundary tests: opaque-reference validation, ingest paths, decryption, egress
+// encrypt+sign, audit emission, and the full ingest->compute->egress->verify integration loop.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/attest/verifier.h"
+#include "src/common/rng.h"
+#include "src/core/data_plane.h"
+#include "src/crypto/aes128.h"
+
+namespace sbt {
+namespace {
+
+DataPlaneConfig TestConfig(bool decrypt = false) {
+  DataPlaneConfig cfg;
+  cfg.partition.secure_dram_bytes = 64u << 20;
+  cfg.partition.secure_page_bytes = 64u << 10;
+  cfg.partition.group_reserve_bytes = 64u << 20;
+  cfg.switch_cost = WorldSwitchConfig::Disabled();
+  cfg.decrypt_ingress = decrypt;
+  for (size_t i = 0; i < kAesKeySize; ++i) {
+    cfg.ingress_key[i] = static_cast<uint8_t>(i + 1);
+    cfg.egress_key[i] = static_cast<uint8_t>(2 * i + 1);
+    cfg.mac_key[i] = static_cast<uint8_t>(3 * i + 7);
+  }
+  cfg.ingress_nonce.fill(0x11);
+  cfg.egress_nonce.fill(0x22);
+  return cfg;
+}
+
+std::vector<Event> MakeEvents(size_t n, uint32_t keys = 8, uint32_t window_ms = 1000) {
+  Xoshiro256 rng(55);
+  std::vector<Event> events(n);
+  for (size_t i = 0; i < n; ++i) {
+    events[i].ts_ms = static_cast<EventTimeMs>(i * window_ms * 2 / n);  // spans 2 windows
+    events[i].key = static_cast<uint32_t>(rng.NextBelow(keys));
+    events[i].value = static_cast<int32_t>(rng.NextBelow(1000));
+  }
+  return events;
+}
+
+std::span<const uint8_t> AsBytes(const std::vector<Event>& events) {
+  return std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(events.data()),
+                                  events.size() * sizeof(Event));
+}
+
+TEST(DataPlaneTest, IngestReturnsOpaqueRef) {
+  DataPlane dp(TestConfig());
+  const auto events = MakeEvents(1000);
+  auto info = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(info.ok());
+  EXPECT_NE(info->ref, 0u);
+  EXPECT_EQ(info->elems, 1000u);
+  EXPECT_EQ(dp.live_refs(), 1u);
+}
+
+TEST(DataPlaneTest, RejectsMisalignedFrame) {
+  DataPlane dp(TestConfig());
+  std::vector<uint8_t> junk(13, 0);
+  EXPECT_EQ(dp.IngestBatch(junk, sizeof(Event), 0, IngestPath::kTrustedIo).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DataPlaneTest, FabricatedRefsAreRejected) {
+  DataPlane dp(TestConfig());
+  const auto events = MakeEvents(100);
+  auto info = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(info.ok());
+
+  Xoshiro256 rng(1234);
+  for (int i = 0; i < 1000; ++i) {
+    InvokeRequest req;
+    req.op = PrimitiveOp::kCount;
+    req.inputs = {rng.Next()};
+    EXPECT_EQ(dp.Invoke(req).status().code(), StatusCode::kNotFound);
+  }
+  // The real ref still works afterwards.
+  InvokeRequest req;
+  req.op = PrimitiveOp::kCount;
+  req.inputs = {info->ref};
+  EXPECT_TRUE(dp.Invoke(req).ok());
+}
+
+TEST(DataPlaneTest, StaleRefIsRejectedAfterConsumption) {
+  DataPlane dp(TestConfig());
+  const auto events = MakeEvents(100);
+  auto info = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(info.ok());
+
+  InvokeRequest req;
+  req.op = PrimitiveOp::kCount;
+  req.inputs = {info->ref};
+  ASSERT_TRUE(dp.Invoke(req).ok());  // consumes (retires) the input
+  EXPECT_EQ(dp.Invoke(req).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DataPlaneTest, DecryptIngressRecoversPlaintext) {
+  DataPlaneConfig cfg = TestConfig(/*decrypt=*/true);
+  DataPlane dp(cfg);
+
+  const auto events = MakeEvents(500);
+  // Source-side encryption with the shared key (what a sensor would do).
+  std::vector<uint8_t> frame(AsBytes(events).begin(), AsBytes(events).end());
+  Aes128Ctr source(cfg.ingress_key, std::span<const uint8_t>(cfg.ingress_nonce.data(), 12));
+  source.Crypt(std::span<uint8_t>(frame.data(), frame.size()), /*offset=*/4096);
+
+  auto info = dp.IngestBatch(frame, sizeof(Event), 0, IngestPath::kTrustedIo, /*ctr_offset=*/4096);
+  ASSERT_TRUE(info.ok());
+
+  // Sum of values must match the plaintext sum (decryption succeeded inside the TEE).
+  int64_t expected = 0;
+  for (const Event& e : events) {
+    expected += e.value;
+  }
+  InvokeRequest req;
+  req.op = PrimitiveOp::kSum;
+  req.inputs = {info->ref};
+  auto sum = dp.Invoke(req);
+  ASSERT_TRUE(sum.ok());
+  auto blob = dp.Egress(sum->outputs[0].ref);
+  ASSERT_TRUE(blob.ok());
+  // Decrypt the egress blob like the cloud consumer would.
+  Aes128Ctr egress(cfg.egress_key, std::span<const uint8_t>(cfg.egress_nonce.data(), 12));
+  std::vector<uint8_t> plain = blob->ciphertext;
+  egress.Crypt(std::span<uint8_t>(plain.data(), plain.size()), 0);
+  int64_t got = 0;
+  std::memcpy(&got, plain.data(), sizeof(got));
+  EXPECT_EQ(got, expected);
+}
+
+TEST(DataPlaneTest, EgressIsEncryptedAndSigned) {
+  DataPlaneConfig cfg = TestConfig();
+  DataPlane dp(cfg);
+  const auto events = MakeEvents(100);
+  auto info = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(info.ok());
+
+  auto blob = dp.Egress(info->ref);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->ciphertext.size(), events.size() * sizeof(Event));
+  // Ciphertext differs from plaintext.
+  EXPECT_NE(0, std::memcmp(blob->ciphertext.data(), events.data(), blob->ciphertext.size()));
+  // MAC verifies with the shared key and fails after tampering.
+  const auto mac = HmacSha256(
+      std::span<const uint8_t>(cfg.mac_key.data(), cfg.mac_key.size()),
+      std::span<const uint8_t>(blob->ciphertext.data(), blob->ciphertext.size()));
+  EXPECT_TRUE(DigestEqual(mac, blob->mac));
+  blob->ciphertext[0] ^= 1;
+  const auto mac2 = HmacSha256(
+      std::span<const uint8_t>(cfg.mac_key.data(), cfg.mac_key.size()),
+      std::span<const uint8_t>(blob->ciphertext.data(), blob->ciphertext.size()));
+  EXPECT_FALSE(DigestEqual(mac2, blob->mac));
+  // The reference was consumed.
+  EXPECT_EQ(dp.live_refs(), 0u);
+}
+
+TEST(DataPlaneTest, IoViaOsMatchesTrustedIoResults) {
+  DataPlane dp(TestConfig());
+  const auto events = MakeEvents(1000);
+  auto a = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  auto b = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kViaOs);
+  ASSERT_TRUE(a.ok() && b.ok());
+  InvokeRequest req;
+  req.op = PrimitiveOp::kSum;
+  req.inputs = {a->ref};
+  auto sa = dp.Invoke(req);
+  req.inputs = {b->ref};
+  auto sb = dp.Invoke(req);
+  ASSERT_TRUE(sa.ok() && sb.ok());
+  auto ea = dp.Egress(sa->outputs[0].ref);
+  auto eb = dp.Egress(sb->outputs[0].ref);
+  ASSERT_TRUE(ea.ok() && eb.ok());
+  EXPECT_EQ(ea->elems, eb->elems);
+}
+
+TEST(DataPlaneTest, SegmentEmitsWindowAnnotations) {
+  DataPlane dp(TestConfig());
+  const auto events = MakeEvents(1000);  // spans windows 0 and 1
+  auto info = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(info.ok());
+
+  InvokeRequest req;
+  req.op = PrimitiveOp::kSegment;
+  req.inputs = {info->ref};
+  req.params.window_size_ms = 1000;
+  auto resp = dp.Invoke(req);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->outputs.size(), 2u);
+  EXPECT_EQ(resp->outputs[0].win_no, 0u);
+  EXPECT_EQ(resp->outputs[1].win_no, 1u);
+  EXPECT_EQ(resp->outputs[0].elems + resp->outputs[1].elems, events.size());
+}
+
+TEST(DataPlaneTest, RetireInputsFalseKeepsInputsAlive) {
+  DataPlane dp(TestConfig());
+  const auto events = MakeEvents(100);
+  auto info = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(info.ok());
+
+  InvokeRequest req;
+  req.op = PrimitiveOp::kCount;
+  req.inputs = {info->ref};
+  req.retire_inputs = false;
+  ASSERT_TRUE(dp.Invoke(req).ok());
+  ASSERT_TRUE(dp.Invoke(req).ok());  // still valid
+  EXPECT_TRUE(dp.Release(info->ref).ok());
+  EXPECT_EQ(dp.Invoke(req).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DataPlaneTest, WorldSwitchAccounting) {
+  DataPlaneConfig cfg = TestConfig();
+  cfg.switch_cost = WorldSwitchConfig{.entry_cycles = 1000, .exit_cycles = 1000};
+  DataPlane dp(cfg);
+  const auto events = MakeEvents(10);
+  ASSERT_TRUE(dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo).ok());
+  ASSERT_TRUE(dp.IngestWatermark(1000).ok());
+  EXPECT_EQ(dp.switch_stats().entries, 2u);
+  EXPECT_EQ(dp.switch_stats().burned_cycles, 4000u);
+}
+
+TEST(DataPlaneTest, AuditRecordsMatchExecution) {
+  DataPlane dp(TestConfig());
+  const auto events = MakeEvents(200);
+  auto info = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(info.ok());
+  ASSERT_TRUE(dp.IngestWatermark(2000).ok());
+
+  InvokeRequest req;
+  req.op = PrimitiveOp::kProject;
+  req.inputs = {info->ref};
+  auto proj = dp.Invoke(req);
+  ASSERT_TRUE(proj.ok());
+  req.op = PrimitiveOp::kSort;
+  req.inputs = {proj->outputs[0].ref};
+  auto sorted = dp.Invoke(req);
+  ASSERT_TRUE(sorted.ok());
+  ASSERT_TRUE(dp.Egress(sorted->outputs[0].ref).ok());
+
+  std::vector<AuditRecord> records;
+  const AuditUpload upload = dp.FlushAudit(&records);
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_EQ(records[0].op, PrimitiveOp::kIngress);
+  EXPECT_EQ(records[1].op, PrimitiveOp::kWatermark);
+  EXPECT_EQ(records[1].watermark, 2000u);
+  EXPECT_EQ(records[2].op, PrimitiveOp::kProject);
+  EXPECT_EQ(records[3].op, PrimitiveOp::kSort);
+  EXPECT_EQ(records[4].op, PrimitiveOp::kEgress);
+  // Dataflow chains: ingress output -> project input -> project output -> sort input -> egress.
+  EXPECT_EQ(records[0].outputs[0], records[2].inputs[0]);
+  EXPECT_EQ(records[2].outputs[0], records[3].inputs[0]);
+  EXPECT_EQ(records[3].outputs[0], records[4].inputs[0]);
+
+  // The compressed upload decodes to the same records and its MAC verifies.
+  auto decoded = DecodeAuditBatch(upload.compressed);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, records);
+  EXPECT_EQ(upload.record_count, 5u);
+
+  // Flushing again yields nothing.
+  std::vector<AuditRecord> empty;
+  dp.FlushAudit(&empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(DataPlaneTest, HintsAreRecordedForAudit) {
+  DataPlane dp(TestConfig());
+  const auto events = MakeEvents(100);
+  auto a = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(a.ok());
+
+  InvokeRequest req;
+  req.op = PrimitiveOp::kProject;
+  req.inputs = {a->ref};
+  req.hint = HintRequest::Parallel(3);
+  ASSERT_TRUE(dp.Invoke(req).ok());
+
+  std::vector<AuditRecord> records;
+  dp.FlushAudit(&records);
+  ASSERT_EQ(records.size(), 2u);
+  ASSERT_EQ(records[1].hints.size(), 1u);
+  EXPECT_EQ(records[1].hints[0].kind(), 2u);
+  EXPECT_EQ(records[1].hints[0].payload(), 3u);
+}
+
+TEST(DataPlaneTest, BackpressureSignalsOnHighUtilization) {
+  DataPlaneConfig cfg = TestConfig();
+  cfg.partition.secure_dram_bytes = 4u << 20;
+  cfg.partition.group_reserve_bytes = 4u << 20;
+  cfg.backpressure_threshold = 0.5;
+  DataPlane dp(cfg);
+  EXPECT_FALSE(dp.ShouldBackpressure());
+  const auto events = MakeEvents(200000);  // ~2.4MB of 4MB pool
+  auto info = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(dp.ShouldBackpressure());
+  ASSERT_TRUE(dp.Release(info->ref).ok());
+  EXPECT_FALSE(dp.ShouldBackpressure());
+}
+
+TEST(DataPlaneTest, ConcurrentInvokesAreSafe) {
+  DataPlane dp(TestConfig());
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dp, &failures, t] {
+      const auto events = MakeEvents(5000, /*keys=*/16);
+      for (int i = 0; i < 10; ++i) {
+        auto info = dp.IngestBatch(AsBytes(events), sizeof(Event),
+                                   static_cast<uint16_t>(t % 4), IngestPath::kTrustedIo);
+        if (!info.ok()) {
+          ++failures;
+          return;
+        }
+        InvokeRequest req;
+        req.op = PrimitiveOp::kProject;
+        req.inputs = {info->ref};
+        req.hint = HintRequest::Parallel(static_cast<uint32_t>(t));
+        auto proj = dp.Invoke(req);
+        if (!proj.ok()) {
+          ++failures;
+          return;
+        }
+        req.op = PrimitiveOp::kSort;
+        req.inputs = {proj->outputs[0].ref};
+        auto sorted = dp.Invoke(req);
+        if (!sorted.ok()) {
+          ++failures;
+          return;
+        }
+        if (!dp.Egress(sorted->outputs[0].ref).ok()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(dp.live_refs(), 0u);
+  EXPECT_EQ(dp.memory_stats().committed_bytes, 0u);
+}
+
+TEST(DataPlaneTest, EndToEndAuditVerifies) {
+  // Full loop: ingest 2 batches + watermark, run the WinSum-style pipeline, egress, then verify
+  // the audit stream against the matching declaration.
+  DataPlane dp(TestConfig());
+  const uint32_t kWindowMs = 1000;
+
+  std::vector<OpaqueRef> window0_contribs;
+  for (int b = 0; b < 2; ++b) {
+    std::vector<Event> events(1000);
+    for (size_t i = 0; i < events.size(); ++i) {
+      events[i] = {.ts_ms = static_cast<EventTimeMs>(i % kWindowMs), .key = 1,
+                   .value = static_cast<int32_t>(i)};
+    }
+    auto info = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+    ASSERT_TRUE(info.ok());
+    InvokeRequest seg;
+    seg.op = PrimitiveOp::kSegment;
+    seg.inputs = {info->ref};
+    seg.params.window_size_ms = kWindowMs;
+    auto segs = dp.Invoke(seg);
+    ASSERT_TRUE(segs.ok());
+    for (const OutputInfo& out : segs->outputs) {
+      InvokeRequest sum;
+      sum.op = PrimitiveOp::kSum;
+      sum.inputs = {out.ref};
+      auto s = dp.Invoke(sum);
+      ASSERT_TRUE(s.ok());
+      window0_contribs.push_back(s->outputs[0].ref);
+    }
+  }
+  ASSERT_TRUE(dp.IngestWatermark(kWindowMs).ok());
+
+  InvokeRequest concat;
+  concat.op = PrimitiveOp::kConcat;
+  concat.inputs = window0_contribs;
+  auto merged = dp.Invoke(concat);
+  ASSERT_TRUE(merged.ok());
+  InvokeRequest total;
+  total.op = PrimitiveOp::kSum;
+  total.inputs = {merged->outputs[0].ref};
+  auto result = dp.Invoke(total);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(dp.Egress(result->outputs[0].ref).ok());
+
+  std::vector<AuditRecord> records;
+  dp.FlushAudit(&records);
+
+  VerifierPipelineSpec spec;
+  spec.window_size_ms = kWindowMs;
+  spec.per_batch_chain = {PrimitiveOp::kSum};
+  spec.per_window_stages = {
+      WindowStage{.op = PrimitiveOp::kConcat, .input_stages = {-1}},
+      WindowStage{.op = PrimitiveOp::kSum, .input_stages = {0}},
+  };
+  CloudVerifier verifier(spec);
+  const auto report = verifier.Verify(records);
+  EXPECT_TRUE(report.correct) << (report.violations.empty() ? "" : report.violations[0]);
+  EXPECT_EQ(report.windows_verified, 1u);
+  EXPECT_EQ(report.freshness.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sbt

@@ -1,0 +1,144 @@
+// Adaptive flow control (the paper's §4.2 future work, implemented as an extension):
+// the effective backpressure threshold tightens while the secure pool fills and relaxes while
+// it drains, always inside [adaptive_floor, backpressure_threshold].
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/event.h"
+#include "src/core/data_plane.h"
+
+namespace sbt {
+namespace {
+
+DataPlaneConfig SmallAdaptiveConfig() {
+  DataPlaneConfig cfg;
+  cfg.partition.secure_dram_bytes = 8u << 20;
+  cfg.partition.secure_page_bytes = 64u << 10;
+  cfg.partition.group_reserve_bytes = 8u << 20;
+  cfg.switch_cost = WorldSwitchConfig::Disabled();
+  cfg.decrypt_ingress = false;
+  cfg.backpressure_threshold = 0.9;
+  cfg.adaptive_backpressure = true;
+  cfg.adaptive_floor = 0.5;
+  return cfg;
+}
+
+std::vector<Event> SomeEvents(size_t n) {
+  std::vector<Event> events(n);
+  for (size_t i = 0; i < n; ++i) {
+    events[i] = {.ts_ms = 0, .key = 1, .value = 1};
+  }
+  return events;
+}
+
+std::span<const uint8_t> Bytes(const std::vector<Event>& v) {
+  return std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(v.data()),
+                                  v.size() * sizeof(Event));
+}
+
+TEST(FlowControlTest, StartsAtConfiguredThreshold) {
+  DataPlane dp(SmallAdaptiveConfig());
+  EXPECT_DOUBLE_EQ(dp.effective_backpressure_threshold(), 0.9);
+}
+
+TEST(FlowControlTest, TightensWhilePoolFills) {
+  DataPlane dp(SmallAdaptiveConfig());
+  const auto events = SomeEvents(30000);  // ~360KB per frame of an 8MB pool
+  std::vector<OpaqueRef> held;
+  double prev_threshold = dp.effective_backpressure_threshold();
+  bool tightened = false;
+  for (int i = 0; i < 12; ++i) {
+    auto info = dp.IngestBatch(Bytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+    ASSERT_TRUE(info.ok());
+    held.push_back(info->ref);  // never consume: pure fill
+    const double t = dp.effective_backpressure_threshold();
+    tightened |= (t < prev_threshold);
+    EXPECT_GE(t, 0.5);
+    EXPECT_LE(t, 0.9);
+    prev_threshold = t;
+  }
+  EXPECT_TRUE(tightened);
+  for (OpaqueRef ref : held) {
+    ASSERT_TRUE(dp.Release(ref).ok());
+  }
+}
+
+TEST(FlowControlTest, RelaxesWhilePoolDrains) {
+  DataPlane dp(SmallAdaptiveConfig());
+  const auto events = SomeEvents(30000);
+  std::vector<OpaqueRef> held;
+  for (int i = 0; i < 12; ++i) {
+    auto info = dp.IngestBatch(Bytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+    ASSERT_TRUE(info.ok());
+    held.push_back(info->ref);
+  }
+  const double tightened = dp.effective_backpressure_threshold();
+  ASSERT_LT(tightened, 0.9);
+
+  // Drain everything, then ingest/release in steady state: threshold relaxes back up.
+  for (OpaqueRef ref : held) {
+    ASSERT_TRUE(dp.Release(ref).ok());
+  }
+  double threshold = tightened;
+  for (int i = 0; i < 60 && threshold < 0.9; ++i) {
+    auto info = dp.IngestBatch(Bytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+    ASSERT_TRUE(info.ok());
+    ASSERT_TRUE(dp.Release(info->ref).ok());
+    threshold = dp.effective_backpressure_threshold();
+  }
+  EXPECT_GT(threshold, tightened);
+}
+
+TEST(FlowControlTest, AdaptiveTriggersBackpressureEarlierThanStatic) {
+  // With a rapidly filling pool the adaptive engine signals backpressure at lower utilization
+  // than the static 0.9 threshold would.
+  DataPlane adaptive(SmallAdaptiveConfig());
+  DataPlaneConfig static_cfg = SmallAdaptiveConfig();
+  static_cfg.adaptive_backpressure = false;
+  DataPlane fixed(static_cfg);
+
+  const auto events = SomeEvents(40000);  // ~480KB per frame: fast ramp
+  std::vector<OpaqueRef> a_held;
+  std::vector<OpaqueRef> f_held;
+  int adaptive_trigger = -1;
+  int static_trigger = -1;
+  for (int i = 0; i < 14; ++i) {
+    auto ia = adaptive.IngestBatch(Bytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+    auto fa = fixed.IngestBatch(Bytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+    ASSERT_TRUE(ia.ok() && fa.ok());
+    a_held.push_back(ia->ref);
+    f_held.push_back(fa->ref);
+    if (adaptive_trigger < 0 && adaptive.ShouldBackpressure()) {
+      adaptive_trigger = i;
+    }
+    if (static_trigger < 0 && fixed.ShouldBackpressure()) {
+      static_trigger = i;
+    }
+  }
+  ASSERT_GE(adaptive_trigger, 0) << "adaptive engine never signalled";
+  EXPECT_TRUE(static_trigger < 0 || adaptive_trigger <= static_trigger);
+  for (OpaqueRef ref : a_held) {
+    ASSERT_TRUE(adaptive.Release(ref).ok());
+  }
+  for (OpaqueRef ref : f_held) {
+    ASSERT_TRUE(fixed.Release(ref).ok());
+  }
+}
+
+TEST(FlowControlTest, StaticModeIsUnaffected) {
+  DataPlaneConfig cfg = SmallAdaptiveConfig();
+  cfg.adaptive_backpressure = false;
+  DataPlane dp(cfg);
+  const auto events = SomeEvents(30000);
+  for (int i = 0; i < 5; ++i) {
+    auto info = dp.IngestBatch(Bytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+    ASSERT_TRUE(info.ok());
+    EXPECT_DOUBLE_EQ(dp.effective_backpressure_threshold(), 0.9);
+    ASSERT_TRUE(dp.Release(info->ref).ok());
+  }
+}
+
+}  // namespace
+}  // namespace sbt

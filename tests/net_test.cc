@@ -1,0 +1,231 @@
+// Tests for the net substrate: workload generators (distribution contracts), the frame channel
+// (blocking, ordering, close semantics), and the Generator's replay framing + encryption.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+
+#include "src/crypto/aes128.h"
+#include "src/net/channel.h"
+#include "src/net/generator.h"
+#include "src/net/workloads.h"
+
+namespace sbt {
+namespace {
+
+TEST(WorkloadTest, EventTimesStayInsideTheirWindow) {
+  for (WorkloadKind kind : {WorkloadKind::kSynthetic, WorkloadKind::kTaxi,
+                            WorkloadKind::kIntelLab, WorkloadKind::kFilterable}) {
+    WorkloadConfig cfg;
+    cfg.kind = kind;
+    cfg.window_ms = 500;
+    cfg.events_per_window = 1000;
+    WorkloadGenerator gen(cfg);
+    std::vector<uint8_t> frame;
+    gen.FillFrame(/*window_index=*/3, 0, 1000, &frame);
+    ASSERT_EQ(frame.size(), 1000 * sizeof(Event));
+    for (size_t i = 0; i < 1000; ++i) {
+      Event e;
+      std::memcpy(&e, frame.data() + i * sizeof(Event), sizeof(Event));
+      EXPECT_GE(e.ts_ms, 1500u);
+      EXPECT_LT(e.ts_ms, 2000u);
+    }
+  }
+}
+
+TEST(WorkloadTest, TaxiHas11kDistinctIdsMax) {
+  WorkloadConfig cfg;
+  cfg.kind = WorkloadKind::kTaxi;
+  cfg.events_per_window = 200000;
+  WorkloadGenerator gen(cfg);
+  std::vector<uint8_t> frame;
+  gen.FillFrame(0, 0, 200000, &frame);
+  std::set<uint32_t> ids;
+  for (size_t i = 0; i < 200000; ++i) {
+    Event e;
+    std::memcpy(&e, frame.data() + i * sizeof(Event), sizeof(Event));
+    ids.insert(e.key);
+  }
+  EXPECT_LE(ids.size(), 11000u);
+  EXPECT_GT(ids.size(), 10000u);  // nearly all taxis report at this volume
+}
+
+TEST(WorkloadTest, FilterableSelectivityIsAboutOnePercent) {
+  WorkloadConfig cfg;
+  cfg.kind = WorkloadKind::kFilterable;
+  WorkloadGenerator gen(cfg);
+  std::vector<uint8_t> frame;
+  gen.FillFrame(0, 0, 100000, &frame);
+  size_t selected = 0;
+  for (size_t i = 0; i < 100000; ++i) {
+    Event e;
+    std::memcpy(&e, frame.data() + i * sizeof(Event), sizeof(Event));
+    if (e.value >= 0 && e.value < 100) {
+      ++selected;
+    }
+  }
+  EXPECT_GT(selected, 700u);
+  EXPECT_LT(selected, 1300u);
+}
+
+TEST(WorkloadTest, PowerGridEventsAreWellFormed) {
+  WorkloadConfig cfg;
+  cfg.kind = WorkloadKind::kPowerGrid;
+  cfg.num_houses = 7;
+  cfg.plugs_per_house = 9;
+  WorkloadGenerator gen(cfg);
+  EXPECT_EQ(gen.event_size(), sizeof(PowerEvent));
+  std::vector<uint8_t> frame;
+  gen.FillFrame(0, 0, 5000, &frame);
+  for (size_t i = 0; i < 5000; ++i) {
+    PowerEvent e;
+    std::memcpy(&e, frame.data() + i * sizeof(PowerEvent), sizeof(PowerEvent));
+    EXPECT_LT(e.house, 7u);
+    EXPECT_LT(e.plug, 9u);
+    EXPECT_GE(e.power, 0);
+  }
+}
+
+TEST(WorkloadTest, SameSeedSameBytes) {
+  WorkloadConfig cfg;
+  cfg.kind = WorkloadKind::kSynthetic;
+  cfg.seed = 99;
+  WorkloadGenerator a(cfg);
+  WorkloadGenerator b(cfg);
+  std::vector<uint8_t> fa;
+  std::vector<uint8_t> fb;
+  a.FillFrame(0, 0, 1000, &fa);
+  b.FillFrame(0, 0, 1000, &fb);
+  EXPECT_EQ(fa, fb);
+}
+
+TEST(ChannelTest, FifoOrder) {
+  FrameChannel ch(4);
+  for (int i = 0; i < 3; ++i) {
+    Frame f;
+    f.ctr_offset = static_cast<uint64_t>(i);
+    ASSERT_TRUE(ch.Push(std::move(f)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto f = ch.Pop();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->ctr_offset, static_cast<uint64_t>(i));
+  }
+}
+
+TEST(ChannelTest, PopAfterCloseDrainsThenEnds) {
+  FrameChannel ch(4);
+  ASSERT_TRUE(ch.Push(Frame{}));
+  ch.Close();
+  EXPECT_TRUE(ch.Pop().has_value());
+  EXPECT_FALSE(ch.Pop().has_value());
+  EXPECT_FALSE(ch.Push(Frame{}));
+}
+
+TEST(ChannelTest, BlockingProducerConsumer) {
+  FrameChannel ch(2);
+  constexpr int kFrames = 100;
+  std::thread producer([&ch] {
+    for (int i = 0; i < kFrames; ++i) {
+      Frame f;
+      f.ctr_offset = static_cast<uint64_t>(i);
+      ASSERT_TRUE(ch.Push(std::move(f)));
+    }
+    ch.Close();
+  });
+  int received = 0;
+  while (auto f = ch.Pop()) {
+    EXPECT_EQ(f->ctr_offset, static_cast<uint64_t>(received));
+    ++received;
+  }
+  producer.join();
+  EXPECT_EQ(received, kFrames);
+}
+
+TEST(GeneratorTest, EmitsWatermarkAfterEachWindow) {
+  GeneratorConfig cfg;
+  cfg.batch_events = 400;
+  cfg.num_windows = 2;
+  cfg.workload.events_per_window = 1000;
+  cfg.workload.window_ms = 1000;
+  Generator gen(cfg);
+
+  int batches = 0;
+  std::vector<EventTimeMs> watermarks;
+  uint32_t max_ts_before_wm = 0;
+  while (auto frame = gen.NextFrame()) {
+    if (frame->is_watermark) {
+      // Watermark guarantee: no earlier event may follow. Check against what we saw.
+      EXPECT_GE(frame->watermark, max_ts_before_wm);
+      watermarks.push_back(frame->watermark);
+    } else {
+      ++batches;
+      for (size_t i = 0; i < frame->bytes.size(); i += sizeof(Event)) {
+        Event e;
+        std::memcpy(&e, frame->bytes.data() + i, sizeof(e));
+        max_ts_before_wm = std::max(max_ts_before_wm, e.ts_ms);
+      }
+    }
+  }
+  EXPECT_EQ(batches, 6);  // 1000 events / 400 batch = 3 per window (400+400+200)
+  ASSERT_EQ(watermarks.size(), 2u);
+  EXPECT_EQ(watermarks[0], 1000u);
+  EXPECT_EQ(watermarks[1], 2000u);
+  EXPECT_EQ(gen.events_emitted(), 2000u);
+}
+
+TEST(GeneratorTest, EncryptedFramesDecryptWithCarriedOffsets) {
+  GeneratorConfig plain_cfg;
+  plain_cfg.batch_events = 300;
+  plain_cfg.num_windows = 1;
+  plain_cfg.workload.events_per_window = 1000;
+
+  GeneratorConfig enc_cfg = plain_cfg;
+  enc_cfg.encrypt = true;
+  for (size_t i = 0; i < kAesKeySize; ++i) {
+    enc_cfg.key[i] = static_cast<uint8_t>(i);
+  }
+  enc_cfg.nonce.fill(7);
+
+  Generator plain(plain_cfg);
+  Generator enc(enc_cfg);
+  Aes128Ctr cipher(enc_cfg.key, std::span<const uint8_t>(enc_cfg.nonce.data(), 12));
+
+  while (true) {
+    auto pf = plain.NextFrame();
+    auto ef = enc.NextFrame();
+    ASSERT_EQ(pf.has_value(), ef.has_value());
+    if (!pf.has_value()) {
+      break;
+    }
+    if (pf->is_watermark) {
+      continue;
+    }
+    EXPECT_NE(pf->bytes, ef->bytes);
+    std::vector<uint8_t> dec = ef->bytes;
+    cipher.Crypt(std::span<uint8_t>(dec.data(), dec.size()), ef->ctr_offset);
+    EXPECT_EQ(dec, pf->bytes);
+  }
+}
+
+TEST(GeneratorTest, RunIntoClosesChannel) {
+  GeneratorConfig cfg;
+  cfg.batch_events = 100;
+  cfg.num_windows = 1;
+  cfg.workload.events_per_window = 250;
+  Generator gen(cfg);
+  FrameChannel ch(64);
+  gen.RunInto(&ch);
+  int frames = 0;
+  int watermarks = 0;
+  while (auto f = ch.Pop()) {
+    (f->is_watermark ? watermarks : frames) += 1;
+  }
+  EXPECT_EQ(frames, 3);
+  EXPECT_EQ(watermarks, 1);
+}
+
+}  // namespace
+}  // namespace sbt

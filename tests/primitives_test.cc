@@ -1,0 +1,656 @@
+// Unit + differential tests for the trusted primitives.
+//
+// Every GroupBy-family primitive is checked against an obvious reference computation, and the
+// vectorized sort/merge kernels are differentially tested against std::sort / std::merge across
+// sizes and distributions (the paper's determinism requirement: same inputs -> same bytes).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/primitives/kv.h"
+#include "src/primitives/primitives.h"
+#include "src/primitives/vec_sort.h"
+#include "src/tz/secure_world.h"
+#include "src/uarray/allocator.h"
+
+namespace sbt {
+namespace {
+
+TzPartitionConfig TestConfig() {
+  TzPartitionConfig cfg;
+  cfg.secure_dram_bytes = 64u << 20;
+  cfg.secure_page_bytes = 64u << 10;
+  cfg.group_reserve_bytes = 64u << 20;
+  return cfg;
+}
+
+class PrimitivesTest : public ::testing::Test {
+ protected:
+  PrimitivesTest() : world_(TestConfig()), alloc_(&world_) { ctx_.alloc = &alloc_; }
+
+  UArray* MakeEvents(const std::vector<Event>& events) {
+    auto arr = alloc_.Create(sizeof(Event), UArrayScope::kStreaming);
+    EXPECT_TRUE(arr.ok());
+    EXPECT_TRUE((*arr)->Append(events.data(), events.size() * sizeof(Event)).ok());
+    (*arr)->Produce();
+    return *arr;
+  }
+
+  UArray* MakeKV(const std::vector<std::pair<uint32_t, int32_t>>& kvs, bool sorted = false) {
+    std::vector<PackedKV> packed;
+    packed.reserve(kvs.size());
+    for (const auto& [k, v] : kvs) {
+      packed.push_back(PackKV(k, v));
+    }
+    if (sorted) {
+      std::sort(packed.begin(), packed.end());
+    }
+    auto arr = alloc_.Create(sizeof(PackedKV), UArrayScope::kStreaming);
+    EXPECT_TRUE(arr.ok());
+    EXPECT_TRUE((*arr)->Append(packed.data(), packed.size() * sizeof(PackedKV)).ok());
+    (*arr)->Produce();
+    return *arr;
+  }
+
+  SecureWorld world_;
+  UArrayAllocator alloc_;
+  PrimitiveContext ctx_;
+};
+
+// --- kv packing ---------------------------------------------------------------
+
+TEST(KvTest, PackUnpackRoundTrip) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t key = rng.Next32();
+    const int32_t value = static_cast<int32_t>(rng.Next32());
+    const PackedKV p = PackKV(key, value);
+    EXPECT_EQ(UnpackKey(p), key);
+    EXPECT_EQ(UnpackValue(p), value);
+  }
+}
+
+TEST(KvTest, SignedOrderMatchesKeyThenValue) {
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t k1 = rng.Next32() % 100;
+    const uint32_t k2 = rng.Next32() % 100;
+    const int32_t v1 = static_cast<int32_t>(rng.Next32());
+    const int32_t v2 = static_cast<int32_t>(rng.Next32());
+    const bool expect_less = (k1 != k2) ? (k1 < k2) : (v1 < v2);
+    EXPECT_EQ(PackKV(k1, v1) < PackKV(k2, v2), expect_less)
+        << k1 << "," << v1 << " vs " << k2 << "," << v2;
+  }
+}
+
+TEST(KvTest, ExtremeValuesOrderCorrectly) {
+  EXPECT_LT(PackKV(0, INT32_MIN), PackKV(0, INT32_MAX));
+  EXPECT_LT(PackKV(0, INT32_MAX), PackKV(1, INT32_MIN));
+  EXPECT_LT(PackKV(0xfffffffe, 5), PackKV(0xffffffff, -5));
+}
+
+// --- vectorized sort/merge -----------------------------------------------------
+
+class VecSortTest : public ::testing::TestWithParam<SortImpl> {};
+
+TEST_P(VecSortTest, MatchesStdSortAcrossSizes) {
+  if (GetParam() == SortImpl::kVector && !VectorSortSupported()) {
+    GTEST_SKIP() << "no AVX2";
+  }
+  Xoshiro256 rng(77);
+  for (size_t n :
+       {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 15u, 16u, 17u, 63u, 100u, 1000u, 4096u, 100000u}) {
+    std::vector<int64_t> data(n);
+    for (auto& v : data) {
+      v = static_cast<int64_t>(rng.Next());
+    }
+    std::vector<int64_t> expected = data;
+    std::sort(expected.begin(), expected.end());
+    std::vector<int64_t> scratch(n);
+    SortI64(data, scratch, GetParam());
+    EXPECT_EQ(data, expected) << "n=" << n;
+  }
+}
+
+TEST_P(VecSortTest, HandlesAdversarialDistributions) {
+  if (GetParam() == SortImpl::kVector && !VectorSortSupported()) {
+    GTEST_SKIP() << "no AVX2";
+  }
+  const size_t n = 10000;
+  std::vector<std::vector<int64_t>> cases;
+  // Already sorted, reverse sorted, all equal, few distinct, organ pipe.
+  std::vector<int64_t> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<int64_t>(i);
+  }
+  cases.push_back(v);
+  std::reverse(v.begin(), v.end());
+  cases.push_back(v);
+  cases.push_back(std::vector<int64_t>(n, 42));
+  Xoshiro256 rng(3);
+  for (auto& x : v) {
+    x = static_cast<int64_t>(rng.NextBelow(4));
+  }
+  cases.push_back(v);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<int64_t>(i < n / 2 ? i : n - i);
+  }
+  cases.push_back(v);
+
+  for (auto& data : cases) {
+    std::vector<int64_t> expected = data;
+    std::sort(expected.begin(), expected.end());
+    std::vector<int64_t> scratch(data.size());
+    SortI64(data, scratch, GetParam());
+    EXPECT_EQ(data, expected);
+  }
+}
+
+TEST_P(VecSortTest, MergeMatchesStdMerge) {
+  if (GetParam() == SortImpl::kVector && !VectorSortSupported()) {
+    GTEST_SKIP() << "no AVX2";
+  }
+  Xoshiro256 rng(99);
+  for (int round = 0; round < 200; ++round) {
+    const size_t na = rng.NextBelow(300);
+    const size_t nb = rng.NextBelow(300);
+    std::vector<int64_t> a(na);
+    std::vector<int64_t> b(nb);
+    for (auto& x : a) {
+      x = static_cast<int64_t>(rng.NextBelow(1000));
+    }
+    for (auto& x : b) {
+      x = static_cast<int64_t>(rng.NextBelow(1000));
+    }
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::vector<int64_t> expected(na + nb);
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), expected.begin());
+    std::vector<int64_t> out(na + nb);
+    MergeI64(a, b, out, GetParam());
+    EXPECT_EQ(out, expected) << "round=" << round << " na=" << na << " nb=" << nb;
+  }
+}
+
+TEST_P(VecSortTest, MergeLargeRuns) {
+  if (GetParam() == SortImpl::kVector && !VectorSortSupported()) {
+    GTEST_SKIP() << "no AVX2";
+  }
+  Xoshiro256 rng(13);
+  std::vector<int64_t> a(50000);
+  std::vector<int64_t> b(70000);
+  for (auto& x : a) {
+    x = static_cast<int64_t>(rng.Next());
+  }
+  for (auto& x : b) {
+    x = static_cast<int64_t>(rng.Next());
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<int64_t> expected(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), expected.begin());
+  std::vector<int64_t> out(a.size() + b.size());
+  MergeI64(a, b, out, GetParam());
+  EXPECT_EQ(out, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImpls, VecSortTest,
+                         ::testing::Values(SortImpl::kScalar, SortImpl::kVector),
+                         [](const ::testing::TestParamInfo<SortImpl>& info) {
+                           return info.param == SortImpl::kScalar ? "Scalar" : "Vector";
+                         });
+
+// --- event primitives ----------------------------------------------------------
+
+TEST_F(PrimitivesTest, SegmentSplitsByWindow) {
+  UArray* in = MakeEvents({
+      {.ts_ms = 50, .key = 1, .value = 10},
+      {.ts_ms = 1500, .key = 2, .value = 20},
+      {.ts_ms = 999, .key = 3, .value = 30},
+      {.ts_ms = 2100, .key = 4, .value = 40},
+  });
+  auto result = PrimSegment(ctx_, *in, SlidingWindowFn{1000, 1000});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ((*result)[0].window_index, 0u);
+  EXPECT_EQ((*result)[0].events->size(), 2u);
+  EXPECT_EQ((*result)[1].window_index, 1u);
+  EXPECT_EQ((*result)[1].events->size(), 1u);
+  EXPECT_EQ((*result)[2].window_index, 2u);
+  // Window 0 preserves arrival order.
+  auto w0 = (*result)[0].events->Span<Event>();
+  EXPECT_EQ(w0[0].key, 1u);
+  EXPECT_EQ(w0[1].key, 3u);
+}
+
+TEST_F(PrimitivesTest, SegmentEmptyInput) {
+  UArray* in = MakeEvents({});
+  auto result = PrimSegment(ctx_, *in, SlidingWindowFn{1000, 1000});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_F(PrimitivesTest, SegmentRejectsZeroWindow) {
+  UArray* in = MakeEvents({{.ts_ms = 1, .key = 1, .value = 1}});
+  EXPECT_EQ(PrimSegment(ctx_, *in, SlidingWindowFn{0, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PrimitivesTest, FilterBandKeepsHalfOpenRange) {
+  UArray* in = MakeEvents({
+      {.ts_ms = 0, .key = 1, .value = 5},
+      {.ts_ms = 0, .key = 2, .value = 10},
+      {.ts_ms = 0, .key = 3, .value = 15},
+      {.ts_ms = 0, .key = 4, .value = 20},
+  });
+  auto out = PrimFilterBand(ctx_, *in, 10, 20);
+  ASSERT_TRUE(out.ok());
+  auto span = (*out)->Span<Event>();
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[0].value, 10);
+  EXPECT_EQ(span[1].value, 15);
+}
+
+TEST_F(PrimitivesTest, FilterBandLargeInputCrossesChunks) {
+  std::vector<Event> events;
+  for (int i = 0; i < 50000; ++i) {
+    events.push_back({.ts_ms = 0, .key = static_cast<uint32_t>(i), .value = i % 100});
+  }
+  UArray* in = MakeEvents(events);
+  auto out = PrimFilterBand(ctx_, *in, 0, 50);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->size(), 25000u);
+}
+
+TEST_F(PrimitivesTest, SelectByKey) {
+  UArray* in = MakeEvents({
+      {.ts_ms = 0, .key = 7, .value = 1},
+      {.ts_ms = 0, .key = 8, .value = 2},
+      {.ts_ms = 0, .key = 7, .value = 3},
+  });
+  auto out = PrimSelect(ctx_, *in, 7);
+  ASSERT_TRUE(out.ok());
+  auto span = (*out)->Span<Event>();
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[0].value, 1);
+  EXPECT_EQ(span[1].value, 3);
+}
+
+TEST_F(PrimitivesTest, ProjectPacksKeyValue) {
+  UArray* in = MakeEvents({{.ts_ms = 123, .key = 5, .value = -9}});
+  auto out = PrimProject(ctx_, *in);
+  ASSERT_TRUE(out.ok());
+  auto span = (*out)->Span<PackedKV>();
+  ASSERT_EQ(span.size(), 1u);
+  EXPECT_EQ(UnpackKey(span[0]), 5u);
+  EXPECT_EQ(UnpackValue(span[0]), -9);
+}
+
+TEST_F(PrimitivesTest, ScaleMultipliesValues) {
+  UArray* in = MakeEvents({{.ts_ms = 1, .key = 2, .value = 3}});
+  auto out = PrimScale(ctx_, *in, -4);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->Span<Event>()[0].value, -12);
+  EXPECT_EQ((*out)->Span<Event>()[0].ts_ms, 1u);
+}
+
+TEST_F(PrimitivesTest, SampleEveryNth) {
+  std::vector<Event> events;
+  for (int i = 0; i < 10; ++i) {
+    events.push_back({.ts_ms = 0, .key = 0, .value = i});
+  }
+  UArray* in = MakeEvents(events);
+  auto out = PrimSample(ctx_, *in, 3);
+  ASSERT_TRUE(out.ok());
+  auto span = (*out)->Span<Event>();
+  ASSERT_EQ(span.size(), 4u);
+  EXPECT_EQ(span[0].value, 0);
+  EXPECT_EQ(span[3].value, 9);
+  EXPECT_EQ(PrimSample(ctx_, *in, 0).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PrimitivesTest, MinMaxAndEmpty) {
+  UArray* in = MakeEvents({
+      {.ts_ms = 0, .key = 0, .value = 7},
+      {.ts_ms = 0, .key = 0, .value = -3},
+      {.ts_ms = 0, .key = 0, .value = 12},
+  });
+  auto out = PrimMinMax(ctx_, *in);
+  ASSERT_TRUE(out.ok());
+  auto span = (*out)->Span<int32_t>();
+  EXPECT_EQ(span[0], -3);
+  EXPECT_EQ(span[1], 12);
+
+  UArray* empty = MakeEvents({});
+  auto out2 = PrimMinMax(ctx_, *empty);
+  ASSERT_TRUE(out2.ok());
+  EXPECT_EQ((*out2)->Span<int32_t>()[0], INT32_MAX);
+  EXPECT_EQ((*out2)->Span<int32_t>()[1], INT32_MIN);
+}
+
+TEST_F(PrimitivesTest, HistogramBucketsAndClamps) {
+  UArray* in = MakeEvents({
+      {.ts_ms = 0, .key = 0, .value = -100},  // clamps to bucket 0
+      {.ts_ms = 0, .key = 0, .value = 5},     // bucket 0
+      {.ts_ms = 0, .key = 0, .value = 15},    // bucket 1
+      {.ts_ms = 0, .key = 0, .value = 999},   // clamps to last bucket
+  });
+  auto out = PrimHistogram(ctx_, *in, 0, 10, 3);
+  ASSERT_TRUE(out.ok());
+  auto span = (*out)->Span<uint64_t>();
+  ASSERT_EQ(span.size(), 3u);
+  EXPECT_EQ(span[0], 2u);
+  EXPECT_EQ(span[1], 1u);
+  EXPECT_EQ(span[2], 1u);
+}
+
+TEST_F(PrimitivesTest, SumAndCount) {
+  UArray* in = MakeEvents({
+      {.ts_ms = 0, .key = 0, .value = 10},
+      {.ts_ms = 0, .key = 0, .value = -4},
+  });
+  auto sum = PrimSum(ctx_, *in);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ((*sum)->Span<int64_t>()[0], 6);
+  auto cnt = PrimCount(ctx_, *in);
+  ASSERT_TRUE(cnt.ok());
+  EXPECT_EQ((*cnt)->Span<uint64_t>()[0], 2u);
+}
+
+// --- kv primitives ---------------------------------------------------------------
+
+TEST_F(PrimitivesTest, SortProducesAscendingKV) {
+  Xoshiro256 rng(1);
+  std::vector<std::pair<uint32_t, int32_t>> kvs;
+  for (int i = 0; i < 5000; ++i) {
+    kvs.push_back({rng.Next32() % 50, static_cast<int32_t>(rng.Next32())});
+  }
+  UArray* in = MakeKV(kvs);
+  auto out = PrimSort(ctx_, *in);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(IsSortedI64((*out)->Span<int64_t>()));
+  EXPECT_EQ((*out)->size(), kvs.size());
+  // Sorting must not drop or invent records: multiset equality with reference.
+  std::vector<PackedKV> expected;
+  for (const auto& [k, v] : kvs) {
+    expected.push_back(PackKV(k, v));
+  }
+  std::sort(expected.begin(), expected.end());
+  auto span = (*out)->Span<PackedKV>();
+  EXPECT_TRUE(std::equal(span.begin(), span.end(), expected.begin()));
+}
+
+TEST_F(PrimitivesTest, SortRetiresItsScratch) {
+  UArray* in = MakeKV({{3, 1}, {1, 2}, {2, 3}});
+  const size_t live_before = alloc_.stats().live_arrays;
+  auto out = PrimSort(ctx_, *in);
+  ASSERT_TRUE(out.ok());
+  // Only the output should remain live beyond the input.
+  EXPECT_EQ(alloc_.stats().live_arrays, live_before + 1);
+}
+
+TEST_F(PrimitivesTest, MergeTwoSortedArrays) {
+  UArray* a = MakeKV({{1, 1}, {3, 3}, {5, 5}}, /*sorted=*/true);
+  UArray* b = MakeKV({{2, 2}, {4, 4}}, /*sorted=*/true);
+  auto out = PrimMerge(ctx_, *a, *b);
+  ASSERT_TRUE(out.ok());
+  auto span = (*out)->Span<PackedKV>();
+  ASSERT_EQ(span.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(UnpackKey(span[i]), i + 1);
+  }
+}
+
+TEST_F(PrimitivesTest, MergeNManyArrays) {
+  Xoshiro256 rng(4);
+  std::vector<const UArray*> inputs;
+  std::vector<PackedKV> all;
+  for (int i = 0; i < 9; ++i) {
+    std::vector<std::pair<uint32_t, int32_t>> kvs;
+    for (int j = 0; j < 100; ++j) {
+      kvs.push_back({rng.Next32() % 1000, static_cast<int32_t>(j)});
+    }
+    UArray* arr = MakeKV(kvs, /*sorted=*/true);
+    inputs.push_back(arr);
+    auto span = arr->Span<PackedKV>();
+    all.insert(all.end(), span.begin(), span.end());
+  }
+  auto out = PrimMergeN(ctx_, inputs);
+  ASSERT_TRUE(out.ok());
+  std::sort(all.begin(), all.end());
+  auto span = (*out)->Span<PackedKV>();
+  ASSERT_EQ(span.size(), all.size());
+  EXPECT_TRUE(std::equal(span.begin(), span.end(), all.begin()));
+  EXPECT_TRUE((*out)->state() == UArrayState::kProduced);
+}
+
+TEST_F(PrimitivesTest, SumCntAggregatesPerKey) {
+  UArray* in = MakeKV({{1, 10}, {1, 20}, {2, 5}, {3, 1}, {3, -1}}, /*sorted=*/true);
+  auto out = PrimSumCnt(ctx_, *in);
+  ASSERT_TRUE(out.ok());
+  auto span = (*out)->Span<KeySumCount>();
+  ASSERT_EQ(span.size(), 3u);
+  EXPECT_EQ(span[0], (KeySumCount{1, 2, 30}));
+  EXPECT_EQ(span[1], (KeySumCount{2, 1, 5}));
+  EXPECT_EQ(span[2], (KeySumCount{3, 2, 0}));
+}
+
+TEST_F(PrimitivesTest, SumCntMatchesReferenceOnRandomData) {
+  Xoshiro256 rng(8);
+  std::vector<std::pair<uint32_t, int32_t>> kvs;
+  std::map<uint32_t, std::pair<uint32_t, int64_t>> ref;
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t k = rng.Next32() % 200;
+    const int32_t v = static_cast<int32_t>(rng.Next32() % 1000) - 500;
+    kvs.push_back({k, v});
+    ref[k].first += 1;
+    ref[k].second += v;
+  }
+  UArray* in = MakeKV(kvs, /*sorted=*/true);
+  auto out = PrimSumCnt(ctx_, *in);
+  ASSERT_TRUE(out.ok());
+  auto span = (*out)->Span<KeySumCount>();
+  ASSERT_EQ(span.size(), ref.size());
+  size_t i = 0;
+  for (const auto& [k, sc] : ref) {
+    EXPECT_EQ(span[i].key, k);
+    EXPECT_EQ(span[i].count, sc.first);
+    EXPECT_EQ(span[i].sum, sc.second);
+    ++i;
+  }
+}
+
+TEST_F(PrimitivesTest, MergeSumCntAddsMatchingKeys) {
+  UArray* a = MakeKV({}, true);  // build KeySumCount arrays manually
+  (void)a;
+  auto mk = [&](std::vector<KeySumCount> cells) {
+    auto arr = alloc_.Create(sizeof(KeySumCount), UArrayScope::kStreaming);
+    EXPECT_TRUE(arr.ok());
+    EXPECT_TRUE((*arr)->Append(cells.data(), cells.size() * sizeof(KeySumCount)).ok());
+    (*arr)->Produce();
+    return *arr;
+  };
+  UArray* x = mk({{1, 2, 10}, {3, 1, 5}});
+  UArray* y = mk({{1, 1, 7}, {2, 4, 8}});
+  auto out = PrimMergeSumCnt(ctx_, *x, *y);
+  ASSERT_TRUE(out.ok());
+  auto span = (*out)->Span<KeySumCount>();
+  ASSERT_EQ(span.size(), 3u);
+  EXPECT_EQ(span[0], (KeySumCount{1, 3, 17}));
+  EXPECT_EQ(span[1], (KeySumCount{2, 4, 8}));
+  EXPECT_EQ(span[2], (KeySumCount{3, 1, 5}));
+}
+
+TEST_F(PrimitivesTest, TopKTakesLargestPerKey) {
+  UArray* in = MakeKV({{1, 5}, {1, 9}, {1, 2}, {2, 4}}, /*sorted=*/true);
+  auto out = PrimTopKPerKey(ctx_, *in, 2);
+  ASSERT_TRUE(out.ok());
+  auto span = (*out)->Span<PackedKV>();
+  ASSERT_EQ(span.size(), 3u);  // key 1 contributes 2 (5, 9); key 2 contributes 1 (4)
+  EXPECT_EQ(UnpackValue(span[0]), 5);
+  EXPECT_EQ(UnpackValue(span[1]), 9);
+  EXPECT_EQ(UnpackValue(span[2]), 4);
+  EXPECT_EQ(PrimTopKPerKey(ctx_, *in, 0).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PrimitivesTest, UniqueAndCountPerKey) {
+  UArray* in = MakeKV({{1, 1}, {1, 2}, {4, 1}, {9, 0}, {9, 9}, {9, 10}}, /*sorted=*/true);
+  auto uniq = PrimUnique(ctx_, *in);
+  ASSERT_TRUE(uniq.ok());
+  auto uspan = (*uniq)->Span<uint32_t>();
+  ASSERT_EQ(uspan.size(), 3u);
+  EXPECT_EQ(uspan[0], 1u);
+  EXPECT_EQ(uspan[1], 4u);
+  EXPECT_EQ(uspan[2], 9u);
+
+  auto counts = PrimCountPerKey(ctx_, *in);
+  ASSERT_TRUE(counts.ok());
+  auto cspan = (*counts)->Span<KeyValue>();
+  ASSERT_EQ(cspan.size(), 3u);
+  EXPECT_EQ(cspan[0], (KeyValue{1, 2}));
+  EXPECT_EQ(cspan[2], (KeyValue{9, 3}));
+}
+
+TEST_F(PrimitivesTest, MedianPerKeyLowerMedian) {
+  UArray* in = MakeKV({{1, 10}, {1, 20}, {1, 30}, {2, 4}, {2, 8}}, /*sorted=*/true);
+  auto out = PrimMedianPerKey(ctx_, *in);
+  ASSERT_TRUE(out.ok());
+  auto span = (*out)->Span<KeyValue>();
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[0], (KeyValue{1, 20}));
+  EXPECT_EQ(span[1], (KeyValue{2, 4}));  // lower median of {4, 8}
+}
+
+TEST_F(PrimitivesTest, DedupDropsConsecutiveDuplicates) {
+  UArray* in = MakeKV({{1, 1}, {1, 1}, {1, 2}, {2, 2}, {2, 2}}, /*sorted=*/true);
+  auto out = PrimDedup(ctx_, *in);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->size(), 3u);
+}
+
+TEST_F(PrimitivesTest, JoinEmitsCrossProductPerKey) {
+  UArray* l = MakeKV({{1, 10}, {2, 20}, {2, 21}, {4, 40}}, /*sorted=*/true);
+  UArray* r = MakeKV({{2, 200}, {2, 201}, {3, 300}, {4, 400}}, /*sorted=*/true);
+  auto out = PrimJoin(ctx_, *l, *r);
+  ASSERT_TRUE(out.ok());
+  auto span = (*out)->Span<JoinRow>();
+  // key 2: 2x2 = 4 rows; key 4: 1 row.
+  ASSERT_EQ(span.size(), 5u);
+  EXPECT_EQ(span[0], (JoinRow{2, 20, 200}));
+  EXPECT_EQ(span[1], (JoinRow{2, 20, 201}));
+  EXPECT_EQ(span[2], (JoinRow{2, 21, 200}));
+  EXPECT_EQ(span[3], (JoinRow{2, 21, 201}));
+  EXPECT_EQ(span[4], (JoinRow{4, 40, 400}));
+}
+
+TEST_F(PrimitivesTest, JoinDisjointKeysIsEmpty) {
+  UArray* l = MakeKV({{1, 1}}, true);
+  UArray* r = MakeKV({{2, 2}}, true);
+  auto out = PrimJoin(ctx_, *l, *r);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE((*out)->empty());
+}
+
+TEST_F(PrimitivesTest, AverageDividesSumByCount) {
+  auto arr = alloc_.Create(sizeof(KeySumCount), UArrayScope::kStreaming);
+  ASSERT_TRUE(arr.ok());
+  std::vector<KeySumCount> cells = {{1, 4, 100}, {2, 3, 10}};
+  ASSERT_TRUE((*arr)->Append(cells.data(), cells.size() * sizeof(KeySumCount)).ok());
+  (*arr)->Produce();
+  auto out = PrimAverage(ctx_, **arr);
+  ASSERT_TRUE(out.ok());
+  auto span = (*out)->Span<KeyValue>();
+  EXPECT_EQ(span[0], (KeyValue{1, 25}));
+  EXPECT_EQ(span[1], (KeyValue{2, 3}));
+}
+
+TEST_F(PrimitivesTest, EwmaBlendsStateAndObservation) {
+  auto mk = [&](std::vector<KeyValue> cells) {
+    auto arr = alloc_.Create(sizeof(KeyValue), UArrayScope::kState);
+    EXPECT_TRUE(arr.ok());
+    EXPECT_TRUE((*arr)->Append(cells.data(), cells.size() * sizeof(KeyValue)).ok());
+    (*arr)->Produce();
+    return *arr;
+  };
+  UArray* state = mk({{1, 100}, {3, 50}});
+  UArray* obs = mk({{1, 200}, {2, 80}});
+  // alpha = 1/2: key1 -> 150; key2 seeds at 80; key3 carries 50.
+  auto out = PrimEwma(ctx_, *state, *obs, 1, 2);
+  ASSERT_TRUE(out.ok());
+  auto span = (*out)->Span<KeyValue>();
+  ASSERT_EQ(span.size(), 3u);
+  EXPECT_EQ(span[0], (KeyValue{1, 150}));
+  EXPECT_EQ(span[1], (KeyValue{2, 80}));
+  EXPECT_EQ(span[2], (KeyValue{3, 50}));
+  EXPECT_EQ(PrimEwma(ctx_, *state, *obs, 3, 2).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PrimitivesTest, ConcatPreservesOrder) {
+  UArray* a = MakeKV({{1, 1}}, true);
+  UArray* b = MakeKV({{9, 9}}, true);
+  auto out = PrimConcat(ctx_, {a, b});
+  ASSERT_TRUE(out.ok());
+  auto span = (*out)->Span<PackedKV>();
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(UnpackKey(span[0]), 1u);
+  EXPECT_EQ(UnpackKey(span[1]), 9u);
+  EXPECT_EQ(PrimConcat(ctx_, {}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PrimitivesTest, ConcatRejectsMixedElementSizes) {
+  UArray* a = MakeKV({{1, 1}}, true);
+  UArray* e = MakeEvents({{.ts_ms = 0, .key = 1, .value = 1}});
+  EXPECT_EQ(PrimConcat(ctx_, {a, e}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PrimitivesTest, CompactCopiesBytes) {
+  UArray* a = MakeKV({{1, 2}, {3, 4}}, true);
+  auto out = PrimCompact(ctx_, *a);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->size(), 2u);
+  EXPECT_NE((*out)->data(), a->data());
+  EXPECT_EQ(0, memcmp((*out)->data(), a->data(), a->size_bytes()));
+}
+
+TEST_F(PrimitivesTest, PrimitivesRejectOpenInputs) {
+  auto open = alloc_.Create(sizeof(PackedKV), UArrayScope::kStreaming);
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(PrimSort(ctx_, **open).status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(PrimCount(ctx_, **open).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PrimitivesTest, PrimitivesRejectWrongElementSize) {
+  UArray* events = MakeEvents({{.ts_ms = 0, .key = 1, .value = 1}});
+  EXPECT_EQ(PrimSort(ctx_, *events).status().code(), StatusCode::kInvalidArgument);
+  UArray* kv = MakeKV({{1, 1}});
+  EXPECT_EQ(PrimFilterBand(ctx_, *kv, 0, 1).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PrimitivesTest, DeterministicOutputs) {
+  // Same inputs -> byte-identical outputs (required by audit replay).
+  Xoshiro256 rng(21);
+  std::vector<std::pair<uint32_t, int32_t>> kvs;
+  for (int i = 0; i < 3000; ++i) {
+    kvs.push_back({rng.Next32() % 64, static_cast<int32_t>(rng.Next32())});
+  }
+  UArray* in1 = MakeKV(kvs);
+  UArray* in2 = MakeKV(kvs);
+  auto s1 = PrimSort(ctx_, *in1);
+  auto s2 = PrimSort(ctx_, *in2);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  ASSERT_EQ((*s1)->size_bytes(), (*s2)->size_bytes());
+  EXPECT_EQ(0, memcmp((*s1)->data(), (*s2)->data(), (*s1)->size_bytes()));
+
+  auto a1 = PrimSumCnt(ctx_, **s1);
+  auto a2 = PrimSumCnt(ctx_, **s2);
+  ASSERT_TRUE(a1.ok() && a2.ok());
+  ASSERT_EQ((*a1)->size_bytes(), (*a2)->size_bytes());
+  EXPECT_EQ(0, memcmp((*a1)->data(), (*a2)->data(), (*a1)->size_bytes()));
+}
+
+}  // namespace
+}  // namespace sbt

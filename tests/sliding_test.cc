@@ -1,0 +1,137 @@
+// Sliding-window support: window math, Segment replication, and an end-to-end sliding WinSum
+// whose per-window sums match a reference and whose audit stream verifies.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "src/common/time.h"
+#include "src/control/benchmarks.h"
+#include "src/control/harness.h"
+#include "src/primitives/primitives.h"
+#include "src/tz/secure_world.h"
+#include "src/uarray/allocator.h"
+
+namespace sbt {
+namespace {
+
+TEST(SlidingWindowFnTest, FixedDegenerateCase) {
+  SlidingWindowFn fn{1000, 1000};
+  ASSERT_TRUE(fn.Valid());
+  EXPECT_EQ(fn.FirstWindow(0), 0u);
+  EXPECT_EQ(fn.LastWindow(0), 0u);
+  EXPECT_EQ(fn.FirstWindow(999), 0u);
+  EXPECT_EQ(fn.LastWindow(999), 0u);
+  EXPECT_EQ(fn.FirstWindow(1000), 1u);
+  EXPECT_EQ(fn.LastWindow(1000), 1u);
+}
+
+TEST(SlidingWindowFnTest, OverlappingMembership) {
+  // size 1000, slide 250: each event belongs to 4 windows (except near the epoch).
+  SlidingWindowFn fn{1000, 250};
+  ASSERT_TRUE(fn.Valid());
+  // t=1100: windows w with w*250 <= 1100 < w*250+1000  ->  w in {1, 2, 3, 4}.
+  EXPECT_EQ(fn.FirstWindow(1100), 1u);
+  EXPECT_EQ(fn.LastWindow(1100), 4u);
+  // Every covered window actually contains the time; neighbors do not.
+  for (uint32_t w = fn.FirstWindow(1100); w <= fn.LastWindow(1100); ++w) {
+    EXPECT_TRUE(fn.WindowAt(w).Contains(1100)) << w;
+  }
+  EXPECT_FALSE(fn.WindowAt(0).Contains(1100));
+  EXPECT_FALSE(fn.WindowAt(5).Contains(1100));
+  // Near the epoch, membership clamps at window 0.
+  EXPECT_EQ(fn.FirstWindow(100), 0u);
+  EXPECT_EQ(fn.LastWindow(100), 0u);
+  EXPECT_EQ(fn.FirstWindow(300), 0u);
+  EXPECT_EQ(fn.LastWindow(300), 1u);
+}
+
+TEST(SlidingWindowFnTest, InvalidSpecs) {
+  EXPECT_FALSE((SlidingWindowFn{1000, 0}).Valid());
+  EXPECT_FALSE((SlidingWindowFn{250, 1000}).Valid());  // slide > size unsupported
+}
+
+TEST(SlidingSegmentTest, ReplicatesEventsIntoOverlappingWindows) {
+  TzPartitionConfig tz;
+  tz.secure_dram_bytes = 8u << 20;
+  tz.group_reserve_bytes = 8u << 20;
+  SecureWorld world(tz);
+  UArrayAllocator alloc(&world);
+  PrimitiveContext ctx;
+  ctx.alloc = &alloc;
+
+  std::vector<Event> events = {
+      {.ts_ms = 100, .key = 1, .value = 1},   // windows 0 (only; clamped)
+      {.ts_ms = 600, .key = 2, .value = 2},   // windows 0, 1
+      {.ts_ms = 1100, .key = 3, .value = 3},  // windows 1, 2
+  };
+  auto arr = alloc.Create(sizeof(Event), UArrayScope::kStreaming);
+  ASSERT_TRUE(arr.ok());
+  ASSERT_TRUE((*arr)->Append(events.data(), events.size() * sizeof(Event)).ok());
+  (*arr)->Produce();
+
+  auto result = PrimSegment(ctx, **arr, SlidingWindowFn{1000, 500});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ((*result)[0].window_index, 0u);
+  EXPECT_EQ((*result)[0].events->size(), 2u);  // keys 1, 2
+  EXPECT_EQ((*result)[1].window_index, 1u);
+  EXPECT_EQ((*result)[1].events->size(), 2u);  // keys 2, 3
+  EXPECT_EQ((*result)[2].window_index, 2u);
+  EXPECT_EQ((*result)[2].events->size(), 1u);  // key 3
+}
+
+TEST(SlidingEndToEndTest, SlidingWinSumMatchesReferenceAndVerifies) {
+  HarnessOptions opts;
+  opts.version = EngineVersion::kSbtClearIngress;
+  opts.engine.secure_pool_mb = 128;
+  opts.engine.num_workers = 2;
+  opts.generator.batch_events = 10000;
+  opts.generator.num_windows = 3;
+  opts.generator.workload.kind = WorkloadKind::kIntelLab;
+  opts.generator.workload.events_per_window = 20000;
+  opts.generator.workload.window_ms = 1000;
+
+  Pipeline pipeline = MakeWinSum(1000);
+  pipeline.SlideEvery(500);  // 1s windows every 500ms
+  const HarnessResult result = RunHarness(pipeline, opts);
+
+  EXPECT_EQ(result.runner.task_errors, 0u);
+  ASSERT_TRUE(result.verify.correct)
+      << (result.verify.violations.empty() ? "" : result.verify.violations[0]);
+
+  // Reference: regenerate and sum into overlapping windows.
+  GeneratorConfig copy = opts.generator;
+  copy.encrypt = false;
+  Generator gen(copy);
+  std::map<uint32_t, int64_t> expected;
+  const SlidingWindowFn fn{1000, 500};
+  while (auto frame = gen.NextFrame()) {
+    if (frame->is_watermark) {
+      continue;
+    }
+    for (size_t i = 0; i < frame->bytes.size(); i += sizeof(Event)) {
+      Event e;
+      std::memcpy(&e, frame->bytes.data() + i, sizeof(e));
+      for (uint32_t w = fn.FirstWindow(e.ts_ms); w <= fn.LastWindow(e.ts_ms); ++w) {
+        expected[w] += e.value;
+      }
+    }
+  }
+  // Only windows whose end <= final watermark (3000ms) close: w*500+1000 <= 3000 -> w <= 4.
+  const DataPlaneConfig cfg = MakeEngineConfig(opts.version, opts.engine);
+  size_t closed = 0;
+  for (const WindowResult& wr : result.window_results) {
+    ASSERT_LE(wr.window_index, 4u);
+    const auto plain = DecryptEgressBlob(cfg, wr.blobs[0], wr.blobs[0].ctr_offset);
+    int64_t sum = 0;
+    std::memcpy(&sum, plain.data(), sizeof(sum));
+    EXPECT_EQ(sum, expected[wr.window_index]) << "window " << wr.window_index;
+    ++closed;
+  }
+  EXPECT_EQ(closed, 5u);  // windows 0..4
+}
+
+}  // namespace
+}  // namespace sbt

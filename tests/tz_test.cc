@@ -1,0 +1,259 @@
+// Tests for the TrustZone emulation: secure pool accounting, on-demand paging, in-place growth,
+// head reclaim, exhaustion (backpressure precondition), boundary checks, world-switch gate.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/tz/secure_world.h"
+#include "src/tz/tzasc.h"
+#include "src/tz/world_switch.h"
+
+namespace sbt {
+namespace {
+
+TzPartitionConfig SmallConfig() {
+  TzPartitionConfig cfg;
+  cfg.secure_dram_bytes = 1u << 20;  // 1 MB pool
+  cfg.secure_page_bytes = 64u << 10;
+  cfg.group_reserve_bytes = 1u << 20;
+  return cfg;
+}
+
+TEST(TzascTest, ValidatesConfig) {
+  TzPartitionConfig cfg = SmallConfig();
+  EXPECT_TRUE(cfg.Valid());
+  cfg.secure_page_bytes = 3000;  // not a power of two
+  EXPECT_FALSE(cfg.Valid());
+  cfg = SmallConfig();
+  cfg.secure_dram_bytes = 0;
+  EXPECT_FALSE(cfg.Valid());
+}
+
+TEST(SecureWorldTest, PoolFrameAccounting) {
+  SecureWorld world(SmallConfig());
+  EXPECT_EQ(world.pool_frames(), 16u);
+  EXPECT_EQ(world.free_frames(), 16u);
+  EXPECT_EQ(world.stats().pool_bytes, 1u << 20);
+  EXPECT_EQ(world.stats().committed_bytes, 0u);
+}
+
+TEST(SecureWorldTest, ReserveCommitsNothing) {
+  SecureWorld world(SmallConfig());
+  auto range = world.Reserve(512u << 10);
+  ASSERT_TRUE(range.ok());
+  EXPECT_TRUE(range->valid());
+  EXPECT_EQ(world.stats().committed_bytes, 0u);
+  EXPECT_GE(range->capacity(), 512u << 10);
+}
+
+TEST(SecureWorldTest, EnsureBackedCommitsAndIsWritable) {
+  SecureWorld world(SmallConfig());
+  auto range = world.Reserve(512u << 10);
+  ASSERT_TRUE(range.ok());
+  ASSERT_TRUE(range->EnsureBacked(100).ok());
+  EXPECT_EQ(range->committed_end(), 64u << 10);  // rounded to page granule
+  EXPECT_EQ(world.stats().committed_bytes, 64u << 10);
+
+  // The committed region must be readable and writable.
+  std::memset(range->base(), 0xcd, 100);
+  EXPECT_EQ(range->base()[99], 0xcd);
+}
+
+TEST(SecureWorldTest, GrowthIsInPlace) {
+  SecureWorld world(SmallConfig());
+  auto range = world.Reserve(1u << 20);
+  ASSERT_TRUE(range.ok());
+  uint8_t* base = range->base();
+  ASSERT_TRUE(range->EnsureBacked(1).ok());
+  base[0] = 42;
+  for (size_t grow = 2; grow <= 8; ++grow) {
+    ASSERT_TRUE(range->EnsureBacked(grow * (64u << 10)).ok());
+    EXPECT_EQ(range->base(), base) << "growth must never relocate";
+    EXPECT_EQ(base[0], 42) << "existing data must survive growth";
+  }
+}
+
+TEST(SecureWorldTest, ExhaustionReturnsResourceExhausted) {
+  SecureWorld world(SmallConfig());  // 16 frames
+  auto range = world.Reserve(4u << 20);
+  ASSERT_TRUE(range.ok());
+  // 4MB reservation but only 1MB physical: committing past the pool must fail cleanly.
+  const Status s = range->EnsureBacked(2u << 20);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  // Everything that was committed remains usable.
+  EXPECT_EQ(range->committed_end(), 1u << 20);
+  range->base()[(1u << 20) - 1] = 7;
+}
+
+TEST(SecureWorldTest, ReleaseHeadReturnsFramesToPool) {
+  SecureWorld world(SmallConfig());
+  auto range = world.Reserve(1u << 20);
+  ASSERT_TRUE(range.ok());
+  ASSERT_TRUE(range->EnsureBacked(1u << 20).ok());
+  EXPECT_EQ(world.free_frames(), 0u);
+
+  range->ReleaseHead(512u << 10);
+  EXPECT_EQ(world.free_frames(), 8u);
+  EXPECT_EQ(range->committed_begin(), 512u << 10);
+  // The tail is still writable.
+  range->base()[(1u << 20) - 1] = 9;
+  EXPECT_EQ(world.stats().committed_bytes, 512u << 10);
+}
+
+TEST(SecureWorldTest, ReleaseHeadPartialPageIsDeferred) {
+  SecureWorld world(SmallConfig());
+  auto range = world.Reserve(1u << 20);
+  ASSERT_TRUE(range.ok());
+  ASSERT_TRUE(range->EnsureBacked(2 * (64u << 10)).ok());
+  // Releasing less than a full page reclaims nothing yet.
+  range->ReleaseHead(100);
+  EXPECT_EQ(range->committed_begin(), 0u);
+  range->ReleaseHead(64u << 10);
+  EXPECT_EQ(range->committed_begin(), 64u << 10);
+}
+
+TEST(SecureWorldTest, FreedFramesAreReusable) {
+  SecureWorld world(SmallConfig());
+  auto r1 = world.Reserve(1u << 20);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r1->EnsureBacked(1u << 20).ok());
+  r1->ReleaseAll();
+  EXPECT_EQ(world.free_frames(), 16u);
+
+  auto r2 = world.Reserve(1u << 20);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->EnsureBacked(1u << 20).ok());
+  std::memset(r2->base(), 0, 1u << 20);
+}
+
+TEST(SecureWorldTest, DestructorReleasesFrames) {
+  SecureWorld world(SmallConfig());
+  {
+    auto range = world.Reserve(512u << 10);
+    ASSERT_TRUE(range.ok());
+    ASSERT_TRUE(range->EnsureBacked(512u << 10).ok());
+    EXPECT_EQ(world.free_frames(), 8u);
+  }
+  EXPECT_EQ(world.free_frames(), 16u);
+  EXPECT_EQ(world.stats().committed_bytes, 0u);
+}
+
+TEST(SecureWorldTest, MoveTransfersOwnership) {
+  SecureWorld world(SmallConfig());
+  auto r1 = world.Reserve(512u << 10);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r1->EnsureBacked(64u << 10).ok());
+  uint8_t* base = r1->base();
+  base[0] = 5;
+
+  VirtualRange r2 = std::move(*r1);
+  EXPECT_EQ(r2.base(), base);
+  EXPECT_EQ(r2.base()[0], 5);
+  EXPECT_FALSE(r1->valid());
+  r2.ReleaseAll();
+  EXPECT_EQ(world.free_frames(), 16u);
+}
+
+TEST(SecureWorldTest, IsSecureAddressTracksRanges) {
+  SecureWorld world(SmallConfig());
+  auto range = world.Reserve(512u << 10);
+  ASSERT_TRUE(range.ok());
+  EXPECT_TRUE(world.IsSecureAddress(range->base()));
+  EXPECT_TRUE(world.IsSecureAddress(range->base() + 1000));
+  int normal_world_var = 0;
+  EXPECT_FALSE(world.IsSecureAddress(&normal_world_var));
+}
+
+TEST(SecureWorldTest, PeakCommittedTracksHighWater) {
+  SecureWorld world(SmallConfig());
+  auto range = world.Reserve(1u << 20);
+  ASSERT_TRUE(range.ok());
+  ASSERT_TRUE(range->EnsureBacked(512u << 10).ok());
+  range->ReleaseHead(512u << 10);
+  EXPECT_EQ(world.stats().committed_bytes, 0u);
+  EXPECT_EQ(world.stats().peak_committed, 512u << 10);
+}
+
+TEST(SecureWorldTest, PoolUtilization) {
+  SecureWorld world(SmallConfig());
+  auto range = world.Reserve(1u << 20);
+  ASSERT_TRUE(range.ok());
+  EXPECT_DOUBLE_EQ(world.PoolUtilization(), 0.0);
+  ASSERT_TRUE(range->EnsureBacked(512u << 10).ok());
+  EXPECT_DOUBLE_EQ(world.PoolUtilization(), 0.5);
+}
+
+TEST(SecureWorldTest, ConcurrentRangesShareThePool) {
+  SecureWorld world(SmallConfig());
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> successes{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&world, &successes] {
+      auto range = world.Reserve(256u << 10);
+      if (!range.ok()) {
+        return;
+      }
+      if (range->EnsureBacked(256u << 10).ok()) {
+        std::memset(range->base(), 1, 256u << 10);
+        successes.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  // 4 * 256KB = 1MB fits exactly.
+  EXPECT_EQ(successes.load(), kThreads);
+  EXPECT_EQ(world.free_frames(), 16u);
+}
+
+TEST(WorldSwitchTest, CountsEntries) {
+  WorldSwitchGate gate(WorldSwitchConfig::Disabled());
+  {
+    auto s1 = gate.Enter();
+    auto s2 = gate.Enter();
+  }
+  EXPECT_EQ(gate.stats().entries, 2u);
+  EXPECT_EQ(gate.stats().burned_cycles, 0u);
+}
+
+TEST(WorldSwitchTest, BurnsConfiguredCycles) {
+  WorldSwitchGate gate(WorldSwitchConfig{.entry_cycles = 2000, .exit_cycles = 1000});
+  { auto s = gate.Enter(); }
+  EXPECT_EQ(gate.stats().entries, 1u);
+  EXPECT_EQ(gate.stats().burned_cycles, 3000u);
+}
+
+TEST(WorldSwitchTest, ResetClearsStats) {
+  WorldSwitchGate gate(WorldSwitchConfig::Disabled());
+  { auto s = gate.Enter(); }
+  gate.ResetStats();
+  EXPECT_EQ(gate.stats().entries, 0u);
+}
+
+TEST(WorldSwitchTest, BurnTakesMeasurableTime) {
+  WorldSwitchGate cheap(WorldSwitchConfig::Disabled());
+  WorldSwitchGate costly(WorldSwitchConfig{.entry_cycles = 200000, .exit_cycles = 200000});
+
+  const uint64_t t0 = ReadCycleCounter();
+  for (int i = 0; i < 10; ++i) {
+    auto s = cheap.Enter();
+  }
+  const uint64_t cheap_cycles = ReadCycleCounter() - t0;
+
+  const uint64_t t1 = ReadCycleCounter();
+  for (int i = 0; i < 10; ++i) {
+    auto s = costly.Enter();
+  }
+  const uint64_t costly_cycles = ReadCycleCounter() - t1;
+  EXPECT_GT(costly_cycles, cheap_cycles);
+  EXPECT_GE(costly_cycles, 10u * 400000u);
+}
+
+}  // namespace
+}  // namespace sbt

@@ -1,0 +1,343 @@
+// Tests for uArray / uGroup / allocator: lifecycle, in-place growth, hint-guided placement,
+// head reclaim, misleading-hint safety, exhaustion behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/tz/secure_world.h"
+#include "src/uarray/allocator.h"
+#include "src/uarray/uarray.h"
+#include "src/uarray/ugroup.h"
+
+namespace sbt {
+namespace {
+
+TzPartitionConfig TestConfig(size_t pool_mb = 8) {
+  TzPartitionConfig cfg;
+  cfg.secure_dram_bytes = pool_mb << 20;
+  cfg.secure_page_bytes = 64u << 10;
+  cfg.group_reserve_bytes = pool_mb << 20;
+  return cfg;
+}
+
+class UArrayTest : public ::testing::Test {
+ protected:
+  UArrayTest() : world_(TestConfig()), alloc_(&world_) {}
+
+  SecureWorld world_;
+  UArrayAllocator alloc_;
+};
+
+TEST_F(UArrayTest, CreateOpenAppendProduce) {
+  auto arr = alloc_.Create(sizeof(int32_t), UArrayScope::kStreaming);
+  ASSERT_TRUE(arr.ok());
+  UArray* a = *arr;
+  EXPECT_EQ(a->state(), UArrayState::kOpen);
+  EXPECT_TRUE(a->empty());
+
+  const int32_t values[] = {1, 2, 3, 4};
+  ASSERT_TRUE(a->Append(values, sizeof(values)).ok());
+  EXPECT_EQ(a->size(), 4u);
+
+  a->Produce();
+  EXPECT_EQ(a->state(), UArrayState::kProduced);
+  auto span = a->Span<int32_t>();
+  EXPECT_EQ(span[0], 1);
+  EXPECT_EQ(span[3], 4);
+}
+
+TEST_F(UArrayTest, AppendAfterProduceFails) {
+  auto arr = alloc_.Create(sizeof(int32_t), UArrayScope::kStreaming);
+  ASSERT_TRUE(arr.ok());
+  (*arr)->Produce();
+  const int32_t v = 1;
+  const Status s = (*arr)->Append(&v, sizeof(v));
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(UArrayTest, AppendPartialElementFails) {
+  auto arr = alloc_.Create(8, UArrayScope::kStreaming);
+  ASSERT_TRUE(arr.ok());
+  const uint8_t bytes[5] = {0};
+  EXPECT_EQ((*arr)->Append(bytes, 5).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(UArrayTest, ZeroElementSizeRejected) {
+  EXPECT_EQ(alloc_.Create(0, UArrayScope::kStreaming).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(UArrayTest, GrowthIsInPlaceAcrossManyPages) {
+  auto arr = alloc_.Create(sizeof(uint64_t), UArrayScope::kStreaming);
+  ASSERT_TRUE(arr.ok());
+  UArray* a = *arr;
+  const uint8_t* base = a->data();
+  // Append ~2MB in 64KB steps: 32 page commits, zero relocations.
+  std::vector<uint64_t> block(8192, 0xabcdef);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(a->Append(block.data(), block.size() * sizeof(uint64_t)).ok());
+    EXPECT_EQ(a->data(), base);
+  }
+  EXPECT_EQ(a->size(), 32u * 8192u);
+  EXPECT_EQ(a->Span<uint64_t>()[0], 0xabcdefull);
+}
+
+TEST_F(UArrayTest, AppendUninitializedAdvancesSize) {
+  auto arr = alloc_.Create(sizeof(int32_t), UArrayScope::kStreaming);
+  ASSERT_TRUE(arr.ok());
+  auto dst = (*arr)->AppendUninitializedAs<int32_t>(100);
+  ASSERT_TRUE(dst.ok());
+  for (int i = 0; i < 100; ++i) {
+    (*dst)[i] = i;
+  }
+  EXPECT_EQ((*arr)->size(), 100u);
+  (*arr)->Produce();
+  EXPECT_EQ((*arr)->Span<int32_t>()[99], 99);
+}
+
+TEST_F(UArrayTest, IdsAreMonotonic) {
+  auto a = alloc_.Create(4, UArrayScope::kStreaming);
+  auto b = alloc_.Create(4, UArrayScope::kStreaming);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT((*a)->id(), (*b)->id());
+}
+
+TEST_F(UArrayTest, FindLocatesLiveArrays) {
+  auto a = alloc_.Create(4, UArrayScope::kStreaming);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(alloc_.Find((*a)->id()), *a);
+  EXPECT_EQ(alloc_.Find(999999), nullptr);
+  (*a)->Produce();
+  alloc_.Retire(*a);
+  // Retired arrays are no longer addressable.
+  EXPECT_EQ(alloc_.Find((*a)->id()), nullptr);
+}
+
+TEST_F(UArrayTest, DataStaysInSecureMemory) {
+  auto arr = alloc_.Create(sizeof(int32_t), UArrayScope::kStreaming);
+  ASSERT_TRUE(arr.ok());
+  const int32_t v = 7;
+  ASSERT_TRUE((*arr)->Append(&v, sizeof(v)).ok());
+  EXPECT_TRUE(world_.IsSecureAddress((*arr)->data()));
+}
+
+TEST_F(UArrayTest, ConsumedAfterHintColocates) {
+  // b hinted consumed-after a, a is produced and at its group's tail -> same group.
+  auto a = alloc_.Create(4, UArrayScope::kStreaming);
+  ASSERT_TRUE(a.ok());
+  const int32_t v = 1;
+  ASSERT_TRUE((*a)->Append(&v, 4).ok());
+  (*a)->Produce();
+
+  auto b = alloc_.Create(4, UArrayScope::kStreaming, PlacementHint::After((*a)->id()));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->group(), (*b)->group());
+  EXPECT_GT((*b)->offset_in_group(), (*a)->offset_in_group());
+}
+
+TEST_F(UArrayTest, ConsumedAfterWalksBackAlongChain) {
+  // Chain a <= b <= c. When b is already retired mid-group, c still lands after the chain's
+  // produced tail.
+  auto a = alloc_.Create(4, UArrayScope::kStreaming);
+  ASSERT_TRUE(a.ok());
+  (*a)->Produce();
+  auto b = alloc_.Create(4, UArrayScope::kStreaming, PlacementHint::After((*a)->id()));
+  ASSERT_TRUE(b.ok());
+  (*b)->Produce();
+  auto c = alloc_.Create(4, UArrayScope::kStreaming, PlacementHint::After((*b)->id()));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ((*c)->group(), (*a)->group());
+}
+
+TEST_F(UArrayTest, ConsumedAfterOpenPredecessorGetsNewGroup) {
+  // Predecessor still open (growing): cannot co-locate behind it.
+  auto a = alloc_.Create(4, UArrayScope::kStreaming);
+  ASSERT_TRUE(a.ok());
+  auto b = alloc_.Create(4, UArrayScope::kStreaming, PlacementHint::After((*a)->id()));
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE((*a)->group(), (*b)->group());
+}
+
+TEST_F(UArrayTest, ParallelHintSeparatesLanes) {
+  std::vector<UArray*> lanes;
+  for (uint32_t lane = 0; lane < 4; ++lane) {
+    auto arr = alloc_.Create(4, UArrayScope::kStreaming, PlacementHint::Parallel(lane));
+    ASSERT_TRUE(arr.ok());
+    lanes.push_back(*arr);
+  }
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    for (size_t j = i + 1; j < lanes.size(); ++j) {
+      EXPECT_NE(lanes[i]->group(), lanes[j]->group()) << i << "," << j;
+    }
+  }
+}
+
+TEST_F(UArrayTest, ParallelLaneReusesItsGroupAcrossBatches) {
+  auto a1 = alloc_.Create(4, UArrayScope::kStreaming, PlacementHint::Parallel(0));
+  ASSERT_TRUE(a1.ok());
+  (*a1)->Produce();
+  auto a2 = alloc_.Create(4, UArrayScope::kStreaming, PlacementHint::Parallel(0));
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ((*a1)->group(), (*a2)->group());
+}
+
+TEST_F(UArrayTest, HeadReclaimFreesFramesInOrder) {
+  auto a = alloc_.Create(1, UArrayScope::kStreaming);
+  ASSERT_TRUE(a.ok());
+  std::vector<uint8_t> big(256u << 10, 1);
+  ASSERT_TRUE((*a)->Append(big.data(), big.size()).ok());
+  (*a)->Produce();
+  auto b = alloc_.Create(1, UArrayScope::kStreaming, PlacementHint::After((*a)->id()));
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*b)->Append(big.data(), big.size()).ok());
+  (*b)->Produce();
+  ASSERT_EQ((*a)->group(), (*b)->group());
+
+  const size_t committed_before = world_.stats().committed_bytes;
+  alloc_.Retire(*a);
+  const size_t committed_after = world_.stats().committed_bytes;
+  // a's four 64KB pages are gone (minus the boundary page b may share).
+  EXPECT_LT(committed_after, committed_before);
+  // b's data is intact.
+  EXPECT_EQ((*b)->Span<uint8_t>()[0], 1);
+}
+
+TEST_F(UArrayTest, OutOfOrderRetireReclaimsLazily) {
+  // Retiring b (not at head) must not reclaim anything until a retires too.
+  auto a = alloc_.Create(1, UArrayScope::kStreaming);
+  ASSERT_TRUE(a.ok());
+  std::vector<uint8_t> big(128u << 10, 2);
+  ASSERT_TRUE((*a)->Append(big.data(), big.size()).ok());
+  (*a)->Produce();
+  auto b = alloc_.Create(1, UArrayScope::kStreaming, PlacementHint::After((*a)->id()));
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*b)->Append(big.data(), big.size()).ok());
+  (*b)->Produce();
+  ASSERT_EQ((*a)->group(), (*b)->group());
+
+  const size_t before = world_.stats().committed_bytes;
+  alloc_.Retire(*b);
+  EXPECT_EQ(world_.stats().committed_bytes, before);  // head still live
+  alloc_.Retire(*a);
+  EXPECT_EQ(world_.stats().committed_bytes, 0u);  // both reclaimed together
+}
+
+TEST_F(UArrayTest, EmptyGroupsAreDestroyed) {
+  auto a = alloc_.Create(4, UArrayScope::kStreaming, PlacementHint::After(424242));
+  ASSERT_TRUE(a.ok());
+  // Unknown predecessor -> fresh group, not registered as a lane target.
+  (*a)->Produce();
+  const size_t groups_before = alloc_.stats().live_groups;
+  alloc_.Retire(*a);
+  EXPECT_LT(alloc_.stats().live_groups, groups_before);
+}
+
+TEST_F(UArrayTest, GenerationalPolicyColocatesSameGeneration) {
+  UArrayAllocator gen_alloc(&world_, PlacementPolicy::kGenerational);
+  auto a = gen_alloc.Create(4, UArrayScope::kStreaming, PlacementHint::None(), /*generation=*/7);
+  ASSERT_TRUE(a.ok());
+  (*a)->Produce();
+  auto b = gen_alloc.Create(4, UArrayScope::kStreaming, PlacementHint::Parallel(1),
+                            /*generation=*/7);
+  ASSERT_TRUE(b.ok());
+  // Generational policy ignores the hint and groups by generation.
+  EXPECT_EQ((*a)->group(), (*b)->group());
+}
+
+TEST_F(UArrayTest, MisleadingHintsNeverLoseData) {
+  // An adversarial control plane hints "consumed after X" for arrays that are actually consumed
+  // in reverse order. Data must remain intact; only memory layout is affected.
+  std::vector<UArray*> arrays;
+  uint64_t prev_id = 0;
+  for (int i = 0; i < 10; ++i) {
+    const PlacementHint hint =
+        (i == 0) ? PlacementHint::None() : PlacementHint::After(prev_id);
+    auto arr = alloc_.Create(sizeof(int32_t), UArrayScope::kStreaming, hint);
+    ASSERT_TRUE(arr.ok());
+    const int32_t v = i;
+    ASSERT_TRUE((*arr)->Append(&v, 4).ok());
+    (*arr)->Produce();
+    prev_id = (*arr)->id();
+    arrays.push_back(*arr);
+  }
+  // Consume in reverse (hint was misleading).
+  for (int i = 9; i >= 0; --i) {
+    EXPECT_EQ(arrays[i]->Span<int32_t>()[0], i);
+    alloc_.Retire(arrays[i]);
+  }
+  EXPECT_EQ(world_.stats().committed_bytes, 0u);
+  EXPECT_EQ(alloc_.stats().live_arrays, 0u);
+}
+
+TEST_F(UArrayTest, ExhaustionSurfacesAsResourceExhausted) {
+  TzPartitionConfig tiny = TestConfig(1);  // 1MB pool
+  tiny.group_reserve_bytes = 4u << 20;     // virtual space outsizes physical (paper geometry)
+  SecureWorld world(tiny);
+  UArrayAllocator alloc(&world);
+  auto arr = alloc.Create(1, UArrayScope::kStreaming);
+  ASSERT_TRUE(arr.ok());
+  std::vector<uint8_t> block(256u << 10, 0);
+  Status last = OkStatus();
+  for (int i = 0; i < 8 && last.ok(); ++i) {
+    last = (*arr)->Append(block.data(), block.size());
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+  (*arr)->Produce();
+  alloc.Retire(*arr);
+}
+
+TEST_F(UArrayTest, StatsTrackCreationAndReclaim) {
+  auto a = alloc_.Create(4, UArrayScope::kStreaming);
+  ASSERT_TRUE(a.ok());
+  (*a)->Produce();
+  EXPECT_EQ(alloc_.stats().arrays_created, 1u);
+  EXPECT_EQ(alloc_.stats().live_arrays, 1u);
+  alloc_.Retire(*a);
+  EXPECT_EQ(alloc_.stats().arrays_reclaimed, 1u);
+  EXPECT_EQ(alloc_.stats().live_arrays, 0u);
+}
+
+TEST_F(UArrayTest, HintGuidedUsesLessMemoryThanGenerational) {
+  // The Figure 10 effect in miniature: a producer emits pairs (x_i, y_i); x_i are consumed
+  // immediately, y_i much later. Hint-guided placement separates the two lifetimes into lanes,
+  // generational placement mixes them into one group whose head is pinned by the oldest y.
+  auto run = [](SecureWorld* world, UArrayAllocator* alloc, bool hinted) {
+    std::vector<UArray*> delayed;
+    std::vector<uint8_t> block(64u << 10, 0);
+    size_t peak = 0;
+    for (int i = 0; i < 16; ++i) {
+      const PlacementHint hx = hinted ? PlacementHint::Parallel(0) : PlacementHint::None();
+      const PlacementHint hy = hinted ? PlacementHint::Parallel(1) : PlacementHint::None();
+      auto y = alloc->Create(1, UArrayScope::kStreaming, hy, /*generation=*/i);
+      EXPECT_TRUE(y.ok());
+      EXPECT_TRUE((*y)->Append(block.data(), block.size()).ok());
+      (*y)->Produce();
+      auto x = alloc->Create(1, UArrayScope::kStreaming, hx, /*generation=*/i);
+      EXPECT_TRUE(x.ok());
+      EXPECT_TRUE((*x)->Append(block.data(), block.size()).ok());
+      (*x)->Produce();
+      alloc->Retire(*x);  // consumed immediately; generational placement pins it behind y
+      delayed.push_back(*y);
+      peak = std::max(peak, world->stats().committed_bytes);
+    }
+    for (UArray* y : delayed) {
+      alloc->Retire(y);
+    }
+    return peak;
+  };
+
+  SecureWorld w1(TestConfig());
+  UArrayAllocator hinted_alloc(&w1, PlacementPolicy::kHintGuided);
+  const size_t hinted_peak = run(&w1, &hinted_alloc, true);
+
+  SecureWorld w2(TestConfig());
+  UArrayAllocator gen_alloc(&w2, PlacementPolicy::kGenerational);
+  const size_t generational_peak = run(&w2, &gen_alloc, false);
+
+  EXPECT_LT(hinted_peak, generational_peak);
+}
+
+}  // namespace
+}  // namespace sbt
