@@ -48,12 +48,16 @@ inline uint64_t ReadCycleCounter() {
 }
 
 // A fixed event-time window [begin, end). Windows are the scope of all stateful operators.
+// Boundaries are 64-bit: the window covering the last representable event time closes at
+// 2^32, and indices one past the ceiling start beyond it; 32-bit boundaries would wrap
+// past zero, making the ceiling window unable to contain its own events and phantom
+// windows past it contain nearly everything.
 struct Window {
-  EventTimeMs begin = 0;
-  EventTimeMs end = 0;
+  uint64_t begin = 0;
+  uint64_t end = 0;
 
   bool Contains(EventTimeMs t) const { return t >= begin && t < end; }
-  uint32_t SpanMs() const { return end - begin; }
+  uint32_t SpanMs() const { return static_cast<uint32_t>(end - begin); }
 
   bool operator==(const Window&) const = default;
 };
@@ -64,7 +68,8 @@ struct FixedWindowFn {
 
   uint32_t WindowIndex(EventTimeMs t) const { return t / size_ms; }
   Window WindowAt(uint32_t index) const {
-    return Window{index * size_ms, (index + 1) * size_ms};
+    return Window{static_cast<uint64_t>(index) * size_ms,
+                  (static_cast<uint64_t>(index) + 1) * size_ms};
   }
 };
 
@@ -77,7 +82,8 @@ struct SlidingWindowFn {
   bool Valid() const { return slide_ms > 0 && size_ms >= slide_ms; }
 
   Window WindowAt(uint32_t index) const {
-    return Window{index * slide_ms, index * slide_ms + size_ms};
+    return Window{static_cast<uint64_t>(index) * slide_ms,
+                  static_cast<uint64_t>(index) * slide_ms + size_ms};
   }
   // First and last (inclusive) window indices containing `t`.
   uint32_t FirstWindow(EventTimeMs t) const {

@@ -8,7 +8,8 @@
 //    Debug           -> DebugDump()
 //    Invoke          -> Invoke(), one entry shared by all trusted primitives
 //
-// plus the ingress/egress paths (trusted IO in hardware; emulated here, see DESIGN.md):
+// plus the ingress/egress paths (trusted IO in hardware; emulated here, see the trusted-IO
+// row of DESIGN.md's substitutions table):
 //
 //    IngestBatch / IngestWatermark / Egress / Release / FlushAudit
 //

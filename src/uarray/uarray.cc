@@ -11,6 +11,9 @@ Status UArray::Append(const void* src, size_t bytes) {
   if (bytes % elem_size_ != 0) {
     return InvalidArgument("append size is not a whole number of elements");
   }
+  if (bytes == 0) {
+    return OkStatus();  // empty append; src may legitimately be null (e.g. empty vector)
+  }
   SBT_RETURN_IF_ERROR(group_->EnsureTailBacked(offset_, size_bytes_ + bytes));
   std::memcpy(base_ + size_bytes_, src, bytes);
   size_bytes_ += bytes;

@@ -11,6 +11,7 @@
 #include "src/attest/huffman.h"
 #include "src/attest/verifier.h"
 #include "src/common/rng.h"
+#include "tests/testing/testing.h"
 
 namespace sbt {
 namespace {
@@ -124,46 +125,7 @@ TEST(HuffmanTest, CorruptBlockFailsCleanly) {
 
 // --- columnar audit compression -----------------------------------------------
 
-// Deterministic lane-spreading helper for synthetic hints.
-size_t o_hash(size_t i) { return (i * 2654435761u) % 8; }
-
-std::vector<AuditRecord> SyntheticRecords(size_t n, uint64_t seed) {
-  Xoshiro256 rng(seed);
-  std::vector<AuditRecord> records;
-  uint32_t next_id = 1;
-  uint32_t ts = 0;
-  for (size_t i = 0; i < n; ++i) {
-    AuditRecord r;
-    ts += static_cast<uint32_t>(rng.NextBelow(5));
-    r.ts_ms = ts;
-    const uint64_t kind = rng.NextBelow(10);
-    if (kind == 0) {
-      r.op = PrimitiveOp::kIngress;
-      r.outputs = {next_id++};
-    } else if (kind == 1) {
-      r.op = PrimitiveOp::kWatermark;
-      r.watermark = ts * 10;
-    } else if (kind == 2) {
-      r.op = PrimitiveOp::kSegment;
-      r.inputs = {next_id - 1};
-      for (int o = 0; o < 3; ++o) {
-        r.outputs.push_back(next_id++);
-        r.win_nos.push_back(static_cast<uint16_t>(i / 50 + o));
-      }
-      r.hints.push_back(AuditHint::Parallel(static_cast<uint32_t>(o_hash(i))));
-    } else {
-      r.op = (kind < 6) ? PrimitiveOp::kSort : PrimitiveOp::kSumCnt;
-      r.inputs = {next_id - 1};
-      r.outputs = {next_id++};
-      if (kind == 3) {
-        r.hints.push_back(AuditHint::After(next_id - 2));
-      }
-    }
-    r.stream = static_cast<uint16_t>(rng.NextBelow(2));
-    records.push_back(std::move(r));
-  }
-  return records;
-}
+using testing::SyntheticAuditRecords;
 
 TEST(CompressTest, RoundTripEmpty) {
   const auto blob = EncodeAuditBatch({});
@@ -173,7 +135,7 @@ TEST(CompressTest, RoundTripEmpty) {
 }
 
 TEST(CompressTest, RoundTripSynthetic) {
-  const auto records = SyntheticRecords(2000, 17);
+  const auto records = SyntheticAuditRecords(2000, 17);
   const auto blob = EncodeAuditBatch(records);
   auto decoded = DecodeAuditBatch(blob);
   ASSERT_TRUE(decoded.ok());
@@ -184,7 +146,7 @@ TEST(CompressTest, AchievesPaperLikeRatio) {
   // The paper reports 5x-6.7x on real record streams; bench/fig12_audit_compress measures that
   // on actual engine output. This synthetic stream is deliberately noisier (random ops, streams
   // and hints), so require a slightly lower floor here.
-  const auto records = SyntheticRecords(5000, 23);
+  const auto records = SyntheticAuditRecords(5000, 23);
   const auto blob = EncodeAuditBatch(records);
   const size_t raw = RawAuditBatchBytes(records);
   EXPECT_GT(raw, 0u);
@@ -193,7 +155,7 @@ TEST(CompressTest, AchievesPaperLikeRatio) {
 }
 
 TEST(CompressTest, CorruptBlobFailsCleanly) {
-  const auto records = SyntheticRecords(100, 3);
+  const auto records = SyntheticAuditRecords(100, 3);
   auto blob = EncodeAuditBatch(records);
   blob.resize(blob.size() - 5);
   EXPECT_FALSE(DecodeAuditBatch(blob).ok());
@@ -201,39 +163,14 @@ TEST(CompressTest, CorruptBlobFailsCleanly) {
 
 // --- verifier --------------------------------------------------------------------
 
-// A small honest session: one batch segmented into two windows; window 0 closed and fully
-// processed; window 1 in flight.
-std::vector<AuditRecord> HonestSession() {
-  std::vector<AuditRecord> r;
-  r.push_back({.op = PrimitiveOp::kIngress, .ts_ms = 1, .outputs = {1}});
-  r.push_back({.op = PrimitiveOp::kSegment,
-               .ts_ms = 2,
-               .inputs = {1},
-               .outputs = {10, 11},
-               .win_nos = {0, 1}});
-  r.push_back({.op = PrimitiveOp::kSort, .ts_ms = 3, .inputs = {10}, .outputs = {20}});
-  r.push_back({.op = PrimitiveOp::kSort, .ts_ms = 4, .inputs = {11}, .outputs = {21}});
-  r.push_back({.op = PrimitiveOp::kWatermark, .ts_ms = 50, .watermark = 1000});
-  r.push_back({.op = PrimitiveOp::kMergeN, .ts_ms = 55, .inputs = {20}, .outputs = {30}});
-  r.push_back({.op = PrimitiveOp::kSum, .ts_ms = 60, .inputs = {30}, .outputs = {31}});
-  r.push_back({.op = PrimitiveOp::kEgress, .ts_ms = 80, .inputs = {31}});
-  return r;
-}
-
-VerifierPipelineSpec HonestSpec() {
-  VerifierPipelineSpec spec;
-  spec.window_size_ms = 1000;
-  spec.per_batch_chain = {PrimitiveOp::kSort};
-  spec.per_window_stages = {
-      WindowStage{.op = PrimitiveOp::kMergeN, .input_stages = {-1}},
-      WindowStage{.op = PrimitiveOp::kSum, .input_stages = {0}},
-  };
-  return spec;
-}
+// The honest two-window session and its verifier spec live in tests/testing/,
+// along with one tamper mutation per attack class from the paper's threat model.
+using testing::HonestAuditSession;
+using testing::HonestAuditSpec;
 
 TEST(VerifierTest, AcceptsHonestSession) {
-  CloudVerifier verifier(HonestSpec());
-  const auto report = verifier.Verify(HonestSession());
+  CloudVerifier verifier(HonestAuditSpec());
+  const auto report = verifier.Verify(HonestAuditSession());
   EXPECT_TRUE(report.correct) << (report.violations.empty() ? "" : report.violations[0]);
   EXPECT_EQ(report.windows_verified, 1u);
   ASSERT_EQ(report.freshness.size(), 1u);
@@ -242,88 +179,82 @@ TEST(VerifierTest, AcceptsHonestSession) {
 }
 
 TEST(VerifierTest, DetectsDroppedResult) {
-  auto records = HonestSession();
-  records.pop_back();  // drop the egress
-  CloudVerifier verifier(HonestSpec());
+  auto records = HonestAuditSession();
+  testing::TamperDropEgress(records);
+  CloudVerifier verifier(HonestAuditSpec());
   const auto report = verifier.Verify(records);
   EXPECT_FALSE(report.correct);
 }
 
 TEST(VerifierTest, DetectsUnprocessedWindowData) {
-  auto records = HonestSession();
-  // Remove the Sum step: window 0's MergeN output stalls.
-  records.erase(records.begin() + 6);
-  CloudVerifier verifier(HonestSpec());
+  auto records = HonestAuditSession();
+  testing::TamperStallWindow(records);
+  CloudVerifier verifier(HonestAuditSpec());
   const auto report = verifier.Verify(records);
   EXPECT_FALSE(report.correct);
 }
 
 TEST(VerifierTest, DetectsPartialData) {
-  auto records = HonestSession();
-  // The MergeN "forgets" contribution 20 and merges a fabricated id instead.
-  records[5].inputs = {99};
-  records.insert(records.begin() + 5,
-                 AuditRecord{.op = PrimitiveOp::kIngress, .ts_ms = 54, .outputs = {99}});
-  CloudVerifier verifier(HonestSpec());
+  auto records = HonestAuditSession();
+  testing::TamperSubstituteInput(records);
+  CloudVerifier verifier(HonestAuditSpec());
   const auto report = verifier.Verify(records);
   EXPECT_FALSE(report.correct);
 }
 
 TEST(VerifierTest, DetectsWrongOperatorOrder) {
-  auto records = HonestSession();
-  records[2].op = PrimitiveOp::kSample;  // declared Sort, executed Sample
-  CloudVerifier verifier(HonestSpec());
+  auto records = HonestAuditSession();
+  testing::TamperWrongOperator(records);
+  CloudVerifier verifier(HonestAuditSpec());
   const auto report = verifier.Verify(records);
   EXPECT_FALSE(report.correct);
 }
 
 TEST(VerifierTest, DetectsFabricatedReference) {
-  auto records = HonestSession();
-  records[6].inputs.push_back(0xdead);  // Sum consumes an id nobody produced
-  CloudVerifier verifier(HonestSpec());
+  auto records = HonestAuditSession();
+  testing::TamperFabricatedReference(records);
+  CloudVerifier verifier(HonestAuditSpec());
   const auto report = verifier.Verify(records);
   EXPECT_FALSE(report.correct);
 }
 
 TEST(VerifierTest, DetectsDoubleProduction) {
-  auto records = HonestSession();
-  records.push_back({.op = PrimitiveOp::kIngress, .ts_ms = 90, .outputs = {20}});
-  CloudVerifier verifier(HonestSpec());
+  auto records = HonestAuditSession();
+  testing::TamperDoubleProduction(records);
+  CloudVerifier verifier(HonestAuditSpec());
   const auto report = verifier.Verify(records);
   EXPECT_FALSE(report.correct);
 }
 
 TEST(VerifierTest, DetectsEgressOfUndeclaredData) {
-  auto records = HonestSession();
-  // Exfiltrate the raw sorted window-1 data (never reached the declared egress stage).
-  records.push_back({.op = PrimitiveOp::kEgress, .ts_ms = 95, .inputs = {21}});
-  CloudVerifier verifier(HonestSpec());
+  auto records = HonestAuditSession();
+  testing::TamperUndeclaredEgress(records);
+  CloudVerifier verifier(HonestAuditSpec());
   const auto report = verifier.Verify(records);
   EXPECT_FALSE(report.correct);
 }
 
 TEST(VerifierTest, DetectsProcessingBeforeWatermark) {
-  auto records = HonestSession();
-  // Window 1 is processed although no watermark closed it.
-  records.push_back({.op = PrimitiveOp::kMergeN, .ts_ms = 90, .inputs = {21}, .outputs = {40}});
-  CloudVerifier verifier(HonestSpec());
+  auto records = HonestAuditSession();
+  testing::TamperEarlyProcessing(records);
+  CloudVerifier verifier(HonestAuditSpec());
   const auto report = verifier.Verify(records);
   EXPECT_FALSE(report.correct);
 }
 
 TEST(VerifierTest, IncompleteSessionToleratesInFlightWork) {
-  auto records = HonestSession();
+  auto records = HonestAuditSession();
   records.pop_back();  // egress missing, but session marked incomplete
-  CloudVerifier verifier(HonestSpec());
+  CloudVerifier verifier(HonestAuditSpec());
   const auto report = verifier.Verify(records, /*session_complete=*/false);
   EXPECT_TRUE(report.correct) << (report.violations.empty() ? "" : report.violations[0]);
 }
 
 TEST(VerifierTest, CountsHints) {
-  auto records = HonestSession();
+  auto records = HonestAuditSession();
   records[2].hints.push_back(AuditHint::After(10));
   records[3].hints.push_back(AuditHint::Parallel(1));
-  CloudVerifier verifier(HonestSpec());
+  CloudVerifier verifier(HonestAuditSpec());
   const auto report = verifier.Verify(records);
   EXPECT_EQ(report.hints_audited, 2u);
 }

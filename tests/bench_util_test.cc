@@ -1,0 +1,72 @@
+// Coverage for bench/bench_util.h: the SBT_BENCH_SCALE environment parsing that
+// every figure bench relies on, and the table-header printer.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace sbt {
+namespace {
+
+class BenchScaleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* prev = std::getenv("SBT_BENCH_SCALE");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) {
+      prev_ = prev;
+    }
+  }
+  void TearDown() override {
+    if (had_prev_) {
+      setenv("SBT_BENCH_SCALE", prev_.c_str(), 1);
+    } else {
+      unsetenv("SBT_BENCH_SCALE");
+    }
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+TEST_F(BenchScaleTest, DefaultsToOneWhenUnset) {
+  unsetenv("SBT_BENCH_SCALE");
+  EXPECT_EQ(BenchScale(), 1);
+}
+
+TEST_F(BenchScaleTest, ParsesPositiveValues) {
+  setenv("SBT_BENCH_SCALE", "8", 1);
+  EXPECT_EQ(BenchScale(), 8);
+  setenv("SBT_BENCH_SCALE", "100", 1);
+  EXPECT_EQ(BenchScale(), 100);
+}
+
+TEST_F(BenchScaleTest, ClampsNonPositiveToOne) {
+  setenv("SBT_BENCH_SCALE", "0", 1);
+  EXPECT_EQ(BenchScale(), 1);
+  setenv("SBT_BENCH_SCALE", "-7", 1);
+  EXPECT_EQ(BenchScale(), 1);
+}
+
+TEST_F(BenchScaleTest, ClampsGarbageToOne) {
+  setenv("SBT_BENCH_SCALE", "banana", 1);
+  EXPECT_EQ(BenchScale(), 1);
+  setenv("SBT_BENCH_SCALE", "", 1);
+  EXPECT_EQ(BenchScale(), 1);
+}
+
+TEST(PrintHeaderTest, EmitsTitlePaperClaimAndRule) {
+  ::testing::internal::CaptureStdout();
+  PrintHeader("Figure 7: throughput", "TZ within 25% of native");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("=== Figure 7: throughput ==="), std::string::npos);
+  EXPECT_NE(out.find("paper: TZ within 25% of native"), std::string::npos);
+  EXPECT_NE(out.find(std::string(78, '-')), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sbt

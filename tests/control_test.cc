@@ -9,44 +9,16 @@
 #include "src/control/benchmarks.h"
 #include "src/control/harness.h"
 #include "src/net/workloads.h"
+#include "tests/testing/testing.h"
 
 namespace sbt {
 namespace {
 
-HarnessOptions SmallOptions(EngineVersion version = EngineVersion::kStreamBoxTz) {
-  HarnessOptions opts;
-  opts.version = version;
-  opts.engine.secure_pool_mb = 128;
-  opts.engine.num_workers = 4;
-  opts.generator.batch_events = 10000;
-  opts.generator.num_windows = 3;
-  opts.generator.workload.events_per_window = 30000;
-  opts.generator.workload.window_ms = 1000;
-  opts.generator.workload.seed = 42;
-  return opts;
-}
-
-// Regenerates the workload to compute reference results (same seed => same events).
-std::vector<Event> RegenerateEvents(const GeneratorConfig& cfg, uint64_t seed_offset = 0) {
-  GeneratorConfig copy = cfg;
-  copy.encrypt = false;
-  copy.workload.seed += seed_offset;
-  Generator gen(copy);
-  std::vector<Event> events;
-  while (auto frame = gen.NextFrame()) {
-    if (frame->is_watermark) {
-      continue;
-    }
-    const size_t n = frame->bytes.size() / sizeof(Event);
-    const size_t start = events.size();
-    events.resize(start + n);
-    std::memcpy(events.data() + start, frame->bytes.data(), n * sizeof(Event));
-  }
-  return events;
-}
+using testing::RegenerateEvents;
+using testing::SmallHarnessOptions;
 
 TEST(ControlTest, WinSumProducesCorrectSumsAndVerifies) {
-  HarnessOptions opts = SmallOptions();
+  HarnessOptions opts = SmallHarnessOptions();
   opts.generator.workload.kind = WorkloadKind::kIntelLab;
   const Pipeline pipeline = MakeWinSum(1000);
   const HarnessResult result = RunHarness(pipeline, opts);
@@ -76,7 +48,7 @@ TEST(ControlTest, WinSumProducesCorrectSumsAndVerifies) {
 }
 
 TEST(ControlTest, DistinctCountsUniqueTaxis) {
-  HarnessOptions opts = SmallOptions();
+  HarnessOptions opts = SmallHarnessOptions();
   opts.generator.workload.kind = WorkloadKind::kTaxi;
   const Pipeline pipeline = MakeDistinct(1000);
   const HarnessResult result = RunHarness(pipeline, opts);
@@ -102,7 +74,7 @@ TEST(ControlTest, DistinctCountsUniqueTaxis) {
 }
 
 TEST(ControlTest, TopKEmitsLargestPerKey) {
-  HarnessOptions opts = SmallOptions();
+  HarnessOptions opts = SmallHarnessOptions();
   opts.generator.workload.kind = WorkloadKind::kSynthetic;
   opts.generator.workload.num_keys = 50;
   const Pipeline pipeline = MakeTopK(1000, /*k=*/3);
@@ -141,7 +113,7 @@ TEST(ControlTest, TopKEmitsLargestPerKey) {
 }
 
 TEST(ControlTest, FilterKeepsBandAndVerifies) {
-  HarnessOptions opts = SmallOptions();
+  HarnessOptions opts = SmallHarnessOptions();
   opts.generator.workload.kind = WorkloadKind::kFilterable;
   const Pipeline pipeline = MakeFilter(1000, 0, 100);  // ~1% selectivity
   const HarnessResult result = RunHarness(pipeline, opts);
@@ -166,7 +138,7 @@ TEST(ControlTest, FilterKeepsBandAndVerifies) {
 }
 
 TEST(ControlTest, JoinMatchesReferenceRowCount) {
-  HarnessOptions opts = SmallOptions();
+  HarnessOptions opts = SmallHarnessOptions();
   opts.generator.workload.kind = WorkloadKind::kSynthetic;
   opts.generator.workload.num_keys = 2000;
   opts.generator.workload.events_per_window = 6000;  // keep cross products small
@@ -202,7 +174,7 @@ TEST(ControlTest, JoinMatchesReferenceRowCount) {
 }
 
 TEST(ControlTest, PowerCountsHighPowerPlugsPerHouse) {
-  HarnessOptions opts = SmallOptions();
+  HarnessOptions opts = SmallHarnessOptions();
   opts.generator.workload.kind = WorkloadKind::kPowerGrid;
   opts.generator.workload.num_houses = 10;
   opts.generator.workload.plugs_per_house = 20;
@@ -264,7 +236,7 @@ TEST(ControlTest, PowerCountsHighPowerPlugsPerHouse) {
 class EngineVersionTest : public ::testing::TestWithParam<EngineVersion> {};
 
 TEST_P(EngineVersionTest, WinSumRunsCleanOnAllVersions) {
-  HarnessOptions opts = SmallOptions(GetParam());
+  HarnessOptions opts = SmallHarnessOptions(GetParam());
   opts.generator.workload.kind = WorkloadKind::kIntelLab;
   const HarnessResult result = RunHarness(MakeWinSum(1000), opts);
   EXPECT_EQ(result.runner.task_errors, 0u);
@@ -289,7 +261,7 @@ INSTANTIATE_TEST_SUITE_P(AllVersions, EngineVersionTest,
                          });
 
 TEST(ControlTest, HintsOffStillCorrectJustMoreMemory) {
-  HarnessOptions opts = SmallOptions();
+  HarnessOptions opts = SmallHarnessOptions();
   opts.generator.workload.kind = WorkloadKind::kIntelLab;
   opts.engine.use_hints = false;
   opts.engine.placement = PlacementPolicy::kGenerational;
@@ -300,7 +272,7 @@ TEST(ControlTest, HintsOffStillCorrectJustMoreMemory) {
 }
 
 TEST(ControlTest, MemoryFullyReclaimedAfterDrain) {
-  HarnessOptions opts = SmallOptions();
+  HarnessOptions opts = SmallHarnessOptions();
   opts.generator.workload.kind = WorkloadKind::kIntelLab;
   DataPlaneConfig cfg = MakeEngineConfig(opts.version, opts.engine);
   DataPlane dp(cfg);
@@ -328,7 +300,7 @@ TEST(ControlTest, MemoryFullyReclaimedAfterDrain) {
 
 TEST(ControlTest, WatermarkBeforeDataWindowStillEmitsLater) {
   // Watermark for window 0 arrives, then window 1 data, then its watermark: both must emit.
-  HarnessOptions opts = SmallOptions();
+  HarnessOptions opts = SmallHarnessOptions();
   DataPlaneConfig cfg = MakeEngineConfig(opts.version, opts.engine);
   cfg.decrypt_ingress = false;
   DataPlane dp(cfg);

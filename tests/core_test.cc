@@ -11,41 +11,16 @@
 #include "src/common/rng.h"
 #include "src/core/data_plane.h"
 #include "src/crypto/aes128.h"
+#include "tests/testing/testing.h"
 
 namespace sbt {
 namespace {
 
+using testing::AsBytes;
+using testing::MakeEvents;
+
 DataPlaneConfig TestConfig(bool decrypt = false) {
-  DataPlaneConfig cfg;
-  cfg.partition.secure_dram_bytes = 64u << 20;
-  cfg.partition.secure_page_bytes = 64u << 10;
-  cfg.partition.group_reserve_bytes = 64u << 20;
-  cfg.switch_cost = WorldSwitchConfig::Disabled();
-  cfg.decrypt_ingress = decrypt;
-  for (size_t i = 0; i < kAesKeySize; ++i) {
-    cfg.ingress_key[i] = static_cast<uint8_t>(i + 1);
-    cfg.egress_key[i] = static_cast<uint8_t>(2 * i + 1);
-    cfg.mac_key[i] = static_cast<uint8_t>(3 * i + 7);
-  }
-  cfg.ingress_nonce.fill(0x11);
-  cfg.egress_nonce.fill(0x22);
-  return cfg;
-}
-
-std::vector<Event> MakeEvents(size_t n, uint32_t keys = 8, uint32_t window_ms = 1000) {
-  Xoshiro256 rng(55);
-  std::vector<Event> events(n);
-  for (size_t i = 0; i < n; ++i) {
-    events[i].ts_ms = static_cast<EventTimeMs>(i * window_ms * 2 / n);  // spans 2 windows
-    events[i].key = static_cast<uint32_t>(rng.NextBelow(keys));
-    events[i].value = static_cast<int32_t>(rng.NextBelow(1000));
-  }
-  return events;
-}
-
-std::span<const uint8_t> AsBytes(const std::vector<Event>& events) {
-  return std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(events.data()),
-                                  events.size() * sizeof(Event));
+  return testing::SmallDataPlaneConfig(decrypt);
 }
 
 TEST(DataPlaneTest, IngestReturnsOpaqueRef) {

@@ -8,35 +8,23 @@
 
 #include "src/common/event.h"
 #include "src/core/data_plane.h"
+#include "tests/testing/testing.h"
 
 namespace sbt {
 namespace {
 
 DataPlaneConfig SmallAdaptiveConfig() {
-  DataPlaneConfig cfg;
-  cfg.partition.secure_dram_bytes = 8u << 20;
-  cfg.partition.secure_page_bytes = 64u << 10;
-  cfg.partition.group_reserve_bytes = 8u << 20;
-  cfg.switch_cost = WorldSwitchConfig::Disabled();
-  cfg.decrypt_ingress = false;
+  DataPlaneConfig cfg = testing::SmallDataPlaneConfig();
+  cfg.partition = testing::SmallTzPartition(8);
   cfg.backpressure_threshold = 0.9;
   cfg.adaptive_backpressure = true;
   cfg.adaptive_floor = 0.5;
   return cfg;
 }
 
-std::vector<Event> SomeEvents(size_t n) {
-  std::vector<Event> events(n);
-  for (size_t i = 0; i < n; ++i) {
-    events[i] = {.ts_ms = 0, .key = 1, .value = 1};
-  }
-  return events;
-}
+std::vector<Event> SomeEvents(size_t n) { return testing::ConstantEvents(n); }
 
-std::span<const uint8_t> Bytes(const std::vector<Event>& v) {
-  return std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(v.data()),
-                                  v.size() * sizeof(Event));
-}
+std::span<const uint8_t> Bytes(const std::vector<Event>& v) { return testing::AsBytes(v); }
 
 TEST(FlowControlTest, StartsAtConfiguredThreshold) {
   DataPlane dp(SmallAdaptiveConfig());

@@ -16,17 +16,12 @@
 #include "src/primitives/vec_sort.h"
 #include "src/tz/secure_world.h"
 #include "src/uarray/allocator.h"
+#include "tests/testing/testing.h"
 
 namespace sbt {
 namespace {
 
-TzPartitionConfig TestConfig() {
-  TzPartitionConfig cfg;
-  cfg.secure_dram_bytes = 64u << 20;
-  cfg.secure_page_bytes = 64u << 10;
-  cfg.group_reserve_bytes = 64u << 20;
-  return cfg;
-}
+TzPartitionConfig TestConfig() { return testing::SmallTzPartition(64); }
 
 class PrimitivesTest : public ::testing::Test {
  protected:

@@ -12,6 +12,7 @@
 #include "src/primitives/primitives.h"
 #include "src/tz/secure_world.h"
 #include "src/uarray/allocator.h"
+#include "tests/testing/testing.h"
 
 namespace sbt {
 namespace {
@@ -53,10 +54,7 @@ TEST(SlidingWindowFnTest, InvalidSpecs) {
 }
 
 TEST(SlidingSegmentTest, ReplicatesEventsIntoOverlappingWindows) {
-  TzPartitionConfig tz;
-  tz.secure_dram_bytes = 8u << 20;
-  tz.group_reserve_bytes = 8u << 20;
-  SecureWorld world(tz);
+  SecureWorld world(testing::SmallTzPartition(8));
   UArrayAllocator alloc(&world);
   PrimitiveContext ctx;
   ctx.alloc = &alloc;

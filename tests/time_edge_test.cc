@@ -1,0 +1,122 @@
+// Edge-case coverage for src/common/time.h window math: behavior at the event-time
+// epoch, at the 32-bit event-time ceiling, and rejection of slide > size specs.
+
+#include <gtest/gtest.h>
+
+#include "src/common/time.h"
+
+namespace sbt {
+namespace {
+
+// --- Window ---------------------------------------------------------------------
+// (Baseline Contains/SpanMs behavior is covered by common_test's WindowTest;
+// only edge cases live here.)
+
+TEST(WindowEdgeTest, EmptyWindowContainsNothing) {
+  const Window w{500, 500};
+  EXPECT_FALSE(w.Contains(500));
+  EXPECT_EQ(w.SpanMs(), 0u);
+}
+
+// --- FixedWindowFn ----------------------------------------------------------------
+
+TEST(FixedWindowEdgeTest, EpochBoundary) {
+  const FixedWindowFn fn{1000};
+  EXPECT_EQ(fn.WindowIndex(kEventTimeMin), 0u);
+  EXPECT_EQ(fn.WindowIndex(999), 0u);
+  EXPECT_EQ(fn.WindowIndex(1000), 1u);
+  EXPECT_TRUE(fn.WindowAt(0).Contains(0));
+}
+
+TEST(FixedWindowEdgeTest, IndexAndWindowAgreeAcrossBoundaries) {
+  const FixedWindowFn fn{250};
+  for (EventTimeMs t : {0u, 1u, 249u, 250u, 251u, 124999u, 125000u}) {
+    EXPECT_TRUE(fn.WindowAt(fn.WindowIndex(t)).Contains(t)) << t;
+  }
+}
+
+TEST(FixedWindowEdgeTest, MaxEventTime) {
+  const FixedWindowFn fn{1000};
+  // ~49.7 days of milliseconds: the last representable event time still maps to a
+  // valid window index without overflow in the division.
+  EXPECT_EQ(fn.WindowIndex(kEventTimeMax), kEventTimeMax / 1000);
+  // The ceiling window's exclusive end passes 2^32; it must still contain its own
+  // events (regression pin for the 64-bit end computation in WindowAt), and the
+  // phantom window one index past the ceiling must contain nothing (its 64-bit
+  // begin lies beyond every representable event time).
+  const uint32_t ceiling = fn.WindowIndex(kEventTimeMax);
+  EXPECT_TRUE(fn.WindowAt(ceiling).Contains(kEventTimeMax));
+  EXPECT_FALSE(fn.WindowAt(ceiling + 1).Contains(kEventTimeMax));
+  EXPECT_FALSE(fn.WindowAt(ceiling + 1).Contains(0));
+}
+
+// --- SlidingWindowFn --------------------------------------------------------------
+
+TEST(SlidingWindowEdgeTest, RejectsSlideGreaterThanSize) {
+  EXPECT_FALSE((SlidingWindowFn{250, 1000}).Valid());
+  EXPECT_FALSE((SlidingWindowFn{999, 1000}).Valid());
+  EXPECT_TRUE((SlidingWindowFn{1000, 1000}).Valid());
+  EXPECT_TRUE((SlidingWindowFn{1000, 999}).Valid());
+}
+
+TEST(SlidingWindowEdgeTest, RejectsZeroSlide) {
+  EXPECT_FALSE((SlidingWindowFn{1000, 0}).Valid());
+  EXPECT_FALSE((SlidingWindowFn{0, 0}).Valid());
+}
+
+TEST(SlidingWindowEdgeTest, EpochBoundaryClampsAtWindowZero) {
+  const SlidingWindowFn fn{1000, 250};
+  // Times earlier than one full window length belong to fewer than size/slide
+  // windows; FirstWindow must clamp at 0, not wrap negative.
+  EXPECT_EQ(fn.FirstWindow(0), 0u);
+  EXPECT_EQ(fn.LastWindow(0), 0u);
+  EXPECT_EQ(fn.FirstWindow(999), 0u);
+  EXPECT_EQ(fn.LastWindow(999), 3u);
+  // First time covered by the full complement of windows.
+  EXPECT_EQ(fn.FirstWindow(1000), 1u);
+  EXPECT_EQ(fn.LastWindow(1000), 4u);
+}
+
+TEST(SlidingWindowEdgeTest, ExactBoundaryMembership) {
+  const SlidingWindowFn fn{1000, 250};
+  // t on a slide boundary: enters the new window, leaves the oldest.
+  for (EventTimeMs t : {250u, 500u, 750u, 1000u, 1250u, 2000u}) {
+    const uint32_t first = fn.FirstWindow(t);
+    const uint32_t last = fn.LastWindow(t);
+    ASSERT_LE(first, last) << t;
+    for (uint32_t w = first; w <= last; ++w) {
+      EXPECT_TRUE(fn.WindowAt(w).Contains(t)) << "t=" << t << " w=" << w;
+    }
+    if (first > 0) {
+      EXPECT_FALSE(fn.WindowAt(first - 1).Contains(t)) << t;
+    }
+    EXPECT_FALSE(fn.WindowAt(last + 1).Contains(t)) << t;
+  }
+}
+
+TEST(SlidingWindowEdgeTest, MaxEventTimeDoesNotOverflow) {
+  const SlidingWindowFn fn{1000, 250};
+  // FirstWindow computes (t - size) / slide + 1 in 64-bit; at the 32-bit ceiling
+  // this must not wrap. LastWindow is a plain division.
+  const EventTimeMs t = kEventTimeMax;
+  const uint32_t first = fn.FirstWindow(t);
+  const uint32_t last = fn.LastWindow(t);
+  EXPECT_EQ(last, t / 250);
+  EXPECT_EQ(first, static_cast<uint32_t>((static_cast<uint64_t>(t) - 1000) / 250 + 1));
+  EXPECT_LE(first, last);
+  EXPECT_TRUE(fn.WindowAt(last).Contains(t));
+  // Windows past the ceiling start beyond every representable time.
+  EXPECT_FALSE(fn.WindowAt(last + 1).Contains(t));
+}
+
+TEST(SlidingWindowEdgeTest, DegenerateSlideEqualsSizeMatchesFixed) {
+  const SlidingWindowFn sliding{1000, 1000};
+  const FixedWindowFn fixed{1000};
+  for (EventTimeMs t : {0u, 1u, 999u, 1000u, 123456u}) {
+    EXPECT_EQ(sliding.FirstWindow(t), fixed.WindowIndex(t)) << t;
+    EXPECT_EQ(sliding.LastWindow(t), fixed.WindowIndex(t)) << t;
+  }
+}
+
+}  // namespace
+}  // namespace sbt

@@ -10,16 +10,13 @@
 #include "src/tz/secure_world.h"
 #include "src/tz/tzasc.h"
 #include "src/tz/world_switch.h"
+#include "tests/testing/testing.h"
 
 namespace sbt {
 namespace {
 
 TzPartitionConfig SmallConfig() {
-  TzPartitionConfig cfg;
-  cfg.secure_dram_bytes = 1u << 20;  // 1 MB pool
-  cfg.secure_page_bytes = 64u << 10;
-  cfg.group_reserve_bytes = 1u << 20;
-  return cfg;
+  return testing::SmallTzPartition(1);  // 1 MB pool
 }
 
 TEST(TzascTest, ValidatesConfig) {

@@ -10,16 +10,13 @@
 #include "src/uarray/allocator.h"
 #include "src/uarray/uarray.h"
 #include "src/uarray/ugroup.h"
+#include "tests/testing/testing.h"
 
 namespace sbt {
 namespace {
 
 TzPartitionConfig TestConfig(size_t pool_mb = 8) {
-  TzPartitionConfig cfg;
-  cfg.secure_dram_bytes = pool_mb << 20;
-  cfg.secure_page_bytes = 64u << 10;
-  cfg.group_reserve_bytes = pool_mb << 20;
-  return cfg;
+  return testing::SmallTzPartition(pool_mb);
 }
 
 class UArrayTest : public ::testing::Test {
@@ -107,12 +104,13 @@ TEST_F(UArrayTest, IdsAreMonotonic) {
 TEST_F(UArrayTest, FindLocatesLiveArrays) {
   auto a = alloc_.Create(4, UArrayScope::kStreaming);
   ASSERT_TRUE(a.ok());
-  EXPECT_EQ(alloc_.Find((*a)->id()), *a);
+  const uint64_t id = (*a)->id();  // Retire destroys the array, so read the id first
+  EXPECT_EQ(alloc_.Find(id), *a);
   EXPECT_EQ(alloc_.Find(999999), nullptr);
   (*a)->Produce();
   alloc_.Retire(*a);
   // Retired arrays are no longer addressable.
-  EXPECT_EQ(alloc_.Find((*a)->id()), nullptr);
+  EXPECT_EQ(alloc_.Find(id), nullptr);
 }
 
 TEST_F(UArrayTest, DataStaysInSecureMemory) {
