@@ -1,0 +1,123 @@
+// EdgeServer scaling: throughput vs shard count.
+//
+// Not a paper figure — the paper's engine is single-pipeline, single-data-plane. This bench
+// measures the serving layer built above it: a fixed multi-tenant workload (3 tenants, 2
+// sources each) replayed against 1/2/4 data-plane shards. Each shard is an isolated secure
+// partition with its own dispatcher and per-tenant engines, so shard count is the data-plane
+// parallelism knob; the expected shape is rising events/sec until the host's cores or the
+// frontend threads saturate.
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/logging.h"
+#include "src/common/time.h"
+#include "src/control/benchmarks.h"
+#include "src/net/generator.h"
+#include "src/server/edge_server.h"
+
+namespace sbt {
+namespace {
+
+struct RunResult {
+  double seconds = 0;
+  uint64_t events = 0;
+  uint64_t windows = 0;
+  uint64_t errors = 0;
+  bool verified = true;
+};
+
+RunResult RunFleet(uint32_t num_shards, uint32_t events_per_window) {
+  TenantRegistry registry;
+  SBT_CHECK(
+      registry.Add(MakeTenantSpec(1, "sensors", MakeWinSum(1000), 16u << 20)).ok());
+  SBT_CHECK(
+      registry.Add(MakeTenantSpec(2, "fleet", MakeDistinct(1000), 16u << 20)).ok());
+  SBT_CHECK(
+      registry.Add(MakeTenantSpec(3, "filter", MakeFilter(1000, 0, 100), 16u << 20)).ok());
+
+  EdgeServerConfig cfg;
+  cfg.num_shards = num_shards;
+  cfg.host_secure_budget_bytes = static_cast<size_t>(num_shards) * (64u << 20);
+  cfg.frontend_threads = 2;
+  cfg.workers_per_engine = 2;
+  EdgeServer server(cfg, registry);
+
+  const WorkloadKind kinds[3] = {WorkloadKind::kIntelLab, WorkloadKind::kTaxi,
+                                 WorkloadKind::kFilterable};
+  struct Source {
+    std::unique_ptr<FrameChannel> channel;
+    std::unique_ptr<Generator> generator;
+    std::thread thread;
+  };
+  std::vector<Source> sources;
+  for (TenantId tenant = 1; tenant <= 3; ++tenant) {
+    const TenantSpec* spec = registry.Find(tenant);
+    for (uint32_t s = 0; s < 2; ++s) {
+      GeneratorConfig gen_cfg;
+      gen_cfg.workload.kind = kinds[tenant - 1];
+      gen_cfg.workload.events_per_window = events_per_window;
+      gen_cfg.workload.seed = 17 * tenant + s;
+      gen_cfg.batch_events = 20000;
+      gen_cfg.num_windows = 4;
+      gen_cfg.encrypt = true;
+      gen_cfg.key = spec->ingress_key;
+      gen_cfg.nonce = spec->ingress_nonce;
+      Source src;
+      src.channel = std::make_unique<FrameChannel>(16);
+      src.generator = std::make_unique<Generator>(gen_cfg);
+      sources.push_back(std::move(src));
+      SBT_CHECK(
+          server.BindSource(tenant, s, sources.back().channel.get()).ok());
+    }
+  }
+
+  const ProcTimeUs t0 = NowUs();
+  SBT_CHECK(server.Start().ok());
+  for (Source& src : sources) {
+    src.thread = std::thread([&src] { src.generator->RunInto(src.channel.get()); });
+  }
+  for (Source& src : sources) {
+    src.thread.join();
+  }
+  const ServerReport report = server.Shutdown();
+
+  RunResult out;
+  out.seconds = static_cast<double>(NowUs() - t0) / 1e6;
+  out.events = report.TotalEventsIngested();
+  for (const TenantShardReport& e : report.engines) {
+    out.windows += e.runner.windows_emitted;
+    out.errors += e.runner.task_errors + e.dispatch_errors;
+    out.verified = out.verified && e.verified && e.verify.correct;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace sbt
+
+int main() {
+  using namespace sbt;
+  const uint32_t events_per_window = 25000u * static_cast<uint32_t>(BenchScale());
+
+  PrintHeader("EdgeServer scaling: throughput vs shard count",
+              "serving layer above the paper's engine; expected shape: events/sec rises "
+              "with shards until cores saturate");
+  std::printf("%8s %12s %12s %10s %8s %9s\n", "shards", "events", "events/sec", "windows",
+              "errors", "verified");
+
+  bool ok = true;
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    const RunResult r = RunFleet(shards, events_per_window);
+    std::printf("%8u %12llu %12.0f %10llu %8llu %9s\n", shards,
+                static_cast<unsigned long long>(r.events),
+                r.seconds > 0 ? static_cast<double>(r.events) / r.seconds : 0.0,
+                static_cast<unsigned long long>(r.windows),
+                static_cast<unsigned long long>(r.errors), r.verified ? "yes" : "NO");
+    ok = ok && r.errors == 0 && r.verified;
+  }
+  return ok ? 0 : 1;
+}

@@ -62,6 +62,24 @@ void Runner::WorkerLoop() {
   }
 }
 
+Runner::SubmitGuard::SubmitGuard(Runner* runner) : runner_(runner) {
+  std::lock_guard<std::mutex> lock(runner_->qmu_);
+  ++runner_->pending_submits_;
+}
+
+Runner::SubmitGuard::~SubmitGuard() {
+  bool drained;
+  {
+    std::lock_guard<std::mutex> lock(runner_->qmu_);
+    --runner_->pending_submits_;
+    drained = runner_->pending_submits_ == 0 && runner_->queue_.empty() &&
+              runner_->active_tasks_ == 0;
+  }
+  if (drained) {
+    runner_->drain_cv_.notify_all();
+  }
+}
+
 void Runner::Enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(qmu_);
@@ -77,6 +95,10 @@ void Runner::NoteError(const Status& status) {
 
 Status Runner::IngestFrame(std::span<const uint8_t> frame, uint16_t stream,
                            uint64_t ctr_offset) {
+  // Registered before any window-state mutation so a concurrent Drain waits for the chain
+  // tasks this call is about to enqueue.
+  SubmitGuard submit(this);
+
   // Backpressure: stall the source while the secure pool is under pressure (paper §4.2).
   while (config_.block_on_backpressure && dp_->ShouldBackpressure()) {
     backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
@@ -166,6 +188,9 @@ void Runner::RunChain(OpaqueRef ref, uint32_t window_index, uint16_t stream) {
 }
 
 Status Runner::AdvanceWatermark(EventTimeMs value) {
+  // Registered before windows are marked close_enqueued: without this a Drain racing the gap
+  // between releasing wmu_ and Enqueue below would see an empty queue and miss the close.
+  SubmitGuard submit(this);
   SBT_RETURN_IF_ERROR(dp_->IngestWatermark(value));
   const ProcTimeUs now = NowUs();
 
@@ -266,7 +291,9 @@ void Runner::CloseWindow(uint32_t window_index, WindowState state) {
 
 void Runner::Drain() {
   std::unique_lock<std::mutex> lock(qmu_);
-  drain_cv_.wait(lock, [this] { return queue_.empty() && active_tasks_ == 0; });
+  drain_cv_.wait(lock, [this] {
+    return queue_.empty() && active_tasks_ == 0 && pending_submits_ == 0;
+  });
 }
 
 std::vector<WindowResult> Runner::TakeResults() {

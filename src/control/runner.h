@@ -63,7 +63,10 @@ class Runner {
   // results are computed and egressed asynchronously.
   Status AdvanceWatermark(EventTimeMs value);
 
-  // Blocks until all queued work (chains + window closes) has finished.
+  // Blocks until all queued work (chains + window closes) has finished, including work being
+  // submitted by IngestFrame/AdvanceWatermark calls in flight when Drain is entered: each
+  // submitter registers itself before touching window state, so Drain cannot slip through the
+  // gap between a window being marked for close and its close task reaching the queue.
   void Drain();
 
   // Removes and returns finished window results.
@@ -89,6 +92,19 @@ class Runner {
     ProcTimeUs watermark_time = 0;
   };
 
+  // RAII registration of an ingest/watermark call as an in-flight work submitter; Drain waits
+  // for the count to reach zero alongside the queue emptying.
+  class SubmitGuard {
+   public:
+    explicit SubmitGuard(Runner* runner);
+    ~SubmitGuard();
+    SubmitGuard(const SubmitGuard&) = delete;
+    SubmitGuard& operator=(const SubmitGuard&) = delete;
+
+   private:
+    Runner* runner_;
+  };
+
   void WorkerLoop();
   void Enqueue(std::function<void()> task);
   void RunChain(OpaqueRef ref, uint32_t window_index, uint16_t stream);
@@ -108,6 +124,7 @@ class Runner {
   std::condition_variable drain_cv_;
   std::deque<std::function<void()>> queue_;
   int active_tasks_ = 0;
+  int pending_submits_ = 0;  // IngestFrame/AdvanceWatermark calls between entry and last Enqueue
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 

@@ -289,17 +289,25 @@ Result<OutputInfo> DataPlane::IngestBatch(std::span<const uint8_t> frame, size_t
       alloc_.Create(elem_size, UArrayScope::kStreaming,
                     PlacementHint::Parallel(kIngressLaneBase + stream)));
 
+  Status copied;
   if (path == IngestPath::kViaOs) {
     // The untrusted OS received the frame; model the extra hop across the TEE boundary: a
     // staging copy into the OS-side shared buffer plus the cache maintenance OP-TEE performs on
     // world-shared memory before the secure side may read it.
     std::vector<uint8_t> staging(frame.begin(), frame.end());
     FlushSharedBuffer(staging.data(), staging.size());
-    SBT_RETURN_IF_ERROR(batch->Append(staging.data(), staging.size()));
+    copied = batch->Append(staging.data(), staging.size());
   } else {
     // Trusted IO: the NIC DMA'd straight into secure memory; the single placement copy below is
     // what native reception would also pay.
-    SBT_RETURN_IF_ERROR(batch->Append(frame.data(), frame.size()));
+    copied = batch->Append(frame.data(), frame.size());
+  }
+  if (!copied.ok()) {
+    // A partially-grown batch must not outlive the failure: retiring it lets head reclaim free
+    // its pages, otherwise a pool-exhausted ingest pins utilization at the ceiling forever and
+    // backpressure can never clear (the source would stall indefinitely).
+    alloc_.Retire(batch);
+    return copied;
   }
 
   if (config_.decrypt_ingress) {

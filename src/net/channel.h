@@ -1,12 +1,19 @@
 // In-process frame transport: the ZeroMQ-TCP stand-in (see DESIGN.md substitutions).
 //
-// A bounded MPSC queue of framed byte buffers with the same push/pull shape the paper's
-// Generator -> engine link has. Watermarks travel in-band, after all events they cover —
-// exactly the ordering contract stream sources provide.
+// A bounded MPMC queue with the same push/pull shape the paper's Generator -> engine link has.
+// `FrameChannel` carries framed byte buffers from sources; watermarks travel in-band, after all
+// events they cover — exactly the ordering contract stream sources provide. The generic
+// `BoundedChannel<T>` also carries the EdgeServer's routed frames between frontend threads and
+// shard dispatchers (src/server/).
+//
+// Condition variables are notified after the mutex is released so a woken peer never wakes
+// straight into a contended lock. Waiters re-check their predicate under the lock, so no wakeup
+// is lost. A channel must outlive every producer and consumer using it.
 
 #ifndef SRC_NET_CHANNEL_H_
 #define SRC_NET_CHANNEL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -26,40 +33,91 @@ struct Frame {
   EventTimeMs watermark = 0;
 };
 
-class FrameChannel {
+template <typename T>
+class BoundedChannel {
  public:
-  explicit FrameChannel(size_t capacity = 64) : capacity_(capacity) {}
+  explicit BoundedChannel(size_t capacity = 64) : capacity_(capacity) {}
 
   // Blocks while full; returns false if the channel was closed.
-  bool Push(Frame frame) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_push_.wait(lock, [this] { return closed_ || queue_.size() < capacity_; });
-    if (closed_) {
-      return false;
+  bool Push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_push_.wait(lock, [this] { return closed_ || queue_.size() < capacity_; });
+      if (closed_) {
+        return false;
+      }
+      queue_.push_back(std::move(item));
     }
-    queue_.push_back(std::move(frame));
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push; false when full or closed (`item` is untouched in that case, so the
+  // caller can shed it or retry later — the frontend's shed-on-backpressure path).
+  bool TryPush(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || queue_.size() >= capacity_) {
+        return false;
+      }
+      queue_.push_back(std::move(item));
+    }
     cv_pop_.notify_one();
     return true;
   }
 
   // Blocks while empty; nullopt once closed and drained.
-  std::optional<Frame> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_pop_.wait(lock, [this] { return closed_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      return std::nullopt;
+  std::optional<T> Pop() {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_pop_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return std::nullopt;
+      }
+      out.emplace(std::move(queue_.front()));
+      queue_.pop_front();
     }
-    Frame f = std::move(queue_.front());
-    queue_.pop_front();
     cv_push_.notify_one();
-    return f;
+    return out;
   }
 
+  // Like Pop but waits at most `timeout`; nullopt on timeout as well as on closed-and-drained
+  // (use drained() to tell the two apart). A zero timeout is a non-blocking try-pop.
+  std::optional<T> PopWithTimeout(std::chrono::microseconds timeout) {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_pop_.wait_for(lock, timeout, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return std::nullopt;
+      }
+      out.emplace(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    cv_push_.notify_one();
+    return out;
+  }
+
+  // Idempotent; queued items remain poppable after close (drain-after-close contract).
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
-    closed_ = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
     cv_pop_.notify_all();
     cv_push_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  // Closed and empty: no item will ever be delivered again.
+  bool drained() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_ && queue_.empty();
   }
 
   size_t size() const {
@@ -67,14 +125,18 @@ class FrameChannel {
     return queue_.size();
   }
 
+  size_t capacity() const { return capacity_; }
+
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_push_;
   std::condition_variable cv_pop_;
-  std::deque<Frame> queue_;
+  std::deque<T> queue_;
   bool closed_ = false;
 };
+
+using FrameChannel = BoundedChannel<Frame>;
 
 }  // namespace sbt
 

@@ -1,0 +1,327 @@
+#include "src/server/edge_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace sbt {
+namespace {
+
+// How many frames one source may feed per frontend round before yielding to its siblings.
+constexpr int kFrontendBurst = 32;
+
+// Frontend idle backoff when a full pass over its sources made no progress.
+constexpr auto kFrontendIdleSleep = std::chrono::microseconds(100);
+
+size_t RoundUpToPage(size_t bytes, size_t page) { return (bytes + page - 1) / page * page; }
+
+}  // namespace
+
+EdgeServer::EdgeServer(EdgeServerConfig config, TenantRegistry registry)
+    : config_(config), registry_(std::move(registry)), router_(config.num_shards) {
+  SBT_CHECK(config_.num_shards > 0);
+  SBT_CHECK(config_.frontend_threads > 0);
+  SBT_CHECK(config_.workers_per_engine > 0);
+  SBT_CHECK(config_.shard_queue_frames > 0);
+  shard_partition_bytes_ = config_.host_secure_budget_bytes / config_.num_shards;
+  shards_.reserve(config_.num_shards);
+  for (uint32_t s = 0; s < config_.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = s;
+    shard->slice_bytes = shard_partition_bytes_;
+    shard->queue = std::make_unique<BoundedChannel<RoutedFrame>>(config_.shard_queue_frames);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+EdgeServer::~EdgeServer() {
+  if (started_ && !stopped_) {
+    Shutdown();
+  }
+}
+
+uint32_t EdgeServer::RouteOf(TenantId tenant, uint32_t source) const {
+  // Multi-stream pipelines are tenant-homed: all their streams must meet in one engine.
+  const TenantSpec* spec = registry_.Find(tenant);
+  const uint32_t key = (spec != nullptr && spec->pipeline.num_streams() > 1) ? 0 : source;
+  return router_.Route(tenant, key);
+}
+
+Status EdgeServer::BindSource(TenantId tenant, uint32_t source, FrameChannel* channel,
+                              uint16_t pipeline_stream) {
+  if (started_) {
+    return FailedPrecondition("BindSource after Start");
+  }
+  if (channel == nullptr) {
+    return InvalidArgument("null source channel");
+  }
+  const TenantSpec* spec = registry_.Find(tenant);
+  if (spec == nullptr) {
+    return NotFound("unknown tenant " + std::to_string(tenant));
+  }
+  if (pipeline_stream >= spec->pipeline.num_streams()) {
+    return InvalidArgument("pipeline stream out of range for tenant " + spec->name);
+  }
+  for (const auto& existing : sources_) {
+    if (existing->tenant == tenant && existing->id == source) {
+      return InvalidArgument("duplicate source " + std::to_string(source) + " for tenant " +
+                             spec->name);
+    }
+  }
+
+  const uint32_t shard_index = RouteOf(tenant, source);
+  Shard& shard = *shards_[shard_index];
+  Engine* engine = nullptr;
+  if (auto it = shard.engines.find(tenant); it != shard.engines.end()) {
+    engine = it->second.get();
+  } else {
+    // First contact of this tenant with this shard: carve its partition out of the shard's
+    // slice and instantiate the engine.
+    TzPartitionConfig partition;
+    partition.secure_page_bytes = 64u << 10;
+    partition.secure_dram_bytes =
+        RoundUpToPage(spec->secure_quota_bytes, partition.secure_page_bytes);
+    partition.group_reserve_bytes = partition.secure_dram_bytes;
+    if (shard.carved_bytes + partition.secure_dram_bytes > shard.slice_bytes) {
+      return ResourceExhausted("tenant " + spec->name + " quota oversubscribes shard " +
+                               std::to_string(shard_index));
+    }
+
+    DataPlaneConfig dp_cfg;
+    dp_cfg.partition = partition;
+    dp_cfg.switch_cost = config_.switch_cost;
+    dp_cfg.decrypt_ingress = spec->encrypted_ingress;
+    dp_cfg.ingress_key = spec->ingress_key;
+    dp_cfg.ingress_nonce = spec->ingress_nonce;
+    dp_cfg.egress_key = spec->egress_key;
+    dp_cfg.egress_nonce = spec->egress_nonce;
+    dp_cfg.mac_key = spec->mac_key;
+    dp_cfg.backpressure_threshold = spec->backpressure_threshold;
+
+    RunnerConfig rc;
+    rc.num_workers = config_.workers_per_engine;
+    rc.ingest_path = IngestPath::kTrustedIo;
+    // kShed tenants drop at the data-plane door instead of blocking inside IngestFrame.
+    rc.block_on_backpressure = spec->admission == AdmissionPolicy::kStall;
+
+    auto owned = std::make_unique<Engine>();
+    owned->tenant = tenant;
+    owned->admission = spec->admission;
+    owned->partition_bytes = partition.secure_dram_bytes;
+    owned->dp = std::make_unique<DataPlane>(dp_cfg);
+    owned->runner = std::make_unique<Runner>(owned->dp.get(), spec->pipeline, rc);
+    shard.carved_bytes += partition.secure_dram_bytes;
+    engine = owned.get();
+    shard.engines.emplace(tenant, std::move(owned));
+  }
+  engine->source_watermarks.emplace(source, 0);
+
+  auto src = std::make_unique<Source>();
+  src->tenant = tenant;
+  src->id = source;
+  src->pipeline_stream = pipeline_stream;
+  src->admission = spec->admission;
+  src->channel = channel;
+  src->shard = shard_index;
+  sources_.push_back(std::move(src));
+  return OkStatus();
+}
+
+Status EdgeServer::Start() {
+  if (started_) {
+    return FailedPrecondition("Start called twice");
+  }
+  if (sources_.empty()) {
+    return FailedPrecondition("no sources bound");
+  }
+  started_ = true;
+  for (auto& shard : shards_) {
+    shard->dispatcher = std::thread([this, s = shard.get()] { DispatchLoop(s); });
+  }
+  const size_t frontends =
+      std::min<size_t>(static_cast<size_t>(config_.frontend_threads), sources_.size());
+  frontends_.reserve(frontends);
+  for (size_t f = 0; f < frontends; ++f) {
+    frontends_.emplace_back([this, f, frontends] { FrontendLoop(f, frontends); });
+  }
+  return OkStatus();
+}
+
+bool EdgeServer::TryDeliver(Source& src, RoutedFrame& rf) {
+  if (shards_[src.shard]->queue->TryPush(rf)) {
+    ++src.frames_delivered;
+    return true;
+  }
+  // The shard's ingest queue is full: the shard is backpressured. Shed tenants drop data
+  // frames on the floor; watermarks are never shed (windows must still close), and stall
+  // tenants hold the frame so only this source waits.
+  if (src.admission == AdmissionPolicy::kShed && !rf.frame.is_watermark) {
+    ++src.frames_shed;
+    return true;
+  }
+  return false;
+}
+
+void EdgeServer::FrontendLoop(size_t frontend_index, size_t num_frontends) {
+  std::vector<Source*> mine;
+  for (size_t i = frontend_index; i < sources_.size(); i += num_frontends) {
+    mine.push_back(sources_[i].get());
+  }
+  while (true) {
+    bool progressed = false;
+    size_t finished = 0;
+    for (Source* src : mine) {
+      if (src->finished) {
+        ++finished;
+        continue;
+      }
+      // Per-source FIFO: a held frame must go before anything newly popped.
+      if (src->pending.has_value()) {
+        if (!TryDeliver(*src, *src->pending)) {
+          ++src->admission_retries;
+          continue;  // stalled: skip only this source, siblings keep flowing
+        }
+        src->pending.reset();
+        progressed = true;
+      }
+      for (int burst = 0; burst < kFrontendBurst && !src->pending.has_value(); ++burst) {
+        auto frame = src->channel->PopWithTimeout(std::chrono::microseconds(0));
+        if (!frame.has_value()) {
+          if (src->channel->drained()) {
+            src->finished = true;
+            ++finished;
+          }
+          break;
+        }
+        progressed = true;
+        RoutedFrame rf{src->tenant, src->id, std::move(*frame)};
+        rf.frame.stream = src->pipeline_stream;
+        if (!TryDeliver(*src, rf)) {
+          src->pending.emplace(std::move(rf));
+        }
+      }
+    }
+    if (finished == mine.size()) {
+      return;
+    }
+    if (!progressed) {
+      std::this_thread::sleep_for(kFrontendIdleSleep);
+    }
+  }
+}
+
+void EdgeServer::Dispatch(Shard* shard, RoutedFrame rf) {
+  Engine& e = *shard->engines.at(rf.tenant);
+  if (rf.frame.is_watermark) {
+    EventTimeMs& latest = e.source_watermarks.at(rf.source);
+    latest = std::max(latest, rf.frame.watermark);
+    // The engine's watermark is the minimum over its sources: a window only closes once every
+    // source feeding this engine has covered it.
+    EventTimeMs min_wm = latest;
+    for (const auto& [id, wm] : e.source_watermarks) {
+      min_wm = std::min(min_wm, wm);
+    }
+    if (min_wm > e.advanced) {
+      e.advanced = min_wm;
+      const Status s = e.runner->AdvanceWatermark(min_wm);
+      if (!s.ok()) {
+        ++e.dispatch_errors;
+        SBT_LOG(Error) << "shard " << shard->index << " tenant " << rf.tenant
+                       << ": watermark failed: " << s.ToString();
+      }
+    }
+    return;
+  }
+  if (e.admission == AdmissionPolicy::kShed && e.dp->ShouldBackpressure()) {
+    ++e.shed_frames;
+    return;
+  }
+  const Status s = e.runner->IngestFrame(rf.frame.bytes, rf.frame.stream, rf.frame.ctr_offset);
+  if (!s.ok()) {
+    ++e.dispatch_errors;
+    SBT_LOG(Error) << "shard " << shard->index << " tenant " << rf.tenant
+                   << ": ingest failed: " << s.ToString();
+  }
+}
+
+void EdgeServer::DispatchLoop(Shard* shard) {
+  while (auto rf = shard->queue->Pop()) {
+    Dispatch(shard, std::move(*rf));
+  }
+}
+
+ServerReport EdgeServer::Shutdown() {
+  ServerReport report;
+  if (!started_ || stopped_) {
+    return report;
+  }
+  stopped_ = true;
+
+  // 1. Run the frontends down: close every source channel (idempotent — sources that already
+  //    closed their end are unaffected); frontends drain what remains, then exit.
+  for (auto& src : sources_) {
+    src->channel->Close();
+  }
+  for (std::thread& t : frontends_) {
+    t.join();
+  }
+  // 2. Close shard queues; dispatchers drain them (drain-after-close) and exit.
+  for (auto& shard : shards_) {
+    shard->queue->Close();
+  }
+  for (auto& shard : shards_) {
+    shard->dispatcher.join();
+  }
+  // 3. Per engine: drain all in-flight work, then collect results and the tenant's audit
+  //    session. Ordering matters: Drain before FlushAudit so every upload is a complete
+  //    session the verifier can replay with session_complete=true.
+  for (auto& shard : shards_) {
+    for (auto& [tenant, engine] : shard->engines) {
+      engine->runner->Drain();
+      TenantShardReport r;
+      r.tenant = tenant;
+      r.tenant_name = registry_.Find(tenant)->name;
+      r.shard = shard->index;
+      r.runner = engine->runner->stats();
+      r.windows = engine->runner->TakeResults();
+      r.partition_bytes = engine->partition_bytes;
+      r.peak_committed = engine->dp->memory_stats().peak_committed;
+      r.shed_frames = engine->shed_frames;
+      r.dispatch_errors = engine->dispatch_errors;
+      std::vector<AuditRecord> records;
+      r.audit = engine->dp->FlushAudit(&records);
+      if (config_.verify_audit_on_shutdown) {
+        const CloudVerifier verifier(registry_.Find(tenant)->pipeline.ToVerifierSpec());
+        r.verify = verifier.Verify(records, /*session_complete=*/true);
+        r.verified = true;
+      }
+      report.engines.push_back(std::move(r));
+    }
+  }
+  for (const auto& src : sources_) {
+    report.sources.push_back(SourceReport{.tenant = src->tenant,
+                                          .source = src->id,
+                                          .shard = src->shard,
+                                          .frames_delivered = src->frames_delivered,
+                                          .frames_shed = src->frames_shed,
+                                          .admission_retries = src->admission_retries});
+  }
+  return report;
+}
+
+EdgeServer::ShardSnapshot EdgeServer::shard_snapshot(uint32_t shard_index) const {
+  SBT_CHECK(shard_index < shards_.size());
+  const Shard& shard = *shards_[shard_index];
+  ShardSnapshot snap;
+  snap.partition_bytes = shard.slice_bytes;
+  snap.carved_bytes = shard.carved_bytes;
+  for (const auto& [tenant, engine] : shard.engines) {
+    snap.committed_bytes += engine->dp->memory_stats().committed_bytes;
+  }
+  snap.queue_depth = shard.queue->size();
+  return snap;
+}
+
+}  // namespace sbt

@@ -1,0 +1,230 @@
+// Sharded multi-tenant EdgeServer: the serving layer above single-engine execution.
+//
+// The paper's engine runs ONE pipeline against ONE TEE data plane. An edge deployment
+// aggregates thousands of untrusted IoT sources for many cloud consumers, so the EdgeServer
+// multiplexes tenants and sources over a fleet of isolated secure-world shards:
+//
+//   sources --FrameChannel--> frontend threads --ShardRouter--> shard queues
+//                                                                   |
+//                                                     per-shard dispatcher thread
+//                                                                   |
+//                                            per-(shard, tenant) engine = DataPlane + Runner
+//
+// Sharding model. The host's secure budget is carved into `num_shards` equal partitions. A
+// shard hosts one engine instance per resident tenant — tenants never share a secure partition,
+// an audit log, or keys — and a tenant's per-engine carve comes out of its shard's partition,
+// so committed secure bytes on a shard can never exceed the shard's partition (the sum of its
+// carves, each enforced by its own SecureWorld). Every DESIGN.md invariant (bounded secure
+// memory, opaque boundary, tamper-evident audit) therefore holds per shard AND per tenant.
+//
+// Routing. The stateless ShardRouter hashes (tenant, source) so a source is single-homed for
+// its whole session; a multi-stream pipeline (e.g. Join) is tenant-homed so all of its streams
+// meet in one engine. Each engine advances its runner's watermark to the MINIMUM across its
+// bound sources, the multi-source generalization of the single-stream in-band contract.
+//
+// Admission control. A backpressured shard fills its bounded ingest queue; frontends then
+// either hold the affected source's frame (kStall — the bounded source channel pushes back to
+// that source alone) or drop it (kShed — watermarks are never shed). Either way only sources
+// routed to the congested shard are affected; other shards' dispatchers keep draining their own
+// queues. A kShed tenant's engine additionally sheds at the data-plane door while its secure
+// pool is above the backpressure threshold. Within one shard, tenants share a dispatcher, so a
+// stalling tenant delays its shard's co-residents (a scheduling, not an isolation, concern);
+// across shards there is no coupling. As with the single-engine Runner, a kStall tenant whose
+// quota cannot hold a window of in-flight data wedges exactly like the paper's engine would —
+// size quotas to windows.
+//
+// Lifecycle: Add tenants to the registry, BindSource for every source, Start, feed the
+// channels, Shutdown. Shutdown closes source channels, runs the frontends down, drains shard
+// queues, then per engine: Runner::Drain -> collect results -> FlushAudit -> verify the audit
+// stream against the tenant's own pipeline declaration. Each (shard, tenant) audit upload
+// verifies independently — the per-tenant attestation a cloud consumer actually receives.
+
+#ifndef SRC_SERVER_EDGE_SERVER_H_
+#define SRC_SERVER_EDGE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/attest/verifier.h"
+#include "src/control/runner.h"
+#include "src/core/data_plane.h"
+#include "src/net/channel.h"
+#include "src/server/shard_router.h"
+#include "src/server/tenant.h"
+#include "src/tz/world_switch.h"
+
+namespace sbt {
+
+struct EdgeServerConfig {
+  uint32_t num_shards = 4;
+  // One host secure budget, carved into equal per-shard partitions.
+  size_t host_secure_budget_bytes = 256u << 20;
+  int frontend_threads = 2;
+  int workers_per_engine = 2;       // Runner worker threads per (shard, tenant) engine
+  size_t shard_queue_frames = 64;   // bounded ingest queue per shard (the backpressure signal)
+  WorldSwitchConfig switch_cost = WorldSwitchConfig::Disabled();
+  bool verify_audit_on_shutdown = true;
+};
+
+// One (shard, tenant) engine's session outcome.
+struct TenantShardReport {
+  TenantId tenant = 0;
+  std::string tenant_name;
+  uint32_t shard = 0;
+
+  Runner::Stats runner;
+  std::vector<WindowResult> windows;
+
+  size_t partition_bytes = 0;   // this engine's secure carve (page-rounded quota)
+  size_t peak_committed = 0;    // never exceeds partition_bytes (SecureWorld-enforced)
+  uint64_t shed_frames = 0;     // dropped at the data-plane door (kShed under backpressure)
+  uint64_t dispatch_errors = 0;
+
+  AuditUpload audit;
+  VerifyReport verify;  // replay of this engine's audit stream against the tenant's pipeline
+  bool verified = false;
+};
+
+// One source binding's counters.
+struct SourceReport {
+  TenantId tenant = 0;
+  uint32_t source = 0;
+  uint32_t shard = 0;
+  uint64_t frames_delivered = 0;
+  uint64_t frames_shed = 0;       // dropped at the frontend (kShed, shard queue full)
+  uint64_t admission_retries = 0; // rounds this source was held back (kStall)
+};
+
+struct ServerReport {
+  std::vector<TenantShardReport> engines;
+  std::vector<SourceReport> sources;
+
+  // Views into `engines`; invalidated if the report is copied or destroyed.
+  std::vector<const TenantShardReport*> ForTenant(TenantId tenant) const {
+    std::vector<const TenantShardReport*> out;
+    for (const TenantShardReport& e : engines) {
+      if (e.tenant == tenant) {
+        out.push_back(&e);
+      }
+    }
+    return out;
+  }
+
+  uint64_t TotalEventsIngested() const {
+    uint64_t n = 0;
+    for (const TenantShardReport& e : engines) {
+      n += e.runner.events_ingested;
+    }
+    return n;
+  }
+};
+
+class EdgeServer {
+ public:
+  EdgeServer(EdgeServerConfig config, TenantRegistry registry);
+  ~EdgeServer();
+
+  EdgeServer(const EdgeServer&) = delete;
+  EdgeServer& operator=(const EdgeServer&) = delete;
+
+  // Binds one source's channel to its routed shard, instantiating the tenant's engine there on
+  // first contact. Fails if the tenant is unknown, the binding duplicates (tenant, source), or
+  // the tenant's carve would oversubscribe the target shard's partition. Must precede Start().
+  // `pipeline_stream` is the pipeline-level stream id this source feeds (Join-style pipelines).
+  Status BindSource(TenantId tenant, uint32_t source, FrameChannel* channel,
+                    uint16_t pipeline_stream = 0);
+
+  // Spawns shard dispatchers and frontend threads. Call once, after all binds.
+  Status Start();
+
+  // Runs the server down (see lifecycle above) and returns the per-engine reports. Idempotent;
+  // only the first call yields a populated report.
+  ServerReport Shutdown();
+
+  // The shard a source's frames land on (stable; callable before binding).
+  uint32_t RouteOf(TenantId tenant, uint32_t source) const;
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  size_t shard_partition_bytes() const { return shard_partition_bytes_; }
+
+  // Live aggregates (safe to read while running).
+  struct ShardSnapshot {
+    size_t partition_bytes = 0;  // the shard's slice of the host budget
+    size_t carved_bytes = 0;     // sum of resident engines' carves (<= partition_bytes)
+    size_t committed_bytes = 0;  // sum of resident engines' committed secure memory
+    size_t queue_depth = 0;
+  };
+  ShardSnapshot shard_snapshot(uint32_t shard) const;
+
+ private:
+  struct RoutedFrame {
+    TenantId tenant = 0;
+    uint32_t source = 0;
+    Frame frame;
+  };
+
+  // One tenant's engine on one shard. Created at bind time, driven only by its shard's
+  // dispatcher thread after Start().
+  struct Engine {
+    TenantId tenant = 0;
+    AdmissionPolicy admission = AdmissionPolicy::kStall;
+    size_t partition_bytes = 0;
+    std::unique_ptr<DataPlane> dp;
+    std::unique_ptr<Runner> runner;
+    std::map<uint32_t, EventTimeMs> source_watermarks;  // source -> latest in-band watermark
+    EventTimeMs advanced = 0;                           // min watermark already applied
+    uint64_t shed_frames = 0;
+    uint64_t dispatch_errors = 0;
+  };
+
+  struct Shard {
+    uint32_t index = 0;
+    size_t slice_bytes = 0;
+    size_t carved_bytes = 0;
+    std::unique_ptr<BoundedChannel<RoutedFrame>> queue;
+    std::map<TenantId, std::unique_ptr<Engine>> engines;
+    std::thread dispatcher;
+  };
+
+  // One bound source. Owned by exactly one frontend thread after Start().
+  struct Source {
+    TenantId tenant = 0;
+    uint32_t id = 0;
+    uint16_t pipeline_stream = 0;
+    AdmissionPolicy admission = AdmissionPolicy::kStall;
+    FrameChannel* channel = nullptr;
+    uint32_t shard = 0;
+    std::optional<RoutedFrame> pending;  // admission-stalled frame, retried before new pops
+    bool finished = false;
+    uint64_t frames_delivered = 0;
+    uint64_t frames_shed = 0;
+    uint64_t admission_retries = 0;
+  };
+
+  void FrontendLoop(size_t frontend_index, size_t num_frontends);
+  void DispatchLoop(Shard* shard);
+  void Dispatch(Shard* shard, RoutedFrame rf);
+  // True if the frame was consumed (enqueued to the shard, or shed); false = hold and retry.
+  bool TryDeliver(Source& src, RoutedFrame& rf);
+
+  EdgeServerConfig config_;
+  TenantRegistry registry_;
+  ShardRouter router_;
+  size_t shard_partition_bytes_ = 0;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Source>> sources_;
+  std::vector<std::thread> frontends_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace sbt
+
+#endif  // SRC_SERVER_EDGE_SERVER_H_

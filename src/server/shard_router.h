@@ -1,0 +1,45 @@
+// Routes (tenant, source) keys onto data-plane shards.
+//
+// Routing must be *stable* — a source's frames always land on the same shard, so its windows
+// accumulate in one secure partition and its watermark bookkeeping stays single-homed — and
+// *spreading* — independent sources scatter across shards so one hot tenant cannot monopolize
+// the fleet. Both come from hashing the key through a strong 64-bit mixer (splitmix64's
+// finalizer) and reducing onto the shard count. The router is stateless and pure: the same key
+// and shard count produce the same shard on every host and every run.
+
+#ifndef SRC_SERVER_SHARD_ROUTER_H_
+#define SRC_SERVER_SHARD_ROUTER_H_
+
+#include <cstdint>
+
+#include "src/server/tenant.h"
+
+namespace sbt {
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(uint32_t num_shards) : num_shards_(num_shards == 0 ? 1 : num_shards) {}
+
+  uint32_t num_shards() const { return num_shards_; }
+
+  // Stable shard for one source of one tenant.
+  uint32_t Route(TenantId tenant, uint32_t source) const {
+    const uint64_t key = (static_cast<uint64_t>(tenant) << 32) | source;
+    return static_cast<uint32_t>(Mix64(key) % num_shards_);
+  }
+
+ private:
+  // splitmix64 finalizer: full-avalanche 64-bit mix.
+  static uint64_t Mix64(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  uint32_t num_shards_;
+};
+
+}  // namespace sbt
+
+#endif  // SRC_SERVER_SHARD_ROUTER_H_

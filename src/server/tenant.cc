@@ -1,0 +1,52 @@
+#include "src/server/tenant.h"
+
+#include <utility>
+
+namespace sbt {
+
+TenantSpec MakeTenantSpec(TenantId id, std::string name, Pipeline pipeline,
+                          size_t secure_quota_bytes) {
+  TenantSpec spec{.id = id,
+                  .name = std::move(name),
+                  .pipeline = std::move(pipeline),
+                  .secure_quota_bytes = secure_quota_bytes};
+  for (size_t i = 0; i < kAesKeySize; ++i) {
+    const uint8_t b = static_cast<uint8_t>(i);
+    spec.ingress_key[i] = static_cast<uint8_t>(0x10 + 7 * id + b);
+    spec.egress_key[i] = static_cast<uint8_t>(0x60 + 11 * id + b);
+    spec.mac_key[i] = static_cast<uint8_t>(0xb0 + 13 * id + b);
+  }
+  spec.ingress_nonce.fill(static_cast<uint8_t>(0x21 + id));
+  spec.egress_nonce.fill(static_cast<uint8_t>(0x42 + id));
+  return spec;
+}
+
+Status TenantRegistry::Add(TenantSpec spec) {
+  if (spec.name.empty()) {
+    return InvalidArgument("tenant name must be non-empty");
+  }
+  if (spec.secure_quota_bytes == 0) {
+    return InvalidArgument("tenant secure quota must be non-zero");
+  }
+  if (tenants_.contains(spec.id)) {
+    return InvalidArgument("duplicate tenant id " + std::to_string(spec.id));
+  }
+  tenants_.emplace(spec.id, std::move(spec));
+  return OkStatus();
+}
+
+const TenantSpec* TenantRegistry::Find(TenantId id) const {
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+std::vector<TenantId> TenantRegistry::ids() const {
+  std::vector<TenantId> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, spec] : tenants_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace sbt

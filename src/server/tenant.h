@@ -1,0 +1,81 @@
+// Multi-tenant declarations for the sharded EdgeServer (src/server/edge_server.h).
+//
+// A tenant is one cloud consumer's deployment on the edge: a pipeline declaration, the
+// ingress/egress/MAC keys shared with that consumer, a secure-memory quota, and an admission
+// policy for its sources. The registry is the control plane's tenant table; the EdgeServer
+// compiles each tenant into per-shard engine instances (one DataPlane + Runner per shard the
+// tenant's sources land on), so tenants never share a secure partition, an audit log, or keys —
+// every DESIGN.md invariant holds per tenant per shard.
+//
+// Registration is a setup-time operation: all tenants are added before the server starts, and
+// the registry is immutable (lock-free reads) afterwards.
+
+#ifndef SRC_SERVER_TENANT_H_
+#define SRC_SERVER_TENANT_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/control/pipeline.h"
+#include "src/crypto/aes128.h"
+
+namespace sbt {
+
+using TenantId = uint32_t;
+
+// What a tenant's sources experience when their shard reports backpressure.
+enum class AdmissionPolicy : uint8_t {
+  kStall = 0,  // hold the source's frames (bounded channels push back to the source)
+  kShed = 1,   // drop data frames at the shard door; watermarks are never shed
+};
+
+struct TenantSpec {
+  TenantId id = 0;
+  std::string name;
+  Pipeline pipeline;  // the declaration every engine instance of this tenant executes
+
+  // Keys shared with this tenant's sources (ingress) and cloud consumer (egress/MAC).
+  bool encrypted_ingress = true;
+  AesKey ingress_key{};
+  std::array<uint8_t, 12> ingress_nonce{};
+  AesKey egress_key{};
+  std::array<uint8_t, 12> egress_nonce{};
+  AesKey mac_key{};
+
+  // Secure-memory carve for each engine instance of this tenant (per occupied shard). The
+  // EdgeServer rejects a binding that would oversubscribe the target shard's partition.
+  size_t secure_quota_bytes = 8u << 20;
+
+  AdmissionPolicy admission = AdmissionPolicy::kStall;
+  // Pool-utilization fraction at which this tenant's engines report backpressure. kShed
+  // tenants want headroom below 1.0 so window closes can still allocate while sources shed.
+  double backpressure_threshold = 0.85;
+};
+
+// Derives a tenant spec with deterministic per-tenant keys (examples/benchmarks; a deployment
+// provisions real keys). Keys are a function of the id, so the consumer side can re-derive them.
+TenantSpec MakeTenantSpec(TenantId id, std::string name, Pipeline pipeline,
+                          size_t secure_quota_bytes = 8u << 20);
+
+class TenantRegistry {
+ public:
+  // Rejects duplicate ids, empty names, and zero quotas.
+  Status Add(TenantSpec spec);
+
+  // nullptr when unknown. Valid until the registry is destroyed (specs are never removed).
+  const TenantSpec* Find(TenantId id) const;
+
+  std::vector<TenantId> ids() const;
+  size_t size() const { return tenants_.size(); }
+
+ private:
+  std::map<TenantId, TenantSpec> tenants_;
+};
+
+}  // namespace sbt
+
+#endif  // SRC_SERVER_TENANT_H_

@@ -177,6 +177,7 @@ VirtualRange& VirtualRange::operator=(VirtualRange&& other) noexcept {
     if (world_ != nullptr && base_ != nullptr) {
       world_->UnregisterRange(this, base_, capacity_);
     }
+    // mu_ deliberately stays put: each object keeps its own mutex (moves are setup-time only).
     world_ = other.world_;
     base_ = other.base_;
     capacity_ = other.capacity_;
@@ -209,6 +210,7 @@ Status VirtualRange::EnsureBacked(size_t end_offset) {
   if (end_offset > capacity_) {
     return OutOfRange("uArray grew past its uGroup's virtual reservation");
   }
+  std::lock_guard<std::mutex> lock(*mu_);
   const size_t page = world_->page_bytes();
   while (committed_end_ < end_offset) {
     SBT_ASSIGN_OR_RETURN(const uint32_t frame, world_->AllocFrame());
@@ -227,6 +229,11 @@ Status VirtualRange::EnsureBacked(size_t end_offset) {
 }
 
 void VirtualRange::ReleaseHead(size_t begin_offset) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  ReleaseHeadLocked(begin_offset);
+}
+
+void VirtualRange::ReleaseHeadLocked(size_t begin_offset) {
   SBT_CHECK(world_ != nullptr);
   const size_t page = world_->page_bytes();
   const size_t reclaim_end = std::min(begin_offset, committed_end_) / page * page;
@@ -246,7 +253,8 @@ void VirtualRange::ReleaseAll() {
   if (world_ == nullptr || base_ == nullptr) {
     return;
   }
-  ReleaseHead(committed_end_);
+  std::lock_guard<std::mutex> lock(*mu_);
+  ReleaseHeadLocked(committed_end_);
   frames_.clear();
   committed_begin_ = committed_end_ = 0;
   first_page_ = 0;

@@ -32,6 +32,11 @@ class SecureWorld;
 
 // A reserved secure virtual range with on-demand physical backing.
 // Movable, not copyable. Destroying the range releases all its frames.
+//
+// Growth (EnsureBacked, by the open tail uArray's producer) and head reclaim (ReleaseHead, by
+// the allocator holding its own mutex) run on different threads against shared commit
+// bookkeeping, so every commit-state access synchronizes on a per-range mutex. The mutex never
+// moves with the range: moves happen only during single-threaded setup.
 class VirtualRange {
  public:
   VirtualRange() = default;
@@ -46,9 +51,15 @@ class VirtualRange {
   bool valid() const { return base_ != nullptr; }
 
   // Bytes currently committed (backed by physical frames) from the start of the range.
-  size_t committed_end() const { return committed_end_; }
+  size_t committed_end() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return committed_end_;
+  }
   // Bytes decommitted from the head (head-reclaim watermark).
-  size_t committed_begin() const { return committed_begin_; }
+  size_t committed_begin() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return committed_begin_;
+  }
 
   // Ensures [committed_begin, end_offset) is backed. Grows in page granules.
   // Fails with kResourceExhausted when the physical pool is empty (backpressure trigger).
@@ -67,9 +78,14 @@ class VirtualRange {
   VirtualRange(SecureWorld* world, uint8_t* base, size_t capacity)
       : world_(world), base_(base), capacity_(capacity) {}
 
+  // Decommits [committed_begin_, begin_offset) with mu_ already held.
+  void ReleaseHeadLocked(size_t begin_offset);
+
   SecureWorld* world_ = nullptr;
   uint8_t* base_ = nullptr;
   size_t capacity_ = 0;
+  // Guards the commit bookkeeping below. Owned per object, never moved (see class comment).
+  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
   size_t committed_begin_ = 0;
   size_t committed_end_ = 0;
   // Frame id backing each committed page slot; index = page_index - first_page.

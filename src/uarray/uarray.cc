@@ -5,7 +5,7 @@
 namespace sbt {
 
 Status UArray::Append(const void* src, size_t bytes) {
-  if (state_ != UArrayState::kOpen) {
+  if (state() != UArrayState::kOpen) {
     return FailedPrecondition("append to a non-open uArray");
   }
   if (bytes % elem_size_ != 0) {
@@ -21,7 +21,7 @@ Status UArray::Append(const void* src, size_t bytes) {
 }
 
 Result<uint8_t*> UArray::AppendUninitialized(size_t count) {
-  if (state_ != UArrayState::kOpen) {
+  if (state() != UArrayState::kOpen) {
     return FailedPrecondition("append to a non-open uArray");
   }
   const size_t bytes = count * elem_size_;
@@ -32,8 +32,9 @@ Result<uint8_t*> UArray::AppendUninitialized(size_t count) {
 }
 
 void UArray::Produce() {
-  SBT_UARRAY_DCHECK(state_ == UArrayState::kOpen);
-  state_ = UArrayState::kProduced;
+  SBT_UARRAY_DCHECK(state() == UArrayState::kOpen);
+  // Release: everything appended above happens-before any reader that acquires the state.
+  state_.store(UArrayState::kProduced, std::memory_order_release);
 }
 
 }  // namespace sbt

@@ -13,6 +13,7 @@
 #ifndef SRC_UARRAY_UARRAY_H_
 #define SRC_UARRAY_UARRAY_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -53,7 +54,10 @@ class UArray {
   UArray& operator=(const UArray&) = delete;
 
   uint64_t id() const { return id_; }
-  UArrayState state() const { return state_; }
+  // Acquire pairs with the release in Produce()/MarkRetired(): the producer writes its bytes
+  // before flipping the state, and the allocator reads the state lock-free (placement looks at
+  // open tails from under its own mutex while producers append from worker threads).
+  UArrayState state() const { return state_.load(std::memory_order_acquire); }
   UArrayScope scope() const { return scope_; }
   size_t elem_size() const { return elem_size_; }
 
@@ -64,7 +68,7 @@ class UArray {
   // Raw byte views. `data()` is valid only inside the data plane; it never crosses the boundary.
   const uint8_t* data() const { return base_; }
   uint8_t* mutable_data() {
-    SBT_UARRAY_DCHECK(state_ == UArrayState::kOpen);
+    SBT_UARRAY_DCHECK(state() == UArrayState::kOpen);
     return base_;
   }
 
@@ -77,7 +81,7 @@ class UArray {
 
   template <typename T>
   std::span<T> MutableSpan() {
-    SBT_UARRAY_DCHECK(state_ == UArrayState::kOpen && sizeof(T) == elem_size_);
+    SBT_UARRAY_DCHECK(state() == UArrayState::kOpen && sizeof(T) == elem_size_);
     return std::span<T>(reinterpret_cast<T*>(base_), size());
   }
 
@@ -118,12 +122,12 @@ class UArray {
       : group_(group), id_(id), scope_(scope), elem_size_(elem_size), base_(base),
         offset_(offset) {}
 
-  void MarkRetired() { state_ = UArrayState::kRetired; }
+  void MarkRetired() { state_.store(UArrayState::kRetired, std::memory_order_release); }
 
   UGroup* group_;
   uint64_t id_;
   UArrayScope scope_;
-  UArrayState state_ = UArrayState::kOpen;
+  std::atomic<UArrayState> state_{UArrayState::kOpen};
   size_t elem_size_;
   uint8_t* base_;
   size_t offset_;        // byte offset of base_ within the group's range

@@ -4,20 +4,21 @@ namespace sbt {
 
 UArray* UGroup::Emplace(uint64_t array_id, UArrayScope scope, size_t elem_size) {
   SBT_CHECK(CanAppend());
-  const size_t base_offset = (tail_offset_ + kArrayAlign - 1) / kArrayAlign * kArrayAlign;
+  const size_t base_offset = (tail_offset() + kArrayAlign - 1) / kArrayAlign * kArrayAlign;
   auto array = std::unique_ptr<UArray>(
       new UArray(this, array_id, scope, elem_size, range_.base() + base_offset, base_offset));
   UArray* raw = array.get();
   arrays_.push_back(std::move(array));
-  tail_offset_ = base_offset;  // tail grows as the open array appends
+  // Tail grows as the open array appends. No producer is live here: CanAppend() held.
+  tail_offset_.store(base_offset, std::memory_order_release);
   return raw;
 }
 
 Status UGroup::EnsureTailBacked(size_t array_offset, size_t new_size_bytes) {
   const size_t new_end = array_offset + new_size_bytes;
   SBT_RETURN_IF_ERROR(range_.EnsureBacked(new_end));
-  if (new_end > tail_offset_) {
-    tail_offset_ = new_end;
+  if (new_end > tail_offset_.load(std::memory_order_relaxed)) {
+    tail_offset_.store(new_end, std::memory_order_release);
   }
   return OkStatus();
 }

@@ -6,6 +6,7 @@
 #ifndef SRC_UARRAY_UGROUP_H_
 #define SRC_UARRAY_UGROUP_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -26,15 +27,17 @@ class UGroup {
 
   uint64_t id() const { return id_; }
   size_t capacity() const { return range_.capacity(); }
-  // Byte offset where the next uArray would start.
-  size_t tail_offset() const { return tail_offset_; }
+  // Byte offset where the next uArray would start. Atomic because the open tail uArray's
+  // producer bumps it from a worker thread while the allocator inspects the group for
+  // placement from under its own mutex.
+  size_t tail_offset() const { return tail_offset_.load(std::memory_order_acquire); }
   size_t arrays_live() const { return arrays_.size(); }
   bool empty() const { return arrays_.empty(); }
 
   // True iff a new uArray may be appended: the current tail is not open and there is room.
   bool CanAppend() const {
     return (arrays_.empty() || arrays_.back()->state() != UArrayState::kOpen) &&
-           tail_offset_ < capacity();
+           tail_offset() < capacity();
   }
 
   // The last uArray, or nullptr. Placement looks at whether the tail is produced.
@@ -62,7 +65,7 @@ class UGroup {
 
   uint64_t id_;
   VirtualRange range_;
-  size_t tail_offset_ = 0;
+  std::atomic<size_t> tail_offset_{0};
   std::deque<std::unique_ptr<UArray>> arrays_;
 };
 

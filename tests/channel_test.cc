@@ -1,0 +1,165 @@
+// FrameChannel / BoundedChannel contract tests: blocking and non-blocking push/pop, the
+// close-while-blocked and drain-after-close semantics the EdgeServer shutdown path leans on,
+// and the in-band ordering contract (a watermark follows every event it covers).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/common/event.h"
+#include "src/net/channel.h"
+#include "src/net/generator.h"
+
+namespace sbt {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+TEST(BoundedChannelTest, CloseWakesBlockedPop) {
+  FrameChannel ch(4);
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(ch.Pop().has_value());  // blocks until Close, then empty -> nullopt
+    popped.store(true);
+  });
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_FALSE(popped.load());
+  ch.Close();
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+}
+
+TEST(BoundedChannelTest, CloseWakesBlockedPush) {
+  FrameChannel ch(1);
+  ASSERT_TRUE(ch.Push(Frame{}));  // fill to capacity
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_FALSE(ch.Push(Frame{}));  // blocks on full, Close -> false
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  ch.Close();
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(BoundedChannelTest, DrainAfterCloseDeliversEverythingQueued) {
+  FrameChannel ch(8);
+  for (int i = 0; i < 5; ++i) {
+    Frame f;
+    f.ctr_offset = static_cast<uint64_t>(i);
+    ASSERT_TRUE(ch.Push(std::move(f)));
+  }
+  ch.Close();
+  EXPECT_TRUE(ch.closed());
+  EXPECT_FALSE(ch.drained());  // closed but not yet empty
+  for (int i = 0; i < 5; ++i) {
+    auto f = ch.Pop();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->ctr_offset, static_cast<uint64_t>(i));
+  }
+  EXPECT_TRUE(ch.drained());
+  EXPECT_FALSE(ch.Pop().has_value());
+  EXPECT_FALSE(ch.PopWithTimeout(microseconds(0)).has_value());
+}
+
+TEST(BoundedChannelTest, TryPushRefusesWhenFullAndLeavesItemIntact) {
+  FrameChannel ch(2);
+  Frame a;
+  a.bytes = {1, 2, 3};
+  ASSERT_TRUE(ch.TryPush(a));
+  EXPECT_TRUE(a.bytes.empty());  // consumed on success
+  Frame b;
+  ASSERT_TRUE(ch.TryPush(b));
+
+  Frame c;
+  c.bytes = {9, 9};
+  EXPECT_FALSE(ch.TryPush(c));          // full
+  EXPECT_EQ(c.bytes.size(), 2u);        // refused item untouched: caller may shed or retry
+  ASSERT_TRUE(ch.Pop().has_value());
+  EXPECT_TRUE(ch.TryPush(c));           // space again
+  ch.Close();
+  Frame d;
+  EXPECT_FALSE(ch.TryPush(d));          // closed
+}
+
+TEST(BoundedChannelTest, PopWithTimeoutExpiresThenDelivers) {
+  FrameChannel ch(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.PopWithTimeout(milliseconds(10)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, milliseconds(10));
+  EXPECT_FALSE(ch.drained());  // timed out, not closed
+
+  std::thread producer([&] {
+    std::this_thread::sleep_for(milliseconds(5));
+    Frame f;
+    f.ctr_offset = 7;
+    ch.Push(std::move(f));
+  });
+  auto f = ch.PopWithTimeout(milliseconds(500));
+  producer.join();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->ctr_offset, 7u);
+}
+
+TEST(BoundedChannelTest, ZeroTimeoutIsNonBlockingTryPop) {
+  FrameChannel ch(4);
+  EXPECT_FALSE(ch.PopWithTimeout(microseconds(0)).has_value());
+  ASSERT_TRUE(ch.Push(Frame{}));
+  EXPECT_TRUE(ch.PopWithTimeout(microseconds(0)).has_value());
+}
+
+TEST(BoundedChannelTest, GenericPayloadRoundTrips) {
+  BoundedChannel<int> ch(3);
+  int v = 41;
+  ASSERT_TRUE(ch.TryPush(v));
+  ASSERT_TRUE(ch.Push(42));
+  EXPECT_EQ(ch.size(), 2u);
+  EXPECT_EQ(ch.Pop().value(), 41);
+  EXPECT_EQ(ch.PopWithTimeout(microseconds(0)).value(), 42);
+}
+
+// The ordering contract stream sources provide (and the verifier's freshness replay assumes):
+// a watermark travels after ALL events it covers, so once watermark W has been popped, every
+// later event frame carries event times >= W.
+TEST(BoundedChannelTest, WatermarkFollowsAllCoveredEvents) {
+  GeneratorConfig cfg;
+  cfg.workload.kind = WorkloadKind::kIntelLab;
+  cfg.workload.events_per_window = 5000;
+  cfg.workload.window_ms = 1000;
+  cfg.batch_events = 700;  // not a divisor of the window: exercises partial tail frames
+  cfg.num_windows = 4;
+  Generator gen(cfg);
+
+  FrameChannel ch(8);
+  std::thread source([&] { gen.RunInto(&ch); });
+
+  EventTimeMs last_watermark = 0;
+  size_t watermarks = 0;
+  while (auto frame = ch.Pop()) {
+    if (frame->is_watermark) {
+      EXPECT_GT(frame->watermark, last_watermark);  // watermarks advance monotonically
+      last_watermark = frame->watermark;
+      ++watermarks;
+      continue;
+    }
+    ASSERT_EQ(frame->bytes.size() % sizeof(Event), 0u);
+    for (size_t off = 0; off < frame->bytes.size(); off += sizeof(Event)) {
+      Event e;
+      std::memcpy(&e, frame->bytes.data() + off, sizeof(e));
+      EXPECT_GE(e.ts_ms, last_watermark)
+          << "event at ts " << e.ts_ms << " arrived after watermark " << last_watermark;
+    }
+  }
+  source.join();
+  EXPECT_EQ(watermarks, 4u);
+  EXPECT_TRUE(ch.drained());
+}
+
+}  // namespace
+}  // namespace sbt
