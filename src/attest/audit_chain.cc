@@ -1,0 +1,43 @@
+#include "src/attest/audit_chain.h"
+
+#include <cstring>
+
+namespace sbt {
+
+Sha256Digest AuditUploadMac(const AesKey& mac_key, const AuditUpload& upload) {
+  std::vector<uint8_t> image;
+  image.reserve(kSha256DigestSize + sizeof(uint64_t) + upload.compressed.size());
+  image.insert(image.end(), upload.chain_prev.begin(), upload.chain_prev.end());
+  uint8_t seq_le[sizeof(uint64_t)];
+  std::memcpy(seq_le, &upload.chain_seq, sizeof(seq_le));
+  image.insert(image.end(), seq_le, seq_le + sizeof(seq_le));
+  image.insert(image.end(), upload.compressed.begin(), upload.compressed.end());
+  return HmacSha256(std::span<const uint8_t>(mac_key.data(), mac_key.size()),
+                    std::span<const uint8_t>(image.data(), image.size()));
+}
+
+Status AuditChainVerifier::Accept(const AuditUpload& upload) {
+  if (upload.chain_seq != next_seq_) {
+    return DataLoss("audit upload out of sequence (dropped or replayed upload)");
+  }
+  if (!DigestEqual(upload.chain_prev, head_)) {
+    return DataLoss("audit upload does not chain from the verified head (forked stream)");
+  }
+  if (!DigestEqual(AuditUploadMac(mac_key_, upload), upload.mac)) {
+    return DataLoss("audit upload MAC mismatch (corrupt or forged upload)");
+  }
+  head_ = upload.mac;
+  ++next_seq_;
+  return OkStatus();
+}
+
+Status AuditChainVerifier::AcceptResume(uint64_t chain_seq,
+                                        const Sha256Digest& chain_head) const {
+  if (chain_seq != next_seq_ || !DigestEqual(chain_head, head_)) {
+    return DataLoss("restored engine's checkpoint does not continue the verified audit chain "
+                    "(stale or forked checkpoint)");
+  }
+  return OkStatus();
+}
+
+}  // namespace sbt

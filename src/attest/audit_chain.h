@@ -1,0 +1,64 @@
+// Audit-upload hash chain (paper §7, extended with tamper-evident recovery).
+//
+// The data plane ships audit records as compressed, signed uploads. Each upload's MAC covers
+// the previous upload's MAC and its own sequence number alongside the compressed bytes, turning
+// the upload sequence into a hash chain: the cloud consumer can prove no upload was dropped,
+// reordered, replayed, or forged.
+//
+// Recovery resume rule: a sealed engine checkpoint (src/core/checkpoint.h) embeds the chain
+// position at seal time — the next sequence number and the MAC of the last upload. A restored
+// engine's stream is accepted as a *continuation* only when that embedded position matches the
+// verifier's current head; anything else (a stale checkpoint replayed after newer uploads, a
+// forked chain, a fabricated position) is rejected.
+
+#ifndef SRC_ATTEST_AUDIT_CHAIN_H_
+#define SRC_ATTEST_AUDIT_CHAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/crypto/aes128.h"
+#include "src/crypto/sha256.h"
+
+namespace sbt {
+
+// Signed audit upload (compressed columnar batch): one link of an engine's audit chain.
+struct AuditUpload {
+  std::vector<uint8_t> compressed;
+  Sha256Digest mac{};
+  size_t raw_bytes = 0;  // pre-compression size, for ratio reporting
+  size_t record_count = 0;
+  uint64_t chain_seq = 0;     // position of this upload in the engine's audit chain
+  Sha256Digest chain_prev{};  // MAC of the previous upload (all zeros = head of stream)
+};
+
+// The chain-link MAC: HMAC(mac_key, chain_prev || chain_seq_le || compressed).
+Sha256Digest AuditUploadMac(const AesKey& mac_key, const AuditUpload& upload);
+
+// Cloud-side chain verification. Feed uploads in arrival order; interpose AcceptResume when
+// the edge reports an engine restore.
+class AuditChainVerifier {
+ public:
+  explicit AuditChainVerifier(const AesKey& mac_key) : mac_key_(mac_key) {}
+
+  // Verifies the upload's MAC and chain continuity, then advances the head.
+  // kDataLoss on any mismatch (corrupt bytes, wrong position, broken link).
+  Status Accept(const AuditUpload& upload);
+
+  // Resume rule: accepts a restored engine's claimed chain position iff it equals the current
+  // head — i.e. the checkpoint was taken exactly where the verified stream ends.
+  Status AcceptResume(uint64_t chain_seq, const Sha256Digest& chain_head) const;
+
+  uint64_t next_seq() const { return next_seq_; }
+  const Sha256Digest& head() const { return head_; }
+
+ private:
+  AesKey mac_key_;
+  uint64_t next_seq_ = 0;
+  Sha256Digest head_{};  // zeros before the first upload
+};
+
+}  // namespace sbt
+
+#endif  // SRC_ATTEST_AUDIT_CHAIN_H_

@@ -13,6 +13,10 @@
 //    watermark that triggered it and reports delay = egress ts - watermark ingress ts.
 //
 // Untrusted consumption hints ride along in the records and are surfaced for audit.
+//
+// Transport-level integrity (upload MACs, the audit hash chain, and the checkpoint-resume
+// rule for restored engines) lives in src/attest/audit_chain.h; this verifier replays the
+// decoded records of an already-authenticated chain.
 
 #ifndef SRC_ATTEST_VERIFIER_H_
 #define SRC_ATTEST_VERIFIER_H_

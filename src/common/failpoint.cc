@@ -1,0 +1,83 @@
+#include "src/common/failpoint.h"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+
+namespace sbt {
+namespace {
+
+struct FailPointState {
+  FailPointSpec spec;
+  uint64_t hits = 0;
+  SplitMix64 rng{0};
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<std::string, FailPointState>& Registry() {
+  static auto* map = new std::unordered_map<std::string, FailPointState>();
+  return *map;
+}
+
+}  // namespace
+
+std::atomic<uint64_t> FailPoints::armed_count{0};
+
+void FailPoints::Arm(std::string_view name, FailPointSpec spec) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto [it, inserted] = Registry().insert_or_assign(std::string(name), FailPointState{});
+  it->second.spec = spec;
+  it->second.rng = SplitMix64(spec.seed);
+  if (inserted) {
+    armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoints::Disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  if (Registry().erase(std::string(name)) != 0) {
+    armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  armed_count.fetch_sub(Registry().size(), std::memory_order_relaxed);
+  Registry().clear();
+}
+
+uint64_t FailPoints::Hits(std::string_view name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  const auto it = Registry().find(std::string(name));
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+bool FailPoints::ShouldFail(std::string_view name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  const auto it = Registry().find(std::string(name));
+  if (it == Registry().end()) {
+    return false;
+  }
+  FailPointState& state = it->second;
+  const uint64_t hit = state.hits++;
+  const FailPointSpec& spec = state.spec;
+  if (spec.prob_den > 0) {
+    return state.rng.Next() % spec.prob_den < spec.prob_num;
+  }
+  if (hit < spec.skip) {
+    return false;
+  }
+  const uint64_t offset = hit - spec.skip;
+  if (spec.period == 0) {
+    return offset < spec.fail;
+  }
+  return offset % spec.period < spec.fail;
+}
+
+}  // namespace sbt

@@ -1,0 +1,45 @@
+#include "src/control/engine.h"
+
+namespace sbt {
+namespace {
+
+// Annex layout inside the sealed payload: runner state, then the caller's server annex.
+constexpr uint32_t kEngineAnnexMagic = 0x45544253u;  // "SBTE"
+
+}  // namespace
+
+Result<DataPlane::CheckpointBundle> CheckpointEngine(DataPlane& dp, Runner& runner,
+                                                     std::span<const uint8_t> server_annex,
+                                                     std::vector<WindowResult>* results) {
+  runner.Drain();
+  if (results != nullptr) {
+    std::vector<WindowResult> pending = runner.TakeResults();
+    results->insert(results->end(), std::make_move_iterator(pending.begin()),
+                    std::make_move_iterator(pending.end()));
+  }
+  SBT_ASSIGN_OR_RETURN(const std::vector<uint8_t> runner_state, runner.CheckpointState());
+  ByteWriter w;
+  w.U32(kEngineAnnexMagic);
+  w.Blob(std::span<const uint8_t>(runner_state.data(), runner_state.size()));
+  w.Blob(server_annex);
+  const std::vector<uint8_t> annex = w.Take();
+  return dp.Checkpoint(std::span<const uint8_t>(annex.data(), annex.size()));
+}
+
+Result<std::vector<uint8_t>> RestoreEngine(DataPlane& dp, Runner& runner,
+                                           const SealedCheckpoint& sealed) {
+  SBT_ASSIGN_OR_RETURN(const std::vector<uint8_t> annex, dp.Restore(sealed));
+  ByteReader r(std::span<const uint8_t>(annex.data(), annex.size()));
+  uint32_t magic = 0;
+  std::vector<uint8_t> runner_state;
+  std::vector<uint8_t> server_annex;
+  if (!r.U32(&magic) || magic != kEngineAnnexMagic || !r.Blob(&runner_state) ||
+      !r.Blob(&server_annex) || !r.exhausted()) {
+    return DataLoss("engine checkpoint annex is malformed");
+  }
+  SBT_RETURN_IF_ERROR(
+      runner.RestoreState(std::span<const uint8_t>(runner_state.data(), runner_state.size())));
+  return server_annex;
+}
+
+}  // namespace sbt

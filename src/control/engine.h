@@ -11,9 +11,12 @@
 #ifndef SRC_CONTROL_ENGINE_H_
 #define SRC_CONTROL_ENGINE_H_
 
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "src/control/runner.h"
+#include "src/core/checkpoint.h"
 #include "src/core/data_plane.h"
 
 namespace sbt {
@@ -86,6 +89,21 @@ inline RunnerConfig MakeRunnerConfig(EngineVersion version, const EngineOptions&
                                                            : IngestPath::kTrustedIo;
   return rc;
 }
+
+// --- engine checkpoint/restore (control + data plane as one unit) ---
+//
+// An "engine" is one DataPlane + Runner pair. CheckpointEngine quiesces the runner (Drain),
+// moves any finished-but-uncollected window results into *results (they were already egressed
+// — ciphertext, safe outside the seal), then seals the runner's window bookkeeping together
+// with the caller's `server_annex` inside the data plane's checkpoint. RestoreEngine reverses
+// this into a freshly constructed pair built from the same configs, returning the annex.
+
+Result<DataPlane::CheckpointBundle> CheckpointEngine(DataPlane& dp, Runner& runner,
+                                                     std::span<const uint8_t> server_annex,
+                                                     std::vector<WindowResult>* results);
+
+Result<std::vector<uint8_t>> RestoreEngine(DataPlane& dp, Runner& runner,
+                                           const SealedCheckpoint& sealed);
 
 }  // namespace sbt
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/core/checkpoint.h"
 
 namespace sbt {
 namespace {
@@ -13,6 +14,9 @@ constexpr uint32_t kWindowLaneBase = 2u << 16;
 constexpr uint32_t kCloseLaneBase = 3u << 16;
 constexpr uint32_t kSegmentLaneBase = 4u << 16;
 constexpr uint32_t kLaneSlots = 512;
+
+// Leading marker of serialized runner state ("SBTR").
+constexpr uint32_t kRunnerStateMagic = 0x52544253u;
 
 }  // namespace
 
@@ -294,6 +298,120 @@ void Runner::Drain() {
   drain_cv_.wait(lock, [this] {
     return queue_.empty() && active_tasks_ == 0 && pending_submits_ == 0;
   });
+}
+
+Result<std::vector<uint8_t>> Runner::CheckpointState() {
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    if (!queue_.empty() || active_tasks_ != 0 || pending_submits_ != 0) {
+      return FailedPrecondition("runner checkpoint with work in flight (call Drain first)");
+    }
+  }
+  ByteWriter w;
+  w.U32(kRunnerStateMagic);
+  {
+    std::lock_guard<std::mutex> lock(wmu_);
+    w.U64(windows_.size());
+    for (const auto& [index, ws] : windows_) {
+      if (ws.pending_chains != 0) {
+        return FailedPrecondition("runner checkpoint with pending per-batch chains");
+      }
+      w.U32(index);
+      w.U8(ws.close_requested ? 1 : 0);
+      w.U16(static_cast<uint16_t>(ws.contributions.size()));
+      for (const std::vector<OpaqueRef>& stream_refs : ws.contributions) {
+        w.U64(stream_refs.size());
+        for (OpaqueRef ref : stream_refs) {
+          w.U64(ref);
+        }
+      }
+    }
+  }
+  // Cumulative counters ride along so a restored engine reports session totals, not
+  // per-incarnation fragments.
+  w.U64(events_ingested_.load(std::memory_order_relaxed));
+  w.U64(frames_ingested_.load(std::memory_order_relaxed));
+  w.U64(windows_emitted_.load(std::memory_order_relaxed));
+  w.U64(task_errors_.load(std::memory_order_relaxed));
+  w.U32(max_delay_ms_.load(std::memory_order_relaxed));
+  w.U64(backpressure_stalls_.load(std::memory_order_relaxed));
+  // Lane counter too: hints are audited, so a restored engine must keep issuing the same lane
+  // sequence an uninterrupted run would have.
+  w.U32(next_worker_lane_.load(std::memory_order_relaxed));
+  return w.Take();
+}
+
+Status Runner::RestoreState(std::span<const uint8_t> bytes) {
+  {
+    std::lock_guard<std::mutex> lock(wmu_);
+    if (!windows_.empty()) {
+      return FailedPrecondition("restore into a runner that already has window state");
+    }
+  }
+  if (frames_ingested_.load(std::memory_order_relaxed) != 0 ||
+      windows_emitted_.load(std::memory_order_relaxed) != 0) {
+    return FailedPrecondition("restore into a runner that already processed work");
+  }
+
+  ByteReader r(bytes);
+  const Status malformed = DataLoss("runner checkpoint state is malformed");
+  uint32_t magic = 0;
+  uint64_t window_count = 0;
+  if (!r.U32(&magic) || magic != kRunnerStateMagic || !r.U64(&window_count)) {
+    return malformed;
+  }
+  std::map<uint32_t, WindowState> windows;
+  for (uint64_t i = 0; i < window_count; ++i) {
+    uint32_t index = 0;
+    uint8_t close_requested = 0;
+    uint16_t streams = 0;
+    if (!r.U32(&index) || !r.U8(&close_requested) || !r.U16(&streams) ||
+        streams != pipeline_.num_streams()) {
+      return malformed;
+    }
+    WindowState ws;
+    ws.contributions.resize(streams);
+    ws.close_requested = close_requested != 0;
+    for (uint16_t s = 0; s < streams; ++s) {
+      uint64_t n = 0;
+      if (!r.U64(&n)) {
+        return malformed;
+      }
+      for (uint64_t k = 0; k < n; ++k) {
+        OpaqueRef ref = 0;
+        if (!r.U64(&ref)) {
+          return malformed;
+        }
+        ws.contributions[s].push_back(ref);
+      }
+    }
+    if (!windows.emplace(index, std::move(ws)).second) {
+      return malformed;  // duplicate window index
+    }
+  }
+  uint64_t events = 0;
+  uint64_t frames = 0;
+  uint64_t emitted = 0;
+  uint64_t errors = 0;
+  uint32_t max_delay = 0;
+  uint64_t stalls = 0;
+  uint32_t next_lane = 0;
+  if (!r.U64(&events) || !r.U64(&frames) || !r.U64(&emitted) || !r.U64(&errors) ||
+      !r.U32(&max_delay) || !r.U64(&stalls) || !r.U32(&next_lane) || !r.exhausted()) {
+    return malformed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(wmu_);
+    windows_ = std::move(windows);
+  }
+  events_ingested_.store(events, std::memory_order_relaxed);
+  frames_ingested_.store(frames, std::memory_order_relaxed);
+  windows_emitted_.store(emitted, std::memory_order_relaxed);
+  task_errors_.store(errors, std::memory_order_relaxed);
+  max_delay_ms_.store(max_delay, std::memory_order_relaxed);
+  backpressure_stalls_.store(stalls, std::memory_order_relaxed);
+  next_worker_lane_.store(next_lane, std::memory_order_relaxed);
+  return OkStatus();
 }
 
 std::vector<WindowResult> Runner::TakeResults() {

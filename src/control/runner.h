@@ -19,6 +19,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -71,6 +72,18 @@ class Runner {
 
   // Removes and returns finished window results.
   std::vector<WindowResult> TakeResults();
+
+  // Serializes the quiesced control-plane state — open-window bookkeeping (contribution refs
+  // per stream) and the cumulative counters — for inclusion in a sealed engine checkpoint.
+  // Call after Drain() with no concurrent submitters; in-flight work fails with
+  // kFailedPrecondition. The refs inside are opaque; only the paired DataPlane can resolve
+  // them, so these bytes leak nothing even before sealing.
+  Result<std::vector<uint8_t>> CheckpointState();
+
+  // Restores CheckpointState bytes into this freshly constructed runner (same pipeline
+  // declaration, a DataPlane restored from the matching checkpoint). kFailedPrecondition when
+  // the runner already processed work; kDataLoss on malformed bytes.
+  Status RestoreState(std::span<const uint8_t> bytes);
 
   struct Stats {
     uint64_t events_ingested = 0;

@@ -1,0 +1,76 @@
+#include "src/core/checkpoint.h"
+
+#include "src/common/rng.h"
+
+namespace sbt {
+namespace {
+
+// The authenticated header image: version | chain_seq | chain_head | salt | payload length.
+// Feeding these through the MAC binds the chain position and the nonce salt to the ciphertext,
+// so a checkpoint cannot be re-labeled with a different chain position (or re-noncéd) without
+// detection.
+std::vector<uint8_t> HeaderImage(const SealedCheckpoint& sealed) {
+  ByteWriter w;
+  w.U32(sealed.version);
+  w.U64(sealed.chain_seq);
+  w.Blob(std::span<const uint8_t>(sealed.chain_head.data(), sealed.chain_head.size()));
+  w.U64(sealed.seal_salt);
+  w.U64(sealed.ciphertext.size());
+  return w.Take();
+}
+
+Sha256Digest SealMac(const AesKey& mac_key, const SealedCheckpoint& sealed) {
+  std::vector<uint8_t> image = HeaderImage(sealed);
+  image.insert(image.end(), sealed.ciphertext.begin(), sealed.ciphertext.end());
+  return HmacSha256(std::span<const uint8_t>(mac_key.data(), mac_key.size()),
+                    std::span<const uint8_t>(image.data(), image.size()));
+}
+
+// Fresh 12-byte CTR nonce per seal, derived from the MAC key and the random per-seal salt.
+// The salt — not the chain position — carries uniqueness: engines of one tenant share keys but
+// count their chains independently, so equal positions do occur across engines. Distinct from
+// the egress nonce, so seal and egress keystreams never overlap either.
+std::array<uint8_t, 12> SealNonce(const AesKey& mac_key, uint64_t seal_salt) {
+  const Sha256Digest d = DeriveTagged(
+      std::span<const uint8_t>(mac_key.data(), mac_key.size()), "sbt-seal-nonce", seal_salt);
+  std::array<uint8_t, 12> nonce{};
+  std::memcpy(nonce.data(), d.data(), nonce.size());
+  return nonce;
+}
+
+}  // namespace
+
+SealedCheckpoint SealCheckpoint(std::span<const uint8_t> plaintext, const AesKey& enc_key,
+                                const AesKey& mac_key, uint64_t chain_seq,
+                                const Sha256Digest& chain_head) {
+  SealedCheckpoint sealed;
+  sealed.chain_seq = chain_seq;
+  sealed.chain_head = chain_head;
+  // Unpredictable per-seal salt (a deployment would draw it from the TEE TRNG; see the RNG
+  // row of DESIGN.md's substitutions).
+  sealed.seal_salt = UnpredictableSeed();
+  sealed.ciphertext.resize(plaintext.size());
+  const auto nonce = SealNonce(mac_key, sealed.seal_salt);
+  const Aes128Ctr cipher(enc_key, std::span<const uint8_t>(nonce.data(), nonce.size()));
+  cipher.Crypt(plaintext, std::span<uint8_t>(sealed.ciphertext.data(), sealed.ciphertext.size()));
+  sealed.mac = SealMac(mac_key, sealed);
+  return sealed;
+}
+
+Result<std::vector<uint8_t>> UnsealCheckpoint(const SealedCheckpoint& sealed,
+                                              const AesKey& enc_key, const AesKey& mac_key) {
+  if (sealed.version != kCheckpointVersion) {
+    return DataLoss("sealed checkpoint version mismatch");
+  }
+  if (!DigestEqual(SealMac(mac_key, sealed), sealed.mac)) {
+    return DataLoss("sealed checkpoint MAC mismatch (corrupt or tampered)");
+  }
+  std::vector<uint8_t> plaintext(sealed.ciphertext.size());
+  const auto nonce = SealNonce(mac_key, sealed.seal_salt);
+  const Aes128Ctr cipher(enc_key, std::span<const uint8_t>(nonce.data(), nonce.size()));
+  cipher.Crypt(std::span<const uint8_t>(sealed.ciphertext.data(), sealed.ciphertext.size()),
+               std::span<uint8_t>(plaintext.data(), plaintext.size()));
+  return plaintext;
+}
+
+}  // namespace sbt

@@ -1,0 +1,139 @@
+// Sealed engine checkpoints (stand-in for TEE secure storage / RPMB; see DESIGN.md
+// substitutions).
+//
+// A checkpoint is the quiesced secure-world state of one engine — live uArray contents, the
+// opaque-reference table, allocator and egress-cipher positions, plus an opaque control-plane
+// annex — serialized *inside* the data plane, AES-128-CTR encrypted with the tenant's key and
+// HMAC-SHA256 authenticated, so plaintext never crosses the emulated TEE boundary. The clear
+// header carries the audit-stream hash-chain position at seal time; the cloud verifier's resume
+// rule (attest/verifier.h, AuditChainVerifier) accepts a restored engine's audit stream as a
+// continuation of the original chain only when that embedded position matches its own head —
+// a stale or forked checkpoint is rejected, which is what makes recovery tamper-evident.
+//
+// The CTR nonce is derived from the MAC key and the chain position, so every seal uses a fresh
+// keystream and never overlaps the egress cipher's (different nonce).
+
+#ifndef SRC_CORE_CHECKPOINT_H_
+#define SRC_CORE_CHECKPOINT_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/crypto/aes128.h"
+#include "src/crypto/sha256.h"
+
+namespace sbt {
+
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+// The sealed artifact. Everything here is safe to hand to the untrusted host: the payload is
+// ciphertext and the MAC covers header fields and ciphertext alike.
+struct SealedCheckpoint {
+  uint32_t version = kCheckpointVersion;
+  // Audit hash-chain position at seal time: the sequence number the engine's NEXT audit upload
+  // will carry, and the MAC of the last upload (the one flushed by the checkpoint itself).
+  uint64_t chain_seq = 0;
+  Sha256Digest chain_head{};
+  // Random per-seal salt feeding the CTR nonce derivation. Chain position alone is not unique
+  // across engines: two engines of one tenant share keys and count their chains independently,
+  // and a repeated (key, nonce) pair would be a two-time pad. Bound under the MAC.
+  uint64_t seal_salt = 0;
+  std::vector<uint8_t> ciphertext;
+  Sha256Digest mac{};
+};
+
+// Little-endian byte-stream writer for checkpoint payloads.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(v); }
+  void U16(uint16_t v) { Raw(&v, sizeof(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  // Length-prefixed byte block.
+  void Blob(std::span<const uint8_t> bytes) {
+    U64(bytes.size());
+    if (!bytes.empty()) {
+      const size_t off = out_.size();
+      out_.resize(off + bytes.size());
+      std::memcpy(out_.data() + off, bytes.data(), bytes.size());
+    }
+  }
+
+  std::vector<uint8_t> Take() { return std::move(out_); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+  std::vector<uint8_t> out_;
+};
+
+// Bounds-checked reader: every read either fills its output or reports exhaustion. Corrupt or
+// truncated input can never read out of bounds — restore paths turn a false return into
+// kDataLoss.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool U8(uint8_t* v) { return Raw(v, sizeof(*v)); }
+  bool U16(uint16_t* v) { return Raw(v, sizeof(*v)); }
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) { return Raw(v, sizeof(*v)); }
+  bool Blob(std::vector<uint8_t>* out) {
+    uint64_t n = 0;
+    if (!U64(&n) || n > remaining()) {
+      return false;
+    }
+    out->resize(n);
+    if (n != 0) {
+      std::memcpy(out->data(), data_.data() + pos_, n);
+    }
+    pos_ += n;
+    return true;
+  }
+  // Zero-copy view of the next `n` bytes.
+  bool View(size_t n, std::span<const uint8_t>* out) {
+    if (n > remaining()) {
+      return false;
+    }
+    *out = data_.subspan(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  bool Raw(void* p, size_t n) {
+    if (n > remaining()) {
+      return false;
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+// Encrypts `plaintext` and binds the header fields under the MAC.
+SealedCheckpoint SealCheckpoint(std::span<const uint8_t> plaintext, const AesKey& enc_key,
+                                const AesKey& mac_key, uint64_t chain_seq,
+                                const Sha256Digest& chain_head);
+
+// Verifies the MAC (constant-time) and decrypts. Any mismatch — flipped bit, truncation,
+// altered header — returns kDataLoss; the plaintext is only produced from an authentic seal.
+Result<std::vector<uint8_t>> UnsealCheckpoint(const SealedCheckpoint& sealed,
+                                              const AesKey& enc_key, const AesKey& mac_key);
+
+}  // namespace sbt
+
+#endif  // SRC_CORE_CHECKPOINT_H_

@@ -13,6 +13,16 @@ namespace {
 // computation outputs.
 constexpr uint32_t kIngressLaneBase = 0x40000000u;
 
+// Restored uArrays spread over a few lanes of their own: contributions of different windows
+// must not serialize behind one uGroup tail, and the lanes keep them clear of post-restore
+// ingress and computation groups.
+constexpr uint32_t kRestoreLaneBase = 0x50000000u;
+constexpr uint32_t kRestoreLanes = 16;
+
+// Leading payload marker: detects key mixups (wrong tenant key decrypts to noise) before any
+// per-entry parsing, on the off chance the MAC was also forged to match.
+constexpr uint32_t kCheckpointMagic = 0x43544253u;  // "SBTC"
+
 // Cache maintenance on a world-shared buffer (OP-TEE flushes shared memory at the boundary so
 // the secure side reads coherent data). On x86 we flush the same lines explicitly.
 void FlushSharedBuffer(const uint8_t* data, size_t len) {
@@ -382,24 +392,169 @@ Status DataPlane::Release(OpaqueRef ref) {
   return OkStatus();
 }
 
-AuditUpload DataPlane::FlushAudit(std::vector<AuditRecord>* raw_records) {
-  auto session = gate_.Enter();
+AuditUpload DataPlane::FlushAuditImpl(std::vector<AuditRecord>* raw_records) {
+  AuditUpload upload;
   std::vector<AuditRecord> drained;
   {
     std::lock_guard<std::mutex> lock(audit_mu_);
     drained.swap(audit_log_);
+    upload.chain_seq = chain_seq_;
+    upload.chain_prev = chain_head_;
+    upload.record_count = drained.size();
+    upload.raw_bytes = RawAuditBatchBytes(drained);
+    upload.compressed = EncodeAuditBatch(drained);
+    upload.mac = AuditUploadMac(config_.mac_key, upload);
+    // This upload is now the chain head; the next one (or a sealed checkpoint) links to it.
+    chain_head_ = upload.mac;
+    ++chain_seq_;
   }
-  AuditUpload upload;
-  upload.record_count = drained.size();
-  upload.raw_bytes = RawAuditBatchBytes(drained);
-  upload.compressed = EncodeAuditBatch(drained);
-  upload.mac =
-      HmacSha256(std::span<const uint8_t>(config_.mac_key.data(), config_.mac_key.size()),
-                 std::span<const uint8_t>(upload.compressed.data(), upload.compressed.size()));
   if (raw_records != nullptr) {
     raw_records->insert(raw_records->end(), drained.begin(), drained.end());
   }
   return upload;
+}
+
+AuditUpload DataPlane::FlushAudit(std::vector<AuditRecord>* raw_records) {
+  auto session = gate_.Enter();
+  return FlushAuditImpl(raw_records);
+}
+
+uint64_t DataPlane::audit_chain_seq() const {
+  std::lock_guard<std::mutex> lock(audit_mu_);
+  return chain_seq_;
+}
+
+Sha256Digest DataPlane::audit_chain_head() const {
+  std::lock_guard<std::mutex> lock(audit_mu_);
+  return chain_head_;
+}
+
+Result<DataPlane::CheckpointBundle> DataPlane::Checkpoint(
+    std::span<const uint8_t> control_annex) {
+  auto session = gate_.Enter();
+
+  // Enumerate live state through the reference table (live refs and live arrays are 1:1 in a
+  // quiesced engine) in id order, so the same state always seals to the same payload.
+  std::vector<std::pair<OpaqueRef, OpaqueRefTable::Entry>> refs = refs_.Snapshot();
+  std::sort(refs.begin(), refs.end(),
+            [](const auto& a, const auto& b) { return a.second.array_id < b.second.array_id; });
+  std::vector<UArray*> arrays;
+  arrays.reserve(refs.size());
+  for (const auto& [ref, entry] : refs) {
+    UArray* array = alloc_.Find(entry.array_id);
+    if (array == nullptr) {
+      return Internal("live reference to reclaimed uArray");
+    }
+    if (array->state() == UArrayState::kOpen) {
+      return FailedPrecondition("checkpoint while a uArray is still open (engine not quiesced)");
+    }
+    arrays.push_back(array);
+  }
+
+  // Seal the audit log into the next chain link first: the checkpoint's embedded chain
+  // position must describe the stream *including* everything that happened before the seal.
+  CheckpointBundle bundle;
+  bundle.audit = FlushAuditImpl(nullptr);
+
+  ByteWriter w;
+  w.U32(kCheckpointMagic);
+  w.U64(alloc_.next_array_id());
+  w.U64(egress_ctr_offset_.load(std::memory_order_relaxed));
+  w.F64(adaptive_threshold_.load(std::memory_order_relaxed));
+  w.F64(last_utilization_.load(std::memory_order_relaxed));
+  w.U64(refs.size());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    const UArray* array = arrays[i];
+    w.U64(refs[i].first);
+    w.U64(refs[i].second.array_id);
+    w.U16(refs[i].second.stream);
+    w.U8(static_cast<uint8_t>(array->scope()));
+    w.U64(array->elem_size());
+    w.Blob(std::span<const uint8_t>(array->data(), array->size_bytes()));
+  }
+  w.Blob(control_annex);
+  const std::vector<uint8_t> plaintext = w.Take();
+
+  uint64_t seq = 0;
+  Sha256Digest head{};
+  {
+    std::lock_guard<std::mutex> lock(audit_mu_);
+    seq = chain_seq_;
+    head = chain_head_;
+  }
+  bundle.sealed = SealCheckpoint(std::span<const uint8_t>(plaintext.data(), plaintext.size()),
+                                 config_.egress_key, config_.mac_key, seq, head);
+  return bundle;
+}
+
+Result<std::vector<uint8_t>> DataPlane::Restore(const SealedCheckpoint& sealed) {
+  auto session = gate_.Enter();
+  if (refs_.live_count() != 0 || audit_records_.load(std::memory_order_relaxed) != 0 ||
+      audit_chain_seq() != 0) {
+    return FailedPrecondition("restore into a data plane that has already processed data");
+  }
+
+  SBT_ASSIGN_OR_RETURN(const std::vector<uint8_t> plaintext,
+                       UnsealCheckpoint(sealed, config_.egress_key, config_.mac_key));
+
+  ByteReader r(std::span<const uint8_t>(plaintext.data(), plaintext.size()));
+  const Status malformed = DataLoss("sealed checkpoint payload is malformed");
+  uint32_t magic = 0;
+  uint64_t next_array_id = 0;
+  uint64_t egress_offset = 0;
+  double adaptive_threshold = 0;
+  double last_utilization = 0;
+  uint64_t entry_count = 0;
+  if (!r.U32(&magic) || magic != kCheckpointMagic || !r.U64(&next_array_id) ||
+      !r.U64(&egress_offset) || !r.F64(&adaptive_threshold) || !r.F64(&last_utilization) ||
+      !r.U64(&entry_count)) {
+    return malformed;
+  }
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    uint64_t ref = 0;
+    uint64_t array_id = 0;
+    uint16_t stream = 0;
+    uint8_t scope = 0;
+    uint64_t elem_size = 0;
+    uint64_t byte_count = 0;
+    std::span<const uint8_t> bytes;
+    if (!r.U64(&ref) || !r.U64(&array_id) || !r.U16(&stream) || !r.U8(&scope) ||
+        !r.U64(&elem_size) || !r.U64(&byte_count) || !r.View(byte_count, &bytes)) {
+      return malformed;
+    }
+    if (scope > static_cast<uint8_t>(UArrayScope::kTemporary) || elem_size == 0 ||
+        bytes.size() % elem_size != 0) {
+      return malformed;
+    }
+    const PlacementHint hint =
+        PlacementHint::Parallel(kRestoreLaneBase + static_cast<uint32_t>(array_id) %
+                                                       kRestoreLanes);
+    SBT_ASSIGN_OR_RETURN(UArray * array,
+                         alloc_.RestoreArray(array_id, elem_size,
+                                             static_cast<UArrayScope>(scope), hint));
+    const Status appended = array->Append(bytes.data(), bytes.size());
+    if (!appended.ok()) {
+      alloc_.Retire(array);
+      return appended;  // kResourceExhausted: checkpointed state exceeds this partition
+    }
+    array->Produce();
+    SBT_RETURN_IF_ERROR(refs_.RegisterExisting(ref, array_id, stream));
+  }
+  std::vector<uint8_t> annex;
+  if (!r.Blob(&annex) || !r.exhausted()) {
+    return malformed;
+  }
+
+  alloc_.AdvanceNextArrayId(next_array_id);
+  egress_ctr_offset_.store(egress_offset, std::memory_order_relaxed);
+  adaptive_threshold_.store(adaptive_threshold, std::memory_order_relaxed);
+  last_utilization_.store(last_utilization, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(audit_mu_);
+    chain_seq_ = sealed.chain_seq;
+    chain_head_ = sealed.chain_head;
+  }
+  return annex;
 }
 
 std::string DataPlane::DebugDump() const {

@@ -28,11 +28,13 @@
 #include <string>
 #include <vector>
 
+#include "src/attest/audit_chain.h"
 #include "src/attest/audit_record.h"
 #include "src/attest/compress.h"
 #include "src/common/event.h"
 #include "src/common/status.h"
 #include "src/common/time.h"
+#include "src/core/checkpoint.h"
 #include "src/core/opaque_ref.h"
 #include "src/crypto/aes128.h"
 #include "src/crypto/sha256.h"
@@ -139,14 +141,6 @@ struct EgressBlob {
   uint64_t ctr_offset = 0;
 };
 
-// Signed audit upload (compressed columnar batch, paper §7).
-struct AuditUpload {
-  std::vector<uint8_t> compressed;
-  Sha256Digest mac{};
-  size_t raw_bytes = 0;  // pre-compression size, for ratio reporting
-  size_t record_count = 0;
-};
-
 // CPU-cycle breakdown for the Figure 9 run-time decomposition.
 struct DataPlaneCycleStats {
   uint64_t invoke_cycles = 0;     // total cycles inside the TEE boundary
@@ -184,9 +178,36 @@ class DataPlane {
   // Explicitly releases a reference (e.g. dropped window state).
   Status Release(OpaqueRef ref);
 
-  // Drains accumulated audit records as a compressed, signed upload. Also returns the raw
-  // records (test/verifier plumbing; a deployment would only ship the blob).
+  // Drains accumulated audit records as a compressed, signed upload (the next link of the
+  // engine's audit hash chain). Also returns the raw records (test/verifier plumbing; a
+  // deployment would only ship the blob).
   AuditUpload FlushAudit(std::vector<AuditRecord>* raw_records = nullptr);
+
+  // --- sealed checkpoint/restore (see src/core/checkpoint.h) ---
+
+  struct CheckpointBundle {
+    SealedCheckpoint sealed;
+    // The audit-chain link flushed at seal time; the sealed header embeds the chain position
+    // immediately after this upload.
+    AuditUpload audit;
+  };
+
+  // Quiesce-and-snapshot: serializes all live state (uArray contents, reference table,
+  // allocator and egress-cipher positions, flow-control state) plus the caller's opaque
+  // `control_annex`, seals it with the tenant keys, and flushes the audit log so the chain
+  // position embedded in the seal is current. The caller must have drained all in-flight work
+  // (Runner::Drain); an open uArray fails with kFailedPrecondition.
+  Result<CheckpointBundle> Checkpoint(std::span<const uint8_t> control_annex = {});
+
+  // Restores a sealed checkpoint into this freshly constructed data plane (same tenant keys)
+  // and returns the control annex. Tampered or truncated seals fail with kDataLoss; restoring
+  // into a non-fresh data plane fails with kFailedPrecondition; a partition too small for the
+  // checkpointed state fails with kResourceExhausted (discard the instance on any failure).
+  Result<std::vector<uint8_t>> Restore(const SealedCheckpoint& sealed);
+
+  // Audit chain position: sequence number of the next upload and MAC of the last one.
+  uint64_t audit_chain_seq() const;
+  Sha256Digest audit_chain_head() const;
 
   // Debug entry point (the paper's fourth TCB entry function).
   std::string DebugDump() const;
@@ -232,8 +253,13 @@ class DataPlane {
   Aes128Ctr egress_cipher_;
   ProcTimeUs epoch_us_;
 
-  std::mutex audit_mu_;
+  // Flushes the audit log into the next chain link. Callers hold no locks.
+  AuditUpload FlushAuditImpl(std::vector<AuditRecord>* raw_records);
+
+  mutable std::mutex audit_mu_;
   std::vector<AuditRecord> audit_log_;
+  uint64_t chain_seq_ = 0;        // guarded by audit_mu_
+  Sha256Digest chain_head_{};     // guarded by audit_mu_; zeros until the first upload
 
   std::atomic<uint64_t> invoke_cycles_{0};
   std::atomic<uint64_t> memmgmt_cycles_{0};

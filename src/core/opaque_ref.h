@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/status.h"
@@ -54,6 +56,26 @@ class OpaqueRefTable {
   void Remove(OpaqueRef ref) {
     std::lock_guard<std::mutex> lock(mu_);
     live_.erase(ref);
+  }
+
+  // Re-registers a reference under its original value (checkpoint restore: the control plane's
+  // serialized bookkeeping keeps naming operands by the refs it held at seal time). Rejects the
+  // reserved zero value and duplicates — both only arise from a corrupt checkpoint payload.
+  Status RegisterExisting(OpaqueRef ref, uint64_t array_id, uint16_t stream) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ref == 0) {
+      return DataLoss("restored opaque reference is the reserved zero value");
+    }
+    if (!live_.insert({ref, Entry{array_id, stream}}).second) {
+      return DataLoss("restored opaque reference collides with a live one");
+    }
+    return OkStatus();
+  }
+
+  // Stable snapshot of all live references, for checkpoint serialization.
+  std::vector<std::pair<OpaqueRef, Entry>> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::vector<std::pair<OpaqueRef, Entry>>(live_.begin(), live_.end());
   }
 
   size_t live_count() const {

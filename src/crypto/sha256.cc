@@ -1,6 +1,7 @@
 #include "src/crypto/sha256.h"
 
 #include <cstring>
+#include <vector>
 
 namespace sbt {
 namespace {
@@ -157,6 +158,14 @@ Sha256Digest HmacSha256(std::span<const uint8_t> key, std::span<const uint8_t> m
   outer.Update(std::span<const uint8_t>(opad, sizeof(opad)));
   outer.Update(std::span<const uint8_t>(inner_digest.data(), inner_digest.size()));
   return outer.Finalize();
+}
+
+Sha256Digest DeriveTagged(std::span<const uint8_t> key, std::string_view label,
+                          uint64_t counter) {
+  std::vector<uint8_t> message(label.size() + sizeof(counter));
+  std::memcpy(message.data(), label.data(), label.size());
+  std::memcpy(message.data() + label.size(), &counter, sizeof(counter));
+  return HmacSha256(key, std::span<const uint8_t>(message.data(), message.size()));
 }
 
 bool DigestEqual(const Sha256Digest& a, const Sha256Digest& b) {

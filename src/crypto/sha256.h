@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 
 namespace sbt {
 
@@ -42,6 +43,12 @@ class Sha256 {
 
 // HMAC-SHA256 (RFC 2104). Keys longer than the block size are hashed first.
 Sha256Digest HmacSha256(std::span<const uint8_t> key, std::span<const uint8_t> message);
+
+// Labeled single-block derivation (HKDF-expand style): HMAC(key, label || counter_le).
+// Derives per-use material — e.g. the sealed-checkpoint CTR nonce per chain position — from a
+// long-lived key, so distinct (label, counter) pairs never share a keystream.
+Sha256Digest DeriveTagged(std::span<const uint8_t> key, std::string_view label,
+                          uint64_t counter);
 
 // Constant-time digest comparison (avoids a trivially exploitable timing oracle on the
 // verification path).

@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/failpoint.h"
 #include "src/common/time.h"
 
 namespace sbt {
@@ -55,6 +56,9 @@ class BoundedChannel {
   // Non-blocking push; false when full or closed (`item` is untouched in that case, so the
   // caller can shed it or retry later — the frontend's shed-on-backpressure path).
   bool TryPush(T& item) {
+    if (SBT_FAIL_POINT("channel.try_push")) {
+      return false;  // injected queue-full signal; `item` is untouched, as on a real full queue
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || queue_.size() >= capacity_) {

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <tuple>
 #include <utility>
 
+#include "src/attest/compress.h"
 #include "src/common/logging.h"
+#include "src/core/checkpoint.h"
 
 namespace sbt {
 namespace {
@@ -15,7 +18,67 @@ constexpr int kFrontendBurst = 32;
 // Frontend idle backoff when a full pass over its sources made no progress.
 constexpr auto kFrontendIdleSleep = std::chrono::microseconds(100);
 
+// Leading marker of the server-side annex sealed inside an engine checkpoint ("SBTS").
+constexpr uint32_t kServerAnnexMagic = 0x53544253u;
+
 size_t RoundUpToPage(size_t bytes, size_t page) { return (bytes + page - 1) / page * page; }
+
+uint64_t SourceKey(TenantId tenant, uint32_t source) {
+  return (static_cast<uint64_t>(tenant) << 32) | source;
+}
+
+// The EdgeServer-level state of one engine, sealed alongside the runner state: watermark
+// frontier per source, applied minimum, admission counters, and the engine's stable identity.
+struct ServerAnnex {
+  uint64_t engine_id = 0;
+  EventTimeMs advanced = 0;
+  uint64_t shed_frames = 0;
+  uint64_t dispatch_errors = 0;
+  uint64_t restores = 0;
+  std::map<uint32_t, EventTimeMs> source_watermarks;
+};
+
+std::vector<uint8_t> EncodeServerAnnex(const ServerAnnex& annex) {
+  ByteWriter w;
+  w.U32(kServerAnnexMagic);
+  w.U64(annex.engine_id);
+  w.U64(annex.advanced);
+  w.U64(annex.shed_frames);
+  w.U64(annex.dispatch_errors);
+  w.U64(annex.restores);
+  w.U64(annex.source_watermarks.size());
+  for (const auto& [source, watermark] : annex.source_watermarks) {
+    w.U32(source);
+    w.U64(watermark);
+  }
+  return w.Take();
+}
+
+Result<ServerAnnex> DecodeServerAnnex(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  ServerAnnex annex;
+  uint32_t magic = 0;
+  uint64_t advanced = 0;
+  uint64_t source_count = 0;
+  if (!r.U32(&magic) || magic != kServerAnnexMagic || !r.U64(&annex.engine_id) ||
+      !r.U64(&advanced) || !r.U64(&annex.shed_frames) || !r.U64(&annex.dispatch_errors) ||
+      !r.U64(&annex.restores) || !r.U64(&source_count)) {
+    return DataLoss("engine server annex is malformed");
+  }
+  annex.advanced = advanced;
+  for (uint64_t i = 0; i < source_count; ++i) {
+    uint32_t source = 0;
+    uint64_t watermark = 0;
+    if (!r.U32(&source) || !r.U64(&watermark)) {
+      return DataLoss("engine server annex is malformed");
+    }
+    annex.source_watermarks[source] = watermark;
+  }
+  if (!r.exhausted()) {
+    return DataLoss("engine server annex is malformed");
+  }
+  return annex;
+}
 
 }  // namespace
 
@@ -49,6 +112,61 @@ uint32_t EdgeServer::RouteOf(TenantId tenant, uint32_t source) const {
   return router_.Route(tenant, key);
 }
 
+uint32_t EdgeServer::EngineHome(const ShardRouter& router, const Engine& engine) const {
+  // Sources are sticky to their engine (in-flight windows must complete where their
+  // contributions live), so an engine is homed by its anchor key: the tenant-homed key for
+  // multi-stream pipelines, otherwise its lowest bound source id. Sources that shared the
+  // engine before a resize move with it.
+  const TenantSpec* spec = registry_.Find(engine.tenant);
+  uint32_t key = 0;
+  if ((spec == nullptr || spec->pipeline.num_streams() <= 1) &&
+      !engine.source_watermarks.empty()) {
+    key = engine.source_watermarks.begin()->first;
+  }
+  return router.Route(engine.tenant, key);
+}
+
+Result<EdgeServer::Engine*> EdgeServer::CreateEngine(Shard& shard, const TenantSpec& spec) {
+  TzPartitionConfig partition;
+  partition.secure_page_bytes = 64u << 10;
+  partition.secure_dram_bytes =
+      RoundUpToPage(spec.secure_quota_bytes, partition.secure_page_bytes);
+  partition.group_reserve_bytes = partition.secure_dram_bytes;
+  if (shard.carved_bytes + partition.secure_dram_bytes > shard.slice_bytes) {
+    return ResourceExhausted("tenant " + spec.name + " quota oversubscribes shard " +
+                             std::to_string(shard.index));
+  }
+
+  DataPlaneConfig dp_cfg;
+  dp_cfg.partition = partition;
+  dp_cfg.switch_cost = config_.switch_cost;
+  dp_cfg.decrypt_ingress = spec.encrypted_ingress;
+  dp_cfg.ingress_key = spec.ingress_key;
+  dp_cfg.ingress_nonce = spec.ingress_nonce;
+  dp_cfg.egress_key = spec.egress_key;
+  dp_cfg.egress_nonce = spec.egress_nonce;
+  dp_cfg.mac_key = spec.mac_key;
+  dp_cfg.backpressure_threshold = spec.backpressure_threshold;
+
+  RunnerConfig rc;
+  rc.num_workers = config_.workers_per_engine;
+  rc.ingest_path = IngestPath::kTrustedIo;
+  // kShed tenants drop at the data-plane door instead of blocking inside IngestFrame.
+  rc.block_on_backpressure = spec.admission == AdmissionPolicy::kStall;
+
+  auto owned = std::make_unique<Engine>();
+  owned->engine_id = next_engine_id_++;
+  owned->tenant = spec.id;
+  owned->admission = spec.admission;
+  owned->partition_bytes = partition.secure_dram_bytes;
+  owned->dp = std::make_unique<DataPlane>(dp_cfg);
+  owned->runner = std::make_unique<Runner>(owned->dp.get(), spec.pipeline, rc);
+  shard.carved_bytes += partition.secure_dram_bytes;
+  Engine* engine = owned.get();
+  shard.engines.push_back(std::move(owned));
+  return engine;
+}
+
 Status EdgeServer::BindSource(TenantId tenant, uint32_t source, FrameChannel* channel,
                               uint16_t pipeline_stream) {
   if (started_) {
@@ -74,49 +192,19 @@ Status EdgeServer::BindSource(TenantId tenant, uint32_t source, FrameChannel* ch
   const uint32_t shard_index = RouteOf(tenant, source);
   Shard& shard = *shards_[shard_index];
   Engine* engine = nullptr;
-  if (auto it = shard.engines.find(tenant); it != shard.engines.end()) {
-    engine = it->second.get();
-  } else {
+  for (auto& candidate : shard.engines) {
+    if (candidate->tenant == tenant) {
+      engine = candidate.get();
+      break;
+    }
+  }
+  if (engine == nullptr) {
     // First contact of this tenant with this shard: carve its partition out of the shard's
     // slice and instantiate the engine.
-    TzPartitionConfig partition;
-    partition.secure_page_bytes = 64u << 10;
-    partition.secure_dram_bytes =
-        RoundUpToPage(spec->secure_quota_bytes, partition.secure_page_bytes);
-    partition.group_reserve_bytes = partition.secure_dram_bytes;
-    if (shard.carved_bytes + partition.secure_dram_bytes > shard.slice_bytes) {
-      return ResourceExhausted("tenant " + spec->name + " quota oversubscribes shard " +
-                               std::to_string(shard_index));
-    }
-
-    DataPlaneConfig dp_cfg;
-    dp_cfg.partition = partition;
-    dp_cfg.switch_cost = config_.switch_cost;
-    dp_cfg.decrypt_ingress = spec->encrypted_ingress;
-    dp_cfg.ingress_key = spec->ingress_key;
-    dp_cfg.ingress_nonce = spec->ingress_nonce;
-    dp_cfg.egress_key = spec->egress_key;
-    dp_cfg.egress_nonce = spec->egress_nonce;
-    dp_cfg.mac_key = spec->mac_key;
-    dp_cfg.backpressure_threshold = spec->backpressure_threshold;
-
-    RunnerConfig rc;
-    rc.num_workers = config_.workers_per_engine;
-    rc.ingest_path = IngestPath::kTrustedIo;
-    // kShed tenants drop at the data-plane door instead of blocking inside IngestFrame.
-    rc.block_on_backpressure = spec->admission == AdmissionPolicy::kStall;
-
-    auto owned = std::make_unique<Engine>();
-    owned->tenant = tenant;
-    owned->admission = spec->admission;
-    owned->partition_bytes = partition.secure_dram_bytes;
-    owned->dp = std::make_unique<DataPlane>(dp_cfg);
-    owned->runner = std::make_unique<Runner>(owned->dp.get(), spec->pipeline, rc);
-    shard.carved_bytes += partition.secure_dram_bytes;
-    engine = owned.get();
-    shard.engines.emplace(tenant, std::move(owned));
+    SBT_ASSIGN_OR_RETURN(engine, CreateEngine(shard, *spec));
   }
   engine->source_watermarks.emplace(source, 0);
+  shard.by_source[SourceKey(tenant, source)] = engine;
 
   auto src = std::make_unique<Source>();
   src->tenant = tenant;
@@ -143,15 +231,59 @@ Status EdgeServer::Start() {
   const size_t frontends =
       std::min<size_t>(static_cast<size_t>(config_.frontend_threads), sources_.size());
   frontends_.reserve(frontends);
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    frontends_live_ = frontends;
+  }
   for (size_t f = 0; f < frontends; ++f) {
     frontends_.emplace_back([this, f, frontends] { FrontendLoop(f, frontends); });
   }
   return OkStatus();
 }
 
+void EdgeServer::PauseFrontends() {
+  std::unique_lock<std::mutex> lock(pause_mu_);
+  pause_requested_.store(true, std::memory_order_relaxed);
+  pause_cv_.wait(lock, [this] { return frontends_parked_ == frontends_live_; });
+}
+
+void EdgeServer::ResumeFrontends() {
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    pause_requested_.store(false, std::memory_order_relaxed);
+    ++pause_epoch_;
+  }
+  pause_cv_.notify_all();
+}
+
+void EdgeServer::ParkUntilResumed() {
+  std::unique_lock<std::mutex> lock(pause_mu_);
+  // Loop, not a single wait: a straggler woken by round k's resume may find round k+1 already
+  // requested. It must re-park HERE, under the barrier mutex, without touching any source —
+  // if it left and ran a pass, it would have satisfied round k+1's "all parked" count while
+  // racing the control thread's mutations.
+  while (pause_requested_.load(std::memory_order_relaxed)) {
+    ++frontends_parked_;
+    pause_cv_.notify_all();
+    const uint64_t epoch = pause_epoch_;
+    pause_cv_.wait(lock, [this, epoch] { return pause_epoch_ != epoch; });
+    --frontends_parked_;
+  }
+}
+
 bool EdgeServer::TryDeliver(Source& src, RoutedFrame& rf) {
-  if (shards_[src.shard]->queue->TryPush(rf)) {
+  BoundedChannel<RoutedFrame>& queue = *shards_[src.shard]->queue;
+  if (queue.TryPush(rf)) {
     ++src.frames_delivered;
+    return true;
+  }
+  // A closed queue is a dead shard (sealed and never restored, with the server now shutting
+  // down): the frame can never be delivered, so drop it — watermarks included — exactly as
+  // dispatch drops frames for an engine that failed to restore. Holding it would wedge the
+  // frontend run-down. During a live checkpoint/restore window this path cannot fire: the
+  // shard's sources are suspended before its queue closes.
+  if (queue.closed()) {
+    ++src.frames_shed;
     return true;
   }
   // The shard's ingest queue is full: the shard is backpressured. Shed tenants drop data
@@ -170,11 +302,19 @@ void EdgeServer::FrontendLoop(size_t frontend_index, size_t num_frontends) {
     mine.push_back(sources_[i].get());
   }
   while (true) {
+    if (pause_requested_.load(std::memory_order_relaxed)) {
+      ParkUntilResumed();
+    }
     bool progressed = false;
     size_t finished = 0;
     for (Source* src : mine) {
       if (src->finished) {
         ++finished;
+        continue;
+      }
+      // A suspended source's engine is sealed (checkpoint or resize in progress): hold its
+      // frames — the bounded source channel pushes back to that source alone.
+      if (src->suspended.load(std::memory_order_relaxed)) {
         continue;
       }
       // Per-source FIFO: a held frame must go before anything newly popped.
@@ -204,16 +344,27 @@ void EdgeServer::FrontendLoop(size_t frontend_index, size_t num_frontends) {
       }
     }
     if (finished == mine.size()) {
-      return;
+      break;
     }
     if (!progressed) {
       std::this_thread::sleep_for(kFrontendIdleSleep);
     }
   }
+  std::lock_guard<std::mutex> lock(pause_mu_);
+  --frontends_live_;
+  pause_cv_.notify_all();
 }
 
 void EdgeServer::Dispatch(Shard* shard, RoutedFrame rf) {
-  Engine& e = *shard->engines.at(rf.tenant);
+  const auto it = shard->by_source.find(SourceKey(rf.tenant, rf.source));
+  if (it == shard->by_source.end()) {
+    // Only reachable when an engine failed to restore (its state is gone); its frames are
+    // dropped here rather than wedging the shard.
+    SBT_LOG(Error) << "shard " << shard->index << ": frame for tenant " << rf.tenant
+                   << " source " << rf.source << " has no resident engine";
+    return;
+  }
+  Engine& e = *it->second;
   if (rf.frame.is_watermark) {
     EventTimeMs& latest = e.source_watermarks.at(rf.source);
     latest = std::max(latest, rf.frame.watermark);
@@ -252,6 +403,285 @@ void EdgeServer::DispatchLoop(Shard* shard) {
   }
 }
 
+Result<ShardEngineCheckpoint> EdgeServer::SealEngine(Engine& engine) {
+  ServerAnnex annex;
+  annex.engine_id = engine.engine_id;
+  annex.advanced = engine.advanced;
+  annex.shed_frames = engine.shed_frames;
+  annex.dispatch_errors = engine.dispatch_errors;
+  annex.restores = engine.restores;
+  annex.source_watermarks = engine.source_watermarks;
+  const std::vector<uint8_t> annex_bytes = EncodeServerAnnex(annex);
+
+  SBT_ASSIGN_OR_RETURN(
+      DataPlane::CheckpointBundle bundle,
+      CheckpointEngine(*engine.dp, *engine.runner,
+                       std::span<const uint8_t>(annex_bytes.data(), annex_bytes.size()),
+                       &engine.results));
+  engine.uploads.push_back(std::move(bundle.audit));
+  chain_heads_[engine.engine_id] = {engine.uploads.back().chain_seq + 1,
+                                    engine.uploads.back().mac};
+
+  ShardEngineCheckpoint ckpt;
+  ckpt.tenant = engine.tenant;
+  ckpt.engine_id = engine.engine_id;
+  ckpt.sealed = std::move(bundle.sealed);
+  ckpt.uploads = std::move(engine.uploads);
+  ckpt.results = std::move(engine.results);
+  return ckpt;
+}
+
+Result<std::vector<ShardEngineCheckpoint>> EdgeServer::DrainAndSealShard(Shard& shard) {
+  // Close-then-join drains every frame already routed to this shard into its engines.
+  shard.queue->Close();
+  if (shard.dispatcher.joinable()) {
+    shard.dispatcher.join();
+  }
+  // Seal what seals. An engine that refuses (it cannot, after the drain above — this is
+  // defensive) stays resident with its upload history intact rather than poisoning the
+  // checkpoints already taken from its co-residents.
+  std::vector<ShardEngineCheckpoint> out;
+  std::vector<std::unique_ptr<Engine>> kept;
+  out.reserve(shard.engines.size());
+  for (auto& engine : shard.engines) {
+    auto ckpt = SealEngine(*engine);
+    if (!ckpt.ok()) {
+      SBT_LOG(Error) << "shard " << shard.index << ": sealing engine for tenant "
+                     << engine->tenant << " failed: " << ckpt.status().ToString();
+      kept.push_back(std::move(engine));
+      continue;
+    }
+    out.push_back(std::move(*ckpt));
+  }
+  shard.engines = std::move(kept);
+  shard.by_source.clear();
+  shard.carved_bytes = 0;
+  for (auto& engine : shard.engines) {
+    shard.carved_bytes += engine->partition_bytes;
+    for (const auto& [source, watermark] : engine->source_watermarks) {
+      shard.by_source[SourceKey(engine->tenant, source)] = engine.get();
+    }
+  }
+  return out;
+}
+
+Result<std::vector<ShardEngineCheckpoint>> EdgeServer::CheckpointShard(uint32_t shard_index) {
+  if (!started_ || stopped_) {
+    return FailedPrecondition("CheckpointShard on a server that is not running");
+  }
+  if (shard_index >= shards_.size()) {
+    return InvalidArgument("no such shard");
+  }
+  PauseFrontends();
+  for (auto& src : sources_) {
+    if (src->shard == shard_index) {
+      src->suspended.store(true, std::memory_order_relaxed);
+    }
+  }
+  auto result = DrainAndSealShard(*shards_[shard_index]);
+  ResumeFrontends();
+  return result;
+}
+
+Status EdgeServer::RestoreEngineOnShard(Shard& shard, ShardEngineCheckpoint ckpt) {
+  const TenantSpec* spec = registry_.Find(ckpt.tenant);
+  if (spec == nullptr) {
+    return NotFound("checkpoint for unknown tenant " + std::to_string(ckpt.tenant));
+  }
+
+  // Tamper-evident recovery: the sealed chain position must continue the verified upload
+  // chain. A checkpoint whose own upload prefix is inconsistent fails the Accept walk; one
+  // sealed before newer uploads left the engine (a stale/forked replay, or a double restore
+  // after the engine produced more chain links) fails against the cloud-side head.
+  AuditChainVerifier chain(spec->mac_key);
+  for (const AuditUpload& upload : ckpt.uploads) {
+    SBT_RETURN_IF_ERROR(chain.Accept(upload));
+  }
+  SBT_RETURN_IF_ERROR(chain.AcceptResume(ckpt.sealed.chain_seq, ckpt.sealed.chain_head));
+  if (const auto it = chain_heads_.find(ckpt.engine_id); it != chain_heads_.end()) {
+    if (ckpt.sealed.chain_seq != it->second.first ||
+        !DigestEqual(ckpt.sealed.chain_head, it->second.second)) {
+      return DataLoss("checkpoint is stale: the engine's audit chain advanced past it");
+    }
+  }
+  // A source can only be resumed from a checkpoint if it is not already served by a live
+  // engine (double-restore / engine-cloning guard).
+  for (auto& other : shards_) {
+    for (const auto& [key, resident] : other->by_source) {
+      if (resident->engine_id == ckpt.engine_id) {
+        return FailedPrecondition("engine is already live; refusing a second restore");
+      }
+    }
+  }
+
+  SBT_ASSIGN_OR_RETURN(Engine * engine, CreateEngine(shard, *spec));
+  auto discard_engine = [&shard, engine] {
+    shard.carved_bytes -= engine->partition_bytes;
+    shard.engines.pop_back();
+  };
+  auto annex_bytes = RestoreEngine(*engine->dp, *engine->runner, ckpt.sealed);
+  if (!annex_bytes.ok()) {
+    discard_engine();
+    return annex_bytes.status();
+  }
+  auto annex = DecodeServerAnnex(
+      std::span<const uint8_t>(annex_bytes->data(), annex_bytes->size()));
+  if (!annex.ok()) {
+    discard_engine();
+    return annex.status();
+  }
+  if (annex->engine_id != ckpt.engine_id) {
+    discard_engine();
+    return DataLoss("checkpoint metadata does not match its sealed engine identity");
+  }
+
+  engine->engine_id = annex->engine_id;
+  engine->advanced = annex->advanced;
+  engine->shed_frames = annex->shed_frames;
+  engine->dispatch_errors = annex->dispatch_errors;
+  engine->restores = annex->restores + 1;
+  engine->source_watermarks = annex->source_watermarks;
+  engine->uploads = std::move(ckpt.uploads);
+  engine->results = std::move(ckpt.results);
+  next_engine_id_ = std::max(next_engine_id_, engine->engine_id + 1);
+
+  for (const auto& [source, watermark] : engine->source_watermarks) {
+    shard.by_source[SourceKey(engine->tenant, source)] = engine;
+  }
+  // Re-point and resume the engine's sources (frontends are parked; see callers).
+  for (auto& src : sources_) {
+    if (src->tenant == engine->tenant &&
+        engine->source_watermarks.contains(src->id)) {
+      src->shard = shard.index;
+      src->suspended.store(false, std::memory_order_relaxed);
+    }
+  }
+  return OkStatus();
+}
+
+Status EdgeServer::RestoreShard(uint32_t shard_index,
+                                std::vector<ShardEngineCheckpoint> checkpoints) {
+  if (!started_ || stopped_) {
+    return FailedPrecondition("RestoreShard on a server that is not running");
+  }
+  if (shard_index >= shards_.size()) {
+    return InvalidArgument("no such shard");
+  }
+  Shard& shard = *shards_[shard_index];
+  PauseFrontends();
+  // Quiesce the target shard's dispatcher: restoring mutates its routing table, which the
+  // dispatcher reads without a lock. (Frontends are parked; nobody pushes meanwhile.)
+  shard.queue->Close();
+  if (shard.dispatcher.joinable()) {
+    shard.dispatcher.join();
+  }
+  Status status = OkStatus();
+  for (auto& ckpt : checkpoints) {
+    const Status s = RestoreEngineOnShard(shard, std::move(ckpt));
+    if (!s.ok() && status.ok()) {
+      status = s;  // keep restoring the rest; their state must not be stranded
+    }
+  }
+  shard.queue = std::make_unique<BoundedChannel<RoutedFrame>>(config_.shard_queue_frames);
+  shard.dispatcher = std::thread([this, s = &shard] { DispatchLoop(s); });
+  ResumeFrontends();
+  return status;
+}
+
+Status EdgeServer::Resize(uint32_t new_num_shards) {
+  if (!started_ || stopped_) {
+    return FailedPrecondition("Resize on a server that is not running");
+  }
+  if (new_num_shards == 0) {
+    return InvalidArgument("cannot resize to zero shards");
+  }
+  PauseFrontends();
+
+  // Plan first: every engine's new home and the carve load per new shard. An infeasible plan
+  // aborts before any engine is touched, leaving the server running as before.
+  const ShardRouter new_router(new_num_shards);
+  const size_t new_slice = config_.host_secure_budget_bytes / new_num_shards;
+  std::vector<size_t> planned_carve(new_num_shards, 0);
+  std::vector<std::pair<Engine*, uint32_t>> homes;
+  for (auto& shard : shards_) {
+    for (auto& engine : shard->engines) {
+      const uint32_t home = EngineHome(new_router, *engine);
+      planned_carve[home] += engine->partition_bytes;
+      homes.emplace_back(engine.get(), home);
+    }
+  }
+  for (uint32_t s = 0; s < new_num_shards; ++s) {
+    if (planned_carve[s] > new_slice) {
+      ResumeFrontends();
+      return ResourceExhausted("resize to " + std::to_string(new_num_shards) +
+                               " shards oversubscribes shard " + std::to_string(s));
+    }
+  }
+
+  // Quiesce and seal everything. Engine homes were computed above; seal order is per shard.
+  std::vector<std::pair<uint32_t, ShardEngineCheckpoint>> moves;
+  moves.reserve(homes.size());
+  Status status = OkStatus();
+  for (auto& shard : shards_) {
+    shard->queue->Close();
+  }
+  for (auto& shard : shards_) {
+    if (shard->dispatcher.joinable()) {
+      shard->dispatcher.join();
+    }
+  }
+  for (auto& [engine, home] : homes) {
+    auto ckpt = SealEngine(*engine);
+    if (!ckpt.ok()) {
+      // Unsealable engine (should not happen after a drain): its state cannot move; drop it
+      // and surface the error after the fleet is rebuilt.
+      SBT_LOG(Error) << "resize: sealing engine for tenant " << engine->tenant
+                     << " failed: " << ckpt.status().ToString();
+      if (status.ok()) {
+        status = ckpt.status();
+      }
+      continue;
+    }
+    moves.emplace_back(home, std::move(*ckpt));
+  }
+
+  // Rebuild the fleet under the new partition plan. Every source is suspended and parked on a
+  // valid shard index first; each engine's restore re-points and resumes its own sources, so
+  // only the sources of an engine that failed to move stay suspended (their frames are dropped
+  // at shutdown like any engine-less frames) — and no source is ever left aiming at an index
+  // beyond the new, possibly smaller, fleet.
+  for (auto& src : sources_) {
+    src->suspended.store(true, std::memory_order_relaxed);
+    src->shard = 0;
+  }
+  shards_.clear();
+  router_ = new_router;
+  shard_partition_bytes_ = new_slice;
+  shards_.reserve(new_num_shards);
+  for (uint32_t s = 0; s < new_num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = s;
+    shard->slice_bytes = new_slice;
+    shard->queue = std::make_unique<BoundedChannel<RoutedFrame>>(config_.shard_queue_frames);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& [home, ckpt] : moves) {
+    const Status s = RestoreEngineOnShard(*shards_[home], std::move(ckpt));
+    if (!s.ok()) {
+      SBT_LOG(Error) << "resize: restoring an engine on shard " << home
+                     << " failed: " << s.ToString();
+      if (status.ok()) {
+        status = s;
+      }
+    }
+  }
+  for (auto& shard : shards_) {
+    shard->dispatcher = std::thread([this, s = shard.get()] { DispatchLoop(s); });
+  }
+  ResumeFrontends();
+  return status;
+}
+
 ServerReport EdgeServer::Shutdown() {
   ServerReport report;
   if (!started_ || stopped_) {
@@ -259,6 +689,12 @@ ServerReport EdgeServer::Shutdown() {
   }
   stopped_ = true;
 
+  // 0. Resume anything a failed checkpoint/restore sequence left suspended, so frontends can
+  //    drain their channels and exit (frames for engines that are genuinely gone are dropped
+  //    at dispatch with an error log).
+  for (auto& src : sources_) {
+    src->suspended.store(false, std::memory_order_relaxed);
+  }
   // 1. Run the frontends down: close every source channel (idempotent — sources that already
   //    closed their end are unaffected); frontends drain what remains, then exit.
   for (auto& src : sources_) {
@@ -272,34 +708,68 @@ ServerReport EdgeServer::Shutdown() {
     shard->queue->Close();
   }
   for (auto& shard : shards_) {
-    shard->dispatcher.join();
+    if (shard->dispatcher.joinable()) {
+      shard->dispatcher.join();
+    }
   }
   // 3. Per engine: drain all in-flight work, then collect results and the tenant's audit
-  //    session. Ordering matters: Drain before FlushAudit so every upload is a complete
-  //    session the verifier can replay with session_complete=true.
+  //    chain. Ordering matters: Drain before the final flush so every upload sequence is a
+  //    complete session the verifier can replay with session_complete=true.
   for (auto& shard : shards_) {
-    for (auto& [tenant, engine] : shard->engines) {
+    for (auto& engine : shard->engines) {
       engine->runner->Drain();
       TenantShardReport r;
-      r.tenant = tenant;
-      r.tenant_name = registry_.Find(tenant)->name;
+      r.tenant = engine->tenant;
+      r.tenant_name = registry_.Find(engine->tenant)->name;
       r.shard = shard->index;
       r.runner = engine->runner->stats();
-      r.windows = engine->runner->TakeResults();
+      r.windows = std::move(engine->results);
+      {
+        std::vector<WindowResult> tail = engine->runner->TakeResults();
+        r.windows.insert(r.windows.end(), std::make_move_iterator(tail.begin()),
+                         std::make_move_iterator(tail.end()));
+      }
       r.partition_bytes = engine->partition_bytes;
       r.peak_committed = engine->dp->memory_stats().peak_committed;
       r.shed_frames = engine->shed_frames;
       r.dispatch_errors = engine->dispatch_errors;
-      std::vector<AuditRecord> records;
-      r.audit = engine->dp->FlushAudit(&records);
+      r.restores = engine->restores;
+
+      engine->uploads.push_back(engine->dp->FlushAudit());
+      r.uploads = engine->uploads.size();
+      r.audit = engine->uploads.back();
       if (config_.verify_audit_on_shutdown) {
-        const CloudVerifier verifier(registry_.Find(tenant)->pipeline.ToVerifierSpec());
+        const TenantSpec* spec = registry_.Find(engine->tenant);
+        // Transport layer: upload MACs + hash-chain continuity (across any restores).
+        AuditChainVerifier chain(spec->mac_key);
+        r.chain_ok = true;
+        std::vector<AuditRecord> records;
+        for (const AuditUpload& upload : engine->uploads) {
+          if (!chain.Accept(upload).ok()) {
+            r.chain_ok = false;
+            break;
+          }
+          auto decoded = DecodeAuditBatch(upload.compressed);
+          if (!decoded.ok()) {
+            r.chain_ok = false;
+            break;
+          }
+          records.insert(records.end(), std::make_move_iterator(decoded->begin()),
+                         std::make_move_iterator(decoded->end()));
+        }
+        // Replay layer: the decoded chain verifies as ONE session against the declaration —
+        // a restored engine's records splice seamlessly onto its pre-checkpoint stream.
+        const CloudVerifier verifier(spec->pipeline.ToVerifierSpec());
         r.verify = verifier.Verify(records, /*session_complete=*/true);
         r.verified = true;
       }
       report.engines.push_back(std::move(r));
     }
   }
+  std::sort(report.engines.begin(), report.engines.end(),
+            [](const TenantShardReport& a, const TenantShardReport& b) {
+              return std::tie(a.tenant, a.shard) < std::tie(b.tenant, b.shard);
+            });
   for (const auto& src : sources_) {
     report.sources.push_back(SourceReport{.tenant = src->tenant,
                                           .source = src->id,
@@ -317,7 +787,7 @@ EdgeServer::ShardSnapshot EdgeServer::shard_snapshot(uint32_t shard_index) const
   ShardSnapshot snap;
   snap.partition_bytes = shard.slice_bytes;
   snap.carved_bytes = shard.carved_bytes;
-  for (const auto& [tenant, engine] : shard.engines) {
+  for (const auto& engine : shard.engines) {
     snap.committed_bytes += engine->dp->memory_stats().committed_bytes;
   }
   snap.queue_depth = shard.queue->size();

@@ -11,16 +11,19 @@
 //                                            per-(shard, tenant) engine = DataPlane + Runner
 //
 // Sharding model. The host's secure budget is carved into `num_shards` equal partitions. A
-// shard hosts one engine instance per resident tenant — tenants never share a secure partition,
-// an audit log, or keys — and a tenant's per-engine carve comes out of its shard's partition,
-// so committed secure bytes on a shard can never exceed the shard's partition (the sum of its
-// carves, each enforced by its own SecureWorld). Every DESIGN.md invariant (bounded secure
-// memory, opaque boundary, tamper-evident audit) therefore holds per shard AND per tenant.
+// shard hosts engine instances for its resident tenants — tenants never share a secure
+// partition, an audit log, or keys — and a tenant's per-engine carve comes out of its shard's
+// partition, so committed secure bytes on a shard can never exceed the shard's partition (the
+// sum of its carves, each enforced by its own SecureWorld). Every DESIGN.md invariant (bounded
+// secure memory, opaque boundary, tamper-evident audit) therefore holds per shard AND per
+// tenant.
 //
-// Routing. The stateless ShardRouter hashes (tenant, source) so a source is single-homed for
-// its whole session; a multi-stream pipeline (e.g. Join) is tenant-homed so all of its streams
-// meet in one engine. Each engine advances its runner's watermark to the MINIMUM across its
-// bound sources, the multi-source generalization of the single-stream in-band contract.
+// Routing. The stateless ShardRouter maps (tenant, source) onto shards with jump consistent
+// hashing, so a source is single-homed for its whole session and a shard-count change moves
+// only ~1/max(N, N') of the keys; a multi-stream pipeline (e.g. Join) is tenant-homed so all
+// of its streams meet in one engine. Each engine advances its runner's watermark to the
+// MINIMUM across its bound sources, the multi-source generalization of the single-stream
+// in-band contract.
 //
 // Admission control. A backpressured shard fills its bounded ingest queue; frontends then
 // either hold the affected source's frame (kStall — the bounded source channel pushes back to
@@ -33,25 +36,42 @@
 // quota cannot hold a window of in-flight data wedges exactly like the paper's engine would —
 // size quotas to windows.
 //
+// Checkpoint / recovery / elastic resize. CheckpointShard quiesces one shard (its sources
+// stall at the frontends, its queue drains, its runners drain) and seals every resident
+// engine's secure-world state into a tenant-keyed checkpoint (src/core/checkpoint.h), plus the
+// audit-chain link flushed at seal time. RestoreShard re-instantiates those engines — on the
+// same server after a simulated crash, or a different one — verifying that each checkpoint
+// continues its tenant's audit hash chain (a stale or forked checkpoint is rejected: recovery
+// is tamper-evident). Resize(N') drains everything once, checkpoints every engine, rebuilds
+// the shard fleet with N' partitions, and re-homes each engine (with all of its bound sources)
+// to its jump-hash home under the new count. Sources are sticky to their engine — windows in
+// flight must complete where their contributions live — so re-homing is engine-granular, and
+// no event is lost: stalled sources simply resume into their restored engine.
+//
 // Lifecycle: Add tenants to the registry, BindSource for every source, Start, feed the
 // channels, Shutdown. Shutdown closes source channels, runs the frontends down, drains shard
-// queues, then per engine: Runner::Drain -> collect results -> FlushAudit -> verify the audit
-// stream against the tenant's own pipeline declaration. Each (shard, tenant) audit upload
+// queues, then per engine: Runner::Drain -> collect results -> flush the final audit upload ->
+// verify the full upload chain (MACs + hash-chain continuity across any restores) and replay
+// the decoded records against the tenant's pipeline declaration. Each engine's audit chain
 // verifies independently — the per-tenant attestation a cloud consumer actually receives.
 
 #ifndef SRC_SERVER_EDGE_SERVER_H_
 #define SRC_SERVER_EDGE_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/attest/audit_chain.h"
 #include "src/attest/verifier.h"
+#include "src/control/engine.h"
 #include "src/control/runner.h"
 #include "src/core/data_plane.h"
 #include "src/net/channel.h"
@@ -72,7 +92,9 @@ struct EdgeServerConfig {
   bool verify_audit_on_shutdown = true;
 };
 
-// One (shard, tenant) engine's session outcome.
+// One engine's session outcome. Counters are cumulative across checkpoint/restore cycles
+// (runner stats ride inside the sealed state); peak_committed covers the engine's current
+// incarnation, each of which is bounded by the same carve.
 struct TenantShardReport {
   TenantId tenant = 0;
   std::string tenant_name;
@@ -86,8 +108,11 @@ struct TenantShardReport {
   uint64_t shed_frames = 0;     // dropped at the data-plane door (kShed under backpressure)
   uint64_t dispatch_errors = 0;
 
-  AuditUpload audit;
-  VerifyReport verify;  // replay of this engine's audit stream against the tenant's pipeline
+  AuditUpload audit;            // the final upload (last link of the chain)
+  size_t uploads = 0;           // audit chain length (1 + one per checkpoint taken)
+  uint64_t restores = 0;        // times this engine was sealed and restored/re-homed
+  bool chain_ok = false;        // upload MACs + hash-chain continuity verified
+  VerifyReport verify;  // replay of this engine's decoded audit chain against its pipeline
   bool verified = false;
 };
 
@@ -125,6 +150,17 @@ struct ServerReport {
   }
 };
 
+// One sealed engine lifted off a shard: the tamper-evident artifact (sealed + the chain link
+// flushed at seal time, now the tail of `uploads`) plus the cloud-side session accumulation
+// that the consumer already holds (prior uploads, collected results).
+struct ShardEngineCheckpoint {
+  TenantId tenant = 0;
+  uint64_t engine_id = 0;              // stable engine identity (also sealed inside)
+  SealedCheckpoint sealed;
+  std::vector<AuditUpload> uploads;    // full audit chain up to and including the seal link
+  std::vector<WindowResult> results;   // results egressed before the seal
+};
+
 class EdgeServer {
  public:
   EdgeServer(EdgeServerConfig config, TenantRegistry registry);
@@ -147,7 +183,31 @@ class EdgeServer {
   // only the first call yields a populated report.
   ServerReport Shutdown();
 
-  // The shard a source's frames land on (stable; callable before binding).
+  // Quiesces one shard and seals every resident engine (see the class comment). The shard's
+  // sources stall at the frontends until RestoreShard resumes them; other shards are paused
+  // only for the drain itself. An engine that fails to seal (defensive; a drained engine
+  // cannot) stays resident and is simply absent from the result. Control-plane operations
+  // (CheckpointShard / RestoreShard / Resize / Shutdown) must be called from one control
+  // thread. A sealed shard that is never restored drops its sources' remaining frames at
+  // shutdown (counted as shed) instead of wedging the run-down.
+  Result<std::vector<ShardEngineCheckpoint>> CheckpointShard(uint32_t shard);
+
+  // Restores sealed engines onto `shard` (quiescing its dispatcher for the swap), verifying
+  // each checkpoint's audit-chain position (kDataLoss for a stale or forked checkpoint),
+  // re-carving quotas (kResourceExhausted if the shard's partition cannot hold them), and
+  // resuming the engines' sources.
+  Status RestoreShard(uint32_t shard, std::vector<ShardEngineCheckpoint> checkpoints);
+
+  // Elastic resize under live ingest: drains all shards, checkpoints every engine, rebuilds
+  // the fleet with `new_num_shards` partitions, and restores each engine (with its sources) at
+  // its new jump-hash home. Validated before any state is touched: an infeasible plan (some
+  // new partition cannot hold its engines' carves) fails with kResourceExhausted and the
+  // server continues unchanged. No events are lost: sources stall during the move.
+  Status Resize(uint32_t new_num_shards);
+
+  // The shard a source's frames land on under the CURRENT shard count (stable; callable before
+  // binding). After a resize, sources follow their engine, which may differ for sources that
+  // shared an engine before the move.
   uint32_t RouteOf(TenantId tenant, uint32_t source) const;
 
   uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
@@ -169,9 +229,11 @@ class EdgeServer {
     Frame frame;
   };
 
-  // One tenant's engine on one shard. Created at bind time, driven only by its shard's
-  // dispatcher thread after Start().
+  // One tenant's engine instance. Created at bind time (or by restore), driven only by its
+  // shard's dispatcher thread after Start(). Identity — the audit chain — survives re-homing:
+  // the instance is sealed on one shard and restored on another with its sources.
   struct Engine {
+    uint64_t engine_id = 0;
     TenantId tenant = 0;
     AdmissionPolicy admission = AdmissionPolicy::kStall;
     size_t partition_bytes = 0;
@@ -181,6 +243,11 @@ class EdgeServer {
     EventTimeMs advanced = 0;                           // min watermark already applied
     uint64_t shed_frames = 0;
     uint64_t dispatch_errors = 0;
+    uint64_t restores = 0;
+    // Cloud-side session accumulation (what the consumer already received), carried across
+    // re-homing in server memory — the stand-in for the uplink's far end.
+    std::vector<AuditUpload> uploads;
+    std::vector<WindowResult> results;
   };
 
   struct Shard {
@@ -188,11 +255,14 @@ class EdgeServer {
     size_t slice_bytes = 0;
     size_t carved_bytes = 0;
     std::unique_ptr<BoundedChannel<RoutedFrame>> queue;
-    std::map<TenantId, std::unique_ptr<Engine>> engines;
+    std::vector<std::unique_ptr<Engine>> engines;
+    // (tenant << 32 | source) -> resident engine, the dispatcher's routing table.
+    std::map<uint64_t, Engine*> by_source;
     std::thread dispatcher;
   };
 
-  // One bound source. Owned by exactly one frontend thread after Start().
+  // One bound source. Owned by exactly one frontend thread after Start(); control-plane
+  // mutations (shard re-homing, suspend/resume) happen only while every frontend is parked.
   struct Source {
     TenantId tenant = 0;
     uint32_t id = 0;
@@ -200,6 +270,7 @@ class EdgeServer {
     AdmissionPolicy admission = AdmissionPolicy::kStall;
     FrameChannel* channel = nullptr;
     uint32_t shard = 0;
+    std::atomic<bool> suspended{false};  // engine sealed; hold frames until restore
     std::optional<RoutedFrame> pending;  // admission-stalled frame, retried before new pops
     bool finished = false;
     uint64_t frames_delivered = 0;
@@ -213,16 +284,49 @@ class EdgeServer {
   // True if the frame was consumed (enqueued to the shard, or shed); false = hold and retry.
   bool TryDeliver(Source& src, RoutedFrame& rf);
 
+  // Parks every live frontend thread at a barrier (and resumes them). Bracketing control-plane
+  // mutations this way means source structs and routing tables are never touched while a
+  // frontend is mid-delivery.
+  void PauseFrontends();
+  void ResumeFrontends();
+  // Blocks until `pause_requested_` drops, counting this thread as parked meanwhile.
+  void ParkUntilResumed();
+
+  Result<Engine*> CreateEngine(Shard& shard, const TenantSpec& spec);
+  // Seals `engine` (which must belong to a drained shard) into a transferable checkpoint.
+  Result<ShardEngineCheckpoint> SealEngine(Engine& engine);
+  // Restores one sealed engine onto `shard` and re-points its sources there.
+  Status RestoreEngineOnShard(Shard& shard, ShardEngineCheckpoint ckpt);
+  // Drains and seals every engine of `shard` (queue closed, dispatcher joined, runners
+  // drained). Caller holds the frontend pause.
+  Result<std::vector<ShardEngineCheckpoint>> DrainAndSealShard(Shard& shard);
+  // The shard an engine (and its sources) belongs on under `router`.
+  uint32_t EngineHome(const ShardRouter& router, const Engine& engine) const;
+
   EdgeServerConfig config_;
   TenantRegistry registry_;
   ShardRouter router_;
   size_t shard_partition_bytes_ = 0;
+  uint64_t next_engine_id_ = 1;
+  // Cloud-side stand-in: the last verified chain position per engine (next seq, head MAC),
+  // advanced whenever an upload leaves an engine. Restores must continue from here — replaying
+  // a checkpoint sealed before newer uploads exists only in attacks, and is rejected.
+  std::map<uint64_t, std::pair<uint64_t, Sha256Digest>> chain_heads_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<Source>> sources_;
   std::vector<std::thread> frontends_;
   bool started_ = false;
   bool stopped_ = false;
+
+  // Frontend pause barrier. Epoch-based: a parked frontend waits for ITS round's resume, so a
+  // back-to-back pause can never mistake stragglers from the previous round for parked ones.
+  std::atomic<bool> pause_requested_{false};
+  std::mutex pause_mu_;
+  std::condition_variable pause_cv_;
+  size_t frontends_live_ = 0;    // guarded by pause_mu_
+  size_t frontends_parked_ = 0;  // guarded by pause_mu_
+  uint64_t pause_epoch_ = 0;     // guarded by pause_mu_; bumped by each resume
 };
 
 }  // namespace sbt

@@ -3,9 +3,11 @@
 // Routing must be *stable* — a source's frames always land on the same shard, so its windows
 // accumulate in one secure partition and its watermark bookkeeping stays single-homed — and
 // *spreading* — independent sources scatter across shards so one hot tenant cannot monopolize
-// the fleet. Both come from hashing the key through a strong 64-bit mixer (splitmix64's
-// finalizer) and reducing onto the shard count. The router is stateless and pure: the same key
-// and shard count produce the same shard on every host and every run.
+// the fleet. Keys are mixed through a strong 64-bit mixer (splitmix64's finalizer) and placed
+// with *jump consistent hashing* (Lamping & Veach), not modulo reduction: when the shard count
+// changes N -> N', only ~1/max(N, N') of keys change shards, so an elastic resize re-homes the
+// minimum number of engines instead of reshuffling nearly everything. The router is stateless
+// and pure: the same key and shard count produce the same shard on every host and every run.
 
 #ifndef SRC_SERVER_SHARD_ROUTER_H_
 #define SRC_SERVER_SHARD_ROUTER_H_
@@ -25,7 +27,7 @@ class ShardRouter {
   // Stable shard for one source of one tenant.
   uint32_t Route(TenantId tenant, uint32_t source) const {
     const uint64_t key = (static_cast<uint64_t>(tenant) << 32) | source;
-    return static_cast<uint32_t>(Mix64(key) % num_shards_);
+    return Jump(Mix64(key), num_shards_);
   }
 
  private:
@@ -35,6 +37,21 @@ class ShardRouter {
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
     return x ^ (x >> 31);
+  }
+
+  // Jump consistent hash: maps `key` uniformly onto [0, buckets) such that growing or
+  // shrinking the bucket count relocates only the keys that must move.
+  static uint32_t Jump(uint64_t key, uint32_t buckets) {
+    int64_t bucket = -1;
+    int64_t next = 0;
+    while (next < static_cast<int64_t>(buckets)) {
+      bucket = next;
+      key = key * 2862933555777941757ull + 1;
+      next = static_cast<int64_t>(
+          static_cast<double>(bucket + 1) *
+          (static_cast<double>(1ll << 31) / static_cast<double>((key >> 33) + 1)));
+    }
+    return static_cast<uint32_t>(bucket);
   }
 
   uint32_t num_shards_;

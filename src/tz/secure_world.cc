@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "src/common/failpoint.h"
 #include "src/common/logging.h"
 
 #ifndef MFD_CLOEXEC
@@ -115,6 +116,9 @@ double SecureWorld::PoolUtilization() const {
 }
 
 Result<uint32_t> SecureWorld::AllocFrame() {
+  if (SBT_FAIL_POINT("secure_world.alloc_frame")) {
+    return ResourceExhausted("secure DRAM pool exhausted (injected)");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (free_list_.empty()) {
     return ResourceExhausted("secure DRAM pool exhausted");

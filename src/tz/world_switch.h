@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/common/failpoint.h"
 #include "src/common/time.h"
 
 namespace sbt {
@@ -32,6 +33,9 @@ struct WorldSwitchConfig {
 struct WorldSwitchStats {
   uint64_t entries = 0;
   uint64_t burned_cycles = 0;
+  // Aborted-and-retried entries (SMC faults; only injected via the "world_switch.fault"
+  // fail point in this emulation). Each fault burns one extra entry cost.
+  uint64_t faults = 0;
 };
 
 class WorldSwitchGate {
@@ -60,18 +64,26 @@ class WorldSwitchGate {
 
   WorldSwitchStats stats() const {
     return WorldSwitchStats{entries_.load(std::memory_order_relaxed),
-                            burned_.load(std::memory_order_relaxed)};
+                            burned_.load(std::memory_order_relaxed),
+                            faults_.load(std::memory_order_relaxed)};
   }
 
   void ResetStats() {
     entries_.store(0, std::memory_order_relaxed);
     burned_.store(0, std::memory_order_relaxed);
+    faults_.store(0, std::memory_order_relaxed);
   }
 
   const WorldSwitchConfig& config() const { return config_; }
 
  private:
   void PayEntry() {
+    // An injected SMC fault aborts the entry after its cost is paid; the caller's trap is
+    // re-issued, so the successful entry below pays the cost a second time.
+    while (SBT_FAIL_POINT("world_switch.fault")) {
+      faults_.fetch_add(1, std::memory_order_relaxed);
+      Burn(config_.entry_cycles);
+    }
     entries_.fetch_add(1, std::memory_order_relaxed);
     Burn(config_.entry_cycles);
   }
@@ -91,6 +103,7 @@ class WorldSwitchGate {
   WorldSwitchConfig config_;
   std::atomic<uint64_t> entries_{0};
   std::atomic<uint64_t> burned_{0};
+  std::atomic<uint64_t> faults_{0};
 };
 
 }  // namespace sbt

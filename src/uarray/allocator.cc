@@ -32,7 +32,7 @@ Result<UArray*> UArrayAllocator::Create(size_t elem_size, UArrayScope scope,
   // Cycle accounting starts after lock acquisition: contention is scheduling, not placement work.
   const uint64_t t0 = ReadCycleCounter();
   Status error = OkStatus();
-  UArray* array = CreateLocked(elem_size, scope, hint, generation, &error);
+  UArray* array = CreateLocked(elem_size, scope, hint, generation, /*forced_id=*/0, &error);
   cycles_.fetch_add(ReadCycleCounter() - t0, std::memory_order_relaxed);
   if (array == nullptr) {
     return error;
@@ -40,9 +40,36 @@ Result<UArray*> UArrayAllocator::Create(size_t elem_size, UArrayScope scope,
   return array;
 }
 
+Result<UArray*> UArrayAllocator::RestoreArray(uint64_t array_id, size_t elem_size,
+                                              UArrayScope scope, const PlacementHint& hint) {
+  if (elem_size == 0 || array_id == 0) {
+    return DataLoss("restored uArray with zero id or element size");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_arrays_.contains(array_id)) {
+    return DataLoss("restored uArray id collides with a live array");
+  }
+  Status error = OkStatus();
+  UArray* array = CreateLocked(elem_size, scope, hint, /*generation=*/0, array_id, &error);
+  if (array == nullptr) {
+    return error;
+  }
+  return array;
+}
+
+void UArrayAllocator::AdvanceNextArrayId(uint64_t next_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_array_id_ = std::max(next_array_id_, next_id);
+}
+
+uint64_t UArrayAllocator::next_array_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_array_id_;
+}
+
 UArray* UArrayAllocator::CreateLocked(size_t elem_size, UArrayScope scope,
                                       const PlacementHint& hint, uint64_t generation,
-                                      Status* error) {
+                                      uint64_t forced_id, Status* error) {
   // A group is eligible for another uArray when its tail is closed and it has not consumed too
   // much of its reservation (leaving headroom for unbounded growth of the new tail).
   auto has_room = [this](UGroup* g) {
@@ -104,7 +131,12 @@ UArray* UArrayAllocator::CreateLocked(size_t elem_size, UArrayScope scope,
     }
   }
 
-  const uint64_t id = next_array_id_++;
+  uint64_t id = forced_id;
+  if (id == 0) {
+    id = next_array_id_++;
+  } else {
+    next_array_id_ = std::max(next_array_id_, id + 1);
+  }
   UArray* array = target->Emplace(id, scope, elem_size);
   live_arrays_[id] = array;
   if (hint.kind == PlacementHint::Kind::kConsumedAfter) {

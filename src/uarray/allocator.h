@@ -92,6 +92,17 @@ class UArrayAllocator {
                          const PlacementHint& hint = PlacementHint::None(),
                          uint64_t generation = 0);
 
+  // Re-creates a uArray under its original audit id (checkpoint restore). The id must not be
+  // live; the allocator's id counter advances past it so post-restore allocations continue the
+  // pre-checkpoint id sequence — which is what lets a restored engine's audit records splice
+  // onto the original stream.
+  Result<UArray*> RestoreArray(uint64_t array_id, size_t elem_size, UArrayScope scope,
+                               const PlacementHint& hint = PlacementHint::None());
+
+  // Floor for the next audit id (checkpoint restore; never lowers the counter).
+  void AdvanceNextArrayId(uint64_t next_id);
+  uint64_t next_array_id() const;
+
   // Marks the uArray retired and reclaims any now-free group heads.
   void Retire(UArray* array);
 
@@ -101,8 +112,9 @@ class UArrayAllocator {
   AllocatorStats stats() const;
 
  private:
+  // `forced_id` != 0 re-creates the array under that id (restore path); 0 allocates fresh.
   UArray* CreateLocked(size_t elem_size, UArrayScope scope, const PlacementHint& hint,
-                       uint64_t generation, Status* error);
+                       uint64_t generation, uint64_t forced_id, Status* error);
   UGroup* NewGroupLocked(Status* error);
   // Applies the consumed-after walk-back rule; returns the target group or nullptr.
   UGroup* PlaceAfterLocked(uint64_t after_array_id);

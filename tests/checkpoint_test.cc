@@ -1,0 +1,297 @@
+// Sealed engine checkpoint/restore (src/core/checkpoint.h, DataPlane::Checkpoint/Restore,
+// Runner::CheckpointState/RestoreState, CheckpointEngine/RestoreEngine).
+//
+// The acceptance scenarios: seal -> corrupt one byte -> restore is rejected with kDataLoss;
+// seal -> restore -> continue produces byte-identical egress and a verifier-accepted continued
+// audit chain versus an uninterrupted run of the same schedule.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/attest/audit_chain.h"
+#include "src/attest/compress.h"
+#include "src/attest/verifier.h"
+#include "src/control/benchmarks.h"
+#include "src/control/engine.h"
+#include "src/core/data_plane.h"
+#include "tests/testing/testing.h"
+
+namespace sbt {
+namespace {
+
+constexpr uint32_t kWindows = 4;
+constexpr size_t kEventsPerWindow = 5000;
+
+DataPlaneConfig EngineConfig(size_t pool_mb = 8) {
+  DataPlaneConfig cfg = testing::SmallDataPlaneConfig(/*decrypt_ingress=*/false);
+  cfg.partition = testing::SmallTzPartition(pool_mb);
+  return cfg;
+}
+
+RunnerConfig SingleWorker() {
+  RunnerConfig rc;
+  rc.num_workers = 1;  // deterministic task order => comparable audit streams and egress
+  return rc;
+}
+
+// One frame of events inside window `w`, deterministic per window.
+std::vector<Event> WindowFrame(uint32_t w) {
+  return testing::MakeEvents(kEventsPerWindow, /*keys=*/64, /*window_ms=*/1000,
+                             /*seed=*/100 + w);
+}
+
+void IngestWindow(Runner& runner, uint32_t w) {
+  std::vector<Event> events = WindowFrame(w);
+  for (Event& e : events) {
+    e.ts_ms = w * 1000 + e.ts_ms % 1000;  // pin every event inside window w
+  }
+  ASSERT_TRUE(runner.IngestFrame(testing::AsBytes(events)).ok());
+  runner.Drain();  // deterministic id allocation across runs
+}
+
+// Ingests all four windows, then closes windows 0 and 1. Leaves windows 2 and 3 open with
+// live contributions — the state a checkpoint must carry.
+void RunPrefix(Runner& runner) {
+  for (uint32_t w = 0; w < kWindows; ++w) {
+    IngestWindow(runner, w);
+  }
+  ASSERT_TRUE(runner.AdvanceWatermark(1000).ok());
+  runner.Drain();
+  ASSERT_TRUE(runner.AdvanceWatermark(2000).ok());
+  runner.Drain();
+}
+
+void RunSuffix(Runner& runner) {
+  ASSERT_TRUE(runner.AdvanceWatermark(3000).ok());
+  runner.Drain();
+  ASSERT_TRUE(runner.AdvanceWatermark(4000).ok());
+  runner.Drain();
+}
+
+std::vector<WindowResult> SortedByWindow(std::vector<WindowResult> results) {
+  std::sort(results.begin(), results.end(),
+            [](const WindowResult& a, const WindowResult& b) {
+              return a.window_index < b.window_index;
+            });
+  return results;
+}
+
+void ExpectSameEgress(const std::vector<WindowResult>& a, const std::vector<WindowResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].window_index, b[i].window_index);
+    ASSERT_EQ(a[i].blobs.size(), b[i].blobs.size()) << "window " << a[i].window_index;
+    for (size_t j = 0; j < a[i].blobs.size(); ++j) {
+      const EgressBlob& x = a[i].blobs[j];
+      const EgressBlob& y = b[i].blobs[j];
+      EXPECT_EQ(x.ciphertext, y.ciphertext) << "window " << a[i].window_index;
+      EXPECT_TRUE(DigestEqual(x.mac, y.mac)) << "window " << a[i].window_index;
+      EXPECT_EQ(x.elems, y.elems);
+      EXPECT_EQ(x.ctr_offset, y.ctr_offset);
+    }
+  }
+}
+
+std::vector<AuditRecord> WithoutTimestamps(std::vector<AuditRecord> records) {
+  for (AuditRecord& r : records) {
+    r.ts_ms = 0;
+  }
+  return records;
+}
+
+TEST(CheckpointTest, RestoredEngineContinuesByteIdentically) {
+  const DataPlaneConfig cfg = EngineConfig();
+  const Pipeline pipeline = MakeDistinct(1000);
+
+  // Reference: one uninterrupted run.
+  DataPlane ref_dp(cfg);
+  std::vector<WindowResult> ref_results;
+  std::vector<AuditRecord> ref_records;
+  {
+    Runner runner(&ref_dp, pipeline, SingleWorker());
+    RunPrefix(runner);
+    RunSuffix(runner);
+    ref_results = SortedByWindow(runner.TakeResults());
+  }
+  const AuditUpload ref_upload = ref_dp.FlushAudit(&ref_records);
+  ASSERT_EQ(ref_results.size(), kWindows);
+
+  // Interrupted run: prefix, seal, restore into a fresh engine, suffix.
+  DataPlane dp1(cfg);
+  auto runner1 = std::make_unique<Runner>(&dp1, pipeline, SingleWorker());
+  RunPrefix(*runner1);
+  std::vector<WindowResult> results;
+  auto bundle = CheckpointEngine(dp1, *runner1, {}, &results);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  runner1.reset();  // the crashed/decommissioned incarnation
+  ASSERT_EQ(results.size(), 2u) << "windows 0 and 1 were already closed and egressed";
+
+  // The seal-time upload covers every record up to the seal, and the sealed header's chain
+  // position follows it directly.
+  EXPECT_GT(bundle->audit.record_count, 0u);
+  EXPECT_EQ(bundle->sealed.chain_seq, bundle->audit.chain_seq + 1);
+  EXPECT_TRUE(DigestEqual(bundle->sealed.chain_head, bundle->audit.mac));
+
+  DataPlane dp2(cfg);
+  Runner runner2(&dp2, pipeline, SingleWorker());
+  auto annex = RestoreEngine(dp2, runner2, bundle->sealed);
+  ASSERT_TRUE(annex.ok()) << annex.status().ToString();
+  EXPECT_TRUE(annex->empty());
+  RunSuffix(runner2);
+  {
+    std::vector<WindowResult> tail = runner2.TakeResults();
+    results.insert(results.end(), tail.begin(), tail.end());
+  }
+  results = SortedByWindow(std::move(results));
+
+  // Byte-identical egress: ciphertext, MACs, keystream offsets, element counts all match the
+  // uninterrupted run — for the windows closed before the seal AND the ones closed after.
+  ExpectSameEgress(ref_results, results);
+  EXPECT_EQ(runner2.stats().windows_emitted, kWindows);
+  EXPECT_EQ(runner2.stats().events_ingested, uint64_t{kWindows} * kEventsPerWindow);
+
+  // The decoded chain is record-identical to the uninterrupted session (timestamps aside:
+  // the restored incarnation has its own epoch).
+  std::vector<AuditRecord> records;
+  const AuditUpload final_upload = dp2.FlushAudit(&records);
+  auto first = DecodeAuditBatch(bundle->audit.compressed);
+  ASSERT_TRUE(first.ok());
+  std::vector<AuditRecord> chained = *first;
+  chained.insert(chained.end(), records.begin(), records.end());
+  EXPECT_EQ(WithoutTimestamps(chained), WithoutTimestamps(ref_records));
+
+  // The chain verifies as a continuation: upload, resume at the sealed position, next upload.
+  AuditChainVerifier chain(cfg.mac_key);
+  ASSERT_TRUE(chain.Accept(bundle->audit).ok());
+  ASSERT_TRUE(chain.AcceptResume(bundle->sealed.chain_seq, bundle->sealed.chain_head).ok());
+  ASSERT_TRUE(chain.Accept(final_upload).ok());
+
+  // A stale checkpoint replayed after newer uploads is rejected (fork detection).
+  EXPECT_EQ(chain.AcceptResume(bundle->sealed.chain_seq, bundle->sealed.chain_head).code(),
+            StatusCode::kDataLoss);
+
+  // And the replayed records satisfy the cloud verifier as ONE complete session.
+  const CloudVerifier verifier(pipeline.ToVerifierSpec());
+  const VerifyReport report = verifier.Verify(chained, /*session_complete=*/true);
+  EXPECT_TRUE(report.correct) << (report.violations.empty() ? "" : report.violations[0]);
+  EXPECT_EQ(report.windows_verified, kWindows);
+
+  // The uninterrupted run's single-upload chain verifies too, from a fresh verifier.
+  AuditChainVerifier ref_chain(cfg.mac_key);
+  EXPECT_TRUE(ref_chain.Accept(ref_upload).ok());
+}
+
+TEST(CheckpointTest, EverySingleByteCorruptionIsRejected) {
+  const DataPlaneConfig cfg = EngineConfig();
+  const Pipeline pipeline = MakeDistinct(1000);
+  DataPlane dp(cfg);
+  Runner runner(&dp, pipeline, SingleWorker());
+  RunPrefix(runner);
+  auto bundle = CheckpointEngine(dp, runner, {}, nullptr);
+  ASSERT_TRUE(bundle.ok());
+  const SealedCheckpoint& sealed = bundle->sealed;
+  ASSERT_FALSE(sealed.ciphertext.empty());
+
+  auto expect_rejected = [&](const SealedCheckpoint& corrupt, const char* what) {
+    DataPlane fresh(cfg);
+    auto restored = fresh.Restore(corrupt);
+    ASSERT_FALSE(restored.ok()) << what;
+    EXPECT_EQ(restored.status().code(), StatusCode::kDataLoss) << what;
+  };
+
+  // One flipped bit anywhere in the ciphertext.
+  for (const size_t offset : {size_t{0}, sealed.ciphertext.size() / 2,
+                              sealed.ciphertext.size() - 1}) {
+    SealedCheckpoint corrupt = sealed;
+    corrupt.ciphertext[offset] ^= 0x01;
+    expect_rejected(corrupt, "ciphertext bit flip");
+  }
+  // Header fields: chain position, claimed head, version.
+  {
+    SealedCheckpoint corrupt = sealed;
+    corrupt.chain_seq += 1;
+    expect_rejected(corrupt, "chain_seq tamper");
+  }
+  {
+    SealedCheckpoint corrupt = sealed;
+    corrupt.chain_head[0] ^= 0x80;
+    expect_rejected(corrupt, "chain_head tamper");
+  }
+  {
+    SealedCheckpoint corrupt = sealed;
+    corrupt.mac[31] ^= 0x40;
+    expect_rejected(corrupt, "mac tamper");
+  }
+  // Truncation.
+  {
+    SealedCheckpoint corrupt = sealed;
+    corrupt.ciphertext.resize(corrupt.ciphertext.size() / 2);
+    expect_rejected(corrupt, "truncation");
+  }
+
+  // The pristine seal still restores after all that.
+  DataPlane fresh(cfg);
+  Runner fresh_runner(&fresh, pipeline, SingleWorker());
+  EXPECT_TRUE(RestoreEngine(fresh, fresh_runner, sealed).ok());
+}
+
+TEST(CheckpointTest, RestorePreconditionsAndQuota) {
+  const DataPlaneConfig cfg = EngineConfig();
+  const Pipeline pipeline = MakeDistinct(1000);
+  DataPlane dp(cfg);
+  Runner runner(&dp, pipeline, SingleWorker());
+  RunPrefix(runner);
+  auto bundle = CheckpointEngine(dp, runner, {}, nullptr);
+  ASSERT_TRUE(bundle.ok());
+
+  // Restore into a data plane that already processed data is refused.
+  {
+    DataPlane used(cfg);
+    const auto events = testing::MakeEvents(100);
+    ASSERT_TRUE(
+        used.IngestBatch(testing::AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo)
+            .ok());
+    EXPECT_EQ(used.Restore(bundle->sealed).status().code(), StatusCode::kFailedPrecondition);
+  }
+  // A partition too small for the checkpointed state fails with the backpressure code, not a
+  // crash: bounded secure memory holds on the restore path too.
+  {
+    DataPlaneConfig tiny = cfg;
+    tiny.partition.secure_dram_bytes = 64u << 10;  // one 64KB page
+    tiny.partition.group_reserve_bytes = 64u << 10;
+    DataPlane small(tiny);
+    EXPECT_EQ(small.Restore(bundle->sealed).status().code(), StatusCode::kResourceExhausted);
+  }
+  // Restoring under the wrong tenant keys is indistinguishable from corruption.
+  {
+    DataPlaneConfig wrong = cfg;
+    wrong.mac_key[0] ^= 0xff;
+    DataPlane other(wrong);
+    EXPECT_EQ(other.Restore(bundle->sealed).status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(CheckpointTest, CheckpointStateRequiresQuiescedRunner) {
+  const DataPlaneConfig cfg = EngineConfig();
+  DataPlane dp(cfg);
+  Runner runner(&dp, MakeDistinct(1000), SingleWorker());
+  IngestWindow(runner, 0);
+  runner.Drain();
+  // Drained: checkpointable.
+  EXPECT_TRUE(runner.CheckpointState().ok());
+  // A restored-state call on a runner that already worked is refused.
+  auto state = runner.CheckpointState();
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(runner.RestoreState(*state).code(), StatusCode::kFailedPrecondition);
+  // Malformed runner state is rejected cleanly by a fresh runner.
+  DataPlane dp2(cfg);
+  Runner fresh(&dp2, MakeDistinct(1000), SingleWorker());
+  std::vector<uint8_t> garbage = *state;
+  garbage.resize(garbage.size() / 2);
+  EXPECT_EQ(fresh.RestoreState(garbage).code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace sbt

@@ -247,5 +247,24 @@ TEST(DigestToHexTest, Formats) {
   EXPECT_EQ(hex.size(), 64u);
 }
 
+TEST(DeriveTaggedTest, DeterministicAndSeparatedByLabelCounterAndKey) {
+  const std::vector<uint8_t> key(16, 0x42);
+  const std::vector<uint8_t> other_key(16, 0x43);
+  const auto k = std::span<const uint8_t>(key.data(), key.size());
+  const auto k2 = std::span<const uint8_t>(other_key.data(), other_key.size());
+
+  // Same inputs, same output — derivation is a pure function of (key, label, counter).
+  EXPECT_TRUE(DigestEqual(DeriveTagged(k, "seal", 7), DeriveTagged(k, "seal", 7)));
+  // Any input change separates the derived material (what keeps CTR keystreams disjoint).
+  EXPECT_FALSE(DigestEqual(DeriveTagged(k, "seal", 7), DeriveTagged(k, "seal", 8)));
+  EXPECT_FALSE(DigestEqual(DeriveTagged(k, "seal", 7), DeriveTagged(k, "egress", 7)));
+  EXPECT_FALSE(DigestEqual(DeriveTagged(k, "seal", 7), DeriveTagged(k2, "seal", 7)));
+  // And it is exactly HMAC(key, label || counter_le): interoperable with any RFC 2104 HMAC.
+  std::vector<uint8_t> message{'s', 'e', 'a', 'l', 7, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_TRUE(DigestEqual(
+      DeriveTagged(k, "seal", 7),
+      HmacSha256(k, std::span<const uint8_t>(message.data(), message.size()))));
+}
+
 }  // namespace
 }  // namespace sbt

@@ -1,0 +1,140 @@
+// Randomized corruption of the two tamper-evident artifacts that leave the TEE — compressed
+// audit uploads and sealed engine checkpoints (DESIGN.md invariants 2-3). A seed matrix drives
+// deterministic bit-flips and truncations; every corruption must surface as a kDataLoss-class
+// rejection, and decode/restore must never crash regardless of what the bytes decode to.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/attest/audit_chain.h"
+#include "src/attest/compress.h"
+#include "src/common/rng.h"
+#include "src/control/benchmarks.h"
+#include "src/control/engine.h"
+#include "src/core/data_plane.h"
+#include "tests/testing/testing.h"
+
+namespace sbt {
+namespace {
+
+DataPlaneConfig FuzzConfig() {
+  DataPlaneConfig cfg = testing::SmallDataPlaneConfig(/*decrypt_ingress=*/false);
+  cfg.partition = testing::SmallTzPartition(4);
+  return cfg;
+}
+
+// One real engine session, sealed mid-flight: the checkpoint carries live window state.
+struct SealedFixture {
+  DataPlaneConfig cfg = FuzzConfig();
+  SealedCheckpoint sealed;
+  AuditUpload upload;
+};
+
+const SealedFixture& Fixture() {
+  static const SealedFixture* fixture = [] {
+    auto* f = new SealedFixture();
+    DataPlane dp(f->cfg);
+    RunnerConfig rc;
+    rc.num_workers = 1;
+    Runner runner(&dp, MakeDistinct(1000), rc);
+    for (uint32_t w = 0; w < 2; ++w) {
+      std::vector<Event> events = testing::MakeEvents(2000, 32, 1000, 7 + w);
+      for (Event& e : events) {
+        e.ts_ms = w * 1000 + e.ts_ms % 1000;
+      }
+      EXPECT_TRUE(runner.IngestFrame(testing::AsBytes(events)).ok());
+    }
+    runner.Drain();
+    auto bundle = CheckpointEngine(dp, runner, {}, nullptr);
+    EXPECT_TRUE(bundle.ok());
+    f->sealed = std::move(bundle->sealed);
+    f->upload = std::move(bundle->audit);
+    return f;
+  }();
+  return *fixture;
+}
+
+class CorruptionFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CorruptionFuzz, CorruptAuditUploadsAreRejectedAndNeverCrash) {
+  const SealedFixture& fx = Fixture();
+  ASSERT_GT(fx.upload.compressed.size(), 8u);
+  AuditChainVerifier pristine(fx.cfg.mac_key);
+  ASSERT_TRUE(pristine.Accept(fx.upload).ok());
+
+  Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    AuditUpload corrupt = fx.upload;
+    switch (rng.NextBelow(5)) {
+      case 0:  // bit flip in the compressed batch
+        corrupt.compressed[rng.NextBelow(corrupt.compressed.size())] ^=
+            static_cast<uint8_t>(1u << rng.NextBelow(8));
+        break;
+      case 1:  // truncation
+        corrupt.compressed.resize(rng.NextBelow(corrupt.compressed.size()));
+        break;
+      case 2:  // MAC tamper
+        corrupt.mac[rng.NextBelow(corrupt.mac.size())] ^=
+            static_cast<uint8_t>(1u << rng.NextBelow(8));
+        break;
+      case 3:  // chain position tamper
+        corrupt.chain_seq += 1 + rng.NextBelow(1000);
+        break;
+      default:  // claimed-predecessor tamper
+        corrupt.chain_prev[rng.NextBelow(corrupt.chain_prev.size())] ^=
+            static_cast<uint8_t>(1u << rng.NextBelow(8));
+        break;
+    }
+    AuditChainVerifier verifier(fx.cfg.mac_key);
+    const Status accepted = verifier.Accept(corrupt);
+    ASSERT_FALSE(accepted.ok()) << "trial " << trial;
+    EXPECT_EQ(accepted.code(), StatusCode::kDataLoss) << "trial " << trial;
+    // The decoder itself must never crash on corrupt bytes, whatever it returns.
+    auto decoded = DecodeAuditBatch(corrupt.compressed);
+    (void)decoded;
+  }
+}
+
+TEST_P(CorruptionFuzz, CorruptSealedCheckpointsAreRejectedAndNeverCrash) {
+  const SealedFixture& fx = Fixture();
+  ASSERT_GT(fx.sealed.ciphertext.size(), 16u);
+
+  Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 24; ++trial) {
+    SealedCheckpoint corrupt = fx.sealed;
+    switch (rng.NextBelow(5)) {
+      case 0:  // bit flip anywhere in the ciphertext
+        corrupt.ciphertext[rng.NextBelow(corrupt.ciphertext.size())] ^=
+            static_cast<uint8_t>(1u << rng.NextBelow(8));
+        break;
+      case 1:  // truncation
+        corrupt.ciphertext.resize(rng.NextBelow(corrupt.ciphertext.size()));
+        break;
+      case 2:  // MAC tamper
+        corrupt.mac[rng.NextBelow(corrupt.mac.size())] ^=
+            static_cast<uint8_t>(1u << rng.NextBelow(8));
+        break;
+      case 3:  // chain position tamper
+        corrupt.chain_seq += 1 + rng.NextBelow(1000);
+        break;
+      default:  // claimed chain head tamper
+        corrupt.chain_head[rng.NextBelow(corrupt.chain_head.size())] ^=
+            static_cast<uint8_t>(1u << rng.NextBelow(8));
+        break;
+    }
+    DataPlane fresh(fx.cfg);
+    auto restored = fresh.Restore(corrupt);
+    ASSERT_FALSE(restored.ok()) << "trial " << trial;
+    EXPECT_EQ(restored.status().code(), StatusCode::kDataLoss) << "trial " << trial;
+  }
+  // The pristine artifact still restores: rejection above is the corruption's doing.
+  DataPlane fresh(fx.cfg);
+  EXPECT_TRUE(fresh.Restore(fx.sealed).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedMatrix, CorruptionFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace sbt

@@ -16,6 +16,8 @@
 #include "src/control/harness.h"
 #include "src/primitives/primitives.h"
 #include "src/primitives/vec_sort.h"
+#include "src/server/edge_server.h"
+#include "src/server/shard_router.h"
 
 namespace sbt {
 namespace {
@@ -290,6 +292,67 @@ TEST(VerifierProperty, AnySingleOpRetagIsDetected) {
     EXPECT_FALSE(report.correct)
         << "retagging record " << i << " from " << PrimitiveOpName(records[i].op) << " to "
         << PrimitiveOpName(new_op) << " went undetected";
+  }
+}
+
+// --- shard-router re-homing properties (elastic resize relies on both) -------------------
+
+TEST(ShardRouterProperty, ReHomingMovesAtMostTheExpectedFraction) {
+  // Jump consistent hashing: changing the shard count N -> N' relocates ~1/max(N, N') of the
+  // keys — growth moves only the keys the new shard must receive, shrink only the evicted
+  // shard's keys. Modulo reduction would reshuffle nearly everything.
+  constexpr size_t kKeys = 8192;
+  const std::pair<uint32_t, uint32_t> transitions[] = {{2, 3}, {4, 5}, {5, 4},
+                                                       {8, 9}, {9, 8}, {16, 17}};
+  for (const auto& [n_from, n_to] : transitions) {
+    const ShardRouter from(n_from);
+    const ShardRouter to(n_to);
+    Xoshiro256 rng(n_from * 131 + n_to);
+    size_t moved = 0;
+    std::vector<size_t> load(n_to, 0);
+    for (size_t i = 0; i < kKeys; ++i) {
+      const TenantId tenant = static_cast<TenantId>(1 + rng.NextBelow(64));
+      const uint32_t source = rng.Next32();
+      const uint32_t a = from.Route(tenant, source);
+      const uint32_t b = to.Route(tenant, source);
+      ASSERT_LT(a, n_from);
+      ASSERT_LT(b, n_to);
+      EXPECT_EQ(from.Route(tenant, source), a);  // stable across calls
+      moved += (a != b) ? 1 : 0;
+      ++load[b];
+    }
+    const double expected = static_cast<double>(kKeys) / std::max(n_from, n_to);
+    EXPECT_LT(moved, expected * 1.5) << n_from << " -> " << n_to << " moved too much";
+    EXPECT_GT(moved, expected * 0.5) << n_from << " -> " << n_to << " moved implausibly few";
+    // And the new placement stays balanced.
+    for (uint32_t s = 0; s < n_to; ++s) {
+      EXPECT_GT(load[s], kKeys / n_to / 2) << "shard " << s << " starved";
+      EXPECT_LT(load[s], kKeys / n_to * 2) << "shard " << s << " hoards";
+    }
+  }
+}
+
+TEST(ShardRouterProperty, MultiStreamTenantsNeverSplitAcrossReHoming) {
+  // A multi-stream (Join) tenant is tenant-homed: under EVERY shard count, all of its sources
+  // land on one shard — a resize moves the tenant atomically, never splitting its streams.
+  TenantRegistry registry;
+  for (TenantId t = 1; t <= 12; ++t) {
+    ASSERT_TRUE(registry
+                    .Add(MakeTenantSpec(t, "join-" + std::to_string(t), MakeJoin(1000),
+                                        1u << 20))
+                    .ok());
+  }
+  for (const uint32_t shards : {2u, 3u, 5u, 8u}) {
+    EdgeServerConfig cfg;
+    cfg.num_shards = shards;
+    EdgeServer server(cfg, registry);
+    for (TenantId t = 1; t <= 12; ++t) {
+      const uint32_t home = server.RouteOf(t, 0);
+      for (uint32_t source = 1; source < 32; ++source) {
+        ASSERT_EQ(server.RouteOf(t, source), home)
+            << "tenant " << t << " split at " << shards << " shards";
+      }
+    }
   }
 }
 

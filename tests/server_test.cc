@@ -429,6 +429,263 @@ TEST(EdgeServerTest, MultiStreamTenantIsTenantHomed) {
   }
 }
 
+// The elastic-resize acceptance scenario: grow N -> N+1 and shrink back under live ingest.
+// No event is lost (kStall sources simply stall while engines move), every engine's audit
+// chain verifies across both moves as one continued session, and per-shard secure-memory
+// quotas hold before, during, and after.
+TEST(EdgeServerTest, ElasticResizeUnderLiveIngestIsLossless) {
+  TenantRegistry registry;
+  ASSERT_TRUE(registry.Add(MakeTenantSpec(1, "sensors", MakeWinSum(1000), 4u << 20)).ok());
+  ASSERT_TRUE(registry.Add(MakeTenantSpec(2, "fleet", MakeDistinct(1000), 4u << 20)).ok());
+  ASSERT_TRUE(registry.Add(MakeTenantSpec(3, "join", MakeJoin(1000), 8u << 20)).ok());
+  const TenantSpec sensors = *registry.Find(1);
+  const TenantSpec fleet = *registry.Find(2);
+  const TenantSpec join = *registry.Find(3);
+
+  EdgeServerConfig cfg;
+  cfg.num_shards = 3;
+  // Sized so any engine placement fits any shard count used here: the plan must never be the
+  // reason a resize fails in this test.
+  cfg.host_secure_budget_bytes = 96u << 20;
+  cfg.frontend_threads = 2;
+  cfg.workers_per_engine = 2;
+  EdgeServer server(cfg, std::move(registry));
+
+  constexpr uint32_t kNumWindows = 10;
+  constexpr uint32_t kEventsPerWindow = 3000;
+  auto gen_cfg = [&](const TenantSpec& spec, WorkloadKind kind, uint64_t seed) {
+    GeneratorConfig g = SourceGenConfig(spec, kind, kEventsPerWindow, kNumWindows, 0, seed);
+    g.batch_events = 500;
+    return g;
+  };
+  std::vector<std::unique_ptr<TestSource>> sources;
+  sources.push_back(MakeSource(1, 0, gen_cfg(sensors, WorkloadKind::kIntelLab, 42)));
+  sources.push_back(MakeSource(1, 1, gen_cfg(sensors, WorkloadKind::kIntelLab, 43)));
+  sources.push_back(MakeSource(2, 0, gen_cfg(fleet, WorkloadKind::kTaxi, 44)));
+  sources.push_back(MakeSource(3, 0, gen_cfg(join, WorkloadKind::kSynthetic, 45), 0));
+  sources.push_back(MakeSource(3, 1, gen_cfg(join, WorkloadKind::kSynthetic, 46), 1));
+  for (auto& src : sources) {
+    ASSERT_TRUE(
+        server.BindSource(src->tenant, src->id, src->channel.get(), src->pipeline_stream).ok());
+  }
+  ASSERT_TRUE(server.Start().ok());
+  StartSources(sources);
+
+  // Grow, then shrink, while sources are live. Each resize drains, seals, re-homes, resumes.
+  ASSERT_EQ(server.num_shards(), 3u);
+  const Status grown = server.Resize(4);
+  ASSERT_TRUE(grown.ok()) << grown.ToString();
+  EXPECT_EQ(server.num_shards(), 4u);
+  const Status shrunk = server.Resize(3);
+  ASSERT_TRUE(shrunk.ok()) << shrunk.ToString();
+  EXPECT_EQ(server.num_shards(), 3u);
+
+  JoinSources(sources);
+  const ServerReport report = server.Shutdown();
+
+  // Lossless: every generated event was ingested by some engine (stall admission, no shed).
+  uint64_t events_generated = 0;
+  for (const auto& src : sources) {
+    events_generated += src->generator->events_emitted();
+  }
+  EXPECT_EQ(report.TotalEventsIngested(), events_generated);
+  for (const auto& sr : report.sources) {
+    EXPECT_EQ(sr.frames_shed, 0u);
+    EXPECT_GT(sr.frames_delivered, 0u);
+  }
+
+  // Every engine moved twice, kept its audit chain verifiable as one continued session, and
+  // stayed inside its carve in every incarnation.
+  ASSERT_FALSE(report.engines.empty());
+  std::map<uint32_t, size_t> shard_carves;
+  for (const TenantShardReport& e : report.engines) {
+    EXPECT_EQ(e.restores, 2u) << e.tenant_name;
+    EXPECT_EQ(e.uploads, 3u) << e.tenant_name;  // two seal-time links + the final flush
+    EXPECT_TRUE(e.chain_ok) << e.tenant_name;
+    EXPECT_EQ(e.runner.task_errors, 0u) << e.tenant_name;
+    EXPECT_EQ(e.dispatch_errors, 0u) << e.tenant_name;
+    EXPECT_EQ(e.shed_frames, 0u) << e.tenant_name;
+    EXPECT_EQ(e.runner.windows_emitted, kNumWindows) << e.tenant_name;
+    ASSERT_TRUE(e.verified);
+    EXPECT_TRUE(e.verify.correct)
+        << e.tenant_name << " shard " << e.shard << ": "
+        << (e.verify.violations.empty() ? "" : e.verify.violations[0]);
+    EXPECT_EQ(e.verify.windows_verified, kNumWindows) << e.tenant_name;
+    EXPECT_LE(e.peak_committed, e.partition_bytes) << e.tenant_name;
+    shard_carves[e.shard] += e.partition_bytes;
+    // Windows were collected across incarnations: all present, each egressed.
+    EXPECT_EQ(e.windows.size(), kNumWindows) << e.tenant_name;
+  }
+  for (const auto& [shard, carved] : shard_carves) {
+    EXPECT_LE(carved, server.shard_partition_bytes()) << "shard " << shard;
+  }
+  // The join tenant stayed single-engined through both moves (never split).
+  EXPECT_EQ(report.ForTenant(3).size(), 1u);
+}
+
+// An infeasible resize (per-shard partition smaller than a single engine's carve) is rejected
+// by the plan before anything is drained, and the server keeps serving as if nothing happened.
+TEST(EdgeServerTest, InfeasibleResizeIsRejectedWithoutDisruption) {
+  TenantRegistry registry;
+  ASSERT_TRUE(registry.Add(MakeTenantSpec(1, "a", MakeWinSum(1000), 5u << 20)).ok());
+  ASSERT_TRUE(registry.Add(MakeTenantSpec(2, "b", MakeWinSum(1000), 5u << 20)).ok());
+  const TenantSpec a = *registry.Find(1);
+  const TenantSpec b = *registry.Find(2);
+
+  EdgeServerConfig cfg;
+  cfg.num_shards = 2;
+  cfg.host_secure_budget_bytes = 40u << 20;
+  EdgeServer server(cfg, std::move(registry));
+
+  std::vector<std::unique_ptr<TestSource>> sources;
+  sources.push_back(MakeSource(1, 0, SourceGenConfig(a, WorkloadKind::kIntelLab)));
+  sources.push_back(MakeSource(2, 0, SourceGenConfig(b, WorkloadKind::kIntelLab)));
+  for (auto& src : sources) {
+    ASSERT_TRUE(server.BindSource(src->tenant, src->id, src->channel.get()).ok());
+  }
+  ASSERT_TRUE(server.Start().ok());
+  StartSources(sources);
+
+  // 40MB / 16 shards = 2.5MB per shard < one 5MB carve: infeasible for every placement.
+  const Status rejected = server.Resize(16);
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.num_shards(), 2u);
+
+  JoinSources(sources);
+  const ServerReport report = server.Shutdown();
+  for (const TenantShardReport& e : report.engines) {
+    EXPECT_EQ(e.restores, 0u);
+    EXPECT_EQ(e.runner.windows_emitted, 3u) << e.tenant_name;
+    EXPECT_TRUE(e.chain_ok);
+    EXPECT_TRUE(e.verify.correct);
+  }
+  EXPECT_EQ(report.TotalEventsIngested(),
+            sources[0]->generator->events_emitted() + sources[1]->generator->events_emitted());
+}
+
+// Crash/rebalance recovery on one shard: seal its engines mid-session, then restore them in
+// place; the session continues losslessly and the audit chain stays green.
+TEST(EdgeServerTest, ShardCheckpointRestoreRoundTripUnderLiveIngest) {
+  TenantRegistry registry;
+  ASSERT_TRUE(registry.Add(MakeTenantSpec(1, "sensors", MakeWinSum(1000), 4u << 20)).ok());
+  const TenantSpec sensors = *registry.Find(1);
+
+  EdgeServerConfig cfg;
+  cfg.num_shards = 2;
+  cfg.host_secure_budget_bytes = 32u << 20;
+  EdgeServer server(cfg, std::move(registry));
+
+  GeneratorConfig gen = SourceGenConfig(sensors, WorkloadKind::kIntelLab, 4000, 6);
+  gen.batch_events = 500;
+  std::vector<std::unique_ptr<TestSource>> sources;
+  sources.push_back(MakeSource(1, 0, gen));
+  ASSERT_TRUE(server.BindSource(1, 0, sources[0]->channel.get()).ok());
+  ASSERT_TRUE(server.Start().ok());
+  StartSources(sources);
+
+  const uint32_t shard = server.RouteOf(1, 0);
+  auto checkpoints = server.CheckpointShard(shard);
+  ASSERT_TRUE(checkpoints.ok()) << checkpoints.status().ToString();
+  ASSERT_EQ(checkpoints->size(), 1u);
+  EXPECT_EQ((*checkpoints)[0].tenant, 1u);
+  // While sealed, the shard hosts nothing and the source stalls at the frontend.
+  EXPECT_EQ(server.shard_snapshot(shard).carved_bytes, 0u);
+
+  ASSERT_TRUE(server.RestoreShard(shard, std::move(*checkpoints)).ok());
+  JoinSources(sources);
+  const ServerReport report = server.Shutdown();
+
+  ASSERT_EQ(report.engines.size(), 1u);
+  const TenantShardReport& e = report.engines[0];
+  EXPECT_EQ(e.restores, 1u);
+  EXPECT_EQ(e.uploads, 2u);
+  EXPECT_TRUE(e.chain_ok);
+  EXPECT_EQ(e.runner.task_errors, 0u);
+  EXPECT_EQ(e.dispatch_errors, 0u);
+  EXPECT_EQ(e.runner.windows_emitted, 6u);
+  EXPECT_EQ(e.runner.events_ingested, sources[0]->generator->events_emitted());
+  EXPECT_TRUE(e.verify.correct)
+      << (e.verify.violations.empty() ? "" : e.verify.violations[0]);
+  EXPECT_LE(e.peak_committed, e.partition_bytes);
+}
+
+// A sealed shard that is never restored (state migrated elsewhere, original server retired)
+// must not wedge shutdown: its sources' undeliverable frames are dropped and counted.
+TEST(EdgeServerTest, ShutdownAfterUnrestoredCheckpointTerminates) {
+  TenantRegistry registry;
+  ASSERT_TRUE(registry.Add(MakeTenantSpec(1, "sensors", MakeWinSum(1000), 4u << 20)).ok());
+  const TenantSpec sensors = *registry.Find(1);
+
+  EdgeServerConfig cfg;
+  cfg.num_shards = 2;
+  cfg.host_secure_budget_bytes = 32u << 20;
+  EdgeServer server(cfg, std::move(registry));
+
+  std::vector<std::unique_ptr<TestSource>> sources;
+  sources.push_back(MakeSource(1, 0, SourceGenConfig(sensors, WorkloadKind::kIntelLab)));
+  ASSERT_TRUE(server.BindSource(1, 0, sources[0]->channel.get()).ok());
+  ASSERT_TRUE(server.Start().ok());
+  StartSources(sources);
+
+  auto checkpoints = server.CheckpointShard(server.RouteOf(1, 0));
+  ASSERT_TRUE(checkpoints.ok());
+  ASSERT_EQ(checkpoints->size(), 1u);
+  // The sealed engines leave with the checkpoints; the server shuts down without them — and
+  // without hanging on the source's undeliverable frames. (Shutdown first: it closes the
+  // source channel, which is what unblocks a generator stalled against the sealed shard.)
+  const ServerReport report = server.Shutdown();
+  JoinSources(sources);
+  EXPECT_TRUE(report.engines.empty());
+  ASSERT_EQ(report.sources.size(), 1u);
+}
+
+// Tamper-evident recovery at the serving layer: a checkpoint sealed before newer uploads left
+// the engine (stale/fork replay) is rejected, as is restoring an engine that is already live.
+TEST(EdgeServerTest, StaleOrDuplicateShardCheckpointIsRejected) {
+  TenantRegistry registry;
+  ASSERT_TRUE(registry.Add(MakeTenantSpec(1, "sensors", MakeWinSum(1000), 4u << 20)).ok());
+  const TenantSpec sensors = *registry.Find(1);
+
+  EdgeServerConfig cfg;
+  cfg.num_shards = 2;
+  cfg.host_secure_budget_bytes = 32u << 20;
+  EdgeServer server(cfg, std::move(registry));
+
+  FrameChannel channel(256);
+  ASSERT_TRUE(server.BindSource(1, 0, &channel).ok());
+  ASSERT_TRUE(server.Start().ok());
+  // Feed and close a short session up front; the frontends drain it into the engine.
+  Generator generator(SourceGenConfig(sensors, WorkloadKind::kIntelLab, 1000, 3));
+  generator.RunInto(&channel);
+
+  const uint32_t shard = server.RouteOf(1, 0);
+  auto first = server.CheckpointShard(shard);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->size(), 1u);
+  const ShardEngineCheckpoint stale = (*first)[0];  // attacker keeps a copy
+
+  ASSERT_TRUE(server.RestoreShard(shard, std::move(*first)).ok());
+  auto second = server.CheckpointShard(shard);
+  ASSERT_TRUE(second.ok());
+  const ShardEngineCheckpoint current = (*second)[0];
+
+  // The stale copy self-verifies but no longer continues the engine's chain.
+  EXPECT_EQ(server.RestoreShard(shard, {stale}).code(), StatusCode::kDataLoss);
+  // The current seal restores.
+  ASSERT_TRUE(server.RestoreShard(shard, std::move(*second)).ok());
+  // A second restore of the same seal is refused: the engine is already live.
+  EXPECT_EQ(server.RestoreShard(shard, {current}).code(), StatusCode::kFailedPrecondition);
+
+  const ServerReport report = server.Shutdown();
+  ASSERT_EQ(report.engines.size(), 1u);
+  EXPECT_EQ(report.engines[0].restores, 2u);
+  EXPECT_TRUE(report.engines[0].chain_ok);
+  EXPECT_TRUE(report.engines[0].verify.correct)
+      << (report.engines[0].verify.violations.empty()
+              ? ""
+              : report.engines[0].verify.violations[0]);
+}
+
 // Regression stress for the Runner drain/submit race: Drain spinning concurrently with
 // ingest + watermark submission must never miss an enqueued window close — after the final
 // Drain every window is emitted, every time.

@@ -8,11 +8,13 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/attest/audit_record.h"
 #include "src/attest/verifier.h"
 #include "src/common/event.h"
+#include "src/common/failpoint.h"
 #include "src/control/harness.h"
 #include "src/core/data_plane.h"
 #include "src/net/generator.h"
@@ -20,6 +22,35 @@
 
 namespace sbt {
 namespace testing {
+
+// --- deterministic fault injection --------------------------------------------
+
+// RAII arm/disarm of one fail point (src/common/failpoint.h). Schedules are deterministic:
+// either counted (skip N hits, fail the next M, optionally repeating) or a seeded Bernoulli
+// draw — the same seed always fails the same hits.
+class ScopedFailPoint {
+ public:
+  ScopedFailPoint(std::string name, FailPointSpec spec) : name_(std::move(name)) {
+    FailPoints::Arm(name_, spec);
+  }
+  ~ScopedFailPoint() { FailPoints::Disarm(name_); }
+  ScopedFailPoint(const ScopedFailPoint&) = delete;
+  ScopedFailPoint& operator=(const ScopedFailPoint&) = delete;
+
+  uint64_t hits() const { return FailPoints::Hits(name_); }
+
+  // Counted schedule: fail hits [skip, skip+fail), repeating every `period` hits if nonzero.
+  static FailPointSpec Counted(uint64_t skip, uint64_t fail = 1, uint64_t period = 0) {
+    return FailPointSpec{.skip = skip, .fail = fail, .period = period};
+  }
+  // Seeded Bernoulli: each hit fails with probability num/den.
+  static FailPointSpec Seeded(uint64_t seed, uint64_t num, uint64_t den) {
+    return FailPointSpec{.prob_num = num, .prob_den = den, .seed = seed};
+  }
+
+ private:
+  std::string name_;
+};
 
 // --- deterministic event generation -------------------------------------------
 

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -207,6 +208,68 @@ TEST(SecureWorldTest, ConcurrentRangesShareThePool) {
   // 4 * 256KB = 1MB fits exactly.
   EXPECT_EQ(successes.load(), kThreads);
   EXPECT_EQ(world.free_frames(), 16u);
+}
+
+// --- deterministic fault injection (tests/testing ScopedFailPoint fixture) ---------------
+
+TEST(FailPointTest, AllocFrameFailureIsDeterministicAndLeakFree) {
+  SecureWorld world(SmallConfig());  // 16 frames
+  auto range = world.Reserve(1u << 20);
+  ASSERT_TRUE(range.ok());
+  {
+    // Let 4 frame allocations pass, fail the 5th: exhaustion on purpose, not by luck.
+    testing::ScopedFailPoint fp("secure_world.alloc_frame",
+                                testing::ScopedFailPoint::Counted(/*skip=*/4));
+    const Status s = range->EnsureBacked(8 * (64u << 10));
+    EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+    // Exactly the pre-failure pages are committed, and the failed allocation leaked nothing.
+    EXPECT_EQ(range->committed_end(), 4 * (64u << 10));
+    EXPECT_EQ(world.free_frames(), 12u);
+    EXPECT_EQ(fp.hits(), 5u);
+  }
+  // Disarmed: growth resumes exactly where it stopped, with all data intact.
+  range->base()[0] = 42;
+  ASSERT_TRUE(range->EnsureBacked(8 * (64u << 10)).ok());
+  EXPECT_EQ(range->committed_end(), 8 * (64u << 10));
+  EXPECT_EQ(range->base()[0], 42);
+  EXPECT_EQ(world.free_frames(), 8u);
+}
+
+TEST(FailPointTest, SeededAllocFaultsReplayIdentically) {
+  // The same seed must fail the same allocation attempts — that is what makes randomized
+  // robustness runs reproducible.
+  auto run = [](uint64_t seed) {
+    SecureWorld world(SmallConfig());
+    auto range = world.Reserve(1u << 20);
+    EXPECT_TRUE(range.ok());
+    testing::ScopedFailPoint fp("secure_world.alloc_frame",
+                                testing::ScopedFailPoint::Seeded(seed, /*num=*/1, /*den=*/3));
+    std::vector<bool> failed;
+    for (size_t page = 1; page <= 16; ++page) {
+      failed.push_back(!range->EnsureBacked(page * (64u << 10)).ok());
+    }
+    return failed;
+  };
+  const auto a = run(12345);
+  const auto b = run(12345);
+  const auto c = run(54321);
+  EXPECT_EQ(a, b) << "same seed, same failure schedule";
+  EXPECT_NE(a, c) << "different seed, different schedule (with overwhelming probability)";
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0) << "p=1/3 over 16 draws must fire";
+}
+
+TEST(FailPointTest, WorldSwitchFaultsAreRetriedAndCounted) {
+  WorldSwitchGate gate(WorldSwitchConfig{.entry_cycles = 2000, .exit_cycles = 1000});
+  testing::ScopedFailPoint fp("world_switch.fault",
+                              testing::ScopedFailPoint::Counted(/*skip=*/1, /*fail=*/2));
+  for (int i = 0; i < 4; ++i) {
+    auto s = gate.Enter();
+  }
+  // The second entry faulted twice before succeeding; every entry still completed.
+  EXPECT_EQ(gate.stats().entries, 4u);
+  EXPECT_EQ(gate.stats().faults, 2u);
+  // Each fault burns one extra entry cost on top of the normal entry+exit.
+  EXPECT_EQ(gate.stats().burned_cycles, 4u * 3000u + 2u * 2000u);
 }
 
 TEST(WorldSwitchTest, CountsEntries) {
