@@ -11,9 +11,13 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cinttypes>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace sbt {
 
@@ -31,6 +35,91 @@ inline void PrintHeader(const char* title, const char* paper_claim) {
   std::printf("paper: %s\n", paper_claim);
   std::printf("%s\n", std::string(78, '-').c_str());
 }
+
+// Machine-readable mirror of a bench's printed table: a flat JSON array of row objects,
+// written as BENCH_<name>.json so CI can upload the numbers as artifacts and chart the perf
+// trajectory across commits. Rows land in SBT_BENCH_JSON_DIR (default: the current working
+// directory — the build dir under ctest).
+class JsonBenchReport {
+ public:
+  explicit JsonBenchReport(std::string name) : name_(std::move(name)) {}
+
+  JsonBenchReport& BeginRow() {
+    rows_.emplace_back();
+    return *this;
+  }
+  JsonBenchReport& Num(const char* key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return Raw(key, buf);
+  }
+  JsonBenchReport& Int(const char* key, uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    return Raw(key, buf);
+  }
+  JsonBenchReport& Bool(const char* key, bool value) {
+    return Raw(key, value ? "true" : "false");
+  }
+  JsonBenchReport& Str(const char* key, const std::string& value) {
+    std::string quoted = "\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') {
+        quoted += '\\';
+        quoted += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char esc[8];
+        std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+        quoted += esc;
+      } else {
+        quoted += c;
+      }
+    }
+    quoted += '"';
+    return Raw(key, quoted);
+  }
+
+  std::string path() const {
+    const char* dir = std::getenv("SBT_BENCH_JSON_DIR");
+    std::string out = dir != nullptr ? std::string(dir) + "/" : std::string();
+    return out + "BENCH_" + name_ + ".json";
+  }
+
+  // Serializes the rows collected so far. False (with a note on stderr) if the file cannot be
+  // written — benches keep their table output either way.
+  bool Write() const {
+    const std::string file = path();
+    FILE* f = std::fopen(file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonBenchReport: cannot write %s\n", file.c_str());
+      return false;
+    }
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fputs("  {", f);
+      for (size_t j = 0; j < rows_[i].size(); ++j) {
+        std::fprintf(f, "%s\"%s\": %s", j == 0 ? "" : ", ", rows_[i][j].first.c_str(),
+                     rows_[i][j].second.c_str());
+      }
+      std::fprintf(f, "}%s\n", i + 1 == rows_.size() ? "" : ",");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  JsonBenchReport& Raw(const char* key, std::string rendered) {
+    if (rows_.empty()) {
+      rows_.emplace_back();
+    }
+    rows_.back().emplace_back(key, std::move(rendered));
+    return *this;
+  }
+
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 }  // namespace sbt
 

@@ -110,14 +110,24 @@ int main() {
               "errors", "verified");
 
   bool ok = true;
+  JsonBenchReport report("server_scaling");
   for (uint32_t shards : {1u, 2u, 4u}) {
     const RunResult r = RunFleet(shards, events_per_window);
+    const double events_per_sec =
+        r.seconds > 0 ? static_cast<double>(r.events) / r.seconds : 0.0;
     std::printf("%8u %12llu %12.0f %10llu %8llu %9s\n", shards,
-                static_cast<unsigned long long>(r.events),
-                r.seconds > 0 ? static_cast<double>(r.events) / r.seconds : 0.0,
+                static_cast<unsigned long long>(r.events), events_per_sec,
                 static_cast<unsigned long long>(r.windows),
                 static_cast<unsigned long long>(r.errors), r.verified ? "yes" : "NO");
+    report.BeginRow()
+        .Int("shards", shards)
+        .Int("events", r.events)
+        .Num("events_per_sec", events_per_sec)
+        .Int("windows", r.windows)
+        .Int("errors", r.errors)
+        .Bool("verified", r.verified);
     ok = ok && r.errors == 0 && r.verified;
   }
+  report.Write();
   return ok ? 0 : 1;
 }

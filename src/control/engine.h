@@ -47,6 +47,9 @@ struct EngineOptions {
   int num_workers = 4;
   bool use_hints = true;
   PlacementPolicy placement = PlacementPolicy::kHintGuided;
+  // Command-buffer fusion: one world switch per primitive chain (default). Off reproduces the
+  // call-per-primitive boundary for the fig9 comparison series.
+  bool fuse_chains = true;
 };
 
 inline DataPlaneConfig MakeEngineConfig(EngineVersion version, const EngineOptions& opts) {
@@ -85,6 +88,7 @@ inline RunnerConfig MakeRunnerConfig(EngineVersion version, const EngineOptions&
   RunnerConfig rc;
   rc.num_workers = opts.num_workers;
   rc.use_hints = opts.use_hints;
+  rc.fuse_chains = opts.fuse_chains;
   rc.ingest_path = (version == EngineVersion::kSbtIoViaOs) ? IngestPath::kViaOs
                                                            : IngestPath::kTrustedIo;
   return rc;
@@ -92,7 +96,9 @@ inline RunnerConfig MakeRunnerConfig(EngineVersion version, const EngineOptions&
 
 // --- engine checkpoint/restore (control + data plane as one unit) ---
 //
-// An "engine" is one DataPlane + Runner pair. CheckpointEngine quiesces the runner (Drain),
+// An "engine" is one DataPlane + Runner pair. CheckpointEngine quiesces the runner (Drain —
+// which waits out any fused command buffer as one atomic task, so a seal never lands
+// mid-chain),
 // moves any finished-but-uncollected window results into *results (they were already egressed
 // — ciphertext, safe outside the seal), then seals the runner's window bookkeeping together
 // with the caller's `server_annex` inside the data plane's checkpoint. RestoreEngine reverses

@@ -77,6 +77,16 @@ class Pipeline {
   const std::vector<BatchStep>& batch_chain() const { return batch_chain_; }
   const std::vector<WindowStageSpec>& window_stages() const { return window_stages_; }
 
+  // Compiles the per-batch chain into the reusable command template the Runner stamps into a
+  // CmdBuffer per segment (fused boundary crossings, src/core/cmd_buffer.h).
+  CmdChainTemplate CompileBatchChain() const {
+    CmdChainTemplate t;
+    for (const BatchStep& step : batch_chain_) {
+      t.Append(step.op, step.params);
+    }
+    return t;
+  }
+
   // The cloud consumer's copy of this declaration.
   VerifierPipelineSpec ToVerifierSpec() const {
     VerifierPipelineSpec spec;

@@ -23,6 +23,8 @@ constexpr uint32_t kRunnerStateMagic = 0x52544253u;
 Runner::Runner(DataPlane* data_plane, Pipeline pipeline, RunnerConfig config)
     : dp_(data_plane), pipeline_(std::move(pipeline)), config_(config) {
   SBT_CHECK(config_.num_workers > 0);
+  // Compile the per-batch chain once; RunChain stamps it into a CmdBuffer per segment.
+  chain_template_ = pipeline_.CompileBatchChain();
   workers_.reserve(config_.num_workers);
   for (int i = 0; i < config_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -151,21 +153,55 @@ void Runner::RunChain(OpaqueRef ref, uint32_t window_index, uint16_t stream) {
       kWorkerLaneBase + next_worker_lane_.fetch_add(1, std::memory_order_relaxed) % kLaneSlots;
   OpaqueRef cur = ref;
   const auto& chain = pipeline_.batch_chain();
-  for (size_t i = 0; i < chain.size(); ++i) {
-    InvokeRequest req;
-    req.op = chain[i].op;
-    req.params = chain[i].params;
-    req.inputs = {cur};
-    // Intermediates live in the worker's lane; the final contribution goes to its window's
-    // lane so the whole window reclaims together at close.
+  // Hints are identical in both modes — intermediates in the worker's lane, the final
+  // contribution in its window's lane so the whole window reclaims together at close — which
+  // keeps the audit stream byte-identical between them.
+  auto step_hint = [&](size_t i) {
     const bool last = (i + 1 == chain.size());
-    req.hint = LaneHint(last ? kWindowLaneBase + window_index % kLaneSlots : worker_lane);
-    auto resp = dp_->Invoke(req);
+    return LaneHint(last ? kWindowLaneBase + window_index % kLaneSlots : worker_lane);
+  };
+  // A failed chain must still flow through the bookkeeping below: skipping the
+  // pending_chains decrement would wedge the window forever (never closeable, runner never
+  // checkpointable again after one transient allocation failure). The window closes with the
+  // contributions that DID arrive, and the verifier's replay flags the gap — attestation, not
+  // silence, is how lost data surfaces.
+  bool chain_ok = true;
+  if (config_.fuse_chains && !chain.empty()) {
+    // Fused: the compiled template stamps slot-chained commands over this segment's ref and
+    // the whole chain crosses the TEE boundary once.
+    auto resp = dp_->Submit(chain_template_.Stamp(ref, step_hint));
     if (!resp.ok()) {
       NoteError(resp.status());
-      return;
+      chain_ok = false;
+    } else if (resp->outputs.back().empty() || resp->outputs.back()[0].ref == 0) {
+      NoteError(Internal("fused chain exported no contribution ref"));
+      chain_ok = false;
+    } else {
+      cur = resp->outputs.back()[0].ref;
     }
-    cur = resp->outputs[0].ref;
+  } else {
+    for (size_t i = 0; i < chain.size(); ++i) {
+      InvokeRequest req;
+      req.op = chain[i].op;
+      req.params = chain[i].params;
+      req.inputs = {cur};
+      req.hint = step_hint(i);
+      auto resp = dp_->Invoke(req);
+      if (!resp.ok()) {
+        NoteError(resp.status());
+        chain_ok = false;
+        break;
+      }
+      cur = resp->outputs[0].ref;
+    }
+  }
+
+  if (!chain_ok) {
+    // Release the orphaned ref — the last live intermediate (unfused), or the chain head when
+    // the first command failed. A head already consumed inside a fused chain makes this a
+    // harmless NotFound; without it every failed chain would pin pool memory forever and be
+    // sealed into every later checkpoint.
+    (void)dp_->Release(cur);
   }
 
   bool do_close = false;
@@ -175,7 +211,9 @@ void Runner::RunChain(OpaqueRef ref, uint32_t window_index, uint16_t stream) {
     auto it = windows_.find(window_index);
     SBT_CHECK(it != windows_.end());
     WindowState& ws = it->second;
-    ws.contributions[stream].push_back(cur);
+    if (chain_ok) {
+      ws.contributions[stream].push_back(cur);
+    }
     --ws.pending_chains;
     if (ws.close_requested && !ws.close_enqueued && ws.pending_chains == 0) {
       ws.close_enqueued = true;
@@ -232,7 +270,11 @@ void Runner::CloseWindow(uint32_t window_index, WindowState state) {
   std::vector<std::vector<OpaqueRef>> stage_outputs(stages.size());
   const HintRequest close_hint = LaneHint(kCloseLaneBase + window_index % kLaneSlots);
 
-  for (size_t j = 0; j < stages.size(); ++j) {
+  // Input gathering is shared between both boundary modes — the fused/unfused byte-equivalence
+  // depends on them never diverging. `outputs_of(src)` abstracts the only difference: how a
+  // producer stage's outputs are named (its table refs unfused, its command's slot ref fused).
+  auto gather_inputs = [&](size_t j,
+                           const std::function<std::vector<OpaqueRef>(int)>& outputs_of) {
     const WindowStageSpec& stage = stages[j];
     std::vector<OpaqueRef> inputs;
     for (int src : stage.input_stages) {
@@ -245,24 +287,83 @@ void Runner::CloseWindow(uint32_t window_index, WindowState state) {
                         state.contributions[s].end());
         }
       } else if (static_cast<size_t>(src) < j) {
-        inputs.insert(inputs.end(), stage_outputs[src].begin(), stage_outputs[src].end());
+        const std::vector<OpaqueRef> from = outputs_of(src);
+        inputs.insert(inputs.end(), from.begin(), from.end());
       }
     }
-    if (inputs.empty()) {
-      continue;
+    return inputs;
+  };
+
+  // A slot ref names ONE output, so fusion requires every stage to be single-output; Segment
+  // is the lone multi-output primitive, and a DAG using it falls back to the unfused loop
+  // (which fans out however many outputs appear).
+  bool fuse = config_.fuse_chains && !stages.empty();
+  for (const WindowStageSpec& stage : stages) {
+    fuse = fuse && stage.op != PrimitiveOp::kSegment;
+  }
+
+  if (fuse) {
+    // The per-window DAG is forward dataflow, so the whole thing fuses into ONE submission:
+    // stage j's inputs from stage src become slot refs naming src's command. (Fusing per
+    // topologically-independent level would already amortize the switches; forward slot refs
+    // subsume the levels entirely.) Stage skipping — a stage whose inputs are all empty — is
+    // decided here, exactly as the unfused loop decides it.
+    CmdBuffer buffer;
+    std::vector<int> cmd_of(stages.size(), -1);  // stage -> command index, -1 = skipped
+    for (size_t j = 0; j < stages.size(); ++j) {
+      std::vector<OpaqueRef> inputs = gather_inputs(j, [&](int src) {
+        return cmd_of[src] >= 0
+                   ? std::vector<OpaqueRef>{MakeSlotRef(static_cast<uint32_t>(cmd_of[src]))}
+                   : std::vector<OpaqueRef>{};
+      });
+      if (inputs.empty()) {
+        continue;
+      }
+      CmdBuffer::Entry entry;
+      entry.op = stages[j].op;
+      entry.params = stages[j].params;
+      entry.inputs = std::move(inputs);
+      entry.hint = close_hint;
+      buffer.Push(std::move(entry));
+      cmd_of[j] = static_cast<int>(buffer.size()) - 1;
     }
-    InvokeRequest req;
-    req.op = stage.op;
-    req.params = stage.params;
-    req.inputs = std::move(inputs);
-    req.hint = close_hint;
-    auto resp = dp_->Invoke(req);
-    if (!resp.ok()) {
-      NoteError(resp.status());
-      return;
+    if (!buffer.empty()) {
+      auto resp = dp_->Submit(buffer);
+      if (!resp.ok()) {
+        NoteError(resp.status());
+        return;
+      }
+      for (size_t j = 0; j < stages.size(); ++j) {
+        if (cmd_of[j] < 0) {
+          continue;
+        }
+        for (const OutputInfo& out : resp->outputs[cmd_of[j]]) {
+          if (out.ref != 0) {  // intermediates were consumed inside the TEE
+            stage_outputs[j].push_back(out.ref);
+          }
+        }
+      }
     }
-    for (const OutputInfo& out : resp->outputs) {
-      stage_outputs[j].push_back(out.ref);
+  } else {
+    for (size_t j = 0; j < stages.size(); ++j) {
+      std::vector<OpaqueRef> inputs =
+          gather_inputs(j, [&](int src) { return stage_outputs[src]; });
+      if (inputs.empty()) {
+        continue;
+      }
+      InvokeRequest req;
+      req.op = stages[j].op;
+      req.params = stages[j].params;
+      req.inputs = std::move(inputs);
+      req.hint = close_hint;
+      auto resp = dp_->Invoke(req);
+      if (!resp.ok()) {
+        NoteError(resp.status());
+        return;
+      }
+      for (const OutputInfo& out : resp->outputs) {
+        stage_outputs[j].push_back(out.ref);
+      }
     }
   }
 

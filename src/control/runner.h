@@ -34,6 +34,11 @@ struct RunnerConfig {
   bool use_hints = true;
   // Backpressure: stall ingestion while the data plane reports high pool utilization.
   bool block_on_backpressure = true;
+  // Fused boundary crossings: per-batch chains and the window-close DAG go through
+  // DataPlane::Submit (one world switch per chain) instead of one Invoke per step. Off
+  // reproduces the paper's call-per-primitive boundary — the fig9 comparison series and the
+  // fused-vs-unfused equivalence property tests rely on both paths staying byte-identical.
+  bool fuse_chains = true;
 };
 
 struct WindowResult {
@@ -42,8 +47,12 @@ struct WindowResult {
   ProcTimeUs watermark_time = 0;
   ProcTimeUs egress_time = 0;
 
+  // Clamped at 0: clock skew between the watermark and egress timestamps (coarse clocks in
+  // tests, NTP steps in deployment) must not underflow into a bogus multi-day delay.
   uint32_t delay_ms() const {
-    return static_cast<uint32_t>((egress_time - watermark_time) / 1000);
+    return egress_time >= watermark_time
+               ? static_cast<uint32_t>((egress_time - watermark_time) / 1000)
+               : 0;
   }
 };
 
@@ -130,6 +139,9 @@ class Runner {
   DataPlane* dp_;
   Pipeline pipeline_;
   RunnerConfig config_;
+  // The per-batch chain, compiled once at construction and stamped into a CmdBuffer per
+  // segment (fused mode).
+  CmdChainTemplate chain_template_;
 
   // Task pool.
   std::mutex qmu_;

@@ -28,7 +28,11 @@
 
 namespace sbt {
 
-inline constexpr uint32_t kCheckpointVersion = 1;
+// v2: the 0x51e7-tagged slot-ref range (src/core/opaque_ref.h) is reserved — a v1 seal could
+// contain a random ref in that range (p = 2^-16 per ref) that RegisterExisting now rejects, so
+// v1 seals are refused deterministically at the version gate instead of failing one-in-65536
+// restores with a corruption-shaped error.
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 // The sealed artifact. Everything here is safe to hand to the untrusted host: the payload is
 // ciphertext and the MAC covers header fields and ciphertext alike.

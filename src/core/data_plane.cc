@@ -40,13 +40,26 @@ void FlushSharedBuffer(const uint8_t* data, size_t len) {
 #endif
 }
 
-Status RequireInputCount(const InvokeRequest& request, size_t min_inputs, size_t max_inputs) {
-  if (request.inputs.size() < min_inputs || request.inputs.size() > max_inputs) {
-    return InvalidArgument("wrong number of inputs for " +
-                           std::string(PrimitiveOpName(request.op)));
+Status RequireInputCount(PrimitiveOp op, size_t count, size_t min_inputs, size_t max_inputs) {
+  if (count < min_inputs || count > max_inputs) {
+    return InvalidArgument("wrong number of inputs for " + std::string(PrimitiveOpName(op)));
   }
   return OkStatus();
 }
+
+// Marks an Invoke/Submit chain as inside the TEE for the checkpoint atomicity guard.
+class InflightGuard {
+ public:
+  explicit InflightGuard(std::atomic<int>* count) : count_(count) {
+    count_->fetch_add(1, std::memory_order_relaxed);
+  }
+  ~InflightGuard() { count_->fetch_sub(1, std::memory_order_relaxed); }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+ private:
+  std::atomic<int>* count_;
+};
 
 }  // namespace
 
@@ -81,14 +94,22 @@ DataPlane::DataPlane(const DataPlaneConfig& config)
   adaptive_threshold_.store(config_.backpressure_threshold, std::memory_order_relaxed);
 }
 
-Result<PlacementHint> DataPlane::TranslateHint(const HintRequest& hint, AuditRecord* record) {
+Result<PlacementHint> DataPlane::TranslateHint(
+    const HintRequest& hint, AuditRecord* record,
+    const std::function<Result<uint64_t>(OpaqueRef)>* resolve_slot) {
   switch (hint.kind) {
     case HintRequest::Kind::kNone:
       return PlacementHint::None();
     case HintRequest::Kind::kAfter: {
-      SBT_ASSIGN_OR_RETURN(const OpaqueRefTable::Entry entry, refs_.Resolve(hint.after));
-      record->hints.push_back(AuditHint::After(static_cast<uint32_t>(entry.array_id)));
-      return PlacementHint::After(entry.array_id);
+      uint64_t array_id = 0;
+      if (IsSlotRef(hint.after) && resolve_slot != nullptr) {
+        SBT_ASSIGN_OR_RETURN(array_id, (*resolve_slot)(hint.after));
+      } else {
+        SBT_ASSIGN_OR_RETURN(const OpaqueRefTable::Entry entry, refs_.Resolve(hint.after));
+        array_id = entry.array_id;
+      }
+      record->hints.push_back(AuditHint::After(static_cast<uint32_t>(array_id)));
+      return PlacementHint::After(array_id);
     }
     case HintRequest::Kind::kParallel:
       record->hints.push_back(AuditHint::Parallel(hint.lane));
@@ -117,163 +138,287 @@ void DataPlane::AppendAudit(AuditRecord record) {
   audit_cycles_.fetch_add(ReadCycleCounter() - t0, std::memory_order_relaxed);
 }
 
+Result<DataPlane::ResolvedInput> DataPlane::ResolveTableInput(OpaqueRef ref) {
+  SBT_ASSIGN_OR_RETURN(const OpaqueRefTable::Entry entry, refs_.Resolve(ref));
+  UArray* array = alloc_.Find(entry.array_id);
+  if (array == nullptr) {
+    return Internal("live reference to reclaimed uArray");
+  }
+  return ResolvedInput{array, entry.stream};
+}
+
 Result<InvokeResponse> DataPlane::Invoke(const InvokeRequest& request) {
+  // A call-per-primitive invocation IS a one-command chain: routing it through Submit keeps
+  // exactly one implementation of the boundary sequence (resolve, hint, dispatch, retire,
+  // audit), so the two entry points cannot drift apart. For a single command the semantics
+  // coincide — no slots exist, every output is registered, failure retires nothing.
+  CmdBuffer buffer;
+  buffer.Push(CmdBuffer::Entry{request.op, request.inputs, request.params, request.hint,
+                               request.retire_inputs});
+  SBT_ASSIGN_OR_RETURN(SubmitResponse submitted, Submit(buffer));
+  InvokeResponse response;
+  response.outputs = std::move(submitted.outputs[0]);
+  return response;
+}
+
+Result<SubmitResponse> DataPlane::Submit(const CmdBuffer& buffer) {
   const uint64_t t0 = ReadCycleCounter();
+  const std::vector<CmdBuffer::Entry>& cmds = buffer.entries();
+  if (cmds.empty()) {
+    return InvalidArgument("empty command buffer");
+  }
+  InflightGuard inflight(&inflight_chains_);
+  // The whole chain crosses the boundary once — this single session is the point of fusion.
   auto session = gate_.Enter();
 
-  // Validate every operand reference before touching anything (boundary hardening).
-  std::vector<UArray*> inputs;
-  inputs.reserve(request.inputs.size());
-  uint16_t stream = 0;
-  AuditRecord record;
-  record.op = request.op;
-  for (size_t i = 0; i < request.inputs.size(); ++i) {
-    SBT_ASSIGN_OR_RETURN(const OpaqueRefTable::Entry entry, refs_.Resolve(request.inputs[i]));
-    UArray* array = alloc_.Find(entry.array_id);
-    if (array == nullptr) {
-      return Internal("live reference to reclaimed uArray");
-    }
-    if (i == 0) {
-      stream = entry.stream;
-    }
-    inputs.push_back(array);
-    record.inputs.push_back(static_cast<uint32_t>(entry.array_id));
-  }
-  record.stream = stream;
+  // Output of one executed command, addressable by later commands via its slot ref. The array
+  // pointer is only valid until the slot is consumed (the consuming command retires it).
+  struct Slot {
+    UArray* array = nullptr;
+    uint64_t array_id = 0;
+    uint64_t elems = 0;
+    uint16_t stream = 0;
+    uint32_t win_no = 0;
+    bool consumed = false;
+  };
+  std::vector<std::vector<Slot>> slots(cmds.size());
 
-  PrimitiveContext ctx;
-  ctx.alloc = &alloc_;
-  ctx.sort_impl = config_.sort_impl;
-  // Generation tag for the no-hint baseline: "all uArrays produced by the same primitive belong
-  // to the same generation" (paper §9.3, Figure 10's heuristic).
-  ctx.generation = static_cast<uint64_t>(request.op);
-  SBT_ASSIGN_OR_RETURN(ctx.hint, TranslateHint(request.hint, &record));
+  auto fail = [&](Status status) -> Result<SubmitResponse> {
+    // A failed chain reclaims every intermediate nothing consumed: the prefix's effects stand
+    // (it executed and was audited, like the unfused prefix would be), but no half-built chain
+    // state survives in the table or the pool.
+    for (std::vector<Slot>& produced : slots) {
+      for (Slot& slot : produced) {
+        if (!slot.consumed) {
+          alloc_.Retire(slot.array);
+        }
+      }
+    }
+    invoke_cycles_.fetch_add(ReadCycleCounter() - t0, std::memory_order_relaxed);
+    return status;
+  };
 
-  auto response = Dispatch(request, ctx, inputs, stream, &record);
-  if (response.ok()) {
-    if (request.retire_inputs) {
-      for (size_t i = 0; i < request.inputs.size(); ++i) {
-        refs_.Remove(request.inputs[i]);
-        alloc_.Retire(inputs[i]);
+  for (size_t i = 0; i < cmds.size(); ++i) {
+    const CmdBuffer::Entry& cmd = cmds[i];
+    AuditRecord record;
+    record.op = cmd.op;
+
+    // Resolve operands: slot refs against this chain's earlier outputs, table refs as Invoke
+    // would. Both validations happen before the command touches anything.
+    auto find_slot = [&](OpaqueRef ref) -> Result<Slot*> {
+      const uint32_t ci = SlotRefCommand(ref);
+      const uint16_t oi = SlotRefOutput(ref);
+      if (ci >= i || oi >= slots[ci].size()) {
+        return InvalidArgument("forged or forward-pointing slot reference (rejected)");
+      }
+      Slot& slot = slots[ci][oi];
+      if (slot.consumed) {
+        return NotFound("slot reference already consumed within this chain");
+      }
+      return &slot;
+    };
+    std::vector<UArray*> inputs;
+    std::vector<Slot*> slot_inputs(cmd.inputs.size(), nullptr);
+    uint16_t stream = 0;
+    for (size_t j = 0; j < cmd.inputs.size(); ++j) {
+      const OpaqueRef ref = cmd.inputs[j];
+      UArray* array = nullptr;
+      uint16_t ref_stream = 0;
+      if (IsSlotRef(ref)) {
+        auto slot = find_slot(ref);
+        if (!slot.ok()) {
+          return fail(slot.status());
+        }
+        array = (*slot)->array;
+        ref_stream = (*slot)->stream;
+        slot_inputs[j] = *slot;
+      } else {
+        auto in = ResolveTableInput(ref);
+        if (!in.ok()) {
+          return fail(in.status());
+        }
+        array = in->array;
+        ref_stream = in->stream;
+      }
+      if (j == 0) {
+        stream = ref_stream;
+      }
+      inputs.push_back(array);
+      record.inputs.push_back(static_cast<uint32_t>(array->id()));
+    }
+    record.stream = stream;
+
+    PrimitiveContext ctx;
+    ctx.alloc = &alloc_;
+    ctx.sort_impl = config_.sort_impl;
+    ctx.generation = static_cast<uint64_t>(cmd.op);
+    const std::function<Result<uint64_t>(OpaqueRef)> resolve_hint_slot =
+        [&](OpaqueRef ref) -> Result<uint64_t> {
+      SBT_ASSIGN_OR_RETURN(Slot * slot, find_slot(ref));
+      return slot->array_id;
+    };
+    {
+      auto hint = TranslateHint(cmd.hint, &record, &resolve_hint_slot);
+      if (!hint.ok()) {
+        return fail(hint.status());
+      }
+      ctx.hint = *hint;
+    }
+
+    auto produced = Dispatch(cmd.op, cmd.params, ctx, inputs, &record);
+    if (!produced.ok()) {
+      return fail(produced.status());
+    }
+    session.Annotate(static_cast<uint16_t>(cmd.op));
+
+    if (cmd.retire_inputs) {
+      for (size_t j = 0; j < cmd.inputs.size(); ++j) {
+        if (slot_inputs[j] != nullptr) {
+          if (!slot_inputs[j]->consumed) {
+            slot_inputs[j]->consumed = true;
+            alloc_.Retire(inputs[j]);
+          }
+        } else {
+          refs_.Remove(cmd.inputs[j]);
+          alloc_.Retire(inputs[j]);
+        }
       }
     }
     AppendAudit(std::move(record));
+    for (const ProducedOutput& out : *produced) {
+      slots[i].push_back(Slot{out.array, out.array->id(), out.array->size(), stream,
+                              out.win_no, false});
+    }
+  }
+
+  // Only chain-surviving outputs materialize as table refs for the normal world; everything a
+  // later command consumed lived and died inside the TEE.
+  SubmitResponse response;
+  response.outputs.resize(cmds.size());
+  for (size_t i = 0; i < cmds.size(); ++i) {
+    for (Slot& slot : slots[i]) {
+      OutputInfo info;
+      info.elems = slot.elems;
+      info.win_no = slot.win_no;
+      if (!slot.consumed) {
+        info.ref = refs_.Register(slot.array_id, slot.stream);
+      }
+      response.outputs[i].push_back(info);
+    }
   }
   invoke_cycles_.fetch_add(ReadCycleCounter() - t0, std::memory_order_relaxed);
   return response;
 }
 
-Result<InvokeResponse> DataPlane::Dispatch(const InvokeRequest& request,
-                                           const PrimitiveContext& ctx,
-                                           const std::vector<UArray*>& inputs, uint16_t stream,
-                                           AuditRecord* record) {
-  InvokeResponse response;
-  const InvokeParams& p = request.params;
-
-  auto single_output = [&](Result<UArray*> out) -> Result<InvokeResponse> {
+Result<std::vector<DataPlane::ProducedOutput>> DataPlane::Dispatch(
+    PrimitiveOp op, const InvokeParams& p, const PrimitiveContext& ctx,
+    const std::vector<UArray*>& inputs, AuditRecord* record) {
+  auto single_output = [&](Result<UArray*> out) -> Result<std::vector<ProducedOutput>> {
     if (!out.ok()) {
       return out.status();
     }
-    response.outputs.push_back(RegisterOutput(*out, stream, record));
-    return response;
+    record->outputs.push_back(static_cast<uint32_t>((*out)->id()));
+    return std::vector<ProducedOutput>{ProducedOutput{*out, 0}};
   };
 
-  switch (request.op) {
+  switch (op) {
     case PrimitiveOp::kSegment: {
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       const SlidingWindowFn window_fn{
           p.window_size_ms,
           p.window_slide_ms == 0 ? p.window_size_ms : p.window_slide_ms};
       SBT_ASSIGN_OR_RETURN(auto segments, PrimSegment(ctx, *inputs[0], window_fn));
+      std::vector<ProducedOutput> produced;
+      produced.reserve(segments.size());
       for (const SegmentOutput& seg : segments) {
-        response.outputs.push_back(
-            RegisterOutput(seg.events, stream, record, seg.window_index));
+        record->outputs.push_back(static_cast<uint32_t>(seg.events->id()));
         record->win_nos.push_back(static_cast<uint16_t>(seg.window_index));
+        produced.push_back(ProducedOutput{seg.events, seg.window_index});
       }
-      return response;
+      return produced;
     }
     case PrimitiveOp::kFilterBand:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimFilterBand(ctx, *inputs[0], p.lo, p.hi));
     case PrimitiveOp::kSelect:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimSelect(ctx, *inputs[0], p.key));
     case PrimitiveOp::kProject:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimProject(ctx, *inputs[0]));
     case PrimitiveOp::kScale:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimScale(ctx, *inputs[0], p.factor));
     case PrimitiveOp::kSample:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimSample(ctx, *inputs[0], p.stride));
     case PrimitiveOp::kMinMax:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimMinMax(ctx, *inputs[0]));
     case PrimitiveOp::kHistogram:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(
           PrimHistogram(ctx, *inputs[0], p.hist_base, p.hist_width, p.hist_buckets));
     case PrimitiveOp::kSum:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimSum(ctx, *inputs[0]));
     case PrimitiveOp::kCount:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimCount(ctx, *inputs[0]));
     case PrimitiveOp::kSort:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimSort(ctx, *inputs[0]));
     case PrimitiveOp::kMerge:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 2, 2));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 2, 2));
       return single_output(PrimMerge(ctx, *inputs[0], *inputs[1]));
     case PrimitiveOp::kMergeN: {
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 4096));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 4096));
       std::vector<const UArray*> ins(inputs.begin(), inputs.end());
       return single_output(PrimMergeN(ctx, ins));
     }
     case PrimitiveOp::kSumCnt:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimSumCnt(ctx, *inputs[0]));
     case PrimitiveOp::kMergeSumCnt:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 2, 2));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 2, 2));
       return single_output(PrimMergeSumCnt(ctx, *inputs[0], *inputs[1]));
     case PrimitiveOp::kTopK:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimTopKPerKey(ctx, *inputs[0], p.k));
     case PrimitiveOp::kUnique:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimUnique(ctx, *inputs[0]));
     case PrimitiveOp::kCountPerKey:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimCountPerKey(ctx, *inputs[0]));
     case PrimitiveOp::kMedian:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimMedianPerKey(ctx, *inputs[0]));
     case PrimitiveOp::kDedup:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimDedup(ctx, *inputs[0]));
     case PrimitiveOp::kJoin:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 2, 2));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 2, 2));
       return single_output(PrimJoin(ctx, *inputs[0], *inputs[1]));
     case PrimitiveOp::kAverage:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimAverage(ctx, *inputs[0]));
     case PrimitiveOp::kEwma:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 2, 2));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 2, 2));
       return single_output(PrimEwma(ctx, *inputs[0], *inputs[1], p.alpha_num, p.alpha_den));
     case PrimitiveOp::kConcat: {
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 4096));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 4096));
       std::vector<const UArray*> ins(inputs.begin(), inputs.end());
       return single_output(PrimConcat(ctx, ins));
     }
     case PrimitiveOp::kCompact:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimCompact(ctx, *inputs[0]));
     case PrimitiveOp::kRekey:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimRekey(ctx, *inputs[0], p.shift));
     case PrimitiveOp::kAboveMean:
-      SBT_RETURN_IF_ERROR(RequireInputCount(request, 1, 1));
+      SBT_RETURN_IF_ERROR(RequireInputCount(op, inputs.size(), 1, 1));
       return single_output(PrimAboveMean(ctx, *inputs[0]));
     case PrimitiveOp::kIngress:
     case PrimitiveOp::kEgress:
@@ -331,6 +476,7 @@ Result<OutputInfo> DataPlane::IngestBatch(std::span<const uint8_t> frame, size_t
   record.stream = stream;
   const OutputInfo info = RegisterOutput(batch, stream, &record);
   AppendAudit(std::move(record));
+  session.Annotate(static_cast<uint16_t>(PrimitiveOp::kIngress));
   invoke_cycles_.fetch_add(ReadCycleCounter() - t0, std::memory_order_relaxed);
   return info;
 }
@@ -342,6 +488,7 @@ Status DataPlane::IngestWatermark(EventTimeMs value, uint16_t stream) {
   record.watermark = value;
   record.stream = stream;
   AppendAudit(std::move(record));
+  session.Annotate(static_cast<uint16_t>(PrimitiveOp::kWatermark));
   return OkStatus();
 }
 
@@ -376,6 +523,7 @@ Result<EgressBlob> DataPlane::Egress(OpaqueRef ref) {
 
   refs_.Remove(ref);
   alloc_.Retire(array);
+  session.Annotate(static_cast<uint16_t>(PrimitiveOp::kEgress));
   invoke_cycles_.fetch_add(ReadCycleCounter() - t0, std::memory_order_relaxed);
   return blob;
 }
@@ -431,6 +579,14 @@ Sha256Digest DataPlane::audit_chain_head() const {
 
 Result<DataPlane::CheckpointBundle> DataPlane::Checkpoint(
     std::span<const uint8_t> control_annex) {
+  // A command chain inside the TEE is atomic with respect to checkpoints: its intermediates
+  // live in slots no table snapshot can see, so sealing mid-chain would capture a state no
+  // unfused schedule can reach. The control plane's drain (Runner::Drain) is the actual
+  // guarantee; this relaxed-load check is a best-effort backstop that catches undrained
+  // callers, not a synchronization point against chains racing the seal.
+  if (inflight_chains() != 0) {
+    return FailedPrecondition("checkpoint while an Invoke/Submit chain is inside the TEE");
+  }
   auto session = gate_.Enter();
 
   // Enumerate live state through the reference table (live refs and live arrays are 1:1 in a
@@ -573,6 +729,7 @@ DataPlaneCycleStats DataPlane::cycle_stats() const {
   s.invoke_cycles = invoke_cycles_.load(std::memory_order_relaxed);
   s.switch_cycles = gate_.stats().burned_cycles;
   s.switch_entries = gate_.stats().entries;
+  s.switch_ops = gate_.stats().annotated_ops;
   s.memmgmt_cycles = alloc_.stats().cycles;
   s.audit_cycles = audit_cycles_.load(std::memory_order_relaxed);
   s.audit_records = audit_records_.load(std::memory_order_relaxed);

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -35,6 +36,7 @@
 #include "src/common/status.h"
 #include "src/common/time.h"
 #include "src/core/checkpoint.h"
+#include "src/core/cmd_buffer.h"
 #include "src/core/opaque_ref.h"
 #include "src/crypto/aes128.h"
 #include "src/crypto/sha256.h"
@@ -78,39 +80,8 @@ struct DataPlaneConfig {
   double adaptive_floor = 0.50;  // never tighten below this utilization
 };
 
-// Consumption hint expressed in boundary vocabulary (opaque refs, not uArray ids).
-struct HintRequest {
-  enum class Kind : uint8_t { kNone = 0, kAfter = 1, kParallel = 2 };
-  Kind kind = Kind::kNone;
-  OpaqueRef after = 0;
-  uint32_t lane = 0;
-
-  static HintRequest None() { return HintRequest{}; }
-  static HintRequest After(OpaqueRef ref) {
-    return HintRequest{Kind::kAfter, ref, 0};
-  }
-  static HintRequest Parallel(uint32_t lane) {
-    return HintRequest{Kind::kParallel, 0, lane};
-  }
-};
-
-// Parameters for the parameterized primitives; unused fields ignored.
-struct InvokeParams {
-  uint32_t window_size_ms = 0;   // Segment
-  uint32_t window_slide_ms = 0;  // Segment: 0 = fixed windows (slide == size)
-  uint32_t k = 0;               // TopK
-  int32_t lo = 0;               // FilterBand
-  int32_t hi = 0;
-  int32_t factor = 1;           // Scale
-  uint32_t stride = 1;          // Sample
-  uint32_t key = 0;             // Select
-  int32_t hist_base = 0;        // Histogram
-  uint32_t hist_width = 1;
-  uint32_t hist_buckets = 1;
-  uint32_t alpha_num = 1;       // Ewma
-  uint32_t alpha_den = 2;
-  uint32_t shift = 0;           // Rekey
-};
+// HintRequest and InvokeParams — the boundary vocabulary shared by call-per-primitive Invoke
+// and fused command-buffer submission — live in src/core/cmd_buffer.h.
 
 struct InvokeRequest {
   PrimitiveOp op = PrimitiveOp::kCompact;
@@ -132,6 +103,13 @@ struct InvokeResponse {
   std::vector<OutputInfo> outputs;
 };
 
+// Result of a fused command-buffer submission. outputs[i] aligns with buffer entry i; an
+// output that a later command in the same chain consumed never materialized as a table ref
+// and reports ref == 0 (its element count is still visible for scheduling).
+struct SubmitResponse {
+  std::vector<std::vector<OutputInfo>> outputs;
+};
+
 // Encrypted, signed result leaving the edge.
 struct EgressBlob {
   std::vector<uint8_t> ciphertext;
@@ -146,9 +124,18 @@ struct DataPlaneCycleStats {
   uint64_t invoke_cycles = 0;     // total cycles inside the TEE boundary
   uint64_t switch_cycles = 0;     // world-switch cost (entry+exit burns)
   uint64_t switch_entries = 0;    // number of TEE entries
+  uint64_t switch_ops = 0;        // boundary ops annotated onto entries (Session::Annotate)
   uint64_t memmgmt_cycles = 0;    // allocator placement/reclaim
   uint64_t audit_cycles = 0;      // audit-record generation
   uint64_t audit_records = 0;
+
+  // Ops amortized per world switch: 1 for a call-per-primitive boundary, the chain length for
+  // fused command-buffer submission (the fig9 "win" column).
+  double ops_per_entry() const {
+    return switch_entries == 0
+               ? 0.0
+               : static_cast<double>(switch_ops) / static_cast<double>(switch_entries);
+  }
 };
 
 class DataPlane {
@@ -162,6 +149,17 @@ class DataPlane {
 
   // Single shared entry for all trusted primitives.
   Result<InvokeResponse> Invoke(const InvokeRequest& request);
+
+  // Fused entry: executes a whole command chain under ONE world-switch session, one audit
+  // record per command (byte-identical replay vs. the equivalent Invoke-per-step stream).
+  // Intra-chain dataflow uses slot refs; intermediates consumed inside the chain are retired
+  // in the secure world without ever becoming table refs. A failure at command k takes effect
+  // exactly like the unfused prefix would — commands before k are executed, audited, and their
+  // inputs retired — except that k's and the prefix's unconsumed outputs are reclaimed rather
+  // than leaked, and the error is returned. Forged or forward-pointing slot refs fail with
+  // kInvalidArgument, an already-consumed slot ref with kNotFound (mirroring a retired table
+  // ref) — in both cases before any primitive runs in that command.
+  Result<SubmitResponse> Submit(const CmdBuffer& buffer);
 
   // Ingests one event frame. With kTrustedIo the frame models a DMA landing in secure memory
   // (single placement copy); with kViaOs an extra staging copy across the boundary is paid.
@@ -196,7 +194,8 @@ class DataPlane {
   // allocator and egress-cipher positions, flow-control state) plus the caller's opaque
   // `control_annex`, seals it with the tenant keys, and flushes the audit log so the chain
   // position embedded in the seal is current. The caller must have drained all in-flight work
-  // (Runner::Drain); an open uArray fails with kFailedPrecondition.
+  // (Runner::Drain); an open uArray or an Invoke/Submit chain still inside the TEE fails with
+  // kFailedPrecondition (a command buffer is atomic with respect to checkpoints).
   Result<CheckpointBundle> Checkpoint(std::span<const uint8_t> control_annex = {});
 
   // Restores a sealed checkpoint into this freshly constructed data plane (same tenant keys)
@@ -231,12 +230,35 @@ class DataPlane {
 
   void ResetCycleStats();
 
+  // Boundary calls currently inside the TEE (Invoke/Submit chains). Checkpoint refuses to run
+  // while nonzero: an in-flight command buffer is atomic — it either completes before the seal
+  // or happens entirely after the restore, never half of each.
+  int inflight_chains() const { return inflight_chains_.load(std::memory_order_relaxed); }
+
  private:
-  Result<InvokeResponse> Dispatch(const InvokeRequest& request, const PrimitiveContext& ctx,
-                                  const std::vector<UArray*>& inputs, uint16_t stream,
-                                  AuditRecord* record);
-  // Translates a boundary hint to an allocator hint + audit form.
-  Result<PlacementHint> TranslateHint(const HintRequest& hint, AuditRecord* record);
+  struct ProducedOutput {
+    UArray* array = nullptr;
+    uint32_t win_no = 0;
+  };
+  struct ResolvedInput {
+    UArray* array = nullptr;
+    uint16_t stream = 0;
+  };
+  // Boundary hardening shared by Invoke and Submit: validates a table ref (slot-tagged and
+  // forged refs rejected) and maps it to its live array.
+  Result<ResolvedInput> ResolveTableInput(OpaqueRef ref);
+  // Executes one primitive over already-resolved inputs, filling the audit record's input/
+  // output ids. Registration of outputs as table refs is the caller's concern: Invoke
+  // registers everything, Submit only what survives the chain.
+  Result<std::vector<ProducedOutput>> Dispatch(PrimitiveOp op, const InvokeParams& params,
+                                               const PrimitiveContext& ctx,
+                                               const std::vector<UArray*>& inputs,
+                                               AuditRecord* record);
+  // Translates a boundary hint to an allocator hint + audit form. `resolve_slot` maps a
+  // slot-tagged After target to its uArray id (null outside a command buffer).
+  Result<PlacementHint> TranslateHint(
+      const HintRequest& hint, AuditRecord* record,
+      const std::function<Result<uint64_t>(OpaqueRef)>* resolve_slot = nullptr);
   OutputInfo RegisterOutput(UArray* array, uint16_t stream, AuditRecord* record,
                             uint32_t win_no = 0);
   void AppendAudit(AuditRecord record);
@@ -266,6 +288,7 @@ class DataPlane {
   std::atomic<uint64_t> audit_cycles_{0};
   std::atomic<uint64_t> audit_records_{0};
   std::atomic<uint64_t> egress_ctr_offset_{0};
+  std::atomic<int> inflight_chains_{0};
 
   // Adaptive flow control state (see DataPlaneConfig::adaptive_backpressure).
   void UpdateAdaptiveThreshold();

@@ -22,6 +22,27 @@ namespace sbt {
 
 using OpaqueRef = uint64_t;
 
+// --- virtual slot references (command-buffer dataflow, src/core/cmd_buffer.h) ---
+//
+// A slot ref names the output of an earlier command in the same CmdBuffer instead of a live
+// table entry: layout tag(16) | command index(32) | output index(16). Chain intermediates flow
+// through slots entirely inside the TEE and are never registered, so no OpaqueRef for them ever
+// materializes in the normal world. The tag makes slot refs syntactically disjoint from table
+// refs — Register/RegisterExisting never admit a tagged value and Resolve rejects one outright —
+// so a slot ref that is forged, points forward, or is submitted raw (outside Submit) can never
+// alias a live array.
+inline constexpr uint64_t kSlotRefTag = 0x51e7ull << 48;
+inline constexpr uint64_t kSlotRefTagMask = 0xffffull << 48;
+
+constexpr bool IsSlotRef(OpaqueRef ref) { return (ref & kSlotRefTagMask) == kSlotRefTag; }
+constexpr OpaqueRef MakeSlotRef(uint32_t command, uint16_t output = 0) {
+  return kSlotRefTag | (static_cast<uint64_t>(command) << 16) | output;
+}
+constexpr uint32_t SlotRefCommand(OpaqueRef ref) {
+  return static_cast<uint32_t>((ref >> 16) & 0xffffffffull);
+}
+constexpr uint16_t SlotRefOutput(OpaqueRef ref) { return static_cast<uint16_t>(ref & 0xffffull); }
+
 class OpaqueRefTable {
  public:
   OpaqueRefTable() : rng_(UnpredictableSeed()) {}
@@ -37,13 +58,18 @@ class OpaqueRefTable {
     OpaqueRef ref = 0;
     do {
       ref = rng_.Next();
-    } while (ref == 0 || live_.contains(ref));
+    } while (ref == 0 || IsSlotRef(ref) || live_.contains(ref));
     live_[ref] = Entry{array_id, stream};
     return ref;
   }
 
-  // Validates and resolves a reference. NotFound for anything not currently live.
+  // Validates and resolves a reference. NotFound for anything not currently live; a
+  // slot-tagged ref arriving here left its command buffer (or was forged) and is rejected
+  // before the table is even consulted.
   Result<Entry> Resolve(OpaqueRef ref) const {
+    if (IsSlotRef(ref)) {
+      return InvalidArgument("slot-tagged reference submitted outside its command buffer");
+    }
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = live_.find(ref);
     if (it == live_.end()) {
@@ -65,6 +91,9 @@ class OpaqueRefTable {
     std::lock_guard<std::mutex> lock(mu_);
     if (ref == 0) {
       return DataLoss("restored opaque reference is the reserved zero value");
+    }
+    if (IsSlotRef(ref)) {
+      return DataLoss("restored opaque reference carries the reserved slot tag");
     }
     if (!live_.insert({ref, Entry{array_id, stream}}).second) {
       return DataLoss("restored opaque reference collides with a live one");

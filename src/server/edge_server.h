@@ -39,7 +39,12 @@
 // Checkpoint / recovery / elastic resize. CheckpointShard quiesces one shard (its sources
 // stall at the frontends, its queue drains, its runners drain) and seals every resident
 // engine's secure-world state into a tenant-keyed checkpoint (src/core/checkpoint.h), plus the
-// audit-chain link flushed at seal time. RestoreShard re-instantiates those engines — on the
+// audit-chain link flushed at seal time. A fused command buffer in flight on a dispatcher is
+// atomic with respect to all of this: the runner drain waits for the whole Submit task (the
+// guarantee), and DataPlane::Checkpoint additionally refuses when it can see a chain inside
+// the TEE (a best-effort backstop against undrained callers) — so a seal never splits a chain
+// and a restored engine resumes at a state some unfused schedule could also have reached.
+// RestoreShard re-instantiates those engines — on the
 // same server after a simulated crash, or a different one — verifying that each checkpoint
 // continues its tenant's audit hash chain (a stale or forked checkpoint is rejected: recovery
 // is tamper-evident). Resize(N') drains everything once, checkpoints every engine, rebuilds

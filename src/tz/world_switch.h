@@ -12,6 +12,7 @@
 #ifndef SRC_TZ_WORLD_SWITCH_H_
 #define SRC_TZ_WORLD_SWITCH_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 
@@ -36,6 +37,14 @@ struct WorldSwitchStats {
   // Aborted-and-retried entries (SMC faults; only injected via the "world_switch.fault"
   // fail point in this emulation). Each fault burns one extra entry cost.
   uint64_t faults = 0;
+  // Boundary operations annotated onto sessions (Session::Annotate). A call-per-primitive
+  // boundary runs one op per entry; fused command-buffer submission amortizes many ops over a
+  // single entry — the Figure 9 batching argument, made visible.
+  uint64_t annotated_ops = 0;
+
+  double ops_per_entry() const {
+    return entries == 0 ? 0.0 : static_cast<double>(annotated_ops) / static_cast<double>(entries);
+  }
 };
 
 class WorldSwitchGate {
@@ -43,10 +52,15 @@ class WorldSwitchGate {
   explicit WorldSwitchGate(const WorldSwitchConfig& config = WorldSwitchConfig{})
       : config_(config) {}
 
-  // RAII session: constructor pays the entry cost, destructor the exit cost.
+  // RAII session: constructor pays the entry cost, destructor the exit cost. Move-assignable so
+  // a long-lived session variable can be re-pointed at a fresh entry (the old session pays its
+  // exit first, exactly as if it had gone out of scope).
   class Session {
    public:
-    explicit Session(WorldSwitchGate* gate) : gate_(gate) { gate_->PayEntry(); }
+    explicit Session(WorldSwitchGate* gate) : gate_(gate) {
+      gate_->PayEntry();
+      mark_ = ReadCycleCounter();
+    }
     ~Session() {
       if (gate_ != nullptr) {
         gate_->PayExit();
@@ -54,10 +68,38 @@ class WorldSwitchGate {
     }
     Session(const Session&) = delete;
     Session& operator=(const Session&) = delete;
-    Session(Session&& other) noexcept : gate_(other.gate_) { other.gate_ = nullptr; }
+    Session(Session&& other) noexcept : gate_(other.gate_), mark_(other.mark_) {
+      other.gate_ = nullptr;
+    }
+    Session& operator=(Session&& other) noexcept {
+      if (this != &other) {
+        if (gate_ != nullptr) {
+          gate_->PayExit();
+        }
+        gate_ = other.gate_;
+        mark_ = other.mark_;
+        other.gate_ = nullptr;
+      }
+      return *this;
+    }
+
+    // Attributes the cycles elapsed since session entry (or since the previous annotation) to
+    // boundary operation `op` — the registry's PrimitiveOp id, passed as its raw value so the
+    // tz layer stays independent of the primitives layer. A fused command-buffer submission
+    // annotates once per executed command; WorldSwitchStats::ops_per_entry() then reports how
+    // many ops each world switch amortized over.
+    void Annotate(uint16_t op) {
+      if (gate_ == nullptr) {
+        return;
+      }
+      const uint64_t now = ReadCycleCounter();
+      gate_->AttributeOp(op, now - mark_);
+      mark_ = now;
+    }
 
    private:
     WorldSwitchGate* gate_;
+    uint64_t mark_ = 0;
   };
 
   Session Enter() { return Session(this); }
@@ -65,18 +107,36 @@ class WorldSwitchGate {
   WorldSwitchStats stats() const {
     return WorldSwitchStats{entries_.load(std::memory_order_relaxed),
                             burned_.load(std::memory_order_relaxed),
-                            faults_.load(std::memory_order_relaxed)};
+                            faults_.load(std::memory_order_relaxed),
+                            ops_.load(std::memory_order_relaxed)};
+  }
+
+  // Cycles attributed to boundary op `op` via Session::Annotate (in-TEE execution time, not
+  // switch burns). Slots alias above kOpCycleSlots; registry ids are far below it.
+  uint64_t op_cycles(uint16_t op) const {
+    return op_cycles_[op % kOpCycleSlots].load(std::memory_order_relaxed);
   }
 
   void ResetStats() {
     entries_.store(0, std::memory_order_relaxed);
     burned_.store(0, std::memory_order_relaxed);
     faults_.store(0, std::memory_order_relaxed);
+    ops_.store(0, std::memory_order_relaxed);
+    for (auto& c : op_cycles_) {
+      c.store(0, std::memory_order_relaxed);
+    }
   }
 
   const WorldSwitchConfig& config() const { return config_; }
 
  private:
+  static constexpr size_t kOpCycleSlots = 64;
+
+  void AttributeOp(uint16_t op, uint64_t cycles) {
+    ops_.fetch_add(1, std::memory_order_relaxed);
+    op_cycles_[op % kOpCycleSlots].fetch_add(cycles, std::memory_order_relaxed);
+  }
+
   void PayEntry() {
     // An injected SMC fault aborts the entry after its cost is paid; the caller's trap is
     // re-issued, so the successful entry below pays the cost a second time.
@@ -104,6 +164,8 @@ class WorldSwitchGate {
   std::atomic<uint64_t> entries_{0};
   std::atomic<uint64_t> burned_{0};
   std::atomic<uint64_t> faults_{0};
+  std::atomic<uint64_t> ops_{0};
+  std::array<std::atomic<uint64_t>, kOpCycleSlots> op_cycles_{};
 };
 
 }  // namespace sbt

@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -57,6 +61,66 @@ TEST_F(BenchScaleTest, ClampsGarbageToOne) {
   EXPECT_EQ(BenchScale(), 1);
   setenv("SBT_BENCH_SCALE", "", 1);
   EXPECT_EQ(BenchScale(), 1);
+}
+
+class JsonReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "bench_json";
+    std::filesystem::create_directories(dir_);
+    setenv("SBT_BENCH_JSON_DIR", dir_.c_str(), 1);
+  }
+  void TearDown() override {
+    unsetenv("SBT_BENCH_JSON_DIR");
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string ReadFile(const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(JsonReportTest, WritesRowsAsFlatJsonArray) {
+  JsonBenchReport report("fig_test");
+  report.BeginRow()
+      .Str("series", "fused")
+      .Int("batch_events", 8000)
+      .Num("switch_pct", 12.5)
+      .Bool("verified", true);
+  report.BeginRow().Str("series", "per-invoke").Int("batch_events", 512000);
+  ASSERT_TRUE(report.Write());
+
+  const std::string path = report.path();
+  EXPECT_EQ(path, dir_ + "/BENCH_fig_test.json");
+  const std::string body = ReadFile(path);
+  EXPECT_NE(body.find("\"series\": \"fused\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"batch_events\": 8000"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"switch_pct\": 12.5"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"verified\": true"), std::string::npos) << body;
+  // Two rows, comma-separated, inside one array.
+  EXPECT_EQ(body.front(), '[');
+  EXPECT_EQ(std::count(body.begin(), body.end(), '{'), 2);
+  EXPECT_NE(body.find("},"), std::string::npos);
+}
+
+TEST_F(JsonReportTest, EscapesStringsAndToleratesMissingBeginRow) {
+  JsonBenchReport report("esc");
+  report.Str("name", "quote\" and \\slash\n");  // first field auto-opens a row
+  ASSERT_TRUE(report.Write());
+  const std::string body = ReadFile(report.path());
+  EXPECT_NE(body.find("quote\\\" and \\\\slash\\u000a"), std::string::npos) << body;
+}
+
+TEST_F(JsonReportTest, UnwritableDirFailsWithoutCrashing) {
+  setenv("SBT_BENCH_JSON_DIR", (dir_ + "/does-not-exist").c_str(), 1);
+  JsonBenchReport report("nope");
+  report.BeginRow().Int("x", 1);
+  EXPECT_FALSE(report.Write());
 }
 
 TEST(PrintHeaderTest, EmitsTitlePaperClaimAndRule) {

@@ -30,9 +30,10 @@ DataPlaneConfig EngineConfig(size_t pool_mb = 8) {
   return cfg;
 }
 
-RunnerConfig SingleWorker() {
+RunnerConfig SingleWorker(bool fuse_chains = true) {
   RunnerConfig rc;
   rc.num_workers = 1;  // deterministic task order => comparable audit streams and egress
+  rc.fuse_chains = fuse_chains;
   return rc;
 }
 
@@ -181,6 +182,57 @@ TEST(CheckpointTest, RestoredEngineContinuesByteIdentically) {
   // The uninterrupted run's single-upload chain verifies too, from a fresh verifier.
   AuditChainVerifier ref_chain(cfg.mac_key);
   EXPECT_TRUE(ref_chain.Accept(ref_upload).ok());
+}
+
+TEST(CheckpointTest, CheckpointDuringFusedRunContinuesAcrossBoundaryModes) {
+  // The default runner is fused (command-buffer submission); the reference above already
+  // proves fused-interrupted == fused-uninterrupted. This one crosses the modes: an engine
+  // checkpointed under the UNFUSED boundary restores into a FUSED runner and continues
+  // byte-identically against a fused uninterrupted run. Fusion changes how chains cross the
+  // boundary, not the sealed state or the dataflow — so incarnations can mix modes freely.
+  const DataPlaneConfig cfg = EngineConfig();
+  const Pipeline pipeline = MakeDistinct(1000);
+
+  DataPlane ref_dp(cfg);
+  std::vector<WindowResult> ref_results;
+  std::vector<AuditRecord> ref_records;
+  {
+    Runner runner(&ref_dp, pipeline, SingleWorker(/*fuse_chains=*/true));
+    RunPrefix(runner);
+    RunSuffix(runner);
+    ref_results = SortedByWindow(runner.TakeResults());
+  }
+  ref_dp.FlushAudit(&ref_records);
+
+  DataPlane dp1(cfg);
+  auto runner1 = std::make_unique<Runner>(&dp1, pipeline, SingleWorker(/*fuse_chains=*/false));
+  RunPrefix(*runner1);
+  std::vector<WindowResult> results;
+  auto bundle = CheckpointEngine(dp1, *runner1, {}, &results);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  runner1.reset();
+
+  DataPlane dp2(cfg);
+  Runner runner2(&dp2, pipeline, SingleWorker(/*fuse_chains=*/true));
+  ASSERT_TRUE(RestoreEngine(dp2, runner2, bundle->sealed).ok());
+  RunSuffix(runner2);
+  {
+    std::vector<WindowResult> tail = runner2.TakeResults();
+    results.insert(results.end(), tail.begin(), tail.end());
+  }
+  ExpectSameEgress(ref_results, SortedByWindow(std::move(results)));
+
+  std::vector<AuditRecord> records;
+  dp2.FlushAudit(&records);
+  auto first = DecodeAuditBatch(bundle->audit.compressed);
+  ASSERT_TRUE(first.ok());
+  std::vector<AuditRecord> chained = *first;
+  chained.insert(chained.end(), records.begin(), records.end());
+  EXPECT_EQ(WithoutTimestamps(chained), WithoutTimestamps(ref_records));
+
+  const CloudVerifier verifier(pipeline.ToVerifierSpec());
+  const VerifyReport report = verifier.Verify(chained, /*session_complete=*/true);
+  EXPECT_TRUE(report.correct) << (report.violations.empty() ? "" : report.violations[0]);
 }
 
 TEST(CheckpointTest, EverySingleByteCorruptionIsRejected) {

@@ -326,6 +326,94 @@ TEST(ControlTest, WatermarkBeforeDataWindowStillEmitsLater) {
   EXPECT_EQ(runner.stats().task_errors, 0u);
 }
 
+TEST(ControlTest, DelayMsClampsClockSkew) {
+  // Clock skew (coarse test clocks, NTP steps) can put the egress timestamp before the
+  // watermark's; the delay must clamp at 0 instead of underflowing into a bogus huge value.
+  WindowResult wr;
+  wr.watermark_time = 5000000;
+  wr.egress_time = 2000000;
+  EXPECT_EQ(wr.delay_ms(), 0u);
+  wr.egress_time = wr.watermark_time;
+  EXPECT_EQ(wr.delay_ms(), 0u);
+  wr.egress_time = 5750000;
+  EXPECT_EQ(wr.delay_ms(), 750u);
+}
+
+// One frame entirely inside window 0, pushed through a 4-primitive per-batch chain. Returns
+// the total number of TEE entries the session paid.
+uint64_t EntriesForChainRun(bool fuse_chains) {
+  Pipeline pipeline("Chain4", 1000);
+  pipeline.PerBatch(PrimitiveOp::kProject);
+  pipeline.PerBatch(PrimitiveOp::kSort);
+  pipeline.PerBatch(PrimitiveOp::kDedup);
+  pipeline.PerBatch(PrimitiveOp::kCount);
+  pipeline.AtWindowClose({.op = PrimitiveOp::kConcat, .input_stages = {-1}});
+
+  DataPlane dp(testing::SmallDataPlaneConfig(/*decrypt_ingress=*/false));
+  RunnerConfig rc;
+  rc.num_workers = 1;
+  rc.fuse_chains = fuse_chains;
+  Runner runner(&dp, pipeline, rc);
+  const auto events = testing::ConstantEvents(500);
+  EXPECT_TRUE(runner.IngestFrame(testing::AsBytes(events)).ok());
+  EXPECT_TRUE(runner.AdvanceWatermark(1000).ok());
+  runner.Drain();
+  EXPECT_EQ(runner.stats().task_errors, 0u);
+  EXPECT_EQ(runner.stats().windows_emitted, 1u);
+  const uint64_t entries = dp.switch_stats().entries;  // before FlushAudit's own entry
+
+  std::vector<AuditRecord> records;
+  dp.FlushAudit(&records);
+  CloudVerifier verifier(pipeline.ToVerifierSpec());
+  const auto report = verifier.Verify(records);
+  EXPECT_TRUE(report.correct) << (report.violations.empty() ? "" : report.violations[0]);
+  return entries;
+}
+
+TEST(ControlTest, FusedChainsCrossTheBoundaryOncePerSegment) {
+  // Unfused: ingest + segment + 4 chain invokes + watermark + close + egress = 9 entries.
+  // Fused: the 4-step chain collapses to ONE submission (and the close stage stays one),
+  // so the per-segment chain cost drops from 4 entries to 1: 6 entries total.
+  const uint64_t unfused = EntriesForChainRun(false);
+  const uint64_t fused = EntriesForChainRun(true);
+  EXPECT_EQ(unfused, 9u);
+  EXPECT_EQ(fused, 6u);
+  EXPECT_EQ(unfused - fused, 3u) << "a 4-primitive chain must pay 1 switch, not 4";
+}
+
+class ChainFailureTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ChainFailureTest, FailedChainDoesNotWedgeItsWindow) {
+  // A chain that fails mid-way (here: Average rejects the PackedKV elem size, deterministic in
+  // both boundary modes) must still count down pending_chains: the window closes with the
+  // contributions that arrived, the error is recorded, and the runner stays checkpointable —
+  // one transient failure must not wedge the engine forever.
+  Pipeline pipeline("BadChain", 1000);
+  pipeline.PerBatch(PrimitiveOp::kProject);
+  pipeline.PerBatch(PrimitiveOp::kAverage);  // wrong input type: always fails
+  pipeline.AtWindowClose({.op = PrimitiveOp::kConcat, .input_stages = {-1}});
+
+  DataPlane dp(testing::SmallDataPlaneConfig(/*decrypt_ingress=*/false));
+  RunnerConfig rc;
+  rc.num_workers = 1;
+  rc.fuse_chains = GetParam();
+  Runner runner(&dp, pipeline, rc);
+  const auto events = testing::ConstantEvents(200);
+  ASSERT_TRUE(runner.IngestFrame(testing::AsBytes(events)).ok());
+  ASSERT_TRUE(runner.AdvanceWatermark(1000).ok());
+  runner.Drain();
+
+  EXPECT_GE(runner.stats().task_errors, 1u);
+  EXPECT_EQ(runner.stats().windows_emitted, 1u) << "window must close despite the failed chain";
+  EXPECT_TRUE(runner.CheckpointState().ok()) << "no pending chains may linger";
+  EXPECT_EQ(dp.live_refs(), 0u) << "a failed chain must not pin refs (or pool memory) forever";
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBoundaryModes, ChainFailureTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Fused" : "PerInvoke";
+                         });
+
 TEST(ControlTest, PipelineExportsMatchingVerifierSpec) {
   const Pipeline p = MakeDistinct(500);
   const VerifierPipelineSpec spec = p.ToVerifierSpec();

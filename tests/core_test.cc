@@ -383,5 +383,201 @@ TEST(DataPlaneTest, EndToEndAuditVerifies) {
   EXPECT_EQ(report.freshness.size(), 1u);
 }
 
+// --- fused command buffers (src/core/cmd_buffer.h, DataPlane::Submit) -------------------
+
+// A 4-step chain over one ingested batch: Project -> Sort -> Dedup -> Count.
+CmdBuffer FourStepChain(OpaqueRef head) {
+  CmdBuffer buffer;
+  OpaqueRef cur = buffer.Push({.op = PrimitiveOp::kProject, .inputs = {head}});
+  cur = buffer.Push({.op = PrimitiveOp::kSort, .inputs = {cur}});
+  cur = buffer.Push({.op = PrimitiveOp::kDedup, .inputs = {cur}});
+  buffer.Push({.op = PrimitiveOp::kCount, .inputs = {cur}});
+  return buffer;
+}
+
+TEST(CmdBufferTest, FusedChainRunsUnderOneWorldSwitchEntry) {
+  DataPlane dp(TestConfig());
+  const auto events = MakeEvents(1000);
+  auto info = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(info.ok());
+  dp.ResetCycleStats();
+
+  auto resp = dp.Submit(FourStepChain(info->ref));
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+
+  // The whole 4-primitive chain crossed the boundary once, and the session amortized 4 ops.
+  EXPECT_EQ(dp.switch_stats().entries, 1u);
+  EXPECT_EQ(dp.switch_stats().annotated_ops, 4u);
+  EXPECT_DOUBLE_EQ(dp.switch_stats().ops_per_entry(), 4.0);
+
+  // Intermediates were consumed inside the TEE and never materialized as table refs; only the
+  // chain's tail survives, and it is an ordinary ref (usable by Egress).
+  ASSERT_EQ(resp->outputs.size(), 4u);
+  for (size_t i = 0; i + 1 < resp->outputs.size(); ++i) {
+    ASSERT_EQ(resp->outputs[i].size(), 1u);
+    EXPECT_EQ(resp->outputs[i][0].ref, 0u) << "intermediate " << i << " leaked a table ref";
+    EXPECT_GT(resp->outputs[i][0].elems, 0u);
+  }
+  const OutputInfo& tail = resp->outputs.back()[0];
+  EXPECT_NE(tail.ref, 0u);
+  EXPECT_EQ(tail.elems, 1u);  // Count emits one scalar
+  EXPECT_EQ(dp.live_refs(), 1u);
+  EXPECT_TRUE(dp.Egress(tail.ref).ok());
+}
+
+TEST(CmdBufferTest, SlotRefsAreRejectedOutsideTheirBuffer) {
+  DataPlane dp(TestConfig());
+  const auto events = MakeEvents(100);
+  auto info = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(info.ok());
+
+  // Raw submission of a slot-tagged ref at any boundary entry is rejected before the table is
+  // consulted — it cannot alias a live array.
+  InvokeRequest req;
+  req.op = PrimitiveOp::kCount;
+  req.inputs = {MakeSlotRef(0)};
+  EXPECT_EQ(dp.Invoke(req).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dp.Egress(MakeSlotRef(1)).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dp.Release(MakeSlotRef(2, 3)).code(), StatusCode::kInvalidArgument);
+
+  // Forward-pointing (forged) slot refs fail before any primitive runs.
+  CmdBuffer forward;
+  forward.Push({.op = PrimitiveOp::kCount, .inputs = {MakeSlotRef(5)}});
+  EXPECT_EQ(dp.Submit(forward).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dp.live_refs(), 1u) << "nothing executed, the ingested ref must survive";
+
+  // An out-of-range output index on an otherwise valid backward slot also fails; the prefix
+  // before the bad command has executed (and consumed its input), like an unfused prefix would.
+  CmdBuffer bad_output;
+  bad_output.Push({.op = PrimitiveOp::kProject, .inputs = {info->ref}});
+  bad_output.Push({.op = PrimitiveOp::kSort, .inputs = {MakeSlotRef(0, 7)}});
+  EXPECT_EQ(dp.Submit(bad_output).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dp.live_refs(), 0u) << "the prefix consumed the ingested ref";
+
+  // A consumed slot cannot be referenced twice.
+  auto info2 = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(info2.ok());
+  CmdBuffer double_use;
+  const OpaqueRef projected = double_use.Push({.op = PrimitiveOp::kProject,
+                                               .inputs = {info2->ref}});
+  double_use.Push({.op = PrimitiveOp::kSort, .inputs = {projected}});
+  double_use.Push({.op = PrimitiveOp::kSort, .inputs = {projected}});
+  EXPECT_EQ(dp.Submit(double_use).status().code(), StatusCode::kNotFound);
+}
+
+TEST(CmdBufferTest, EmptyBufferIsRejected) {
+  DataPlane dp(TestConfig());
+  EXPECT_EQ(dp.Submit(CmdBuffer{}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dp.switch_stats().entries, 0u) << "no world switch paid for a rejected buffer";
+}
+
+TEST(CmdBufferTest, WorldSwitchFaultMidSubmitRetriesAndChainCompletes) {
+  DataPlane dp(TestConfig());
+  const auto events = MakeEvents(1000);
+  auto info = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(info.ok());
+
+  // The submission's single entry faults twice and is re-issued; the chain still runs exactly
+  // once (audit would show duplicates otherwise).
+  testing::ScopedFailPoint fp("world_switch.fault",
+                              testing::ScopedFailPoint::Counted(/*skip=*/0, /*fail=*/2));
+  dp.ResetCycleStats();
+  auto resp = dp.Submit(FourStepChain(info->ref));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(dp.switch_stats().entries, 1u);
+  EXPECT_EQ(dp.switch_stats().faults, 2u);
+  EXPECT_EQ(dp.live_refs(), 1u);
+}
+
+TEST(CmdBufferTest, AllocFailureAtChainHeadLeavesInputsLive) {
+  DataPlane dp(TestConfig());
+  const auto events = MakeEvents(1000);
+  auto info = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(info.ok());
+
+  {
+    // Every secure-frame allocation fails: command 0 dies before retiring anything.
+    testing::ScopedFailPoint fp("secure_world.alloc_frame",
+                                testing::ScopedFailPoint::Counted(/*skip=*/0, /*fail=*/1,
+                                                                  /*period=*/1));
+    auto resp = dp.Submit(FourStepChain(info->ref));
+    ASSERT_FALSE(resp.ok());
+    EXPECT_EQ(resp.status().code(), StatusCode::kResourceExhausted);
+  }
+  // The input ref survived the failed chain; disarmed, the same buffer runs to completion.
+  EXPECT_EQ(dp.live_refs(), 1u);
+  auto retry = dp.Submit(FourStepChain(info->ref));
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(dp.live_refs(), 1u);
+}
+
+TEST(CmdBufferTest, AllocFailureMidChainLeavesDataPlaneConsistent) {
+  // Probe how many frame allocations the first command (Project) needs, so the fault can be
+  // scheduled to strike a *later* command deterministically.
+  uint64_t project_allocs = 0;
+  {
+    DataPlane dp(TestConfig());
+    const auto events = MakeEvents(1000);
+    auto info = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+    ASSERT_TRUE(info.ok());
+    testing::ScopedFailPoint fp("secure_world.alloc_frame",
+                                testing::ScopedFailPoint::Counted(/*skip=*/1u << 30));
+    CmdBuffer project_only;
+    project_only.Push({.op = PrimitiveOp::kProject, .inputs = {info->ref}});
+    ASSERT_TRUE(dp.Submit(project_only).ok());
+    project_allocs = fp.hits();
+    ASSERT_GT(project_allocs, 0u);
+  }
+
+  DataPlane dp(TestConfig());
+  const auto events = MakeEvents(1000);
+  auto info = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(info.ok());
+  {
+    testing::ScopedFailPoint fp(
+        "secure_world.alloc_frame",
+        testing::ScopedFailPoint::Counted(/*skip=*/project_allocs, /*fail=*/1u << 30));
+    auto resp = dp.Submit(FourStepChain(info->ref));
+    ASSERT_FALSE(resp.ok());
+    EXPECT_EQ(resp.status().code(), StatusCode::kResourceExhausted);
+  }
+  // The prefix executed and consumed the ingested ref (exactly like an unfused prefix); the
+  // aborted chain materialized no table refs and its intermediates were reclaimed, so the data
+  // plane keeps working: a fresh batch runs the same chain end to end.
+  EXPECT_EQ(dp.live_refs(), 0u);
+  auto info2 = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(info2.ok());
+  auto retry = dp.Submit(FourStepChain(info2->ref));
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_TRUE(dp.Egress(retry->outputs.back()[0].ref).ok());
+}
+
+TEST(CmdBufferTest, CheckpointIsRefusedWhileAChainIsInFlight) {
+  // A slow boundary (expensive entry burn) holds the Submit inside the TEE long enough for the
+  // main thread to observe it mid-flight; Checkpoint must refuse — an in-flight buffer is
+  // atomic, it can never be split by a seal.
+  DataPlaneConfig cfg = TestConfig();
+  cfg.switch_cost = WorldSwitchConfig{.entry_cycles = 400000000, .exit_cycles = 0};
+  DataPlane dp(cfg);
+  const auto events = MakeEvents(200);
+  auto info = dp.IngestBatch(AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(info.ok());
+
+  std::thread submitter([&dp, head = info->ref] {
+    auto resp = dp.Submit(FourStepChain(head));
+    EXPECT_TRUE(resp.ok());
+  });
+  while (dp.inflight_chains() == 0) {
+    std::this_thread::yield();
+  }
+  const auto mid = dp.Checkpoint();
+  EXPECT_FALSE(mid.ok());
+  EXPECT_EQ(mid.status().code(), StatusCode::kFailedPrecondition);
+  submitter.join();
+
+  // Quiesced, the same data plane checkpoints fine.
+  EXPECT_TRUE(dp.Checkpoint().ok());
+}
+
 }  // namespace
 }  // namespace sbt

@@ -14,10 +14,12 @@
 #include "src/common/rng.h"
 #include "src/control/benchmarks.h"
 #include "src/control/harness.h"
+#include "src/crypto/sha256.h"
 #include "src/primitives/primitives.h"
 #include "src/primitives/vec_sort.h"
 #include "src/server/edge_server.h"
 #include "src/server/shard_router.h"
+#include "tests/testing/testing.h"
 
 namespace sbt {
 namespace {
@@ -354,6 +356,136 @@ TEST(ShardRouterProperty, MultiStreamTenantsNeverSplitAcrossReHoming) {
       }
     }
   }
+}
+
+// --- fused-vs-unfused boundary equivalence -----------------------------------------------
+//
+// Command-buffer fusion changes how chains cross the TEE boundary (one Submit instead of one
+// Invoke per step), and must change NOTHING else: egress blobs, the audit stream, and the
+// verifier's replay verdict are byte-identical between the two modes. A single worker pins the
+// task schedule so uArray ids line up across runs.
+
+struct SessionArtifacts {
+  std::vector<WindowResult> results;
+  std::vector<AuditRecord> records;
+  VerifyReport report;
+  uint64_t task_errors = 0;
+  uint64_t switch_entries = 0;
+};
+
+std::vector<AuditRecord> StripTimestamps(std::vector<AuditRecord> records) {
+  for (AuditRecord& r : records) {
+    r.ts_ms = 0;
+  }
+  return records;
+}
+
+SessionArtifacts RunBoundarySession(const Pipeline& pipeline, WorkloadKind kind,
+                                    bool fuse_chains) {
+  HarnessOptions opts;
+  opts.version = EngineVersion::kSbtClearIngress;
+  opts.engine.secure_pool_mb = 64;
+  opts.generator.batch_events = 5000;
+  opts.generator.num_windows = 3;
+  opts.generator.workload.kind = kind;
+  opts.generator.workload.events_per_window = 12000;
+
+  DataPlaneConfig cfg = MakeEngineConfig(opts.version, opts.engine);
+  DataPlane dp(cfg);
+  SessionArtifacts out;
+  {
+    RunnerConfig rc;
+    rc.num_workers = 1;
+    rc.fuse_chains = fuse_chains;
+    Runner runner(&dp, pipeline, rc);
+    Generator gen(opts.generator);
+    while (auto frame = gen.NextFrame()) {
+      if (frame->is_watermark) {
+        EXPECT_TRUE(runner.AdvanceWatermark(frame->watermark).ok());
+      } else {
+        EXPECT_TRUE(runner.IngestFrame(frame->bytes, 0, frame->ctr_offset).ok());
+      }
+      // Drain per frame: byte-comparing two runs needs one deterministic schedule, and the
+      // LIFO pickup order otherwise depends on main-thread/worker timing.
+      runner.Drain();
+    }
+    out.results = runner.TakeResults();
+    out.task_errors = runner.stats().task_errors;
+  }
+  std::sort(out.results.begin(), out.results.end(),
+            [](const WindowResult& a, const WindowResult& b) {
+              return a.window_index < b.window_index;
+            });
+  dp.FlushAudit(&out.records);
+  out.switch_entries = dp.switch_stats().entries;
+  out.report = CloudVerifier(pipeline.ToVerifierSpec()).Verify(out.records);
+  return out;
+}
+
+void ExpectByteIdentical(const SessionArtifacts& fused, const SessionArtifacts& unfused) {
+  EXPECT_EQ(fused.task_errors, 0u);
+  EXPECT_EQ(unfused.task_errors, 0u);
+
+  // Egress: ciphertext, MACs, keystream offsets, element counts.
+  ASSERT_EQ(fused.results.size(), unfused.results.size());
+  for (size_t i = 0; i < fused.results.size(); ++i) {
+    const WindowResult& a = fused.results[i];
+    const WindowResult& b = unfused.results[i];
+    EXPECT_EQ(a.window_index, b.window_index);
+    ASSERT_EQ(a.blobs.size(), b.blobs.size()) << "window " << a.window_index;
+    for (size_t j = 0; j < a.blobs.size(); ++j) {
+      EXPECT_EQ(a.blobs[j].ciphertext, b.blobs[j].ciphertext) << "window " << a.window_index;
+      EXPECT_TRUE(DigestEqual(a.blobs[j].mac, b.blobs[j].mac)) << "window " << a.window_index;
+      EXPECT_EQ(a.blobs[j].elems, b.blobs[j].elems);
+      EXPECT_EQ(a.blobs[j].ctr_offset, b.blobs[j].ctr_offset);
+    }
+  }
+
+  // Audit stream: record-identical modulo wall-clock timestamps.
+  EXPECT_EQ(StripTimestamps(fused.records), StripTimestamps(unfused.records));
+
+  // Verifier replay verdict.
+  EXPECT_TRUE(fused.report.correct)
+      << (fused.report.violations.empty() ? "" : fused.report.violations[0]);
+  EXPECT_TRUE(unfused.report.correct)
+      << (unfused.report.violations.empty() ? "" : unfused.report.violations[0]);
+  EXPECT_EQ(fused.report.windows_verified, unfused.report.windows_verified);
+  EXPECT_EQ(fused.report.hints_audited, unfused.report.hints_audited);
+
+  // And the fusion actually fused: strictly fewer boundary crossings.
+  EXPECT_LT(fused.switch_entries, unfused.switch_entries);
+}
+
+TEST(FusedEquivalence, DistinctPipelineIsByteIdentical) {
+  const Pipeline p = MakeDistinct(1000);
+  ExpectByteIdentical(RunBoundarySession(p, WorkloadKind::kTaxi, true),
+                      RunBoundarySession(p, WorkloadKind::kTaxi, false));
+}
+
+TEST(FusedEquivalence, WinSumPipelineIsByteIdentical) {
+  const Pipeline p = MakeWinSum(1000);
+  ExpectByteIdentical(RunBoundarySession(p, WorkloadKind::kIntelLab, true),
+                      RunBoundarySession(p, WorkloadKind::kIntelLab, false));
+}
+
+TEST(FusedEquivalence, PowerPipelineWithDeepCloseDagIsByteIdentical) {
+  // Power's 7-stage window-close DAG fuses into a single submission; the replay must not be
+  // able to tell.
+  const Pipeline p = MakePower(1000);
+  ExpectByteIdentical(RunBoundarySession(p, WorkloadKind::kPowerGrid, true),
+                      RunBoundarySession(p, WorkloadKind::kPowerGrid, false));
+}
+
+TEST(FusedEquivalence, HoldsUnderInjectedWorldSwitchFaults) {
+  // Seeded SMC faults abort and re-issue entries mid-session (including mid-Submit); they
+  // burn cycles but must not change the executed dataflow.
+  const Pipeline p = MakeDistinct(1000);
+  const SessionArtifacts unfused = RunBoundarySession(p, WorkloadKind::kTaxi, false);
+  testing::ScopedFailPoint fp("world_switch.fault",
+                              testing::ScopedFailPoint::Seeded(/*seed=*/99, /*num=*/1,
+                                                               /*den=*/8));
+  const SessionArtifacts fused = RunBoundarySession(p, WorkloadKind::kTaxi, true);
+  ExpectByteIdentical(fused, unfused);
 }
 
 TEST(VerifierProperty, ReplayedSessionsAreIndependent) {

@@ -289,11 +289,64 @@ TEST(WorldSwitchTest, BurnsConfiguredCycles) {
   EXPECT_EQ(gate.stats().burned_cycles, 3000u);
 }
 
+TEST(WorldSwitchTest, SessionIsMoveAssignable) {
+  WorldSwitchGate a(WorldSwitchConfig{.entry_cycles = 2000, .exit_cycles = 1000});
+  WorldSwitchGate b(WorldSwitchConfig{.entry_cycles = 400, .exit_cycles = 200});
+  {
+    auto s = a.Enter();
+    // Re-pointing the session at a fresh entry pays the old session's exit first.
+    s = b.Enter();
+    EXPECT_EQ(a.stats().burned_cycles, 3000u);
+    EXPECT_EQ(b.stats().entries, 1u);
+    // Re-entering the same gate through the same variable is the common "reuse the session
+    // variable" shape.
+    s = b.Enter();
+    EXPECT_EQ(b.stats().entries, 2u);
+  }
+  EXPECT_EQ(a.stats().entries, 1u);
+  EXPECT_EQ(a.stats().burned_cycles, 3000u);
+  EXPECT_EQ(b.stats().entries, 2u);
+  EXPECT_EQ(b.stats().burned_cycles, 2u * 400u + 2u * 200u);
+}
+
+TEST(WorldSwitchTest, AnnotateAmortizesOpsOverEntries) {
+  WorldSwitchGate gate(WorldSwitchConfig::Disabled());
+  {
+    // A fused chain: four ops under one entry.
+    auto s = gate.Enter();
+    for (uint16_t op = 10; op < 14; ++op) {
+      s.Annotate(op);
+    }
+  }
+  {
+    // A call-per-primitive entry: one op.
+    auto s = gate.Enter();
+    s.Annotate(10);
+  }
+  const WorldSwitchStats stats = gate.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.annotated_ops, 5u);
+  EXPECT_DOUBLE_EQ(stats.ops_per_entry(), 2.5);
+  // Per-op cycle attribution accumulates (monotonic counter; exact values are host timing).
+  EXPECT_GT(gate.op_cycles(10), 0u);
+}
+
+TEST(WorldSwitchTest, AnnotateOnMovedFromSessionIsANoOp) {
+  WorldSwitchGate gate(WorldSwitchConfig::Disabled());
+  auto s1 = gate.Enter();
+  auto s2 = std::move(s1);
+  s1.Annotate(10);  // moved-from: must not crash or count
+  s2.Annotate(10);
+  EXPECT_EQ(gate.stats().annotated_ops, 1u);
+}
+
 TEST(WorldSwitchTest, ResetClearsStats) {
   WorldSwitchGate gate(WorldSwitchConfig::Disabled());
   { auto s = gate.Enter(); }
   gate.ResetStats();
   EXPECT_EQ(gate.stats().entries, 0u);
+  EXPECT_EQ(gate.stats().annotated_ops, 0u);
+  EXPECT_EQ(gate.op_cycles(10), 0u);
 }
 
 TEST(WorldSwitchTest, BurnTakesMeasurableTime) {
