@@ -50,7 +50,7 @@ void RunFig9() {
     for (const uint32_t batch : batch_sizes) {
       HarnessOptions opts;
       opts.version = EngineVersion::kSbtClearIngress;  // isolate the isolation cost itself
-      opts.engine.num_workers = 1;  // avoids oversubscription distortion in cycle accounting on small hosts
+      opts.engine.worker_threads = 1;  // avoids oversubscription distortion in cycle accounting on small hosts
       opts.engine.secure_pool_mb = 512;
       opts.engine.fuse_chains = fused;
       opts.generator.batch_events = batch;

@@ -8,6 +8,7 @@
 // frontend threads saturate.
 
 #include <cstdio>
+#include <utility>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -30,7 +31,8 @@ struct RunResult {
   bool verified = true;
 };
 
-RunResult RunFleet(uint32_t num_shards, uint32_t events_per_window) {
+RunResult RunFleet(uint32_t num_shards, int workers_per_engine,
+                   uint32_t events_per_window) {
   TenantRegistry registry;
   SBT_CHECK(
       registry.Add(MakeTenantSpec(1, "sensors", MakeWinSum(1000), 16u << 20)).ok());
@@ -43,7 +45,7 @@ RunResult RunFleet(uint32_t num_shards, uint32_t events_per_window) {
   cfg.num_shards = num_shards;
   cfg.host_secure_budget_bytes = static_cast<size_t>(num_shards) * (64u << 20);
   cfg.frontend_threads = 2;
-  cfg.workers_per_engine = 2;
+  cfg.workers_per_engine = workers_per_engine;
   EdgeServer server(cfg, registry);
 
   const WorkloadKind kinds[3] = {WorkloadKind::kIntelLab, WorkloadKind::kTaxi,
@@ -103,24 +105,29 @@ int main() {
   using namespace sbt;
   const uint32_t events_per_window = 25000u * static_cast<uint32_t>(BenchScale());
 
-  PrintHeader("EdgeServer scaling: throughput vs shard count",
+  PrintHeader("EdgeServer scaling: throughput vs shard count and per-engine workers",
               "serving layer above the paper's engine; expected shape: events/sec rises "
-              "with shards until cores saturate");
-  std::printf("%8s %12s %12s %10s %8s %9s\n", "shards", "events", "events/sec", "windows",
-              "errors", "verified");
+              "with shards (data-plane parallelism) and with per-engine workers "
+              "(intra-engine parallelism) until cores saturate");
+  std::printf("%8s %8s %12s %12s %10s %8s %9s\n", "shards", "workers", "events",
+              "events/sec", "windows", "errors", "verified");
 
   bool ok = true;
   JsonBenchReport report("server_scaling");
-  for (uint32_t shards : {1u, 2u, 4u}) {
-    const RunResult r = RunFleet(shards, events_per_window);
+  // Two axes, swept independently: shard count at the default worker carve, then the
+  // per-engine workers knob at a fixed single shard (pure intra-engine scaling).
+  const std::pair<uint32_t, int> configs[] = {{1u, 2}, {2u, 2}, {4u, 2}, {1u, 1}, {1u, 4}};
+  for (const auto& [shards, workers] : configs) {
+    const RunResult r = RunFleet(shards, workers, events_per_window);
     const double events_per_sec =
         r.seconds > 0 ? static_cast<double>(r.events) / r.seconds : 0.0;
-    std::printf("%8u %12llu %12.0f %10llu %8llu %9s\n", shards,
+    std::printf("%8u %8d %12llu %12.0f %10llu %8llu %9s\n", shards, workers,
                 static_cast<unsigned long long>(r.events), events_per_sec,
                 static_cast<unsigned long long>(r.windows),
                 static_cast<unsigned long long>(r.errors), r.verified ? "yes" : "NO");
     report.BeginRow()
         .Int("shards", shards)
+        .Int("workers", static_cast<uint64_t>(workers))
         .Int("events", r.events)
         .Num("events_per_sec", events_per_sec)
         .Int("windows", r.windows)

@@ -44,7 +44,9 @@ inline std::string_view EngineVersionName(EngineVersion v) {
 
 struct EngineOptions {
   size_t secure_pool_mb = 512;
-  int num_workers = 4;
+  // Intra-engine worker threads (elastic pipeline parallelism). Any value yields the same
+  // audit chain, egress blobs, and verifier verdict — see src/control/runner.h.
+  int worker_threads = 4;
   bool use_hints = true;
   PlacementPolicy placement = PlacementPolicy::kHintGuided;
   // Command-buffer fusion: one world switch per primitive chain (default). Off reproduces the
@@ -86,7 +88,7 @@ inline DataPlaneConfig MakeEngineConfig(EngineVersion version, const EngineOptio
 
 inline RunnerConfig MakeRunnerConfig(EngineVersion version, const EngineOptions& opts) {
   RunnerConfig rc;
-  rc.num_workers = opts.num_workers;
+  rc.worker_threads = opts.worker_threads;
   rc.use_hints = opts.use_hints;
   rc.fuse_chains = opts.fuse_chains;
   rc.ingest_path = (version == EngineVersion::kSbtIoViaOs) ? IngestPath::kViaOs

@@ -22,11 +22,21 @@ constexpr uint32_t kRunnerStateMagic = 0x52544253u;
 
 Runner::Runner(DataPlane* data_plane, Pipeline pipeline, RunnerConfig config)
     : dp_(data_plane), pipeline_(std::move(pipeline)), config_(config) {
-  SBT_CHECK(config_.num_workers > 0);
+  SBT_CHECK(config_.worker_threads > 0);
   // Compile the per-batch chain once; RunChain stamps it into a CmdBuffer per segment.
   chain_template_ = pipeline_.CompileBatchChain();
-  workers_.reserve(config_.num_workers);
-  for (int i = 0; i < config_.num_workers; ++i) {
+  // A multi-output close stage (kSegment) defeats the one-id-per-stage reservation that keeps
+  // audit ids schedule-independent; such pipelines run correctly but their close-stage ids
+  // follow the execution schedule. No benchmark pipeline does this — warn loudly if one does.
+  for (const WindowStageSpec& stage : pipeline_.window_stages()) {
+    close_ids_reservable_ = close_ids_reservable_ && stage.op != PrimitiveOp::kSegment;
+  }
+  if (!close_ids_reservable_ && config_.worker_threads > 1) {
+    SBT_LOG(Error) << "window-close DAG contains a multi-output stage: close-stage audit ids "
+                      "will be schedule-dependent at worker_threads > 1";
+  }
+  workers_.reserve(config_.worker_threads);
+  for (int i = 0; i < config_.worker_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -58,6 +68,12 @@ void Runner::WorkerLoop() {
       ++active_tasks_;
     }
     task();
+    // Chain completions retire uArrays and free pool pages: wake any ingest stalled on
+    // backpressure so it re-checks utilization instead of sleeping out its poll interval.
+    // (Skipped entirely when nothing can ever wait — the flag is immutable.)
+    if (config_.block_on_backpressure) {
+      bp_cv_.notify_all();
+    }
     {
       std::lock_guard<std::mutex> lock(qmu_);
       --active_tasks_;
@@ -106,15 +122,26 @@ Status Runner::IngestFrame(std::span<const uint8_t> frame, uint16_t stream,
   SubmitGuard submit(this);
 
   // Backpressure: stall the source while the secure pool is under pressure (paper §4.2).
+  // Waits on a condition variable that workers signal after every task (chain completions are
+  // what reclaim pool memory) rather than spinning; the timeout is a safety net against
+  // reclaim paths that bypass the task pool.
   while (config_.block_on_backpressure && dp_->ShouldBackpressure()) {
     backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
-    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    std::unique_lock<std::mutex> lock(bp_mu_);
+    bp_cv_.wait_for(lock, std::chrono::milliseconds(1),
+                    [this] { return !dp_->ShouldBackpressure(); });
   }
 
-  SBT_ASSIGN_OR_RETURN(const OutputInfo batch,
-                       dp_->IngestBatch(frame, pipeline_.event_size(), stream,
-                                        config_.ingest_path, ctr_offset));
-  events_ingested_.fetch_add(batch.elems, std::memory_order_relaxed);
+  // The frame's boundary work — ingress, segmentation, then one chain per segment — is
+  // ticketed in submission order; workers may execute the chains in any order afterwards.
+  ExecTicket frame_ticket = dp_->OpenTicket(0);
+  auto ingested = dp_->IngestBatch(frame, pipeline_.event_size(), stream, config_.ingest_path,
+                                   ctr_offset, &frame_ticket);
+  if (!ingested.ok()) {
+    dp_->RetireTicket(frame_ticket);
+    return ingested.status();
+  }
+  events_ingested_.fetch_add(ingested->elems, std::memory_order_relaxed);
   frames_ingested_.fetch_add(1, std::memory_order_relaxed);
 
   // Segment synchronously so window membership is final before any later watermark. Segment
@@ -122,16 +149,29 @@ Status Runner::IngestFrame(std::span<const uint8_t> frame, uint16_t stream,
   // output; the data plane spreads them).
   InvokeRequest seg;
   seg.op = PrimitiveOp::kSegment;
-  seg.inputs = {batch.ref};
+  seg.inputs = {ingested->ref};
   seg.params.window_size_ms = pipeline_.window_size_ms();
   seg.params.window_slide_ms = pipeline_.window_slide_ms();
   seg.hint = LaneHint(kSegmentLaneBase +
                       (next_worker_lane_.load(std::memory_order_relaxed) * 7) % kLaneSlots);
-  auto segments = dp_->Invoke(seg);
+  auto segments = dp_->Invoke(seg, &frame_ticket);
+  dp_->RetireTicket(frame_ticket);
   if (!segments.ok()) {
     return segments.status();
   }
 
+  // Chain tickets, worker lanes, and window membership are all fixed here, on the submitting
+  // thread, in ascending window order (PrimSegment returns ascending) — the execution schedule
+  // can no longer influence anything the audit stream or the close chains will see.
+  struct PlannedChain {
+    ExecTicket ticket;
+    uint32_t lane = 0;
+    OpaqueRef ref = 0;
+    uint32_t win_no = 0;
+  };
+  std::vector<PlannedChain> chains;
+  chains.reserve(segments->outputs.size());
+  const uint32_t chain_ids = static_cast<uint32_t>(pipeline_.batch_chain().size());
   {
     std::lock_guard<std::mutex> lock(wmu_);
     for (const OutputInfo& out : segments->outputs) {
@@ -140,17 +180,25 @@ Status Runner::IngestFrame(std::span<const uint8_t> frame, uint16_t stream,
         ws.contributions.resize(pipeline_.num_streams());
       }
       ++ws.pending_chains;
+      PlannedChain chain;
+      chain.ticket = dp_->OpenTicket(chain_ids);
+      chain.lane = kWorkerLaneBase +
+                   next_worker_lane_.fetch_add(1, std::memory_order_relaxed) % kLaneSlots;
+      chain.ref = out.ref;
+      chain.win_no = out.win_no;
+      chains.push_back(std::move(chain));
     }
   }
-  for (const OutputInfo& out : segments->outputs) {
-    Enqueue([this, ref = out.ref, w = out.win_no, stream] { RunChain(ref, w, stream); });
+  for (PlannedChain& chain : chains) {
+    Enqueue([this, c = std::move(chain), stream]() mutable {
+      RunChain(std::move(c.ticket), c.lane, c.ref, c.win_no, stream);
+    });
   }
   return OkStatus();
 }
 
-void Runner::RunChain(OpaqueRef ref, uint32_t window_index, uint16_t stream) {
-  const uint32_t worker_lane =
-      kWorkerLaneBase + next_worker_lane_.fetch_add(1, std::memory_order_relaxed) % kLaneSlots;
+void Runner::RunChain(ExecTicket ticket, uint32_t worker_lane, OpaqueRef ref,
+                      uint32_t window_index, uint16_t stream) {
   OpaqueRef cur = ref;
   const auto& chain = pipeline_.batch_chain();
   // Hints are identical in both modes — intermediates in the worker's lane, the final
@@ -169,7 +217,7 @@ void Runner::RunChain(OpaqueRef ref, uint32_t window_index, uint16_t stream) {
   if (config_.fuse_chains && !chain.empty()) {
     // Fused: the compiled template stamps slot-chained commands over this segment's ref and
     // the whole chain crosses the TEE boundary once.
-    auto resp = dp_->Submit(chain_template_.Stamp(ref, step_hint));
+    auto resp = dp_->Submit(chain_template_.Stamp(ref, step_hint), &ticket);
     if (!resp.ok()) {
       NoteError(resp.status());
       chain_ok = false;
@@ -186,7 +234,7 @@ void Runner::RunChain(OpaqueRef ref, uint32_t window_index, uint16_t stream) {
       req.params = chain[i].params;
       req.inputs = {cur};
       req.hint = step_hint(i);
-      auto resp = dp_->Invoke(req);
+      auto resp = dp_->Invoke(req, &ticket);
       if (!resp.ok()) {
         NoteError(resp.status());
         chain_ok = false;
@@ -203,6 +251,8 @@ void Runner::RunChain(OpaqueRef ref, uint32_t window_index, uint16_t stream) {
     // sealed into every later checkpoint.
     (void)dp_->Release(cur);
   }
+  // The chain's staged records (its executed prefix, on failure) commit in program order.
+  dp_->RetireTicket(ticket);
 
   bool do_close = false;
   WindowState closing;
@@ -212,7 +262,9 @@ void Runner::RunChain(OpaqueRef ref, uint32_t window_index, uint16_t stream) {
     SBT_CHECK(it != windows_.end());
     WindowState& ws = it->second;
     if (chain_ok) {
-      ws.contributions[stream].push_back(cur);
+      // Ordered by chain ticket: the close chain's input list (and hence its audit records)
+      // sees contributions in submission order, not completion order.
+      ws.contributions[stream].push_back(Contribution{kLiveOrderBase + ticket.seq, cur});
     }
     --ws.pending_chains;
     if (ws.close_requested && !ws.close_enqueued && ws.pending_chains == 0) {
@@ -233,12 +285,25 @@ Status Runner::AdvanceWatermark(EventTimeMs value) {
   // Registered before windows are marked close_enqueued: without this a Drain racing the gap
   // between releasing wmu_ and Enqueue below would see an empty queue and miss the close.
   SubmitGuard submit(this);
-  SBT_RETURN_IF_ERROR(dp_->IngestWatermark(value));
+  {
+    ExecTicket wm_ticket = dp_->OpenTicket(0);
+    const Status s = dp_->IngestWatermark(value, 0, &wm_ticket);
+    dp_->RetireTicket(wm_ticket);
+    SBT_RETURN_IF_ERROR(s);
+  }
   const ProcTimeUs now = NowUs();
 
+  // Each window this watermark closes gets its close ticket NOW, in ascending window order —
+  // that ticket carries the close chain's audit position and its reserved stage-output ids,
+  // and its seq joins close_order_, the sequence the completion stage egresses in. The chains
+  // still pending for a window all hold earlier tickets (membership was final at segment
+  // time), so the close always commits after its inputs.
+  const uint32_t stage_ids =
+      close_ids_reservable_ ? static_cast<uint32_t>(pipeline_.window_stages().size()) : 0;
   std::vector<std::pair<uint32_t, WindowState>> to_close;
   {
     std::lock_guard<std::mutex> lock(wmu_);
+    std::lock_guard<std::mutex> order_lock(cmu_);
     for (auto it = windows_.begin(); it != windows_.end();) {
       const uint64_t window_end = pipeline_.WindowEnd(it->first);
       if (window_end > value || it->second.close_requested) {
@@ -248,6 +313,8 @@ Status Runner::AdvanceWatermark(EventTimeMs value) {
       WindowState& ws = it->second;
       ws.close_requested = true;
       ws.watermark_time = now;
+      ws.close_ticket = dp_->OpenTicket(stage_ids);
+      close_order_.push_back(ws.close_ticket.seq);
       if (ws.pending_chains == 0) {
         ws.close_enqueued = true;
         to_close.emplace_back(it->first, std::move(ws));
@@ -270,6 +337,14 @@ void Runner::CloseWindow(uint32_t window_index, WindowState state) {
   std::vector<std::vector<OpaqueRef>> stage_outputs(stages.size());
   const HintRequest close_hint = LaneHint(kCloseLaneBase + window_index % kLaneSlots);
 
+  // Contributions arrived in completion order; the close chain consumes them in submission
+  // order (restored ones first, then by chain ticket), so its inputs — and the audit records
+  // naming them — are independent of the execution schedule.
+  for (std::vector<Contribution>& stream_refs : state.contributions) {
+    std::sort(stream_refs.begin(), stream_refs.end(),
+              [](const Contribution& a, const Contribution& b) { return a.order < b.order; });
+  }
+
   // Input gathering is shared between both boundary modes — the fused/unfused byte-equivalence
   // depends on them never diverging. `outputs_of(src)` abstracts the only difference: how a
   // producer stage's outputs are named (its table refs unfused, its command's slot ref fused).
@@ -283,8 +358,9 @@ void Runner::CloseWindow(uint32_t window_index, WindowState state) {
           if (stage.stream_filter >= 0 && static_cast<int>(s) != stage.stream_filter) {
             continue;
           }
-          inputs.insert(inputs.end(), state.contributions[s].begin(),
-                        state.contributions[s].end());
+          for (const Contribution& c : state.contributions[s]) {
+            inputs.push_back(c.ref);
+          }
         }
       } else if (static_cast<size_t>(src) < j) {
         const std::vector<OpaqueRef> from = outputs_of(src);
@@ -302,6 +378,12 @@ void Runner::CloseWindow(uint32_t window_index, WindowState state) {
     fuse = fuse && stage.op != PrimitiveOp::kSegment;
   }
 
+  // The close chain itself executes HERE, on whatever worker picked this task up, possibly
+  // while younger windows' closes are already done — out-of-order window execution is the
+  // point. Only egress is deferred to the sequenced completion stage below. A failed chain
+  // still reaches FinishClose: its ticket must retire (with the executed prefix's records) or
+  // every younger close would stall behind it.
+  bool chain_ok = true;
   if (fuse) {
     // The per-window DAG is forward dataflow, so the whole thing fuses into ONE submission:
     // stage j's inputs from stage src become slot refs naming src's command. (Fusing per
@@ -328,18 +410,19 @@ void Runner::CloseWindow(uint32_t window_index, WindowState state) {
       cmd_of[j] = static_cast<int>(buffer.size()) - 1;
     }
     if (!buffer.empty()) {
-      auto resp = dp_->Submit(buffer);
+      auto resp = dp_->Submit(buffer, &state.close_ticket);
       if (!resp.ok()) {
         NoteError(resp.status());
-        return;
-      }
-      for (size_t j = 0; j < stages.size(); ++j) {
-        if (cmd_of[j] < 0) {
-          continue;
-        }
-        for (const OutputInfo& out : resp->outputs[cmd_of[j]]) {
-          if (out.ref != 0) {  // intermediates were consumed inside the TEE
-            stage_outputs[j].push_back(out.ref);
+        chain_ok = false;
+      } else {
+        for (size_t j = 0; j < stages.size(); ++j) {
+          if (cmd_of[j] < 0) {
+            continue;
+          }
+          for (const OutputInfo& out : resp->outputs[cmd_of[j]]) {
+            if (out.ref != 0) {  // intermediates were consumed inside the TEE
+              stage_outputs[j].push_back(out.ref);
+            }
           }
         }
       }
@@ -356,10 +439,18 @@ void Runner::CloseWindow(uint32_t window_index, WindowState state) {
       req.params = stages[j].params;
       req.inputs = std::move(inputs);
       req.hint = close_hint;
-      auto resp = dp_->Invoke(req);
+      auto resp = dp_->Invoke(req, &state.close_ticket);
       if (!resp.ok()) {
         NoteError(resp.status());
-        return;
+        chain_ok = false;
+        // Earlier stages' outputs that no later stage consumed are orphans now; release them
+        // instead of pinning pool memory into every later checkpoint.
+        for (size_t k = 0; k <= j; ++k) {
+          for (OpaqueRef orphan : stage_outputs[k]) {
+            (void)dp_->Release(orphan);
+          }
+        }
+        break;
       }
       for (const OutputInfo& out : resp->outputs) {
         stage_outputs[j].push_back(out.ref);
@@ -367,18 +458,70 @@ void Runner::CloseWindow(uint32_t window_index, WindowState state) {
     }
   }
 
-  WindowResult result;
-  result.window_index = window_index;
-  result.watermark_time = state.watermark_time;
-  if (!stages.empty()) {
-    for (OpaqueRef ref : stage_outputs.back()) {
-      auto blob = dp_->Egress(ref);
-      if (!blob.ok()) {
-        NoteError(blob.status());
-        return;
-      }
-      result.blobs.push_back(std::move(*blob));
+  PendingClose close;
+  close.window_index = window_index;
+  close.ticket = std::move(state.close_ticket);
+  close.watermark_time = state.watermark_time;
+  close.chain_ok = chain_ok;
+  if (chain_ok && !stages.empty()) {
+    close.egress_refs = std::move(stage_outputs.back());
+  }
+  FinishClose(std::move(close));
+}
+
+void Runner::FinishClose(PendingClose close) {
+  std::unique_lock<std::mutex> lock(cmu_);
+  finished_closes_.emplace(close.ticket.seq, std::move(close));
+  if (draining_closes_) {
+    return;  // the current turn-holder's loop will reach this close
+  }
+  // Drain the front of the watermark order: whoever parks the close that the order was
+  // waiting on takes the drain turn and processes it AND every consecutive already-finished
+  // successor, so closes are egressed strictly in watermark order without a dedicated thread.
+  // cmu_ is released around each egress — only the turn flag serializes processing — so
+  // watermark bookkeeping and other closes parking are never stalled behind crypto.
+  draining_closes_ = true;
+  while (!close_order_.empty()) {
+    const auto it = finished_closes_.find(close_order_.front());
+    if (it == finished_closes_.end()) {
+      break;  // the front close is still executing on some worker
     }
+    PendingClose ready = std::move(it->second);
+    finished_closes_.erase(it);
+    close_order_.pop_front();
+    lock.unlock();
+    ProcessClose(ready);
+    lock.lock();
+  }
+  draining_closes_ = false;
+}
+
+void Runner::ProcessClose(PendingClose& close) {
+  if (!close.chain_ok) {
+    // The chain's executed prefix was already audited; the window emits nothing. Retiring
+    // unblocks every younger close behind this ticket.
+    dp_->RetireTicket(close.ticket);
+    return;
+  }
+  WindowResult result;
+  result.window_index = close.window_index;
+  result.watermark_time = close.watermark_time;
+  bool egress_ok = true;
+  for (size_t i = 0; i < close.egress_refs.size(); ++i) {
+    auto blob = dp_->Egress(close.egress_refs[i], &close.ticket);
+    if (!blob.ok()) {
+      NoteError(blob.status());
+      egress_ok = false;
+      for (size_t k = i + 1; k < close.egress_refs.size(); ++k) {
+        (void)dp_->Release(close.egress_refs[k]);
+      }
+      break;
+    }
+    result.blobs.push_back(std::move(*blob));
+  }
+  dp_->RetireTicket(close.ticket);
+  if (!egress_ok) {
+    return;
   }
   result.egress_time = NowUs();
 
@@ -395,6 +538,10 @@ void Runner::CloseWindow(uint32_t window_index, WindowState state) {
 }
 
 void Runner::Drain() {
+  // Condition-variable wait (no polling): notified by SubmitGuard releases and task
+  // completions. Sequenced egress needs no extra condition here — a close parked in the
+  // completion stage is always drained by the in-flight task of the close ahead of it, so
+  // "queue empty + no active task" implies the completion stage is empty too.
   std::unique_lock<std::mutex> lock(qmu_);
   drain_cv_.wait(lock, [this] {
     return queue_.empty() && active_tasks_ == 0 && pending_submits_ == 0;
@@ -420,10 +567,18 @@ Result<std::vector<uint8_t>> Runner::CheckpointState() {
       w.U32(index);
       w.U8(ws.close_requested ? 1 : 0);
       w.U16(static_cast<uint16_t>(ws.contributions.size()));
-      for (const std::vector<OpaqueRef>& stream_refs : ws.contributions) {
-        w.U64(stream_refs.size());
-        for (OpaqueRef ref : stream_refs) {
-          w.U64(ref);
+      for (const std::vector<Contribution>& stream_refs : ws.contributions) {
+        // Serialized in submission order (wire format: refs only); restore re-derives the
+        // order from the position, so a restored engine's close chains consume contributions
+        // exactly as the uninterrupted run would have.
+        std::vector<Contribution> ordered = stream_refs;
+        std::sort(ordered.begin(), ordered.end(),
+                  [](const Contribution& a, const Contribution& b) {
+                    return a.order < b.order;
+                  });
+        w.U64(ordered.size());
+        for (const Contribution& c : ordered) {
+          w.U64(c.ref);
         }
       }
     }
@@ -470,9 +625,15 @@ Status Runner::RestoreState(std::span<const uint8_t> bytes) {
         streams != pipeline_.num_streams()) {
       return malformed;
     }
+    // A close-requested window can never legally appear in a checkpoint (CheckpointState
+    // rejects pending chains, and a close-requested window with none left the map when its
+    // close was enqueued). Restoring one would carry a default close ticket that could stall
+    // the audit commit stream forever — reject the bytes instead.
+    if (close_requested != 0) {
+      return malformed;
+    }
     WindowState ws;
     ws.contributions.resize(streams);
-    ws.close_requested = close_requested != 0;
     for (uint16_t s = 0; s < streams; ++s) {
       uint64_t n = 0;
       if (!r.U64(&n)) {
@@ -483,7 +644,9 @@ Status Runner::RestoreState(std::span<const uint8_t> bytes) {
         if (!r.U64(&ref)) {
           return malformed;
         }
-        ws.contributions[s].push_back(ref);
+        // Restored orders (< kLiveOrderBase) sort before any live chain's, preserving the
+        // original submission order across the restore.
+        ws.contributions[s].push_back(Contribution{k, ref});
       }
     }
     if (!windows.emplace(index, std::move(ws)).second) {

@@ -6,6 +6,19 @@
 // egresses the result. It holds *no* analytics data: everything it touches is an opaque
 // reference. Scheduling, queues, and synchronization all live here, outside the TEE.
 //
+// Elastic parallelism with deterministic egress. Chains execute on `worker_threads` workers,
+// concurrently and out of order (StreamBox-style elastic pipeline parallelism), yet everything
+// externally visible is sequenced in *program order* — the order the control thread submitted
+// work — via DataPlane execution tickets:
+//   - every boundary operation gets a ticket at submission time; audit records commit to the
+//     log in ticket order, and output uArray ids are reserved at ticket-open time;
+//   - window closes execute out of order, but egress (keystream offsets, egress audit records,
+//     result emission) is serialized by a watermark-ordered completion stage;
+//   - worker lanes and window contribution order are fixed at submission time.
+// Consequence: the audit hash chain, egress blobs, and the verifier's replay are byte-identical
+// for every worker_threads value (property-tested, including under injected SMC faults). The
+// execution schedule is invisible; only throughput changes.
+//
 // Consumption hints: intermediates are hinted into per-worker lanes (produced and consumed
 // back-to-back), window contributions into per-window lanes (reclaimed together at close) —
 // the placement strategy §6.2 describes. `use_hints=false` reproduces the Figure 10 baseline.
@@ -29,7 +42,11 @@
 namespace sbt {
 
 struct RunnerConfig {
-  int num_workers = 4;
+  // Worker threads executing per-batch chains and window-close chains, concurrently and out of
+  // order. Egress and audit emission are sequenced (see the class comment), so every worker
+  // count produces the same audit chain, egress blobs, and verifier verdict — workers only buy
+  // throughput.
+  int worker_threads = 4;
   IngestPath ingest_path = IngestPath::kTrustedIo;
   bool use_hints = true;
   // Backpressure: stall ingestion while the data plane reports high pool utilization.
@@ -105,13 +122,38 @@ class Runner {
   Stats stats() const;
 
  private:
+  // One per-batch contribution to a window. `order` fixes the contribution's position in the
+  // close chain's input list independently of which worker finished first: restored
+  // contributions keep their serialized order (indices below kLiveOrderBase), live ones sort by
+  // their chain ticket.
+  struct Contribution {
+    uint64_t order = 0;
+    OpaqueRef ref = 0;
+  };
+  static constexpr uint64_t kLiveOrderBase = 1ull << 48;
+
   struct WindowState {
-    // Contribution refs per stream (index = stream id).
-    std::vector<std::vector<OpaqueRef>> contributions;
+    // Contributions per stream (index = stream id), appended in completion order and sorted by
+    // `order` at close.
+    std::vector<std::vector<Contribution>> contributions;
     int pending_chains = 0;
     bool close_requested = false;
     bool close_enqueued = false;
     ProcTimeUs watermark_time = 0;
+    // Issued when the closing watermark arrives (valid iff close_requested): the close chain's
+    // position in program order and its reserved stage-output ids.
+    ExecTicket close_ticket;
+  };
+
+  // A window-close chain that finished executing and awaits sequenced egress.
+  struct PendingClose {
+    uint32_t window_index = 0;
+    ExecTicket ticket;
+    std::vector<OpaqueRef> egress_refs;  // final-stage outputs, egressed in this order
+    ProcTimeUs watermark_time = 0;
+    // False when the close chain failed: the ticket still retires (successors must not
+    // stall) but no result is emitted for the window.
+    bool chain_ok = true;
   };
 
   // RAII registration of an ingest/watermark call as an in-flight work submitter; Drain waits
@@ -129,8 +171,16 @@ class Runner {
 
   void WorkerLoop();
   void Enqueue(std::function<void()> task);
-  void RunChain(OpaqueRef ref, uint32_t window_index, uint16_t stream);
+  void RunChain(ExecTicket ticket, uint32_t worker_lane, OpaqueRef ref, uint32_t window_index,
+                uint16_t stream);
   void CloseWindow(uint32_t window_index, WindowState state);
+  // Parks an executed close and drains the completion stage: every close at the front of the
+  // watermark order whose chain has finished is egressed, retired, and emitted — in order.
+  // One thread at a time holds the drain turn (draining_closes_); egress itself runs with
+  // cmu_ released, so parking a close or issuing close tickets never waits out an egress.
+  void FinishClose(PendingClose close);
+  // Egress + result emission for one close. Serialized by the drain turn, not by cmu_.
+  void ProcessClose(PendingClose& close);
   void NoteError(const Status& status);
   HintRequest LaneHint(uint32_t lane) const {
     return config_.use_hints ? HintRequest::Parallel(lane) : HintRequest::None();
@@ -142,6 +192,11 @@ class Runner {
   // The per-batch chain, compiled once at construction and stamped into a CmdBuffer per
   // segment (fused mode).
   CmdChainTemplate chain_template_;
+  // False when the window-close DAG contains a multi-output stage (kSegment): its output
+  // count is data-dependent, so close tickets reserve no ids and close-stage outputs draw
+  // from the shared counter — correct, but schedule-dependent at worker_threads > 1 (decided
+  // once at construction, warned about there).
+  bool close_ids_reservable_ = true;
 
   // Task pool.
   std::mutex qmu_;
@@ -156,6 +211,20 @@ class Runner {
   // Window bookkeeping.
   std::mutex wmu_;
   std::map<uint32_t, WindowState> windows_;
+
+  // Watermark-ordered completion stage. close_order_ holds close-ticket seqs in issue
+  // (= watermark) order; finished_closes_ parks executed closes until their turn. Egress for
+  // the front of the order runs under cmu_, so keystream offsets, egress audit records, and
+  // result emission are always in watermark order no matter which worker finished when.
+  std::mutex cmu_;
+  std::deque<uint64_t> close_order_;
+  std::map<uint64_t, PendingClose> finished_closes_;
+  bool draining_closes_ = false;  // guarded by cmu_: one drain turn-holder at a time
+
+  // Backpressure: ingest waits here instead of spinning; workers notify after each task (chain
+  // completions are what reclaim pool memory).
+  std::mutex bp_mu_;
+  std::condition_variable bp_cv_;
 
   // Results.
   std::mutex rmu_;

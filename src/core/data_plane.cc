@@ -129,13 +129,62 @@ OutputInfo DataPlane::RegisterOutput(UArray* array, uint16_t stream, AuditRecord
   return info;
 }
 
-void DataPlane::AppendAudit(AuditRecord record) {
-  record.ts_ms = NowTs();
-  std::lock_guard<std::mutex> lock(audit_mu_);
+void DataPlane::StampAndAppendLocked(AuditRecord record) {
   const uint64_t t0 = ReadCycleCounter();  // after acquisition: count work, not contention
+  record.ts_ms = config_.logical_audit_timestamps
+                     ? static_cast<uint32_t>(logical_ts_++)
+                     : NowTs();
   audit_log_.push_back(std::move(record));
   audit_records_.fetch_add(1, std::memory_order_relaxed);
   audit_cycles_.fetch_add(ReadCycleCounter() - t0, std::memory_order_relaxed);
+}
+
+void DataPlane::AppendAudit(AuditRecord record, ExecTicket* ticket) {
+  if (ticket != nullptr) {
+    // Staged: the record reaches the log (and gets its timestamp) when the ticket commits in
+    // program order, not when this out-of-order execution happened to produce it.
+    std::lock_guard<std::mutex> lock(seq_mu_);
+    staged_[ticket->seq].records.push_back(std::move(record));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(audit_mu_);
+  StampAndAppendLocked(std::move(record));
+}
+
+ExecTicket DataPlane::OpenTicket(uint32_t reserve_ids) {
+  std::lock_guard<std::mutex> lock(seq_mu_);
+  ExecTicket ticket;
+  ticket.seq = next_ticket_seq_++;
+  if (reserve_ids > 0) {
+    ticket.ids.next = alloc_.ReserveIds(reserve_ids);
+    ticket.ids.end = ticket.ids.next + reserve_ids;
+  }
+  staged_.emplace(ticket.seq, StagedTicket{});
+  return ticket;
+}
+
+void DataPlane::RetireTicket(const ExecTicket& ticket) {
+  std::lock_guard<std::mutex> lock(seq_mu_);
+  const auto it = staged_.find(ticket.seq);
+  SBT_CHECK(it != staged_.end());
+  it->second.retired = true;
+  // Commit every ticket the chain head now reaches, oldest first. audit_mu_ nests inside
+  // seq_mu_ here (the only place both are held), so no two retiring threads can interleave
+  // their committed batches.
+  std::lock_guard<std::mutex> audit_lock(audit_mu_);
+  while (!staged_.empty() && staged_.begin()->first == commit_next_seq_ &&
+         staged_.begin()->second.retired) {
+    for (AuditRecord& record : staged_.begin()->second.records) {
+      StampAndAppendLocked(std::move(record));
+    }
+    staged_.erase(staged_.begin());
+    ++commit_next_seq_;
+  }
+}
+
+size_t DataPlane::open_tickets() const {
+  std::lock_guard<std::mutex> lock(seq_mu_);
+  return staged_.size();
 }
 
 Result<DataPlane::ResolvedInput> DataPlane::ResolveTableInput(OpaqueRef ref) {
@@ -147,7 +196,7 @@ Result<DataPlane::ResolvedInput> DataPlane::ResolveTableInput(OpaqueRef ref) {
   return ResolvedInput{array, entry.stream};
 }
 
-Result<InvokeResponse> DataPlane::Invoke(const InvokeRequest& request) {
+Result<InvokeResponse> DataPlane::Invoke(const InvokeRequest& request, ExecTicket* ticket) {
   // A call-per-primitive invocation IS a one-command chain: routing it through Submit keeps
   // exactly one implementation of the boundary sequence (resolve, hint, dispatch, retire,
   // audit), so the two entry points cannot drift apart. For a single command the semantics
@@ -155,13 +204,13 @@ Result<InvokeResponse> DataPlane::Invoke(const InvokeRequest& request) {
   CmdBuffer buffer;
   buffer.Push(CmdBuffer::Entry{request.op, request.inputs, request.params, request.hint,
                                request.retire_inputs});
-  SBT_ASSIGN_OR_RETURN(SubmitResponse submitted, Submit(buffer));
+  SBT_ASSIGN_OR_RETURN(SubmitResponse submitted, Submit(buffer, ticket));
   InvokeResponse response;
   response.outputs = std::move(submitted.outputs[0]);
   return response;
 }
 
-Result<SubmitResponse> DataPlane::Submit(const CmdBuffer& buffer) {
+Result<SubmitResponse> DataPlane::Submit(const CmdBuffer& buffer, ExecTicket* ticket) {
   const uint64_t t0 = ReadCycleCounter();
   const std::vector<CmdBuffer::Entry>& cmds = buffer.entries();
   if (cmds.empty()) {
@@ -252,6 +301,10 @@ Result<SubmitResponse> DataPlane::Submit(const CmdBuffer& buffer) {
     ctx.alloc = &alloc_;
     ctx.sort_impl = config_.sort_impl;
     ctx.generation = static_cast<uint64_t>(cmd.op);
+    // A ticketed chain's outputs take the ids reserved at ticket-open time (program order), so
+    // the audit stream cannot see which worker executed the chain, or when. The cursor lives in
+    // the ticket: an unfused chain spans several Submit calls but one id sequence.
+    ctx.ids = ticket != nullptr ? &ticket->ids : nullptr;
     const std::function<Result<uint64_t>(OpaqueRef)> resolve_hint_slot =
         [&](OpaqueRef ref) -> Result<uint64_t> {
       SBT_ASSIGN_OR_RETURN(Slot * slot, find_slot(ref));
@@ -284,7 +337,7 @@ Result<SubmitResponse> DataPlane::Submit(const CmdBuffer& buffer) {
         }
       }
     }
-    AppendAudit(std::move(record));
+    AppendAudit(std::move(record), ticket);
     for (const ProducedOutput& out : *produced) {
       slots[i].push_back(Slot{out.array, out.array->id(), out.array->size(), stream,
                               out.win_no, false});
@@ -430,7 +483,7 @@ Result<std::vector<DataPlane::ProducedOutput>> DataPlane::Dispatch(
 
 Result<OutputInfo> DataPlane::IngestBatch(std::span<const uint8_t> frame, size_t elem_size,
                                           uint16_t stream, IngestPath path,
-                                          uint64_t ctr_offset) {
+                                          uint64_t ctr_offset, ExecTicket* ticket) {
   const uint64_t t0 = ReadCycleCounter();
   auto session = gate_.Enter();
 
@@ -475,24 +528,24 @@ Result<OutputInfo> DataPlane::IngestBatch(std::span<const uint8_t> frame, size_t
   record.op = PrimitiveOp::kIngress;
   record.stream = stream;
   const OutputInfo info = RegisterOutput(batch, stream, &record);
-  AppendAudit(std::move(record));
+  AppendAudit(std::move(record), ticket);
   session.Annotate(static_cast<uint16_t>(PrimitiveOp::kIngress));
   invoke_cycles_.fetch_add(ReadCycleCounter() - t0, std::memory_order_relaxed);
   return info;
 }
 
-Status DataPlane::IngestWatermark(EventTimeMs value, uint16_t stream) {
+Status DataPlane::IngestWatermark(EventTimeMs value, uint16_t stream, ExecTicket* ticket) {
   auto session = gate_.Enter();
   AuditRecord record;
   record.op = PrimitiveOp::kWatermark;
   record.watermark = value;
   record.stream = stream;
-  AppendAudit(std::move(record));
+  AppendAudit(std::move(record), ticket);
   session.Annotate(static_cast<uint16_t>(PrimitiveOp::kWatermark));
   return OkStatus();
 }
 
-Result<EgressBlob> DataPlane::Egress(OpaqueRef ref) {
+Result<EgressBlob> DataPlane::Egress(OpaqueRef ref, ExecTicket* ticket) {
   const uint64_t t0 = ReadCycleCounter();
   auto session = gate_.Enter();
 
@@ -519,7 +572,7 @@ Result<EgressBlob> DataPlane::Egress(OpaqueRef ref) {
   record.op = PrimitiveOp::kEgress;
   record.stream = entry.stream;
   record.inputs.push_back(static_cast<uint32_t>(entry.array_id));
-  AppendAudit(std::move(record));
+  AppendAudit(std::move(record), ticket);
 
   refs_.Remove(ref);
   alloc_.Retire(array);
@@ -586,6 +639,11 @@ Result<DataPlane::CheckpointBundle> DataPlane::Checkpoint(
   // callers, not a synchronization point against chains racing the seal.
   if (inflight_chains() != 0) {
     return FailedPrecondition("checkpoint while an Invoke/Submit chain is inside the TEE");
+  }
+  // An open ticket means staged audit records that have not reached the log: flushing the
+  // chain link now would embed a position that misses work already executed before the seal.
+  if (open_tickets() != 0) {
+    return FailedPrecondition("checkpoint while execution tickets are open (drain first)");
   }
   auto session = gate_.Enter();
 

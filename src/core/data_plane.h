@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -71,6 +72,12 @@ struct DataPlaneConfig {
 
   // Backpressure threshold on secure pool utilization (paper §4.2).
   double backpressure_threshold = 0.85;
+
+  // Test/verification mode: audit-record timestamps become a logical record counter instead of
+  // the wall clock, so two runs that execute the same dataflow produce byte-identical audit
+  // uploads (the worker-count equivalence property tests compare whole uploads, MACs included).
+  // Freshness delays are meaningless in this mode; never enable it in a deployment.
+  bool logical_audit_timestamps = false;
 
   // Automatic flow control (the paper's stated future work, §4.2): tune the threshold online
   // from the pool-utilization trend. While committed memory grows faster than it reclaims the
@@ -138,6 +145,22 @@ struct DataPlaneCycleStats {
   }
 };
 
+// An execution ticket: one boundary operation's position in the engine's canonical program
+// order, plus a pre-reserved audit-id range for the uArrays it will create.
+//
+// Tickets are what let the control plane run window chains on N workers, out of order, while
+// the audit stream stays byte-identical to single-worker execution. The control thread opens
+// tickets in program order (OpenTicket); a worker executes its operation whenever it likes —
+// records it produces are staged under the ticket, and its outputs take ids from the reserved
+// range — and retires the ticket when done. Staged records only reach the audit log once every
+// earlier ticket has retired, so log order == ticket order == program order, regardless of the
+// execution schedule. An op that fails still retires its ticket (its staged prefix commits,
+// exactly as a single-worker run would have logged it).
+struct ExecTicket {
+  uint64_t seq = 0;
+  IdReservation ids;
+};
+
 class DataPlane {
  public:
   explicit DataPlane(const DataPlaneConfig& config);
@@ -145,10 +168,27 @@ class DataPlane {
   DataPlane(const DataPlane&) = delete;
   DataPlane& operator=(const DataPlane&) = delete;
 
+  // --- deterministic sequencing (elastic intra-engine parallelism) ---
+
+  // Opens the next ticket in program order, reserving `reserve_ids` audit ids for the arrays
+  // the ticketed operation will create. Callers must open tickets in the order the operations
+  // are *submitted* (the engine's control thread does) — that order defines the audit stream.
+  ExecTicket OpenTicket(uint32_t reserve_ids);
+
+  // Marks a ticket's operation complete. Commits its staged audit records — and those of any
+  // successors this one was blocking — to the log in ticket order. Every opened ticket must be
+  // retired exactly once, on success and failure paths alike.
+  void RetireTicket(const ExecTicket& ticket);
+
+  // Tickets opened but not yet retired (or retired but blocked behind an open predecessor).
+  // Zero once the control plane has drained; Checkpoint refuses while nonzero.
+  size_t open_tickets() const;
+
   // --- the four boundary entry points (plus IO) ---
 
-  // Single shared entry for all trusted primitives.
-  Result<InvokeResponse> Invoke(const InvokeRequest& request);
+  // Single shared entry for all trusted primitives. With a ticket, audit records are staged
+  // for ticket-ordered commit and outputs draw from the ticket's reserved ids.
+  Result<InvokeResponse> Invoke(const InvokeRequest& request, ExecTicket* ticket = nullptr);
 
   // Fused entry: executes a whole command chain under ONE world-switch session, one audit
   // record per command (byte-identical replay vs. the equivalent Invoke-per-step stream).
@@ -159,19 +199,22 @@ class DataPlane {
   // than leaked, and the error is returned. Forged or forward-pointing slot refs fail with
   // kInvalidArgument, an already-consumed slot ref with kNotFound (mirroring a retired table
   // ref) — in both cases before any primitive runs in that command.
-  Result<SubmitResponse> Submit(const CmdBuffer& buffer);
+  Result<SubmitResponse> Submit(const CmdBuffer& buffer, ExecTicket* ticket = nullptr);
 
   // Ingests one event frame. With kTrustedIo the frame models a DMA landing in secure memory
   // (single placement copy); with kViaOs an extra staging copy across the boundary is paid.
   // `ctr_offset` is the frame's offset in the source's CTR keystream when decrypting.
   Result<OutputInfo> IngestBatch(std::span<const uint8_t> frame, size_t elem_size,
-                                 uint16_t stream, IngestPath path, uint64_t ctr_offset = 0);
+                                 uint16_t stream, IngestPath path, uint64_t ctr_offset = 0,
+                                 ExecTicket* ticket = nullptr);
 
   // Ingests a watermark (event-time progress signal) and records it for attestation.
-  Status IngestWatermark(EventTimeMs value, uint16_t stream = 0);
+  Status IngestWatermark(EventTimeMs value, uint16_t stream = 0, ExecTicket* ticket = nullptr);
 
-  // Externalizes a result: encrypt + sign + audit; the reference is consumed.
-  Result<EgressBlob> Egress(OpaqueRef ref);
+  // Externalizes a result: encrypt + sign + audit; the reference is consumed. Keystream
+  // offsets are allocated in call order — ticketed callers (the runner's completion stage)
+  // must therefore egress in ticket order.
+  Result<EgressBlob> Egress(OpaqueRef ref, ExecTicket* ticket = nullptr);
 
   // Explicitly releases a reference (e.g. dropped window state).
   Status Release(OpaqueRef ref);
@@ -261,7 +304,12 @@ class DataPlane {
       const std::function<Result<uint64_t>(OpaqueRef)>* resolve_slot = nullptr);
   OutputInfo RegisterOutput(UArray* array, uint16_t stream, AuditRecord* record,
                             uint32_t win_no = 0);
-  void AppendAudit(AuditRecord record);
+  // Emits one audit record: directly into the log (no ticket), or staged under the ticket for
+  // ticket-ordered commit.
+  void AppendAudit(AuditRecord record, ExecTicket* ticket = nullptr);
+  // Stamps the record's timestamp (wall clock, or the logical counter in
+  // logical_audit_timestamps mode) and appends it. Caller holds audit_mu_.
+  void StampAndAppendLocked(AuditRecord record);
   uint32_t NowTs() const {
     return static_cast<uint32_t>((NowUs() - epoch_us_) / 1000);
   }
@@ -282,6 +330,18 @@ class DataPlane {
   std::vector<AuditRecord> audit_log_;
   uint64_t chain_seq_ = 0;        // guarded by audit_mu_
   Sha256Digest chain_head_{};     // guarded by audit_mu_; zeros until the first upload
+  uint64_t logical_ts_ = 0;       // guarded by audit_mu_ (logical_audit_timestamps mode)
+
+  // Ticket reorder buffer: staged record batches, keyed by ticket seq, committed to the log in
+  // seq order as tickets retire. Lock order: seq_mu_ before audit_mu_, never the reverse.
+  struct StagedTicket {
+    std::vector<AuditRecord> records;
+    bool retired = false;
+  };
+  mutable std::mutex seq_mu_;
+  uint64_t next_ticket_seq_ = 0;   // guarded by seq_mu_
+  uint64_t commit_next_seq_ = 0;   // guarded by seq_mu_
+  std::map<uint64_t, StagedTicket> staged_;  // guarded by seq_mu_
 
   std::atomic<uint64_t> invoke_cycles_{0};
   std::atomic<uint64_t> memmgmt_cycles_{0};

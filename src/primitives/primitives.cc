@@ -291,14 +291,15 @@ Result<UArray*> PrimSort(const PrimitiveContext& ctx, const UArray& kv) {
   return out;
 }
 
-Result<UArray*> PrimMerge(const PrimitiveContext& ctx, const UArray& a, const UArray& b) {
+Result<UArray*> PrimMerge(const PrimitiveContext& ctx, const UArray& a, const UArray& b,
+                          UArrayScope scope) {
   SBT_RETURN_IF_ERROR(RequireProduced(a, "Merge"));
   SBT_RETURN_IF_ERROR(RequireProduced(b, "Merge"));
   SBT_RETURN_IF_ERROR(RequireElemSize(a, sizeof(PackedKV), "Merge"));
   SBT_RETURN_IF_ERROR(RequireElemSize(b, sizeof(PackedKV), "Merge"));
   SBT_UARRAY_DCHECK(IsSortedKV(a) && IsSortedKV(b));
 
-  SBT_ASSIGN_OR_RETURN(UArray * out, ctx.NewOutput(sizeof(PackedKV)));
+  SBT_ASSIGN_OR_RETURN(UArray * out, ctx.NewOutput(sizeof(PackedKV), scope));
   SBT_ASSIGN_OR_RETURN(int64_t * dst, out->AppendUninitializedAs<int64_t>(a.size() + b.size()));
   MergeI64(a.Span<int64_t>(), b.Span<int64_t>(),
            std::span<int64_t>(dst, a.size() + b.size()), ctx.sort_impl);
@@ -329,8 +330,11 @@ Result<UArray*> PrimMergeN(const PrimitiveContext& ctx, const std::vector<const 
       if (!final_round) {
         sub.hint = PlacementHint::None();
       }
-      auto merged = final_round ? PrimMerge(ctx, *round[i], *round[i + 1])
-                                : PrimMerge(sub, *round[i], *round[i + 1]);
+      // Non-final intermediates are scratch: they retire before MergeN returns and must not
+      // consume audit-visible ids (their count depends on the input fan-in).
+      auto merged = final_round
+                        ? PrimMerge(ctx, *round[i], *round[i + 1])
+                        : PrimMerge(sub, *round[i], *round[i + 1], UArrayScope::kTemporary);
       if (!merged.ok()) {
         for (UArray* tmp : intermediates) {
           ctx.alloc->Retire(tmp);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/common/event.h"
+#include "src/common/logging.h"
 #include "src/common/status.h"
 #include "src/common/time.h"
 #include "src/primitives/kv.h"
@@ -44,8 +45,27 @@ struct PrimitiveContext {
   PlacementHint hint = PlacementHint::None();
   uint64_t generation = 0;
   SortImpl sort_impl = SortImpl::kAuto;
+  // When set, outputs take the next id from this pre-reserved range (deterministic audit ids
+  // under out-of-order parallel execution); exhausted or absent, the shared counter decides.
+  IdReservation* ids = nullptr;
 
   Result<UArray*> NewOutput(size_t elem_size, UArrayScope scope = UArrayScope::kStreaming) const {
+    // Temporaries never consume reserved audit ids: the allocator keeps them in a disjoint
+    // scratch id space, so their (data-dependent) count cannot shift audit-visible ids.
+    // `ids->end != 0` distinguishes a ticket that reserved nothing (control-thread execution;
+    // the shared counter is the intended source) from one whose reservation ran dry.
+    if (scope != UArrayScope::kTemporary && ids != nullptr && ids->end != 0) {
+      if (const uint64_t id = ids->Take(); id != 0) {
+        return alloc->CreateWithId(id, elem_size, scope, hint, generation);
+      }
+      // An exhausted reservation means the caller under-counted this chain's outputs (a
+      // primitive produced more audit-visible arrays than its command reserved). Falling back
+      // to the shared counter keeps the engine correct but makes ids schedule-dependent —
+      // the worker-count byte-equivalence invariant (DESIGN.md §7) silently degrades, so
+      // shout: this is a reservation-sizing bug to fix, not a condition to tolerate.
+      SBT_LOG(Error) << "audit-id reservation exhausted mid-chain; falling back to the "
+                        "shared counter (audit ids now schedule-dependent)";
+    }
     return alloc->Create(elem_size, scope, hint, generation);
   }
   Result<UArray*> NewTemp(size_t elem_size) const {
@@ -102,7 +122,8 @@ Result<UArray*> PrimCount(const PrimitiveContext& ctx, const UArray& input);
 Result<UArray*> PrimSort(const PrimitiveContext& ctx, const UArray& kv);
 
 // kMerge: merges two sorted uArrays into one sorted output.
-Result<UArray*> PrimMerge(const PrimitiveContext& ctx, const UArray& a, const UArray& b);
+Result<UArray*> PrimMerge(const PrimitiveContext& ctx, const UArray& a, const UArray& b,
+                          UArrayScope scope = UArrayScope::kStreaming);
 
 // kMergeN: merges N sorted uArrays (iterated binary vectorized merges).
 Result<UArray*> PrimMergeN(const PrimitiveContext& ctx, const std::vector<const UArray*>& inputs);

@@ -148,8 +148,18 @@ Result<EdgeServer::Engine*> EdgeServer::CreateEngine(Shard& shard, const TenantS
   dp_cfg.mac_key = spec.mac_key;
   dp_cfg.backpressure_threshold = spec.backpressure_threshold;
 
+  // Worker carve: the tenant's requested parallelism (or the server default), clamped so the
+  // host-wide worker budget is never oversubscribed — but never below one worker, since a
+  // worker-less engine could not close windows at all. Determinism makes this safe to clamp
+  // freely: the grant changes throughput only, never the audit chain or egress bytes.
+  int workers = spec.worker_threads > 0 ? spec.worker_threads : config_.workers_per_engine;
+  if (config_.host_worker_budget > 0) {
+    const int remaining = config_.host_worker_budget - WorkersAllocated();
+    workers = std::max(1, std::min(workers, remaining));
+  }
+
   RunnerConfig rc;
-  rc.num_workers = config_.workers_per_engine;
+  rc.worker_threads = workers;
   rc.ingest_path = IngestPath::kTrustedIo;
   // kShed tenants drop at the data-plane door instead of blocking inside IngestFrame.
   rc.block_on_backpressure = spec.admission == AdmissionPolicy::kStall;
@@ -158,6 +168,7 @@ Result<EdgeServer::Engine*> EdgeServer::CreateEngine(Shard& shard, const TenantS
   owned->engine_id = next_engine_id_++;
   owned->tenant = spec.id;
   owned->admission = spec.admission;
+  owned->worker_threads = workers;
   owned->partition_bytes = partition.secure_dram_bytes;
   owned->dp = std::make_unique<DataPlane>(dp_cfg);
   owned->runner = std::make_unique<Runner>(owned->dp.get(), spec.pipeline, rc);
@@ -165,6 +176,16 @@ Result<EdgeServer::Engine*> EdgeServer::CreateEngine(Shard& shard, const TenantS
   Engine* engine = owned.get();
   shard.engines.push_back(std::move(owned));
   return engine;
+}
+
+int EdgeServer::WorkersAllocated() const {
+  int total = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& engine : shard->engines) {
+      total += engine->worker_threads;
+    }
+  }
+  return total;
 }
 
 Status EdgeServer::BindSource(TenantId tenant, uint32_t source, FrameChannel* channel,
@@ -730,6 +751,7 @@ ServerReport EdgeServer::Shutdown() {
                          std::make_move_iterator(tail.end()));
       }
       r.partition_bytes = engine->partition_bytes;
+      r.worker_threads = engine->worker_threads;
       r.peak_committed = engine->dp->memory_stats().peak_committed;
       r.shed_frames = engine->shed_frames;
       r.dispatch_errors = engine->dispatch_errors;

@@ -91,7 +91,13 @@ struct EdgeServerConfig {
   // One host secure budget, carved into equal per-shard partitions.
   size_t host_secure_budget_bytes = 256u << 20;
   int frontend_threads = 2;
-  int workers_per_engine = 2;       // Runner worker threads per (shard, tenant) engine
+  // Runner worker threads per (shard, tenant) engine — the default grant for tenants that do
+  // not request their own TenantSpec::worker_threads.
+  int workers_per_engine = 2;
+  // Host-wide cap on the SUM of worker threads across all resident engines (0 = uncapped).
+  // Grants are first-come: an engine created after the budget is spent still gets 1 worker so
+  // it can always make progress. Re-homed/restored engines re-carve at their new home.
+  int host_worker_budget = 0;
   size_t shard_queue_frames = 64;   // bounded ingest queue per shard (the backpressure signal)
   WorldSwitchConfig switch_cost = WorldSwitchConfig::Disabled();
   bool verify_audit_on_shutdown = true;
@@ -110,6 +116,7 @@ struct TenantShardReport {
 
   size_t partition_bytes = 0;   // this engine's secure carve (page-rounded quota)
   size_t peak_committed = 0;    // never exceeds partition_bytes (SecureWorld-enforced)
+  int worker_threads = 0;       // the engine's granted worker carve (>= 1)
   uint64_t shed_frames = 0;     // dropped at the data-plane door (kShed under backpressure)
   uint64_t dispatch_errors = 0;
 
@@ -242,6 +249,7 @@ class EdgeServer {
     TenantId tenant = 0;
     AdmissionPolicy admission = AdmissionPolicy::kStall;
     size_t partition_bytes = 0;
+    int worker_threads = 1;  // granted worker carve
     std::unique_ptr<DataPlane> dp;
     std::unique_ptr<Runner> runner;
     std::map<uint32_t, EventTimeMs> source_watermarks;  // source -> latest in-band watermark
@@ -298,6 +306,8 @@ class EdgeServer {
   void ParkUntilResumed();
 
   Result<Engine*> CreateEngine(Shard& shard, const TenantSpec& spec);
+  // Worker threads currently granted across every resident engine (the spent budget).
+  int WorkersAllocated() const;
   // Seals `engine` (which must belong to a drained shard) into a transferable checkpoint.
   Result<ShardEngineCheckpoint> SealEngine(Engine& engine);
   // Restores one sealed engine onto `shard` and re-points its sources there.

@@ -50,6 +50,12 @@ struct TenantSpec {
   // EdgeServer rejects a binding that would oversubscribe the target shard's partition.
   size_t secure_quota_bytes = 8u << 20;
 
+  // Worker threads per engine instance of this tenant (0 = the server's workers_per_engine
+  // default). Like the memory quota, the grant is carved from the host's worker budget
+  // (EdgeServerConfig::host_worker_budget); an exhausted budget clamps the grant to 1, never
+  // below — every engine makes progress. Any grant yields the same audit chain and egress.
+  int worker_threads = 0;
+
   AdmissionPolicy admission = AdmissionPolicy::kStall;
   // Pool-utilization fraction at which this tenant's engines report backpressure. kShed
   // tenants want headroom below 1.0 so window closes can still allocate while sources shed.

@@ -11,6 +11,11 @@ namespace {
 // Lane key for unhinted allocations (kept out of real lane numbers).
 constexpr uint32_t kDefaultLane = 0xffffffffu;
 
+// Id space for kTemporary scratch arrays: disjoint from audit ids (which are truncated to 32
+// bits in records and stay far below this) so scratch allocation order can never shift the
+// audit-visible sequence.
+constexpr uint64_t kScratchIdBase = 1ull << 62;
+
 }  // namespace
 
 UArrayAllocator::UArrayAllocator(SecureWorld* world, PlacementPolicy policy)
@@ -51,6 +56,33 @@ Result<UArray*> UArrayAllocator::RestoreArray(uint64_t array_id, size_t elem_siz
   }
   Status error = OkStatus();
   UArray* array = CreateLocked(elem_size, scope, hint, /*generation=*/0, array_id, &error);
+  if (array == nullptr) {
+    return error;
+  }
+  return array;
+}
+
+uint64_t UArrayAllocator::ReserveIds(uint32_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t base = next_array_id_;
+  next_array_id_ += count;
+  return base;
+}
+
+Result<UArray*> UArrayAllocator::CreateWithId(uint64_t array_id, size_t elem_size,
+                                              UArrayScope scope, const PlacementHint& hint,
+                                              uint64_t generation) {
+  if (elem_size == 0 || array_id == 0) {
+    return InvalidArgument("uArray with zero id or element size");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_arrays_.contains(array_id)) {
+    return Internal("pre-reserved uArray id collides with a live array");
+  }
+  const uint64_t t0 = ReadCycleCounter();
+  Status error = OkStatus();
+  UArray* array = CreateLocked(elem_size, scope, hint, generation, array_id, &error);
+  cycles_.fetch_add(ReadCycleCounter() - t0, std::memory_order_relaxed);
   if (array == nullptr) {
     return error;
   }
@@ -133,7 +165,8 @@ UArray* UArrayAllocator::CreateLocked(size_t elem_size, UArrayScope scope,
 
   uint64_t id = forced_id;
   if (id == 0) {
-    id = next_array_id_++;
+    id = scope == UArrayScope::kTemporary ? kScratchIdBase + next_scratch_id_++
+                                          : next_array_id_++;
   } else {
     next_array_id_ = std::max(next_array_id_, id + 1);
   }

@@ -63,6 +63,18 @@ struct PlacementHint {
   }
 };
 
+// A pre-reserved contiguous range of audit ids, handed to out-of-order workers so that the
+// ids their outputs carry are fixed at reservation time (program order) rather than at
+// execution time. `Take()` returns 0 once the range is exhausted — callers fall back to the
+// shared counter, trading determinism for progress.
+struct IdReservation {
+  uint64_t next = 0;
+  uint64_t end = 0;
+
+  uint64_t Take() { return next < end ? next++ : 0; }
+  bool empty() const { return next >= end; }
+};
+
 struct AllocatorStats {
   size_t live_groups = 0;
   size_t live_arrays = 0;
@@ -98,6 +110,18 @@ class UArrayAllocator {
   // onto the original stream.
   Result<UArray*> RestoreArray(uint64_t array_id, size_t elem_size, UArrayScope scope,
                                const PlacementHint& hint = PlacementHint::None());
+
+  // Advances the audit-id counter by `count` and returns the first reserved id. Issued in
+  // program order by the engine's control thread; workers then create their outputs under the
+  // reserved ids via CreateWithId, so concurrent out-of-order execution cannot perturb the id
+  // sequence the audit stream records.
+  uint64_t ReserveIds(uint32_t count);
+
+  // Creates a new open uArray under a pre-reserved id (see ReserveIds). The id must be nonzero
+  // and not live.
+  Result<UArray*> CreateWithId(uint64_t array_id, size_t elem_size, UArrayScope scope,
+                               const PlacementHint& hint = PlacementHint::None(),
+                               uint64_t generation = 0);
 
   // Floor for the next audit id (checkpoint restore; never lowers the counter).
   void AdvanceNextArrayId(uint64_t next_id);
@@ -137,6 +161,10 @@ class UArrayAllocator {
   std::unordered_map<uint32_t, UGroup*> lane_groups_;
 
   uint64_t next_array_id_ = 1;
+  // Scratch (kTemporary) arrays live and die inside one primitive call and never appear in
+  // audit records, so they draw from a disjoint id space instead of consuming audit ids —
+  // otherwise a data-dependent scratch allocation would shift every later audit id.
+  uint64_t next_scratch_id_ = 0;
   uint64_t next_group_id_ = 1;
   uint64_t groups_created_ = 0;
   uint64_t arrays_created_ = 0;

@@ -32,7 +32,10 @@ DataPlaneConfig EngineConfig(size_t pool_mb = 8) {
 
 RunnerConfig SingleWorker(bool fuse_chains = true) {
   RunnerConfig rc;
-  rc.num_workers = 1;  // deterministic task order => comparable audit streams and egress
+  // Any worker count now yields identical audit streams and egress (ticket sequencing);
+  // one worker just keeps these small fixtures cheap. stress_test covers the multi-worker
+  // checkpoint/restore equivalence.
+  rc.worker_threads = 1;
   rc.fuse_chains = fuse_chains;
   return rc;
 }

@@ -351,7 +351,7 @@ uint64_t EntriesForChainRun(bool fuse_chains) {
 
   DataPlane dp(testing::SmallDataPlaneConfig(/*decrypt_ingress=*/false));
   RunnerConfig rc;
-  rc.num_workers = 1;
+  rc.worker_threads = 1;
   rc.fuse_chains = fuse_chains;
   Runner runner(&dp, pipeline, rc);
   const auto events = testing::ConstantEvents(500);
@@ -395,7 +395,7 @@ TEST_P(ChainFailureTest, FailedChainDoesNotWedgeItsWindow) {
 
   DataPlane dp(testing::SmallDataPlaneConfig(/*decrypt_ingress=*/false));
   RunnerConfig rc;
-  rc.num_workers = 1;
+  rc.worker_threads = 1;
   rc.fuse_chains = GetParam();
   Runner runner(&dp, pipeline, rc);
   const auto events = testing::ConstantEvents(200);

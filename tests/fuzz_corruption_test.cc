@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <vector>
 
 #include "src/attest/audit_chain.h"
@@ -36,7 +37,7 @@ const SealedFixture& Fixture() {
     auto* f = new SealedFixture();
     DataPlane dp(f->cfg);
     RunnerConfig rc;
-    rc.num_workers = 1;
+    rc.worker_threads = 1;
     Runner runner(&dp, MakeDistinct(1000), rc);
     for (uint32_t w = 0; w < 2; ++w) {
       std::vector<Event> events = testing::MakeEvents(2000, 32, 1000, 7 + w);
@@ -133,8 +134,25 @@ TEST_P(CorruptionFuzz, CorruptSealedCheckpointsAreRejectedAndNeverCrash) {
   EXPECT_TRUE(fresh.Restore(fx.sealed).ok());
 }
 
-INSTANTIATE_TEST_SUITE_P(SeedMatrix, CorruptionFuzz,
-                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+// Seed matrix: 8 seeds by default; the nightly workflow widens it via SBT_FUZZ_SEEDS (seed
+// values stay deterministic — 1..N — so a nightly failure reproduces locally by exporting the
+// same count and filtering to the failing seed).
+std::vector<uint64_t> FuzzSeeds() {
+  size_t count = 8;
+  if (const char* env = std::getenv("SBT_FUZZ_SEEDS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) {
+      count = static_cast<size_t>(parsed);
+    }
+  }
+  std::vector<uint64_t> seeds(count);
+  for (size_t i = 0; i < count; ++i) {
+    seeds[i] = i + 1;
+  }
+  return seeds;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedMatrix, CorruptionFuzz, ::testing::ValuesIn(FuzzSeeds()));
 
 }  // namespace
 }  // namespace sbt

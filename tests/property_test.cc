@@ -227,7 +227,7 @@ std::vector<AuditRecord> HonestStream() {
   HarnessOptions opts;
   opts.version = EngineVersion::kSbtClearIngress;
   opts.engine.secure_pool_mb = 64;
-  opts.engine.num_workers = 2;
+  opts.engine.worker_threads = 2;
   opts.generator.batch_events = 5000;
   opts.generator.num_windows = 2;
   opts.generator.workload.kind = WorkloadKind::kSynthetic;
@@ -395,7 +395,7 @@ SessionArtifacts RunBoundarySession(const Pipeline& pipeline, WorkloadKind kind,
   SessionArtifacts out;
   {
     RunnerConfig rc;
-    rc.num_workers = 1;
+    rc.worker_threads = 1;
     rc.fuse_chains = fuse_chains;
     Runner runner(&dp, pipeline, rc);
     Generator gen(opts.generator);
@@ -486,6 +486,162 @@ TEST(FusedEquivalence, HoldsUnderInjectedWorldSwitchFaults) {
                                                                /*den=*/8));
   const SessionArtifacts fused = RunBoundarySession(p, WorkloadKind::kTaxi, true);
   ExpectByteIdentical(fused, unfused);
+}
+
+// --- worker-count equivalence ------------------------------------------------------------
+//
+// Elastic intra-engine parallelism must be externally invisible: the audit hash chain (the
+// WHOLE upload — raw bytes, compressed blob, MAC, chain position), the egress blobs, and the
+// verifier's replay verdict are byte-identical for every worker_threads value. These sessions
+// run free (no per-frame drain): workers genuinely race, execute chains out of order, and the
+// ticket sequencing + watermark-ordered completion stage must put everything back in program
+// order. logical_audit_timestamps replaces the wall clock so even record timestamps — and
+// therefore the upload MACs — compare byte-for-byte.
+
+struct WorkerSessionArtifacts {
+  std::vector<WindowResult> results;
+  AuditUpload upload;
+  std::vector<AuditRecord> records;
+  VerifyReport report;
+  uint64_t task_errors = 0;
+};
+
+WorkerSessionArtifacts RunWorkerSession(const Pipeline& pipeline, WorkloadKind kind,
+                                        int worker_threads, bool fuse_chains = true) {
+  HarnessOptions opts;
+  opts.version = EngineVersion::kSbtClearIngress;
+  opts.engine.secure_pool_mb = 64;
+  opts.generator.batch_events = 4000;
+  opts.generator.num_windows = 3;
+  opts.generator.workload.kind = kind;
+  opts.generator.workload.events_per_window = 12000;
+
+  DataPlaneConfig cfg = MakeEngineConfig(opts.version, opts.engine);
+  cfg.logical_audit_timestamps = true;
+  DataPlane dp(cfg);
+  WorkerSessionArtifacts out;
+  {
+    RunnerConfig rc;
+    rc.worker_threads = worker_threads;
+    rc.fuse_chains = fuse_chains;
+    Runner runner(&dp, pipeline, rc);
+    Generator gen(opts.generator);
+    while (auto frame = gen.NextFrame()) {
+      if (frame->is_watermark) {
+        EXPECT_TRUE(runner.AdvanceWatermark(frame->watermark).ok());
+      } else {
+        EXPECT_TRUE(runner.IngestFrame(frame->bytes, 0, frame->ctr_offset).ok());
+      }
+      // NO drain here: this is the schedule-independence property, not a pinned schedule.
+    }
+    runner.Drain();
+    out.results = runner.TakeResults();
+    out.task_errors = runner.stats().task_errors;
+  }
+  out.upload = dp.FlushAudit(&out.records);
+  out.report = CloudVerifier(pipeline.ToVerifierSpec()).Verify(out.records);
+  return out;
+}
+
+void ExpectWorkerCountInvariant(const WorkerSessionArtifacts& a,
+                                const WorkerSessionArtifacts& b) {
+  EXPECT_EQ(a.task_errors, 0u);
+  EXPECT_EQ(b.task_errors, 0u);
+
+  // Results arrive in watermark order from the completion stage: compare positionally.
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].window_index, b.results[i].window_index);
+    ASSERT_EQ(a.results[i].blobs.size(), b.results[i].blobs.size());
+    for (size_t j = 0; j < a.results[i].blobs.size(); ++j) {
+      EXPECT_EQ(a.results[i].blobs[j].ciphertext, b.results[i].blobs[j].ciphertext);
+      EXPECT_TRUE(DigestEqual(a.results[i].blobs[j].mac, b.results[i].blobs[j].mac));
+      EXPECT_EQ(a.results[i].blobs[j].elems, b.results[i].blobs[j].elems);
+      EXPECT_EQ(a.results[i].blobs[j].ctr_offset, b.results[i].blobs[j].ctr_offset);
+    }
+  }
+
+  // The audit chain, bytes and all: same records, same raw encoding, same compressed blob,
+  // same MAC, same chain position. Nothing about the schedule can leak into attestation.
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    const AuditRecord& ra = a.records[i];
+    const AuditRecord& rb = b.records[i];
+    EXPECT_EQ(ra.op, rb.op) << "record " << i;
+    EXPECT_EQ(ra.ts_ms, rb.ts_ms) << "record " << i << " (" << PrimitiveOpName(ra.op) << ")";
+    EXPECT_EQ(ra.inputs, rb.inputs) << "record " << i << " (" << PrimitiveOpName(ra.op) << ")";
+    EXPECT_EQ(ra.outputs, rb.outputs)
+        << "record " << i << " (" << PrimitiveOpName(ra.op) << ")";
+    EXPECT_EQ(ra.win_nos, rb.win_nos) << "record " << i;
+    EXPECT_EQ(ra.watermark, rb.watermark) << "record " << i;
+    EXPECT_EQ(ra.stream, rb.stream) << "record " << i;
+    ASSERT_EQ(ra.hints.size(), rb.hints.size()) << "record " << i;
+    for (size_t h = 0; h < ra.hints.size(); ++h) {
+      EXPECT_EQ(ra.hints[h].encoded, rb.hints[h].encoded)
+          << "record " << i << " hint " << h << " (" << PrimitiveOpName(ra.op) << ")";
+    }
+  }
+  EXPECT_EQ(a.upload.chain_seq, b.upload.chain_seq);
+  EXPECT_TRUE(DigestEqual(a.upload.chain_prev, b.upload.chain_prev));
+  EXPECT_EQ(a.upload.record_count, b.upload.record_count);
+  EXPECT_EQ(a.upload.raw_bytes, b.upload.raw_bytes);
+  EXPECT_EQ(a.upload.compressed, b.upload.compressed);
+  EXPECT_TRUE(DigestEqual(a.upload.mac, b.upload.mac));
+
+  EXPECT_TRUE(a.report.correct)
+      << (a.report.violations.empty() ? "" : a.report.violations[0]);
+  EXPECT_TRUE(b.report.correct)
+      << (b.report.violations.empty() ? "" : b.report.violations[0]);
+  EXPECT_EQ(a.report.windows_verified, b.report.windows_verified);
+  EXPECT_EQ(a.report.hints_audited, b.report.hints_audited);
+}
+
+TEST(WorkerEquivalence, DistinctPipelineOneVsEightWorkers) {
+  const Pipeline p = MakeDistinct(1000);
+  ExpectWorkerCountInvariant(RunWorkerSession(p, WorkloadKind::kTaxi, 1),
+                             RunWorkerSession(p, WorkloadKind::kTaxi, 8));
+}
+
+TEST(WorkerEquivalence, PowerPipelineDeepCloseDagOneVsEightWorkers) {
+  const Pipeline p = MakePower(1000);
+  ExpectWorkerCountInvariant(RunWorkerSession(p, WorkloadKind::kPowerGrid, 1),
+                             RunWorkerSession(p, WorkloadKind::kPowerGrid, 8));
+}
+
+TEST(WorkerEquivalence, WinSumPipelineIntermediateWorkerCounts) {
+  const Pipeline p = MakeWinSum(1000);
+  const WorkerSessionArtifacts one = RunWorkerSession(p, WorkloadKind::kIntelLab, 1);
+  ExpectWorkerCountInvariant(one, RunWorkerSession(p, WorkloadKind::kIntelLab, 2));
+  ExpectWorkerCountInvariant(one, RunWorkerSession(p, WorkloadKind::kIntelLab, 4));
+}
+
+TEST(WorkerEquivalence, UnfusedBoundaryOneVsEightWorkers) {
+  // The paper's call-per-primitive boundary under parallel workers: each chain step crosses
+  // the TEE separately, still under one ticket — same invariant.
+  const Pipeline p = MakeDistinct(1000);
+  ExpectWorkerCountInvariant(
+      RunWorkerSession(p, WorkloadKind::kTaxi, 1, /*fuse_chains=*/false),
+      RunWorkerSession(p, WorkloadKind::kTaxi, 8, /*fuse_chains=*/false));
+}
+
+TEST(WorkerEquivalence, FusedVsUnfusedAtFourWorkers) {
+  // Both axes at once: the boundary mode and the worker count are BOTH invisible.
+  const Pipeline p = MakeDistinct(1000);
+  ExpectWorkerCountInvariant(
+      RunWorkerSession(p, WorkloadKind::kTaxi, 4, /*fuse_chains=*/true),
+      RunWorkerSession(p, WorkloadKind::kTaxi, 4, /*fuse_chains=*/false));
+}
+
+TEST(WorkerEquivalence, HoldsUnderInjectedWorldSwitchFaults) {
+  // Seeded SMC faults abort and re-issue TEE entries at schedule-dependent points — different
+  // entries fault at different worker counts — but a fault burns cycles without touching the
+  // dataflow, so the equivalence must survive.
+  const Pipeline p = MakeDistinct(1000);
+  const WorkerSessionArtifacts one = RunWorkerSession(p, WorkloadKind::kTaxi, 1);
+  testing::ScopedFailPoint fp("world_switch.fault",
+                              testing::ScopedFailPoint::Seeded(/*seed=*/42, /*num=*/1,
+                                                               /*den=*/8));
+  ExpectWorkerCountInvariant(one, RunWorkerSession(p, WorkloadKind::kTaxi, 8));
 }
 
 TEST(VerifierProperty, ReplayedSessionsAreIndependent) {

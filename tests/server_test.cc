@@ -123,6 +123,55 @@ TEST(TenantRegistryTest, AddFindAndRejects) {
   EXPECT_NE(registry.Find(1)->egress_key, registry.Find(2)->egress_key);
 }
 
+// The per-engine worker carve: tenants request worker_threads, grants come out of the host's
+// worker budget first-come, and an engine created after the budget is spent still gets one
+// worker (progress is never denied — and thanks to deterministic sequencing the grant cannot
+// change any engine's audit chain or egress, only its throughput).
+TEST(EdgeServerTest, WorkerBudgetIsCarvedAcrossEngines) {
+  TenantRegistry registry;
+  TenantSpec greedy = MakeTenantSpec(1, "greedy", MakeWinSum(1000), 4u << 20);
+  greedy.worker_threads = 3;
+  ASSERT_TRUE(registry.Add(std::move(greedy)).ok());
+  ASSERT_TRUE(registry.Add(MakeTenantSpec(2, "default", MakeWinSum(1000), 4u << 20)).ok());
+  ASSERT_TRUE(registry.Add(MakeTenantSpec(3, "starved", MakeWinSum(1000), 4u << 20)).ok());
+  const TenantSpec spec1 = *registry.Find(1);
+  const TenantSpec spec2 = *registry.Find(2);
+  const TenantSpec spec3 = *registry.Find(3);
+
+  EdgeServerConfig cfg;
+  cfg.num_shards = 1;  // all three engines share one shard -> carve order is bind order
+  cfg.host_secure_budget_bytes = 64u << 20;
+  cfg.workers_per_engine = 2;
+  cfg.host_worker_budget = 4;  // greedy takes 3, default gets the 1 left, starved floors at 1
+  EdgeServer server(cfg, registry);
+
+  std::vector<std::unique_ptr<TestSource>> sources;
+  sources.push_back(MakeSource(1, 10, SourceGenConfig(spec1, WorkloadKind::kIntelLab)));
+  sources.push_back(MakeSource(2, 20, SourceGenConfig(spec2, WorkloadKind::kIntelLab)));
+  sources.push_back(MakeSource(3, 30, SourceGenConfig(spec3, WorkloadKind::kIntelLab)));
+  for (auto& src : sources) {
+    ASSERT_TRUE(server.BindSource(src->tenant, src->id, src->channel.get()).ok());
+  }
+  ASSERT_TRUE(server.Start().ok());
+  for (auto& src : sources) {
+    src->thread = std::thread([&src] { src->generator->RunInto(src->channel.get()); });
+  }
+  for (auto& src : sources) {
+    src->thread.join();
+  }
+  const ServerReport report = server.Shutdown();
+
+  ASSERT_EQ(report.engines.size(), 3u);
+  EXPECT_EQ(report.engines[0].worker_threads, 3);  // requested 3, budget had 4
+  EXPECT_EQ(report.engines[1].worker_threads, 1);  // wanted the default 2, only 1 left
+  EXPECT_EQ(report.engines[2].worker_threads, 1);  // budget exhausted -> floor of 1
+  for (const TenantShardReport& e : report.engines) {
+    EXPECT_EQ(e.runner.task_errors, 0u) << e.tenant_name;
+    EXPECT_TRUE(e.verified && e.verify.correct) << e.tenant_name;
+    EXPECT_EQ(e.runner.windows_emitted, 3u) << e.tenant_name;
+  }
+}
+
 // The acceptance scenario: 4 shards, 3 tenants, 5 sources. Every tenant's audit uploads verify
 // independently against its own pipeline, committed secure bytes stay inside every engine's
 // carve and every shard's partition, and results are numerically correct per tenant.
@@ -693,7 +742,7 @@ TEST(RunnerDrainTest, ConcurrentDrainNeverMissesWindowCloses) {
   DataPlaneConfig cfg = testing::SmallDataPlaneConfig(/*decrypt_ingress=*/false);
   DataPlane dp(cfg);
   RunnerConfig rc;
-  rc.num_workers = 2;
+  rc.worker_threads = 2;
   Runner runner(&dp, MakeWinSum(100), rc);
 
   std::atomic<bool> stop{false};

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff BENCH_*.json artifacts against committed baselines.
+
+Benches emit machine-readable row arrays (bench_util.h JsonBenchReport). This gate matches
+rows by their key columns and compares metrics against bench/baselines/*.json:
+
+  - *portable* metrics (scaling speedups, ops amortized per world switch, switch counts)
+    characterize shape, not host speed — they gate unconditionally;
+  - *absolute* metrics (events/sec) depend on the runner hardware — they gate only with
+    --absolute (or SBT_BENCH_GATE_ABSOLUTE=1), which CI enables once the baselines were
+    refreshed on the same runner class (the manual-dispatch refresh-baselines workflow);
+    otherwise they only warn.
+
+A metric regresses when it moves past the tolerance (default 15%, SBT_BENCH_GATE_TOLERANCE)
+in its bad direction. Boolean requirements (ok / verified / errors == 0) always gate.
+
+Exit codes: 0 pass, 1 regression or requirement failure, 2 usage error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TOLERANCE = float(os.environ.get("SBT_BENCH_GATE_TOLERANCE", "0.15"))
+
+
+class Metric:
+    def __init__(self, name, lower_is_worse=True, portable=False, tolerance=None,
+                 min_baseline=None):
+        self.name = name
+        self.lower_is_worse = lower_is_worse
+        self.portable = portable
+        # Per-metric tolerance override (fraction); None -> the global threshold.
+        self.tolerance = tolerance
+        # Only gate when the BASELINE exceeds this value: a scaling ratio measured on a
+        # saturated or single-core host is noise, not a baseline — the check arms itself once
+        # refreshed baselines actually demonstrate scaling.
+        self.min_baseline = min_baseline
+
+
+# Per-bench schema: key columns identify a row across runs; metrics are compared; require
+# entries are exact-match invariants on every current row.
+BENCHES = {
+    "fig7": {
+        "keys": ["bench", "version", "workers"],
+        "metrics": [
+            Metric("speedup_vs_1_worker", portable=True, tolerance=0.25, min_baseline=1.2),
+            Metric("events_per_sec"),
+        ],
+        "require": {"ok": True},
+    },
+    "fig9": {
+        "keys": ["series", "batch_events"],
+        "metrics": [
+            Metric("ops_per_entry", portable=True),
+            Metric("switch_entries", lower_is_worse=False, portable=True),
+            Metric("events_per_sec"),
+        ],
+        "require": {},
+    },
+    "server_scaling": {
+        "keys": ["shards", "workers"],
+        "metrics": [
+            Metric("events_per_sec"),
+        ],
+        "require": {"verified": True, "errors": 0},
+    },
+}
+
+
+def load_rows(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def row_key(row, keys):
+    return tuple(str(row.get(k)) for k in keys)
+
+
+def compare_bench(name, schema, baseline_rows, current_rows, absolute, failures, warnings):
+    baseline = {row_key(r, schema["keys"]): r for r in baseline_rows}
+    current = {row_key(r, schema["keys"]): r for r in current_rows}
+
+    for key, row in current.items():
+        for req, want in schema["require"].items():
+            # A missing required field is a failure, not a pass: these invariants must not be
+            # silently disabled by a bench dropping or renaming the column.
+            if req not in row:
+                failures.append(f"{name} {key}: required field {req!r} missing from bench JSON")
+            elif row[req] != want:
+                failures.append(f"{name} {key}: {req}={row[req]!r}, required {want!r}")
+
+    for key, base in baseline.items():
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{name} {key}: row present in baseline but missing from run")
+            continue
+        for metric in schema["metrics"]:
+            if metric.name not in base or metric.name not in cur:
+                continue
+            b, c = float(base[metric.name]), float(cur[metric.name])
+            if b == 0:
+                continue
+            if metric.min_baseline is not None and b < metric.min_baseline:
+                continue  # baseline below the metric's meaningful range; nothing to protect
+            tol = TOLERANCE if metric.tolerance is None else metric.tolerance
+            change = (c - b) / abs(b)
+            regressed = (change < -tol) if metric.lower_is_worse else (change > tol)
+            if not regressed:
+                continue
+            msg = (f"{name} {key}: {metric.name} {b:.4g} -> {c:.4g} "
+                   f"({change * 100:+.1f}%, tolerance {tol * 100:.0f}%)")
+            if metric.portable or absolute:
+                failures.append(msg)
+            else:
+                warnings.append(msg + " [absolute metric; warning only until baselines "
+                                      "are refreshed on this runner class]")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--current-dir", required=True,
+                        help="directory holding the run's BENCH_*.json files")
+    parser.add_argument("--absolute", action="store_true",
+                        default=os.environ.get("SBT_BENCH_GATE_ABSOLUTE") == "1",
+                        help="gate absolute throughput metrics too")
+    args = parser.parse_args()
+
+    failures, warnings, checked = [], [], 0
+    for name, schema in BENCHES.items():
+        baseline_path = os.path.join(args.baseline_dir, f"BENCH_{name}.json")
+        current_path = os.path.join(args.current_dir, f"BENCH_{name}.json")
+        if not os.path.exists(baseline_path):
+            warnings.append(f"{name}: no committed baseline at {baseline_path}; skipped")
+            continue
+        if not os.path.exists(current_path):
+            failures.append(f"{name}: baseline exists but the run produced no {current_path}")
+            continue
+        try:
+            compare_bench(name, schema, load_rows(baseline_path), load_rows(current_path),
+                          args.absolute, failures, warnings)
+            checked += 1
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as e:
+            failures.append(f"{name}: malformed bench JSON ({e})")
+
+    for w in warnings:
+        print(f"WARN  {w}")
+    for f in failures:
+        print(f"FAIL  {f}")
+    if checked == 0:
+        print("FAIL  no benches compared (missing baselines?)")
+        return 1
+    if failures:
+        print(f"bench gate: {len(failures)} regression(s) across {checked} bench(es)")
+        return 1
+    print(f"bench gate: OK ({checked} bench(es), {len(warnings)} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
