@@ -5,11 +5,14 @@
 // world-switch overhead starts to dominate. The switch cost model is calibrated to OP-TEE's
 // software-dominated switch path (see src/tz/world_switch.h).
 //
-// Two series per batch size:
+// Three series per batch size:
 //   per-invoke — the paper's boundary: one world switch per primitive per segment
 //   fused      — command-buffer submission (src/core/cmd_buffer.h): one switch per chain
+//   combined   — flat-combining submission (src/core/submit_combiner.h) over fused chains
+//                at 4 workers: concurrently-ready chains share one switch per drained batch
 // The fused series flattens the small-batch cliff — fewer entries, more ops amortized per
-// entry — which is exactly the batching-crossover story told from the other side.
+// entry — and the combined series flattens it further: at equal work its switch_entries must
+// come in strictly below fused, since every multi-chain drain merges entries fusing cannot.
 //
 // Emits BENCH_fig9.json (bench_util.h) with one row per (series, batch).
 
@@ -45,14 +48,32 @@ void RunFig9() {
   std::printf("%-11s %-10s %9s %9s %9s %9s %10s %10s\n", "series", "batch", "compute%",
               "switch%", "memmgmt%", "audit%", "switches", "ops/entry");
 
+  struct Series {
+    const char* name;
+    bool fused;
+    bool combine;
+    int workers;
+  };
+  // The single-worker series pin combining off so they keep measuring the per-chain boundary
+  // alone; the combined series needs workers, since only concurrently-ready chains can share
+  // a switch.
+  const Series series_list[] = {
+      {"per-invoke", /*fused=*/false, /*combine=*/false, /*workers=*/1},
+      {"fused", /*fused=*/true, /*combine=*/false, /*workers=*/1},
+      {"combined", /*fused=*/true, /*combine=*/true, /*workers=*/4},
+  };
+
   JsonBenchReport report("fig9");
-  for (const bool fused : {false, true}) {
+  for (const Series& s : series_list) {
     for (const uint32_t batch : batch_sizes) {
       HarnessOptions opts;
       opts.version = EngineVersion::kSbtClearIngress;  // isolate the isolation cost itself
-      opts.engine.worker_threads = 1;  // avoids oversubscription distortion in cycle accounting on small hosts
+      // Single worker avoids oversubscription distortion in cycle accounting on small hosts;
+      // the combined series accepts it — its point is the entry count, not the percentages.
+      opts.engine.worker_threads = s.workers;
       opts.engine.secure_pool_mb = 512;
-      opts.engine.fuse_chains = fused;
+      opts.engine.fuse_chains = s.fused;
+      opts.engine.combine_submissions = s.combine;
       opts.generator.batch_events = batch;
       opts.generator.num_windows = 2u * scale;
       opts.generator.workload.kind = WorkloadKind::kSynthetic;
@@ -68,13 +89,12 @@ void RunFig9() {
       const double audit_pct = 100.0 * c.audit_cycles / total;
       const double compute_pct = 100.0 - switch_pct - mem_pct - audit_pct;
       const double ops_per_entry = c.ops_per_entry();
-      const char* series = fused ? "fused" : "per-invoke";
-      std::printf("%-11s %-10u %8.1f%% %8.1f%% %8.1f%% %8.2f%% %10llu %10.2f\n", series,
+      std::printf("%-11s %-10u %8.1f%% %8.1f%% %8.1f%% %8.2f%% %10llu %10.2f\n", s.name,
                   batch, compute_pct, switch_pct, mem_pct, audit_pct,
                   static_cast<unsigned long long>(c.switch_entries), ops_per_entry);
 
       report.BeginRow()
-          .Str("series", series)
+          .Str("series", s.name)
           .Int("batch_events", batch)
           .Num("compute_pct", compute_pct)
           .Num("switch_pct", switch_pct)

@@ -8,9 +8,11 @@
 // atomic load, so the hooks stay in release builds.
 //
 // Hooked sites:
-//   secure_world.alloc_frame  SecureWorld::AllocFrame returns kResourceExhausted
-//   channel.try_push          BoundedChannel<T>::TryPush returns false (queue-full signal)
-//   world_switch.fault        WorldSwitchGate entry is aborted and retried (extra entry burn)
+//   secure_world.alloc_frame    SecureWorld::AllocFrame returns kResourceExhausted
+//   channel.try_push            BoundedChannel<T>::TryPush returns false (queue-full signal)
+//   world_switch.fault          WorldSwitchGate entry is aborted and retried (extra entry burn)
+//   data_plane.checkpoint_stall DataPlane::Checkpoint spins between its refusal decision and
+//                               the seal (race-window widener for the admission-lock tests)
 //
 // Tests use testing::ScopedFailPoint (tests/testing/testing.h) for RAII arm/disarm.
 

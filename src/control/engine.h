@@ -52,6 +52,9 @@ struct EngineOptions {
   // Command-buffer fusion: one world switch per primitive chain (default). Off reproduces the
   // call-per-primitive boundary for the fig9 comparison series.
   bool fuse_chains = true;
+  // Flat-combining submission: concurrently ready chains share one world switch (default). Off
+  // reproduces the one-entry-per-chain boundary; bytes are identical either way.
+  bool combine_submissions = true;
 };
 
 inline DataPlaneConfig MakeEngineConfig(EngineVersion version, const EngineOptions& opts) {
@@ -91,6 +94,7 @@ inline RunnerConfig MakeRunnerConfig(EngineVersion version, const EngineOptions&
   rc.worker_threads = opts.worker_threads;
   rc.use_hints = opts.use_hints;
   rc.fuse_chains = opts.fuse_chains;
+  rc.combine_submissions = opts.combine_submissions;
   rc.ingest_path = (version == EngineVersion::kSbtIoViaOs) ? IngestPath::kViaOs
                                                            : IngestPath::kTrustedIo;
   return rc;

@@ -35,6 +35,16 @@ Runner::Runner(DataPlane* data_plane, Pipeline pipeline, RunnerConfig config)
     SBT_LOG(Error) << "window-close DAG contains a multi-output stage: close-stage audit ids "
                       "will be schedule-dependent at worker_threads > 1";
   }
+  if (config_.combine_submissions) {
+    // Shared queue when the server wired one (cross-engine combining on a shard), otherwise a
+    // private queue: either way workers publish ready chains instead of submitting directly.
+    if (config_.combiner != nullptr) {
+      combiner_ = config_.combiner;
+    } else {
+      owned_combiner_ = std::make_unique<SubmitCombiner>();
+      combiner_ = owned_combiner_.get();
+    }
+  }
   workers_.reserve(config_.worker_threads);
   for (int i = 0; i < config_.worker_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -113,6 +123,18 @@ void Runner::Enqueue(std::function<void()> task) {
 void Runner::NoteError(const Status& status) {
   task_errors_.fetch_add(1, std::memory_order_relaxed);
   SBT_LOG(Error) << "runner task failed: " << status.ToString();
+}
+
+Result<SubmitResponse> Runner::SubmitChain(const CmdBuffer& buffer, ExecTicket* ticket,
+                                           bool retire_ticket) {
+  if (combiner_ != nullptr) {
+    return combiner_->Apply(dp_, buffer, ticket, retire_ticket);
+  }
+  auto resp = dp_->Submit(buffer, ticket);
+  if (retire_ticket && ticket != nullptr) {
+    dp_->RetireTicket(*ticket);
+  }
+  return resp;
 }
 
 Status Runner::IngestFrame(std::span<const uint8_t> frame, uint16_t stream,
@@ -214,10 +236,17 @@ void Runner::RunChain(ExecTicket ticket, uint32_t worker_lane, OpaqueRef ref,
   // contributions that DID arrive, and the verifier's replay flags the gap — attestation, not
   // silence, is how lost data surfaces.
   bool chain_ok = true;
+  bool ticket_retired = false;
   if (config_.fuse_chains && !chain.empty()) {
     // Fused: the compiled template stamps slot-chained commands over this segment's ref and
-    // the whole chain crosses the TEE boundary once.
-    auto resp = dp_->Submit(chain_template_.Stamp(ref, step_hint), &ticket);
+    // the whole chain crosses the TEE boundary once — via the combining queue when combining
+    // is on, where a combiner may execute it (and its neighbors) under a single boundary
+    // crossing. The ticket retires inside SubmitChain, possibly on the combiner's thread, so
+    // the batch's records commit in ticket order without waking each submitter first; Release
+    // below writes no audit record, so the earlier retirement changes no bytes.
+    const CmdBuffer buffer = chain_template_.Stamp(ref, step_hint);
+    auto resp = SubmitChain(buffer, &ticket, /*retire_ticket=*/true);
+    ticket_retired = true;
     if (!resp.ok()) {
       NoteError(resp.status());
       chain_ok = false;
@@ -229,18 +258,18 @@ void Runner::RunChain(ExecTicket ticket, uint32_t worker_lane, OpaqueRef ref,
     }
   } else {
     for (size_t i = 0; i < chain.size(); ++i) {
-      InvokeRequest req;
-      req.op = chain[i].op;
-      req.params = chain[i].params;
-      req.inputs = {cur};
-      req.hint = step_hint(i);
-      auto resp = dp_->Invoke(req, &ticket);
+      // One-command buffer, exactly what Invoke stamps internally — so each unfused step can
+      // flow through the combining queue too. The ticket spans the whole chain and retires
+      // below, after the last step.
+      CmdBuffer one;
+      one.Push(CmdBuffer::Entry{chain[i].op, {cur}, chain[i].params, step_hint(i)});
+      auto resp = SubmitChain(one, &ticket, /*retire_ticket=*/false);
       if (!resp.ok()) {
         NoteError(resp.status());
         chain_ok = false;
         break;
       }
-      cur = resp->outputs[0].ref;
+      cur = resp->outputs[0][0].ref;
     }
   }
 
@@ -252,7 +281,9 @@ void Runner::RunChain(ExecTicket ticket, uint32_t worker_lane, OpaqueRef ref,
     (void)dp_->Release(cur);
   }
   // The chain's staged records (its executed prefix, on failure) commit in program order.
-  dp_->RetireTicket(ticket);
+  if (!ticket_retired) {
+    dp_->RetireTicket(ticket);
+  }
 
   bool do_close = false;
   WindowState closing;
@@ -410,7 +441,9 @@ void Runner::CloseWindow(uint32_t window_index, WindowState state) {
       cmd_of[j] = static_cast<int>(buffer.size()) - 1;
     }
     if (!buffer.empty()) {
-      auto resp = dp_->Submit(buffer, &state.close_ticket);
+      // The close ticket retires only in ProcessClose, after the sequenced egress — the
+      // combiner must not retire it, so retire_ticket stays off.
+      auto resp = SubmitChain(buffer, &state.close_ticket, /*retire_ticket=*/false);
       if (!resp.ok()) {
         NoteError(resp.status());
         chain_ok = false;
@@ -434,12 +467,9 @@ void Runner::CloseWindow(uint32_t window_index, WindowState state) {
       if (inputs.empty()) {
         continue;
       }
-      InvokeRequest req;
-      req.op = stages[j].op;
-      req.params = stages[j].params;
-      req.inputs = std::move(inputs);
-      req.hint = close_hint;
-      auto resp = dp_->Invoke(req, &state.close_ticket);
+      CmdBuffer one;
+      one.Push(CmdBuffer::Entry{stages[j].op, std::move(inputs), stages[j].params, close_hint});
+      auto resp = SubmitChain(one, &state.close_ticket, /*retire_ticket=*/false);
       if (!resp.ok()) {
         NoteError(resp.status());
         chain_ok = false;
@@ -452,7 +482,7 @@ void Runner::CloseWindow(uint32_t window_index, WindowState state) {
         }
         break;
       }
-      for (const OutputInfo& out : resp->outputs) {
+      for (const OutputInfo& out : resp->outputs[0]) {
         stage_outputs[j].push_back(out.ref);
       }
     }

@@ -31,6 +31,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -38,6 +39,7 @@
 
 #include "src/control/pipeline.h"
 #include "src/core/data_plane.h"
+#include "src/core/submit_combiner.h"
 
 namespace sbt {
 
@@ -56,6 +58,16 @@ struct RunnerConfig {
   // reproduces the paper's call-per-primitive boundary — the fig9 comparison series and the
   // fused-vs-unfused equivalence property tests rely on both paths staying byte-identical.
   bool fuse_chains = true;
+  // Flat-combining submission (src/core/submit_combiner.h): workers publish ready chains
+  // (fused buffers, or each unfused step) to a combining queue, and one combiner executes
+  // every concurrent ready set under a single world-switch session. Off submits directly —
+  // the reference boundary; the audit chain, egress blobs, and verifier verdicts are
+  // byte-identical either way. Tests asserting exact per-chain entry counts turn this off.
+  bool combine_submissions = true;
+  // Optional shared combining queue: the EdgeServer wires one per shard so co-located tenant
+  // engines combine across engines. Null -> the runner owns a private queue when combining is
+  // on. The pointee must outlive the runner.
+  SubmitCombiner* combiner = nullptr;
 };
 
 struct WindowResult {
@@ -185,10 +197,18 @@ class Runner {
   HintRequest LaneHint(uint32_t lane) const {
     return config_.use_hints ? HintRequest::Parallel(lane) : HintRequest::None();
   }
+  // Boundary submission for one chain buffer: through the combining queue when combining is
+  // on, direct DataPlane::Submit otherwise. With retire_ticket the ticket is retired (by the
+  // combiner on our behalf, or here) before this returns.
+  Result<SubmitResponse> SubmitChain(const CmdBuffer& buffer, ExecTicket* ticket,
+                                     bool retire_ticket);
 
   DataPlane* dp_;
   Pipeline pipeline_;
   RunnerConfig config_;
+  // Active combining queue (shared or owned); null when combine_submissions is off.
+  SubmitCombiner* combiner_ = nullptr;
+  std::unique_ptr<SubmitCombiner> owned_combiner_;
   // The per-batch chain, compiled once at construction and stamped into a CmdBuffer per
   // segment (fused mode).
   CmdChainTemplate chain_template_;

@@ -47,15 +47,20 @@ Status RequireInputCount(PrimitiveOp op, size_t count, size_t min_inputs, size_t
   return OkStatus();
 }
 
-// Marks an Invoke/Submit chain as inside the TEE for the checkpoint atomicity guard.
-class InflightGuard {
+// Marks a boundary op as inside the TEE for the checkpoint atomicity guard. The increment
+// happens under the admission mutex: Checkpoint holds that mutex from its refusal decision
+// through the end of the seal, so an op either increments before the decision (and the
+// checkpoint refuses) or blocks here until the seal is done — never in between. The decrement
+// needs no lock; a finishing op can only turn a refusal into a pass, never corrupt a seal.
+class BoundaryGuard {
  public:
-  explicit InflightGuard(std::atomic<int>* count) : count_(count) {
+  BoundaryGuard(std::mutex* admission_mu, std::atomic<int>* count) : count_(count) {
+    std::lock_guard<std::mutex> lock(*admission_mu);
     count_->fetch_add(1, std::memory_order_relaxed);
   }
-  ~InflightGuard() { count_->fetch_sub(1, std::memory_order_relaxed); }
-  InflightGuard(const InflightGuard&) = delete;
-  InflightGuard& operator=(const InflightGuard&) = delete;
+  ~BoundaryGuard() { count_->fetch_sub(1, std::memory_order_relaxed); }
+  BoundaryGuard(const BoundaryGuard&) = delete;
+  BoundaryGuard& operator=(const BoundaryGuard&) = delete;
 
  private:
   std::atomic<int>* count_;
@@ -211,14 +216,42 @@ Result<InvokeResponse> DataPlane::Invoke(const InvokeRequest& request, ExecTicke
 }
 
 Result<SubmitResponse> DataPlane::Submit(const CmdBuffer& buffer, ExecTicket* ticket) {
-  const uint64_t t0 = ReadCycleCounter();
-  const std::vector<CmdBuffer::Entry>& cmds = buffer.entries();
-  if (cmds.empty()) {
+  if (buffer.empty()) {
     return InvalidArgument("empty command buffer");
   }
-  InflightGuard inflight(&inflight_chains_);
+  BoundaryGuard inflight(&admission_mu_, &inflight_chains_);
   // The whole chain crosses the boundary once — this single session is the point of fusion.
   auto session = gate_.Enter();
+  return SubmitUnderSession(buffer, ticket, session);
+}
+
+void DataPlane::ExecuteCombinedBatch(std::span<CombinedChain* const> batch) {
+  if (batch.empty()) {
+    return;
+  }
+  BoundaryGuard inflight(&admission_mu_, &inflight_chains_);
+  // One entry for the whole batch: the combiner's single session is what every chain in the
+  // ready set amortizes its world switch over.
+  auto session = gate_.Enter();
+  for (CombinedChain* chain : batch) {
+    if (chain->buffer == nullptr || chain->buffer->empty()) {
+      chain->result = InvalidArgument("empty command buffer");
+    } else {
+      chain->result = SubmitUnderSession(*chain->buffer, chain->ticket, session);
+    }
+    if (chain->retire_ticket && chain->ticket != nullptr) {
+      // On the submitter's behalf, success and failure alike — exactly where the uncombined
+      // path would retire. Commit order stays ticket order either way.
+      RetireTicket(*chain->ticket);
+    }
+  }
+  gate_.NoteCombinedBatch(batch.size());
+}
+
+Result<SubmitResponse> DataPlane::SubmitUnderSession(const CmdBuffer& buffer, ExecTicket* ticket,
+                                                     WorldSwitchGate::Session& session) {
+  const uint64_t t0 = ReadCycleCounter();
+  const std::vector<CmdBuffer::Entry>& cmds = buffer.entries();
 
   // Output of one executed command, addressable by later commands via its slot ref. The array
   // pointer is only valid until the slot is consumed (the consuming command retires it).
@@ -485,6 +518,7 @@ Result<OutputInfo> DataPlane::IngestBatch(std::span<const uint8_t> frame, size_t
                                           uint16_t stream, IngestPath path,
                                           uint64_t ctr_offset, ExecTicket* ticket) {
   const uint64_t t0 = ReadCycleCounter();
+  BoundaryGuard inflight(&admission_mu_, &inflight_chains_);
   auto session = gate_.Enter();
 
   if (elem_size == 0 || frame.size() % elem_size != 0) {
@@ -535,6 +569,7 @@ Result<OutputInfo> DataPlane::IngestBatch(std::span<const uint8_t> frame, size_t
 }
 
 Status DataPlane::IngestWatermark(EventTimeMs value, uint16_t stream, ExecTicket* ticket) {
+  BoundaryGuard inflight(&admission_mu_, &inflight_chains_);
   auto session = gate_.Enter();
   AuditRecord record;
   record.op = PrimitiveOp::kWatermark;
@@ -547,6 +582,7 @@ Status DataPlane::IngestWatermark(EventTimeMs value, uint16_t stream, ExecTicket
 
 Result<EgressBlob> DataPlane::Egress(OpaqueRef ref, ExecTicket* ticket) {
   const uint64_t t0 = ReadCycleCounter();
+  BoundaryGuard inflight(&admission_mu_, &inflight_chains_);
   auto session = gate_.Enter();
 
   SBT_ASSIGN_OR_RETURN(const OpaqueRefTable::Entry entry, refs_.Resolve(ref));
@@ -582,6 +618,7 @@ Result<EgressBlob> DataPlane::Egress(OpaqueRef ref, ExecTicket* ticket) {
 }
 
 Status DataPlane::Release(OpaqueRef ref) {
+  BoundaryGuard inflight(&admission_mu_, &inflight_chains_);
   auto session = gate_.Enter();
   SBT_ASSIGN_OR_RETURN(const OpaqueRefTable::Entry entry, refs_.Resolve(ref));
   UArray* array = alloc_.Find(entry.array_id);
@@ -616,6 +653,7 @@ AuditUpload DataPlane::FlushAuditImpl(std::vector<AuditRecord>* raw_records) {
 }
 
 AuditUpload DataPlane::FlushAudit(std::vector<AuditRecord>* raw_records) {
+  BoundaryGuard inflight(&admission_mu_, &inflight_chains_);
   auto session = gate_.Enter();
   return FlushAuditImpl(raw_records);
 }
@@ -634,9 +672,11 @@ Result<DataPlane::CheckpointBundle> DataPlane::Checkpoint(
     std::span<const uint8_t> control_annex) {
   // A command chain inside the TEE is atomic with respect to checkpoints: its intermediates
   // live in slots no table snapshot can see, so sealing mid-chain would capture a state no
-  // unfused schedule can reach. The control plane's drain (Runner::Drain) is the actual
-  // guarantee; this relaxed-load check is a best-effort backstop that catches undrained
-  // callers, not a synchronization point against chains racing the seal.
+  // unfused schedule can reach. The refusal decision below and the seal itself run under the
+  // boundary admission mutex — the same lock every chain (and every flat-combining batch)
+  // increments inflight_chains_ under — so the decision cannot go stale: a chain either
+  // admitted before the check (we refuse) or blocks at admission until the seal completes.
+  std::lock_guard<std::mutex> admission(admission_mu_);
   if (inflight_chains() != 0) {
     return FailedPrecondition("checkpoint while an Invoke/Submit chain is inside the TEE");
   }
@@ -644,6 +684,11 @@ Result<DataPlane::CheckpointBundle> DataPlane::Checkpoint(
   // chain link now would embed a position that misses work already executed before the seal.
   if (open_tickets() != 0) {
     return FailedPrecondition("checkpoint while execution tickets are open (drain first)");
+  }
+  // Test hook: each armed hit spins once more, deterministically widening the decision->seal
+  // window the admission mutex is supposed to have closed (stress_test checkpoint/combiner
+  // race coverage).
+  while (SBT_FAIL_POINT("data_plane.checkpoint_stall")) {
   }
   auto session = gate_.Enter();
 

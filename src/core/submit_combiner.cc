@@ -1,0 +1,147 @@
+#include "src/core/submit_combiner.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sbt {
+namespace {
+
+// After this many drain rounds a combiner with work still queued hands off to a waiter
+// (dsmsynch's help bound): the combiner's own latency stays bounded and no thread is stuck
+// executing everyone else's chains under sustained load.
+constexpr int kCombinerHelpRounds = 8;
+
+}  // namespace
+
+Result<SubmitResponse> SubmitCombiner::Apply(DataPlane* dp, const CmdBuffer& buffer,
+                                             ExecTicket* ticket, bool retire_ticket) {
+  // Shape-check in the normal world before announcing: a malformed chain costs its own
+  // submitter an early bounce, not the batch a shared boundary crossing. (Unlike the
+  // uncombined path, no valid prefix of a shape-invalid chain executes — the whole chain is
+  // rejected before any primitive runs.)
+  if (Status shape = buffer.Validate(); !shape.ok()) {
+    if (retire_ticket && ticket != nullptr) {
+      dp->RetireTicket(*ticket);
+    }
+    return shape;
+  }
+
+  Node node;
+  node.dp = dp;
+  node.chain.buffer = &buffer;
+  node.chain.ticket = ticket;
+  node.chain.retire_ticket = retire_ticket;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  node.arrival = arrivals_++;
+  queue_.push_back(&node);
+
+  // Announce-and-wait: either a combiner executes our node for us, or we find the role free
+  // and take it ourselves.
+  while (true) {
+    if (node.done) {
+      return std::move(node.chain.result);
+    }
+    if (!combiner_active_ && !held_) {
+      break;
+    }
+    cv_.wait(lock);
+  }
+
+  combiner_active_ = true;
+  int rounds = 0;
+  do {
+    std::vector<Node*> batch(queue_.begin(), queue_.end());
+    queue_.clear();
+    lock.unlock();
+    ExecuteBatch(batch);
+    lock.lock();
+    stats_.batches += 1;
+    stats_.chains += batch.size();
+    stats_.max_batch = std::max<uint64_t>(stats_.max_batch, batch.size());
+    if (batch.size() >= 2) {
+      stats_.combined_batches += 1;
+    }
+    for (Node* n : batch) {
+      n->done = true;
+    }
+    // Waiters whose nodes just completed return as soon as we drop the lock; notify after
+    // unlock so none wakes straight into contention (channel.h idiom).
+    lock.unlock();
+    cv_.notify_all();
+    lock.lock();
+    ++rounds;
+  } while (!queue_.empty() && rounds < kCombinerHelpRounds && !held_);
+  combiner_active_ = false;
+  Result<SubmitResponse> out = std::move(node.chain.result);
+  lock.unlock();
+  // If chains are still queued (help bound, or arrivals after the last drain), this wakes a
+  // waiter to become the next combiner.
+  cv_.notify_all();
+  return out;
+}
+
+void SubmitCombiner::ExecuteBatch(const std::vector<Node*>& batch) {
+  // Group by engine in first-arrival order; a combined entry cannot span gates, so each
+  // engine's group is one ExecuteCombinedBatch call (one world switch per engine per drain).
+  std::vector<DataPlane*> engines;
+  std::vector<std::vector<Node*>> groups;
+  for (Node* n : batch) {
+    size_t gi = 0;
+    while (gi < engines.size() && engines[gi] != n->dp) {
+      ++gi;
+    }
+    if (gi == engines.size()) {
+      engines.push_back(n->dp);
+      groups.emplace_back();
+    }
+    groups[gi].push_back(n);
+  }
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    // Drain in ticket order (program order); unticketed chains keep arrival order, after the
+    // ticketed ones.
+    std::sort(groups[gi].begin(), groups[gi].end(), [](const Node* a, const Node* b) {
+      const ExecTicket* ta = a->chain.ticket;
+      const ExecTicket* tb = b->chain.ticket;
+      if ((ta != nullptr) != (tb != nullptr)) {
+        return ta != nullptr;
+      }
+      if (ta != nullptr) {
+        return ta->seq < tb->seq;
+      }
+      return a->arrival < b->arrival;
+    });
+    std::vector<DataPlane::CombinedChain*> chains;
+    chains.reserve(groups[gi].size());
+    for (Node* n : groups[gi]) {
+      chains.push_back(&n->chain);
+    }
+    engines[gi]->ExecuteCombinedBatch(
+        std::span<DataPlane::CombinedChain* const>(chains.data(), chains.size()));
+  }
+}
+
+void SubmitCombiner::Hold() {
+  std::lock_guard<std::mutex> lock(mu_);
+  held_ = true;
+}
+
+void SubmitCombiner::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    held_ = false;
+  }
+  cv_.notify_all();
+}
+
+size_t SubmitCombiner::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+SubmitCombiner::Stats SubmitCombiner::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sbt

@@ -1,0 +1,87 @@
+// Flat-combining front for the world-switch boundary.
+//
+// PR 4 fused the boundary *within* a chain (one world switch per CmdBuffer); under elastic
+// parallelism N workers produce chains concurrently and each still pays its own entry. This is
+// the combining idiom (DSMSynch: one acquisition applies a whole queue of announced
+// operations) applied across chains — and, when engines share a combiner, across co-located
+// tenant engines on a shard.
+//
+// Submitters publish ready CmdBuffers as announce nodes on a queue instead of calling
+// DataPlane::Submit directly and block on their node (the per-node future of dsmsynch's
+// announce/response structure, built on the repo's mutex+condvar channel idiom). The first
+// thread to find no active combiner becomes the combiner: it drains the queue, groups the
+// batch by engine, orders each group by ticket seq, and executes every group under ONE
+// WorldSwitchGate session (DataPlane::ExecuteCombinedBatch) — one world switch per concurrent
+// ready set per engine instead of one per chain. A combiner that hits its help bound with
+// work still queued hands the role to a waiter, so no submitter combines forever.
+//
+// Audit equivalence is inherited, not re-proven: every chain still executes with its own
+// ticket, its own reserved audit-id range, and its own staged records, and commit order is
+// ticket order no matter which thread ran the chain (DESIGN.md, combining-boundary
+// invariant). One failed chain reports through its own node only.
+
+#ifndef SRC_CORE_SUBMIT_COMBINER_H_
+#define SRC_CORE_SUBMIT_COMBINER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/data_plane.h"
+
+namespace sbt {
+
+class SubmitCombiner {
+ public:
+  struct Stats {
+    uint64_t batches = 0;          // combiner drains (any size)
+    uint64_t combined_batches = 0; // drains that carried >= 2 chains
+    uint64_t chains = 0;           // chains executed through the combiner
+    uint64_t max_batch = 0;        // largest single drain
+  };
+
+  // Executes `buffer` on `dp` through the combining queue — possibly on another submitter's
+  // thread. Blocking; equivalent to dp->Submit(buffer, ticket), followed (when retire_ticket)
+  // by dp->RetireTicket(*ticket) on the submitter's behalf. Malformed buffers (empty, forward
+  // slot refs) bounce on the caller's thread without joining a batch; their ticket is still
+  // retired when retire_ticket is set.
+  Result<SubmitResponse> Apply(DataPlane* dp, const CmdBuffer& buffer, ExecTicket* ticket,
+                               bool retire_ticket);
+
+  // Test hooks: while held, no submitter becomes combiner — they announce and block, letting a
+  // test assemble a deterministic N-chain ready set. Release wakes a waiter to drain the whole
+  // set as one batch.
+  void Hold();
+  void Release();
+  // Announced-but-unexecuted chains; lets a held test wait until its whole ready set is queued.
+  size_t queued() const;
+
+  Stats stats() const;
+
+ private:
+  struct Node {
+    DataPlane::CombinedChain chain;
+    DataPlane* dp = nullptr;
+    uint64_t arrival = 0;
+    bool done = false;  // guarded by mu_; set only by the combiner that executed the node
+  };
+
+  // Runs one drained batch, no lock held: group by engine (first-arrival order), sort each
+  // group by ticket seq, execute each group under one session.
+  static void ExecuteBatch(const std::vector<Node*>& batch);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Node*> queue_;   // guarded by mu_
+  bool combiner_active_ = false;  // guarded by mu_
+  bool held_ = false;             // guarded by mu_
+  uint64_t arrivals_ = 0;         // guarded by mu_
+  Stats stats_;                   // guarded by mu_
+};
+
+}  // namespace sbt
+
+#endif  // SRC_CORE_SUBMIT_COMBINER_H_

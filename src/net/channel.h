@@ -17,6 +17,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -50,6 +51,7 @@ class BoundedChannel {
       queue_.push_back(std::move(item));
     }
     cv_pop_.notify_one();
+    NotifyListener();
     return true;
   }
 
@@ -67,6 +69,7 @@ class BoundedChannel {
       queue_.push_back(std::move(item));
     }
     cv_pop_.notify_one();
+    NotifyListener();
     return true;
   }
 
@@ -111,6 +114,17 @@ class BoundedChannel {
     }
     cv_pop_.notify_all();
     cv_push_.notify_all();
+    NotifyListener();
+  }
+
+  // Optional arrival listener, invoked (with no channel lock held) after every successful push
+  // and on close — how a consumer that multiplexes many channels (the EdgeServer frontends)
+  // parks on its own condition variable instead of polling each channel. Set while producers
+  // are quiescent; clear it only once every producer is done, since a push in flight may still
+  // invoke the old listener.
+  void SetListener(std::function<void()> listener) {
+    std::lock_guard<std::mutex> lock(mu_);
+    listener_ = std::move(listener);
   }
 
   bool closed() const {
@@ -132,12 +146,24 @@ class BoundedChannel {
   size_t capacity() const { return capacity_; }
 
  private:
+  void NotifyListener() {
+    std::function<void()> listener;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      listener = listener_;
+    }
+    if (listener) {
+      listener();
+    }
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_push_;
   std::condition_variable cv_pop_;
   std::deque<T> queue_;
   bool closed_ = false;
+  std::function<void()> listener_;  // guarded by mu_; copied out before invoking
 };
 
 using FrameChannel = BoundedChannel<Frame>;

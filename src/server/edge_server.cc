@@ -15,8 +15,10 @@ namespace {
 // How many frames one source may feed per frontend round before yielding to its siblings.
 constexpr int kFrontendBurst = 32;
 
-// Frontend idle backoff when a full pass over its sources made no progress.
-constexpr auto kFrontendIdleSleep = std::chrono::microseconds(100);
+// Safety-net timeout for an idle frontend parked on the arrival signal: bounds the retry
+// latency of an admission-stalled frame (shard-queue space freeing pings nothing) at the old
+// poll cadence. Real arrivals and pause requests wake the wait immediately.
+constexpr auto kFrontendIdleWait = std::chrono::microseconds(100);
 
 // Leading marker of the server-side annex sealed inside an engine checkpoint ("SBTS").
 constexpr uint32_t kServerAnnexMagic = 0x53544253u;
@@ -95,6 +97,9 @@ EdgeServer::EdgeServer(EdgeServerConfig config, TenantRegistry registry)
     shard->index = s;
     shard->slice_bytes = shard_partition_bytes_;
     shard->queue = std::make_unique<BoundedChannel<RoutedFrame>>(config_.shard_queue_frames);
+    if (config_.combine_submissions && config_.cross_engine_combining) {
+      shard->combiner = std::make_unique<SubmitCombiner>();
+    }
     shards_.push_back(std::move(shard));
   }
 }
@@ -163,6 +168,10 @@ Result<EdgeServer::Engine*> EdgeServer::CreateEngine(Shard& shard, const TenantS
   rc.ingest_path = IngestPath::kTrustedIo;
   // kShed tenants drop at the data-plane door instead of blocking inside IngestFrame.
   rc.block_on_backpressure = spec.admission == AdmissionPolicy::kStall;
+  rc.combine_submissions = config_.combine_submissions;
+  // With cross-engine combining the shard's co-resident engines share one queue (one session
+  // per engine per drained batch); otherwise each runner owns a private queue.
+  rc.combiner = shard.combiner.get();
 
   auto owned = std::make_unique<Engine>();
   owned->engine_id = next_engine_id_++;
@@ -246,6 +255,11 @@ Status EdgeServer::Start() {
     return FailedPrecondition("no sources bound");
   }
   started_ = true;
+  // Source-channel arrivals wake idle frontends (cleared again in Shutdown, after the
+  // frontends exit). Producers may not have started yet, so this cannot race a push.
+  for (auto& src : sources_) {
+    src->channel->SetListener([this] { PingIngest(); });
+  }
   for (auto& shard : shards_) {
     shard->dispatcher = std::thread([this, s = shard.get()] { DispatchLoop(s); });
   }
@@ -262,9 +276,20 @@ Status EdgeServer::Start() {
   return OkStatus();
 }
 
+void EdgeServer::PingIngest() {
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    ++ingest_generation_;
+  }
+  ingest_cv_.notify_all();
+}
+
 void EdgeServer::PauseFrontends() {
   std::unique_lock<std::mutex> lock(pause_mu_);
   pause_requested_.store(true, std::memory_order_relaxed);
+  // Idle frontends are parked on the arrival signal, not polling: wake them so they see the
+  // pause request now instead of at their safety timeout.
+  PingIngest();
   pause_cv_.wait(lock, [this] { return frontends_parked_ == frontends_live_; });
 }
 
@@ -326,6 +351,13 @@ void EdgeServer::FrontendLoop(size_t frontend_index, size_t num_frontends) {
     if (pause_requested_.load(std::memory_order_relaxed)) {
       ParkUntilResumed();
     }
+    // Sampled before the scan: an arrival DURING the pass advances the generation, so the
+    // idle wait below falls through instead of sleeping past it.
+    uint64_t pass_generation;
+    {
+      std::lock_guard<std::mutex> lock(ingest_mu_);
+      pass_generation = ingest_generation_;
+    }
     bool progressed = false;
     size_t finished = 0;
     for (Source* src : mine) {
@@ -368,7 +400,12 @@ void EdgeServer::FrontendLoop(size_t frontend_index, size_t num_frontends) {
       break;
     }
     if (!progressed) {
-      std::this_thread::sleep_for(kFrontendIdleSleep);
+      // Park until something pings — a source-channel push or close, a pause request — or the
+      // safety timeout that keeps admission-stall retries at the old poll cadence.
+      std::unique_lock<std::mutex> lock(ingest_mu_);
+      ingest_cv_.wait_for(lock, kFrontendIdleWait, [this, pass_generation] {
+        return ingest_generation_ != pass_generation;
+      });
     }
   }
   std::lock_guard<std::mutex> lock(pause_mu_);
@@ -684,6 +721,9 @@ Status EdgeServer::Resize(uint32_t new_num_shards) {
     shard->index = s;
     shard->slice_bytes = new_slice;
     shard->queue = std::make_unique<BoundedChannel<RoutedFrame>>(config_.shard_queue_frames);
+    if (config_.combine_submissions && config_.cross_engine_combining) {
+      shard->combiner = std::make_unique<SubmitCombiner>();
+    }
     shards_.push_back(std::move(shard));
   }
   for (auto& [home, ckpt] : moves) {
@@ -723,6 +763,11 @@ ServerReport EdgeServer::Shutdown() {
   }
   for (std::thread& t : frontends_) {
     t.join();
+  }
+  // No frontend listens anymore; unhook the channels so late pushes from lingering producers
+  // don't call into a server that is being torn down.
+  for (auto& src : sources_) {
+    src->channel->SetListener(nullptr);
   }
   // 2. Close shard queues; dispatchers drain them (drain-after-close) and exit.
   for (auto& shard : shards_) {

@@ -101,6 +101,13 @@ struct EdgeServerConfig {
   size_t shard_queue_frames = 64;   // bounded ingest queue per shard (the backpressure signal)
   WorldSwitchConfig switch_cost = WorldSwitchConfig::Disabled();
   bool verify_audit_on_shutdown = true;
+  // Flat-combining submission inside every engine (see src/control/runner.h). Off reproduces
+  // the one-world-switch-per-chain boundary; bytes are identical either way.
+  bool combine_submissions = true;
+  // Opt-in: co-resident tenant engines on a shard share one combining queue, so chains that
+  // are ready concurrently across tenants combine too (one session per engine per drained
+  // batch — tenants never share a gate, audit log, or keys). Requires combine_submissions.
+  bool cross_engine_combining = false;
 };
 
 // One engine's session outcome. Counters are cumulative across checkpoint/restore cycles
@@ -268,6 +275,9 @@ class EdgeServer {
     size_t slice_bytes = 0;
     size_t carved_bytes = 0;
     std::unique_ptr<BoundedChannel<RoutedFrame>> queue;
+    // Shared combining queue for cross-engine combining (null unless opted in). Declared
+    // before `engines`: runners park worker threads in it, so it must be destroyed after them.
+    std::unique_ptr<SubmitCombiner> combiner;
     std::vector<std::unique_ptr<Engine>> engines;
     // (tenant << 32 | source) -> resident engine, the dispatcher's routing table.
     std::map<uint64_t, Engine*> by_source;
@@ -292,6 +302,9 @@ class EdgeServer {
   };
 
   void FrontendLoop(size_t frontend_index, size_t num_frontends);
+  // Wakes idle frontends: bump the arrival generation and notify. Wired as every source
+  // channel's listener; also pinged by pause requests so parking is prompt.
+  void PingIngest();
   void DispatchLoop(Shard* shard);
   void Dispatch(Shard* shard, RoutedFrame rf);
   // True if the frame was consumed (enqueued to the shard, or shed); false = hold and retry.
@@ -342,6 +355,15 @@ class EdgeServer {
   size_t frontends_live_ = 0;    // guarded by pause_mu_
   size_t frontends_parked_ = 0;  // guarded by pause_mu_
   uint64_t pause_epoch_ = 0;     // guarded by pause_mu_; bumped by each resume
+
+  // Frontend idle parking. An idle frontend samples the generation before its scan pass and
+  // waits for it to change instead of sleeping a fixed interval: source-channel pushes/closes
+  // and pause requests wake it immediately, and an arrival during the pass (generation already
+  // advanced) skips the wait entirely. The wait keeps a timeout as the safety net for the one
+  // waker nothing pings — shard-queue space freeing under an admission stall.
+  std::mutex ingest_mu_;
+  std::condition_variable ingest_cv_;
+  uint64_t ingest_generation_ = 0;  // guarded by ingest_mu_
 };
 
 }  // namespace sbt

@@ -41,6 +41,13 @@ struct WorldSwitchStats {
   // boundary runs one op per entry; fused command-buffer submission amortizes many ops over a
   // single entry — the Figure 9 batching argument, made visible.
   uint64_t annotated_ops = 0;
+  // Total in-TEE residency cycles observed through sessions: every annotated segment plus the
+  // residual tail a session settles when it ends (destruction or being move-assigned over).
+  uint64_t session_cycles = 0;
+  // Flat combining (SubmitCombiner): entries whose single session executed more than one
+  // submitted chain, and how many chains those multi-chain entries carried in total.
+  uint64_t combined_entries = 0;
+  uint64_t combined_chains = 0;
 
   double ops_per_entry() const {
     return entries == 0 ? 0.0 : static_cast<double>(annotated_ops) / static_cast<double>(entries);
@@ -63,6 +70,7 @@ class WorldSwitchGate {
     }
     ~Session() {
       if (gate_ != nullptr) {
+        Settle();
         gate_->PayExit();
       }
     }
@@ -74,6 +82,10 @@ class WorldSwitchGate {
     Session& operator=(Session&& other) noexcept {
       if (this != &other) {
         if (gate_ != nullptr) {
+          // Settle before paying the exit: the cycles elapsed since the assigned-over
+          // session's last annotation (its live mark_) would otherwise vanish from
+          // WorldSwitchStats::session_cycles when mark_ is overwritten mid-flight.
+          Settle();
           gate_->PayExit();
         }
         gate_ = other.gate_;
@@ -98,17 +110,40 @@ class WorldSwitchGate {
     }
 
    private:
+    // Attributes the unannotated tail (cycles since mark_) to the gate's session residency
+    // total. Called whenever the session ends while still attached to a gate.
+    void Settle() {
+      gate_->SettleResidual(ReadCycleCounter() - mark_);
+      mark_ = 0;
+    }
+
     WorldSwitchGate* gate_;
     uint64_t mark_ = 0;
   };
 
   Session Enter() { return Session(this); }
 
+  // Records a flat-combining batch executed under one open session: `chains` submitted chains
+  // crossed the boundary in a single entry. A batch of one is the degenerate (uncombined)
+  // case and is not counted as combined.
+  void NoteCombinedBatch(uint64_t chains) {
+    if (chains < 2) {
+      return;
+    }
+    combined_entries_.fetch_add(1, std::memory_order_relaxed);
+    combined_chains_.fetch_add(chains, std::memory_order_relaxed);
+  }
+
   WorldSwitchStats stats() const {
-    return WorldSwitchStats{entries_.load(std::memory_order_relaxed),
-                            burned_.load(std::memory_order_relaxed),
-                            faults_.load(std::memory_order_relaxed),
-                            ops_.load(std::memory_order_relaxed)};
+    WorldSwitchStats s;
+    s.entries = entries_.load(std::memory_order_relaxed);
+    s.burned_cycles = burned_.load(std::memory_order_relaxed);
+    s.faults = faults_.load(std::memory_order_relaxed);
+    s.annotated_ops = ops_.load(std::memory_order_relaxed);
+    s.session_cycles = session_cycles_.load(std::memory_order_relaxed);
+    s.combined_entries = combined_entries_.load(std::memory_order_relaxed);
+    s.combined_chains = combined_chains_.load(std::memory_order_relaxed);
+    return s;
   }
 
   // Cycles attributed to boundary op `op` via Session::Annotate (in-TEE execution time, not
@@ -122,6 +157,9 @@ class WorldSwitchGate {
     burned_.store(0, std::memory_order_relaxed);
     faults_.store(0, std::memory_order_relaxed);
     ops_.store(0, std::memory_order_relaxed);
+    session_cycles_.store(0, std::memory_order_relaxed);
+    combined_entries_.store(0, std::memory_order_relaxed);
+    combined_chains_.store(0, std::memory_order_relaxed);
     for (auto& c : op_cycles_) {
       c.store(0, std::memory_order_relaxed);
     }
@@ -135,6 +173,11 @@ class WorldSwitchGate {
   void AttributeOp(uint16_t op, uint64_t cycles) {
     ops_.fetch_add(1, std::memory_order_relaxed);
     op_cycles_[op % kOpCycleSlots].fetch_add(cycles, std::memory_order_relaxed);
+    session_cycles_.fetch_add(cycles, std::memory_order_relaxed);
+  }
+
+  void SettleResidual(uint64_t cycles) {
+    session_cycles_.fetch_add(cycles, std::memory_order_relaxed);
   }
 
   void PayEntry() {
@@ -165,6 +208,9 @@ class WorldSwitchGate {
   std::atomic<uint64_t> burned_{0};
   std::atomic<uint64_t> faults_{0};
   std::atomic<uint64_t> ops_{0};
+  std::atomic<uint64_t> session_cycles_{0};
+  std::atomic<uint64_t> combined_entries_{0};
+  std::atomic<uint64_t> combined_chains_{0};
   std::array<std::atomic<uint64_t>, kOpCycleSlots> op_cycles_{};
 };
 

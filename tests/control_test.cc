@@ -3,11 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <map>
+#include <thread>
+#include <vector>
 
 #include "src/control/benchmarks.h"
 #include "src/control/harness.h"
+#include "src/core/submit_combiner.h"
 #include "src/net/workloads.h"
 #include "tests/testing/testing.h"
 
@@ -379,6 +383,65 @@ TEST(ControlTest, FusedChainsCrossTheBoundaryOncePerSegment) {
   EXPECT_EQ(unfused, 9u);
   EXPECT_EQ(fused, 6u);
   EXPECT_EQ(unfused - fused, 3u) << "a 4-primitive chain must pay 1 switch, not 4";
+}
+
+TEST(ControlTest, ConcurrentlyReadyChainsCombineIntoOneGateEntry) {
+  // The combining invariant, pinned deterministically: N chains ready at the same instant on
+  // one engine cross the boundary as exactly ONE world switch. Hold() keeps every submitter
+  // announced-but-waiting until the full ready set is queued; Release() lets one of them drain
+  // it all as a single batch under a single session.
+  constexpr int kChains = 4;
+  DataPlane dp(testing::SmallDataPlaneConfig(/*decrypt_ingress=*/false));
+  const auto events = testing::ConstantEvents(64);
+
+  std::vector<OpaqueRef> heads;
+  for (int i = 0; i < kChains; ++i) {
+    auto info =
+        dp.IngestBatch(testing::AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+    ASSERT_TRUE(info.ok());
+    heads.push_back(info->ref);
+  }
+
+  SubmitCombiner combiner;
+  combiner.Hold();
+  std::vector<ExecTicket> tickets;
+  std::vector<CmdBuffer> buffers(kChains);
+  for (int i = 0; i < kChains; ++i) {
+    tickets.push_back(dp.OpenTicket(1));
+    buffers[i].Push(
+        CmdBuffer::Entry{PrimitiveOp::kProject, {heads[i]}, {}, HintRequest::None()});
+  }
+
+  const uint64_t entries_before = dp.switch_stats().entries;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> submitters;
+  for (int i = 0; i < kChains; ++i) {
+    submitters.emplace_back([&, i] {
+      auto resp = combiner.Apply(&dp, buffers[i], &tickets[i], /*retire_ticket=*/true);
+      if (!resp.ok() || resp->outputs[0].empty() || resp->outputs[0][0].ref == 0) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  while (combiner.queued() < kChains) {
+    std::this_thread::yield();
+  }
+  combiner.Release();
+  for (std::thread& t : submitters) {
+    t.join();
+  }
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(dp.switch_stats().entries - entries_before, 1u)
+      << kChains << " concurrently-ready chains must share one world switch";
+  EXPECT_EQ(dp.switch_stats().combined_entries, 1u);
+  EXPECT_EQ(dp.switch_stats().combined_chains, static_cast<uint64_t>(kChains));
+  const SubmitCombiner::Stats cs = combiner.stats();
+  EXPECT_EQ(cs.batches, 1u);
+  EXPECT_EQ(cs.combined_batches, 1u);
+  EXPECT_EQ(cs.chains, static_cast<uint64_t>(kChains));
+  EXPECT_EQ(cs.max_batch, static_cast<uint64_t>(kChains));
+  EXPECT_EQ(dp.open_tickets(), 0u) << "the combiner retires tickets on submitters' behalf";
 }
 
 class ChainFailureTest : public ::testing::TestWithParam<bool> {};

@@ -507,7 +507,8 @@ struct WorkerSessionArtifacts {
 };
 
 WorkerSessionArtifacts RunWorkerSession(const Pipeline& pipeline, WorkloadKind kind,
-                                        int worker_threads, bool fuse_chains = true) {
+                                        int worker_threads, bool fuse_chains = true,
+                                        bool combine_submissions = true) {
   HarnessOptions opts;
   opts.version = EngineVersion::kSbtClearIngress;
   opts.engine.secure_pool_mb = 64;
@@ -524,6 +525,7 @@ WorkerSessionArtifacts RunWorkerSession(const Pipeline& pipeline, WorkloadKind k
     RunnerConfig rc;
     rc.worker_threads = worker_threads;
     rc.fuse_chains = fuse_chains;
+    rc.combine_submissions = combine_submissions;
     Runner runner(&dp, pipeline, rc);
     Generator gen(opts.generator);
     while (auto frame = gen.NextFrame()) {
@@ -642,6 +644,52 @@ TEST(WorkerEquivalence, HoldsUnderInjectedWorldSwitchFaults) {
                               testing::ScopedFailPoint::Seeded(/*seed=*/42, /*num=*/1,
                                                                /*den=*/8));
   ExpectWorkerCountInvariant(one, RunWorkerSession(p, WorkloadKind::kTaxi, 8));
+}
+
+TEST(WorkerEquivalence, FlatCombiningOnVsOffIsByteIdentical) {
+  // Flat combining re-times world switches (one session drains a whole ready set, possibly on
+  // another worker's thread) but must not re-order anything externally visible: audit ids come
+  // from ticket reservations, records commit in ticket order, and hints are fixed at
+  // submission. Combining on/off — at several worker counts — is therefore byte-identical.
+  const Pipeline p = MakeDistinct(1000);
+  const WorkerSessionArtifacts off =
+      RunWorkerSession(p, WorkloadKind::kTaxi, 4, /*fuse_chains=*/true,
+                       /*combine_submissions=*/false);
+  ExpectWorkerCountInvariant(off, RunWorkerSession(p, WorkloadKind::kTaxi, 2,
+                                                   /*fuse_chains=*/true,
+                                                   /*combine_submissions=*/true));
+  ExpectWorkerCountInvariant(off, RunWorkerSession(p, WorkloadKind::kTaxi, 4,
+                                                   /*fuse_chains=*/true,
+                                                   /*combine_submissions=*/true));
+  ExpectWorkerCountInvariant(off, RunWorkerSession(p, WorkloadKind::kTaxi, 8,
+                                                   /*fuse_chains=*/true,
+                                                   /*combine_submissions=*/true));
+}
+
+TEST(WorkerEquivalence, FlatCombiningOnVsOffUnfusedBoundary) {
+  // Combining also fronts the call-per-primitive boundary (each step is a one-command chain on
+  // the combining queue, still under the chain's ticket); same invariant.
+  const Pipeline p = MakeDistinct(1000);
+  ExpectWorkerCountInvariant(
+      RunWorkerSession(p, WorkloadKind::kTaxi, 4, /*fuse_chains=*/false,
+                       /*combine_submissions=*/false),
+      RunWorkerSession(p, WorkloadKind::kTaxi, 4, /*fuse_chains=*/false,
+                       /*combine_submissions=*/true));
+}
+
+TEST(WorkerEquivalence, FlatCombiningHoldsUnderInjectedWorldSwitchFaults) {
+  // A combined batch's single entry can fault and re-issue like any other; faults burn cycles
+  // on whoever is combining but never touch the dataflow.
+  const Pipeline p = MakeDistinct(1000);
+  const WorkerSessionArtifacts base =
+      RunWorkerSession(p, WorkloadKind::kTaxi, 1, /*fuse_chains=*/true,
+                       /*combine_submissions=*/false);
+  testing::ScopedFailPoint fp("world_switch.fault",
+                              testing::ScopedFailPoint::Seeded(/*seed=*/42, /*num=*/1,
+                                                               /*den=*/8));
+  ExpectWorkerCountInvariant(base, RunWorkerSession(p, WorkloadKind::kTaxi, 8,
+                                                    /*fuse_chains=*/true,
+                                                    /*combine_submissions=*/true));
 }
 
 TEST(VerifierProperty, ReplayedSessionsAreIndependent) {

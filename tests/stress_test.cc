@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -22,9 +24,11 @@
 #include "src/attest/compress.h"
 #include "src/attest/verifier.h"
 #include "src/common/event.h"
+#include "src/common/failpoint.h"
 #include "src/control/benchmarks.h"
 #include "src/control/engine.h"
 #include "src/core/data_plane.h"
+#include "src/core/submit_combiner.h"
 #include "tests/testing/testing.h"
 
 namespace sbt {
@@ -39,9 +43,10 @@ DataPlaneConfig StressConfig() {
   return cfg;
 }
 
-RunnerConfig StressRunnerConfig(int workers) {
+RunnerConfig StressRunnerConfig(int workers, bool combine = true) {
   RunnerConfig rc;
   rc.worker_threads = workers;
+  rc.combine_submissions = combine;
   return rc;
 }
 
@@ -66,7 +71,8 @@ struct ContinuationArtifacts {
   uint64_t windows_emitted = 0;
 };
 
-void RunCheckpointedSession(int workers, ContinuationArtifacts* artifacts) {
+void RunCheckpointedSession(int workers, ContinuationArtifacts* artifacts,
+                            bool combine = true) {
   const Pipeline pipeline = MakeDistinct(1000);
   const DataPlaneConfig cfg = StressConfig();
   ContinuationArtifacts& out = *artifacts;
@@ -74,7 +80,7 @@ void RunCheckpointedSession(int workers, ContinuationArtifacts* artifacts) {
   SealedCheckpoint sealed;
   {
     DataPlane dp(cfg);
-    Runner runner(&dp, pipeline, StressRunnerConfig(workers));
+    Runner runner(&dp, pipeline, StressRunnerConfig(workers, combine));
     for (uint32_t w = 0; w < 3; ++w) {
       for (int f = 0; f < 2; ++f) {
         const std::vector<Event> events = WindowEvents(w, 2000, 7 * w + f);
@@ -110,7 +116,7 @@ void RunCheckpointedSession(int workers, ContinuationArtifacts* artifacts) {
 
   // Continue in a re-homed incarnation at the same worker count.
   DataPlane dp(cfg);
-  Runner runner(&dp, pipeline, StressRunnerConfig(workers));
+  Runner runner(&dp, pipeline, StressRunnerConfig(workers, combine));
   ASSERT_TRUE(RestoreEngine(dp, runner, sealed).ok());
   for (uint32_t w = 3; w < 5; ++w) {
     for (int f = 0; f < 2; ++f) {
@@ -144,18 +150,8 @@ void ExpectUploadIdentical(const AuditUpload& a, const AuditUpload& b) {
   EXPECT_TRUE(DigestEqual(a.mac, b.mac));
 }
 
-TEST_P(WorkerStress, CheckpointedContinuationMatchesSingleWorkerByteForByte) {
-  // SMC faults at schedule-dependent points the whole way through — they burn cycles but must
-  // not perturb the dataflow, the seal, or the restored continuation.
-  testing::ScopedFailPoint fp("world_switch.fault",
-                              testing::ScopedFailPoint::Seeded(/*seed=*/5, /*num=*/1,
-                                                               /*den=*/16));
-  ContinuationArtifacts reference;
-  RunCheckpointedSession(1, &reference);
-  ContinuationArtifacts current;
-  RunCheckpointedSession(GetParam(), &current);
-  ASSERT_FALSE(::testing::Test::HasFatalFailure());
-
+void ExpectContinuationsIdentical(const ContinuationArtifacts& current,
+                                  const ContinuationArtifacts& reference) {
   EXPECT_EQ(reference.task_errors, 0u);
   EXPECT_EQ(current.task_errors, 0u);
   EXPECT_EQ(current.windows_emitted, reference.windows_emitted);
@@ -184,6 +180,32 @@ TEST_P(WorkerStress, CheckpointedContinuationMatchesSingleWorkerByteForByte) {
   const VerifyReport report =
       CloudVerifier(MakeDistinct(1000).ToVerifierSpec()).Verify(current.records);
   EXPECT_TRUE(report.correct) << (report.violations.empty() ? "" : report.violations[0]);
+}
+
+TEST_P(WorkerStress, CheckpointedContinuationMatchesSingleWorkerByteForByte) {
+  // SMC faults at schedule-dependent points the whole way through — they burn cycles but must
+  // not perturb the dataflow, the seal, or the restored continuation.
+  testing::ScopedFailPoint fp("world_switch.fault",
+                              testing::ScopedFailPoint::Seeded(/*seed=*/5, /*num=*/1,
+                                                               /*den=*/16));
+  ContinuationArtifacts reference;
+  RunCheckpointedSession(1, &reference);
+  ContinuationArtifacts current;
+  RunCheckpointedSession(GetParam(), &current);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  ExpectContinuationsIdentical(current, reference);
+}
+
+TEST_P(WorkerStress, CheckpointedContinuationCombiningOffMatchesOn) {
+  // The flat-combining boundary must be invisible to the sealed checkpoint: an uncombined
+  // single-worker session is the reference, and a combined N-worker session that seals and
+  // restores mid-way must reproduce it byte for byte — uploads, egress blobs, chain MACs.
+  ContinuationArtifacts reference;
+  RunCheckpointedSession(1, &reference, /*combine=*/false);
+  ContinuationArtifacts current;
+  RunCheckpointedSession(GetParam(), &current, /*combine=*/true);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  ExpectContinuationsIdentical(current, reference);
 }
 
 // --- 2. concurrent two-stream ingest racing the worker pool ------------------------------
@@ -274,6 +296,62 @@ TEST_P(WorkerStress, SeededChainFailuresNeverWedgeOrLeak) {
 }
 
 INSTANTIATE_TEST_SUITE_P(WorkerCounts, WorkerStress, ::testing::Values(1, 2, 8));
+
+// --- 4. the checkpoint refusal decision is atomic with the seal --------------------------
+
+TEST(CheckpointRace, SealDecisionIsAtomicAgainstCombinedSubmission) {
+  // Regression for a check-then-act window: Checkpoint read inflight_chains()/open_tickets()
+  // and then sealed without holding the boundary admission lock, so a chain admitted between
+  // the decision and the seal could execute mid-snapshot. The stall failpoint pins the
+  // checkpoint thread inside exactly that window — now under admission_mu_ — while a combined
+  // submission races it; the racer must block at admission until the seal completes, and its
+  // audit record must land in the post-seal chain link, never the sealed one.
+  DataPlane dp(testing::SmallDataPlaneConfig(/*decrypt_ingress=*/false));
+  const auto events = testing::ConstantEvents(64);
+  auto info =
+      dp.IngestBatch(testing::AsBytes(events), sizeof(Event), 0, IngestPath::kTrustedIo);
+  ASSERT_TRUE(info.ok());
+  const OpaqueRef head = info->ref;
+
+  auto stall = std::make_unique<testing::ScopedFailPoint>(
+      "data_plane.checkpoint_stall",
+      testing::ScopedFailPoint::Counted(/*skip=*/0, /*fail=*/uint64_t{1} << 40));
+
+  Result<DataPlane::CheckpointBundle> bundle = Internal("checkpoint never ran");
+  std::thread checkpointer([&] { bundle = dp.Checkpoint(); });
+  while (FailPoints::Hits("data_plane.checkpoint_stall") == 0) {
+    std::this_thread::yield();  // decision made, seal pending: the window is open
+  }
+
+  SubmitCombiner combiner;
+  Result<SubmitResponse> raced = Internal("racer never ran");
+  std::thread racer([&] {
+    ExecTicket ticket = dp.OpenTicket(1);
+    CmdBuffer one;
+    one.Push(CmdBuffer::Entry{PrimitiveOp::kProject, {head}, {}, HintRequest::None()});
+    raced = combiner.Apply(&dp, one, &ticket, /*retire_ticket=*/true);
+  });
+  // The racer opens its ticket before its batch reaches admission; once the ticket is
+  // visible, give it a beat to block at the admission mutex, then let the seal proceed.
+  while (dp.open_tickets() == 0) {
+    std::this_thread::yield();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  stall.reset();  // disarm: the stall loop exits and the seal runs to completion
+  checkpointer.join();
+  racer.join();
+
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  ASSERT_TRUE(raced.ok()) << raced.status().ToString();
+  EXPECT_EQ(dp.open_tickets(), 0u);
+  // The racer's chain ran after the seal: the sealed link holds only the pre-race ingest
+  // record, and the next link holds exactly the raced chain's record.
+  const uint64_t sealed_records = bundle->audit.record_count;
+  const AuditUpload after = dp.FlushAudit();
+  EXPECT_EQ(after.chain_seq, bundle->audit.chain_seq + 1);
+  EXPECT_EQ(after.record_count, 1u) << "raced chain must commit after the seal, sealed link had "
+                                    << sealed_records;
+}
 
 }  // namespace
 }  // namespace sbt

@@ -331,6 +331,56 @@ TEST(WorldSwitchTest, AnnotateAmortizesOpsOverEntries) {
   EXPECT_GT(gate.op_cycles(10), 0u);
 }
 
+// Busy-waits long enough for ~`cycles` counter ticks — measurable in-session residency.
+void SpinCycles(uint64_t cycles) {
+  const uint64_t start = ReadCycleCounter();
+  while (ReadCycleCounter() - start < cycles) {
+  }
+}
+
+TEST(WorldSwitchTest, MoveAssignSettlesTheAssignedOverSessionsResidual) {
+  // Regression: move-assigning a fresh entry over a live session pays the old session's exit,
+  // but its residual in-TEE tail — the cycles since its last annotation — used to vanish when
+  // mark_ was overwritten mid-flight. session_cycles then under-counted every session ended by
+  // re-pointing, exactly the shape the combiner's reused session variable produces.
+  WorldSwitchGate gate(WorldSwitchConfig::Disabled());
+  uint64_t after_first = 0;
+  {
+    auto s = gate.Enter();
+    SpinCycles(50000);
+    EXPECT_EQ(gate.stats().session_cycles, 0u);  // nothing settled while the session is live
+    s = gate.Enter();  // first session ends HERE: its 50k+ cycle tail must be settled
+    after_first = gate.stats().session_cycles;
+    EXPECT_GE(after_first, 50000u);
+    SpinCycles(50000);
+  }
+  // The second session's tail settles at destruction, on top of the first one's.
+  EXPECT_GE(gate.stats().session_cycles, after_first + 50000u);
+}
+
+TEST(WorldSwitchTest, OpsPerEntryIsZeroWithoutEntries) {
+  // entries == 0 must read as 0 ops/entry, not a division by zero (a fresh or reset gate is
+  // exactly what the fig9 emitter reads before any work ran).
+  WorldSwitchStats empty;
+  EXPECT_EQ(empty.ops_per_entry(), 0.0);
+  WorldSwitchGate gate(WorldSwitchConfig::Disabled());
+  EXPECT_EQ(gate.stats().ops_per_entry(), 0.0);
+}
+
+TEST(WorldSwitchTest, CombinedBatchStatsCountOnlyMultiChainEntries) {
+  WorldSwitchGate gate(WorldSwitchConfig::Disabled());
+  gate.NoteCombinedBatch(1);  // degenerate single-chain batch: not a combined entry
+  EXPECT_EQ(gate.stats().combined_entries, 0u);
+  EXPECT_EQ(gate.stats().combined_chains, 0u);
+  gate.NoteCombinedBatch(3);
+  gate.NoteCombinedBatch(2);
+  EXPECT_EQ(gate.stats().combined_entries, 2u);
+  EXPECT_EQ(gate.stats().combined_chains, 5u);
+  gate.ResetStats();
+  EXPECT_EQ(gate.stats().combined_entries, 0u);
+  EXPECT_EQ(gate.stats().combined_chains, 0u);
+}
+
 TEST(WorldSwitchTest, AnnotateOnMovedFromSessionIsANoOp) {
   WorldSwitchGate gate(WorldSwitchConfig::Disabled());
   auto s1 = gate.Enter();

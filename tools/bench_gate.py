@@ -53,8 +53,11 @@ BENCHES = {
     "fig9": {
         "keys": ["series", "batch_events"],
         "metrics": [
-            Metric("ops_per_entry", portable=True),
-            Metric("switch_entries", lower_is_worse=False, portable=True),
+            # Batch-size sweeps land on discrete chain/window-count steps, so the boundary
+            # metrics move in quanta; a 35% band gates the order-of-magnitude claim (combining
+            # and fusing amortize the boundary) without tripping on a one-step shift.
+            Metric("ops_per_entry", portable=True, tolerance=0.35),
+            Metric("switch_entries", lower_is_worse=False, portable=True, tolerance=0.35),
             Metric("events_per_sec"),
         ],
         "require": {},
@@ -97,10 +100,20 @@ def compare_bench(name, schema, baseline_rows, current_rows, absolute, failures,
             failures.append(f"{name} {key}: row present in baseline but missing from run")
             continue
         for metric in schema["metrics"]:
-            if metric.name not in base or metric.name not in cur:
+            # A metric the baseline (or the run) never recorded is "no gate", said out loud —
+            # never a silent skip and never a false failure. Baselines predating a new metric
+            # stay green until the refresh-baselines workflow re-emits them with the column.
+            if base.get(metric.name) is None or cur.get(metric.name) is None:
+                side = "baseline" if base.get(metric.name) is None else "run"
+                warnings.append(f"{name} {key}: {metric.name} missing from {side} JSON; "
+                                "not gated (refresh baselines to arm)")
                 continue
             b, c = float(base[metric.name]), float(cur[metric.name])
             if b == 0:
+                # Relative change against a zero baseline is undefined; a zero measurement is
+                # a degenerate run (or a placeholder row), not a reference point.
+                warnings.append(f"{name} {key}: baseline {metric.name} is 0; "
+                                "not gated (refresh baselines to arm)")
                 continue
             if metric.min_baseline is not None and b < metric.min_baseline:
                 continue  # baseline below the metric's meaningful range; nothing to protect
