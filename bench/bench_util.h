@@ -19,6 +19,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace sbt {
 
 inline int BenchScale() {
@@ -86,7 +89,11 @@ class JsonBenchReport {
   }
 
   // Serializes the rows collected so far. False (with a note on stderr) if the file cannot be
-  // written — benches keep their table output either way.
+  // written — benches keep their table output either way. Alongside the gated rows, a
+  // BENCH_<name>_metrics.json SIDECAR carries the full metrics-registry snapshot for this run
+  // (a separate file on purpose: bench_gate.py requires every field on every row of the gated
+  // JSONs, so metrics must never ride in them), and any SBT_TRACE_DUMP / SBT_METRICS_DUMP
+  // flight-recorder or registry dumps are flushed here too.
   bool Write() const {
     const std::string file = path();
     FILE* f = std::fopen(file.c_str(), "w");
@@ -105,10 +112,28 @@ class JsonBenchReport {
     }
     std::fputs("]\n", f);
     std::fclose(f);
+    WriteMetricsSidecar();
+    obs::MetricsRegistry::Global().DumpIfConfigured();
+    obs::Tracer::Global().DumpIfConfigured();
     return true;
   }
 
  private:
+  void WriteMetricsSidecar() const {
+    const char* dir = std::getenv("SBT_BENCH_JSON_DIR");
+    std::string file = dir != nullptr ? std::string(dir) + "/" : std::string();
+    file += "BENCH_" + name_ + "_metrics.json";
+    FILE* f = std::fopen(file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonBenchReport: cannot write %s\n", file.c_str());
+      return;
+    }
+    const std::string json = obs::ToJson(obs::MetricsRegistry::Global().Snapshot());
+    std::fputs(json.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+
   JsonBenchReport& Raw(const char* key, std::string rendered) {
     if (rows_.empty()) {
       rows_.emplace_back();

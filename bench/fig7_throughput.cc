@@ -84,10 +84,10 @@ void RunFig7() {
         }
         const double speedup =
             single_worker_rate > 0 ? r.events_per_sec() / single_worker_rate : 0.0;
-        const bool ok = r.runner.task_errors == 0 && r.verify.correct;
+        const bool ok = r.runner().task_errors == 0 && r.verify.correct;
         std::printf("%-9s %-17s %2d  %10.0f %9.1f %6ums %7.1f %6.2fx %7s\n", def.name,
                     std::string(EngineVersionName(version)).c_str(), workers,
-                    r.events_per_sec(), r.mb_per_sec(), r.runner.max_delay_ms,
+                    r.events_per_sec(), r.mb_per_sec(), r.runner().max_delay_ms,
                     static_cast<double>(r.avg_memory_bytes) / (1 << 20), speedup,
                     ok ? "yes" : "NO");
         report.BeginRow()
@@ -96,7 +96,7 @@ void RunFig7() {
             .Int("workers", static_cast<uint64_t>(workers))
             .Num("events_per_sec", r.events_per_sec())
             .Num("speedup_vs_1_worker", speedup)
-            .Int("max_delay_ms", r.runner.max_delay_ms)
+            .Int("max_delay_ms", r.runner().max_delay_ms)
             .Bool("ok", ok);
       }
     }

@@ -82,7 +82,7 @@ void RunFig9() {
       opts.verify_audit = false;
 
       const HarnessResult r = RunHarness(MakeGroupBy(1000), opts);
-      const DataPlaneCycleStats& c = r.cycles;
+      const DataPlaneCycleStats& c = r.cycles();
       const double total = static_cast<double>(c.invoke_cycles);
       const double switch_pct = 100.0 * c.switch_cycles / total;
       const double mem_pct = 100.0 * c.memmgmt_cycles / total;

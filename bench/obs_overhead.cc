@@ -1,0 +1,139 @@
+// Telemetry overhead: what an observed hot path pays per instrument touch, and what a whole
+// engine run pays for tracing.
+//
+// The obs layer's contract (src/obs/metrics.h) is that instruments must never become the next
+// serial section: a counter Add or histogram Observe is 1-2 relaxed atomic RMWs on a
+// per-thread stripe (target < 20ns), and a disabled TraceSpan is one relaxed load plus a
+// branch. This bench measures each primitive and then runs the same harness workload with
+// tracing off and on (the CI sampling rate), asserting the throughput ratio stays within the
+// same tolerance band the bench gate allows — telemetry must not move the figures it reports.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/control/benchmarks.h"
+#include "src/control/harness.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace sbt {
+namespace {
+
+// Per-op cost of `op(i)` over `iters` iterations. The compiler barrier keeps the loop from
+// being collapsed when the op's only side effect is an atomic the optimizer can coalesce.
+template <typename Op>
+double MeasureNs(uint64_t iters, Op op) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < iters; ++i) {
+    op(i);
+    asm volatile("" ::: "memory");
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+         static_cast<double>(iters);
+}
+
+double RunFilterHarness() {
+  const int scale = BenchScale();
+  HarnessOptions opts;
+  opts.version = EngineVersion::kStreamBoxTz;
+  opts.engine.worker_threads = 2;
+  opts.engine.secure_pool_mb = 256;
+  opts.generator.batch_events = 50000;
+  opts.generator.num_windows = 4;
+  opts.generator.workload.kind = WorkloadKind::kFilterable;
+  opts.generator.workload.events_per_window = 200000u * static_cast<uint32_t>(scale);
+  // Filter is the cheapest per-event pipeline, so fixed per-event telemetry costs are at
+  // their *largest* relative to useful work — the most pessimistic ratio we can measure.
+  const Pipeline pipeline = MakeFilter(1000, 0, 100);
+  const HarnessResult r = RunHarness(pipeline, opts);
+  return r.runner().task_errors == 0 ? r.events_per_sec() : 0.0;
+}
+
+int RunObsOverhead() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const uint64_t saved_sample_every = tracer.sample_every();
+
+  PrintHeader("Telemetry overhead: per-instrument cost and end-to-end throughput ratio",
+              "counter/histogram < 20ns per touch; tracing sampled at CI rate moves engine "
+              "throughput by less than the bench gate's own tolerance");
+
+  const uint64_t iters = 1u << 22;
+  obs::Counter* counter = reg.GetCounter("obs_overhead_counter_total");
+  obs::Gauge* gauge = reg.GetGauge("obs_overhead_gauge");
+  obs::Histogram* hist = reg.GetHistogram("obs_overhead_hist");
+
+  // Warm the stripe assignment and instrument cache lines before timing.
+  counter->Add(0);
+  hist->Observe(0);
+
+  const double counter_ns = MeasureNs(iters, [&](uint64_t) { counter->Add(1); });
+  const double gauge_ns =
+      MeasureNs(iters, [&](uint64_t i) { gauge->Set(static_cast<int64_t>(i)); });
+  const double hist_ns = MeasureNs(iters, [&](uint64_t i) { hist->Observe(i & 0xffff); });
+
+  tracer.SetSampleEvery(0);
+  const double span_off_ns = MeasureNs(iters, [&](uint64_t i) {
+    SBT_TRACE_SPAN("obs.bench", i, 0);
+  });
+  // CI's traced-bench sampling rate: 1 ticket in 64 records both span endpoints.
+  tracer.SetSampleEvery(64);
+  const double span_sampled_ns = MeasureNs(iters, [&](uint64_t i) {
+    SBT_TRACE_SPAN("obs.bench", i, 0);
+  });
+  tracer.SetSampleEvery(0);
+  tracer.Drain();  // micro-bench events are noise; keep them out of any configured dump
+
+  // End-to-end: the identical workload with the flight recorder off, then at the CI rate.
+  const double off_eps = RunFilterHarness();
+  tracer.SetSampleEvery(64);
+  const double on_eps = RunFilterHarness();
+  tracer.SetSampleEvery(saved_sample_every);
+  const double ratio = off_eps > 0 ? on_eps / off_eps : 0.0;
+
+  int failures = 0;
+#ifdef NDEBUG
+  // Generous 10x headroom over the design target: this must catch "someone put a lock on the
+  // hot path", not flake on a noisy CI host.
+  if (counter_ns > 200.0 || hist_ns > 200.0) failures++;
+#endif
+  // Same spirit as tools/bench_gate.py's regression tolerance: sampled tracing may not halve
+  // throughput. (Gate tolerance is per-metric; 0.5x is its loosest band.)
+  if (off_eps > 0 && ratio < 0.5) failures++;
+
+  std::printf("%-22s %12s %6s\n", "instrument", "ns/op", "ok");
+  std::printf("%-22s %12.1f %6s\n", "counter.Add", counter_ns,
+              counter_ns <= 20.0 ? "yes" : "over");
+  std::printf("%-22s %12.1f %6s\n", "gauge.Set", gauge_ns, gauge_ns <= 20.0 ? "yes" : "over");
+  std::printf("%-22s %12.1f %6s\n", "histogram.Observe", hist_ns,
+              hist_ns <= 20.0 ? "yes" : "over");
+  std::printf("%-22s %12.1f %6s\n", "trace_span.disabled", span_off_ns, "-");
+  std::printf("%-22s %12.1f %6s\n", "trace_span.sampled64", span_sampled_ns, "-");
+  std::printf("\nfilter harness: tracing off %.0f ev/s, sampled 1/64 %.0f ev/s "
+              "(ratio %.3f, floor 0.5)\n",
+              off_eps, on_eps, ratio);
+
+  JsonBenchReport report("obs_overhead");
+  report.BeginRow().Str("instrument", "counter_add").Num("ns_per_op", counter_ns);
+  report.BeginRow().Str("instrument", "gauge_set").Num("ns_per_op", gauge_ns);
+  report.BeginRow().Str("instrument", "histogram_observe").Num("ns_per_op", hist_ns);
+  report.BeginRow().Str("instrument", "trace_span_disabled").Num("ns_per_op", span_off_ns);
+  report.BeginRow().Str("instrument", "trace_span_sampled64").Num("ns_per_op", span_sampled_ns);
+  report.BeginRow()
+      .Str("instrument", "harness_traced_ratio")
+      .Num("events_per_sec_off", off_eps)
+      .Num("events_per_sec_on", on_eps)
+      .Num("ratio", ratio);
+  report.Write();
+
+  return failures;
+}
+
+}  // namespace
+}  // namespace sbt
+
+int main() { return sbt::RunObsOverhead(); }

@@ -91,8 +91,8 @@ RunResult RunFleet(uint32_t num_shards, int workers_per_engine,
   out.seconds = static_cast<double>(NowUs() - t0) / 1e6;
   out.events = report.TotalEventsIngested();
   for (const TenantShardReport& e : report.engines) {
-    out.windows += e.runner.windows_emitted;
-    out.errors += e.runner.task_errors + e.dispatch_errors;
+    out.windows += e.runner().windows_emitted;
+    out.errors += e.runner().task_errors + e.dispatch_errors;
     out.verified = out.verified && e.verified && e.verify.correct;
   }
   return out;

@@ -93,11 +93,11 @@ int main() {
       std::printf(
           "  shard %u: %llu events, %llu windows, peak %zuKB / %zuKB carve, "
           "audit %zu records (%.1fx compressed) -> %s\n",
-          e->shard, static_cast<unsigned long long>(e->runner.events_ingested),
-          static_cast<unsigned long long>(e->runner.windows_emitted), e->peak_committed >> 10,
+          e->shard, static_cast<unsigned long long>(e->runner().events_ingested),
+          static_cast<unsigned long long>(e->runner().windows_emitted), e->peak_committed() >> 10,
           e->partition_bytes >> 10, e->audit.record_count, ratio,
           e->verify.correct ? "VERIFIED" : "VERIFICATION FAILED");
-      all_ok = all_ok && e->verify.correct && e->runner.task_errors == 0;
+      all_ok = all_ok && e->verify.correct && e->runner().task_errors == 0;
     }
   }
 

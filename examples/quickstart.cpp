@@ -36,7 +36,7 @@ int main() {
   // 4. Decrypt results like the cloud consumer would, and check the attestation report.
   const DataPlaneConfig cfg = MakeEngineConfig(opts.version, opts.engine);
   std::printf("processed %llu events at %.1f M events/s (%.0f MB/s)\n",
-              static_cast<unsigned long long>(result.runner.events_ingested),
+              static_cast<unsigned long long>(result.runner().events_ingested),
               result.events_per_sec() / 1e6, result.mb_per_sec());
   for (const WindowResult& wr : result.window_results) {
     const auto plain = DecryptEgressBlob(cfg, wr.blobs[0], wr.blobs[0].ctr_offset);

@@ -1,8 +1,28 @@
 #include "src/common/logging.h"
 
+#include <atomic>
+
 namespace sbt {
 
-LogLevel GlobalLogLevel() {
+namespace {
+
+// -1 = no runtime override, use the environment value. Relaxed is enough: a level flip does
+// not need to order against any other memory operation, only to become visible eventually
+// (tests flip it on the same thread that logs, or join before asserting).
+std::atomic<int> g_level_override{-1};
+
+std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// Guarded by LogMutex(). Empty function = stderr default.
+LogSink& SinkRef() {
+  static LogSink sink;
+  return sink;
+}
+
+LogLevel EnvLogLevel() {
   static const LogLevel level = [] {
     const char* env = std::getenv("SBT_LOG_LEVEL");
     if (env == nullptr) {
@@ -20,8 +40,29 @@ LogLevel GlobalLogLevel() {
   return level;
 }
 
+}  // namespace
+
+LogLevel GlobalLogLevel() {
+  const int override_level = g_level_override.load(std::memory_order_relaxed);
+  if (override_level >= 0) {
+    return static_cast<LogLevel>(override_level);
+  }
+  return EnvLogLevel();
+}
+
+LogLevel SetLogLevel(LogLevel level) {
+  const int prev = g_level_override.exchange(static_cast<int>(level), std::memory_order_relaxed);
+  return prev >= 0 ? static_cast<LogLevel>(prev) : EnvLogLevel();
+}
+
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  LogSink prev = std::move(SinkRef());
+  SinkRef() = std::move(sink);
+  return prev;
+}
+
 void LogLine(LogLevel level, const char* file, int line, const std::string& msg) {
-  static std::mutex mu;
   const char* tag = "?";
   switch (level) {
     case LogLevel::kError:
@@ -36,6 +77,11 @@ void LogLine(LogLevel level, const char* file, int line, const std::string& msg)
     case LogLevel::kOff:
       return;
   }
+  std::lock_guard<std::mutex> lock(LogMutex());
+  if (SinkRef()) {
+    SinkRef()(level, file, line, msg);
+    return;
+  }
   // Strip the directory prefix for readability.
   const char* base = file;
   for (const char* p = file; *p != '\0'; ++p) {
@@ -43,7 +89,6 @@ void LogLine(LogLevel level, const char* file, int line, const std::string& msg)
       base = p + 1;
     }
   }
-  std::lock_guard<std::mutex> lock(mu);
   std::fprintf(stderr, "[%s %s:%d] %s\n", tag, base, line, msg.c_str());
 }
 

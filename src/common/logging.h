@@ -1,5 +1,7 @@
 // Minimal leveled logging. The data plane logs nothing on the hot path; logging is for the
-// control plane, harnesses and tests. Controlled by SBT_LOG_LEVEL env var (0=off .. 3=debug).
+// control plane, harnesses and tests. Controlled by SBT_LOG_LEVEL env var (0=off .. 3=debug);
+// SetLogLevel() overrides the environment at runtime (thread-safe), and SetLogSink() routes
+// lines into a test-capture callback instead of stderr.
 
 #ifndef SRC_COMMON_LOGGING_H_
 #define SRC_COMMON_LOGGING_H_
@@ -7,6 +9,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -15,10 +18,25 @@ namespace sbt {
 
 enum class LogLevel : int { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
 
-// Global log level, read once from the environment.
+// Effective global log level: the most recent SetLogLevel() override if any, otherwise the
+// value of SBT_LOG_LEVEL read once from the environment.
 LogLevel GlobalLogLevel();
 
-// Thread-safe sink; stderr by default.
+// Thread-safe runtime override of the global level; returns the previous effective level so
+// tests can restore it. Visible to other threads without synchronization delay beyond a
+// relaxed atomic store.
+LogLevel SetLogLevel(LogLevel level);
+
+// Receives every emitted line (already level-filtered). `file` is the full __FILE__ path.
+using LogSink = std::function<void(LogLevel level, const char* file, int line,
+                                   const std::string& msg)>;
+
+// Replaces the output sink (nullptr restores the stderr default). The sink is invoked under
+// the logging mutex, so a capturing sink needs no locking of its own; it must not log.
+// Returns the previous sink (empty std::function if the default was active).
+LogSink SetLogSink(LogSink sink);
+
+// Thread-safe sink; stderr by default (tag + basename(file):line + message).
 void LogLine(LogLevel level, const char* file, int line, const std::string& msg);
 
 namespace log_internal {

@@ -52,13 +52,19 @@ HarnessResult RunHarness(const Pipeline& pipeline, const HarnessOptions& options
     }
   }
 
-  // Sample committed secure memory while the run executes ("steady consumption").
+  // Sample committed secure memory while the run executes ("steady consumption"). The same
+  // sampler keeps the registry's live pool gauge fresh so a mid-run metrics scrape sees
+  // current occupancy, not the value from the last snapshot.
+  obs::Gauge* pool_gauge =
+      obs::MetricsRegistry::Global().GetGauge("sbt_secure_pool_committed_bytes_live");
   std::atomic<bool> sampling{true};
   std::atomic<uint64_t> sample_sum{0};
   std::atomic<uint64_t> sample_count{0};
   std::thread sampler([&] {
     while (sampling.load(std::memory_order_relaxed)) {
-      sample_sum.fetch_add(dp.memory_stats().committed_bytes, std::memory_order_relaxed);
+      const uint64_t committed = dp.memory_stats().committed_bytes;
+      pool_gauge->Set(static_cast<int64_t>(committed));
+      sample_sum.fetch_add(committed, std::memory_order_relaxed);
       sample_count.fetch_add(1, std::memory_order_relaxed);
       std::this_thread::sleep_for(std::chrono::microseconds(500));
     }
@@ -82,10 +88,8 @@ HarnessResult RunHarness(const Pipeline& pipeline, const HarnessOptions& options
                              ? static_cast<size_t>(sample_sum.load() / sample_count.load())
                              : 0;
 
-  out.runner = runner.stats();
-  out.peak_memory_bytes = dp.memory_stats().peak_committed;
+  out.telemetry = CollectEngineTelemetry(dp, runner);
   out.window_results = runner.TakeResults();
-  out.cycles = dp.cycle_stats();
 
   std::vector<AuditRecord> records;
   out.audit_upload = dp.FlushAudit(&records);

@@ -15,14 +15,17 @@
 #include "src/control/engine.h"
 #include "src/control/pipeline.h"
 #include "src/control/runner.h"
+#include "src/control/telemetry.h"
 #include "src/net/generator.h"
 
 namespace sbt {
 
 struct HarnessResult {
-  Runner::Stats runner;
+  // Every engine-side counter — runner stats, world-switch and cycle breakdowns, secure-pool
+  // and allocator stats — collected through the one CollectEngineTelemetry path (no bespoke
+  // per-struct copies). Convenience accessors below keep call sites short.
+  EngineTelemetry telemetry;
   double seconds = 0;
-  size_t peak_memory_bytes = 0;
   // Mean committed secure memory over the run (sampled): the "steady consumption" the paper
   // annotates in Figures 7 and 10. Reclaim latency shows here, not in the peak.
   size_t avg_memory_bytes = 0;
@@ -31,10 +34,13 @@ struct HarnessResult {
   bool verified = false;
   std::vector<WindowResult> window_results;
   AuditUpload audit_upload;
-  DataPlaneCycleStats cycles;
+
+  const Runner::Stats& runner() const { return telemetry.runner; }
+  const DataPlaneCycleStats& cycles() const { return telemetry.cycles; }
+  size_t peak_memory_bytes() const { return telemetry.memory.peak_committed; }
 
   double events_per_sec() const {
-    return seconds > 0 ? static_cast<double>(runner.events_ingested) / seconds : 0;
+    return seconds > 0 ? static_cast<double>(telemetry.runner.events_ingested) / seconds : 0;
   }
   double mb_per_sec() const { return events_per_sec() * event_size / 1e6; }
 };

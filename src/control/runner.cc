@@ -1,9 +1,11 @@
 #include "src/control/runner.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/common/logging.h"
 #include "src/core/checkpoint.h"
+#include "src/obs/trace.h"
 
 namespace sbt {
 namespace {
@@ -45,9 +47,12 @@ Runner::Runner(DataPlane* data_plane, Pipeline pipeline, RunnerConfig config)
       combiner_ = owned_combiner_.get();
     }
   }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  m_queue_depth_ = reg.GetGauge("sbt_runner_queue_depth", config_.metric_labels);
+  m_finished_closes_ = reg.GetGauge("sbt_runner_finished_closes", config_.metric_labels);
   workers_.reserve(config_.worker_threads);
   for (int i = 0; i < config_.worker_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -62,7 +67,13 @@ Runner::~Runner() {
   }
 }
 
-void Runner::WorkerLoop() {
+void Runner::WorkerLoop(int worker_index) {
+  // Per-worker task counter: the runner's labels plus this worker's index, interned once per
+  // thread — the per-worker load-balance view the aggregate counters cannot show.
+  obs::MetricLabels labels = config_.metric_labels;
+  labels.emplace_back("worker", std::to_string(worker_index));
+  obs::Counter* tasks_done =
+      obs::MetricsRegistry::Global().GetCounter("sbt_runner_worker_tasks_total", labels);
   while (true) {
     std::function<void()> task;
     {
@@ -75,9 +86,11 @@ void Runner::WorkerLoop() {
       // win; consumption start times of sibling outputs then vary widely — paper §6.2).
       task = std::move(queue_.back());
       queue_.pop_back();
+      m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
       ++active_tasks_;
     }
     task();
+    tasks_done->Add(1);
     // Chain completions retire uArrays and free pool pages: wake any ingest stalled on
     // backpressure so it re-checks utilization instead of sleeping out its poll interval.
     // (Skipped entirely when nothing can ever wait — the flag is immutable.)
@@ -116,12 +129,17 @@ void Runner::Enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(qmu_);
     queue_.push_back(std::move(task));
+    m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
   }
   qcv_.notify_one();
 }
 
 void Runner::NoteError(const Status& status) {
-  task_errors_.fetch_add(1, std::memory_order_relaxed);
+  if (task_errors_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    // First failure in this runner: flush the flight recorder (no-op unless SBT_TRACE_DUMP is
+    // set) while the events surrounding the failure are still in the rings.
+    obs::Tracer::Global().DumpIfConfigured();
+  }
   SBT_LOG(Error) << "runner task failed: " << status.ToString();
 }
 
@@ -157,6 +175,7 @@ Status Runner::IngestFrame(std::span<const uint8_t> frame, uint16_t stream,
   // The frame's boundary work — ingress, segmentation, then one chain per segment — is
   // ticketed in submission order; workers may execute the chains in any order afterwards.
   ExecTicket frame_ticket = dp_->OpenTicket(0);
+  SBT_TRACE_SPAN("frame.ingest", frame_ticket.seq, frame.size());
   auto ingested = dp_->IngestBatch(frame, pipeline_.event_size(), stream, config_.ingest_path,
                                    ctr_offset, &frame_ticket);
   if (!ingested.ok()) {
@@ -221,6 +240,7 @@ Status Runner::IngestFrame(std::span<const uint8_t> frame, uint16_t stream,
 
 void Runner::RunChain(ExecTicket ticket, uint32_t worker_lane, OpaqueRef ref,
                       uint32_t window_index, uint16_t stream) {
+  SBT_TRACE_SPAN("chain.run", ticket.seq, window_index);
   OpaqueRef cur = ref;
   const auto& chain = pipeline_.batch_chain();
   // Hints are identical in both modes — intermediates in the worker's lane, the final
@@ -364,6 +384,7 @@ Status Runner::AdvanceWatermark(EventTimeMs value) {
 }
 
 void Runner::CloseWindow(uint32_t window_index, WindowState state) {
+  SBT_TRACE_SPAN("window.close", state.close_ticket.seq, window_index);
   const auto& stages = pipeline_.window_stages();
   std::vector<std::vector<OpaqueRef>> stage_outputs(stages.size());
   const HintRequest close_hint = LaneHint(kCloseLaneBase + window_index % kLaneSlots);
@@ -502,6 +523,7 @@ void Runner::CloseWindow(uint32_t window_index, WindowState state) {
 void Runner::FinishClose(PendingClose close) {
   std::unique_lock<std::mutex> lock(cmu_);
   finished_closes_.emplace(close.ticket.seq, std::move(close));
+  m_finished_closes_->Set(static_cast<int64_t>(finished_closes_.size()));
   if (draining_closes_) {
     return;  // the current turn-holder's loop will reach this close
   }
@@ -518,6 +540,7 @@ void Runner::FinishClose(PendingClose close) {
     }
     PendingClose ready = std::move(it->second);
     finished_closes_.erase(it);
+    m_finished_closes_->Set(static_cast<int64_t>(finished_closes_.size()));
     close_order_.pop_front();
     lock.unlock();
     ProcessClose(ready);
@@ -527,6 +550,7 @@ void Runner::FinishClose(PendingClose close) {
 }
 
 void Runner::ProcessClose(PendingClose& close) {
+  SBT_TRACE_SPAN("close.emit", close.ticket.seq, close.window_index);
   if (!close.chain_ok) {
     // The chain's executed prefix was already audited; the window emits nothing. Retiring
     // unblocks every younger close behind this ticket.

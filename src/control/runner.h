@@ -40,6 +40,7 @@
 #include "src/control/pipeline.h"
 #include "src/core/data_plane.h"
 #include "src/core/submit_combiner.h"
+#include "src/obs/metrics.h"
 
 namespace sbt {
 
@@ -68,6 +69,10 @@ struct RunnerConfig {
   // engines combine across engines. Null -> the runner owns a private queue when combining is
   // on. The pointee must outlive the runner.
   SubmitCombiner* combiner = nullptr;
+  // Label set stamped onto this runner's registry instruments (the server sets tenant/shard;
+  // harnesses leave it empty for unlabeled process-wide series). Worker-task counters add a
+  // per-worker "worker" label on top.
+  obs::MetricLabels metric_labels;
 };
 
 struct WindowResult {
@@ -181,7 +186,7 @@ class Runner {
     Runner* runner_;
   };
 
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
   void Enqueue(std::function<void()> task);
   void RunChain(ExecTicket ticket, uint32_t worker_lane, OpaqueRef ref, uint32_t window_index,
                 uint16_t stream);
@@ -249,6 +254,12 @@ class Runner {
   // Results.
   std::mutex rmu_;
   std::vector<WindowResult> results_;
+
+  // Registry instruments, interned once at construction (registry pointers are stable for the
+  // process lifetime). Depth gauges are written under the lock already guarding the structure
+  // they measure, so readers see a value some writer actually observed.
+  obs::Gauge* m_queue_depth_ = nullptr;      // task-pool depth; written under qmu_
+  obs::Gauge* m_finished_closes_ = nullptr;  // parked completion-stage closes; under cmu_
 
   std::atomic<uint64_t> events_ingested_{0};
   std::atomic<uint64_t> frames_ingested_{0};

@@ -1,0 +1,40 @@
+// One collection path for an engine's end-of-run statistics.
+//
+// Before this existed, every consumer (harness, EdgeServer shutdown aggregation) reached into
+// the engine separately — runner->stats(), dp->memory_stats(), dp->cycle_stats(), ... — each
+// growing its own bespoke copy of the field plumbing. EngineTelemetry is the single bundle:
+// collect once, then either read fields directly or convert the whole bundle into labeled
+// `obs::MetricSample`s for a MetricsSnapshot / Prometheus / JSON export.
+
+#ifndef SRC_CONTROL_TELEMETRY_H_
+#define SRC_CONTROL_TELEMETRY_H_
+
+#include "src/control/runner.h"
+#include "src/core/data_plane.h"
+#include "src/obs/metrics.h"
+#include "src/tz/secure_world.h"
+#include "src/tz/world_switch.h"
+#include "src/uarray/allocator.h"
+
+namespace sbt {
+
+// Everything an engine can report about one run, gathered through one call.
+struct EngineTelemetry {
+  Runner::Stats runner;
+  WorldSwitchStats world_switch;
+  DataPlaneCycleStats cycles;
+  SecureMemoryStats memory;
+  AllocatorStats allocator;
+};
+
+EngineTelemetry CollectEngineTelemetry(const DataPlane& dp, const Runner& runner);
+
+// Converts a telemetry bundle into `sbt_*` samples appended to `out`, each carrying `labels`
+// (e.g. {{"tenant","alpha"},{"shard","2"}}). Counter-kind samples are cumulative totals for
+// the engine's lifetime; gauge-kind samples are end-of-run readings (peaks, current values).
+void AppendEngineTelemetry(const EngineTelemetry& telemetry, const obs::MetricLabels& labels,
+                           obs::MetricsSnapshot* out);
+
+}  // namespace sbt
+
+#endif  // SRC_CONTROL_TELEMETRY_H_

@@ -97,6 +97,16 @@ DataPlane::DataPlane(const DataPlaneConfig& config)
       egress_cipher_(config.egress_key, std::span<const uint8_t>(config.egress_nonce.data(), 12)),
       epoch_us_(NowUs()) {
   adaptive_threshold_.store(config_.backpressure_threshold, std::memory_order_relaxed);
+  // Intern the hot-path instruments once; every later update is a relaxed atomic on a cached
+  // pointer. Labels (tenant/shard) come from whoever built the config.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  m_ticket_latency_cycles_ = reg.GetHistogram("sbt_ticket_open_to_retire_cycles",
+                                              config_.metric_labels);
+  m_ticket_reorder_depth_ = reg.GetHistogram("sbt_ticket_reorder_depth", config_.metric_labels);
+  m_checkpoint_seal_cycles_ = reg.GetHistogram("sbt_checkpoint_seal_cycles",
+                                               config_.metric_labels);
+  m_checkpoint_refusals_ = reg.GetCounter("sbt_checkpoint_refusals_total",
+                                          config_.metric_labels);
 }
 
 Result<PlacementHint> DataPlane::TranslateHint(
@@ -164,7 +174,9 @@ ExecTicket DataPlane::OpenTicket(uint32_t reserve_ids) {
     ticket.ids.next = alloc_.ReserveIds(reserve_ids);
     ticket.ids.end = ticket.ids.next + reserve_ids;
   }
-  staged_.emplace(ticket.seq, StagedTicket{});
+  StagedTicket staged;
+  staged.open_cycles = ReadCycleCounter();
+  staged_.emplace(ticket.seq, std::move(staged));
   return ticket;
 }
 
@@ -173,6 +185,11 @@ void DataPlane::RetireTicket(const ExecTicket& ticket) {
   const auto it = staged_.find(ticket.seq);
   SBT_CHECK(it != staged_.end());
   it->second.retired = true;
+  // staged_.size() at this instant IS the reorder-buffer depth: tickets open or committed-
+  // blocked behind an open predecessor. The serial-section suspect, measured where it forms.
+  m_ticket_latency_cycles_->Observe(ReadCycleCounter() - it->second.open_cycles);
+  m_ticket_reorder_depth_->Observe(staged_.size());
+  SBT_TRACE_INSTANT("ticket.retire", ticket.seq, staged_.size());
   // Commit every ticket the chain head now reaches, oldest first. audit_mu_ nests inside
   // seq_mu_ here (the only place both are held), so no two retiring threads can interleave
   // their committed batches.
@@ -230,6 +247,9 @@ void DataPlane::ExecuteCombinedBatch(std::span<CombinedChain* const> batch) {
     return;
   }
   BoundaryGuard inflight(&admission_mu_, &inflight_chains_);
+  // Structural event (ticket 0: always recorded when tracing is on): one span covering the
+  // whole batch's shared session, alongside each chain's own tee.chain span.
+  SBT_TRACE_SPAN("tee.combined_batch", 0, batch.size());
   // One entry for the whole batch: the combiner's single session is what every chain in the
   // ready set amortizes its world switch over.
   auto session = gate_.Enter();
@@ -252,6 +272,7 @@ Result<SubmitResponse> DataPlane::SubmitUnderSession(const CmdBuffer& buffer, Ex
                                                      WorldSwitchGate::Session& session) {
   const uint64_t t0 = ReadCycleCounter();
   const std::vector<CmdBuffer::Entry>& cmds = buffer.entries();
+  SBT_TRACE_SPAN("tee.chain", ticket != nullptr ? ticket->seq : 0, cmds.size());
 
   // Output of one executed command, addressable by later commands via its slot ref. The array
   // pointer is only valid until the slot is consumed (the consuming command retires it).
@@ -518,6 +539,7 @@ Result<OutputInfo> DataPlane::IngestBatch(std::span<const uint8_t> frame, size_t
                                           uint16_t stream, IngestPath path,
                                           uint64_t ctr_offset, ExecTicket* ticket) {
   const uint64_t t0 = ReadCycleCounter();
+  SBT_TRACE_SPAN("tee.ingest", ticket != nullptr ? ticket->seq : 0, frame.size());
   BoundaryGuard inflight(&admission_mu_, &inflight_chains_);
   auto session = gate_.Enter();
 
@@ -569,6 +591,7 @@ Result<OutputInfo> DataPlane::IngestBatch(std::span<const uint8_t> frame, size_t
 }
 
 Status DataPlane::IngestWatermark(EventTimeMs value, uint16_t stream, ExecTicket* ticket) {
+  SBT_TRACE_INSTANT("tee.watermark", ticket != nullptr ? ticket->seq : 0, value);
   BoundaryGuard inflight(&admission_mu_, &inflight_chains_);
   auto session = gate_.Enter();
   AuditRecord record;
@@ -582,6 +605,7 @@ Status DataPlane::IngestWatermark(EventTimeMs value, uint16_t stream, ExecTicket
 
 Result<EgressBlob> DataPlane::Egress(OpaqueRef ref, ExecTicket* ticket) {
   const uint64_t t0 = ReadCycleCounter();
+  SBT_TRACE_SPAN("tee.egress", ticket != nullptr ? ticket->seq : 0, 0);
   BoundaryGuard inflight(&admission_mu_, &inflight_chains_);
   auto session = gate_.Enter();
 
@@ -678,13 +702,17 @@ Result<DataPlane::CheckpointBundle> DataPlane::Checkpoint(
   // admitted before the check (we refuse) or blocks at admission until the seal completes.
   std::lock_guard<std::mutex> admission(admission_mu_);
   if (inflight_chains() != 0) {
+    m_checkpoint_refusals_->Add(1);
     return FailedPrecondition("checkpoint while an Invoke/Submit chain is inside the TEE");
   }
   // An open ticket means staged audit records that have not reached the log: flushing the
   // chain link now would embed a position that misses work already executed before the seal.
   if (open_tickets() != 0) {
+    m_checkpoint_refusals_->Add(1);
     return FailedPrecondition("checkpoint while execution tickets are open (drain first)");
   }
+  const uint64_t seal_t0 = ReadCycleCounter();
+  SBT_TRACE_SPAN("tee.checkpoint", 0, 0);
   // Test hook: each armed hit spins once more, deterministically widening the decision->seal
   // window the admission mutex is supposed to have closed (stress_test checkpoint/combiner
   // race coverage).
@@ -743,6 +771,7 @@ Result<DataPlane::CheckpointBundle> DataPlane::Checkpoint(
   }
   bundle.sealed = SealCheckpoint(std::span<const uint8_t>(plaintext.data(), plaintext.size()),
                                  config_.egress_key, config_.mac_key, seq, head);
+  m_checkpoint_seal_cycles_->Observe(ReadCycleCounter() - seal_t0);
   return bundle;
 }
 

@@ -41,6 +41,8 @@
 #include "src/core/opaque_ref.h"
 #include "src/crypto/aes128.h"
 #include "src/crypto/sha256.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/primitives/primitives.h"
 #include "src/tz/secure_world.h"
 #include "src/tz/world_switch.h"
@@ -85,6 +87,11 @@ struct DataPlaneConfig {
   // drains it relaxes back toward `backpressure_threshold`.
   bool adaptive_backpressure = false;
   double adaptive_floor = 0.50;  // never tighten below this utilization
+
+  // Labels attached to this engine's hot-path metrics (e.g. {{"tenant","alpha"},
+  // {"shard","2"}}); the server sets them per engine, standalone harnesses leave them empty.
+  // Instrument pointers are interned once at construction — labels cost nothing per event.
+  obs::MetricLabels metric_labels;
 };
 
 // HintRequest and InvokeParams — the boundary vocabulary shared by call-per-primitive Invoke
@@ -360,6 +367,7 @@ class DataPlane {
   struct StagedTicket {
     std::vector<AuditRecord> records;
     bool retired = false;
+    uint64_t open_cycles = 0;  // ReadCycleCounter() at OpenTicket, for open->retire latency
   };
   mutable std::mutex seq_mu_;
   uint64_t next_ticket_seq_ = 0;   // guarded by seq_mu_
@@ -385,6 +393,13 @@ class DataPlane {
   void UpdateAdaptiveThreshold();
   std::atomic<double> adaptive_threshold_{0.85};
   std::atomic<double> last_utilization_{0.0};
+
+  // Hot-path instruments, interned once at construction with config_.metric_labels (stable
+  // pointers into the global registry; each update is 1-2 relaxed atomic ops).
+  obs::Histogram* m_ticket_latency_cycles_;   // OpenTicket -> RetireTicket
+  obs::Histogram* m_ticket_reorder_depth_;    // staged_ size observed at each retire
+  obs::Histogram* m_checkpoint_seal_cycles_;  // successful Checkpoint() duration
+  obs::Counter* m_checkpoint_refusals_;       // kFailedPrecondition refusals
 };
 
 }  // namespace sbt

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace sbt {
 namespace {
 
@@ -10,6 +13,28 @@ namespace {
 // (dsmsynch's help bound): the combiner's own latency stays bounded and no thread is stuck
 // executing everyone else's chains under sustained load.
 constexpr int kCombinerHelpRounds = 8;
+
+// Combiner instruments are process-global (unlabeled): combiners are shared across engines
+// by design (cross-engine combining), so per-tenant attribution is not meaningful here.
+struct CombinerMetrics {
+  obs::Gauge* queue_depth;
+  obs::Histogram* batch_chains;
+  obs::Counter* batches;
+  obs::Counter* handoffs;
+};
+
+const CombinerMetrics& Metrics() {
+  static const CombinerMetrics m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    return CombinerMetrics{
+        reg.GetGauge("sbt_combiner_queue_depth"),
+        reg.GetHistogram("sbt_combiner_batch_chains"),
+        reg.GetCounter("sbt_combiner_batches_total"),
+        reg.GetCounter("sbt_combiner_handoffs_total"),
+    };
+  }();
+  return m;
+}
 
 }  // namespace
 
@@ -35,6 +60,8 @@ Result<SubmitResponse> SubmitCombiner::Apply(DataPlane* dp, const CmdBuffer& buf
   std::unique_lock<std::mutex> lock(mu_);
   node.arrival = arrivals_++;
   queue_.push_back(&node);
+  Metrics().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+  SBT_TRACE_INSTANT("combiner.announce", ticket != nullptr ? ticket->seq : 0, queue_.size());
 
   // Announce-and-wait: either a combiner executes our node for us, or we find the role free
   // and take it ourselves.
@@ -53,8 +80,14 @@ Result<SubmitResponse> SubmitCombiner::Apply(DataPlane* dp, const CmdBuffer& buf
   do {
     std::vector<Node*> batch(queue_.begin(), queue_.end());
     queue_.clear();
+    Metrics().queue_depth->Set(0);
     lock.unlock();
-    ExecuteBatch(batch);
+    {
+      SBT_TRACE_SPAN("combiner.drain", 0, batch.size());
+      ExecuteBatch(batch);
+    }
+    Metrics().batch_chains->Observe(batch.size());
+    Metrics().batches->Add(1);
     lock.lock();
     stats_.batches += 1;
     stats_.chains += batch.size();
@@ -73,6 +106,12 @@ Result<SubmitResponse> SubmitCombiner::Apply(DataPlane* dp, const CmdBuffer& buf
     ++rounds;
   } while (!queue_.empty() && rounds < kCombinerHelpRounds && !held_);
   combiner_active_ = false;
+  if (!queue_.empty()) {
+    // Leaving the role with work still queued: either the help bound tripped or a Hold() is
+    // pending. A waiter inherits the role — count the handoff (role churn is a combining-
+    // efficiency signal the Stats struct cannot see).
+    Metrics().handoffs->Add(1);
+  }
   Result<SubmitResponse> out = std::move(node.chain.result);
   lock.unlock();
   // If chains are still queued (help bound, or arrivals after the last drain), this wakes a

@@ -24,6 +24,7 @@
 
 #include "src/common/failpoint.h"
 #include "src/common/time.h"
+#include "src/obs/metrics.h"
 
 namespace sbt {
 
@@ -49,6 +50,7 @@ class BoundedChannel {
         return false;
       }
       queue_.push_back(std::move(item));
+      UpdateDepthLocked();
     }
     cv_pop_.notify_one();
     NotifyListener();
@@ -67,6 +69,7 @@ class BoundedChannel {
         return false;
       }
       queue_.push_back(std::move(item));
+      UpdateDepthLocked();
     }
     cv_pop_.notify_one();
     NotifyListener();
@@ -84,6 +87,7 @@ class BoundedChannel {
       }
       out.emplace(std::move(queue_.front()));
       queue_.pop_front();
+      UpdateDepthLocked();
     }
     cv_push_.notify_one();
     return out;
@@ -101,6 +105,7 @@ class BoundedChannel {
       }
       out.emplace(std::move(queue_.front()));
       queue_.pop_front();
+      UpdateDepthLocked();
     }
     cv_push_.notify_one();
     return out;
@@ -127,6 +132,16 @@ class BoundedChannel {
     listener_ = std::move(listener);
   }
 
+  // Optional depth gauge (obs registry pointer): the channel publishes its queue size to it
+  // on every push/pop, under the channel mutex it already holds — one relaxed store, no extra
+  // synchronization. Set before producers start (same quiescence contract as SetListener);
+  // pass nullptr to detach. The gauge must outlive the channel (registry pointers do).
+  void SetDepthGauge(obs::Gauge* gauge) {
+    std::lock_guard<std::mutex> lock(mu_);
+    depth_gauge_ = gauge;
+    UpdateDepthLocked();
+  }
+
   bool closed() const {
     std::lock_guard<std::mutex> lock(mu_);
     return closed_;
@@ -146,6 +161,12 @@ class BoundedChannel {
   size_t capacity() const { return capacity_; }
 
  private:
+  void UpdateDepthLocked() {
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    }
+  }
+
   void NotifyListener() {
     std::function<void()> listener;
     {
@@ -164,6 +185,7 @@ class BoundedChannel {
   std::deque<T> queue_;
   bool closed_ = false;
   std::function<void()> listener_;  // guarded by mu_; copied out before invoking
+  obs::Gauge* depth_gauge_ = nullptr;  // guarded by mu_
 };
 
 using FrameChannel = BoundedChannel<Frame>;

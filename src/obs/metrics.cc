@@ -1,0 +1,269 @@
+#include "src/obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace sbt {
+namespace obs {
+
+namespace internal {
+
+size_t AssignStripe() {
+  static std::atomic<size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+}
+
+}  // namespace internal
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Cell& c : cells_) {
+    for (const auto& b : c.buckets) total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::Sum() const {
+  uint64_t total = 0;
+  for (const Cell& c : cells_) total += c.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(kBuckets, 0);
+  for (const Cell& c : cells_) {
+    for (int b = 0; b < kBuckets; ++b) out[b] += c.buckets[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+const MetricSample* MetricsSnapshot::Find(std::string_view name,
+                                          const MetricLabels& labels) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+// {tenant="a",shard="2"} — empty string for no labels. `extra` appends one more pair (the
+// histogram `le`) without building a temporary label set.
+std::string PromLabels(const MetricLabels& labels, const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k + "=\"" + EscapeLabelValue(v) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out.push_back(',');
+    out += extra;
+  }
+  out.push_back('}');
+  return out;
+}
+
+// Doubles that are whole numbers print as integers (counter totals are exact uint64s).
+std::string NumToString(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string RegistryKey(std::string_view name, const MetricLabels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key.push_back('\x1f');
+    key += k;
+    key.push_back('=');
+    key += v;
+  }
+  return key;
+}
+
+const char* KindName(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  const std::string* last_name = nullptr;
+  for (const MetricSample& s : snapshot.samples) {
+    if (last_name == nullptr || *last_name != s.name) {
+      out += "# TYPE " + s.name + " " + KindName(s.kind) + "\n";
+      last_name = &s.name;
+    }
+    if (s.kind == MetricKind::kHistogram) {
+      uint64_t cumulative = 0;
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        cumulative += s.buckets[b];
+        // Sparse exposition: only emit boundaries that move the cumulative count, plus +Inf.
+        if (s.buckets[b] == 0) continue;
+        out += s.name + "_bucket" +
+               PromLabels(s.labels,
+                          "le=\"" + std::to_string(Histogram::BucketBound(b)) + "\"") +
+               " " + std::to_string(cumulative) + "\n";
+      }
+      out += s.name + "_bucket" + PromLabels(s.labels, "le=\"+Inf\"") + " " +
+             std::to_string(s.count) + "\n";
+      out += s.name + "_sum" + PromLabels(s.labels) + " " + NumToString(s.sum) + "\n";
+      out += s.name + "_count" + PromLabels(s.labels) + " " + std::to_string(s.count) + "\n";
+    } else {
+      out += s.name + PromLabels(s.labels) + " " + NumToString(s.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"metrics\":[";
+  bool first_sample = true;
+  for (const MetricSample& s : snapshot.samples) {
+    if (!first_sample) out.push_back(',');
+    first_sample = false;
+    out += "{\"name\":\"" + s.name + "\",\"kind\":\"" + KindName(s.kind) + "\"";
+    if (!s.labels.empty()) {
+      out += ",\"labels\":{";
+      bool first = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += "\"" + k + "\":\"" + EscapeLabelValue(v) + "\"";
+      }
+      out.push_back('}');
+    }
+    if (s.kind == MetricKind::kHistogram) {
+      out += ",\"count\":" + std::to_string(s.count) + ",\"sum\":" + NumToString(s.sum) +
+             ",\"buckets\":[";
+      bool first = true;
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        if (s.buckets[b] == 0) continue;
+        if (!first) out.push_back(',');
+        first = false;
+        out += "{\"le\":" + std::to_string(Histogram::BucketBound(b)) +
+               ",\"count\":" + std::to_string(s.buckets[b]) + "}";
+      }
+      out += "]";
+    } else {
+      out += ",\"value\":" + NumToString(s.value);
+    }
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::Intern(std::string_view name,
+                                                const MetricLabels& labels, MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(RegistryKey(name, labels));
+  Entry& e = it->second;
+  if (inserted) {
+    e.name = std::string(name);
+    e.labels = labels;
+    e.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter: e.counter = std::make_unique<Counter>(); break;
+      case MetricKind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+      case MetricKind::kHistogram: e.histogram = std::make_unique<Histogram>(); break;
+    }
+  }
+  // Re-registering a name+labels pair as a different kind is a programming error.
+  SBT_CHECK(e.kind == kind);
+  return e;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name, const MetricLabels& labels) {
+  return Intern(name, labels, MetricKind::kCounter).counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, const MetricLabels& labels) {
+  return Intern(name, labels, MetricKind::kGauge).gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name, const MetricLabels& labels) {
+  return Intern(name, labels, MetricKind::kHistogram).histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.samples.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    MetricSample s;
+    s.name = e.name;
+    s.labels = e.labels;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(e.counter->Value());
+        break;
+      case MetricKind::kGauge:
+        s.value = static_cast<double>(e.gauge->Value());
+        break;
+      case MetricKind::kHistogram:
+        s.buckets = e.histogram->BucketCounts();
+        s.count = 0;
+        for (uint64_t b : s.buckets) s.count += b;
+        s.sum = static_cast<double>(e.histogram->Sum());
+        break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+bool MetricsRegistry::DumpIfConfigured() {
+  if (this != &Global()) return false;
+  const char* path = std::getenv("SBT_METRICS_DUMP");
+  if (path == nullptr || path[0] == '\0') return false;
+  const std::string p(path);
+  const bool json = p.size() > 5 && p.compare(p.size() - 5, 5, ".json") == 0;
+  const std::string body = json ? ToJson(Snapshot()) : ToPrometheusText(Snapshot());
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    SBT_LOG(Error) << "SBT_METRICS_DUMP: cannot open " << p;
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace sbt

@@ -1,0 +1,181 @@
+// Lock-free hot-path metrics: counters, gauges, and fixed-bucket histograms.
+//
+// The data plane's interesting costs live inside paths that already pay hundreds of thousands
+// of cycles per world switch, but the *instruments* must not become the next serial section:
+// every mutation here is one or two relaxed atomic RMWs on a per-thread stripe (cache-line
+// padded so concurrent writers never share a line), with zero allocation and no locks. The
+// cold path — registering a metric, taking a snapshot — takes a mutex and is expected to run
+// at human frequency (startup, scrape, shutdown).
+//
+// Labeling: a metric instance is (name, labels); `MetricsRegistry::Get*` interns the pair and
+// returns a stable pointer callers cache at construction time (engines cache per-tenant
+// instruments once, workers once per thread — never a map lookup per event).
+//
+// Telemetry never observes secure-world plaintext: values recorded here are sizes, counts,
+// ids, and cycle counts only (see DESIGN.md "Observability invariants").
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sbt {
+namespace obs {
+
+// Sorted-insertion-order label set, e.g. {{"tenant","alpha"},{"shard","2"}}.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+namespace internal {
+
+inline constexpr size_t kStripes = 16;
+
+// Stable per-thread stripe assignment (round-robin at first use). Two threads may share a
+// stripe once more than kStripes threads exist; correctness is unaffected (the stripe is an
+// atomic), only padding's anti-false-sharing benefit degrades.
+size_t AssignStripe();
+inline size_t StripeIndex() {
+  thread_local const size_t idx = AssignStripe();
+  return idx;
+}
+
+}  // namespace internal
+
+// Monotonic counter. Add() is one relaxed fetch_add on the caller's stripe.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    cells_[internal::StripeIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  Cell cells_[internal::kStripes];
+};
+
+// Last-writer-wins instantaneous value (queue depths, pool occupancy). A single atomic: gauge
+// writers are structurally serialized in this codebase (a depth is set under the lock that
+// guards the queue it measures), so striping would only blur the "current" reading.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Power-of-two-bucket histogram for latencies (cycles/us) and sizes (bytes/events).
+// Bucket b counts values whose bit_width is b: bucket 0 = {0}, bucket b = [2^(b-1), 2^b).
+// Observe() is two relaxed fetch_adds on the caller's stripe; count is derived from the
+// buckets at snapshot time so the hot path doesn't pay a third RMW.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 48;  // last bucket absorbs everything >= 2^46
+
+  void Observe(uint64_t value) {
+    Cell& c = cells_[internal::StripeIndex()];
+    const int b = std::min(static_cast<int>(std::bit_width(value)), kBuckets - 1);
+    c.buckets[b].fetch_add(1, std::memory_order_relaxed);
+    c.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  // Inclusive upper bound of bucket b (the Prometheus `le`); the last bucket is +Inf.
+  static uint64_t BucketBound(int b) { return (uint64_t{1} << b) - 1; }
+
+  uint64_t Count() const;
+  uint64_t Sum() const;
+  // Per-bucket (non-cumulative) counts, kBuckets entries.
+  std::vector<uint64_t> BucketCounts() const;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> buckets[kBuckets] = {};
+  };
+  Cell cells_[internal::kStripes];
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// One metric instance's value at snapshot time. Histograms carry count/sum/buckets; counters
+// and gauges carry `value`.
+struct MetricSample {
+  std::string name;
+  MetricLabels labels;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0;
+  uint64_t count = 0;
+  double sum = 0;
+  std::vector<uint64_t> buckets;  // non-cumulative, Histogram::kBuckets entries
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  // sorted by (name, labels)
+
+  const MetricSample* Find(std::string_view name, const MetricLabels& labels = {}) const;
+};
+
+// Prometheus text exposition format (histograms as cumulative _bucket/_sum/_count series).
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+// Single JSON object {"metrics":[...]}; histogram buckets listed sparsely ({le,count}).
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+// Metric interning + snapshotting. Get* is the cold path (mutex + map); the returned pointer
+// is stable for the registry's lifetime and is what hot paths hold.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Process-wide registry used by all built-in instrumentation. Never destroyed.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name, const MetricLabels& labels = {});
+  Gauge* GetGauge(std::string_view name, const MetricLabels& labels = {});
+  Histogram* GetHistogram(std::string_view name, const MetricLabels& labels = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  // If SBT_METRICS_DUMP names a file, writes the global snapshot there (Prometheus text, or
+  // JSON when the path ends in .json) and returns true. Safe to call repeatedly; last write
+  // wins. No-op on registries other than Global().
+  bool DumpIfConfigured();
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricLabels labels;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& Intern(std::string_view name, const MetricLabels& labels, MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // key = name \x1f k=v \x1f ... (sorted output order)
+};
+
+}  // namespace obs
+}  // namespace sbt
+
+#endif  // SRC_OBS_METRICS_H_

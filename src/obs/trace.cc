@@ -1,0 +1,181 @@
+#include "src/obs/trace.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
+namespace sbt {
+namespace obs {
+
+namespace {
+
+int CachedPid() {
+  static const int pid = static_cast<int>(::getpid());
+  return pid;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = [] {
+    auto* t = new Tracer();  // never destroyed
+    if (const char* env = std::getenv("SBT_TRACE")) {
+      t->SetSampleEvery(std::strtoull(env, nullptr, 10));
+    }
+    if (const char* env = std::getenv("SBT_TRACE_RING")) {
+      const uint64_t cap = std::strtoull(env, nullptr, 10);
+      if (cap > 0) t->SetRingCapacity(static_cast<size_t>(cap));
+    }
+    if (const char* env = std::getenv("SBT_TRACE_DUMP")) {
+      if (env[0] != '\0') t->SetDumpPath(env);
+    }
+    return t;
+  }();
+  return *tracer;
+}
+
+uint64_t Tracer::NowMicros() {
+  static const std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count());
+}
+
+void Tracer::SetRingCapacity(size_t events) {
+  SBT_CHECK(events > 0);
+  ring_cap_.store(events, std::memory_order_relaxed);
+}
+
+void Tracer::SetDumpPath(std::string path) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  dump_path_ = std::move(path);
+}
+
+const std::string Tracer::dump_path() const {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  return dump_path_;
+}
+
+Tracer::RingHandle::~RingHandle() {
+  if (!ring) return;
+  std::lock_guard<std::mutex> lock(ring->mu);
+  ring->retired = true;
+}
+
+Tracer::Ring* Tracer::LocalRing() {
+  thread_local RingHandle handle;
+  if (!handle.ring) {
+    auto ring = std::make_shared<Ring>();
+    ring->cap = ring_cap_.load(std::memory_order_relaxed);
+    ring->events.reserve(std::min<size_t>(ring->cap, 4096));
+    ring->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(reg_mu_);
+      rings_.push_back(ring);
+    }
+    handle.ring = std::move(ring);
+  }
+  return handle.ring.get();
+}
+
+void Tracer::Record(const char* name, char phase, uint64_t ticket, uint64_t arg,
+                    uint64_t ts_us, uint32_t dur_us) {
+  Ring* r = LocalRing();
+  TraceEvent e;
+  e.name = name;
+  e.phase = phase;
+  e.ticket = ticket;
+  e.arg = arg;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.tid = r->tid;
+  std::lock_guard<std::mutex> lock(r->mu);  // single writer: uncontended except vs Drain
+  if (r->events.size() < r->cap) {
+    r->events.push_back(e);
+  } else {
+    r->events[r->next % r->cap] = e;
+    ++r->overwritten;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ++r->next;
+}
+
+std::vector<TraceEvent> Tracer::Drain() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    const size_t n = ring->events.size();
+    if (n == ring->cap && ring->next > n) {
+      // Wrapped: oldest surviving event sits at the overwrite cursor.
+      const size_t head = ring->next % ring->cap;
+      out.insert(out.end(), ring->events.begin() + static_cast<ptrdiff_t>(head),
+                 ring->events.end());
+      out.insert(out.end(), ring->events.begin(),
+                 ring->events.begin() + static_cast<ptrdiff_t>(head));
+    } else {
+      out.insert(out.end(), ring->events.begin(), ring->events.end());
+    }
+    ring->events.clear();
+    ring->next = 0;
+  }
+  {
+    // Reap rings whose threads exited: their remaining events were just collected.
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    std::erase_if(rings_, [](const std::shared_ptr<Ring>& r) {
+      std::lock_guard<std::mutex> ring_lock(r->mu);
+      return r->retired;
+    });
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+  return out;
+}
+
+bool Tracer::Dump(const std::string& path) {
+  const std::vector<TraceEvent> events = Drain();
+  // Append, not truncate: sequential bench binaries (and repeated dumps within one process)
+  // accumulate into one JSONL file; the pid field keeps processes apart in the viewer.
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    SBT_LOG(Error) << "trace dump: cannot open " << path;
+    return false;
+  }
+  for (const TraceEvent& e : events) {
+    if (e.phase == 'X') {
+      std::fprintf(f,
+                   "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%u,\"ts\":%llu,"
+                   "\"dur\":%u,\"args\":{\"ticket\":%llu,\"arg\":%llu}}\n",
+                   e.name, CachedPid(), e.tid, static_cast<unsigned long long>(e.ts_us),
+                   e.dur_us, static_cast<unsigned long long>(e.ticket),
+                   static_cast<unsigned long long>(e.arg));
+    } else {
+      std::fprintf(f,
+                   "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%u,"
+                   "\"ts\":%llu,\"args\":{\"ticket\":%llu,\"arg\":%llu}}\n",
+                   e.name, CachedPid(), e.tid, static_cast<unsigned long long>(e.ts_us),
+                   static_cast<unsigned long long>(e.ticket),
+                   static_cast<unsigned long long>(e.arg));
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool Tracer::DumpIfConfigured() {
+  const std::string path = dump_path();
+  if (path.empty()) return false;
+  return Dump(path);
+}
+
+}  // namespace obs
+}  // namespace sbt

@@ -8,12 +8,39 @@
 #include "src/attest/compress.h"
 #include "src/common/logging.h"
 #include "src/core/checkpoint.h"
+#include "src/obs/trace.h"
 
 namespace sbt {
 namespace {
 
 // How many frames one source may feed per frontend round before yielding to its siblings.
 constexpr int kFrontendBurst = 32;
+
+// Dispatcher gauge-sampling cadence: how often a shard's dispatcher refreshes its engines'
+// committed-bytes gauges between frames. Cheap (one stats read per engine), so frequent.
+constexpr auto kGaugeSamplePeriod = std::chrono::milliseconds(10);
+
+// Admission-control counters (process-global: frontends serve interleaved tenants, and the
+// per-source breakdown already lives in SourceReport).
+struct AdmissionMetrics {
+  obs::Counter* shed_frames;
+  obs::Counter* stall_retries;
+};
+
+const AdmissionMetrics& Admission() {
+  static const AdmissionMetrics m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    return AdmissionMetrics{
+        reg.GetCounter("sbt_admission_shed_frames_total"),
+        reg.GetCounter("sbt_admission_stall_retries_total"),
+    };
+  }();
+  return m;
+}
+
+obs::MetricLabels EngineMetricLabels(const std::string& tenant_name, uint32_t shard) {
+  return {{"tenant", tenant_name}, {"shard", std::to_string(shard)}};
+}
 
 // Safety-net timeout for an idle frontend parked on the arrival signal: bounds the retry
 // latency of an admission-stalled frame (shard-queue space freeing pings nothing) at the old
@@ -97,11 +124,17 @@ EdgeServer::EdgeServer(EdgeServerConfig config, TenantRegistry registry)
     shard->index = s;
     shard->slice_bytes = shard_partition_bytes_;
     shard->queue = std::make_unique<BoundedChannel<RoutedFrame>>(config_.shard_queue_frames);
+    AttachQueueGauge(*shard);
     if (config_.combine_submissions && config_.cross_engine_combining) {
       shard->combiner = std::make_unique<SubmitCombiner>();
     }
     shards_.push_back(std::move(shard));
   }
+}
+
+void EdgeServer::AttachQueueGauge(Shard& shard) {
+  shard.queue->SetDepthGauge(obs::MetricsRegistry::Global().GetGauge(
+      "sbt_shard_queue_depth", {{"shard", std::to_string(shard.index)}}));
 }
 
 EdgeServer::~EdgeServer() {
@@ -163,8 +196,15 @@ Result<EdgeServer::Engine*> EdgeServer::CreateEngine(Shard& shard, const TenantS
     workers = std::max(1, std::min(workers, remaining));
   }
 
+  // Per-engine telemetry attribution: every registry series this engine's data plane and
+  // runner intern carries the tenant and its current shard home. A re-homed engine re-creates
+  // here with its new shard label; the old series simply stops moving.
+  const obs::MetricLabels labels = EngineMetricLabels(spec.name, shard.index);
+  dp_cfg.metric_labels = labels;
+
   RunnerConfig rc;
   rc.worker_threads = workers;
+  rc.metric_labels = labels;
   rc.ingest_path = IngestPath::kTrustedIo;
   // kShed tenants drop at the data-plane door instead of blocking inside IngestFrame.
   rc.block_on_backpressure = spec.admission == AdmissionPolicy::kStall;
@@ -181,6 +221,8 @@ Result<EdgeServer::Engine*> EdgeServer::CreateEngine(Shard& shard, const TenantS
   owned->partition_bytes = partition.secure_dram_bytes;
   owned->dp = std::make_unique<DataPlane>(dp_cfg);
   owned->runner = std::make_unique<Runner>(owned->dp.get(), spec.pipeline, rc);
+  owned->committed_gauge =
+      obs::MetricsRegistry::Global().GetGauge("sbt_engine_committed_bytes", labels);
   shard.carved_bytes += partition.secure_dram_bytes;
   Engine* engine = owned.get();
   shard.engines.push_back(std::move(owned));
@@ -337,6 +379,7 @@ bool EdgeServer::TryDeliver(Source& src, RoutedFrame& rf) {
   // tenants hold the frame so only this source waits.
   if (src.admission == AdmissionPolicy::kShed && !rf.frame.is_watermark) {
     ++src.frames_shed;
+    Admission().shed_frames->Add(1);
     return true;
   }
   return false;
@@ -374,6 +417,7 @@ void EdgeServer::FrontendLoop(size_t frontend_index, size_t num_frontends) {
       if (src->pending.has_value()) {
         if (!TryDeliver(*src, *src->pending)) {
           ++src->admission_retries;
+          Admission().stall_retries->Add(1);
           continue;  // stalled: skip only this source, siblings keep flowing
         }
         src->pending.reset();
@@ -445,6 +489,7 @@ void EdgeServer::Dispatch(Shard* shard, RoutedFrame rf) {
   }
   if (e.admission == AdmissionPolicy::kShed && e.dp->ShouldBackpressure()) {
     ++e.shed_frames;
+    Admission().shed_frames->Add(1);
     return;
   }
   const Status s = e.runner->IngestFrame(rf.frame.bytes, rf.frame.stream, rf.frame.ctr_offset);
@@ -456,8 +501,20 @@ void EdgeServer::Dispatch(Shard* shard, RoutedFrame rf) {
 }
 
 void EdgeServer::DispatchLoop(Shard* shard) {
+  // The dispatcher doubles as the shard's periodic gauge sampler: it is the one thread that
+  // may touch the shard's engines while the server runs (Resize/Restore swap them only after
+  // joining it), so sampling here needs no locks and no extra thread.
+  auto last_sample = std::chrono::steady_clock::now();
   while (auto rf = shard->queue->Pop()) {
     Dispatch(shard, std::move(*rf));
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_sample >= kGaugeSamplePeriod) {
+      last_sample = now;
+      for (const auto& engine : shard->engines) {
+        engine->committed_gauge->Set(
+            static_cast<int64_t>(engine->dp->memory_stats().committed_bytes));
+      }
+    }
   }
 }
 
@@ -641,6 +698,7 @@ Status EdgeServer::RestoreShard(uint32_t shard_index,
     }
   }
   shard.queue = std::make_unique<BoundedChannel<RoutedFrame>>(config_.shard_queue_frames);
+  AttachQueueGauge(shard);
   shard.dispatcher = std::thread([this, s = &shard] { DispatchLoop(s); });
   ResumeFrontends();
   return status;
@@ -721,6 +779,7 @@ Status EdgeServer::Resize(uint32_t new_num_shards) {
     shard->index = s;
     shard->slice_bytes = new_slice;
     shard->queue = std::make_unique<BoundedChannel<RoutedFrame>>(config_.shard_queue_frames);
+    AttachQueueGauge(*shard);
     if (config_.combine_submissions && config_.cross_engine_combining) {
       shard->combiner = std::make_unique<SubmitCombiner>();
     }
@@ -788,7 +847,12 @@ ServerReport EdgeServer::Shutdown() {
       r.tenant = engine->tenant;
       r.tenant_name = registry_.Find(engine->tenant)->name;
       r.shard = shard->index;
-      r.runner = engine->runner->stats();
+      // One collection path for every engine-side counter (runner stats, world-switch and
+      // cycle breakdowns, pool/allocator stats) — and the same struct rendered as labeled
+      // samples into the report's scrape-shaped snapshot.
+      r.telemetry = CollectEngineTelemetry(*engine->dp, *engine->runner);
+      AppendEngineTelemetry(r.telemetry, EngineMetricLabels(r.tenant_name, shard->index),
+                            &report.metrics);
       r.windows = std::move(engine->results);
       {
         std::vector<WindowResult> tail = engine->runner->TakeResults();
@@ -797,7 +861,6 @@ ServerReport EdgeServer::Shutdown() {
       }
       r.partition_bytes = engine->partition_bytes;
       r.worker_threads = engine->worker_threads;
-      r.peak_committed = engine->dp->memory_stats().peak_committed;
       r.shed_frames = engine->shed_frames;
       r.dispatch_errors = engine->dispatch_errors;
       r.restores = engine->restores;
@@ -845,7 +908,16 @@ ServerReport EdgeServer::Shutdown() {
                                           .frames_shed = src->frames_shed,
                                           .admission_retries = src->admission_retries});
   }
+  // End-of-session observability flush: write the registry dump and the flight-recorder trace
+  // if SBT_METRICS_DUMP / SBT_TRACE_DUMP ask for them (both no-ops otherwise).
+  obs::MetricsRegistry::Global().DumpIfConfigured();
+  obs::Tracer::Global().DumpIfConfigured();
   return report;
+}
+
+std::string EdgeServer::ScrapeMetrics(bool json) const {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  return json ? obs::ToJson(snap) : obs::ToPrometheusText(snap);
 }
 
 EdgeServer::ShardSnapshot EdgeServer::shard_snapshot(uint32_t shard_index) const {

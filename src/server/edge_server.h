@@ -78,8 +78,10 @@
 #include "src/attest/verifier.h"
 #include "src/control/engine.h"
 #include "src/control/runner.h"
+#include "src/control/telemetry.h"
 #include "src/core/data_plane.h"
 #include "src/net/channel.h"
+#include "src/obs/metrics.h"
 #include "src/server/shard_router.h"
 #include "src/server/tenant.h"
 #include "src/tz/world_switch.h"
@@ -118,11 +120,12 @@ struct TenantShardReport {
   std::string tenant_name;
   uint32_t shard = 0;
 
-  Runner::Stats runner;
+  // Runner stats, world-switch/cycle breakdowns, and pool/allocator stats, all collected
+  // through the one CollectEngineTelemetry path (no bespoke per-struct copies here).
+  EngineTelemetry telemetry;
   std::vector<WindowResult> windows;
 
   size_t partition_bytes = 0;   // this engine's secure carve (page-rounded quota)
-  size_t peak_committed = 0;    // never exceeds partition_bytes (SecureWorld-enforced)
   int worker_threads = 0;       // the engine's granted worker carve (>= 1)
   uint64_t shed_frames = 0;     // dropped at the data-plane door (kShed under backpressure)
   uint64_t dispatch_errors = 0;
@@ -133,6 +136,10 @@ struct TenantShardReport {
   bool chain_ok = false;        // upload MACs + hash-chain continuity verified
   VerifyReport verify;  // replay of this engine's decoded audit chain against its pipeline
   bool verified = false;
+
+  const Runner::Stats& runner() const { return telemetry.runner; }
+  // Never exceeds partition_bytes (SecureWorld-enforced); covers the current incarnation.
+  size_t peak_committed() const { return telemetry.memory.peak_committed; }
 };
 
 // One source binding's counters.
@@ -148,6 +155,9 @@ struct SourceReport {
 struct ServerReport {
   std::vector<TenantShardReport> engines;
   std::vector<SourceReport> sources;
+  // Every engine's telemetry as labeled samples (tenant + shard), the scrape-shaped view of
+  // `engines` — feed to obs::ToPrometheusText / obs::ToJson for export.
+  obs::MetricsSnapshot metrics;
 
   // Views into `engines`; invalidated if the report is copied or destroyed.
   std::vector<const TenantShardReport*> ForTenant(TenantId tenant) const {
@@ -163,7 +173,7 @@ struct ServerReport {
   uint64_t TotalEventsIngested() const {
     uint64_t n = 0;
     for (const TenantShardReport& e : engines) {
-      n += e.runner.events_ingested;
+      n += e.telemetry.runner.events_ingested;
     }
     return n;
   }
@@ -241,6 +251,11 @@ class EdgeServer {
   };
   ShardSnapshot shard_snapshot(uint32_t shard) const;
 
+  // On-demand scrape of the process-wide metrics registry (every live instrument: engine
+  // counters, gauges the dispatchers sample, combiner/ticket/world-switch series), rendered
+  // as Prometheus text or JSON. Safe to call from any thread while the server runs.
+  std::string ScrapeMetrics(bool json = false) const;
+
  private:
   struct RoutedFrame {
     TenantId tenant = 0;
@@ -264,6 +279,9 @@ class EdgeServer {
     uint64_t shed_frames = 0;
     uint64_t dispatch_errors = 0;
     uint64_t restores = 0;
+    // Live committed-secure-bytes gauge (tenant+shard labels), refreshed by the shard's
+    // dispatcher on its sampling cadence; interned at engine creation.
+    obs::Gauge* committed_gauge = nullptr;
     // Cloud-side session accumulation (what the consumer already received), carried across
     // re-homing in server memory — the stand-in for the uplink's far end.
     std::vector<AuditUpload> uploads;
@@ -319,6 +337,9 @@ class EdgeServer {
   void ParkUntilResumed();
 
   Result<Engine*> CreateEngine(Shard& shard, const TenantSpec& spec);
+  // Points the shard's (possibly fresh) ingest queue at its labeled depth gauge. Called
+  // wherever a shard queue is created: construction, restore, resize.
+  void AttachQueueGauge(Shard& shard);
   // Worker threads currently granted across every resident engine (the spent budget).
   int WorkersAllocated() const;
   // Seals `engine` (which must belong to a drained shard) into a transferable checkpoint.

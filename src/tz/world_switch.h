@@ -18,8 +18,22 @@
 
 #include "src/common/failpoint.h"
 #include "src/common/time.h"
+#include "src/obs/metrics.h"
 
 namespace sbt {
+
+namespace ws_internal {
+
+// How many threads currently hold an open world-switch session, across every gate in the
+// process — the live view of the serial-section question ("is the boundary ever actually
+// concurrent?"). One relaxed add per entry/exit.
+inline obs::Gauge* OpenSessionsGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("sbt_world_switch_open_sessions");
+  return gauge;
+}
+
+}  // namespace ws_internal
 
 struct WorldSwitchConfig {
   // Cycles burned on entry (SMC trap + OP-TEE dispatch) and on exit (return path).
@@ -189,8 +203,12 @@ class WorldSwitchGate {
     }
     entries_.fetch_add(1, std::memory_order_relaxed);
     Burn(config_.entry_cycles);
+    ws_internal::OpenSessionsGauge()->Add(1);
   }
-  void PayExit() { Burn(config_.exit_cycles); }
+  void PayExit() {
+    ws_internal::OpenSessionsGauge()->Add(-1);
+    Burn(config_.exit_cycles);
+  }
 
   void Burn(uint64_t cycles) {
     if (cycles == 0) {

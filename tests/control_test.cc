@@ -27,8 +27,8 @@ TEST(ControlTest, WinSumProducesCorrectSumsAndVerifies) {
   const Pipeline pipeline = MakeWinSum(1000);
   const HarnessResult result = RunHarness(pipeline, opts);
 
-  EXPECT_EQ(result.runner.task_errors, 0u);
-  EXPECT_EQ(result.runner.windows_emitted, 3u);
+  EXPECT_EQ(result.runner().task_errors, 0u);
+  EXPECT_EQ(result.runner().windows_emitted, 3u);
   ASSERT_TRUE(result.verified);
   EXPECT_TRUE(result.verify.correct)
       << (result.verify.violations.empty() ? "" : result.verify.violations[0]);
@@ -57,7 +57,7 @@ TEST(ControlTest, DistinctCountsUniqueTaxis) {
   const Pipeline pipeline = MakeDistinct(1000);
   const HarnessResult result = RunHarness(pipeline, opts);
 
-  EXPECT_EQ(result.runner.task_errors, 0u);
+  EXPECT_EQ(result.runner().task_errors, 0u);
   ASSERT_TRUE(result.verify.correct)
       << (result.verify.violations.empty() ? "" : result.verify.violations[0]);
 
@@ -84,7 +84,7 @@ TEST(ControlTest, TopKEmitsLargestPerKey) {
   const Pipeline pipeline = MakeTopK(1000, /*k=*/3);
   const HarnessResult result = RunHarness(pipeline, opts);
 
-  EXPECT_EQ(result.runner.task_errors, 0u);
+  EXPECT_EQ(result.runner().task_errors, 0u);
   ASSERT_TRUE(result.verify.correct)
       << (result.verify.violations.empty() ? "" : result.verify.violations[0]);
 
@@ -122,7 +122,7 @@ TEST(ControlTest, FilterKeepsBandAndVerifies) {
   const Pipeline pipeline = MakeFilter(1000, 0, 100);  // ~1% selectivity
   const HarnessResult result = RunHarness(pipeline, opts);
 
-  EXPECT_EQ(result.runner.task_errors, 0u);
+  EXPECT_EQ(result.runner().task_errors, 0u);
   ASSERT_TRUE(result.verify.correct)
       << (result.verify.violations.empty() ? "" : result.verify.violations[0]);
 
@@ -149,7 +149,7 @@ TEST(ControlTest, JoinMatchesReferenceRowCount) {
   const Pipeline pipeline = MakeJoin(1000);
   const HarnessResult result = RunHarness(pipeline, opts);
 
-  EXPECT_EQ(result.runner.task_errors, 0u);
+  EXPECT_EQ(result.runner().task_errors, 0u);
   ASSERT_TRUE(result.verify.correct)
       << (result.verify.violations.empty() ? "" : result.verify.violations[0]);
 
@@ -185,10 +185,10 @@ TEST(ControlTest, PowerCountsHighPowerPlugsPerHouse) {
   const Pipeline pipeline = MakePower(1000);
   const HarnessResult result = RunHarness(pipeline, opts);
 
-  EXPECT_EQ(result.runner.task_errors, 0u);
+  EXPECT_EQ(result.runner().task_errors, 0u);
   ASSERT_TRUE(result.verify.correct)
       << (result.verify.violations.empty() ? "" : result.verify.violations[0]);
-  EXPECT_EQ(result.runner.windows_emitted, 3u);
+  EXPECT_EQ(result.runner().windows_emitted, 3u);
 
   // Reference: per-plug average, keep above-mean plugs, count per house.
   GeneratorConfig copy = opts.generator;
@@ -243,8 +243,8 @@ TEST_P(EngineVersionTest, WinSumRunsCleanOnAllVersions) {
   HarnessOptions opts = SmallHarnessOptions(GetParam());
   opts.generator.workload.kind = WorkloadKind::kIntelLab;
   const HarnessResult result = RunHarness(MakeWinSum(1000), opts);
-  EXPECT_EQ(result.runner.task_errors, 0u);
-  EXPECT_EQ(result.runner.windows_emitted, 3u);
+  EXPECT_EQ(result.runner().task_errors, 0u);
+  EXPECT_EQ(result.runner().windows_emitted, 3u);
   EXPECT_TRUE(result.verify.correct)
       << (result.verify.violations.empty() ? "" : result.verify.violations[0]);
   EXPECT_GT(result.events_per_sec(), 0.0);
@@ -270,7 +270,7 @@ TEST(ControlTest, HintsOffStillCorrectJustMoreMemory) {
   opts.engine.use_hints = false;
   opts.engine.placement = PlacementPolicy::kGenerational;
   const HarnessResult result = RunHarness(MakeWinSum(1000), opts);
-  EXPECT_EQ(result.runner.task_errors, 0u);
+  EXPECT_EQ(result.runner().task_errors, 0u);
   EXPECT_TRUE(result.verify.correct)
       << (result.verify.violations.empty() ? "" : result.verify.violations[0]);
 }

@@ -1,0 +1,350 @@
+// Observability layer tests: lock-free instruments under concurrent writers, registry
+// interning and export formats, the flight-recorder ring semantics, and the logging
+// level/sink overrides. The concurrent cases double as the TSan targets for the obs layer
+// (this suite carries the "concurrent" label).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace sbt {
+namespace obs {
+namespace {
+
+TEST(CounterTest, ExactUnderConcurrentWriters) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        c.Add(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(42);
+  EXPECT_EQ(g.Value(), 42);
+  g.Add(-50);
+  EXPECT_EQ(g.Value(), -8);
+}
+
+TEST(HistogramTest, BucketBoundsArePowerOfTwoRanges) {
+  // Bucket b holds values with bit_width b: 0 -> bucket 0, 1 -> 1, [2,3] -> 2, [4,7] -> 3.
+  Histogram h;
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(2);
+  h.Observe(3);
+  h.Observe(7);
+  const std::vector<uint64_t> buckets = h.BucketCounts();
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 2u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_EQ(h.Sum(), 0u + 1 + 2 + 3 + 7);
+  // The le bound of bucket b is 2^b - 1: every value in the bucket satisfies v <= bound.
+  EXPECT_EQ(Histogram::BucketBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketBound(3), 7u);
+}
+
+TEST(HistogramTest, HugeValuesLandInLastBucket) {
+  Histogram h;
+  h.Observe(~uint64_t{0});
+  EXPECT_EQ(h.BucketCounts()[Histogram::kBuckets - 1], 1u);
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+TEST(HistogramTest, ExactUnderConcurrentWriters) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<uint64_t>(t));  // thread t observes value t, kPerThread times
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(h.Count(), kThreads * kPerThread);
+  uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum += static_cast<uint64_t>(t) * kPerThread;
+  }
+  EXPECT_EQ(h.Sum(), expected_sum);
+}
+
+TEST(RegistryTest, InterningReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("requests_total", {{"tenant", "alpha"}});
+  Counter* b = reg.GetCounter("requests_total", {{"tenant", "alpha"}});
+  Counter* c = reg.GetCounter("requests_total", {{"tenant", "beta"}});
+  EXPECT_EQ(a, b);        // same (name, labels) -> same instrument
+  EXPECT_NE(a, c);        // different labels -> distinct instrument
+  a->Add(3);
+  EXPECT_EQ(b->Value(), 3u);
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST(RegistryTest, SnapshotIsMonotonicAcrossScrapes) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("ops_total");
+  Histogram* h = reg.GetHistogram("latency");
+  c->Add(5);
+  h->Observe(100);
+  const MetricsSnapshot s1 = reg.Snapshot();
+  c->Add(5);
+  h->Observe(100);
+  const MetricsSnapshot s2 = reg.Snapshot();
+
+  const MetricSample* c1 = s1.Find("ops_total");
+  const MetricSample* c2 = s2.Find("ops_total");
+  ASSERT_NE(c1, nullptr);
+  ASSERT_NE(c2, nullptr);
+  EXPECT_EQ(c1->value, 5.0);
+  EXPECT_EQ(c2->value, 10.0);
+  const MetricSample* h1 = s1.Find("latency");
+  const MetricSample* h2 = s2.Find("latency");
+  ASSERT_NE(h1, nullptr);
+  ASSERT_NE(h2, nullptr);
+  EXPECT_GE(h2->count, h1->count);
+  EXPECT_GE(h2->sum, h1->sum);
+}
+
+TEST(RegistryTest, FindMatchesLabels) {
+  MetricsRegistry reg;
+  reg.GetGauge("depth", {{"shard", "0"}})->Set(7);
+  reg.GetGauge("depth", {{"shard", "1"}})->Set(9);
+  const MetricsSnapshot snap = reg.Snapshot();
+  const MetricSample* s0 = snap.Find("depth", {{"shard", "0"}});
+  const MetricSample* s1 = snap.Find("depth", {{"shard", "1"}});
+  ASSERT_NE(s0, nullptr);
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s0->value, 7.0);
+  EXPECT_EQ(s1->value, 9.0);
+  EXPECT_EQ(snap.Find("depth", {{"shard", "2"}}), nullptr);
+  EXPECT_EQ(snap.Find("absent"), nullptr);
+}
+
+TEST(RegistryTest, PrometheusTextFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("events_total", {{"tenant", "alpha"}})->Add(12);
+  reg.GetGauge("pool_bytes")->Set(4096);
+  Histogram* h = reg.GetHistogram("chain_us");
+  h->Observe(3);
+  h->Observe(3);
+  const std::string text = ToPrometheusText(reg.Snapshot());
+  EXPECT_NE(text.find("# TYPE events_total counter"), std::string::npos);
+  EXPECT_NE(text.find("events_total{tenant=\"alpha\"} 12"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pool_bytes gauge"), std::string::npos);
+  EXPECT_NE(text.find("pool_bytes 4096"), std::string::npos);
+  // Histogram: cumulative buckets, a +Inf bucket, _sum and _count series.
+  EXPECT_NE(text.find("# TYPE chain_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("chain_us_bucket{le=\"3\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("chain_us_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("chain_us_sum 6"), std::string::npos);
+  EXPECT_NE(text.find("chain_us_count 2"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonExportCarriesKindsAndBuckets) {
+  MetricsRegistry reg;
+  reg.GetCounter("c_total")->Add(1);
+  reg.GetHistogram("h")->Observe(5);
+  const std::string json = ToJson(reg.Snapshot());
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"c_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\""), std::string::npos);
+}
+
+TEST(RegistryTest, ConcurrentInterningAndWriting) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // All threads intern the same metric concurrently and hammer it; interning must be
+      // race-free and every Add must land on the one shared instrument.
+      Counter* c = reg.GetCounter("shared_total");
+      for (int i = 0; i < 10000; ++i) {
+        c->Add(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(reg.GetCounter("shared_total")->Value(), 8u * 10000u);
+}
+
+// --- Tracer (process-global; each test leaves tracing disabled behind itself) ---
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().SetSampleEvery(1);
+    Tracer::Global().Drain();  // discard events left by earlier tests / instrumented code
+  }
+  void TearDown() override {
+    Tracer::Global().SetSampleEvery(0);
+    Tracer::Global().Drain();
+  }
+};
+
+TEST_F(TracerTest, DisabledTracePathIsANoOp) {
+  Tracer::Global().SetSampleEvery(0);
+  EXPECT_FALSE(Tracer::Global().enabled());
+  EXPECT_FALSE(Tracer::Global().ShouldSample(0));
+  {
+    SBT_TRACE_SPAN("test.span", 1, 0);
+    SBT_TRACE_INSTANT("test.instant", 1, 0);
+  }
+  EXPECT_TRUE(Tracer::Global().Drain().empty());
+}
+
+TEST_F(TracerTest, SamplingKeepsEveryNthTicketAndAllStructuralEvents) {
+  Tracer::Global().SetSampleEvery(4);
+  EXPECT_TRUE(Tracer::Global().ShouldSample(0));   // structural events always recorded
+  EXPECT_TRUE(Tracer::Global().ShouldSample(8));
+  EXPECT_FALSE(Tracer::Global().ShouldSample(9));
+  for (uint64_t seq = 1; seq <= 8; ++seq) {
+    SBT_TRACE_INSTANT("test.tick", seq, seq);
+  }
+  const std::vector<TraceEvent> events = Tracer::Global().Drain();
+  ASSERT_EQ(events.size(), 2u);  // tickets 4 and 8 only
+  EXPECT_EQ(events[0].ticket, 4u);
+  EXPECT_EQ(events[1].ticket, 8u);
+}
+
+TEST_F(TracerTest, SpanRecordsDurationAndArg) {
+  {
+    TraceSpan span("test.work", 12, 0);
+    span.set_arg(99);
+  }
+  const std::vector<TraceEvent> events = Tracer::Global().Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.work");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_EQ(events[0].ticket, 12u);
+  EXPECT_EQ(events[0].arg, 99u);
+}
+
+TEST_F(TracerTest, RingWrapsKeepingNewestEvents) {
+  Tracer::Global().SetRingCapacity(8);
+  const uint64_t dropped_before = Tracer::Global().dropped();
+  // A fresh thread gets a fresh ring at the shrunken capacity; 20 events into 8 slots must
+  // keep the newest 8 and count 12 overwrites.
+  std::thread writer([] {
+    for (uint64_t i = 1; i <= 20; ++i) {
+      SBT_TRACE_INSTANT("test.wrap", 0, i);
+    }
+  });
+  writer.join();
+  const std::vector<TraceEvent> events = Tracer::Global().Drain();
+  Tracer::Global().SetRingCapacity(4096);
+  ASSERT_EQ(events.size(), 8u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg, 13 + i);  // oldest surviving event is #13
+  }
+  EXPECT_EQ(Tracer::Global().dropped() - dropped_before, 12u);
+}
+
+TEST_F(TracerTest, ConcurrentWritersDrainChronologically) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SBT_TRACE_INSTANT("test.concurrent", 0, static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const std::vector<TraceEvent> events = Tracer::Global().Drain();
+  EXPECT_EQ(events.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);  // merged in chronological order
+  }
+}
+
+// --- Logging overrides (satellite: SetLogLevel + injectable sink) ---
+
+TEST(LoggingTest, SetLogLevelOverridesAndRestores) {
+  const LogLevel original = SetLogLevel(LogLevel::kOff);
+  EXPECT_EQ(GlobalLogLevel(), LogLevel::kOff);
+  EXPECT_EQ(SetLogLevel(LogLevel::kDebug), LogLevel::kOff);  // returns previous effective
+  EXPECT_EQ(GlobalLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SinkCapturesFilteredLines) {
+  const LogLevel original = SetLogLevel(LogLevel::kError);
+  std::vector<std::string> captured;
+  LogSink previous = SetLogSink(
+      [&captured](LogLevel, const char*, int, const std::string& msg) {
+        captured.push_back(msg);
+      });
+  SBT_LOG(Error) << "captured " << 42;
+  SBT_LOG(Info) << "filtered out";  // below the level: never reaches the sink
+  SetLogSink(std::move(previous));
+  SetLogLevel(original);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "captured 42");
+}
+
+TEST(LoggingTest, SinkIsThreadSafe) {
+  const LogLevel original = SetLogLevel(LogLevel::kError);
+  std::atomic<int> lines{0};
+  LogSink previous = SetLogSink(
+      [&lines](LogLevel, const char*, int, const std::string&) {
+        lines.fetch_add(1, std::memory_order_relaxed);
+      });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 100; ++i) {
+        SBT_LOG(Error) << "line " << i;
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  SetLogSink(std::move(previous));
+  SetLogLevel(original);
+  EXPECT_EQ(lines.load(), 400);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sbt

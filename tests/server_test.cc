@@ -166,9 +166,9 @@ TEST(EdgeServerTest, WorkerBudgetIsCarvedAcrossEngines) {
   EXPECT_EQ(report.engines[1].worker_threads, 1);  // wanted the default 2, only 1 left
   EXPECT_EQ(report.engines[2].worker_threads, 1);  // budget exhausted -> floor of 1
   for (const TenantShardReport& e : report.engines) {
-    EXPECT_EQ(e.runner.task_errors, 0u) << e.tenant_name;
+    EXPECT_EQ(e.runner().task_errors, 0u) << e.tenant_name;
     EXPECT_TRUE(e.verified && e.verify.correct) << e.tenant_name;
-    EXPECT_EQ(e.runner.windows_emitted, 3u) << e.tenant_name;
+    EXPECT_EQ(e.runner().windows_emitted, 3u) << e.tenant_name;
   }
 }
 
@@ -214,10 +214,10 @@ TEST(EdgeServerTest, MultiTenantAuditsVerifyIndependently) {
   ASSERT_FALSE(report.engines.empty());
   std::map<uint32_t, size_t> shard_carves;
   for (const TenantShardReport& e : report.engines) {
-    EXPECT_EQ(e.runner.task_errors, 0u) << e.tenant_name << " shard " << e.shard;
+    EXPECT_EQ(e.runner().task_errors, 0u) << e.tenant_name << " shard " << e.shard;
     EXPECT_EQ(e.dispatch_errors, 0u) << e.tenant_name;
     EXPECT_EQ(e.shed_frames, 0u) << e.tenant_name;
-    EXPECT_EQ(e.runner.windows_emitted, 3u) << e.tenant_name << " shard " << e.shard;
+    EXPECT_EQ(e.runner().windows_emitted, 3u) << e.tenant_name << " shard " << e.shard;
     ASSERT_TRUE(e.verified);
     EXPECT_TRUE(e.verify.correct)
         << e.tenant_name << " shard " << e.shard << ": "
@@ -225,7 +225,7 @@ TEST(EdgeServerTest, MultiTenantAuditsVerifyIndependently) {
     EXPECT_EQ(e.verify.windows_verified, 3u);
     EXPECT_GT(e.audit.record_count, 0u);
     // Bounded secure memory, per engine and (summed below) per shard.
-    EXPECT_LE(e.peak_committed, e.partition_bytes);
+    EXPECT_LE(e.peak_committed(), e.partition_bytes);
     shard_carves[e.shard] += e.partition_bytes;
   }
   for (const auto& [shard, carved] : shard_carves) {
@@ -325,13 +325,13 @@ TEST(EdgeServerTest, ShardBackpressureNeverStallsOtherShards) {
   ASSERT_EQ(noisy_engines.size(), 1u);
   const TenantShardReport& ne = *noisy_engines[0];
   EXPECT_GT(ne.shed_frames, 0u);
-  EXPECT_LT(ne.runner.events_ingested, 6u * 30000u);
-  EXPECT_EQ(ne.runner.task_errors, 0u);
+  EXPECT_LT(ne.runner().events_ingested, 6u * 30000u);
+  EXPECT_EQ(ne.runner().task_errors, 0u);
   // Shedding starts past ~60% of the carve; tail windows may arrive entirely shed (no state,
   // nothing to emit), but every window that ingested data must close and emit.
-  EXPECT_GE(ne.runner.windows_emitted, 3u);
-  EXPECT_LE(ne.runner.windows_emitted, 6u);
-  EXPECT_LE(ne.peak_committed, ne.partition_bytes);
+  EXPECT_GE(ne.runner().windows_emitted, 3u);
+  EXPECT_LE(ne.runner().windows_emitted, 6u);
+  EXPECT_LE(ne.peak_committed(), ne.partition_bytes);
   ASSERT_TRUE(ne.verified);
   EXPECT_TRUE(ne.verify.correct)
       << (ne.verify.violations.empty() ? "" : ne.verify.violations[0]);
@@ -342,10 +342,10 @@ TEST(EdgeServerTest, ShardBackpressureNeverStallsOtherShards) {
     ASSERT_EQ(engines.size(), 1u) << "tenant " << tenant;
     const TenantShardReport& e = *engines[0];
     EXPECT_NE(e.shard, ne.shard);
-    EXPECT_EQ(e.runner.windows_emitted, 3u);
-    EXPECT_EQ(e.runner.events_ingested, 3u * 5000u);
+    EXPECT_EQ(e.runner().windows_emitted, 3u);
+    EXPECT_EQ(e.runner().events_ingested, 3u * 5000u);
     EXPECT_EQ(e.shed_frames, 0u);
-    EXPECT_EQ(e.runner.task_errors, 0u);
+    EXPECT_EQ(e.runner().task_errors, 0u);
     EXPECT_TRUE(e.verify.correct);
   }
   for (const auto& sr : report.sources) {
@@ -442,8 +442,8 @@ TEST(EdgeServerTest, MultiStreamTenantIsTenantHomed) {
 
   ASSERT_EQ(report.engines.size(), 1u);
   const TenantShardReport& e = report.engines[0];
-  EXPECT_EQ(e.runner.task_errors, 0u);
-  EXPECT_EQ(e.runner.windows_emitted, 3u);
+  EXPECT_EQ(e.runner().task_errors, 0u);
+  EXPECT_EQ(e.runner().windows_emitted, 3u);
   ASSERT_TRUE(e.verified);
   EXPECT_TRUE(e.verify.correct)
       << (e.verify.violations.empty() ? "" : e.verify.violations[0]);
@@ -551,16 +551,16 @@ TEST(EdgeServerTest, ElasticResizeUnderLiveIngestIsLossless) {
     EXPECT_EQ(e.restores, 2u) << e.tenant_name;
     EXPECT_EQ(e.uploads, 3u) << e.tenant_name;  // two seal-time links + the final flush
     EXPECT_TRUE(e.chain_ok) << e.tenant_name;
-    EXPECT_EQ(e.runner.task_errors, 0u) << e.tenant_name;
+    EXPECT_EQ(e.runner().task_errors, 0u) << e.tenant_name;
     EXPECT_EQ(e.dispatch_errors, 0u) << e.tenant_name;
     EXPECT_EQ(e.shed_frames, 0u) << e.tenant_name;
-    EXPECT_EQ(e.runner.windows_emitted, kNumWindows) << e.tenant_name;
+    EXPECT_EQ(e.runner().windows_emitted, kNumWindows) << e.tenant_name;
     ASSERT_TRUE(e.verified);
     EXPECT_TRUE(e.verify.correct)
         << e.tenant_name << " shard " << e.shard << ": "
         << (e.verify.violations.empty() ? "" : e.verify.violations[0]);
     EXPECT_EQ(e.verify.windows_verified, kNumWindows) << e.tenant_name;
-    EXPECT_LE(e.peak_committed, e.partition_bytes) << e.tenant_name;
+    EXPECT_LE(e.peak_committed(), e.partition_bytes) << e.tenant_name;
     shard_carves[e.shard] += e.partition_bytes;
     // Windows were collected across incarnations: all present, each egressed.
     EXPECT_EQ(e.windows.size(), kNumWindows) << e.tenant_name;
@@ -604,7 +604,7 @@ TEST(EdgeServerTest, InfeasibleResizeIsRejectedWithoutDisruption) {
   const ServerReport report = server.Shutdown();
   for (const TenantShardReport& e : report.engines) {
     EXPECT_EQ(e.restores, 0u);
-    EXPECT_EQ(e.runner.windows_emitted, 3u) << e.tenant_name;
+    EXPECT_EQ(e.runner().windows_emitted, 3u) << e.tenant_name;
     EXPECT_TRUE(e.chain_ok);
     EXPECT_TRUE(e.verify.correct);
   }
@@ -649,13 +649,13 @@ TEST(EdgeServerTest, ShardCheckpointRestoreRoundTripUnderLiveIngest) {
   EXPECT_EQ(e.restores, 1u);
   EXPECT_EQ(e.uploads, 2u);
   EXPECT_TRUE(e.chain_ok);
-  EXPECT_EQ(e.runner.task_errors, 0u);
+  EXPECT_EQ(e.runner().task_errors, 0u);
   EXPECT_EQ(e.dispatch_errors, 0u);
-  EXPECT_EQ(e.runner.windows_emitted, 6u);
-  EXPECT_EQ(e.runner.events_ingested, sources[0]->generator->events_emitted());
+  EXPECT_EQ(e.runner().windows_emitted, 6u);
+  EXPECT_EQ(e.runner().events_ingested, sources[0]->generator->events_emitted());
   EXPECT_TRUE(e.verify.correct)
       << (e.verify.violations.empty() ? "" : e.verify.violations[0]);
-  EXPECT_LE(e.peak_committed, e.partition_bytes);
+  EXPECT_LE(e.peak_committed(), e.partition_bytes);
 }
 
 // A sealed shard that is never restored (state migrated elsewhere, original server retired)

@@ -95,7 +95,7 @@ TEST(SlidingEndToEndTest, SlidingWinSumMatchesReferenceAndVerifies) {
   pipeline.SlideEvery(500);  // 1s windows every 500ms
   const HarnessResult result = RunHarness(pipeline, opts);
 
-  EXPECT_EQ(result.runner.task_errors, 0u);
+  EXPECT_EQ(result.runner().task_errors, 0u);
   ASSERT_TRUE(result.verify.correct)
       << (result.verify.violations.empty() ? "" : result.verify.violations[0]);
 

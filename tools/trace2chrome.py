@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Wrap a flight-recorder JSONL dump into a chrome://tracing / Perfetto JSON file.
+
+The engine's tracer (src/obs/trace.h, enabled via SBT_TRACE / SBT_TRACE_DUMP) appends one
+Chrome trace-event object per line — a format that is trivially appendable from multiple
+processes but not directly loadable. This tool wraps the lines into the standard
+``{"traceEvents": [...]}`` envelope that chrome://tracing and https://ui.perfetto.dev load.
+
+Usage:
+    tools/trace2chrome.py trace.jsonl [-o trace.json]
+
+Input lines that are blank or malformed JSON are skipped with a warning (a crashed process
+may leave a torn final line). Already-wrapped input (a file that is one JSON object with a
+``traceEvents`` array, or a plain JSON array of events) passes through unchanged, so running
+the tool twice is harmless. Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_events(text):
+    """Parses trace input in any accepted shape; returns (events, skipped_line_count)."""
+    stripped = text.strip()
+    if not stripped:
+        return [], 0
+    # Whole-document shapes first: an already-wrapped envelope or a bare JSON array.
+    if stripped[0] in "[{":
+        try:
+            doc = json.loads(stripped)
+        except ValueError:
+            doc = None
+        if isinstance(doc, dict) and isinstance(doc.get("traceEvents"), list):
+            return doc["traceEvents"], 0
+        if isinstance(doc, list):
+            return doc, 0
+    # JSONL: one event object per line.
+    events = []
+    skipped = 0
+    for line in stripped.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            skipped += 1
+            continue
+        if isinstance(obj, dict):
+            events.append(obj)
+        else:
+            skipped += 1
+    return events, skipped
+
+
+def wrap(events):
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Wrap an SBT_TRACE_DUMP JSONL file for chrome://tracing")
+    parser.add_argument("input", help="JSONL trace dump (or an already-wrapped JSON file)")
+    parser.add_argument("-o", "--output",
+                        help="output path (default: <input> with a .json suffix)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.input, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"trace2chrome: cannot read {args.input}: {e}", file=sys.stderr)
+        return 2
+
+    events, skipped = load_events(text)
+    if skipped:
+        print(f"trace2chrome: skipped {skipped} malformed line(s)", file=sys.stderr)
+
+    out_path = args.output
+    if out_path is None:
+        if args.input.endswith(".jsonl"):
+            out_path = args.input[:-6] + ".json"
+        else:
+            # A .json input has no derivable sibling name; writing in place would clobber it.
+            print("trace2chrome: cannot derive an output name; pass -o", file=sys.stderr)
+            return 2
+
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(wrap(events), f, indent=1)
+        f.write("\n")
+    print(f"trace2chrome: wrote {len(events)} events to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

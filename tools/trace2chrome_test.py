@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Tests for the trace dump converter (tools/trace2chrome.py).
+
+pytest-style (each test_* function is a case, bare asserts) but dependency-free: running this
+file directly executes every test_* function and reports, so CI needs only python3. Under
+pytest the same functions collect and run unchanged.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+
+_SPEC = importlib.util.spec_from_file_location(
+    "trace2chrome",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "trace2chrome.py"))
+trace2chrome = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(trace2chrome)
+
+
+def event(name="tee.chain", ph="X", ts=10, ticket=4):
+    return {"name": name, "ph": ph, "pid": 1, "tid": 2, "ts": ts,
+            "args": {"ticket": ticket, "arg": 0}}
+
+
+def jsonl(events):
+    return "\n".join(json.dumps(e) for e in events) + "\n"
+
+
+def test_jsonl_lines_are_collected_in_order():
+    events = [event(ts=1), event(ts=2, name="ticket.retire", ph="i")]
+    loaded, skipped = trace2chrome.load_events(jsonl(events))
+    assert loaded == events
+    assert skipped == 0
+
+
+def test_blank_and_torn_lines_are_skipped_not_fatal():
+    text = jsonl([event()]) + "\n" + '{"name": "torn'  # crash mid-write
+    loaded, skipped = trace2chrome.load_events(text)
+    assert len(loaded) == 1
+    assert skipped == 1
+
+
+def test_non_object_lines_count_as_skipped():
+    loaded, skipped = trace2chrome.load_events(
+        json.dumps(event()) + "\n" + '"just a string"\n42\n')
+    assert len(loaded) == 1
+    assert skipped == 2
+
+
+def test_already_wrapped_input_passes_through():
+    events = [event(), event(ts=20)]
+    wrapped = json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+    loaded, skipped = trace2chrome.load_events(wrapped)
+    assert loaded == events
+    assert skipped == 0
+
+
+def test_bare_json_array_passes_through():
+    events = [event()]
+    loaded, skipped = trace2chrome.load_events(json.dumps(events))
+    assert loaded == events
+    assert skipped == 0
+
+
+def test_empty_input_yields_empty_trace():
+    loaded, skipped = trace2chrome.load_events("")
+    assert loaded == []
+    assert skipped == 0
+
+
+def test_wrap_produces_chrome_envelope():
+    doc = trace2chrome.wrap([event()])
+    assert isinstance(doc["traceEvents"], list)
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_main_end_to_end_roundtrip():
+    events = [event(ts=t) for t in range(5)]
+    with tempfile.TemporaryDirectory() as tmp:
+        src = os.path.join(tmp, "trace.jsonl")
+        dst = os.path.join(tmp, "trace.json")
+        with open(src, "w", encoding="utf-8") as f:
+            f.write(jsonl(events))
+        assert trace2chrome.main([src, "-o", dst]) == 0
+        with open(dst, encoding="utf-8") as f:
+            doc = json.load(f)
+        assert doc["traceEvents"] == events
+        # Re-running on the wrapped output is idempotent.
+        dst2 = os.path.join(tmp, "trace2.json")
+        assert trace2chrome.main([dst, "-o", dst2]) == 0
+        with open(dst2, encoding="utf-8") as f:
+            assert json.load(f)["traceEvents"] == events
+
+
+def test_main_default_output_derives_from_input():
+    with tempfile.TemporaryDirectory() as tmp:
+        src = os.path.join(tmp, "trace.jsonl")
+        with open(src, "w", encoding="utf-8") as f:
+            f.write(jsonl([event()]))
+        assert trace2chrome.main([src]) == 0
+        assert os.path.exists(os.path.join(tmp, "trace.json"))
+
+
+def test_main_refuses_to_overwrite_input():
+    with tempfile.TemporaryDirectory() as tmp:
+        src = os.path.join(tmp, "trace.json")  # no .jsonl suffix: default would collide
+        with open(src, "w", encoding="utf-8") as f:
+            f.write(jsonl([event()]))
+        assert trace2chrome.main([src]) == 2
+
+
+def test_main_missing_input_is_an_error():
+    assert trace2chrome.main(["/nonexistent/trace.jsonl"]) == 2
+
+
+def _run_all():
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failures = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"PASS {name}")
+        except AssertionError as e:
+            failures += 1
+            print(f"FAIL {name}: {e}")
+    print(f"{len(tests) - failures}/{len(tests)} passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(_run_all())
