@@ -1,0 +1,25 @@
+// One contiguous keystream run inside a coalesced ingress frame.
+//
+// The network ingress coalescer (src/server/ingress.h) concatenates payloads from many device
+// sessions into one frame before admission; each donor's bytes sit at a different position in
+// the shared tenant AES-CTR keystream, so decryption in the data plane needs the per-run CTR
+// offsets. Lives in common because both the transport (src/net) and the data plane (src/core)
+// speak it and neither may depend on the other.
+
+#ifndef SRC_COMMON_SEGMENT_H_
+#define SRC_COMMON_SEGMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sbt {
+
+struct FrameSegment {
+  size_t byte_offset = 0;   // start within the frame payload
+  size_t byte_len = 0;
+  uint64_t ctr_offset = 0;  // keystream position of this run
+};
+
+}  // namespace sbt
+
+#endif  // SRC_COMMON_SEGMENT_H_

@@ -156,7 +156,7 @@ Result<SubmitResponse> Runner::SubmitChain(const CmdBuffer& buffer, ExecTicket* 
 }
 
 Status Runner::IngestFrame(std::span<const uint8_t> frame, uint16_t stream,
-                           uint64_t ctr_offset) {
+                           uint64_t ctr_offset, std::span<const FrameSegment> segments) {
   // Registered before any window-state mutation so a concurrent Drain waits for the chain
   // tasks this call is about to enqueue.
   SubmitGuard submit(this);
@@ -177,7 +177,7 @@ Status Runner::IngestFrame(std::span<const uint8_t> frame, uint16_t stream,
   ExecTicket frame_ticket = dp_->OpenTicket(0);
   SBT_TRACE_SPAN("frame.ingest", frame_ticket.seq, frame.size());
   auto ingested = dp_->IngestBatch(frame, pipeline_.event_size(), stream, config_.ingest_path,
-                                   ctr_offset, &frame_ticket);
+                                   ctr_offset, &frame_ticket, segments);
   if (!ingested.ok()) {
     dp_->RetireTicket(frame_ticket);
     return ingested.status();
@@ -195,10 +195,10 @@ Status Runner::IngestFrame(std::span<const uint8_t> frame, uint16_t stream,
   seg.params.window_slide_ms = pipeline_.window_slide_ms();
   seg.hint = LaneHint(kSegmentLaneBase +
                       (next_worker_lane_.load(std::memory_order_relaxed) * 7) % kLaneSlots);
-  auto segments = dp_->Invoke(seg, &frame_ticket);
+  auto windowed = dp_->Invoke(seg, &frame_ticket);
   dp_->RetireTicket(frame_ticket);
-  if (!segments.ok()) {
-    return segments.status();
+  if (!windowed.ok()) {
+    return windowed.status();
   }
 
   // Chain tickets, worker lanes, and window membership are all fixed here, on the submitting
@@ -211,11 +211,11 @@ Status Runner::IngestFrame(std::span<const uint8_t> frame, uint16_t stream,
     uint32_t win_no = 0;
   };
   std::vector<PlannedChain> chains;
-  chains.reserve(segments->outputs.size());
+  chains.reserve(windowed->outputs.size());
   const uint32_t chain_ids = static_cast<uint32_t>(pipeline_.batch_chain().size());
   {
     std::lock_guard<std::mutex> lock(wmu_);
-    for (const OutputInfo& out : segments->outputs) {
+    for (const OutputInfo& out : windowed->outputs) {
       WindowState& ws = windows_[out.win_no];
       if (ws.contributions.empty()) {
         ws.contributions.resize(pipeline_.num_streams());

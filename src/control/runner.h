@@ -99,9 +99,11 @@ class Runner {
   Runner& operator=(const Runner&) = delete;
 
   // Ingests one event frame (bytes of `pipeline.event_size()` events). Blocks under
-  // backpressure. Thread-compatible: one ingesting thread per stream.
+  // backpressure. Thread-compatible: one ingesting thread per stream. `segments` carries the
+  // keystream runs of a coalesced network frame (see DataPlane::IngestBatch); empty for the
+  // single-run frames every in-process producer emits.
   Status IngestFrame(std::span<const uint8_t> frame, uint16_t stream = 0,
-                     uint64_t ctr_offset = 0);
+                     uint64_t ctr_offset = 0, std::span<const FrameSegment> segments = {});
 
   // Advances the (global) watermark: all windows ending at or before `value` close and their
   // results are computed and egressed asynchronously.

@@ -537,7 +537,8 @@ Result<std::vector<DataPlane::ProducedOutput>> DataPlane::Dispatch(
 
 Result<OutputInfo> DataPlane::IngestBatch(std::span<const uint8_t> frame, size_t elem_size,
                                           uint16_t stream, IngestPath path,
-                                          uint64_t ctr_offset, ExecTicket* ticket) {
+                                          uint64_t ctr_offset, ExecTicket* ticket,
+                                          std::span<const FrameSegment> segments) {
   const uint64_t t0 = ReadCycleCounter();
   SBT_TRACE_SPAN("tee.ingest", ticket != nullptr ? ticket->seq : 0, frame.size());
   BoundaryGuard inflight(&admission_mu_, &inflight_chains_);
@@ -545,6 +546,18 @@ Result<OutputInfo> DataPlane::IngestBatch(std::span<const uint8_t> frame, size_t
 
   if (elem_size == 0 || frame.size() % elem_size != 0) {
     return InvalidArgument("ingress frame is not a whole number of events");
+  }
+  // Segments describe keystream runs of a coalesced frame; they must tile the payload exactly
+  // so no byte decrypts at an ambiguous offset (and none escapes decryption).
+  size_t tiled = 0;
+  for (const FrameSegment& seg : segments) {
+    if (seg.byte_offset != tiled || seg.byte_len == 0) {
+      return InvalidArgument("coalesced frame segments do not tile the payload");
+    }
+    tiled += seg.byte_len;
+  }
+  if (!segments.empty() && tiled != frame.size()) {
+    return InvalidArgument("coalesced frame segments do not cover the payload");
   }
   UpdateAdaptiveThreshold();
 
@@ -575,8 +588,16 @@ Result<OutputInfo> DataPlane::IngestBatch(std::span<const uint8_t> frame, size_t
   }
 
   if (config_.decrypt_ingress) {
-    ingress_cipher_.Crypt(
-        std::span<uint8_t>(batch->mutable_data(), batch->size_bytes()), ctr_offset);
+    if (segments.empty()) {
+      ingress_cipher_.Crypt(
+          std::span<uint8_t>(batch->mutable_data(), batch->size_bytes()), ctr_offset);
+    } else {
+      for (const FrameSegment& seg : segments) {
+        ingress_cipher_.Crypt(
+            std::span<uint8_t>(batch->mutable_data() + seg.byte_offset, seg.byte_len),
+            seg.ctr_offset);
+      }
+    }
   }
   batch->Produce();
 

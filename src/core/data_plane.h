@@ -34,6 +34,7 @@
 #include "src/attest/audit_record.h"
 #include "src/attest/compress.h"
 #include "src/common/event.h"
+#include "src/common/segment.h"
 #include "src/common/status.h"
 #include "src/common/time.h"
 #include "src/core/checkpoint.h"
@@ -230,9 +231,15 @@ class DataPlane {
   // Ingests one event frame. With kTrustedIo the frame models a DMA landing in secure memory
   // (single placement copy); with kViaOs an extra staging copy across the boundary is paid.
   // `ctr_offset` is the frame's offset in the source's CTR keystream when decrypting.
+  // A coalesced frame (network ingress concatenating many sessions) passes `segments`: each
+  // run decrypts at its own keystream offset. Segments must tile the frame exactly — in
+  // order, no gaps — or the ingest fails before touching secure memory. Empty `segments`
+  // means one run at `ctr_offset` (every pre-ingress caller). The audit record is identical
+  // either way: segmentation is a transport artifact, not an auditable event.
   Result<OutputInfo> IngestBatch(std::span<const uint8_t> frame, size_t elem_size,
                                  uint16_t stream, IngestPath path, uint64_t ctr_offset = 0,
-                                 ExecTicket* ticket = nullptr);
+                                 ExecTicket* ticket = nullptr,
+                                 std::span<const FrameSegment> segments = {});
 
   // Ingests a watermark (event-time progress signal) and records it for attestation.
   Status IngestWatermark(EventTimeMs value, uint16_t stream = 0, ExecTicket* ticket = nullptr);

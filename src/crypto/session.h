@@ -1,0 +1,49 @@
+// Ingress session authentication: key derivation and message MACs for the wire protocol
+// (src/net/wire.h).
+//
+// A device proves knowledge of its tenant's MAC key during the TCP handshake: both sides
+// derive a per-session key from the tenant MAC key and the two handshake nonces, then exchange
+// truncated HMAC-SHA256 tags over the handshake transcript. Datagram mode has no handshake, so
+// every packet carries a tag under the tenant/source-bound key with zero nonces — replay there
+// is handled by the receiver's sequence-number window, not the MAC.
+//
+// The session key never encrypts payloads (ingress frames stay under the tenant's AES-CTR
+// ingress key); it only authenticates transport-level messages, so a wrong-tenant device is
+// rejected at the door instead of decrypting to noise at the data plane (the leading-payload
+// key-mixup failure mode).
+
+#ifndef SRC_CRYPTO_SESSION_H_
+#define SRC_CRYPTO_SESSION_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "src/crypto/aes128.h"
+#include "src/crypto/sha256.h"
+
+namespace sbt {
+
+inline constexpr size_t kSessionTagSize = 16;
+
+using SessionKey = Sha256Digest;
+using SessionTag = std::array<uint8_t, kSessionTagSize>;
+
+// Session key bound to (tenant MAC key, tenant, source, both handshake nonces). Datagram mode
+// uses (0, 0) nonces: one long-lived key per (tenant, source) pair.
+SessionKey DeriveSessionKey(const AesKey& mac_key, uint32_t tenant, uint32_t source,
+                            uint64_t client_nonce, uint64_t server_nonce);
+
+// Truncated HMAC-SHA256 over `label || message`. Labels separate the handshake directions
+// (client auth vs. server accept) and the datagram path so a tag can never be replayed into a
+// different role.
+SessionTag SessionMac(const SessionKey& key, std::string_view label,
+                      std::span<const uint8_t> message);
+
+// Constant-time comparison (same rationale as DigestEqual).
+bool SessionTagEqual(const SessionTag& a, const SessionTag& b);
+
+}  // namespace sbt
+
+#endif  // SRC_CRYPTO_SESSION_H_

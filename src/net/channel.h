@@ -1,4 +1,5 @@
-// In-process frame transport: the ZeroMQ-TCP stand-in (see DESIGN.md substitutions).
+// In-process frame transport behind the real network ingress (src/net/wire.h carries these
+// Frames over TCP/UDP; src/server/ingress.h decodes and coalesces them into this channel).
 //
 // A bounded MPMC queue with the same push/pull shape the paper's Generator -> engine link has.
 // `FrameChannel` carries framed byte buffers from sources; watermarks travel in-band, after all
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "src/common/failpoint.h"
+#include "src/common/segment.h"
 #include "src/common/time.h"
 #include "src/obs/metrics.h"
 
@@ -34,6 +36,10 @@ struct Frame {
   uint64_t ctr_offset = 0;     // source CTR keystream position for this frame
   bool is_watermark = false;
   EventTimeMs watermark = 0;
+  // Empty: the whole frame is one run at `ctr_offset` (every pre-ingress producer).
+  // Non-empty: coalesced frame; segments cover bytes exactly, in order, and `ctr_offset`
+  // mirrors segments[0].ctr_offset.
+  std::vector<FrameSegment> segments;
 };
 
 template <typename T>
@@ -90,6 +96,7 @@ class BoundedChannel {
       UpdateDepthLocked();
     }
     cv_push_.notify_one();
+    NotifySpaceListener();
     return out;
   }
 
@@ -108,6 +115,7 @@ class BoundedChannel {
       UpdateDepthLocked();
     }
     cv_push_.notify_one();
+    NotifySpaceListener();
     return out;
   }
 
@@ -130,6 +138,16 @@ class BoundedChannel {
   void SetListener(std::function<void()> listener) {
     std::lock_guard<std::mutex> lock(mu_);
     listener_ = std::move(listener);
+  }
+
+  // Mirror of SetListener for the opposite edge: invoked (no lock held) after every
+  // successful pop, i.e. whenever queue space frees up. This is how a producer that was told
+  // "full" by TryPush parks on its own condition variable until retrying can succeed, instead
+  // of polling — the admission-stall wakeup path in the EdgeServer. Same quiescence contract
+  // as SetListener, with consumers in place of producers.
+  void SetSpaceListener(std::function<void()> listener) {
+    std::lock_guard<std::mutex> lock(mu_);
+    space_listener_ = std::move(listener);
   }
 
   // Optional depth gauge (obs registry pointer): the channel publishes its queue size to it
@@ -178,6 +196,17 @@ class BoundedChannel {
     }
   }
 
+  void NotifySpaceListener() {
+    std::function<void()> listener;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      listener = space_listener_;
+    }
+    if (listener) {
+      listener();
+    }
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_push_;
@@ -185,6 +214,7 @@ class BoundedChannel {
   std::deque<T> queue_;
   bool closed_ = false;
   std::function<void()> listener_;  // guarded by mu_; copied out before invoking
+  std::function<void()> space_listener_;  // guarded by mu_; copied out before invoking
   obs::Gauge* depth_gauge_ = nullptr;  // guarded by mu_
 };
 

@@ -1,0 +1,402 @@
+#include "src/net/fleet.h"
+
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "src/crypto/session.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+
+namespace sbt {
+namespace {
+
+// Blocking exact read on a blocking socket (handshake replies).
+bool ReadExact(const net::Socket& sock, std::span<uint8_t> buf) {
+  size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t rc = ::read(sock.fd(), buf.data() + off, buf.size() - off);
+    if (rc <= 0) {
+      if (rc < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(rc);
+  }
+  return true;
+}
+
+// Reads one framed message; false on EOF/torn stream.
+bool ReadMessage(const net::Socket& sock, wire::MsgType* type, std::vector<uint8_t>* body) {
+  uint8_t prefix[wire::kLengthPrefixBytes];
+  if (!ReadExact(sock, prefix)) {
+    return false;
+  }
+  uint32_t len = 0;
+  std::memcpy(&len, prefix, sizeof(len));
+  if (len < 1 || len > wire::kMaxMessageBytes) {
+    return false;
+  }
+  std::vector<uint8_t> payload(len);
+  if (!ReadExact(sock, payload)) {
+    return false;
+  }
+  *type = static_cast<wire::MsgType>(payload[0]);
+  body->assign(payload.begin() + 1, payload.end());
+  return true;
+}
+
+// One device's progress through its stream. Lives on exactly one fleet thread.
+struct DeviceState {
+  const DeviceConfig* cfg = nullptr;
+  Generator gen;
+  bool finished = false;
+  bool rejected = false;
+
+  // TCP session state.
+  net::Socket sock;
+  bool connected = false;
+  uint64_t seq = 0;
+  uint32_t msgs_on_conn = 0;
+  uint64_t reconnects = 0;
+  std::vector<uint8_t> last_msg;  // retransmitted on reconnect when dup injection fires
+
+  // UDP state.
+  SessionKey dgram_key{};
+  std::optional<std::vector<uint8_t>> held_packet;  // swap injection: send-next-first
+  uint64_t dgrams_on_stream = 0;
+
+  explicit DeviceState(const DeviceConfig* c) : cfg(c), gen(c->gen) {}
+};
+
+struct ThreadCounters {
+  uint64_t events = 0;
+  uint64_t frames = 0;
+  uint64_t watermarks = 0;
+  uint64_t connects = 0;
+  uint64_t handshake_failures = 0;
+  uint64_t dups = 0;
+  uint64_t swaps = 0;
+  bool fatal = false;
+  std::string error;
+};
+
+class FleetThread {
+ public:
+  FleetThread(const FleetConfig& config, std::vector<DeviceState*> devices)
+      : config_(config), devices_(std::move(devices)) {
+    persistent_ = !config_.use_udp && config_.frames_per_connection == 0 &&
+                  devices_.size() <= config_.max_open_per_thread;
+    // With churn enabled the budget still binds: keep at most max_open devices connected at
+    // once by closing after each rung once the window is full.
+    conn_per_rung_ = !config_.use_udp && !persistent_ &&
+                     devices_.size() > config_.max_open_per_thread;
+  }
+
+  ThreadCounters Run() {
+    if (config_.use_udp) {
+      auto sock = net::UdpClient();
+      if (!sock.ok()) {
+        counters_.fatal = true;
+        counters_.error = sock.status().ToString();
+        return counters_;
+      }
+      udp_ = std::move(sock).value();
+    }
+    size_t remaining = devices_.size();
+    while (remaining > 0 && !counters_.fatal) {
+      remaining = 0;
+      for (DeviceState* dev : devices_) {
+        if (dev->finished) {
+          continue;
+        }
+        Step(*dev);
+        if (!dev->finished) {
+          ++remaining;
+        }
+        if (counters_.fatal) {
+          break;
+        }
+      }
+    }
+    return counters_;
+  }
+
+ private:
+  // Advances one device by one rung: frames up to and including the next watermark.
+  void Step(DeviceState& dev) {
+    if (config_.use_udp) {
+      StepUdp(dev);
+    } else {
+      StepTcp(dev);
+    }
+  }
+
+  // --- TCP --------------------------------------------------------------------------------
+
+  bool Connect(DeviceState& dev) {
+    auto sock = net::TcpConnect(config_.tcp_port);
+    if (!sock.ok()) {
+      counters_.fatal = true;
+      counters_.error = sock.status().ToString();
+      return false;
+    }
+    dev.sock = std::move(sock).value();
+    ++counters_.connects;
+
+    wire::Hello hello;
+    hello.tenant = dev.cfg->tenant;
+    hello.source = dev.cfg->source;
+    hello.stream = dev.cfg->stream;
+    hello.client_nonce = (static_cast<uint64_t>(dev.cfg->source) << 16) | dev.reconnects;
+    std::vector<uint8_t> out;
+    wire::AppendHello(&out, hello);
+    if (!net::WriteAll(dev.sock, out).ok()) {
+      return Fail(dev);
+    }
+    wire::MsgType type;
+    std::vector<uint8_t> body;
+    if (!ReadMessage(dev.sock, &type, &body) || type != wire::MsgType::kChallenge) {
+      return Fail(dev);
+    }
+    const auto nonce = wire::DecodeChallenge(body);
+    if (!nonce.has_value()) {
+      return Fail(dev);
+    }
+    const SessionKey key = DeriveSessionKey(dev.cfg->mac_key, hello.tenant, hello.source,
+                                            hello.client_nonce, *nonce);
+    const auto transcript = wire::HandshakeTranscript(hello, *nonce);
+    out.clear();
+    wire::AppendAuth(&out, SessionMac(key, wire::kAuthLabel, transcript));
+    if (!net::WriteAll(dev.sock, out).ok()) {
+      return Fail(dev);
+    }
+    if (!ReadMessage(dev.sock, &type, &body) || type != wire::MsgType::kAccept) {
+      return Fail(dev);  // kReject lands here: wrong key, unprovisioned device
+    }
+    // Mutual: the server proved the same session key before we stream anything.
+    const auto tag = wire::DecodeTag(body);
+    if (!tag.has_value() ||
+        !SessionTagEqual(*tag, SessionMac(key, wire::kAcceptLabel, transcript))) {
+      return Fail(dev);
+    }
+    dev.connected = true;
+    dev.msgs_on_conn = 0;
+
+    // Churn retransmit: replay the last message of the previous connection with its original
+    // seq — the server's dedup must swallow it.
+    if (config_.dup_on_reconnect > 0 && !dev.last_msg.empty() &&
+        dev.reconnects % config_.dup_on_reconnect == 0) {
+      if (!net::WriteAll(dev.sock, dev.last_msg).ok()) {
+        return Fail(dev);
+      }
+      ++counters_.dups;
+    }
+    return true;
+  }
+
+  bool Fail(DeviceState& dev) {
+    // Handshake did not complete: device is out (rejected or raced shutdown). Not fatal for
+    // the fleet.
+    dev.sock.Close();
+    dev.connected = false;
+    dev.finished = true;
+    dev.rejected = true;
+    ++counters_.handshake_failures;
+    return false;
+  }
+
+  void Disconnect(DeviceState& dev, bool final) {
+    std::vector<uint8_t> out;
+    wire::AppendBye(&out, final);
+    (void)net::WriteAll(dev.sock, out);
+    dev.sock.Close();
+    dev.connected = false;
+    if (!final) {
+      ++dev.reconnects;
+    }
+  }
+
+  void StepTcp(DeviceState& dev) {
+    if (!dev.connected && !Connect(dev)) {
+      return;
+    }
+    std::vector<uint8_t> out;
+    uint32_t sent = 0;
+    bool rung_done = false;
+    bool stream_done = false;
+    while (!rung_done) {
+      auto frame = dev.gen.NextFrame();
+      if (!frame.has_value()) {
+        stream_done = true;
+        break;
+      }
+      out.clear();
+      if (frame->is_watermark) {
+        wire::AppendWatermark(&out, dev.seq, frame->watermark);
+        ++counters_.watermarks;
+        rung_done = true;
+      } else {
+        wire::AppendData(&out, dev.seq, frame->ctr_offset, frame->bytes);
+        ++counters_.frames;
+        counters_.events += frame->bytes.size() / dev.gen.event_size();
+      }
+      ++dev.seq;
+      if (!net::WriteAll(dev.sock, out).ok()) {
+        counters_.fatal = true;
+        counters_.error = "fleet: mid-stream write failed (server gone?)";
+        return;
+      }
+      dev.last_msg = out;
+      ++dev.msgs_on_conn;
+      ++sent;
+      if (config_.frames_per_connection > 0 &&
+          dev.msgs_on_conn >= config_.frames_per_connection) {
+        Disconnect(dev, /*final=*/false);
+        if (!Connect(dev)) {
+          return;
+        }
+      }
+    }
+    if (stream_done) {
+      Disconnect(dev, /*final=*/true);
+      dev.finished = true;
+      return;
+    }
+    if (conn_per_rung_) {
+      Disconnect(dev, /*final=*/false);
+    }
+    (void)sent;
+  }
+
+  // --- UDP --------------------------------------------------------------------------------
+
+  void SendPacket(DeviceState& dev, std::vector<uint8_t> packet) {
+    ++dev.dgrams_on_stream;
+    const bool dup =
+        config_.dup_every > 0 && dev.dgrams_on_stream % config_.dup_every == 0;
+    const bool swap =
+        config_.swap_every > 0 && dev.dgrams_on_stream % config_.swap_every == 0;
+    if (swap && !dev.held_packet.has_value()) {
+      // Hold this one; it goes out AFTER the next packet (adjacent swap).
+      dev.held_packet = std::move(packet);
+      ++counters_.swaps;
+      return;
+    }
+    (void)net::UdpSendTo(udp_, config_.udp_port, packet);
+    if (dup) {
+      (void)net::UdpSendTo(udp_, config_.udp_port, packet);
+      ++counters_.dups;
+    }
+    if (dev.held_packet.has_value()) {
+      (void)net::UdpSendTo(udp_, config_.udp_port, *dev.held_packet);
+      dev.held_packet.reset();
+    }
+  }
+
+  void StepUdp(DeviceState& dev) {
+    if (dev.dgrams_on_stream == 0) {
+      dev.dgram_key = DeriveSessionKey(dev.cfg->mac_key, dev.cfg->tenant, dev.cfg->source, 0, 0);
+    }
+    bool rung_done = false;
+    while (!rung_done) {
+      auto frame = dev.gen.NextFrame();
+      if (!frame.has_value()) {
+        // End of stream: repeated kDone (datagrams are loseable; the marker must land).
+        wire::Dgram done;
+        done.tenant = dev.cfg->tenant;
+        done.source = dev.cfg->source;
+        done.stream = dev.cfg->stream;
+        done.kind = wire::DgramKind::kDone;
+        for (uint32_t i = 0; i < std::max<uint32_t>(1, config_.done_repeats); ++i) {
+          done.seq = dev.seq;
+          (void)net::UdpSendTo(udp_, config_.udp_port, wire::EncodeDgram(dev.dgram_key, done));
+        }
+        if (dev.held_packet.has_value()) {
+          (void)net::UdpSendTo(udp_, config_.udp_port, *dev.held_packet);
+          dev.held_packet.reset();
+        }
+        dev.finished = true;
+        return;
+      }
+      wire::Dgram d;
+      d.tenant = dev.cfg->tenant;
+      d.source = dev.cfg->source;
+      d.stream = dev.cfg->stream;
+      d.seq = dev.seq++;
+      if (frame->is_watermark) {
+        d.kind = wire::DgramKind::kWatermark;
+        d.watermark = frame->watermark;
+        ++counters_.watermarks;
+        rung_done = true;
+      } else {
+        d.kind = wire::DgramKind::kData;
+        d.ctr_offset = frame->ctr_offset;
+        d.payload = frame->bytes;
+        ++counters_.frames;
+        counters_.events += frame->bytes.size() / dev.gen.event_size();
+      }
+      SendPacket(dev, wire::EncodeDgram(dev.dgram_key, d));
+    }
+  }
+
+  const FleetConfig& config_;
+  std::vector<DeviceState*> devices_;
+  bool persistent_ = false;
+  bool conn_per_rung_ = false;
+  net::Socket udp_;
+  ThreadCounters counters_;
+};
+
+}  // namespace
+
+DeviceFleet::DeviceFleet(FleetConfig config, std::vector<DeviceConfig> devices)
+    : config_(config), devices_(std::move(devices)) {}
+
+Result<FleetReport> DeviceFleet::Run() {
+  const int threads = std::max(1, config_.threads);
+  std::vector<std::unique_ptr<DeviceState>> states;
+  states.reserve(devices_.size());
+  for (const DeviceConfig& cfg : devices_) {
+    states.push_back(std::make_unique<DeviceState>(&cfg));
+  }
+  std::vector<std::vector<DeviceState*>> partitions(static_cast<size_t>(threads));
+  for (size_t i = 0; i < states.size(); ++i) {
+    partitions[i % threads].push_back(states[i].get());
+  }
+
+  std::vector<ThreadCounters> results(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([this, t, &partitions, &results] {
+      FleetThread ft(config_, std::move(partitions[static_cast<size_t>(t)]));
+      results[static_cast<size_t>(t)] = ft.Run();
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+
+  FleetReport report;
+  report.devices = states.size();
+  for (const ThreadCounters& c : results) {
+    if (c.fatal) {
+      return Internal(c.error);
+    }
+    report.events_sent += c.events;
+    report.frames_sent += c.frames;
+    report.watermarks_sent += c.watermarks;
+    report.connects += c.connects;
+    report.handshake_failures += c.handshake_failures;
+    report.dup_injected += c.dups;
+    report.swaps_injected += c.swaps;
+  }
+  return report;
+}
+
+}  // namespace sbt

@@ -1,0 +1,89 @@
+// Device fleet load generator: simulates 10^4..10^6 embedded-class senders driving the
+// ingress wire protocol (src/net/wire.h) over loopback TCP or UDP.
+//
+// Each device replays its Generator workload through the same framed protocol a real sensor
+// would speak: session handshake, Data/Watermark messages with a device-lifetime sequence
+// number, Bye on disconnect. Devices advance in lockstep rungs — one watermark interval per
+// scheduling pass — so the receiving coalescer's per-device buffers stay bounded no matter how
+// large the fleet is. Churn and fault injection:
+//
+//   - TCP: connections are torn down (Bye final=false) and re-established every
+//     `frames_per_connection` messages, or after every rung when the fleet exceeds the open-fd
+//     budget; on reconnect the previous message is optionally retransmitted (duplicate seq the
+//     server must drop).
+//   - UDP: every `dup_every`-th datagram is sent twice and every `swap_every`-th pair is sent
+//     in swapped order; end-of-stream (kDone) is repeated, since datagrams may be lost.
+//
+// Threading: devices are partitioned across `threads` OS threads; each thread owns its
+// devices outright (no sharing). Run() blocks until every device finished its stream.
+
+#ifndef SRC_NET_FLEET_H_
+#define SRC_NET_FLEET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/generator.h"
+
+namespace sbt {
+
+struct DeviceConfig {
+  uint32_t tenant = 0;
+  uint32_t source = 0;
+  uint16_t stream = 0;
+  GeneratorConfig gen;
+  // The tenant's MAC key (what TenantSpec::mac_key holds): the handshake credential. A device
+  // configured with another tenant's key fails the handshake — that is the test's lever for
+  // the wrong-tenant rejection path.
+  AesKey mac_key{};
+};
+
+struct FleetConfig {
+  uint16_t tcp_port = 0;
+  bool use_udp = false;           // datagram mode instead of TCP sessions
+  uint16_t udp_port = 0;
+  int threads = 2;
+  // TCP churn: disconnect (Bye final=false) + reconnect after this many messages on one
+  // connection. 0 = keep connections up (subject to the fd budget below).
+  uint32_t frames_per_connection = 0;
+  // After a churn reconnect, retransmit the last sent message (duplicate seq). 0 = never,
+  // N = on every Nth reconnect.
+  uint32_t dup_on_reconnect = 0;
+  // UDP fault injection: send every Nth datagram twice / swap every Nth adjacent pair.
+  uint32_t dup_every = 0;
+  uint32_t swap_every = 0;
+  uint32_t done_repeats = 3;      // UDP end-of-stream repetitions (kDone datagrams are loseable)
+  // Open-connection budget per thread; a thread whose device share exceeds it falls back to
+  // connect-per-rung churn so the whole fleet stays under the process fd limit.
+  size_t max_open_per_thread = 4000;
+};
+
+struct FleetReport {
+  uint64_t devices = 0;
+  uint64_t events_sent = 0;
+  uint64_t frames_sent = 0;      // data frames (TCP messages or datagrams)
+  uint64_t watermarks_sent = 0;
+  uint64_t connects = 0;         // TCP connections established (>= devices under churn)
+  uint64_t handshake_failures = 0;
+  uint64_t dup_injected = 0;
+  uint64_t swaps_injected = 0;
+};
+
+class DeviceFleet {
+ public:
+  DeviceFleet(FleetConfig config, std::vector<DeviceConfig> devices);
+
+  // Drives every device to end-of-stream. Returns the aggregate report; fails only on
+  // environment errors (socket exhaustion, server gone) — handshake rejections are counted,
+  // not fatal, so mixed honest/imposter fleets can run.
+  Result<FleetReport> Run();
+
+ private:
+  FleetConfig config_;
+  std::vector<DeviceConfig> devices_;
+};
+
+}  // namespace sbt
+
+#endif  // SRC_NET_FLEET_H_

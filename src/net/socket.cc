@@ -1,0 +1,243 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sbt::net {
+namespace {
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+Status Errno(const char* what) {
+  return Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+Result<uint16_t> BoundPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::Release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+Result<Socket> TcpListen(uint16_t port, uint16_t* bound_port, int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) return Errno("socket");
+  const int one = 1;
+  (void)setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in addr = LoopbackAddr(port);
+  if (bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (listen(sock.fd(), backlog) != 0) return Errno("listen");
+  SBT_RETURN_IF_ERROR(SetNonBlocking(sock));
+  if (bound_port != nullptr) {
+    SBT_ASSIGN_OR_RETURN(*bound_port, BoundPort(sock.fd()));
+  }
+  return sock;
+}
+
+Result<Socket> TcpConnect(uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) return Errno("socket");
+  const sockaddr_in addr = LoopbackAddr(port);
+  int rc;
+  do {
+    rc = ::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect");
+  SBT_RETURN_IF_ERROR(SetNodelay(sock));
+  return sock;
+}
+
+IoResult TcpAccept(const Socket& listener, Socket* out) {
+  for (;;) {
+    const int fd = ::accept4(listener.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      Socket sock(fd);
+      if (!SetNonBlocking(sock).ok() || !SetNodelay(sock).ok()) return IoResult::kError;
+      *out = std::move(sock);
+      return IoResult::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    return IoResult::kError;
+  }
+}
+
+Status SetNonBlocking(const Socket& sock) {
+  const int flags = fcntl(sock.fd(), F_GETFL, 0);
+  if (flags < 0 || fcntl(sock.fd(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl O_NONBLOCK");
+  }
+  return OkStatus();
+}
+
+Status SetNodelay(const Socket& sock) {
+  const int one = 1;
+  if (setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt TCP_NODELAY");
+  }
+  return OkStatus();
+}
+
+IoResult ReadSome(const Socket& sock, std::span<uint8_t> buf, size_t* n) {
+  for (;;) {
+    const ssize_t rc = ::read(sock.fd(), buf.data(), buf.size());
+    if (rc > 0) {
+      *n = static_cast<size_t>(rc);
+      return IoResult::kOk;
+    }
+    if (rc == 0) return IoResult::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    if (errno == ECONNRESET) return IoResult::kClosed;
+    return IoResult::kError;
+  }
+}
+
+Status WriteAll(const Socket& sock, std::span<const uint8_t> buf) {
+  size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t rc = ::write(sock.fd(), buf.data() + off, buf.size() - off);
+    if (rc > 0) {
+      off += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return FailedPrecondition("peer closed");
+    }
+    return Errno("write");
+  }
+  return OkStatus();
+}
+
+Result<Socket> UdpBind(uint16_t port, uint16_t* bound_port) {
+  Socket sock(::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) return Errno("socket");
+  // Datagram bursts from many senders land in one socket; a deep receive buffer keeps the
+  // loss the protocol tolerates from dominating loopback tests.
+  const int rcvbuf = 8 << 20;
+  (void)setsockopt(sock.fd(), SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  const sockaddr_in addr = LoopbackAddr(port);
+  if (bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  SBT_RETURN_IF_ERROR(SetNonBlocking(sock));
+  if (bound_port != nullptr) {
+    SBT_ASSIGN_OR_RETURN(*bound_port, BoundPort(sock.fd()));
+  }
+  return sock;
+}
+
+Result<Socket> UdpClient() {
+  Socket sock(::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) return Errno("socket");
+  return sock;
+}
+
+Status UdpSendTo(const Socket& sock, uint16_t port, std::span<const uint8_t> packet) {
+  const sockaddr_in addr = LoopbackAddr(port);
+  for (;;) {
+    const ssize_t rc = ::sendto(sock.fd(), packet.data(), packet.size(), 0,
+                                reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (rc >= 0) return OkStatus();
+    if (errno == EINTR) continue;
+    // Transient kernel-buffer pressure counts as loss: datagram mode tolerates it.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) return OkStatus();
+    return Errno("sendto");
+  }
+}
+
+IoResult UdpRecv(const Socket& sock, std::span<uint8_t> buf, size_t* n) {
+  for (;;) {
+    const ssize_t rc = ::recv(sock.fd(), buf.data(), buf.size(), 0);
+    if (rc >= 0) {
+      *n = static_cast<size_t>(rc);
+      return IoResult::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    return IoResult::kError;
+  }
+}
+
+Poller::Poller() : epfd_(epoll_create1(EPOLL_CLOEXEC)) {}
+
+Poller::~Poller() {
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+Status Poller::Add(int fd, uint64_t data) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP;
+  ev.data.u64 = data;
+  if (epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) return Errno("epoll_ctl add");
+  return OkStatus();
+}
+
+Status Poller::Remove(int fd) {
+  if (epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr) != 0) return Errno("epoll_ctl del");
+  return OkStatus();
+}
+
+Status Poller::Wait(std::vector<Event>* events, int timeout_ms) {
+  events->clear();
+  epoll_event raw[64];
+  int rc;
+  do {
+    rc = epoll_wait(epfd_, raw, 64, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("epoll_wait");
+  events->reserve(static_cast<size_t>(rc));
+  for (int i = 0; i < rc; ++i) {
+    events->push_back(Event{
+        .data = raw[i].data.u64,
+        .readable = (raw[i].events & EPOLLIN) != 0,
+        .hangup = (raw[i].events & (EPOLLRDHUP | EPOLLHUP | EPOLLERR)) != 0,
+    });
+  }
+  return OkStatus();
+}
+
+}  // namespace sbt::net

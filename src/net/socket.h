@@ -1,0 +1,104 @@
+// Thin POSIX socket wrappers for the ingress transport: RAII fds, loopback-friendly TCP
+// listen/connect/accept, UDP send/recv, and a small epoll helper for the listener's single
+// IO thread. Everything speaks IPv4; errors surface as Status so callers in the server and
+// fleet layers never touch errno directly.
+
+#ifndef SRC_NET_SOCKET_H_
+#define SRC_NET_SOCKET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace sbt::net {
+
+// Owns one file descriptor; move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+  int Release();
+
+ private:
+  int fd_ = -1;
+};
+
+// Result of a nonblocking read/write attempt.
+enum class IoResult : uint8_t {
+  kOk = 0,        // >= 1 byte moved
+  kWouldBlock = 1,
+  kClosed = 2,    // peer closed (read) or connection reset
+  kError = 3,
+};
+
+// --- TCP --------------------------------------------------------------------------------
+
+// Listens on 127.0.0.1:`port` (0 = ephemeral); returns the socket and writes the bound port.
+Result<Socket> TcpListen(uint16_t port, uint16_t* bound_port, int backlog = 1024);
+
+// Blocking connect to 127.0.0.1:`port`.
+Result<Socket> TcpConnect(uint16_t port);
+
+// Accepts one pending connection, nonblocking listener assumed: kWouldBlock when the queue is
+// empty. Accepted sockets come back nonblocking with TCP_NODELAY set.
+IoResult TcpAccept(const Socket& listener, Socket* out);
+
+Status SetNonBlocking(const Socket& sock);
+Status SetNodelay(const Socket& sock);
+
+// Nonblocking read into `buf`; *n is bytes read on kOk.
+IoResult ReadSome(const Socket& sock, std::span<uint8_t> buf, size_t* n);
+
+// Blocking write of the whole buffer (retries short writes and EINTR).
+Status WriteAll(const Socket& sock, std::span<const uint8_t> buf);
+
+// --- UDP --------------------------------------------------------------------------------
+
+Result<Socket> UdpBind(uint16_t port, uint16_t* bound_port);
+Result<Socket> UdpClient();  // unbound sender socket
+
+Status UdpSendTo(const Socket& sock, uint16_t port, std::span<const uint8_t> packet);
+// Nonblocking receive of one datagram; *n is the packet size on kOk (truncated if > buf).
+IoResult UdpRecv(const Socket& sock, std::span<uint8_t> buf, size_t* n);
+
+// --- epoll ------------------------------------------------------------------------------
+
+// Level-triggered readable-interest poller; `data` is an opaque cookie per fd.
+class Poller {
+ public:
+  struct Event {
+    uint64_t data = 0;
+    bool readable = false;
+    bool hangup = false;
+  };
+
+  Poller();
+  ~Poller();
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  bool valid() const { return epfd_ >= 0; }
+  Status Add(int fd, uint64_t data);
+  Status Remove(int fd);
+  // Blocks up to timeout_ms (-1 = forever); fills `events` (cleared first).
+  Status Wait(std::vector<Event>* events, int timeout_ms);
+
+ private:
+  int epfd_ = -1;
+};
+
+}  // namespace sbt::net
+
+#endif  // SRC_NET_SOCKET_H_

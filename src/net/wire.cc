@@ -1,0 +1,294 @@
+#include "src/net/wire.h"
+
+#include <cstring>
+
+namespace sbt::wire {
+namespace {
+
+// The net layer keeps its own little-endian cursor pair rather than pulling in the
+// checkpoint serializer from src/core (layering: core depends on net, not the reverse).
+
+struct Writer {
+  std::vector<uint8_t>* out;
+
+  void U8(uint8_t v) { out->push_back(v); }
+  void U16(uint16_t v) { Raw(&v, sizeof(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void Bytes(std::span<const uint8_t> b) { out->insert(out->end(), b.begin(), b.end()); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    out->insert(out->end(), b, b + n);
+  }
+};
+
+struct Reader {
+  std::span<const uint8_t> data;
+  size_t pos = 0;
+  bool ok = true;
+
+  uint8_t U8() { return ReadInt<uint8_t>(); }
+  uint16_t U16() { return ReadInt<uint16_t>(); }
+  uint32_t U32() { return ReadInt<uint32_t>(); }
+  uint64_t U64() { return ReadInt<uint64_t>(); }
+
+  std::span<const uint8_t> Rest() {
+    auto view = data.subspan(pos);
+    pos = data.size();
+    return view;
+  }
+
+  // Remaining bytes minus a reserved tail (e.g. a trailing tag); fails if the tail is short.
+  std::span<const uint8_t> RestExcept(size_t tail) {
+    if (data.size() - pos < tail) {
+      ok = false;
+      return {};
+    }
+    auto view = data.subspan(pos, data.size() - pos - tail);
+    pos = data.size() - tail;
+    return view;
+  }
+
+  bool Exhausted() const { return ok && pos == data.size(); }
+
+ private:
+  template <typename T>
+  T ReadInt() {
+    if (!ok || data.size() - pos < sizeof(T)) {
+      ok = false;
+      return T{};
+    }
+    T v;
+    std::memcpy(&v, data.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return v;
+  }
+};
+
+// Reserves the [u32 length][u8 type] prefix; PatchLength fills the length in once the body is
+// written so encoders never precompute sizes.
+size_t BeginMessage(std::vector<uint8_t>* out, MsgType type) {
+  const size_t at = out->size();
+  Writer w{out};
+  w.U32(0);
+  w.U8(static_cast<uint8_t>(type));
+  return at;
+}
+
+void PatchLength(std::vector<uint8_t>* out, size_t at) {
+  const uint32_t len = static_cast<uint32_t>(out->size() - at - kLengthPrefixBytes);
+  std::memcpy(out->data() + at, &len, sizeof(len));
+}
+
+void AppendDgramBody(Writer* w, const Dgram& d) {
+  w->U32(d.tenant);
+  w->U32(d.source);
+  w->U16(d.stream);
+  w->U8(static_cast<uint8_t>(d.kind));
+  w->U64(d.seq);
+  switch (d.kind) {
+    case DgramKind::kData:
+      w->U64(d.ctr_offset);
+      w->Bytes(d.payload);
+      break;
+    case DgramKind::kWatermark:
+      w->U64(d.watermark);
+      break;
+    case DgramKind::kDone:
+      break;
+  }
+}
+
+}  // namespace
+
+void AppendHello(std::vector<uint8_t>* out, const Hello& hello) {
+  const size_t at = BeginMessage(out, MsgType::kHello);
+  Writer w{out};
+  w.U32(kMagic);
+  w.U16(kVersion);
+  w.U32(hello.tenant);
+  w.U32(hello.source);
+  w.U16(hello.stream);
+  w.U64(hello.client_nonce);
+  PatchLength(out, at);
+}
+
+void AppendChallenge(std::vector<uint8_t>* out, uint64_t server_nonce) {
+  const size_t at = BeginMessage(out, MsgType::kChallenge);
+  Writer{out}.U64(server_nonce);
+  PatchLength(out, at);
+}
+
+void AppendAuth(std::vector<uint8_t>* out, const SessionTag& tag) {
+  const size_t at = BeginMessage(out, MsgType::kAuth);
+  Writer{out}.Bytes(std::span<const uint8_t>(tag.data(), tag.size()));
+  PatchLength(out, at);
+}
+
+void AppendAccept(std::vector<uint8_t>* out, const SessionTag& tag) {
+  const size_t at = BeginMessage(out, MsgType::kAccept);
+  Writer{out}.Bytes(std::span<const uint8_t>(tag.data(), tag.size()));
+  PatchLength(out, at);
+}
+
+void AppendReject(std::vector<uint8_t>* out) {
+  const size_t at = BeginMessage(out, MsgType::kReject);
+  PatchLength(out, at);
+}
+
+void AppendData(std::vector<uint8_t>* out, uint64_t seq, uint64_t ctr_offset,
+                std::span<const uint8_t> payload) {
+  const size_t at = BeginMessage(out, MsgType::kData);
+  Writer w{out};
+  w.U64(seq);
+  w.U64(ctr_offset);
+  w.Bytes(payload);
+  PatchLength(out, at);
+}
+
+void AppendWatermark(std::vector<uint8_t>* out, uint64_t seq, uint64_t value) {
+  const size_t at = BeginMessage(out, MsgType::kWatermark);
+  Writer w{out};
+  w.U64(seq);
+  w.U64(value);
+  PatchLength(out, at);
+}
+
+void AppendBye(std::vector<uint8_t>* out, bool final) {
+  const size_t at = BeginMessage(out, MsgType::kBye);
+  Writer{out}.U8(final ? 1 : 0);
+  PatchLength(out, at);
+}
+
+std::vector<uint8_t> EncodeDgram(const SessionKey& key, const Dgram& dgram) {
+  std::vector<uint8_t> out;
+  out.reserve(1 + 4 + 4 + 2 + 1 + 8 + 8 + dgram.payload.size() + kSessionTagSize);
+  Writer w{&out};
+  w.U8(static_cast<uint8_t>(MsgType::kDgram));
+  AppendDgramBody(&w, dgram);
+  const SessionTag tag =
+      SessionMac(key, kDgramLabel, std::span<const uint8_t>(out.data(), out.size()));
+  w.Bytes(std::span<const uint8_t>(tag.data(), tag.size()));
+  return out;
+}
+
+ExtractResult ExtractMessage(std::span<const uint8_t> buffer, StreamMessage* out) {
+  if (buffer.size() < kLengthPrefixBytes) return ExtractResult::kNeedMore;
+  uint32_t len;
+  std::memcpy(&len, buffer.data(), sizeof(len));
+  if (len < 1 || len > kMaxMessageBytes) return ExtractResult::kMalformed;
+  if (buffer.size() - kLengthPrefixBytes < len) return ExtractResult::kNeedMore;
+  out->type = static_cast<MsgType>(buffer[kLengthPrefixBytes]);
+  out->body = buffer.subspan(kLengthPrefixBytes + 1, len - 1);
+  out->consumed = kLengthPrefixBytes + len;
+  return ExtractResult::kMessage;
+}
+
+std::optional<Hello> DecodeHello(std::span<const uint8_t> body) {
+  Reader r{body};
+  if (r.U32() != kMagic || r.U16() != kVersion) return std::nullopt;
+  Hello h;
+  h.tenant = r.U32();
+  h.source = r.U32();
+  h.stream = r.U16();
+  h.client_nonce = r.U64();
+  if (!r.Exhausted()) return std::nullopt;
+  return h;
+}
+
+std::optional<uint64_t> DecodeChallenge(std::span<const uint8_t> body) {
+  Reader r{body};
+  const uint64_t nonce = r.U64();
+  if (!r.Exhausted()) return std::nullopt;
+  return nonce;
+}
+
+std::optional<SessionTag> DecodeTag(std::span<const uint8_t> body) {
+  if (body.size() != kSessionTagSize) return std::nullopt;
+  SessionTag tag;
+  std::memcpy(tag.data(), body.data(), tag.size());
+  return tag;
+}
+
+std::optional<Data> DecodeData(std::span<const uint8_t> body) {
+  Reader r{body};
+  Data d;
+  d.seq = r.U64();
+  d.ctr_offset = r.U64();
+  if (!r.ok) return std::nullopt;
+  d.payload = r.Rest();
+  return d;
+}
+
+std::optional<Watermark> DecodeWatermark(std::span<const uint8_t> body) {
+  Reader r{body};
+  Watermark wm;
+  wm.seq = r.U64();
+  wm.value = r.U64();
+  if (!r.Exhausted()) return std::nullopt;
+  return wm;
+}
+
+std::optional<Bye> DecodeBye(std::span<const uint8_t> body) {
+  Reader r{body};
+  const uint8_t flag = r.U8();
+  if (!r.Exhausted() || flag > 1) return std::nullopt;
+  return Bye{.final = flag == 1};
+}
+
+std::optional<Dgram> DecodeDgram(
+    std::span<const uint8_t> packet,
+    const std::function<const SessionKey*(uint32_t, uint32_t)>& key_of) {
+  Reader r{packet};
+  if (r.U8() != static_cast<uint8_t>(MsgType::kDgram)) return std::nullopt;
+  Dgram d;
+  d.tenant = r.U32();
+  d.source = r.U32();
+  d.stream = r.U16();
+  const uint8_t kind = r.U8();
+  d.seq = r.U64();
+  if (!r.ok || kind < 1 || kind > 3) return std::nullopt;
+  d.kind = static_cast<DgramKind>(kind);
+  switch (d.kind) {
+    case DgramKind::kData:
+      d.ctr_offset = r.U64();
+      d.payload = r.RestExcept(kSessionTagSize);
+      break;
+    case DgramKind::kWatermark:
+      d.watermark = r.U64();
+      if (!r.RestExcept(kSessionTagSize).empty()) return std::nullopt;
+      break;
+    case DgramKind::kDone:
+      if (!r.RestExcept(kSessionTagSize).empty()) return std::nullopt;
+      break;
+  }
+  if (!r.ok) return std::nullopt;
+
+  const SessionKey* key = key_of(d.tenant, d.source);
+  if (key == nullptr) return std::nullopt;
+  const auto claimed_span = packet.subspan(packet.size() - kSessionTagSize);
+  SessionTag claimed;
+  std::memcpy(claimed.data(), claimed_span.data(), claimed.size());
+  const SessionTag expect =
+      SessionMac(*key, kDgramLabel, packet.subspan(0, packet.size() - kSessionTagSize));
+  if (!SessionTagEqual(claimed, expect)) return std::nullopt;
+  return d;
+}
+
+std::vector<uint8_t> HandshakeTranscript(const Hello& hello, uint64_t server_nonce) {
+  std::vector<uint8_t> out;
+  out.reserve(4 + 2 + 4 + 4 + 2 + 8 + 8);
+  Writer w{&out};
+  w.U32(kMagic);
+  w.U16(kVersion);
+  w.U32(hello.tenant);
+  w.U32(hello.source);
+  w.U16(hello.stream);
+  w.U64(hello.client_nonce);
+  w.U64(server_nonce);
+  return out;
+}
+
+}  // namespace sbt::wire

@@ -1,0 +1,166 @@
+// The ingress wire protocol: length-framed binary messages carrying Frame payloads over TCP,
+// plus a self-contained datagram encoding that tolerates loss, duplication, and reordering.
+//
+// Stream layout (TCP). Every message is [u32 length][u8 type][body], length covering
+// type + body, little-endian throughout. The session handshake authenticates the device
+// against its tenant's MAC key (src/crypto/session.h):
+//
+//   device                       edge
+//     Hello{tenant,source,stream,client_nonce}  ->
+//                                <- Challenge{server_nonce}
+//     Auth{tag(client transcript)}              ->
+//                                <- Accept{tag(server transcript)}   (or Reject)
+//     Data{seq,ctr_offset,payload} / Watermark{seq,value} ...        (streaming)
+//     Bye{final}                                ->                   (churn or end-of-stream)
+//
+// `seq` numbers every post-handshake message of one source, across reconnects, so the listener
+// drops retransmitted duplicates and detects holes. `ctr_offset` is the frame's position in
+// the source's AES-CTR ingress keystream, exactly as on the in-process Frame.
+//
+// Datagram layout (UDP). One message per datagram, no length prefix (the datagram boundary is
+// the frame): [u8 type=kDgram][tenant u32][source u32][stream u16][kind u8][seq u64][kind
+// body][16B tag]. Stateless per-packet auth: the tag is a SessionMac under the (tenant, source)
+// datagram key; duplicates and reordering are resolved by `seq` at the receiver
+// (DatagramReassembler in src/server/ingress.h), loss is tolerated by the analytics contract.
+//
+// Decoding is strict: every decoder consumes from a bounds-checked cursor and rejects
+// truncated, torn, or oversized input without reading past the buffer. Encoders append to a
+// caller-owned vector so one connection's messages batch into one send.
+
+#ifndef SRC_NET_WIRE_H_
+#define SRC_NET_WIRE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/crypto/session.h"
+
+namespace sbt::wire {
+
+inline constexpr uint32_t kMagic = 0x57544253u;  // "SBTW"
+inline constexpr uint16_t kVersion = 1;
+// Upper bound on one message (type + body). Caps both the reassembly buffer a torn length
+// prefix can demand and the largest coalesced frame a device may ship.
+inline constexpr uint32_t kMaxMessageBytes = 16u << 20;
+inline constexpr size_t kLengthPrefixBytes = 4;
+
+enum class MsgType : uint8_t {
+  kHello = 1,
+  kChallenge = 2,
+  kAuth = 3,
+  kAccept = 4,
+  kReject = 5,
+  kData = 6,
+  kWatermark = 7,
+  kBye = 8,
+  kDgram = 9,
+};
+
+// What a datagram carries (the TCP stream encodes these as distinct message types).
+enum class DgramKind : uint8_t {
+  kData = 1,
+  kWatermark = 2,
+  kDone = 3,  // end-of-stream marker (the datagram analog of Bye{final=1})
+};
+
+struct Hello {
+  uint32_t tenant = 0;
+  uint32_t source = 0;
+  uint16_t stream = 0;
+  uint64_t client_nonce = 0;
+};
+
+struct Data {
+  uint64_t seq = 0;
+  uint64_t ctr_offset = 0;
+  std::span<const uint8_t> payload;  // view into the receive buffer; copy out to keep
+};
+
+struct Watermark {
+  uint64_t seq = 0;
+  uint64_t value = 0;
+};
+
+struct Bye {
+  bool final = false;  // true: stream complete; false: churn disconnect, the source will return
+};
+
+struct Dgram {
+  uint32_t tenant = 0;
+  uint32_t source = 0;
+  uint16_t stream = 0;
+  DgramKind kind = DgramKind::kData;
+  uint64_t seq = 0;
+  uint64_t ctr_offset = 0;               // kData only
+  uint64_t watermark = 0;                // kWatermark only
+  std::span<const uint8_t> payload;      // kData only; view into the receive buffer
+};
+
+// --- encoders: append one length-framed message to `out` --------------------------------
+
+void AppendHello(std::vector<uint8_t>* out, const Hello& hello);
+void AppendChallenge(std::vector<uint8_t>* out, uint64_t server_nonce);
+void AppendAuth(std::vector<uint8_t>* out, const SessionTag& tag);
+void AppendAccept(std::vector<uint8_t>* out, const SessionTag& tag);
+void AppendReject(std::vector<uint8_t>* out);
+void AppendData(std::vector<uint8_t>* out, uint64_t seq, uint64_t ctr_offset,
+                std::span<const uint8_t> payload);
+void AppendWatermark(std::vector<uint8_t>* out, uint64_t seq, uint64_t value);
+void AppendBye(std::vector<uint8_t>* out, bool final);
+
+// Encodes one authenticated datagram (no length prefix; one per UDP packet).
+std::vector<uint8_t> EncodeDgram(const SessionKey& key, const Dgram& dgram);
+
+// --- decoders ---------------------------------------------------------------------------
+
+// One complete message peeled off the front of a TCP reassembly buffer.
+struct StreamMessage {
+  MsgType type = MsgType::kHello;
+  std::span<const uint8_t> body;  // view into `buffer`
+  size_t consumed = 0;            // bytes to erase from the front of the buffer
+};
+
+enum class ExtractResult : uint8_t {
+  kMessage = 0,     // *out is a complete message
+  kNeedMore = 1,    // prefix is consistent but incomplete; read more bytes
+  kMalformed = 2,   // length prefix violates the protocol; drop the connection
+};
+
+// Extracts the next message from `buffer` without consuming it (the caller erases
+// `out->consumed` bytes after processing, keeping `body` valid meanwhile). Never reads past
+// `buffer`; a length prefix of zero or above kMaxMessageBytes is kMalformed.
+ExtractResult ExtractMessage(std::span<const uint8_t> buffer, StreamMessage* out);
+
+// Per-type body decoders: nullopt on any size/content mismatch (strict: the body must be
+// exactly the encoded layout, no trailing bytes).
+std::optional<Hello> DecodeHello(std::span<const uint8_t> body);
+std::optional<uint64_t> DecodeChallenge(std::span<const uint8_t> body);
+std::optional<SessionTag> DecodeTag(std::span<const uint8_t> body);  // kAuth / kAccept
+std::optional<Data> DecodeData(std::span<const uint8_t> body);
+std::optional<Watermark> DecodeWatermark(std::span<const uint8_t> body);
+std::optional<Bye> DecodeBye(std::span<const uint8_t> body);
+
+// Verifies the tag and decodes one datagram. `key_of` resolves the datagram key for a
+// (tenant, source) claim; packets claiming unknown sources fail before any MAC work.
+// nullopt on truncation, bad kind, or tag mismatch.
+std::optional<Dgram> DecodeDgram(
+    std::span<const uint8_t> packet,
+    const std::function<const SessionKey*(uint32_t, uint32_t)>& key_of);
+
+// --- handshake transcript ---------------------------------------------------------------
+
+// The byte string both handshake tags commit to: magic || version || hello fields ||
+// server_nonce. Client tag label "auth", server tag label "accept" (SessionMac).
+std::vector<uint8_t> HandshakeTranscript(const Hello& hello, uint64_t server_nonce);
+
+inline constexpr std::string_view kAuthLabel = "auth";
+inline constexpr std::string_view kAcceptLabel = "accept";
+inline constexpr std::string_view kDgramLabel = "dgram";
+
+}  // namespace sbt::wire
+
+#endif  // SRC_NET_WIRE_H_

@@ -22,6 +22,7 @@
 #include "src/common/logging.h"
 #include "src/common/status.h"
 #include "src/common/time.h"
+#include "src/obs/metrics.h"
 #include "src/primitives/kv.h"
 #include "src/primitives/registry.h"
 #include "src/primitives/vec_sort.h"
@@ -59,12 +60,17 @@ struct PrimitiveContext {
         return alloc->CreateWithId(id, elem_size, scope, hint, generation);
       }
       // An exhausted reservation means the caller under-counted this chain's outputs (a
-      // primitive produced more audit-visible arrays than its command reserved). Falling back
-      // to the shared counter keeps the engine correct but makes ids schedule-dependent —
-      // the worker-count byte-equivalence invariant (DESIGN.md §7) silently degrades, so
-      // shout: this is a reservation-sizing bug to fix, not a condition to tolerate.
-      SBT_LOG(Error) << "audit-id reservation exhausted mid-chain; falling back to the "
-                        "shared counter (audit ids now schedule-dependent)";
+      // primitive produced more audit-visible arrays than its command reserved). Taking an id
+      // from the shared counter instead would keep the engine running but make audit ids
+      // schedule-dependent, silently breaking the worker-count byte-equivalence invariant
+      // (DESIGN.md §7). Fail the chain instead: the caller retires the ticket cleanly, no
+      // output escapes, and every already-planned reservation keeps its deterministic ids.
+      static obs::Counter* exhausted = obs::MetricsRegistry::Global().GetCounter(
+          "sbt_audit_reservation_exhausted_total");
+      exhausted->Add(1);
+      return Internal(
+          "audit-id reservation exhausted mid-chain (command reserved fewer audit-visible "
+          "outputs than the primitive produced)");
     }
     return alloc->Create(elem_size, scope, hint, generation);
   }

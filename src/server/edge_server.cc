@@ -42,10 +42,11 @@ obs::MetricLabels EngineMetricLabels(const std::string& tenant_name, uint32_t sh
   return {{"tenant", tenant_name}, {"shard", std::to_string(shard)}};
 }
 
-// Safety-net timeout for an idle frontend parked on the arrival signal: bounds the retry
-// latency of an admission-stalled frame (shard-queue space freeing pings nothing) at the old
-// poll cadence. Real arrivals and pause requests wake the wait immediately.
-constexpr auto kFrontendIdleWait = std::chrono::microseconds(100);
+// Safety-net timeout for an idle frontend parked on the arrival signal. Every real wake
+// source pings the CV — arrivals, closes, pause requests, and shard-queue space freeing under
+// an admission stall (the queue space listeners) — so this only bounds the damage of a lost
+// wakeup. Long on purpose: the previous 100us value made stalled frontends spin a core.
+constexpr auto kFrontendIdleWait = std::chrono::milliseconds(5);
 
 // Leading marker of the server-side annex sealed inside an engine checkpoint ("SBTS").
 constexpr uint32_t kServerAnnexMagic = 0x53544253u;
@@ -135,6 +136,14 @@ EdgeServer::EdgeServer(EdgeServerConfig config, TenantRegistry registry)
 void EdgeServer::AttachQueueGauge(Shard& shard) {
   shard.queue->SetDepthGauge(obs::MetricsRegistry::Global().GetGauge(
       "sbt_shard_queue_depth", {{"shard", std::to_string(shard.index)}}));
+  // Queue space freeing is the wake signal an admission-stalled frontend is waiting for; ping
+  // only while some source actually holds a stalled frame so the steady-state dispatch path
+  // pays one relaxed load, not a CV broadcast per frame.
+  shard.queue->SetSpaceListener([this] {
+    if (stalled_sources_.load(std::memory_order_relaxed) > 0) {
+      PingIngest();
+    }
+  });
 }
 
 EdgeServer::~EdgeServer() {
@@ -185,6 +194,7 @@ Result<EdgeServer::Engine*> EdgeServer::CreateEngine(Shard& shard, const TenantS
   dp_cfg.egress_nonce = spec.egress_nonce;
   dp_cfg.mac_key = spec.mac_key;
   dp_cfg.backpressure_threshold = spec.backpressure_threshold;
+  dp_cfg.logical_audit_timestamps = config_.logical_audit_timestamps;
 
   // Worker carve: the tenant's requested parallelism (or the server default), clamped so the
   // host-wide worker budget is never oversubscribed — but never below one worker, since a
@@ -421,6 +431,7 @@ void EdgeServer::FrontendLoop(size_t frontend_index, size_t num_frontends) {
           continue;  // stalled: skip only this source, siblings keep flowing
         }
         src->pending.reset();
+        stalled_sources_.fetch_sub(1, std::memory_order_relaxed);
         progressed = true;
       }
       for (int burst = 0; burst < kFrontendBurst && !src->pending.has_value(); ++burst) {
@@ -437,6 +448,7 @@ void EdgeServer::FrontendLoop(size_t frontend_index, size_t num_frontends) {
         rf.frame.stream = src->pipeline_stream;
         if (!TryDeliver(*src, rf)) {
           src->pending.emplace(std::move(rf));
+          stalled_sources_.fetch_add(1, std::memory_order_relaxed);
         }
       }
     }
@@ -492,7 +504,8 @@ void EdgeServer::Dispatch(Shard* shard, RoutedFrame rf) {
     Admission().shed_frames->Add(1);
     return;
   }
-  const Status s = e.runner->IngestFrame(rf.frame.bytes, rf.frame.stream, rf.frame.ctr_offset);
+  const Status s = e.runner->IngestFrame(rf.frame.bytes, rf.frame.stream, rf.frame.ctr_offset,
+                                         rf.frame.segments);
   if (!s.ok()) {
     ++e.dispatch_errors;
     SBT_LOG(Error) << "shard " << shard->index << " tenant " << rf.tenant

@@ -110,6 +110,11 @@ struct EdgeServerConfig {
   // are ready concurrently across tenants combine too (one session per engine per drained
   // batch — tenants never share a gate, audit log, or keys). Requires combine_submissions.
   bool cross_engine_combining = false;
+  // Audit records carry a logical per-engine counter instead of wall-clock timestamps, making
+  // two runs over the same per-source streams byte-identical (DataPlaneConfig has the same
+  // knob; this plumbs it to every engine). The network-vs-in-process equivalence tests
+  // depend on it.
+  bool logical_audit_timestamps = false;
 };
 
 // One engine's session outcome. Counters are cumulative across checkpoint/restore cycles
@@ -378,13 +383,17 @@ class EdgeServer {
   uint64_t pause_epoch_ = 0;     // guarded by pause_mu_; bumped by each resume
 
   // Frontend idle parking. An idle frontend samples the generation before its scan pass and
-  // waits for it to change instead of sleeping a fixed interval: source-channel pushes/closes
-  // and pause requests wake it immediately, and an arrival during the pass (generation already
-  // advanced) skips the wait entirely. The wait keeps a timeout as the safety net for the one
-  // waker nothing pings — shard-queue space freeing under an admission stall.
+  // waits for it to change instead of sleeping a fixed interval: source-channel pushes/closes,
+  // pause requests, AND shard-queue space freeing under an admission stall (the queues'
+  // space listeners ping, gated on stalled_sources_ so unstalled steady state pays one relaxed
+  // load per dispatch) all wake it immediately. The wait keeps a long timeout purely as a
+  // safety net against lost wakeups.
   std::mutex ingest_mu_;
   std::condition_variable ingest_cv_;
   uint64_t ingest_generation_ = 0;  // guarded by ingest_mu_
+  // Sources currently holding an admission-stalled frame (frontend threads inc/dec around
+  // Source::pending). Nonzero makes shard-queue pops ping the ingest CV.
+  std::atomic<uint64_t> stalled_sources_{0};
 };
 
 }  // namespace sbt

@@ -3,13 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <set>
+#include <span>
 #include <thread>
 
 #include "src/crypto/aes128.h"
+#include "src/crypto/session.h"
 #include "src/net/channel.h"
 #include "src/net/generator.h"
+#include "src/net/wire.h"
 #include "src/net/workloads.h"
 
 namespace sbt {
@@ -225,6 +229,190 @@ TEST(GeneratorTest, RunIntoClosesChannel) {
   }
   EXPECT_EQ(frames, 3);
   EXPECT_EQ(watermarks, 1);
+}
+
+// --- wire protocol codec (src/net/wire.h) -----------------------------------------------
+
+AesKey TestMacKey(uint8_t fill) {
+  AesKey key{};
+  key.fill(fill);
+  return key;
+}
+
+// Every message type survives encode -> ExtractMessage -> decode with all fields intact, and
+// messages concatenated into one buffer peel off in order.
+TEST(WireTest, AllMessageTypesRoundTrip) {
+  const std::vector<uint8_t> payload = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x02};
+  SessionTag tag{};
+  for (size_t i = 0; i < tag.size(); ++i) {
+    tag[i] = static_cast<uint8_t>(0xa0 + i);
+  }
+
+  std::vector<uint8_t> buf;
+  wire::AppendHello(&buf, {.tenant = 7, .source = 123456, .stream = 3,
+                           .client_nonce = 0x1122334455667788ull});
+  wire::AppendChallenge(&buf, 0x99aabbccddeeff00ull);
+  wire::AppendAuth(&buf, tag);
+  wire::AppendAccept(&buf, tag);
+  wire::AppendReject(&buf);
+  wire::AppendData(&buf, /*seq=*/42, /*ctr_offset=*/4096, payload);
+  wire::AppendWatermark(&buf, /*seq=*/43, /*value=*/120000);
+  wire::AppendBye(&buf, /*final=*/true);
+
+  std::span<const uint8_t> rest(buf);
+  auto next = [&rest]() {
+    wire::StreamMessage msg;
+    EXPECT_EQ(wire::ExtractMessage(rest, &msg), wire::ExtractResult::kMessage);
+    rest = rest.subspan(msg.consumed);
+    return msg;
+  };
+
+  wire::StreamMessage msg = next();
+  ASSERT_EQ(msg.type, wire::MsgType::kHello);
+  const auto hello = wire::DecodeHello(msg.body);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->tenant, 7u);
+  EXPECT_EQ(hello->source, 123456u);
+  EXPECT_EQ(hello->stream, 3u);
+  EXPECT_EQ(hello->client_nonce, 0x1122334455667788ull);
+
+  msg = next();
+  ASSERT_EQ(msg.type, wire::MsgType::kChallenge);
+  EXPECT_EQ(wire::DecodeChallenge(msg.body), 0x99aabbccddeeff00ull);
+
+  msg = next();
+  ASSERT_EQ(msg.type, wire::MsgType::kAuth);
+  EXPECT_EQ(wire::DecodeTag(msg.body), tag);
+  msg = next();
+  ASSERT_EQ(msg.type, wire::MsgType::kAccept);
+  EXPECT_EQ(wire::DecodeTag(msg.body), tag);
+  msg = next();
+  EXPECT_EQ(msg.type, wire::MsgType::kReject);
+
+  msg = next();
+  ASSERT_EQ(msg.type, wire::MsgType::kData);
+  const auto data = wire::DecodeData(msg.body);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->seq, 42u);
+  EXPECT_EQ(data->ctr_offset, 4096u);
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), data->payload.begin(),
+                         data->payload.end()));
+
+  msg = next();
+  ASSERT_EQ(msg.type, wire::MsgType::kWatermark);
+  const auto wm = wire::DecodeWatermark(msg.body);
+  ASSERT_TRUE(wm.has_value());
+  EXPECT_EQ(wm->seq, 43u);
+  EXPECT_EQ(wm->value, 120000u);
+
+  msg = next();
+  ASSERT_EQ(msg.type, wire::MsgType::kBye);
+  const auto bye = wire::DecodeBye(msg.body);
+  ASSERT_TRUE(bye.has_value());
+  EXPECT_TRUE(bye->final);
+
+  EXPECT_TRUE(rest.empty());
+}
+
+// Torn streams: every strict prefix of a valid message is kNeedMore (never a message, never
+// an over-read), and a bogus length prefix is kMalformed immediately.
+TEST(WireTest, TruncatedAndTornInputRejectedWithoutOverRead) {
+  std::vector<uint8_t> buf;
+  wire::AppendData(&buf, 5, 77, std::vector<uint8_t>{1, 2, 3, 4, 5, 6, 7, 8});
+
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    wire::StreamMessage msg;
+    EXPECT_EQ(wire::ExtractMessage(std::span(buf.data(), cut), &msg),
+              wire::ExtractResult::kNeedMore)
+        << "prefix of " << cut << " bytes";
+  }
+  wire::StreamMessage msg;
+  ASSERT_EQ(wire::ExtractMessage(buf, &msg), wire::ExtractResult::kMessage);
+  EXPECT_EQ(msg.consumed, buf.size());
+
+  // Zero-length message: malformed (a message always carries at least the type byte).
+  const std::vector<uint8_t> zero_len = {0, 0, 0, 0};
+  EXPECT_EQ(wire::ExtractMessage(zero_len, &msg), wire::ExtractResult::kMalformed);
+  // Length above the cap: malformed before any reassembly buffer is sized to it.
+  std::vector<uint8_t> huge = {0, 0, 0, 0, 1};
+  const uint32_t too_big = wire::kMaxMessageBytes + 1;
+  std::memcpy(huge.data(), &too_big, sizeof(too_big));
+  EXPECT_EQ(wire::ExtractMessage(huge, &msg), wire::ExtractResult::kMalformed);
+
+  // Strict body decoders: truncated and padded bodies both fail.
+  std::vector<uint8_t> good;
+  wire::AppendWatermark(&good, 1, 2);
+  std::span<const uint8_t> body(good.data() + wire::kLengthPrefixBytes + 1,
+                                good.size() - wire::kLengthPrefixBytes - 1);
+  EXPECT_TRUE(wire::DecodeWatermark(body).has_value());
+  EXPECT_FALSE(wire::DecodeWatermark(body.subspan(0, body.size() - 1)).has_value());
+  std::vector<uint8_t> padded(body.begin(), body.end());
+  padded.push_back(0);
+  EXPECT_FALSE(wire::DecodeWatermark(padded).has_value());
+  EXPECT_FALSE(wire::DecodeHello(body).has_value());  // wrong layout entirely
+}
+
+// Datagram auth: round-trips under the right key; any flipped bit, a foreign tenant's key, or
+// an unknown (tenant, source) claim rejects the packet.
+TEST(WireTest, DgramAuthenticatesAndRejectsTampering) {
+  const SessionKey key = DeriveSessionKey(TestMacKey(0x11), 1, 9, 0, 0);
+  const SessionKey wrong = DeriveSessionKey(TestMacKey(0x22), 1, 9, 0, 0);
+  const std::vector<uint8_t> payload = {9, 8, 7, 6};
+  wire::Dgram d;
+  d.tenant = 1;
+  d.source = 9;
+  d.stream = 0;
+  d.kind = wire::DgramKind::kData;
+  d.seq = 17;
+  d.ctr_offset = 256;
+  d.payload = payload;
+  const std::vector<uint8_t> packet = wire::EncodeDgram(key, d);
+
+  const auto key_of = [&key](uint32_t tenant, uint32_t source) -> const SessionKey* {
+    return (tenant == 1 && source == 9) ? &key : nullptr;
+  };
+  const auto decoded = wire::DecodeDgram(packet, key_of);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seq, 17u);
+  EXPECT_EQ(decoded->ctr_offset, 256u);
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), decoded->payload.begin(),
+                         decoded->payload.end()));
+
+  for (size_t i = 0; i < packet.size(); ++i) {
+    std::vector<uint8_t> tampered = packet;
+    tampered[i] ^= 0x40;
+    EXPECT_FALSE(wire::DecodeDgram(tampered, key_of).has_value()) << "flipped byte " << i;
+  }
+  const auto wrong_key_of = [&wrong](uint32_t, uint32_t) { return &wrong; };
+  EXPECT_FALSE(wire::DecodeDgram(packet, wrong_key_of).has_value());
+  const auto unknown_of = [](uint32_t, uint32_t) -> const SessionKey* { return nullptr; };
+  EXPECT_FALSE(wire::DecodeDgram(packet, unknown_of).has_value());
+  EXPECT_FALSE(wire::DecodeDgram(std::span(packet.data(), packet.size() - 1), key_of)
+                   .has_value());  // truncated tag
+}
+
+// The handshake's cryptographic core: only the holder of the same tenant MAC key produces the
+// transcript tags the peer expects, so a device keyed for another tenant cannot authenticate.
+TEST(WireTest, HandshakeTagsBindToTenantKey) {
+  const wire::Hello hello{.tenant = 2, .source = 5, .stream = 0, .client_nonce = 111};
+  const uint64_t server_nonce = 222;
+  const auto transcript = wire::HandshakeTranscript(hello, server_nonce);
+
+  const SessionKey right =
+      DeriveSessionKey(TestMacKey(0x33), hello.tenant, hello.source, 111, 222);
+  const SessionKey wrong_tenant_key =
+      DeriveSessionKey(TestMacKey(0x44), hello.tenant, hello.source, 111, 222);
+  EXPECT_TRUE(SessionTagEqual(SessionMac(right, wire::kAuthLabel, transcript),
+                              SessionMac(right, wire::kAuthLabel, transcript)));
+  EXPECT_FALSE(SessionTagEqual(SessionMac(right, wire::kAuthLabel, transcript),
+                               SessionMac(wrong_tenant_key, wire::kAuthLabel, transcript)));
+  // Labels separate the two directions: a reflected client tag never passes as the server's.
+  EXPECT_FALSE(SessionTagEqual(SessionMac(right, wire::kAuthLabel, transcript),
+                               SessionMac(right, wire::kAcceptLabel, transcript)));
+  // And the transcript binds the nonces: a replayed tag fails under a fresh server nonce.
+  const auto transcript2 = wire::HandshakeTranscript(hello, server_nonce + 1);
+  EXPECT_FALSE(SessionTagEqual(SessionMac(right, wire::kAuthLabel, transcript),
+                               SessionMac(right, wire::kAuthLabel, transcript2)));
 }
 
 }  // namespace

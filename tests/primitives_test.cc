@@ -647,5 +647,34 @@ TEST_F(PrimitivesTest, DeterministicOutputs) {
   EXPECT_EQ(0, memcmp((*a1)->data(), (*a2)->data(), (*a1)->size_bytes()));
 }
 
+// Regression: an undersized audit-id reservation must fail the chain, not silently fall back
+// to the shared counter. The old fallback kept the run alive but made audit ids depend on the
+// execution schedule, breaking the worker-count byte-equivalence invariant (DESIGN.md §7).
+TEST_F(PrimitivesTest, ExhaustedIdReservationFailsInsteadOfFallingBack) {
+  obs::Counter* exhausted =
+      obs::MetricsRegistry::Global().GetCounter("sbt_audit_reservation_exhausted_total");
+  const uint64_t exhausted_before = exhausted->Value();
+
+  // One reserved id for a chain that produces two audit-visible outputs.
+  IdReservation ids{.next = 1000, .end = 1001};
+  ctx_.ids = &ids;
+  UArray* events = MakeEvents({{.ts_ms = 0, .key = 1, .value = 5},
+                               {.ts_ms = 1, .key = 2, .value = 6}});
+
+  auto first = PrimFilterBand(ctx_, *events, INT32_MIN, INT32_MAX);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ((*first)->id(), 1000u);  // the reserved id, independent of the shared counter
+
+  auto second = PrimFilterBand(ctx_, *events, INT32_MIN, INT32_MAX);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(exhausted->Value(), exhausted_before + 1);
+
+  // Temporaries never touch the reservation, so scratch allocations still succeed after the
+  // failure (the chain's cleanup path can run).
+  EXPECT_TRUE(ctx_.NewTemp(sizeof(Event)).ok());
+  ctx_.ids = nullptr;
+}
+
 }  // namespace
 }  // namespace sbt

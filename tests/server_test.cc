@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -774,6 +775,53 @@ TEST(RunnerDrainTest, ConcurrentDrainNeverMissesWindowCloses) {
   EXPECT_EQ(runner.stats().windows_emitted, kWindows);
   EXPECT_EQ(runner.stats().task_errors, 0u);
   EXPECT_EQ(runner.TakeResults().size(), kWindows);
+}
+
+// Admission stalls must park on the ingest CV (woken by the shard queues' space listeners),
+// not spin: with the shard queue reporting full 20 times, a stalled kStall source retries at
+// the 5ms safety-net cadence, so the stall takes tens of milliseconds of *sleeping* — the old
+// 100us poll burned a core to finish the same 20 rounds in ~2ms. No frame is lost either way.
+TEST(EdgeServerTest, AdmissionStallParksInsteadOfSpinning) {
+  TenantRegistry registry;
+  ASSERT_TRUE(registry.Add(MakeTenantSpec(1, "stall", MakeWinSum(1000), 4u << 20)).ok());
+  const TenantSpec spec = *registry.Find(1);
+
+  EdgeServerConfig cfg;
+  cfg.num_shards = 1;
+  cfg.host_secure_budget_bytes = 32u << 20;
+  cfg.frontend_threads = 1;  // one frontend, one source: TryPush hit counts are exact
+  EdgeServer server(cfg, std::move(registry));
+
+  auto src = MakeSource(1, 0, SourceGenConfig(spec, WorkloadKind::kIntelLab, 3000, 1));
+  ASSERT_TRUE(server.BindSource(1, 0, src->channel.get()).ok());
+
+  obs::Counter* stall_retries =
+      obs::MetricsRegistry::Global().GetCounter("sbt_admission_stall_retries_total");
+  const uint64_t retries_before = stall_retries->Value();
+
+  // The first 20 shard-queue pushes report full. Hit 1 is the fresh delivery (held as
+  // `pending`, not counted as a retry); hits 2..20 are 19 failed retries, each preceded by a
+  // parked kFrontendIdleWait; hit 21 succeeds and the stream flows.
+  testing::ScopedFailPoint full("channel.try_push", testing::ScopedFailPoint::Counted(0, 20));
+
+  ASSERT_TRUE(server.Start().ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  src->generator->RunInto(src->channel.get());
+  const ServerReport report = server.Shutdown();
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() - t0);
+
+  EXPECT_EQ(stall_retries->Value() - retries_before, 19u);
+  ASSERT_EQ(report.sources.size(), 1u);
+  EXPECT_EQ(report.sources[0].admission_retries, 19u);
+  EXPECT_EQ(report.sources[0].frames_shed, 0u);       // kStall holds, never drops
+  EXPECT_GT(report.sources[0].frames_delivered, 0u);  // the held frame went through
+  // 19 retries at the 5ms parked cadence is >= ~95ms of sleeping; 40ms is the conservative
+  // floor that still rules out the old 100us spin (which finished in ~2ms).
+  EXPECT_GE(elapsed.count(), 40);
+  ASSERT_EQ(report.engines.size(), 1u);
+  EXPECT_EQ(report.engines[0].runner().task_errors, 0u);
+  EXPECT_TRUE(report.engines[0].verified && report.engines[0].verify.correct);
 }
 
 }  // namespace

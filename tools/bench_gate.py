@@ -69,6 +69,17 @@ BENCHES = {
         ],
         "require": {"verified": True, "errors": 0},
     },
+    "ingress": {
+        "keys": ["sources"],
+        "metrics": [
+            # Loopback throughput and watermark delay are runner-class-absolute; they warn
+            # until baselines are refreshed. Exact delivery + verification gate unconditionally
+            # through the require clause.
+            Metric("events_per_sec"),
+            Metric("p99_watermark_delay_ms", lower_is_worse=False),
+        ],
+        "require": {"verified": True, "errors": 0},
+    },
 }
 
 

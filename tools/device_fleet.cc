@@ -1,0 +1,228 @@
+// device_fleet: command-line load generator for the network ingress path.
+//
+// Self-hosting: spins up an EdgeServer + IngressFrontend in-process, provisions N devices for
+// one tenant, then drives the fleet against it over loopback (framed TCP by default, datagram
+// mode with --udp). At exit the audit chain is verified and exact delivery is checked — every
+// event the fleet sent must have been ingested exactly once, through whatever churn,
+// duplication, and reordering the flags injected.
+//
+// Examples:
+//   device_fleet --devices 10000 --frames-per-connection 3 --dup-on-reconnect 2
+//   device_fleet --devices 500 --udp --dup-every 3 --swap-every 5
+//   device_fleet --devices 100000 --events-per-window 8 --max-open-per-thread 64
+//
+// Exit status: 0 iff zero event loss and every engine's audit chain verified.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/control/benchmarks.h"
+#include "src/net/fleet.h"
+#include "src/server/edge_server.h"
+#include "src/server/ingress.h"
+
+namespace {
+
+struct Options {
+  size_t devices = 1000;
+  uint32_t events_per_window = 100;
+  uint32_t windows = 3;
+  uint32_t batch_events = 100;
+  uint32_t shards = 4;
+  int threads = 4;
+  bool udp = false;
+  uint32_t frames_per_connection = 0;
+  uint32_t dup_on_reconnect = 0;
+  uint32_t dup_every = 0;
+  uint32_t swap_every = 0;
+  size_t max_open_per_thread = 4000;
+  size_t coalesce_events = 4096;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --devices N                fleet size (default 1000)\n"
+               "  --events-per-window N      events each device emits per window (default 100)\n"
+               "  --windows N                windows per device stream (default 3)\n"
+               "  --batch-events N           events per data frame (default 100)\n"
+               "  --shards N                 server/ingress shard count (default 4)\n"
+               "  --threads N                sender threads (default 4)\n"
+               "  --udp                      datagram mode instead of TCP sessions\n"
+               "  --frames-per-connection N  TCP: churn the connection every N messages\n"
+               "  --dup-on-reconnect N       TCP: retransmit last message on every Nth reconnect\n"
+               "  --dup-every N              UDP: send every Nth datagram twice\n"
+               "  --swap-every N             UDP: swap every Nth adjacent datagram pair\n"
+               "  --max-open-per-thread N    fd budget; above it devices reconnect per rung\n"
+               "  --coalesce-events N        ingress batch target (default 4096)\n",
+               argv0);
+}
+
+bool ParseArgs(int argc, char** argv, Options* opt) {
+  auto next_u64 = [&](int* i, uint64_t* out) {
+    if (*i + 1 >= argc) return false;
+    *out = std::strtoull(argv[++*i], nullptr, 10);
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    uint64_t v = 0;
+    if (arg == "--udp") {
+      opt->udp = true;
+    } else if (arg == "--devices" && next_u64(&i, &v)) {
+      opt->devices = v;
+    } else if (arg == "--events-per-window" && next_u64(&i, &v)) {
+      opt->events_per_window = static_cast<uint32_t>(v);
+    } else if (arg == "--windows" && next_u64(&i, &v)) {
+      opt->windows = static_cast<uint32_t>(v);
+    } else if (arg == "--batch-events" && next_u64(&i, &v)) {
+      opt->batch_events = static_cast<uint32_t>(v);
+    } else if (arg == "--shards" && next_u64(&i, &v)) {
+      opt->shards = static_cast<uint32_t>(v);
+    } else if (arg == "--threads" && next_u64(&i, &v)) {
+      opt->threads = static_cast<int>(v);
+    } else if (arg == "--frames-per-connection" && next_u64(&i, &v)) {
+      opt->frames_per_connection = static_cast<uint32_t>(v);
+    } else if (arg == "--dup-on-reconnect" && next_u64(&i, &v)) {
+      opt->dup_on_reconnect = static_cast<uint32_t>(v);
+    } else if (arg == "--dup-every" && next_u64(&i, &v)) {
+      opt->dup_every = static_cast<uint32_t>(v);
+    } else if (arg == "--swap-every" && next_u64(&i, &v)) {
+      opt->swap_every = static_cast<uint32_t>(v);
+    } else if (arg == "--max-open-per-thread" && next_u64(&i, &v)) {
+      opt->max_open_per_thread = v;
+    } else if (arg == "--coalesce-events" && next_u64(&i, &v)) {
+      opt->coalesce_events = v;
+    } else {
+      Usage(argv[0]);
+      return false;
+    }
+  }
+  return opt->devices > 0 && opt->windows > 0 && opt->events_per_window > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sbt;
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) {
+    return 2;
+  }
+
+  TenantRegistry registry;
+  TenantRegistry server_registry;
+  if (!registry.Add(MakeTenantSpec(1, "fleet", MakeWinSum(1000), 64u << 20)).ok() ||
+      !server_registry.Add(MakeTenantSpec(1, "fleet", MakeWinSum(1000), 64u << 20)).ok()) {
+    return 2;
+  }
+  const TenantSpec spec = *registry.Find(1);
+
+  EdgeServerConfig cfg;
+  cfg.num_shards = opt.shards;
+  cfg.host_secure_budget_bytes = 256u << 20;
+  EdgeServer server(cfg, std::move(server_registry));
+
+  IngressConfig in_cfg;
+  in_cfg.num_shards = opt.shards;
+  in_cfg.coalesce_events = opt.coalesce_events;
+  in_cfg.enable_udp = opt.udp;
+  IngressFrontend frontend(in_cfg, &registry);
+  for (size_t dev = 0; dev < opt.devices; ++dev) {
+    if (!frontend.Provision(1, static_cast<uint32_t>(dev)).ok()) {
+      return 2;
+    }
+  }
+  if (!frontend.BindTo(&server).ok() || !server.Start().ok() || !frontend.Start().ok()) {
+    std::fprintf(stderr, "failed to start server/frontend\n");
+    return 2;
+  }
+  std::printf("%s ingress on 127.0.0.1:%u, %zu devices, %u windows x %u events\n",
+              opt.udp ? "UDP" : "TCP", opt.udp ? frontend.udp_port() : frontend.tcp_port(),
+              opt.devices, opt.windows, opt.events_per_window);
+
+  FleetConfig fleet_cfg;
+  fleet_cfg.tcp_port = frontend.tcp_port();
+  fleet_cfg.use_udp = opt.udp;
+  fleet_cfg.udp_port = frontend.udp_port();
+  fleet_cfg.threads = opt.threads;
+  fleet_cfg.frames_per_connection = opt.frames_per_connection;
+  fleet_cfg.dup_on_reconnect = opt.dup_on_reconnect;
+  fleet_cfg.dup_every = opt.dup_every;
+  fleet_cfg.swap_every = opt.swap_every;
+  fleet_cfg.max_open_per_thread = opt.max_open_per_thread;
+  std::vector<DeviceConfig> devices;
+  devices.reserve(opt.devices);
+  for (size_t dev = 0; dev < opt.devices; ++dev) {
+    DeviceConfig dc;
+    dc.tenant = 1;
+    dc.source = static_cast<uint32_t>(dev);
+    dc.mac_key = spec.mac_key;
+    dc.gen.workload.kind = WorkloadKind::kIntelLab;
+    dc.gen.workload.events_per_window = opt.events_per_window;
+    dc.gen.workload.seed = 31 * dev + 17;
+    dc.gen.batch_events = opt.batch_events;
+    dc.gen.num_windows = opt.windows;
+    dc.gen.encrypt = true;
+    dc.gen.key = spec.ingress_key;
+    dc.gen.nonce = spec.ingress_nonce;
+    devices.push_back(std::move(dc));
+  }
+  DeviceFleet fleet(fleet_cfg, std::move(devices));
+
+  const ProcTimeUs t0 = NowUs();
+  auto fleet_report = fleet.Run();
+  if (!fleet_report.ok()) {
+    std::fprintf(stderr, "fleet failed: %s\n", fleet_report.status().message().c_str());
+    return 2;
+  }
+  if (!frontend.WaitAllDone(std::chrono::milliseconds(600000))) {
+    std::fprintf(stderr, "timed out waiting for ingress drain\n");
+    return 2;
+  }
+  const double seconds = static_cast<double>(NowUs() - t0) / 1e6;
+  frontend.Stop();
+  const ServerReport report = server.Shutdown();
+  const auto stats = frontend.stats();
+
+  std::printf("fleet:   %llu events, %llu frames, %llu connects, %llu handshake failures, "
+              "%llu dups + %llu swaps injected, %.2fs (%.0f events/s)\n",
+              static_cast<unsigned long long>(fleet_report->events_sent),
+              static_cast<unsigned long long>(fleet_report->frames_sent),
+              static_cast<unsigned long long>(fleet_report->connects),
+              static_cast<unsigned long long>(fleet_report->handshake_failures),
+              static_cast<unsigned long long>(fleet_report->dup_injected),
+              static_cast<unsigned long long>(fleet_report->swaps_injected), seconds,
+              seconds > 0 ? static_cast<double>(fleet_report->events_sent) / seconds : 0.0);
+  std::printf("ingress: %llu events in %llu batches; %llu dups dropped, %llu reordered, "
+              "%llu gap-skipped\n",
+              static_cast<unsigned long long>(stats.events),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.dup_frames),
+              static_cast<unsigned long long>(stats.reordered_dgrams),
+              static_cast<unsigned long long>(stats.skipped_dgrams));
+
+  bool all_ok = true;
+  uint64_t ingested = 0;
+  for (const TenantShardReport& e : report.engines) {
+    std::printf("shard %u: %llu events, %llu windows -> %s\n", e.shard,
+                static_cast<unsigned long long>(e.runner().events_ingested),
+                static_cast<unsigned long long>(e.runner().windows_emitted),
+                e.verify.correct ? "VERIFIED" : "VERIFICATION FAILED");
+    all_ok = all_ok && e.verify.correct && e.runner().task_errors == 0;
+    ingested += e.runner().events_ingested;
+  }
+  if (ingested != fleet_report->events_sent) {
+    std::printf("EVENT LOSS: sent %llu, ingested %llu\n",
+                static_cast<unsigned long long>(fleet_report->events_sent),
+                static_cast<unsigned long long>(ingested));
+    all_ok = false;
+  }
+  std::printf("%s\n", all_ok ? "OK: zero loss, audit verified" : "FAILED");
+  return all_ok ? 0 : 1;
+}
