@@ -4,8 +4,10 @@
 // A device proves knowledge of its tenant's MAC key during the TCP handshake: both sides
 // derive a per-session key from the tenant MAC key and the two handshake nonces, then exchange
 // truncated HMAC-SHA256 tags over the handshake transcript. Datagram mode has no handshake, so
-// every packet carries a tag under the tenant/source-bound key with zero nonces — replay there
-// is handled by the receiver's sequence-number window, not the MAC.
+// every packet carries a tag under the tenant/source-bound key with a zero client nonce and the
+// deployment's boot nonce in the server slot — within an epoch, replay is handled by the
+// receiver's sequence-number window; across restarts, rotating the boot nonce invalidates old
+// captures outright.
 //
 // The session key never encrypts payloads (ingress frames stay under the tenant's AES-CTR
 // ingress key); it only authenticates transport-level messages, so a wrong-tenant device is
@@ -31,7 +33,7 @@ using SessionKey = Sha256Digest;
 using SessionTag = std::array<uint8_t, kSessionTagSize>;
 
 // Session key bound to (tenant MAC key, tenant, source, both handshake nonces). Datagram mode
-// uses (0, 0) nonces: one long-lived key per (tenant, source) pair.
+// uses (0, boot nonce): one key per (tenant, source) pair per deployment epoch.
 SessionKey DeriveSessionKey(const AesKey& mac_key, uint32_t tenant, uint32_t source,
                             uint64_t client_nonce, uint64_t server_nonce);
 

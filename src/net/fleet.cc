@@ -300,7 +300,8 @@ class FleetThread {
 
   void StepUdp(DeviceState& dev) {
     if (dev.dgrams_on_stream == 0) {
-      dev.dgram_key = DeriveSessionKey(dev.cfg->mac_key, dev.cfg->tenant, dev.cfg->source, 0, 0);
+      dev.dgram_key = DeriveSessionKey(dev.cfg->mac_key, dev.cfg->tenant, dev.cfg->source, 0,
+                                       config_.dgram_boot_nonce);
     }
     bool rung_done = false;
     while (!rung_done) {

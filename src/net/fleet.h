@@ -54,6 +54,9 @@ struct FleetConfig {
   uint32_t dup_every = 0;
   uint32_t swap_every = 0;
   uint32_t done_repeats = 3;      // UDP end-of-stream repetitions (kDone datagrams are loseable)
+  // Must match IngressConfig::dgram_boot_nonce (the out-of-band provisioned epoch value);
+  // a mismatched nonce makes every datagram fail its MAC — the stale-epoch rejection path.
+  uint64_t dgram_boot_nonce = 0;
   // Open-connection budget per thread; a thread whose device share exceeds it falls back to
   // connect-per-rung churn so the whole fleet stays under the process fd limit.
   size_t max_open_per_thread = 4000;

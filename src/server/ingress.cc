@@ -281,7 +281,11 @@ Status IngressFrontend::Provision(TenantId tenant, uint32_t source, uint16_t str
   dev->event_size = spec->pipeline.event_size();
   dev->group = git->second.get();
   dev->mac_key = spec->mac_key;
-  dev->dgram_key = DeriveSessionKey(spec->mac_key, tenant, source, 0, 0);
+  // The boot nonce scopes datagram MACs to this deployment epoch: a packet captured before a
+  // restart that rotates the nonce fails its MAC afterwards, instead of replaying into the
+  // reset seq window.
+  dev->dgram_key =
+      DeriveSessionKey(spec->mac_key, tenant, source, 0, config_.dgram_boot_nonce);
   devices_.emplace(dev_key, std::move(dev));
   ++provisioned_;
   return OkStatus();
@@ -336,6 +340,13 @@ bool IngressFrontend::WaitAllDone(std::chrono::milliseconds timeout) {
 void IngressFrontend::Stop() {
   if (started_) {
     stop_.store(true, std::memory_order_relaxed);
+    // The IO thread can be parked inside a blocking channel Push (admission backpressure)
+    // where it never observes stop_. Closing the group channels first makes Push return
+    // false and unblocks it; Close is thread-safe, idempotent, and queued frames stay
+    // poppable, so a draining server still sees everything already admitted.
+    for (auto& [key, group] : groups_) {
+      group->seq->channel()->Close();
+    }
     if (io_thread_.joinable()) {
       io_thread_.join();
     }
@@ -435,7 +446,14 @@ void IngressFrontend::AcceptPending() {
   for (;;) {
     net::Socket sock;
     const net::IoResult r = net::TcpAccept(tcp_listener_, &sock);
-    if (r != net::IoResult::kOk) {
+    if (r == net::IoResult::kWouldBlock) {
+      return;
+    }
+    if (r == net::IoResult::kError) {
+      // Persistent accept failure (EMFILE under fleet fd churn) leaves the pending
+      // connection queued, so level-triggered epoll re-fires immediately. Back off briefly
+      // instead of spinning the IO thread at 100%; the retry rides the next poll round.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
       return;
     }
     const int fd = sock.fd();
@@ -451,21 +469,22 @@ void IngressFrontend::AcceptPending() {
 void IngressFrontend::HandleConnReadable(Conn* conn) {
   const int fd = conn->sock.fd();
   uint8_t chunk[kReadChunk];
+  // Read until EAGAIN or EOF: the socket's readiness is fully consumed in this wakeup, so
+  // level-triggered epoll owes us nothing and no separate EOF probe (which could swallow a
+  // byte of the next message) is needed.
+  bool peer_gone = false;
   for (;;) {
     size_t n = 0;
     const net::IoResult r = net::ReadSome(conn->sock, std::span<uint8_t>(chunk, sizeof(chunk)), &n);
     if (r == net::IoResult::kOk) {
       conn->inbuf.insert(conn->inbuf.end(), chunk, chunk + n);
-      if (n == sizeof(chunk)) {
-        continue;  // possibly more pending
-      }
-      break;
+      continue;
     }
-    if (r == net::IoResult::kWouldBlock) {
-      break;
+    if (r != net::IoResult::kWouldBlock) {
+      // Peer closed (graceful churn disconnect) or errored: drain what we already buffered,
+      // then drop the connection. Device state survives for the reconnect.
+      peer_gone = true;
     }
-    // Peer closed (graceful churn disconnect) or errored: drain what we already buffered,
-    // then drop the connection. Device state survives for the reconnect.
     break;
   }
 
@@ -492,17 +511,8 @@ void IngressFrontend::HandleConnReadable(Conn* conn) {
     conn->inbuf.erase(conn->inbuf.begin(), conn->inbuf.begin() + static_cast<long>(off));
   }
 
-  if (close) {
+  if (close || peer_gone) {
     CloseConn(fd);
-    return;
-  }
-  // EOF with a clean buffer: the peer is gone.
-  size_t probe = 0;
-  const net::IoResult r = net::ReadSome(conn->sock, std::span<uint8_t>(chunk, 1), &probe);
-  if (r == net::IoResult::kClosed) {
-    CloseConn(fd);
-  } else if (r == net::IoResult::kOk && probe > 0) {
-    conn->inbuf.insert(conn->inbuf.end(), chunk, chunk + probe);
   }
 }
 
@@ -517,7 +527,10 @@ bool IngressFrontend::HandleMessage(Conn* conn, const wire::StreamMessage& msg) 
         return false;
       }
       Device* dev = FindDevice(hello->tenant, hello->source);
-      if (dev == nullptr || dev->stream != hello->stream) {
+      // A device that already delivered its end-of-stream (Bye{final} or UDP kDone) has left
+      // the group's watermark accounting; rejecting the reconnect here keeps remote input
+      // from ever reaching the sequencer's done-state invariants.
+      if (dev == nullptr || dev->stream != hello->stream || dev->done) {
         std::vector<uint8_t> out;
         wire::AppendReject(&out);
         (void)net::WriteAll(conn->sock, out);
@@ -565,6 +578,13 @@ bool IngressFrontend::HandleMessage(Conn* conn, const wire::StreamMessage& msg) 
     }
     case Conn::State::kStreaming: {
       Device* dev = conn->dev;
+      if (dev->done) {
+        // End-of-stream already delivered — possibly via a UDP kDone or a Bye pipelined
+        // ahead on another connection while this session was live. Dropping the connection
+        // loses only this sender; the sequencer's !done invariant stays unreachable from
+        // remote input.
+        return false;
+      }
       switch (msg.type) {
         case wire::MsgType::kData: {
           const auto data = wire::DecodeData(msg.body);

@@ -127,6 +127,11 @@ struct IngressConfig {
   size_t coalesce_events = 4096;    // target events per coalesced batch
   size_t channel_capacity = 16;     // group channel depth (frames)
   size_t max_dgram_reorder = 64;    // out-of-order datagrams held per device before gap-skip
+  // Per-deployment-epoch randomizer mixed into every datagram key, advertised to devices
+  // out-of-band with the rest of their provisioning. Rotating it on restart invalidates
+  // captured datagrams from earlier epochs, which the (per-process) seq dedup alone cannot:
+  // dg_expected resets with the process. 0 = static keys (replay across restarts accepted).
+  uint64_t dgram_boot_nonce = 0;
 };
 
 // Session-table + transport frontend. Lifecycle: Provision* -> BindTo -> Start -> (traffic)

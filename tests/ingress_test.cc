@@ -5,12 +5,15 @@
 // egress to one fed the same per-device streams in-process.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -385,6 +388,7 @@ TEST(IngressUdpTest, ToleratesDuplicationAndReordering) {
   IngressConfig in_cfg;
   in_cfg.num_shards = 1;
   in_cfg.enable_udp = true;
+  in_cfg.dgram_boot_nonce = 77;  // this deployment epoch's datagram-key randomizer
   TestDeployment d = MakeDeployment(kDevices, in_cfg, /*num_shards=*/1);
   const TenantSpec spec = *d.registry_copy.Find(1);
   ASSERT_TRUE(d.frontend->Start().ok());
@@ -392,6 +396,7 @@ TEST(IngressUdpTest, ToleratesDuplicationAndReordering) {
   FleetConfig fc;
   fc.use_udp = true;
   fc.udp_port = d.frontend->udp_port();
+  fc.dgram_boot_nonce = 77;
   fc.threads = 2;
   fc.dup_every = 3;   // every 3rd datagram sent twice
   fc.swap_every = 5;  // every 5th pair sent in swapped order
@@ -470,6 +475,122 @@ TEST(IngressAuthTest, WrongTenantKeyAndUnknownDeviceAreRejected) {
   const auto stats = frontend.stats();
   EXPECT_EQ(stats.sessions_rejected, 2u);
   EXPECT_EQ(stats.sessions_accepted, 0u);
+  EXPECT_EQ(stats.frames, 0u);
+  EXPECT_EQ(stats.events, 0u);
+}
+
+// Blocking read of one framed server reply off a (blocking) client socket.
+bool ReadReply(const net::Socket& sock, wire::MsgType* type, std::vector<uint8_t>* body) {
+  auto read_exact = [&](std::span<uint8_t> buf) {
+    size_t off = 0;
+    while (off < buf.size()) {
+      const ssize_t rc = ::read(sock.fd(), buf.data() + off, buf.size() - off);
+      if (rc <= 0) {
+        if (rc < 0 && errno == EINTR) {
+          continue;
+        }
+        return false;
+      }
+      off += static_cast<size_t>(rc);
+    }
+    return true;
+  };
+  uint8_t prefix[wire::kLengthPrefixBytes];
+  if (!read_exact(std::span<uint8_t>(prefix, sizeof(prefix)))) {
+    return false;
+  }
+  uint32_t len = 0;
+  std::memcpy(&len, prefix, sizeof(len));
+  if (len < 1 || len > wire::kMaxMessageBytes) {
+    return false;
+  }
+  std::vector<uint8_t> payload(len);
+  if (!read_exact(payload)) {
+    return false;
+  }
+  *type = static_cast<wire::MsgType>(payload[0]);
+  body->assign(payload.begin() + 1, payload.end());
+  return true;
+}
+
+// A device that delivered its final end-of-stream cannot rejoin: the reconnect handshake
+// draws a Reject. Regression test — this used to pass the handshake and reach the
+// sequencer's done-state invariant, aborting the whole multi-tenant process on one
+// misbehaving (but authenticated) device.
+TEST(IngressAuthTest, ReconnectAfterFinalByeIsRejected) {
+  IngressConfig in_cfg;
+  in_cfg.num_shards = 1;
+  TestDeployment d = MakeDeployment(1, in_cfg, /*num_shards=*/1);
+  const TenantSpec spec = *d.registry_copy.Find(1);
+  ASSERT_TRUE(d.frontend->Start().ok());
+
+  // Drive device 0's whole stream; the fleet closes it with Bye{final}.
+  FleetConfig fc;
+  fc.tcp_port = d.frontend->tcp_port();
+  fc.threads = 1;
+  DeviceFleet fleet(fc, FleetDevices(spec, 1, /*events_per_window=*/16, /*num_windows=*/1,
+                                     /*batch_events=*/16));
+  auto fleet_report = fleet.Run();
+  ASSERT_TRUE(fleet_report.ok()) << fleet_report.status().ToString();
+  ASSERT_TRUE(d.frontend->WaitAllDone(std::chrono::milliseconds(30000)));
+
+  // The finished device comes back and says Hello again.
+  auto sock = net::TcpConnect(d.frontend->tcp_port());
+  ASSERT_TRUE(sock.ok());
+  wire::Hello hello;
+  hello.tenant = 1;
+  hello.source = 0;
+  hello.stream = 0;
+  hello.client_nonce = 7;
+  std::vector<uint8_t> out;
+  wire::AppendHello(&out, hello);
+  ASSERT_TRUE(net::WriteAll(*sock, out).ok());
+  wire::MsgType type;
+  std::vector<uint8_t> body;
+  ASSERT_TRUE(ReadReply(*sock, &type, &body));
+  EXPECT_EQ(type, wire::MsgType::kReject);
+
+  // The refused reconnect perturbed nothing: the stream's events are all there and the
+  // audit chain still verifies.
+  d.frontend->Stop();
+  const ServerReport report = d.server->Shutdown();
+  const auto stats = d.frontend->stats();
+  EXPECT_EQ(stats.sessions_rejected, 1u);
+  EXPECT_EQ(stats.events, 16u);
+  ASSERT_EQ(report.engines.size(), 1u);
+  EXPECT_TRUE(report.engines[0].verified && report.engines[0].verify.correct);
+}
+
+// Datagram keys are scoped to the deployment epoch: a fleet keyed with a stale boot nonce
+// (the pre-restart key, i.e. any capture from an earlier epoch) fails every packet MAC, so
+// a server restart that rotates the nonce is immune to cross-epoch replay.
+TEST(IngressUdpTest, StaleBootNonceDatagramsAreRejected) {
+  constexpr size_t kDevices = 4;
+  IngressConfig in_cfg;
+  in_cfg.num_shards = 1;
+  in_cfg.enable_udp = true;
+  in_cfg.dgram_boot_nonce = 2026;
+  TestDeployment d = MakeDeployment(kDevices, in_cfg, /*num_shards=*/1);
+  const TenantSpec spec = *d.registry_copy.Find(1);
+  ASSERT_TRUE(d.frontend->Start().ok());
+
+  FleetConfig fc;
+  fc.use_udp = true;
+  fc.udp_port = d.frontend->udp_port();
+  fc.dgram_boot_nonce = 2025;  // the previous epoch's key
+  fc.threads = 1;
+  DeviceFleet fleet(fc, FleetDevices(spec, kDevices, /*events_per_window=*/20,
+                                     /*num_windows=*/1, /*batch_events=*/10));
+  auto fleet_report = fleet.Run();
+  ASSERT_TRUE(fleet_report.ok()) << fleet_report.status().ToString();
+  EXPECT_GT(fleet_report->events_sent, 0u);
+
+  // Sends are fire-and-forget; give the IO thread a beat to (not) deliver anything.
+  EXPECT_FALSE(d.frontend->WaitAllDone(std::chrono::milliseconds(200)));
+  d.frontend->Stop();
+  (void)d.server->Shutdown();
+  const auto stats = d.frontend->stats();
+  EXPECT_GT(stats.sessions_rejected, 0u);  // every datagram bounced off its MAC
   EXPECT_EQ(stats.frames, 0u);
   EXPECT_EQ(stats.events, 0u);
 }

@@ -13,6 +13,7 @@
 //
 // Exit status: 0 iff zero event loss and every engine's audit chain verified.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -128,10 +129,17 @@ int main(int argc, char** argv) {
   cfg.host_secure_budget_bytes = 256u << 20;
   EdgeServer server(cfg, std::move(server_registry));
 
+  // Fresh datagram-key epoch per run (self-hosted, so "out-of-band advertisement" is just
+  // handing the same value to both sides): a datagram captured from a previous run cannot
+  // replay into this one.
+  const uint64_t boot_nonce =
+      static_cast<uint64_t>(std::chrono::steady_clock::now().time_since_epoch().count());
+
   IngressConfig in_cfg;
   in_cfg.num_shards = opt.shards;
   in_cfg.coalesce_events = opt.coalesce_events;
   in_cfg.enable_udp = opt.udp;
+  in_cfg.dgram_boot_nonce = boot_nonce;
   IngressFrontend frontend(in_cfg, &registry);
   for (size_t dev = 0; dev < opt.devices; ++dev) {
     if (!frontend.Provision(1, static_cast<uint32_t>(dev)).ok()) {
@@ -156,6 +164,7 @@ int main(int argc, char** argv) {
   fleet_cfg.dup_every = opt.dup_every;
   fleet_cfg.swap_every = opt.swap_every;
   fleet_cfg.max_open_per_thread = opt.max_open_per_thread;
+  fleet_cfg.dgram_boot_nonce = boot_nonce;
   std::vector<DeviceConfig> devices;
   devices.reserve(opt.devices);
   for (size_t dev = 0; dev < opt.devices; ++dev) {
