@@ -10,11 +10,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/control/benchmarks.h"
 #include "src/control/harness.h"
+#include "src/obs/metrics.h"
 
 namespace sbt {
 namespace {
@@ -25,6 +27,35 @@ struct BenchDef {
   WorkloadKind workload;
   uint32_t target_delay_ms;
 };
+
+// Serial-section attribution counters (cumulative across the process; rows carry the
+// before/after difference of one harness run). Harness engines register with empty labels.
+struct RetireCounters {
+  double ticket_cycles = 0;        // open->retire: stage wait + execute
+  double commit_stall_cycles = 0;  // inside frontier-commit drains (audit_mu_ held)
+  uint64_t commit_batches = 0;
+  double commit_batch_tickets = 0;
+  double ring_full_stalls = 0;
+};
+
+RetireCounters SnapshotRetireCounters() {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  RetireCounters c;
+  if (const obs::MetricSample* m = snap.Find("sbt_ticket_open_to_retire_cycles")) {
+    c.ticket_cycles = m->sum;
+  }
+  if (const obs::MetricSample* m = snap.Find("sbt_ticket_commit_stall_cycles")) {
+    c.commit_stall_cycles = m->sum;
+    c.commit_batches = m->count;
+  }
+  if (const obs::MetricSample* m = snap.Find("sbt_ticket_commit_batch_tickets")) {
+    c.commit_batch_tickets = m->sum;
+  }
+  if (const obs::MetricSample* m = snap.Find("sbt_ticket_ring_full_stalls_total")) {
+    c.ring_full_stalls = m->value;
+  }
+  return c;
+}
 
 Pipeline MakeTopKDefault(uint32_t w) { return MakeTopK(w, 10); }
 Pipeline MakeFilterDefault(uint32_t w) { return MakeFilter(w, 0, 100); }
@@ -78,7 +109,9 @@ void RunFig7() {
         opts.verify_audit = true;
 
         const Pipeline pipeline = def.make(1000);
+        const RetireCounters before = SnapshotRetireCounters();
         const HarnessResult r = RunHarness(pipeline, opts);
+        const RetireCounters after = SnapshotRetireCounters();
         if (workers == 1) {
           single_worker_rate = r.events_per_sec();
         }
@@ -90,6 +123,17 @@ void RunFig7() {
                     r.events_per_sec(), r.mb_per_sec(), r.runner().max_delay_ms,
                     static_cast<double>(r.avg_memory_bytes) / (1 << 20), speedup,
                     ok ? "yes" : "NO");
+        // Serial-section attribution: where a worker's cycles went (execute inside the TEE,
+        // world switches, audit generation, memory management) plus the reorder-buffer
+        // commit stalls and open->retire latency, so a scaling regression names its choke
+        // point from the JSON alone. host_cores arms the gate's scaling check (a 1-core host
+        // cannot demonstrate speedup). Extra columns are gate-inert until a schema names them.
+        const uint64_t commit_batches = after.commit_batches - before.commit_batches;
+        const double batch_tickets_mean =
+            commit_batches > 0
+                ? (after.commit_batch_tickets - before.commit_batch_tickets) /
+                      static_cast<double>(commit_batches)
+                : 0.0;
         report.BeginRow()
             .Str("bench", def.name)
             .Str("version", std::string(EngineVersionName(version)))
@@ -97,7 +141,17 @@ void RunFig7() {
             .Num("events_per_sec", r.events_per_sec())
             .Num("speedup_vs_1_worker", speedup)
             .Int("max_delay_ms", r.runner().max_delay_ms)
-            .Bool("ok", ok);
+            .Bool("ok", ok)
+            .Int("host_cores", std::thread::hardware_concurrency())
+            .Num("exec_cycles", static_cast<double>(r.cycles().invoke_cycles))
+            .Num("switch_cycles", static_cast<double>(r.cycles().switch_cycles))
+            .Num("audit_cycles", static_cast<double>(r.cycles().audit_cycles))
+            .Num("memmgmt_cycles", static_cast<double>(r.cycles().memmgmt_cycles))
+            .Num("ticket_open_to_retire_cycles", after.ticket_cycles - before.ticket_cycles)
+            .Num("commit_stall_cycles",
+                 after.commit_stall_cycles - before.commit_stall_cycles)
+            .Num("commit_batch_tickets_mean", batch_tickets_mean)
+            .Num("ring_full_stalls", after.ring_full_stalls - before.ring_full_stalls);
       }
     }
     std::printf("\n");

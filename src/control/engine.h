@@ -55,6 +55,9 @@ struct EngineOptions {
   // Flat-combining submission: concurrently ready chains share one world switch (default). Off
   // reproduces the one-entry-per-chain boundary; bytes are identical either way.
   bool combine_submissions = true;
+  // Lock-free ticket retire (default). Off selects the legacy mutex-guarded reorder buffer;
+  // bytes are identical either way (property-tested old-vs-new).
+  bool lockfree_retire = true;
 };
 
 inline DataPlaneConfig MakeEngineConfig(EngineVersion version, const EngineOptions& opts) {
@@ -70,6 +73,7 @@ inline DataPlaneConfig MakeEngineConfig(EngineVersion version, const EngineOptio
   }
   cfg.ingress_nonce.fill(0x01);
   cfg.egress_nonce.fill(0x02);
+  cfg.lockfree_retire = opts.lockfree_retire;
 
   switch (version) {
     case EngineVersion::kStreamBoxTz:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <sstream>
+#include <thread>
 
 #include "src/common/logging.h"
 
@@ -107,6 +108,18 @@ DataPlane::DataPlane(const DataPlaneConfig& config)
                                                config_.metric_labels);
   m_checkpoint_refusals_ = reg.GetCounter("sbt_checkpoint_refusals_total",
                                           config_.metric_labels);
+  m_commit_stall_cycles_ = reg.GetHistogram("sbt_ticket_commit_stall_cycles",
+                                            config_.metric_labels);
+  m_commit_batch_tickets_ = reg.GetHistogram("sbt_ticket_commit_batch_tickets",
+                                             config_.metric_labels);
+  m_ring_full_stalls_ = reg.GetCounter("sbt_ticket_ring_full_stalls_total",
+                                       config_.metric_labels);
+  if (config_.lockfree_retire) {
+    ring_ = std::make_unique<TicketSlot[]>(kRingSlots);
+    for (uint64_t i = 0; i < kRingSlots; ++i) {
+      ring_[i].tag.store(SlotTag(i, kSlotFree), std::memory_order_relaxed);
+    }
+  }
 }
 
 Result<PlacementHint> DataPlane::TranslateHint(
@@ -158,6 +171,13 @@ void DataPlane::AppendAudit(AuditRecord record, ExecTicket* ticket) {
   if (ticket != nullptr) {
     // Staged: the record reaches the log (and gets its timestamp) when the ticket commits in
     // program order, not when this out-of-order execution happened to produce it.
+    if (config_.lockfree_retire) {
+      // Lock-free staging: between kOpen and kSlotRetired exactly one thread — the one
+      // executing this ticket's operation — touches the slot, so no lock guards the vector.
+      // The kSlotRetired release-store publishes the records to the frontier committer.
+      ring_[ticket->seq & (kRingSlots - 1)].records.push_back(std::move(record));
+      return;
+    }
     std::lock_guard<std::mutex> lock(seq_mu_);
     staged_[ticket->seq].records.push_back(std::move(record));
     return;
@@ -167,9 +187,32 @@ void DataPlane::AppendAudit(AuditRecord record, ExecTicket* ticket) {
 }
 
 ExecTicket DataPlane::OpenTicket(uint32_t reserve_ids) {
-  std::lock_guard<std::mutex> lock(seq_mu_);
   ExecTicket ticket;
-  ticket.seq = next_ticket_seq_++;
+  if (config_.lockfree_retire) {
+    // Program order comes from the caller (the control thread opens tickets in submission
+    // order), so a relaxed increment suffices; ReserveIds is an atomic bump in the allocator.
+    // Nothing here takes a lock.
+    ticket.seq = next_ticket_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (reserve_ids > 0) {
+      ticket.ids.next = alloc_.ReserveIds(reserve_ids);
+      ticket.ids.end = ticket.ids.next + reserve_ids;
+    }
+    TicketSlot& slot = ring_[ticket.seq & (kRingSlots - 1)];
+    const uint64_t want = SlotTag(ticket.seq, kSlotFree);
+    if (slot.tag.load(std::memory_order_acquire) != want) {
+      // Ring full: the slot's previous lap (seq - kRingSlots) has not committed yet. The
+      // opener waits — the bounded buffer's natural backpressure on the control thread.
+      m_ring_full_stalls_->Add(1);
+      while (slot.tag.load(std::memory_order_acquire) != want) {
+        std::this_thread::yield();
+      }
+    }
+    slot.open_cycles = ReadCycleCounter();
+    slot.tag.store(SlotTag(ticket.seq, kSlotOpen), std::memory_order_release);
+    return ticket;
+  }
+  std::lock_guard<std::mutex> lock(seq_mu_);
+  ticket.seq = next_ticket_seq_.fetch_add(1, std::memory_order_relaxed);
   if (reserve_ids > 0) {
     ticket.ids.next = alloc_.ReserveIds(reserve_ids);
     ticket.ids.end = ticket.ids.next + reserve_ids;
@@ -181,6 +224,20 @@ ExecTicket DataPlane::OpenTicket(uint32_t reserve_ids) {
 }
 
 void DataPlane::RetireTicket(const ExecTicket& ticket) {
+  if (config_.lockfree_retire) {
+    TicketSlot& slot = ring_[ticket.seq & (kRingSlots - 1)];
+    SBT_CHECK(slot.tag.load(std::memory_order_relaxed) == SlotTag(ticket.seq, kSlotOpen));
+    m_ticket_latency_cycles_->Observe(ReadCycleCounter() - slot.open_cycles);
+    // In-flight tickets at this instant IS the reorder-buffer depth: open, or retired but
+    // blocked behind an open predecessor. The serial-section suspect, measured where it forms.
+    const uint64_t depth = next_ticket_seq_.load(std::memory_order_relaxed) -
+                           commit_next_seq_.load(std::memory_order_relaxed);
+    m_ticket_reorder_depth_->Observe(depth);
+    SBT_TRACE_INSTANT("ticket.retire", ticket.seq, depth);
+    slot.tag.store(SlotTag(ticket.seq, kSlotRetired), std::memory_order_release);
+    CommitFrontierLockfree();
+    return;
+  }
   std::lock_guard<std::mutex> lock(seq_mu_);
   const auto it = staged_.find(ticket.seq);
   SBT_CHECK(it != staged_.end());
@@ -194,17 +251,65 @@ void DataPlane::RetireTicket(const ExecTicket& ticket) {
   // seq_mu_ here (the only place both are held), so no two retiring threads can interleave
   // their committed batches.
   std::lock_guard<std::mutex> audit_lock(audit_mu_);
-  while (!staged_.empty() && staged_.begin()->first == commit_next_seq_ &&
+  while (!staged_.empty() &&
+         staged_.begin()->first == commit_next_seq_.load(std::memory_order_relaxed) &&
          staged_.begin()->second.retired) {
     for (AuditRecord& record : staged_.begin()->second.records) {
       StampAndAppendLocked(std::move(record));
     }
     staged_.erase(staged_.begin());
-    ++commit_next_seq_;
+    commit_next_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void DataPlane::CommitFrontierLockfree() {
+  // Frontier-commit election: whoever finds the frontier slot retired and wins commit_lock_
+  // drains every contiguous retired slot into the log. The post-release re-check closes the
+  // stranding race — a ticket that retires while the committer drains sees commit_lock_ held
+  // and returns, so the committer must look at the new frontier again before leaving.
+  while (true) {
+    const uint64_t head = commit_next_seq_.load(std::memory_order_acquire);
+    if (ring_[head & (kRingSlots - 1)].tag.load(std::memory_order_acquire) !=
+        SlotTag(head, kSlotRetired)) {
+      return;  // frontier still executing: its retiring thread will commit
+    }
+    if (commit_lock_.exchange(true, std::memory_order_acq_rel)) {
+      return;  // a committer is draining; it re-checks after releasing
+    }
+    const uint64_t t0 = ReadCycleCounter();
+    uint64_t committed = 0;
+    {
+      std::lock_guard<std::mutex> lock(audit_mu_);  // commit_lock_ before audit_mu_
+      uint64_t seq = commit_next_seq_.load(std::memory_order_relaxed);
+      while (true) {
+        TicketSlot& slot = ring_[seq & (kRingSlots - 1)];
+        if (slot.tag.load(std::memory_order_acquire) != SlotTag(seq, kSlotRetired)) {
+          break;
+        }
+        for (AuditRecord& record : slot.records) {
+          StampAndAppendLocked(std::move(record));
+        }
+        slot.records.clear();  // keeps capacity: the slot doubles as a staging arena
+        slot.open_cycles = 0;
+        slot.tag.store(SlotTag(seq + kRingSlots, kSlotFree), std::memory_order_release);
+        ++seq;
+        ++committed;
+      }
+      commit_next_seq_.store(seq, std::memory_order_release);
+    }
+    commit_lock_.store(false, std::memory_order_release);
+    m_commit_stall_cycles_->Observe(ReadCycleCounter() - t0);
+    m_commit_batch_tickets_->Observe(committed);
   }
 }
 
 size_t DataPlane::open_tickets() const {
+  if (config_.lockfree_retire) {
+    // Exact once the control plane has drained (the only caller that needs exactness —
+    // Checkpoint under admission_mu_); a racy snapshot otherwise, like staged_.size() was.
+    return static_cast<size_t>(next_ticket_seq_.load(std::memory_order_relaxed) -
+                               commit_next_seq_.load(std::memory_order_relaxed));
+  }
   std::lock_guard<std::mutex> lock(seq_mu_);
   return staged_.size();
 }

@@ -82,6 +82,13 @@ struct DataPlaneConfig {
   // Freshness delays are meaningless in this mode; never enable it in a deployment.
   bool logical_audit_timestamps = false;
 
+  // Ticket reorder buffer implementation. The lock-free ring (default) stages and retires
+  // tickets without a shared mutex; `false` selects the legacy seq_mu_-guarded std::map path.
+  // Both produce byte-identical audit streams (property-tested); the flag exists so the
+  // equivalence tests can diff old-vs-new and so a deployment can fall back if a platform's
+  // atomics misbehave.
+  bool lockfree_retire = true;
+
   // Automatic flow control (the paper's stated future work, §4.2): tune the threshold online
   // from the pool-utilization trend. While committed memory grows faster than it reclaims the
   // threshold tightens (push back early, before a hard allocation failure); while the pool
@@ -369,17 +376,55 @@ class DataPlane {
   Sha256Digest chain_head_{};     // guarded by audit_mu_; zeros until the first upload
   uint64_t logical_ts_ = 0;       // guarded by audit_mu_ (logical_audit_timestamps mode)
 
-  // Ticket reorder buffer: staged record batches, keyed by ticket seq, committed to the log in
-  // seq order as tickets retire. Lock order: seq_mu_ before audit_mu_, never the reverse.
+  // --- Ticket reorder buffer, lock-free ring implementation (config_.lockfree_retire) ---
+  //
+  // A bounded ring indexed by ticket seq: ticket s lives in slot s % kRingSlots. Each slot
+  // carries a tag word encoding (seq << kPhaseBits) | phase; the phase walks
+  // kFree -> kOpen -> kRetired and back to kFree for seq + kRingSlots. Staging is MPSC with a
+  // single writer per slot: between kOpen and kRetired exactly one thread (the executing
+  // worker) appends to `records`, so no lock guards the vector — the kRetired release-store
+  // publishes it and the committer's acquire-load of the tag receives it.
+  //
+  // Commit happens only at the frontier (commit_next_seq_). After retiring its own slot, a
+  // thread elects itself committer via commit_lock_ iff the frontier slot is retired; the
+  // winner drains every contiguous retired slot into the audit log under audit_mu_
+  // (StampAndAppendLocked, ticket order == seq order), frees the slots for their next lap, and
+  // re-checks after releasing so a ticket that retired mid-drain is never stranded.
+  // Lock order: commit_lock_ before audit_mu_, never the reverse.
+  //
+  // A full ring (OpenTicket finds its slot still occupied, i.e. > kRingSlots tickets in
+  // flight) spins the opener — natural backpressure on the control thread, counted in
+  // m_ring_full_stalls_.
+  static constexpr uint64_t kRingSlots = 4096;  // power of two; >max in-flight tickets
+  static constexpr uint64_t kPhaseBits = 2;
+  enum TicketPhase : uint64_t { kSlotFree = 0, kSlotOpen = 1, kSlotRetired = 2 };
+  static constexpr uint64_t SlotTag(uint64_t seq, TicketPhase phase) {
+    return (seq << kPhaseBits) | static_cast<uint64_t>(phase);
+  }
+  struct alignas(64) TicketSlot {
+    std::atomic<uint64_t> tag{0};
+    std::vector<AuditRecord> records;  // single writer while kOpen; capacity persists per slot
+    uint64_t open_cycles = 0;          // ReadCycleCounter() at OpenTicket
+  };
+  std::unique_ptr<TicketSlot[]> ring_;
+  std::atomic<uint64_t> next_ticket_seq_{0};
+  std::atomic<uint64_t> commit_next_seq_{0};  // stored only by the elected committer
+  std::atomic<bool> commit_lock_{false};
+  // Frontier-commit election + batch drain; called after a slot flips to kRetired.
+  void CommitFrontierLockfree();
+
+  // --- Legacy locked reorder buffer (config_.lockfree_retire == false) ---
+  // Staged record batches keyed by ticket seq, committed in seq order as tickets retire.
+  // Lock order: seq_mu_ before audit_mu_, never the reverse.
   struct StagedTicket {
     std::vector<AuditRecord> records;
     bool retired = false;
     uint64_t open_cycles = 0;  // ReadCycleCounter() at OpenTicket, for open->retire latency
   };
   mutable std::mutex seq_mu_;
-  uint64_t next_ticket_seq_ = 0;   // guarded by seq_mu_
-  uint64_t commit_next_seq_ = 0;   // guarded by seq_mu_
-  std::map<uint64_t, StagedTicket> staged_;  // guarded by seq_mu_
+  std::map<uint64_t, StagedTicket> staged_;  // guarded by seq_mu_; next/commit seq are the
+                                             // atomics above (locked path mutates them under
+                                             // seq_mu_ with relaxed ordering)
 
   std::atomic<uint64_t> invoke_cycles_{0};
   std::atomic<uint64_t> memmgmt_cycles_{0};
@@ -404,9 +449,13 @@ class DataPlane {
   // Hot-path instruments, interned once at construction with config_.metric_labels (stable
   // pointers into the global registry; each update is 1-2 relaxed atomic ops).
   obs::Histogram* m_ticket_latency_cycles_;   // OpenTicket -> RetireTicket
-  obs::Histogram* m_ticket_reorder_depth_;    // staged_ size observed at each retire
+  obs::Histogram* m_ticket_reorder_depth_;    // in-flight tickets observed at each retire
   obs::Histogram* m_checkpoint_seal_cycles_;  // successful Checkpoint() duration
   obs::Counter* m_checkpoint_refusals_;       // kFailedPrecondition refusals
+  // Serial-section attribution for the lock-free retire path (fig7 reads these).
+  obs::Histogram* m_commit_stall_cycles_;     // cycles inside a frontier-commit drain
+  obs::Histogram* m_commit_batch_tickets_;    // tickets committed per frontier drain
+  obs::Counter* m_ring_full_stalls_;          // OpenTicket waits for its slot's previous lap
 };
 
 }  // namespace sbt

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/logging.h"
+#include "src/primitives/simd_kernels.h"
 
 namespace sbt {
 namespace {
@@ -146,8 +147,20 @@ Result<UArray*> PrimFilterBand(const PrimitiveContext& ctx, const UArray& events
                                int32_t hi) {
   SBT_RETURN_IF_ERROR(RequireProduced(events, "FilterBand"));
   SBT_RETURN_IF_ERROR(RequireElemSize(events, sizeof(Event), "FilterBand"));
-  return FilterCopy<Event>(ctx, events,
-                           [lo, hi](const Event& e) { return e.value >= lo && e.value < hi; });
+  // Vectorized band compare (simd_kernels.h); kept events are bit-copies either way, so the
+  // output is byte-identical to the scalar FilterCopy path at every dispatch level.
+  SBT_ASSIGN_OR_RETURN(UArray * out, ctx.NewOutput(sizeof(Event)));
+  const auto in = events.Span<Event>();
+  Event chunk[kChunkElems];
+  for (size_t i = 0; i < in.size(); i += kChunkElems) {
+    const size_t n = std::min(kChunkElems, in.size() - i);
+    const size_t kept = simd::FilterBandEvents(in.data() + i, n, lo, hi, chunk);
+    if (kept > 0) {
+      SBT_RETURN_IF_ERROR(out->Append(chunk, kept * sizeof(Event)));
+    }
+  }
+  out->Produce();
+  return out;
 }
 
 Result<UArray*> PrimSelect(const PrimitiveContext& ctx, const UArray& events, uint32_t key) {
@@ -246,14 +259,12 @@ Result<UArray*> PrimSum(const PrimitiveContext& ctx, const UArray& input) {
   SBT_RETURN_IF_ERROR(RequireProduced(input, "Sum"));
   int64_t sum = 0;
   if (input.elem_size() == sizeof(Event)) {
-    for (const Event& e : input.Span<Event>()) {
-      sum += e.value;
-    }
+    const auto in = input.Span<Event>();
+    sum = simd::SumEventValues(in.data(), in.size());
   } else if (input.elem_size() == sizeof(int64_t)) {
     // Raw 64-bit addends: partial sums being combined at window close.
-    for (const int64_t v : input.Span<int64_t>()) {
-      sum += v;
-    }
+    const auto in = input.Span<int64_t>();
+    sum = simd::SumI64(in.data(), in.size());
   } else {
     return InvalidArgument("Sum: input must be Event or int64 partials");
   }
@@ -466,24 +477,22 @@ Result<UArray*> PrimUnique(const PrimitiveContext& ctx, const UArray& sorted_kv)
   SBT_RETURN_IF_ERROR(RequireElemSize(sorted_kv, sizeof(PackedKV), "Unique"));
   SBT_UARRAY_DCHECK(IsSortedKV(sorted_kv));
 
-  const auto in = sorted_kv.Span<PackedKV>();
+  // Vectorized run-boundary scan (simd_kernels.h): a key is emitted exactly where it differs
+  // from its predecessor, with the carry crossing chunk borders.
+  const auto in = sorted_kv.Span<int64_t>();
   SBT_ASSIGN_OR_RETURN(UArray * out, ctx.NewOutput(sizeof(uint32_t)));
   uint32_t chunk[kChunkElems];
-  size_t fill = 0;
-  size_t i = 0;
-  while (i < in.size()) {
-    const uint32_t key = UnpackKey(in[i]);
-    chunk[fill++] = key;
-    if (fill == kChunkElems) {
-      SBT_RETURN_IF_ERROR(out->Append(chunk, fill * sizeof(uint32_t)));
-      fill = 0;
+  uint32_t prev_key = 0;
+  bool has_prev = false;
+  for (size_t i = 0; i < in.size(); i += kChunkElems) {
+    const size_t n = std::min(kChunkElems, in.size() - i);
+    const size_t emitted =
+        simd::UniqueKeysPacked(in.data() + i, n, has_prev ? &prev_key : nullptr, chunk);
+    if (emitted > 0) {
+      SBT_RETURN_IF_ERROR(out->Append(chunk, emitted * sizeof(uint32_t)));
     }
-    while (i < in.size() && UnpackKey(in[i]) == key) {
-      ++i;
-    }
-  }
-  if (fill > 0) {
-    SBT_RETURN_IF_ERROR(out->Append(chunk, fill * sizeof(uint32_t)));
+    prev_key = UnpackKey(in[i + n - 1]);
+    has_prev = true;
   }
   out->Produce();
   return out;
@@ -538,14 +547,24 @@ Result<UArray*> PrimDedup(const PrimitiveContext& ctx, const UArray& sorted_kv) 
   SBT_RETURN_IF_ERROR(RequireElemSize(sorted_kv, sizeof(PackedKV), "Dedup"));
   SBT_UARRAY_DCHECK(IsSortedKV(sorted_kv));
 
-  bool first = true;
-  PackedKV prev = 0;
-  return FilterCopy<PackedKV>(ctx, sorted_kv, [&first, &prev](const PackedKV kv) {
-    const bool keep = first || kv != prev;
-    first = false;
-    prev = kv;
-    return keep;
-  });
+  // Vectorized adjacent-unique compaction (simd_kernels.h); kept KVs are bit-copies, so the
+  // output matches the scalar first/prev filter byte-for-byte at every dispatch level.
+  SBT_ASSIGN_OR_RETURN(UArray * out, ctx.NewOutput(sizeof(PackedKV)));
+  const auto in = sorted_kv.Span<int64_t>();
+  int64_t chunk[kChunkElems];
+  int64_t prev = 0;
+  bool has_prev = false;
+  for (size_t i = 0; i < in.size(); i += kChunkElems) {
+    const size_t n = std::min(kChunkElems, in.size() - i);
+    const size_t kept = simd::DedupI64(in.data() + i, n, has_prev ? &prev : nullptr, chunk);
+    if (kept > 0) {
+      SBT_RETURN_IF_ERROR(out->Append(chunk, kept * sizeof(PackedKV)));
+    }
+    prev = in[i + n - 1];
+    has_prev = true;
+  }
+  out->Produce();
+  return out;
 }
 
 Result<UArray*> PrimJoin(const PrimitiveContext& ctx, const UArray& left, const UArray& right) {

@@ -1,0 +1,470 @@
+#include "src/primitives/simd_kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/primitives/kv.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace sbt::simd {
+namespace {
+
+SimdLevel DetectHost() {
+#if defined(SBT_FORCE_SCALAR_SIMD)
+  return SimdLevel::kScalar;
+#elif defined(__x86_64__)
+  return __builtin_cpu_supports("avx2") ? SimdLevel::kAvx2 : SimdLevel::kSse2;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel EnvClampedLevel() {
+  static const SimdLevel level = [] {
+    const SimdLevel host = HostMaxLevel();
+    const char* env = std::getenv("SBT_SIMD");
+    if (env == nullptr) {
+      return host;
+    }
+    SimdLevel want = host;
+    if (std::strcmp(env, "scalar") == 0) {
+      want = SimdLevel::kScalar;
+    } else if (std::strcmp(env, "sse2") == 0) {
+      want = SimdLevel::kSse2;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      want = SimdLevel::kAvx2;
+    }
+    return want <= host ? want : host;
+  }();
+  return level;
+}
+
+constexpr uint8_t kNoForcedLevel = 0xff;
+std::atomic<uint8_t> g_forced_level{kNoForcedLevel};
+
+// --- scalar reference paths (also the tail handler for every vector path) ---
+
+size_t FilterBandScalar(const Event* in, size_t n, int32_t lo, int32_t hi, Event* out) {
+  size_t m = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (in[i].value >= lo && in[i].value < hi) {
+      out[m++] = in[i];
+    }
+  }
+  return m;
+}
+
+int64_t SumEventValuesScalar(const Event* in, size_t n) {
+  int64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += in[i].value;
+  }
+  return sum;
+}
+
+int64_t SumI64Scalar(const int64_t* in, size_t n) {
+  int64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += in[i];
+  }
+  return sum;
+}
+
+size_t DedupI64Scalar(const int64_t* in, size_t n, const int64_t* prev, int64_t* out) {
+  size_t m = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool keep = i == 0 ? (prev == nullptr || in[0] != *prev) : in[i] != in[i - 1];
+    if (keep) {
+      out[m++] = in[i];
+    }
+  }
+  return m;
+}
+
+size_t UniqueKeysScalar(const int64_t* in, size_t n, const uint32_t* prev_key, uint32_t* out) {
+  size_t m = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t key = UnpackKey(in[i]);
+    const bool emit =
+        i == 0 ? (prev_key == nullptr || key != *prev_key) : key != UnpackKey(in[i - 1]);
+    if (emit) {
+      out[m++] = key;
+    }
+  }
+  return m;
+}
+
+#if defined(__x86_64__)
+
+// --- SSE2 (x86-64 baseline, no target attribute needed) ---------------------
+
+size_t FilterBandSse2(const Event* in, size_t n, int32_t lo, int32_t hi, Event* out) {
+  const __m128i lo_v = _mm_set1_epi32(lo);
+  const __m128i hi_v = _mm_set1_epi32(hi);
+  size_t m = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v =
+        _mm_set_epi32(in[i + 3].value, in[i + 2].value, in[i + 1].value, in[i].value);
+    // keep = (v < hi) & !(v < lo)
+    const __m128i keep =
+        _mm_andnot_si128(_mm_cmplt_epi32(v, lo_v), _mm_cmplt_epi32(v, hi_v));
+    int mask = _mm_movemask_ps(_mm_castsi128_ps(keep));
+    if (mask == 0xf) {
+      std::memcpy(out + m, in + i, 4 * sizeof(Event));
+      m += 4;
+      continue;
+    }
+    while (mask != 0) {
+      const int b = __builtin_ctz(static_cast<unsigned>(mask));
+      out[m++] = in[i + b];
+      mask &= mask - 1;
+    }
+  }
+  return m + FilterBandScalar(in + i, n - i, lo, hi, out + m);
+}
+
+int64_t SumEventValuesSse2(const Event* in, size_t n) {
+  __m128i acc = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v =
+        _mm_set_epi32(in[i + 3].value, in[i + 2].value, in[i + 1].value, in[i].value);
+    const __m128i sign = _mm_srai_epi32(v, 31);
+    acc = _mm_add_epi64(acc, _mm_unpacklo_epi32(v, sign));
+    acc = _mm_add_epi64(acc, _mm_unpackhi_epi32(v, sign));
+  }
+  alignas(16) int64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  return lanes[0] + lanes[1] + SumEventValuesScalar(in + i, n - i);
+}
+
+int64_t SumI64Sse2(const int64_t* in, size_t n) {
+  __m128i acc = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc = _mm_add_epi64(acc, _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i)));
+  }
+  alignas(16) int64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  return lanes[0] + lanes[1] + SumI64Scalar(in + i, n - i);
+}
+
+// 64-bit lane equality out of SSE2's 32-bit compare: both dwords of the lane must match.
+inline __m128i CmpEq64Sse2(__m128i a, __m128i b) {
+  const __m128i eq32 = _mm_cmpeq_epi32(a, b);
+  return _mm_and_si128(eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+}
+
+size_t DedupI64Sse2(const int64_t* in, size_t n, const int64_t* prev, int64_t* out) {
+  if (n == 0) {
+    return 0;
+  }
+  size_t m = 0;
+  if (prev == nullptr || in[0] != *prev) {
+    out[m++] = in[0];
+  }
+  size_t i = 1;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i cur = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    const __m128i pre = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i - 1));
+    int keep = ~_mm_movemask_pd(_mm_castsi128_pd(CmpEq64Sse2(cur, pre))) & 0x3;
+    while (keep != 0) {
+      const int b = __builtin_ctz(static_cast<unsigned>(keep));
+      out[m++] = in[i + b];
+      keep &= keep - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (in[i] != in[i - 1]) {
+      out[m++] = in[i];
+    }
+  }
+  return m;
+}
+
+size_t UniqueKeysSse2(const int64_t* in, size_t n, const uint32_t* prev_key, uint32_t* out) {
+  if (n == 0) {
+    return 0;
+  }
+  size_t m = 0;
+  if (prev_key == nullptr || UnpackKey(in[0]) != *prev_key) {
+    out[m++] = UnpackKey(in[0]);
+  }
+  size_t i = 1;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i cur = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    const __m128i pre = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i - 1));
+    // Keys are the high dwords (lanes 1 and 3); bias XORs cancel under equality.
+    const int eq32 = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(cur, pre)));
+    if ((eq32 & (1 << 1)) == 0) {
+      out[m++] = UnpackKey(in[i]);
+    }
+    if ((eq32 & (1 << 3)) == 0) {
+      out[m++] = UnpackKey(in[i + 1]);
+    }
+  }
+  for (; i < n; ++i) {
+    const uint32_t key = UnpackKey(in[i]);
+    if (key != UnpackKey(in[i - 1])) {
+      out[m++] = key;
+    }
+  }
+  return m;
+}
+
+// --- AVX2 (runtime-dispatched) ----------------------------------------------
+
+// Event values sit at dword offset 2 of each 12-byte (3-dword) event.
+__attribute__((target("avx2"))) inline __m256i GatherValues8(const Event* in) {
+  const __m256i vidx = _mm256_setr_epi32(2, 5, 8, 11, 14, 17, 20, 23);
+  return _mm256_i32gather_epi32(reinterpret_cast<const int*>(in), vidx, 4);
+}
+
+__attribute__((target("avx2"))) size_t FilterBandAvx2(const Event* in, size_t n, int32_t lo,
+                                                      int32_t hi, Event* out) {
+  const __m256i lo_v = _mm256_set1_epi32(lo);
+  const __m256i hi_v = _mm256_set1_epi32(hi);
+  size_t m = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v = GatherValues8(in + i);
+    // keep = (v < hi) & !(v < lo); AVX2 only has cmpgt, so lt(a,b) == cmpgt(b,a).
+    const __m256i keep =
+        _mm256_andnot_si256(_mm256_cmpgt_epi32(lo_v, v), _mm256_cmpgt_epi32(hi_v, v));
+    int mask = _mm256_movemask_ps(_mm256_castsi256_ps(keep));
+    if (mask == 0xff) {
+      std::memcpy(out + m, in + i, 8 * sizeof(Event));
+      m += 8;
+      continue;
+    }
+    while (mask != 0) {
+      const int b = __builtin_ctz(static_cast<unsigned>(mask));
+      out[m++] = in[i + b];
+      mask &= mask - 1;
+    }
+  }
+  return m + FilterBandScalar(in + i, n - i, lo, hi, out + m);
+}
+
+__attribute__((target("avx2"))) int64_t SumEventValuesAvx2(const Event* in, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v = GatherValues8(in + i);
+    acc = _mm256_add_epi64(acc, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v)));
+    acc = _mm256_add_epi64(acc, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v, 1)));
+  }
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] + SumEventValuesScalar(in + i, n - i);
+}
+
+__attribute__((target("avx2"))) int64_t SumI64Avx2(const int64_t* in, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i)));
+  }
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] + SumI64Scalar(in + i, n - i);
+}
+
+// Compaction control for permutevar8x32: for each 4-bit keep mask over 4 int64 lanes, the
+// dword permutation that packs the kept lanes to the front.
+struct CompressLut {
+  alignas(32) int32_t idx[16][8];
+  CompressLut() {
+    for (int mask = 0; mask < 16; ++mask) {
+      int k = 0;
+      for (int b = 0; b < 4; ++b) {
+        if ((mask & (1 << b)) != 0) {
+          idx[mask][k++] = 2 * b;
+          idx[mask][k++] = 2 * b + 1;
+        }
+      }
+      for (; k < 8; ++k) {
+        idx[mask][k] = 0;
+      }
+    }
+  }
+};
+const CompressLut kCompressLut;
+
+__attribute__((target("avx2"))) size_t DedupI64Avx2(const int64_t* in, size_t n,
+                                                    const int64_t* prev, int64_t* out) {
+  if (n == 0) {
+    return 0;
+  }
+  size_t m = 0;
+  if (prev == nullptr || in[0] != *prev) {
+    out[m++] = in[0];
+  }
+  size_t i = 1;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i cur = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    const __m256i pre = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i - 1));
+    const int keep =
+        ~_mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(cur, pre))) & 0xf;
+    if (keep == 0) {
+      continue;
+    }
+    // Compressed store: kept lanes packed to the front, then advance by the kept count. The
+    // full 32-byte store never overruns: m <= i and i + 3 <= n - 1.
+    const __m256i perm = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(kCompressLut.idx[keep]));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + m),
+                        _mm256_permutevar8x32_epi32(cur, perm));
+    m += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(keep)));
+  }
+  for (; i < n; ++i) {
+    if (in[i] != in[i - 1]) {
+      out[m++] = in[i];
+    }
+  }
+  return m;
+}
+
+__attribute__((target("avx2"))) size_t UniqueKeysAvx2(const int64_t* in, size_t n,
+                                                      const uint32_t* prev_key, uint32_t* out) {
+  if (n == 0) {
+    return 0;
+  }
+  size_t m = 0;
+  if (prev_key == nullptr || UnpackKey(in[0]) != *prev_key) {
+    out[m++] = UnpackKey(in[0]);
+  }
+  size_t i = 1;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i cur = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    const __m256i pre = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i - 1));
+    // Keys are the high dwords (odd lanes); bias XORs cancel under equality.
+    const int eq32 = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(cur, pre)));
+    int emit = ~((eq32 >> 1) & 0x55) & 0x55;  // bit 2b set -> element b's key differs
+    while (emit != 0) {
+      const int b = __builtin_ctz(static_cast<unsigned>(emit)) / 2;
+      out[m++] = UnpackKey(in[i + b]);
+      emit &= emit - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    const uint32_t key = UnpackKey(in[i]);
+    if (key != UnpackKey(in[i - 1])) {
+      out[m++] = key;
+    }
+  }
+  return m;
+}
+
+#endif  // defined(__x86_64__)
+
+}  // namespace
+
+const char* LevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+SimdLevel HostMaxLevel() {
+  static const SimdLevel level = DetectHost();
+  return level;
+}
+
+SimdLevel ActiveLevel() {
+  const uint8_t forced = g_forced_level.load(std::memory_order_relaxed);
+  return forced == kNoForcedLevel ? EnvClampedLevel() : static_cast<SimdLevel>(forced);
+}
+
+void ForceLevelForTest(SimdLevel level) {
+  SBT_CHECK(level <= HostMaxLevel());
+  g_forced_level.store(static_cast<uint8_t>(level), std::memory_order_relaxed);
+}
+
+void ClearForcedLevelForTest() {
+  g_forced_level.store(kNoForcedLevel, std::memory_order_relaxed);
+}
+
+size_t FilterBandEvents(const Event* in, size_t n, int32_t lo, int32_t hi, Event* out) {
+#if defined(__x86_64__)
+  switch (ActiveLevel()) {
+    case SimdLevel::kAvx2:
+      return FilterBandAvx2(in, n, lo, hi, out);
+    case SimdLevel::kSse2:
+      return FilterBandSse2(in, n, lo, hi, out);
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  return FilterBandScalar(in, n, lo, hi, out);
+}
+
+int64_t SumEventValues(const Event* in, size_t n) {
+#if defined(__x86_64__)
+  switch (ActiveLevel()) {
+    case SimdLevel::kAvx2:
+      return SumEventValuesAvx2(in, n);
+    case SimdLevel::kSse2:
+      return SumEventValuesSse2(in, n);
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  return SumEventValuesScalar(in, n);
+}
+
+int64_t SumI64(const int64_t* in, size_t n) {
+#if defined(__x86_64__)
+  switch (ActiveLevel()) {
+    case SimdLevel::kAvx2:
+      return SumI64Avx2(in, n);
+    case SimdLevel::kSse2:
+      return SumI64Sse2(in, n);
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  return SumI64Scalar(in, n);
+}
+
+size_t DedupI64(const int64_t* in, size_t n, const int64_t* prev, int64_t* out) {
+#if defined(__x86_64__)
+  switch (ActiveLevel()) {
+    case SimdLevel::kAvx2:
+      return DedupI64Avx2(in, n, prev, out);
+    case SimdLevel::kSse2:
+      return DedupI64Sse2(in, n, prev, out);
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  return DedupI64Scalar(in, n, prev, out);
+}
+
+size_t UniqueKeysPacked(const int64_t* in, size_t n, const uint32_t* prev_key, uint32_t* out) {
+#if defined(__x86_64__)
+  switch (ActiveLevel()) {
+    case SimdLevel::kAvx2:
+      return UniqueKeysAvx2(in, n, prev_key, out);
+    case SimdLevel::kSse2:
+      return UniqueKeysSse2(in, n, prev_key, out);
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  return UniqueKeysScalar(in, n, prev_key, out);
+}
+
+}  // namespace sbt::simd

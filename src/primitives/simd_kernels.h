@@ -1,0 +1,65 @@
+// Vectorized inner loops for the memory-bound primitives (WinSum/Filter/Distinct families).
+//
+// Every kernel has three implementations — a scalar reference, an SSE2 baseline (always
+// available on x86-64), and an AVX2 fast path — selected once by a cached runtime probe.
+// All three are byte-identical by construction (property-tested in tests/property_test.cc):
+// filtered/compacted elements are bit-copies of the input, and the sums are integer additions,
+// which reassociate without changing the result. That is what keeps the audit chain and egress
+// blobs independent of the host's vector width.
+//
+// Dispatch can be pinned three ways, strongest first:
+//   - build time: -DPARKZLL_FORCE_SCALAR_SIMD=ON (CI's scalar-forced matrix leg);
+//   - environment: SBT_SIMD=scalar|sse2|avx2, clamped to what the host supports;
+//   - test hook: ForceLevelForTest, for the byte-equivalence sweeps.
+
+#ifndef SRC_PRIMITIVES_SIMD_KERNELS_H_
+#define SRC_PRIMITIVES_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/event.h"
+
+namespace sbt::simd {
+
+enum class SimdLevel : uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+const char* LevelName(SimdLevel level);
+
+// Widest level this host (and build) can execute. Cached: one CPUID on first call.
+SimdLevel HostMaxLevel();
+
+// The level kernels dispatch on: HostMaxLevel() clamped by SBT_SIMD, unless a test pinned it.
+SimdLevel ActiveLevel();
+
+// Pins dispatch for equivalence tests. Levels above HostMaxLevel() are a programming error.
+void ForceLevelForTest(SimdLevel level);
+void ClearForcedLevelForTest();
+
+// --- kernels ---------------------------------------------------------------
+// All take plain pointers/counts so callers keep their own chunking; `out` never aliases `in`.
+
+// Appends events with lo <= value < hi to out; returns the number kept. out must have room
+// for n events.
+size_t FilterBandEvents(const Event* in, size_t n, int32_t lo, int32_t hi, Event* out);
+
+// Sum of event values, widened to int64 per addend (identical to the scalar accumulation for
+// any lane order: integer addition reassociates losslessly).
+int64_t SumEventValues(const Event* in, size_t n);
+
+// Sum of int64 addends (window-close partials), wraparound semantics identical to a loop.
+int64_t SumI64(const int64_t* in, size_t n);
+
+// Adjacent-unique compaction of a sorted run: keeps in[i] where it differs from its
+// predecessor; `prev` (nullable) carries the last element of the preceding chunk. Returns the
+// number kept. out must have room for n values.
+size_t DedupI64(const int64_t* in, size_t n, const int64_t* prev, int64_t* out);
+
+// Distinct keys of a sorted PackedKV run: emits UnpackKey(in[i]) where the key differs from
+// its predecessor's; `prev_key` (nullable) carries the last key of the preceding chunk.
+// Returns the number emitted. out must have room for n keys.
+size_t UniqueKeysPacked(const int64_t* in, size_t n, const uint32_t* prev_key, uint32_t* out);
+
+}  // namespace sbt::simd
+
+#endif  // SRC_PRIMITIVES_SIMD_KERNELS_H_

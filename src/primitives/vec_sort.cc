@@ -294,28 +294,31 @@ __attribute__((target("avx2"))) void VectorSort(std::span<int64_t> data,
 
 bool CpuHasAvx2() {
 #if defined(__x86_64__)
-  return __builtin_cpu_supports("avx2") != 0;
+  // Probe exactly once. __builtin_cpu_supports is a function call into libgcc's cpu-model
+  // lookup, and this sits on per-call dispatch paths (SortI64/MergeI64 kAuto,
+  // VectorSortSupported in test sweeps) — every dispatch point shares this one cached probe.
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
 #else
   return false;
 #endif
 }
 
 bool UseVector(SortImpl impl) {
-  static const bool supported = CpuHasAvx2();
   switch (impl) {
     case SortImpl::kVector:
       return true;
     case SortImpl::kScalar:
       return false;
     case SortImpl::kAuto:
-      return supported;
+      return CpuHasAvx2();
   }
   return false;
 }
 
 }  // namespace
 
-bool VectorSortSupported() { return CpuHasAvx2(); }
+bool VectorSortSupported() { return CpuHasAvx2(); }  // cached probe, shared with kAuto dispatch
 
 void SortI64(std::span<int64_t> data, std::span<int64_t> scratch, SortImpl impl) {
   SBT_CHECK(scratch.size() >= data.size());

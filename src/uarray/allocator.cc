@@ -13,14 +13,26 @@ constexpr uint32_t kDefaultLane = 0xffffffffu;
 
 // Id space for kTemporary scratch arrays: disjoint from audit ids (which are truncated to 32
 // bits in records and stay far below this) so scratch allocation order can never shift the
-// audit-visible sequence.
+// audit-visible sequence. The space spans [2^62, 2^63).
 constexpr uint64_t kScratchIdBase = 1ull << 62;
+
+// Ids per carved per-worker scratch arena. 2^42 arenas fit in the scratch space, so even a
+// thread ping-ponging between allocators (each switch abandons the cached arena's remainder)
+// cannot realistically exhaust it; if it does, TakeScratchId returns 0 and the chain fails.
+constexpr uint64_t kScratchArenaIds = 1ull << 20;
+constexpr uint64_t kScratchArenaLimit = (1ull << 62) / kScratchArenaIds;
+
+// Allocator instance ids key the thread-local arena cache: a cached arena must never leak
+// into another allocator (or a new allocator reusing a dead one's address), since that would
+// hand out ids the other instance might already have live.
+std::atomic<uint64_t> g_allocator_instance{1};
 
 }  // namespace
 
 UArrayAllocator::UArrayAllocator(SecureWorld* world, PlacementPolicy policy)
     : world_(world), policy_(policy),
-      group_reserve_bytes_(world->config().group_reserve_bytes) {}
+      group_reserve_bytes_(world->config().group_reserve_bytes),
+      instance_id_(g_allocator_instance.fetch_add(1, std::memory_order_relaxed)) {}
 
 UArrayAllocator::~UArrayAllocator() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -63,10 +75,28 @@ Result<UArray*> UArrayAllocator::RestoreArray(uint64_t array_id, size_t elem_siz
 }
 
 uint64_t UArrayAllocator::ReserveIds(uint32_t count) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const uint64_t base = next_array_id_;
-  next_array_id_ += count;
-  return base;
+  // Call order (the control thread's program order) defines the base sequence; the atomic
+  // bump only has to hand out disjoint ranges.
+  return next_array_id_.fetch_add(count, std::memory_order_relaxed);
+}
+
+uint64_t UArrayAllocator::TakeScratchId() {
+  struct ThreadArena {
+    uint64_t instance = 0;
+    uint64_t next = 0;
+    uint64_t end = 0;
+  };
+  thread_local ThreadArena arena;
+  if (arena.instance != instance_id_ || arena.next >= arena.end) {
+    const uint64_t chunk = next_scratch_arena_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= kScratchArenaLimit) {
+      return 0;  // scratch space exhausted: caller fails the chain
+    }
+    arena.instance = instance_id_;
+    arena.next = kScratchIdBase + chunk * kScratchArenaIds;
+    arena.end = arena.next + kScratchArenaIds;
+  }
+  return arena.next++;
 }
 
 Result<UArray*> UArrayAllocator::CreateWithId(uint64_t array_id, size_t elem_size,
@@ -90,13 +120,14 @@ Result<UArray*> UArrayAllocator::CreateWithId(uint64_t array_id, size_t elem_siz
 }
 
 void UArrayAllocator::AdvanceNextArrayId(uint64_t next_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  next_array_id_ = std::max(next_array_id_, next_id);
+  uint64_t cur = next_array_id_.load(std::memory_order_relaxed);
+  while (cur < next_id &&
+         !next_array_id_.compare_exchange_weak(cur, next_id, std::memory_order_relaxed)) {
+  }
 }
 
 uint64_t UArrayAllocator::next_array_id() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return next_array_id_;
+  return next_array_id_.load(std::memory_order_relaxed);
 }
 
 UArray* UArrayAllocator::CreateLocked(size_t elem_size, UArrayScope scope,
@@ -165,10 +196,20 @@ UArray* UArrayAllocator::CreateLocked(size_t elem_size, UArrayScope scope,
 
   uint64_t id = forced_id;
   if (id == 0) {
-    id = scope == UArrayScope::kTemporary ? kScratchIdBase + next_scratch_id_++
-                                          : next_array_id_++;
+    if (scope == UArrayScope::kTemporary) {
+      id = TakeScratchId();
+      if (id == 0) {
+        *error = ResourceExhausted("scratch id space exhausted");
+        return nullptr;
+      }
+    } else {
+      id = next_array_id_.fetch_add(1, std::memory_order_relaxed);
+    }
   } else {
-    next_array_id_ = std::max(next_array_id_, id + 1);
+    uint64_t cur = next_array_id_.load(std::memory_order_relaxed);
+    while (cur < id + 1 &&
+           !next_array_id_.compare_exchange_weak(cur, id + 1, std::memory_order_relaxed)) {
+    }
   }
   UArray* array = target->Emplace(id, scope, elem_size);
   live_arrays_[id] = array;

@@ -114,7 +114,9 @@ class UArrayAllocator {
   // Advances the audit-id counter by `count` and returns the first reserved id. Issued in
   // program order by the engine's control thread; workers then create their outputs under the
   // reserved ids via CreateWithId, so concurrent out-of-order execution cannot perturb the id
-  // sequence the audit stream records.
+  // sequence the audit stream records. Lock-free: a single atomic bump, no mutex — each
+  // reservation hands the worker a disjoint [base, base+count) arena it bumps locally
+  // (IdReservation::Take), and exhaustion of that arena fails the chain (PR 8 semantics).
   uint64_t ReserveIds(uint32_t count);
 
   // Creates a new open uArray under a pre-reserved id (see ReserveIds). The id must be nonzero
@@ -160,11 +162,22 @@ class UArrayAllocator {
   // Parallel lanes: lane -> most recent group used for that lane.
   std::unordered_map<uint32_t, UGroup*> lane_groups_;
 
-  uint64_t next_array_id_ = 1;
+  // Audit ids. Atomic so ReserveIds (program-order calls from the control thread) and the
+  // restore-path floor advance never touch mu_; the sequence of returned bases is defined by
+  // call order, which the callers already serialize.
+  std::atomic<uint64_t> next_array_id_{1};
   // Scratch (kTemporary) arrays live and die inside one primitive call and never appear in
   // audit records, so they draw from a disjoint id space instead of consuming audit ids —
   // otherwise a data-dependent scratch allocation would shift every later audit id.
-  uint64_t next_scratch_id_ = 0;
+  //
+  // The scratch space is sharded into per-worker arenas: each thread caches an arena carved
+  // from a disjoint kScratchArenaIds-sized range by this atomic chunk counter, making a scratch
+  // id draw a thread-local bump. Audit-invisibility is exactly what makes the schedule-
+  // dependent assignment safe. TakeScratchId returns 0 once the scratch space is exhausted
+  // (the caller fails the chain, extending PR 8's reservation-exhaustion semantics).
+  std::atomic<uint64_t> next_scratch_arena_{0};
+  uint64_t TakeScratchId();
+  const uint64_t instance_id_;  // keys the thread-local arena cache to this allocator
   uint64_t next_group_id_ = 1;
   uint64_t groups_created_ = 0;
   uint64_t arrays_created_ = 0;

@@ -13,9 +13,11 @@
 #include "src/attest/verifier.h"
 #include "src/common/rng.h"
 #include "src/control/benchmarks.h"
+#include "src/control/engine.h"
 #include "src/control/harness.h"
 #include "src/crypto/sha256.h"
 #include "src/primitives/primitives.h"
+#include "src/primitives/simd_kernels.h"
 #include "src/primitives/vec_sort.h"
 #include "src/server/edge_server.h"
 #include "src/server/shard_router.h"
@@ -504,11 +506,14 @@ struct WorkerSessionArtifacts {
   std::vector<AuditRecord> records;
   VerifyReport report;
   uint64_t task_errors = 0;
+  uint64_t ingest_failures = 0;
 };
 
 WorkerSessionArtifacts RunWorkerSession(const Pipeline& pipeline, WorkloadKind kind,
                                         int worker_threads, bool fuse_chains = true,
-                                        bool combine_submissions = true) {
+                                        bool combine_submissions = true,
+                                        bool lockfree_retire = true,
+                                        bool drain_per_frame = false) {
   HarnessOptions opts;
   opts.version = EngineVersion::kSbtClearIngress;
   opts.engine.secure_pool_mb = 64;
@@ -519,6 +524,7 @@ WorkerSessionArtifacts RunWorkerSession(const Pipeline& pipeline, WorkloadKind k
 
   DataPlaneConfig cfg = MakeEngineConfig(opts.version, opts.engine);
   cfg.logical_audit_timestamps = true;
+  cfg.lockfree_retire = lockfree_retire;
   DataPlane dp(cfg);
   WorkerSessionArtifacts out;
   {
@@ -531,10 +537,17 @@ WorkerSessionArtifacts RunWorkerSession(const Pipeline& pipeline, WorkloadKind k
     while (auto frame = gen.NextFrame()) {
       if (frame->is_watermark) {
         EXPECT_TRUE(runner.AdvanceWatermark(frame->watermark).ok());
-      } else {
-        EXPECT_TRUE(runner.IngestFrame(frame->bytes, 0, frame->ctr_offset).ok());
+      } else if (!runner.IngestFrame(frame->bytes, 0, frame->ctr_offset).ok()) {
+        // Only the fault-injection properties may get here (counted and compared there);
+        // everywhere else ExpectWorkerCountInvariant asserts zero.
+        ++out.ingest_failures;
       }
-      // NO drain here: this is the schedule-independence property, not a pinned schedule.
+      // NO drain by default: this is the schedule-independence property, not a pinned
+      // schedule. The fault-injection properties drain per frame to pin the schedule so a
+      // seeded fault stream hits both runs at identical points.
+      if (drain_per_frame) {
+        runner.Drain();
+      }
     }
     runner.Drain();
     out.results = runner.TakeResults();
@@ -545,11 +558,11 @@ WorkerSessionArtifacts RunWorkerSession(const Pipeline& pipeline, WorkloadKind k
   return out;
 }
 
-void ExpectWorkerCountInvariant(const WorkerSessionArtifacts& a,
-                                const WorkerSessionArtifacts& b) {
-  EXPECT_EQ(a.task_errors, 0u);
-  EXPECT_EQ(b.task_errors, 0u);
-
+// Byte-compares everything externally visible — egress blobs, the audit chain (records, raw
+// encoding, compressed blob, MAC, chain position), and the replay verdict shape — WITHOUT
+// assuming the sessions were fault-free. The fault-equivalence properties use this directly.
+void ExpectSameExternalArtifacts(const WorkerSessionArtifacts& a,
+                                 const WorkerSessionArtifacts& b) {
   // Results arrive in watermark order from the completion stage: compare positionally.
   ASSERT_EQ(a.results.size(), b.results.size());
   for (size_t i = 0; i < a.results.size(); ++i) {
@@ -590,12 +603,22 @@ void ExpectWorkerCountInvariant(const WorkerSessionArtifacts& a,
   EXPECT_EQ(a.upload.compressed, b.upload.compressed);
   EXPECT_TRUE(DigestEqual(a.upload.mac, b.upload.mac));
 
+  EXPECT_EQ(a.report.correct, b.report.correct);
+  EXPECT_EQ(a.report.windows_verified, b.report.windows_verified);
+  EXPECT_EQ(a.report.hints_audited, b.report.hints_audited);
+}
+
+void ExpectWorkerCountInvariant(const WorkerSessionArtifacts& a,
+                                const WorkerSessionArtifacts& b) {
+  EXPECT_EQ(a.task_errors, 0u);
+  EXPECT_EQ(b.task_errors, 0u);
+  EXPECT_EQ(a.ingest_failures, 0u);
+  EXPECT_EQ(b.ingest_failures, 0u);
+  ExpectSameExternalArtifacts(a, b);
   EXPECT_TRUE(a.report.correct)
       << (a.report.violations.empty() ? "" : a.report.violations[0]);
   EXPECT_TRUE(b.report.correct)
       << (b.report.violations.empty() ? "" : b.report.violations[0]);
-  EXPECT_EQ(a.report.windows_verified, b.report.windows_verified);
-  EXPECT_EQ(a.report.hints_audited, b.report.hints_audited);
 }
 
 TEST(WorkerEquivalence, DistinctPipelineOneVsEightWorkers) {
@@ -690,6 +713,250 @@ TEST(WorkerEquivalence, FlatCombiningHoldsUnderInjectedWorldSwitchFaults) {
   ExpectWorkerCountInvariant(base, RunWorkerSession(p, WorkloadKind::kTaxi, 8,
                                                     /*fuse_chains=*/true,
                                                     /*combine_submissions=*/true));
+}
+
+// --- lock-free retire equivalence --------------------------------------------------------
+//
+// The lock-free ticket ring (bounded MPSC reorder buffer, per-worker slot staging, frontier
+// batch-commit) replaces the seq_mu_-guarded std::map. The legacy locked path stays compiled
+// as the reference implementation, and nothing about the swap may be externally visible: the
+// audit chain bytes, upload MAC, egress blobs, and replay verdicts must match the locked path
+// bit for bit at every worker count, every boundary mode, and under injected faults.
+
+WorkerSessionArtifacts RunLocked(const Pipeline& p, WorkloadKind kind, int workers,
+                                 bool fuse = true, bool combine = true) {
+  return RunWorkerSession(p, kind, workers, fuse, combine, /*lockfree_retire=*/false);
+}
+
+TEST(LockfreeRetireEquivalence, LockedVsLockfreeAcrossWorkerCounts) {
+  const Pipeline p = MakeDistinct(1000);
+  const WorkerSessionArtifacts locked = RunLocked(p, WorkloadKind::kTaxi, 1);
+  for (const int workers : {1, 2, 4, 8}) {
+    ExpectWorkerCountInvariant(locked, RunWorkerSession(p, WorkloadKind::kTaxi, workers));
+  }
+}
+
+TEST(LockfreeRetireEquivalence, PowerPipelineDeepCloseDag) {
+  // Power's 7-stage close DAG produces the longest per-ticket record vectors: the heaviest
+  // load on the slot staging and the frontier batch-commit.
+  const Pipeline p = MakePower(1000);
+  ExpectWorkerCountInvariant(RunLocked(p, WorkloadKind::kPowerGrid, 1),
+                             RunWorkerSession(p, WorkloadKind::kPowerGrid, 8));
+}
+
+TEST(LockfreeRetireEquivalence, FusedAndCombinedBoundaryModes) {
+  // The retire path composes with both boundary optimizations: call-per-primitive, fused
+  // chains, and flat-combined submissions all stage records under the same tickets.
+  const Pipeline p = MakeDistinct(1000);
+  const std::pair<bool, bool> modes[] = {{false, false}, {true, true}, {false, true}};
+  for (const auto& [fuse, combine] : modes) {
+    ExpectWorkerCountInvariant(
+        RunLocked(p, WorkloadKind::kTaxi, 4, fuse, combine),
+        RunWorkerSession(p, WorkloadKind::kTaxi, 4, fuse, combine));
+  }
+}
+
+TEST(LockfreeRetireEquivalence, HoldsUnderInjectedWorldSwitchFaults) {
+  // Seeded SMC faults abort and re-issue entries at schedule-dependent points; they burn
+  // cycles on the lock-free path's workers but must never touch the committed order.
+  const Pipeline p = MakeDistinct(1000);
+  const WorkerSessionArtifacts locked = RunLocked(p, WorkloadKind::kTaxi, 1);
+  testing::ScopedFailPoint fp("world_switch.fault",
+                              testing::ScopedFailPoint::Seeded(/*seed=*/57, /*num=*/1,
+                                                               /*den=*/8));
+  ExpectWorkerCountInvariant(locked, RunWorkerSession(p, WorkloadKind::kTaxi, 8));
+}
+
+TEST(LockfreeRetireEquivalence, SeededAllocFaultsFailIdentically) {
+  // Secure-DRAM exhaustion fails the chain (kept from the ingress-hardening PR). With one
+  // worker and a per-frame drain the schedule — and therefore the seeded fault sequence — is
+  // pinned, so the locked and lock-free paths must fail the SAME chains and still produce
+  // bit-identical artifacts, errors and all: a failed ticket retires empty through the ring
+  // exactly as it did through the map.
+  const Pipeline p = MakeDistinct(1000);
+  const auto run = [&](bool lockfree) {
+    testing::ScopedFailPoint fp("secure_world.alloc_frame",
+                                testing::ScopedFailPoint::Seeded(/*seed=*/2026, /*num=*/1,
+                                                                 /*den=*/7));
+    return RunWorkerSession(p, WorkloadKind::kTaxi, 1, /*fuse_chains=*/true,
+                            /*combine_submissions=*/true, lockfree,
+                            /*drain_per_frame=*/true);
+  };
+  const WorkerSessionArtifacts locked = run(false);
+  const WorkerSessionArtifacts lockfree = run(true);
+  EXPECT_GT(locked.task_errors + locked.ingest_failures, 0u) << "p=1/7 over many draws";
+  EXPECT_EQ(locked.task_errors, lockfree.task_errors);
+  EXPECT_EQ(locked.ingest_failures, lockfree.ingest_failures);
+  ExpectSameExternalArtifacts(locked, lockfree);
+}
+
+TEST(LockfreeRetireEquivalence, CheckpointAtRingFrontierIsByteIdentical) {
+  // A checkpoint may only seal once the reorder ring is fully committed (frontier == next
+  // ticket, open_tickets() == 0). Both retire paths must quiesce to the same frontier
+  // mid-stream and flush the same chain link into the seal.
+  const Pipeline p = MakeDistinct(1000);
+  const auto run = [&](bool lockfree, int workers) {
+    HarnessOptions opts;
+    opts.version = EngineVersion::kSbtClearIngress;
+    opts.engine.secure_pool_mb = 64;
+    opts.generator.batch_events = 4000;
+    opts.generator.num_windows = 3;
+    opts.generator.workload.kind = WorkloadKind::kTaxi;
+    opts.generator.workload.events_per_window = 12000;
+
+    DataPlaneConfig cfg = MakeEngineConfig(opts.version, opts.engine);
+    cfg.logical_audit_timestamps = true;
+    cfg.lockfree_retire = lockfree;
+    DataPlane dp(cfg);
+    RunnerConfig rc;
+    rc.worker_threads = workers;
+    Runner runner(&dp, p, rc);
+    Generator gen(opts.generator);
+    int frames = 0;
+    while (auto frame = gen.NextFrame()) {
+      if (frame->is_watermark) {
+        EXPECT_TRUE(runner.AdvanceWatermark(frame->watermark).ok());
+      } else {
+        EXPECT_TRUE(runner.IngestFrame(frame->bytes, 0, frame->ctr_offset).ok());
+      }
+      if (++frames == 5) {
+        break;  // checkpoint mid-stream: tickets in flight, ring hot
+      }
+    }
+    std::vector<WindowResult> results;
+    auto bundle = CheckpointEngine(dp, runner, {}, &results);
+    EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+    EXPECT_EQ(dp.open_tickets(), 0u) << "seal before the commit frontier caught up";
+    return std::pair<AuditUpload, std::vector<WindowResult>>(
+        bundle.ok() ? bundle->audit : AuditUpload{}, std::move(results));
+  };
+  const auto [locked_audit, locked_results] = run(false, 1);
+  for (const int workers : {1, 4}) {
+    const auto [audit, results] = run(true, workers);
+    EXPECT_EQ(locked_audit.chain_seq, audit.chain_seq);
+    EXPECT_TRUE(DigestEqual(locked_audit.chain_prev, audit.chain_prev));
+    EXPECT_EQ(locked_audit.record_count, audit.record_count);
+    EXPECT_EQ(locked_audit.raw_bytes, audit.raw_bytes);
+    EXPECT_EQ(locked_audit.compressed, audit.compressed);
+    EXPECT_TRUE(DigestEqual(locked_audit.mac, audit.mac));
+    ASSERT_EQ(locked_results.size(), results.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(locked_results[i].blobs.size(), results[i].blobs.size());
+      for (size_t j = 0; j < results[i].blobs.size(); ++j) {
+        EXPECT_EQ(locked_results[i].blobs[j].ciphertext, results[i].blobs[j].ciphertext);
+      }
+    }
+  }
+}
+
+// --- SIMD kernel byte-equivalence --------------------------------------------------------
+//
+// The vectorized inner loops (simd_kernels.h) claim bit-identity with their scalar
+// references: compacted elements are bit-copies and integer sums reassociate losslessly.
+// Sweep every level the host supports against the scalar output on randomized inputs whose
+// sizes straddle the vector widths and chunk boundaries, including the cross-chunk carries.
+
+class ForcedSimdLevel {
+ public:
+  explicit ForcedSimdLevel(simd::SimdLevel level) { simd::ForceLevelForTest(level); }
+  ~ForcedSimdLevel() { simd::ClearForcedLevelForTest(); }
+};
+
+TEST(SimdKernelEquivalence, AllLevelsMatchScalarReference) {
+  Xoshiro256 rng(4242);
+  const simd::SimdLevel levels[] = {simd::SimdLevel::kSse2, simd::SimdLevel::kAvx2};
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t n = rng.NextBelow(600) + (trial < 8 ? trial : 0);  // hit tiny sizes too
+
+    std::vector<Event> events(n);
+    for (Event& e : events) {
+      e.ts_ms = static_cast<EventTimeMs>(rng.NextBelow(1u << 20));
+      e.key = static_cast<uint32_t>(rng.NextBelow(64));
+      e.value = static_cast<int32_t>(rng.Next32());
+    }
+    const int32_t lo = static_cast<int32_t>(rng.Next32() % 1000) - 500;
+    const int32_t hi = lo + static_cast<int32_t>(rng.NextBelow(1u << 30));
+
+    std::vector<int64_t> sorted(n);
+    for (int64_t& v : sorted) {
+      v = static_cast<int64_t>(rng.NextBelow(40)) - 20;  // heavy duplication
+    }
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<int64_t> packed(n);
+    for (int64_t& v : packed) {
+      v = PackKV(static_cast<uint32_t>(rng.NextBelow(30)),
+                 static_cast<int32_t>(rng.Next32()));
+    }
+    std::sort(packed.begin(), packed.end());
+    const int64_t prev = sorted.empty() ? 0 : sorted[0];
+    const uint32_t prev_key = packed.empty() ? 0 : UnpackKey(packed[0]);
+
+    // Scalar reference for every kernel, including the carry-in variants.
+    std::vector<Event> ref_filtered(n);
+    std::vector<int64_t> ref_dedup(n), ref_dedup_carry(n);
+    std::vector<uint32_t> ref_unique(n), ref_unique_carry(n);
+    size_t ref_nf, ref_nd, ref_ndc, ref_nu, ref_nuc;
+    int64_t ref_sum_events, ref_sum_i64;
+    {
+      ForcedSimdLevel forced(simd::SimdLevel::kScalar);
+      ref_nf = simd::FilterBandEvents(events.data(), n, lo, hi, ref_filtered.data());
+      ref_sum_events = simd::SumEventValues(events.data(), n);
+      ref_sum_i64 = simd::SumI64(sorted.data(), n);
+      ref_nd = simd::DedupI64(sorted.data(), n, nullptr, ref_dedup.data());
+      ref_ndc = simd::DedupI64(sorted.data(), n, &prev, ref_dedup_carry.data());
+      ref_nu = simd::UniqueKeysPacked(packed.data(), n, nullptr, ref_unique.data());
+      ref_nuc = simd::UniqueKeysPacked(packed.data(), n, &prev_key, ref_unique_carry.data());
+    }
+
+    for (const simd::SimdLevel level : levels) {
+      if (level > simd::HostMaxLevel()) {
+        continue;  // scalar-forced builds and pre-AVX2 hosts sweep what they can run
+      }
+      ForcedSimdLevel forced(level);
+      std::vector<Event> filtered(n);
+      EXPECT_EQ(simd::FilterBandEvents(events.data(), n, lo, hi, filtered.data()), ref_nf);
+      EXPECT_EQ(std::memcmp(filtered.data(), ref_filtered.data(), ref_nf * sizeof(Event)), 0)
+          << "level=" << simd::LevelName(level) << " n=" << n;
+      EXPECT_EQ(simd::SumEventValues(events.data(), n), ref_sum_events);
+      EXPECT_EQ(simd::SumI64(sorted.data(), n), ref_sum_i64);
+
+      std::vector<int64_t> dedup(n);
+      EXPECT_EQ(simd::DedupI64(sorted.data(), n, nullptr, dedup.data()), ref_nd);
+      EXPECT_TRUE(std::equal(dedup.begin(), dedup.begin() + ref_nd, ref_dedup.begin()));
+      EXPECT_EQ(simd::DedupI64(sorted.data(), n, &prev, dedup.data()), ref_ndc);
+      EXPECT_TRUE(std::equal(dedup.begin(), dedup.begin() + ref_ndc, ref_dedup_carry.begin()));
+
+      std::vector<uint32_t> unique(n);
+      EXPECT_EQ(simd::UniqueKeysPacked(packed.data(), n, nullptr, unique.data()), ref_nu);
+      EXPECT_TRUE(std::equal(unique.begin(), unique.begin() + ref_nu, ref_unique.begin()));
+      EXPECT_EQ(simd::UniqueKeysPacked(packed.data(), n, &prev_key, unique.data()), ref_nuc);
+      EXPECT_TRUE(
+          std::equal(unique.begin(), unique.begin() + ref_nuc, ref_unique_carry.begin()));
+    }
+  }
+}
+
+TEST(SimdKernelEquivalence, ChunkedRunsMatchWholeRuns) {
+  // The primitives feed these kernels in fixed-size chunks with carries; splitting at any
+  // point with the carry threaded through must equal the unsplit run.
+  Xoshiro256 rng(99);
+  const size_t n = 1000;
+  std::vector<int64_t> sorted(n);
+  for (int64_t& v : sorted) {
+    v = static_cast<int64_t>(rng.NextBelow(60));
+  }
+  std::sort(sorted.begin(), sorted.end());
+
+  std::vector<int64_t> whole(n);
+  const size_t n_whole = simd::DedupI64(sorted.data(), n, nullptr, whole.data());
+  for (const size_t cut : {size_t{1}, size_t{7}, size_t{128}, size_t{999}}) {
+    std::vector<int64_t> parts(n);
+    const size_t a = simd::DedupI64(sorted.data(), cut, nullptr, parts.data());
+    const int64_t carry = sorted[cut - 1];
+    const size_t b = simd::DedupI64(sorted.data() + cut, n - cut, &carry, parts.data() + a);
+    ASSERT_EQ(a + b, n_whole) << "cut=" << cut;
+    EXPECT_TRUE(std::equal(parts.begin(), parts.begin() + n_whole, whole.begin()));
+  }
 }
 
 TEST(VerifierProperty, ReplayedSessionsAreIndependent) {

@@ -9,16 +9,26 @@ rows by their key columns and compares metrics against bench/baselines/*.json:
   - *absolute* metrics (events/sec) depend on the runner hardware — they gate only with
     --absolute (or SBT_BENCH_GATE_ABSOLUTE=1), which CI enables once the baselines were
     refreshed on the same runner class (the manual-dispatch refresh-baselines workflow);
-    otherwise they only warn.
+    otherwise they only warn. A bench schema can also ARM its absolute metrics itself
+    ("absolute_armed") once its baselines carry a runner-class column ("runner_class_key",
+    e.g. host_cores): rows gate absolutely when the baseline row and the current row report
+    the same runner class, and keep warning when the classes differ — so a baseline refreshed
+    on a 4-core runner never hard-fails a 1-core container, and vice versa.
 
 A metric regresses when it moves past the tolerance (default 15%, SBT_BENCH_GATE_TOLERANCE)
 in its bad direction. Boolean requirements (ok / verified / errors == 0) always gate.
+
+A bench can additionally declare a "scaling" clause — a floor on the geometric mean of a
+portable metric over selected rows (fig7: speedup_vs_1_worker > 1.5 across the workers=4
+rows). It arms only when the current host reports at least min_host_cores, because a
+single-core runner cannot demonstrate parallel speedup no matter how healthy the code is.
 
 Exit codes: 0 pass, 1 regression or requirement failure, 2 usage error.
 """
 
 import argparse
 import json
+import math
 import os
 import sys
 
@@ -49,6 +59,15 @@ BENCHES = {
             Metric("events_per_sec"),
         ],
         "require": {"ok": True},
+        # The absolute-throughput arm (lock-free retire PR): events_per_sec gates without
+        # --absolute, but only row-by-row where baseline and run agree on host_cores — the
+        # runner-class proxy the rows carry. Mismatched classes degrade to the warn path.
+        "absolute_armed": True,
+        "runner_class_key": "host_cores",
+        # The paper's scaling claim, as a gate: on a >=4-core host the geometric mean of
+        # speedup_vs_1_worker across all workers=4 rows must clear 1.5x.
+        "scaling": {"metric": "speedup_vs_1_worker", "where": {"workers": "4"},
+                    "min_geomean": 1.5, "min_host_cores": 4},
     },
     "fig9": {
         "keys": ["series", "batch_events"],
@@ -59,6 +78,17 @@ BENCHES = {
             Metric("ops_per_entry", portable=True, tolerance=0.35),
             Metric("switch_entries", lower_is_worse=False, portable=True, tolerance=0.35),
             Metric("events_per_sec"),
+        ],
+        "require": {},
+    },
+    "vectorize_sort": {
+        "keys": ["op", "impl"],
+        "metrics": [
+            # Two impls timed in the same process: the ratio is portable across hosts of the
+            # same ISA. min_baseline keeps the sub-scalar reference rows (std_sort, qsort, and
+            # non-AVX2 hosts where kVector falls back to scalar) out of the gate.
+            Metric("speedup_vs_scalar", portable=True, tolerance=0.35, min_baseline=1.2),
+            Metric("mkeys_per_sec"),
         ],
         "require": {},
     },
@@ -90,6 +120,47 @@ def load_rows(path):
 
 def row_key(row, keys):
     return tuple(str(row.get(k)) for k in keys)
+
+
+def same_runner_class(schema, base_row, cur_row):
+    """True when both rows carry the schema's runner-class column with equal values.
+
+    A row missing the column (baselines predating it, or a bench that never emits it) is an
+    unknown runner class: never a match, so self-armed absolute gating stays off until the
+    refresh-baselines workflow re-emits baselines with the column.
+    """
+    key = schema.get("runner_class_key")
+    if key is None or key not in base_row or key not in cur_row:
+        return False
+    return str(base_row[key]) == str(cur_row[key])
+
+
+def check_scaling(name, schema, current, failures, warnings):
+    clause = schema.get("scaling")
+    if clause is None:
+        return
+    rows = list(current.values())
+    cores_key = schema.get("runner_class_key", "host_cores")
+    cores = max((int(r[cores_key]) for r in rows if r.get(cores_key) is not None), default=0)
+    if cores < clause["min_host_cores"]:
+        warnings.append(f"{name}: scaling check disarmed (host reports {cores} cores, "
+                        f"needs >= {clause['min_host_cores']} to demonstrate speedup)")
+        return
+    selected = [r for r in rows
+                if all(str(r.get(k)) == v for k, v in clause["where"].items())]
+    values = [float(r[clause["metric"]]) for r in selected
+              if r.get(clause["metric"]) is not None and float(r[clause["metric"]]) > 0]
+    if not values:
+        # The bench ran on a capable host but produced no usable rows: that is the check
+        # being silently defeated, not a benign skip.
+        failures.append(f"{name}: scaling check found no rows matching {clause['where']} "
+                        f"with positive {clause['metric']}")
+        return
+    geomean = math.exp(sum(math.log(v) for v in values) / len(values))
+    if geomean < clause["min_geomean"]:
+        failures.append(f"{name}: geomean {clause['metric']} at {clause['where']} is "
+                        f"{geomean:.3f}, required >= {clause['min_geomean']} "
+                        f"({len(values)} row(s), host_cores={cores})")
 
 
 def compare_bench(name, schema, baseline_rows, current_rows, absolute, failures, warnings):
@@ -135,11 +206,15 @@ def compare_bench(name, schema, baseline_rows, current_rows, absolute, failures,
                 continue
             msg = (f"{name} {key}: {metric.name} {b:.4g} -> {c:.4g} "
                    f"({change * 100:+.1f}%, tolerance {tol * 100:.0f}%)")
-            if metric.portable or absolute:
+            armed = absolute or (schema.get("absolute_armed", False) and
+                                 same_runner_class(schema, base, cur))
+            if metric.portable or armed:
                 failures.append(msg)
             else:
                 warnings.append(msg + " [absolute metric; warning only until baselines "
                                       "are refreshed on this runner class]")
+
+    check_scaling(name, schema, current, failures, warnings)
 
 
 def main():

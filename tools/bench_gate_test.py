@@ -104,6 +104,87 @@ def test_requirement_violation_fails():
     assert any("ok=False" in f for f in failures), failures
 
 
+def fig7_row(workers=1, speedup=1.0, eps=1e6, cores=4):
+    return {"bench": "TopK", "version": "StreamBox-TZ", "workers": workers,
+            "speedup_vs_1_worker": speedup, "events_per_sec": eps, "max_delay_ms": 10,
+            "ok": True, "host_cores": cores}
+
+
+def test_fig7_absolute_armed_when_runner_class_matches():
+    # Same host_cores on both sides: the self-armed bench hard-fails the absolute
+    # regression even without --absolute.
+    base = [fig7_row(eps=1e6, cores=4)]
+    cur = [fig7_row(eps=1e5, cores=4, speedup=1.6)]
+    failures, _ = run_compare(base, cur, bench="fig7", absolute=False)
+    assert any("events_per_sec" in f for f in failures), failures
+
+
+def test_fig7_absolute_warns_when_runner_class_differs():
+    base = [fig7_row(eps=1e6, cores=1)]
+    cur = [fig7_row(eps=1e5, cores=4, speedup=1.6)]
+    failures, warnings = run_compare(base, cur, bench="fig7", absolute=False)
+    assert not any("events_per_sec" in f for f in failures), failures
+    assert any("events_per_sec" in w for w in warnings), warnings
+
+
+def test_fig7_absolute_warns_when_runner_class_missing():
+    # Baselines predating the host_cores column must not arm absolute gating.
+    base = [{k: v for k, v in fig7_row(eps=1e6).items() if k != "host_cores"}]
+    cur = [fig7_row(eps=1e5, speedup=1.6)]
+    failures, warnings = run_compare(base, cur, bench="fig7", absolute=False)
+    assert not any("events_per_sec" in f for f in failures), failures
+    assert any("events_per_sec" in w for w in warnings), warnings
+
+
+def test_fig7_scaling_floor_fails_on_capable_host():
+    rows = [fig7_row(workers=4, speedup=1.1, cores=4)]
+    failures, _ = run_compare(rows, rows, bench="fig7")
+    assert any("geomean" in f for f in failures), failures
+
+
+def test_fig7_scaling_floor_passes_above_threshold():
+    rows = [fig7_row(workers=4, speedup=1.8, cores=4),
+            fig7_row(workers=4, speedup=1.6, cores=4) | {"version": "Insecure"}]
+    failures, _ = run_compare(rows, rows, bench="fig7")
+    assert not any("geomean" in f for f in failures), failures
+
+
+def test_fig7_scaling_disarmed_on_small_host():
+    # A 1-core container cannot demonstrate parallel speedup: disarm loudly, don't fail.
+    rows = [fig7_row(workers=4, speedup=0.9, cores=1)]
+    failures, warnings = run_compare(rows, rows, bench="fig7")
+    assert failures == [], failures
+    assert any("scaling check disarmed" in w for w in warnings), warnings
+
+
+def test_fig7_scaling_with_no_usable_rows_fails():
+    # Capable host but every workers=4 row unusable: the check is being defeated, not skipped.
+    rows = [fig7_row(workers=2, speedup=1.4, cores=8)]
+    failures, _ = run_compare(rows, rows, bench="fig7")
+    assert any("scaling check found no rows" in f for f in failures), failures
+
+
+def vs_row(op="sort", impl="vectorized", speedup=2.5, mkeys=90.0):
+    return {"op": op, "impl": impl, "avx2": True, "seconds": 0.01,
+            "mkeys_per_sec": mkeys, "speedup_vs_scalar": speedup}
+
+
+def test_vectorize_sort_speedup_regression_fails():
+    base = [vs_row(speedup=2.5)]
+    cur = [vs_row(speedup=1.0)]  # vectorized collapsed to scalar speed
+    failures, _ = run_compare(base, cur, bench="vectorize_sort")
+    assert any("speedup_vs_scalar" in f for f in failures), failures
+
+
+def test_vectorize_sort_sub_scalar_reference_rows_not_gated():
+    # qsort sits far below scalar; min_baseline keeps that ratio out of the gate even
+    # when it drifts.
+    base = [vs_row(impl="qsort", speedup=0.3)]
+    cur = [vs_row(impl="qsort", speedup=0.1)]
+    failures, _ = run_compare(base, cur, bench="vectorize_sort")
+    assert failures == [], failures
+
+
 def main():
     tests = [(n, f) for n, f in sorted(globals().items())
              if n.startswith("test_") and callable(f)]
