@@ -25,7 +25,7 @@ void RunAttestOverhead() {
 
   HarnessOptions opts;
   opts.version = EngineVersion::kSbtClearIngress;
-  opts.engine.worker_threads = 4;
+  opts.engine.knobs.worker_threads = 4;
   opts.generator.batch_events = 25000u * scale;
   opts.generator.num_windows = 6;
   opts.generator.workload.kind = WorkloadKind::kIntelLab;

@@ -25,7 +25,7 @@ Pipeline MakeFilterDefault(uint32_t w) { return MakeFilter(w, 0, 100); }
 double RunPeakMb(const BenchDef& def, bool hints, int scale) {
   HarnessOptions opts;
   opts.version = EngineVersion::kSbtClearIngress;
-  opts.engine.worker_threads = 2;  // ingest outpaces workers -> deep task queue, disordered consumption
+  opts.engine.knobs.worker_threads = 2;  // ingest outpaces workers -> deep task queue, disordered consumption
   opts.engine.secure_pool_mb = 512;
   opts.engine.use_hints = hints;
   opts.engine.placement = hints ? PlacementPolicy::kHintGuided : PlacementPolicy::kGenerational;

@@ -18,7 +18,7 @@ void RunOne(const char* name, Pipeline pipeline, WorkloadKind workload, uint32_t
             int scale) {
   HarnessOptions opts;
   opts.version = EngineVersion::kSbtClearIngress;
-  opts.engine.worker_threads = 4;
+  opts.engine.knobs.worker_threads = 4;
   opts.generator.batch_events = batch_events;
   opts.generator.num_windows = 6;
   opts.generator.workload.kind = workload;

@@ -97,7 +97,7 @@ void RunFig7() {
       for (const int workers : worker_counts) {
         HarnessOptions opts;
         opts.version = version;
-        opts.engine.worker_threads = workers;
+        opts.engine.knobs.worker_threads = workers;
         opts.engine.secure_pool_mb = 512;
         opts.generator.batch_events = batch;
         opts.generator.num_windows = num_windows;

@@ -31,7 +31,7 @@ void RunFig8() {
   // StreamBox-TZ (full security on).
   HarnessOptions opts;
   opts.version = EngineVersion::kStreamBoxTz;
-  opts.engine.worker_threads = 8;
+  opts.engine.knobs.worker_threads = 8;
   opts.generator = Fig8Generator();
   const HarnessResult sbt_result = RunHarness(MakeWinSum(1000), opts);
   const double sbt_eps = sbt_result.events_per_sec();

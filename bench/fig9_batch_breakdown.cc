@@ -70,10 +70,10 @@ void RunFig9() {
       opts.version = EngineVersion::kSbtClearIngress;  // isolate the isolation cost itself
       // Single worker avoids oversubscription distortion in cycle accounting on small hosts;
       // the combined series accepts it — its point is the entry count, not the percentages.
-      opts.engine.worker_threads = s.workers;
+      opts.engine.knobs.worker_threads = s.workers;
       opts.engine.secure_pool_mb = 512;
-      opts.engine.fuse_chains = s.fused;
-      opts.engine.combine_submissions = s.combine;
+      opts.engine.knobs.fuse_chains = s.fused;
+      opts.engine.knobs.combine_submissions = s.combine;
       opts.generator.batch_events = batch;
       opts.generator.num_windows = 2u * scale;
       opts.generator.workload.kind = WorkloadKind::kSynthetic;

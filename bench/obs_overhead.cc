@@ -40,7 +40,7 @@ double RunFilterHarness() {
   const int scale = BenchScale();
   HarnessOptions opts;
   opts.version = EngineVersion::kStreamBoxTz;
-  opts.engine.worker_threads = 2;
+  opts.engine.knobs.worker_threads = 2;
   opts.engine.secure_pool_mb = 256;
   opts.generator.batch_events = 50000;
   opts.generator.num_windows = 4;

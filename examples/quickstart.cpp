@@ -23,7 +23,7 @@ int main() {
   //    the workload source (Intel-lab-style sensor readings).
   HarnessOptions opts;
   opts.version = EngineVersion::kStreamBoxTz;
-  opts.engine.worker_threads = 4;
+  opts.engine.knobs.worker_threads = 4;
   opts.engine.secure_pool_mb = 128;
   opts.generator.workload.kind = WorkloadKind::kIntelLab;
   opts.generator.workload.events_per_window = 100000;

@@ -20,7 +20,7 @@ int main() {
 
   const Pipeline pipeline = MakeDistinct(/*window_ms=*/1000);
   EngineOptions engine_opts;
-  engine_opts.worker_threads = 4;
+  engine_opts.knobs.worker_threads = 4;
   engine_opts.secure_pool_mb = 128;
 
   const DataPlaneConfig cfg = MakeEngineConfig(EngineVersion::kStreamBoxTz, engine_opts);

@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/control/lifecycle.h"
 #include "src/control/runner.h"
 #include "src/core/checkpoint.h"
 #include "src/core/data_plane.h"
@@ -44,20 +45,12 @@ inline std::string_view EngineVersionName(EngineVersion v) {
 
 struct EngineOptions {
   size_t secure_pool_mb = 512;
-  // Intra-engine worker threads (elastic pipeline parallelism). Any value yields the same
-  // audit chain, egress blobs, and verifier verdict — see src/control/runner.h.
-  int worker_threads = 4;
+  // The shared execution knobs (worker_threads / fuse_chains / combine_submissions /
+  // lockfree_retire), declared once in src/core/exec_knobs.h and propagated to both layer
+  // configs by ApplyExecutionKnobs. Every knob is byte-neutral (property-tested).
+  ExecutionKnobs knobs;
   bool use_hints = true;
   PlacementPolicy placement = PlacementPolicy::kHintGuided;
-  // Command-buffer fusion: one world switch per primitive chain (default). Off reproduces the
-  // call-per-primitive boundary for the fig9 comparison series.
-  bool fuse_chains = true;
-  // Flat-combining submission: concurrently ready chains share one world switch (default). Off
-  // reproduces the one-entry-per-chain boundary; bytes are identical either way.
-  bool combine_submissions = true;
-  // Lock-free ticket retire (default). Off selects the legacy mutex-guarded reorder buffer;
-  // bytes are identical either way (property-tested old-vs-new).
-  bool lockfree_retire = true;
 };
 
 inline DataPlaneConfig MakeEngineConfig(EngineVersion version, const EngineOptions& opts) {
@@ -73,7 +66,7 @@ inline DataPlaneConfig MakeEngineConfig(EngineVersion version, const EngineOptio
   }
   cfg.ingress_nonce.fill(0x01);
   cfg.egress_nonce.fill(0x02);
-  cfg.lockfree_retire = opts.lockfree_retire;
+  ApplyExecutionKnobs(opts.knobs, &cfg, nullptr);
 
   switch (version) {
     case EngineVersion::kStreamBoxTz:
@@ -95,31 +88,15 @@ inline DataPlaneConfig MakeEngineConfig(EngineVersion version, const EngineOptio
 
 inline RunnerConfig MakeRunnerConfig(EngineVersion version, const EngineOptions& opts) {
   RunnerConfig rc;
-  rc.worker_threads = opts.worker_threads;
+  ApplyExecutionKnobs(opts.knobs, nullptr, &rc);
   rc.use_hints = opts.use_hints;
-  rc.fuse_chains = opts.fuse_chains;
-  rc.combine_submissions = opts.combine_submissions;
   rc.ingest_path = (version == EngineVersion::kSbtIoViaOs) ? IngestPath::kViaOs
                                                            : IngestPath::kTrustedIo;
   return rc;
 }
 
-// --- engine checkpoint/restore (control + data plane as one unit) ---
-//
-// An "engine" is one DataPlane + Runner pair. CheckpointEngine quiesces the runner (Drain —
-// which waits out any fused command buffer as one atomic task, so a seal never lands
-// mid-chain),
-// moves any finished-but-uncollected window results into *results (they were already egressed
-// — ciphertext, safe outside the seal), then seals the runner's window bookkeeping together
-// with the caller's `server_annex` inside the data plane's checkpoint. RestoreEngine reverses
-// this into a freshly constructed pair built from the same configs, returning the annex.
-
-Result<DataPlane::CheckpointBundle> CheckpointEngine(DataPlane& dp, Runner& runner,
-                                                     std::span<const uint8_t> server_annex,
-                                                     std::vector<WindowResult>* results);
-
-Result<std::vector<uint8_t>> RestoreEngine(DataPlane& dp, Runner& runner,
-                                           const SealedCheckpoint& sealed);
+// Engine checkpoint/restore lives in EngineLifecycle (src/control/lifecycle.h) — the single
+// lifecycle entrypoint for a DataPlane + Runner pair.
 
 }  // namespace sbt
 

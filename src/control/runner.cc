@@ -24,7 +24,7 @@ constexpr uint32_t kRunnerStateMagic = 0x52544253u;
 
 Runner::Runner(DataPlane* data_plane, Pipeline pipeline, RunnerConfig config)
     : dp_(data_plane), pipeline_(std::move(pipeline)), config_(config) {
-  SBT_CHECK(config_.worker_threads > 0);
+  SBT_CHECK(config_.knobs.worker_threads > 0);
   // Compile the per-batch chain once; RunChain stamps it into a CmdBuffer per segment.
   chain_template_ = pipeline_.CompileBatchChain();
   // A multi-output close stage (kSegment) defeats the one-id-per-stage reservation that keeps
@@ -33,11 +33,11 @@ Runner::Runner(DataPlane* data_plane, Pipeline pipeline, RunnerConfig config)
   for (const WindowStageSpec& stage : pipeline_.window_stages()) {
     close_ids_reservable_ = close_ids_reservable_ && stage.op != PrimitiveOp::kSegment;
   }
-  if (!close_ids_reservable_ && config_.worker_threads > 1) {
+  if (!close_ids_reservable_ && config_.knobs.worker_threads > 1) {
     SBT_LOG(Error) << "window-close DAG contains a multi-output stage: close-stage audit ids "
                       "will be schedule-dependent at worker_threads > 1";
   }
-  if (config_.combine_submissions) {
+  if (config_.knobs.combine_submissions) {
     // Shared queue when the server wired one (cross-engine combining on a shard), otherwise a
     // private queue: either way workers publish ready chains instead of submitting directly.
     if (config_.combiner != nullptr) {
@@ -50,8 +50,8 @@ Runner::Runner(DataPlane* data_plane, Pipeline pipeline, RunnerConfig config)
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   m_queue_depth_ = reg.GetGauge("sbt_runner_queue_depth", config_.metric_labels);
   m_finished_closes_ = reg.GetGauge("sbt_runner_finished_closes", config_.metric_labels);
-  workers_.reserve(config_.worker_threads);
-  for (int i = 0; i < config_.worker_threads; ++i) {
+  workers_.reserve(config_.knobs.worker_threads);
+  for (int i = 0; i < config_.knobs.worker_threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
@@ -257,7 +257,7 @@ void Runner::RunChain(ExecTicket ticket, uint32_t worker_lane, OpaqueRef ref,
   // silence, is how lost data surfaces.
   bool chain_ok = true;
   bool ticket_retired = false;
-  if (config_.fuse_chains && !chain.empty()) {
+  if (config_.knobs.fuse_chains && !chain.empty()) {
     // Fused: the compiled template stamps slot-chained commands over this segment's ref and
     // the whole chain crosses the TEE boundary once — via the combining queue when combining
     // is on, where a combiner may execute it (and its neighbors) under a single boundary
@@ -425,7 +425,7 @@ void Runner::CloseWindow(uint32_t window_index, WindowState state) {
   // A slot ref names ONE output, so fusion requires every stage to be single-output; Segment
   // is the lone multi-output primitive, and a DAG using it falls back to the unfused loop
   // (which fans out however many outputs appear).
-  bool fuse = config_.fuse_chains && !stages.empty();
+  bool fuse = config_.knobs.fuse_chains && !stages.empty();
   for (const WindowStageSpec& stage : stages) {
     fuse = fuse && stage.op != PrimitiveOp::kSegment;
   }

@@ -45,26 +45,19 @@
 namespace sbt {
 
 struct RunnerConfig {
-  // Worker threads executing per-batch chains and window-close chains, concurrently and out of
-  // order. Egress and audit emission are sequenced (see the class comment), so every worker
-  // count produces the same audit chain, egress blobs, and verifier verdict — workers only buy
-  // throughput.
-  int worker_threads = 4;
+  // Shared execution knobs (src/core/exec_knobs.h). The runner consumes worker_threads
+  // (workers executing per-batch chains and window-close chains, concurrently and out of
+  // order — egress and audit emission are sequenced, so every worker count produces the same
+  // audit chain, egress blobs, and verifier verdict), fuse_chains (per-batch chains and the
+  // window-close DAG go through DataPlane::Submit, one world switch per chain, instead of one
+  // Invoke per step), and combine_submissions (workers publish ready chains to a combining
+  // queue and one combiner executes the concurrent ready set under a single world-switch
+  // session; tests asserting exact per-chain entry counts turn this off).
+  ExecutionKnobs knobs;
   IngestPath ingest_path = IngestPath::kTrustedIo;
   bool use_hints = true;
   // Backpressure: stall ingestion while the data plane reports high pool utilization.
   bool block_on_backpressure = true;
-  // Fused boundary crossings: per-batch chains and the window-close DAG go through
-  // DataPlane::Submit (one world switch per chain) instead of one Invoke per step. Off
-  // reproduces the paper's call-per-primitive boundary — the fig9 comparison series and the
-  // fused-vs-unfused equivalence property tests rely on both paths staying byte-identical.
-  bool fuse_chains = true;
-  // Flat-combining submission (src/core/submit_combiner.h): workers publish ready chains
-  // (fused buffers, or each unfused step) to a combining queue, and one combiner executes
-  // every concurrent ready set under a single world-switch session. Off submits directly —
-  // the reference boundary; the audit chain, egress blobs, and verifier verdicts are
-  // byte-identical either way. Tests asserting exact per-chain entry counts turn this off.
-  bool combine_submissions = true;
   // Optional shared combining queue: the EdgeServer wires one per shard so co-located tenant
   // engines combine across engines. Null -> the runner owns a private queue when combining is
   // on. The pointee must outlive the runner.
@@ -118,17 +111,8 @@ class Runner {
   // Removes and returns finished window results.
   std::vector<WindowResult> TakeResults();
 
-  // Serializes the quiesced control-plane state — open-window bookkeeping (contribution refs
-  // per stream) and the cumulative counters — for inclusion in a sealed engine checkpoint.
-  // Call after Drain() with no concurrent submitters; in-flight work fails with
-  // kFailedPrecondition. The refs inside are opaque; only the paired DataPlane can resolve
-  // them, so these bytes leak nothing even before sealing.
-  Result<std::vector<uint8_t>> CheckpointState();
-
-  // Restores CheckpointState bytes into this freshly constructed runner (same pipeline
-  // declaration, a DataPlane restored from the matching checkpoint). kFailedPrecondition when
-  // the runner already processed work; kDataLoss on malformed bytes.
-  Status RestoreState(std::span<const uint8_t> bytes);
+  // The construction-time config (knob-observation tests read knobs through this).
+  const RunnerConfig& config() const { return config_; }
 
   struct Stats {
     uint64_t events_ingested = 0;
@@ -141,6 +125,23 @@ class Runner {
   Stats stats() const;
 
  private:
+  // Engine-level checkpoint/restore goes through EngineLifecycle (src/control/lifecycle.h) —
+  // the one entrypoint that seals runner state together with the paired data plane. These two
+  // are its private halves; nothing else may seal a runner in isolation.
+  friend class EngineLifecycle;
+
+  // Serializes the quiesced control-plane state — open-window bookkeeping (contribution refs
+  // per stream) and the cumulative counters — for inclusion in a sealed engine checkpoint.
+  // Call after Drain() with no concurrent submitters; in-flight work fails with
+  // kFailedPrecondition. The refs inside are opaque; only the paired DataPlane can resolve
+  // them, so these bytes leak nothing even before sealing.
+  Result<std::vector<uint8_t>> CheckpointState();
+
+  // Restores CheckpointState bytes into this freshly constructed runner (same pipeline
+  // declaration, a DataPlane restored from the matching checkpoint). kFailedPrecondition when
+  // the runner already processed work; kDataLoss on malformed bytes.
+  Status RestoreState(std::span<const uint8_t> bytes);
+
   // One per-batch contribution to a window. `order` fixes the contribution's position in the
   // close chain's input list independently of which worker finished first: restored
   // contributions keep their serialized order (indices below kLiveOrderBase), live ones sort by

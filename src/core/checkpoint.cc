@@ -5,15 +5,23 @@
 namespace sbt {
 namespace {
 
-// The authenticated header image: version | chain_seq | chain_head | salt | payload length.
-// Feeding these through the MAC binds the chain position and the nonce salt to the ciphertext,
-// so a checkpoint cannot be re-labeled with a different chain position (or re-noncéd) without
+// The authenticated header image: version | mode | identity | base position | salt | payload
+// length. Feeding these through the MAC binds the seal's identity, mode, chain position, and
+// nonce salt to the ciphertext, so a checkpoint cannot be re-labeled — different engine,
+// different chain position, full-relabeled-as-delta, re-based, or re-noncéd — without
 // detection.
 std::vector<uint8_t> HeaderImage(const SealedCheckpoint& sealed) {
   ByteWriter w;
   w.U32(sealed.version);
-  w.U64(sealed.chain_seq);
-  w.Blob(std::span<const uint8_t>(sealed.chain_head.data(), sealed.chain_head.size()));
+  w.U8(static_cast<uint8_t>(sealed.mode));
+  w.U32(sealed.identity.tenant);
+  w.U64(sealed.identity.engine_id);
+  w.U32(sealed.identity.shard);
+  w.U64(sealed.identity.chain_seq);
+  w.Blob(std::span<const uint8_t>(sealed.identity.chain_head.data(),
+                                  sealed.identity.chain_head.size()));
+  w.U64(sealed.base_chain_seq);
+  w.Blob(std::span<const uint8_t>(sealed.base_chain_head.data(), sealed.base_chain_head.size()));
   w.U64(sealed.seal_salt);
   w.U64(sealed.ciphertext.size());
   return w.Take();
@@ -41,11 +49,14 @@ std::array<uint8_t, 12> SealNonce(const AesKey& mac_key, uint64_t seal_salt) {
 }  // namespace
 
 SealedCheckpoint SealCheckpoint(std::span<const uint8_t> plaintext, const AesKey& enc_key,
-                                const AesKey& mac_key, uint64_t chain_seq,
-                                const Sha256Digest& chain_head) {
+                                const AesKey& mac_key, SealMode mode,
+                                const EngineIdentity& identity, uint64_t base_chain_seq,
+                                const Sha256Digest& base_chain_head) {
   SealedCheckpoint sealed;
-  sealed.chain_seq = chain_seq;
-  sealed.chain_head = chain_head;
+  sealed.mode = mode;
+  sealed.identity = identity;
+  sealed.base_chain_seq = base_chain_seq;
+  sealed.base_chain_head = base_chain_head;
   // Unpredictable per-seal salt (a deployment would draw it from the TEE TRNG; see the RNG
   // row of DESIGN.md's substitutions).
   sealed.seal_salt = UnpredictableSeed();

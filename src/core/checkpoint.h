@@ -32,16 +32,48 @@ namespace sbt {
 // contain a random ref in that range (p = 2^-16 per ref) that RegisterExisting now rejects, so
 // v1 seals are refused deterministically at the version gate instead of failing one-in-65536
 // restores with a corruption-shaped error.
-inline constexpr uint32_t kCheckpointVersion = 2;
+// v3: the clear header carries the full engine identity (tenant / engine / shard) plus the seal
+// mode and, for delta seals, the base chain position the delta applies on top of — all bound
+// under the MAC. v2 seals are refused at the version gate.
+inline constexpr uint32_t kCheckpointVersion = 3;
 
-// The sealed artifact. Everything here is safe to hand to the untrusted host: the payload is
-// ciphertext and the MAC covers header fields and ciphertext alike.
-struct SealedCheckpoint {
-  uint32_t version = kCheckpointVersion;
-  // Audit hash-chain position at seal time: the sequence number the engine's NEXT audit upload
-  // will carry, and the MAC of the last upload (the one flushed by the checkpoint itself).
+// Full seal = complete quiesced engine state. Delta seal = only uArrays created (and a
+// tombstone list for uArrays retired) since the engine's previous seal; it applies only on top
+// of a plane whose audit chain sits exactly at the delta's base position.
+enum class SealMode : uint8_t {
+  kFull = 0,
+  kDelta = 1,
+};
+
+inline const char* SealModeName(SealMode m) { return m == SealMode::kFull ? "full" : "delta"; }
+
+// One identity for one engine, shared by seals, shard reports, and replication frames. The
+// chain position names *when* in the engine's audit stream the identity was stamped: for a
+// sealed checkpoint it is the sequence the NEXT audit upload will carry and the MAC of the
+// last upload (the one flushed by the seal itself); for a shard report it is the live head.
+struct EngineIdentity {
+  uint32_t tenant = 0;
+  uint64_t engine_id = 0;
+  // Home shard at stamp time. Advisory: failover legitimately re-homes an engine, so restore
+  // paths must not reject on shard mismatch.
+  uint32_t shard = 0;
   uint64_t chain_seq = 0;
   Sha256Digest chain_head{};
+};
+
+// The sealed artifact. Everything here is safe to hand to the untrusted host: the payload is
+// ciphertext and the MAC covers header fields and ciphertext alike. Identity being clear-text
+// is what lets a standby route an incoming seal to the right per-engine replica slot without
+// decrypting anything.
+struct SealedCheckpoint {
+  uint32_t version = kCheckpointVersion;
+  SealMode mode = SealMode::kFull;
+  // Who sealed, and the audit hash-chain position at seal time.
+  EngineIdentity identity;
+  // For kDelta: the chain position of the predecessor seal this delta applies on top of.
+  // Zero / all-zero for kFull.
+  uint64_t base_chain_seq = 0;
+  Sha256Digest base_chain_head{};
   // Random per-seal salt feeding the CTR nonce derivation. Chain position alone is not unique
   // across engines: two engines of one tenant share keys and count their chains independently,
   // and a repeated (key, nonce) pair would be a two-time pad. Bound under the MAC.
@@ -128,10 +160,13 @@ class ByteReader {
   size_t pos_ = 0;
 };
 
-// Encrypts `plaintext` and binds the header fields under the MAC.
+// Encrypts `plaintext` and binds the header fields — identity, mode, base position — under the
+// MAC. `identity.chain_seq` / `identity.chain_head` carry the seal-time chain position; for
+// kDelta the base position names the predecessor seal.
 SealedCheckpoint SealCheckpoint(std::span<const uint8_t> plaintext, const AesKey& enc_key,
-                                const AesKey& mac_key, uint64_t chain_seq,
-                                const Sha256Digest& chain_head);
+                                const AesKey& mac_key, SealMode mode,
+                                const EngineIdentity& identity, uint64_t base_chain_seq,
+                                const Sha256Digest& base_chain_head);
 
 // Verifies the MAC (constant-time) and decrypts. Any mismatch — flipped bit, truncation,
 // altered header — returns kDataLoss; the plaintext is only produced from an authentic seal.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -23,6 +24,7 @@ constexpr uint32_t kRestoreLanes = 16;
 // Leading payload marker: detects key mixups (wrong tenant key decrypts to noise) before any
 // per-entry parsing, on the off chance the MAC was also forged to match.
 constexpr uint32_t kCheckpointMagic = 0x43544253u;  // "SBTC"
+constexpr uint32_t kDeltaMagic = 0x44544253u;       // "SBTD" — delta-seal payload
 
 // Cache maintenance on a world-shared buffer (OP-TEE flushes shared memory at the boundary so
 // the secure side reads coherent data). On x86 we flush the same lines explicitly.
@@ -108,13 +110,24 @@ DataPlane::DataPlane(const DataPlaneConfig& config)
                                                config_.metric_labels);
   m_checkpoint_refusals_ = reg.GetCounter("sbt_checkpoint_refusals_total",
                                           config_.metric_labels);
+  // Reason-labeled refusal counters, one per admission guard, so delta-checkpoint cadence
+  // tuning can see *which* guard keeps tripping (satellite of the failover work).
+  const auto refusal_counter = [&reg, this](const char* reason) {
+    obs::MetricLabels labels = config_.metric_labels;
+    labels.emplace_back("reason", reason);
+    return reg.GetCounter("sbt_checkpoint_refusals_total", labels);
+  };
+  m_refuse_inflight_ = refusal_counter("inflight_chain");
+  m_refuse_ticket_ = refusal_counter("open_ticket");
+  m_refuse_ring_ = refusal_counter("retire_ring");
+  m_refuse_uarray_ = refusal_counter("open_uarray");
   m_commit_stall_cycles_ = reg.GetHistogram("sbt_ticket_commit_stall_cycles",
                                             config_.metric_labels);
   m_commit_batch_tickets_ = reg.GetHistogram("sbt_ticket_commit_batch_tickets",
                                              config_.metric_labels);
   m_ring_full_stalls_ = reg.GetCounter("sbt_ticket_ring_full_stalls_total",
                                        config_.metric_labels);
-  if (config_.lockfree_retire) {
+  if (config_.knobs.lockfree_retire) {
     ring_ = std::make_unique<TicketSlot[]>(kRingSlots);
     for (uint64_t i = 0; i < kRingSlots; ++i) {
       ring_[i].tag.store(SlotTag(i, kSlotFree), std::memory_order_relaxed);
@@ -171,7 +184,7 @@ void DataPlane::AppendAudit(AuditRecord record, ExecTicket* ticket) {
   if (ticket != nullptr) {
     // Staged: the record reaches the log (and gets its timestamp) when the ticket commits in
     // program order, not when this out-of-order execution happened to produce it.
-    if (config_.lockfree_retire) {
+    if (config_.knobs.lockfree_retire) {
       // Lock-free staging: between kOpen and kSlotRetired exactly one thread — the one
       // executing this ticket's operation — touches the slot, so no lock guards the vector.
       // The kSlotRetired release-store publishes the records to the frontier committer.
@@ -188,7 +201,7 @@ void DataPlane::AppendAudit(AuditRecord record, ExecTicket* ticket) {
 
 ExecTicket DataPlane::OpenTicket(uint32_t reserve_ids) {
   ExecTicket ticket;
-  if (config_.lockfree_retire) {
+  if (config_.knobs.lockfree_retire) {
     // Program order comes from the caller (the control thread opens tickets in submission
     // order), so a relaxed increment suffices; ReserveIds is an atomic bump in the allocator.
     // Nothing here takes a lock.
@@ -224,7 +237,7 @@ ExecTicket DataPlane::OpenTicket(uint32_t reserve_ids) {
 }
 
 void DataPlane::RetireTicket(const ExecTicket& ticket) {
-  if (config_.lockfree_retire) {
+  if (config_.knobs.lockfree_retire) {
     TicketSlot& slot = ring_[ticket.seq & (kRingSlots - 1)];
     SBT_CHECK(slot.tag.load(std::memory_order_relaxed) == SlotTag(ticket.seq, kSlotOpen));
     m_ticket_latency_cycles_->Observe(ReadCycleCounter() - slot.open_cycles);
@@ -304,7 +317,7 @@ void DataPlane::CommitFrontierLockfree() {
 }
 
 size_t DataPlane::open_tickets() const {
-  if (config_.lockfree_retire) {
+  if (config_.knobs.lockfree_retire) {
     // Exact once the control plane has drained (the only caller that needs exactness —
     // Checkpoint under admission_mu_); a racy snapshot otherwise, like staged_.size() was.
     return static_cast<size_t>(next_ticket_seq_.load(std::memory_order_relaxed) -
@@ -818,8 +831,8 @@ Sha256Digest DataPlane::audit_chain_head() const {
   return chain_head_;
 }
 
-Result<DataPlane::CheckpointBundle> DataPlane::Checkpoint(
-    std::span<const uint8_t> control_annex) {
+Result<DataPlane::CheckpointBundle> DataPlane::Checkpoint(std::span<const uint8_t> control_annex,
+                                                          SealMode mode) {
   // A command chain inside the TEE is atomic with respect to checkpoints: its intermediates
   // live in slots no table snapshot can see, so sealing mid-chain would capture a state no
   // unfused schedule can reach. The refusal decision below and the seal itself run under the
@@ -829,13 +842,42 @@ Result<DataPlane::CheckpointBundle> DataPlane::Checkpoint(
   std::lock_guard<std::mutex> admission(admission_mu_);
   if (inflight_chains() != 0) {
     m_checkpoint_refusals_->Add(1);
-    return FailedPrecondition("checkpoint while an Invoke/Submit chain is inside the TEE");
+    m_refuse_inflight_->Add(1);
+    return FailedPrecondition(
+        "checkpoint refused: an Invoke/Submit chain is inside the TEE (inflight_chain)");
   }
   // An open ticket means staged audit records that have not reached the log: flushing the
   // chain link now would embed a position that misses work already executed before the seal.
+  // Distinguish a genuinely open ticket (work still executing) from a non-empty retire ring
+  // (everything retired but the frontier commit has not drained) — the operator response
+  // differs: the former needs Drain, the latter a moment for the elected committer.
   if (open_tickets() != 0) {
     m_checkpoint_refusals_->Add(1);
-    return FailedPrecondition("checkpoint while execution tickets are open (drain first)");
+    bool any_open = false;
+    if (config_.knobs.lockfree_retire) {
+      const uint64_t next = next_ticket_seq_.load(std::memory_order_relaxed);
+      for (uint64_t seq = commit_next_seq_.load(std::memory_order_acquire);
+           seq != next && !any_open; ++seq) {
+        const uint64_t tag = ring_[seq % kRingSlots].tag.load(std::memory_order_acquire);
+        any_open = tag == SlotTag(seq, kSlotOpen);
+      }
+    } else {
+      std::lock_guard<std::mutex> lock(seq_mu_);
+      for (const auto& [seq, staged] : staged_) {
+        if (!staged.retired) {
+          any_open = true;
+          break;
+        }
+      }
+    }
+    if (any_open) {
+      m_refuse_ticket_->Add(1);
+      return FailedPrecondition(
+          "checkpoint refused: execution tickets are open — drain first (open_ticket)");
+    }
+    m_refuse_ring_->Add(1);
+    return FailedPrecondition(
+        "checkpoint refused: retired tickets awaiting frontier commit (retire_ring)");
   }
   const uint64_t seal_t0 = ReadCycleCounter();
   SBT_TRACE_SPAN("tee.checkpoint", 0, 0);
@@ -859,7 +901,10 @@ Result<DataPlane::CheckpointBundle> DataPlane::Checkpoint(
       return Internal("live reference to reclaimed uArray");
     }
     if (array->state() == UArrayState::kOpen) {
-      return FailedPrecondition("checkpoint while a uArray is still open (engine not quiesced)");
+      m_checkpoint_refusals_->Add(1);
+      m_refuse_uarray_->Add(1);
+      return FailedPrecondition(
+          "checkpoint refused: a uArray is still open — engine not quiesced (open_uarray)");
     }
     arrays.push_back(array);
   }
@@ -869,23 +914,65 @@ Result<DataPlane::CheckpointBundle> DataPlane::Checkpoint(
   CheckpointBundle bundle;
   bundle.audit = FlushAuditImpl(nullptr);
 
+  // Serializes one full table entry (the unit both full payloads and delta additions carry).
+  const auto write_entry = [](ByteWriter* out, OpaqueRef ref,
+                              const OpaqueRefTable::Entry& entry, const UArray* array) {
+    out->U64(ref);
+    out->U64(entry.array_id);
+    out->U16(entry.stream);
+    out->U8(static_cast<uint8_t>(array->scope()));
+    out->U64(array->elem_size());
+    out->Blob(std::span<const uint8_t>(array->data(), array->size_bytes()));
+  };
+
+  // A delta is only expressible relative to a previous seal; ids never being reused and
+  // Produced uArrays being immutable reduce "dirty since" to set difference against the ids
+  // the previous seal covered. Without a base, fall back to a full seal (sealed.mode says so).
+  const bool delta = mode == SealMode::kDelta && has_seal_base_;
   ByteWriter w;
-  w.U32(kCheckpointMagic);
-  w.U64(alloc_.next_array_id());
-  w.U64(egress_ctr_offset_.load(std::memory_order_relaxed));
-  w.F64(adaptive_threshold_.load(std::memory_order_relaxed));
-  w.F64(last_utilization_.load(std::memory_order_relaxed));
-  w.U64(refs.size());
-  for (size_t i = 0; i < refs.size(); ++i) {
-    const UArray* array = arrays[i];
-    w.U64(refs[i].first);
-    w.U64(refs[i].second.array_id);
-    w.U16(refs[i].second.stream);
-    w.U8(static_cast<uint8_t>(array->scope()));
-    w.U64(array->elem_size());
-    w.Blob(std::span<const uint8_t>(array->data(), array->size_bytes()));
+  if (delta) {
+    w.U32(kDeltaMagic);
+    w.U64(alloc_.next_array_id());
+    w.U64(egress_ctr_offset_.load(std::memory_order_relaxed));
+    w.F64(adaptive_threshold_.load(std::memory_order_relaxed));
+    w.F64(last_utilization_.load(std::memory_order_relaxed));
+    std::set<uint64_t> live_ids;
+    for (const auto& [ref, entry] : refs) {
+      live_ids.insert(entry.array_id);
+    }
+    std::vector<uint64_t> tombstones;  // sealed_ids_ is id-ordered, so this stays sorted
+    for (const auto& [id, ref] : sealed_ids_) {
+      if (live_ids.count(id) == 0) {
+        tombstones.push_back(id);
+      }
+    }
+    w.U64(tombstones.size());
+    for (const uint64_t id : tombstones) {
+      w.U64(id);
+    }
+    size_t additions = 0;
+    for (const auto& [ref, entry] : refs) {
+      additions += sealed_ids_.count(entry.array_id) == 0 ? 1 : 0;
+    }
+    w.U64(additions);
+    for (size_t i = 0; i < refs.size(); ++i) {
+      if (sealed_ids_.count(refs[i].second.array_id) == 0) {
+        write_entry(&w, refs[i].first, refs[i].second, arrays[i]);
+      }
+    }
+    w.Blob(control_annex);
+  } else {
+    w.U32(kCheckpointMagic);
+    w.U64(alloc_.next_array_id());
+    w.U64(egress_ctr_offset_.load(std::memory_order_relaxed));
+    w.F64(adaptive_threshold_.load(std::memory_order_relaxed));
+    w.F64(last_utilization_.load(std::memory_order_relaxed));
+    w.U64(refs.size());
+    for (size_t i = 0; i < refs.size(); ++i) {
+      write_entry(&w, refs[i].first, refs[i].second, arrays[i]);
+    }
+    w.Blob(control_annex);
   }
-  w.Blob(control_annex);
   const std::vector<uint8_t> plaintext = w.Take();
 
   uint64_t seq = 0;
@@ -895,17 +982,38 @@ Result<DataPlane::CheckpointBundle> DataPlane::Checkpoint(
     seq = chain_seq_;
     head = chain_head_;
   }
+  // The delta's base is the *previous* seal's position; this seal then becomes the base for
+  // the next one.
+  const uint64_t base_seq = seal_base_seq_;
+  const Sha256Digest base_head = seal_base_head_;
+  EngineIdentity identity = config_.identity;
+  identity.chain_seq = seq;
+  identity.chain_head = head;
   bundle.sealed = SealCheckpoint(std::span<const uint8_t>(plaintext.data(), plaintext.size()),
-                                 config_.egress_key, config_.mac_key, seq, head);
+                                 config_.egress_key, config_.mac_key,
+                                 delta ? SealMode::kDelta : SealMode::kFull, identity,
+                                 delta ? base_seq : 0, delta ? base_head : Sha256Digest{});
+  sealed_ids_.clear();
+  for (const auto& [ref, entry] : refs) {
+    sealed_ids_.emplace(entry.array_id, ref);
+  }
+  has_seal_base_ = true;
+  seal_base_seq_ = seq;
+  seal_base_head_ = head;
   m_checkpoint_seal_cycles_->Observe(ReadCycleCounter() - seal_t0);
   return bundle;
 }
 
 Result<std::vector<uint8_t>> DataPlane::Restore(const SealedCheckpoint& sealed) {
+  std::lock_guard<std::mutex> admission(admission_mu_);
   auto session = gate_.Enter();
   if (refs_.live_count() != 0 || audit_records_.load(std::memory_order_relaxed) != 0 ||
       audit_chain_seq() != 0) {
     return FailedPrecondition("restore into a data plane that has already processed data");
+  }
+  if (sealed.mode != SealMode::kFull) {
+    return FailedPrecondition(
+        "restore requires a full seal; a delta applies on top of its base (ApplyDelta)");
   }
 
   SBT_ASSIGN_OR_RETURN(const std::vector<uint8_t> plaintext,
@@ -953,6 +1061,7 @@ Result<std::vector<uint8_t>> DataPlane::Restore(const SealedCheckpoint& sealed) 
     }
     array->Produce();
     SBT_RETURN_IF_ERROR(refs_.RegisterExisting(ref, array_id, stream));
+    sealed_ids_.emplace(array_id, ref);
   }
   std::vector<uint8_t> annex;
   if (!r.Blob(&annex) || !r.exhausted()) {
@@ -965,9 +1074,141 @@ Result<std::vector<uint8_t>> DataPlane::Restore(const SealedCheckpoint& sealed) 
   last_utilization_.store(last_utilization, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(audit_mu_);
-    chain_seq_ = sealed.chain_seq;
-    chain_head_ = sealed.chain_head;
+    chain_seq_ = sealed.identity.chain_seq;
+    chain_head_ = sealed.identity.chain_head;
   }
+  // The restored seal becomes this plane's delta base: a promoted standby (or a restored
+  // primary) can emit deltas immediately.
+  has_seal_base_ = true;
+  seal_base_seq_ = sealed.identity.chain_seq;
+  seal_base_head_ = sealed.identity.chain_head;
+  return annex;
+}
+
+Result<std::vector<uint8_t>> DataPlane::ApplyDelta(const SealedCheckpoint& sealed) {
+  std::lock_guard<std::mutex> admission(admission_mu_);
+  auto session = gate_.Enter();
+  if (sealed.mode != SealMode::kDelta) {
+    return FailedPrecondition("ApplyDelta requires a delta seal (got a full seal — use Restore)");
+  }
+  if (!has_seal_base_) {
+    return FailedPrecondition("delta applied to a plane holding no base seal");
+  }
+  // The delta-seal chain rule: a delta applies only on top of the exact seal it was cut
+  // against. Position is MAC-bound in the header, so a reordered, replayed, or forked delta
+  // fails here deterministically.
+  {
+    std::lock_guard<std::mutex> lock(audit_mu_);
+    if (chain_seq_ != sealed.base_chain_seq ||
+        !DigestEqual(chain_head_, sealed.base_chain_head)) {
+      return DataLoss(
+          "delta seal base position does not match this replica (reordered, replayed, or "
+          "forked delta chain)");
+    }
+  }
+
+  SBT_ASSIGN_OR_RETURN(const std::vector<uint8_t> plaintext,
+                       UnsealCheckpoint(sealed, config_.egress_key, config_.mac_key));
+  ByteReader r(std::span<const uint8_t>(plaintext.data(), plaintext.size()));
+  const Status malformed = DataLoss("delta seal payload is malformed");
+  uint32_t magic = 0;
+  uint64_t next_array_id = 0;
+  uint64_t egress_offset = 0;
+  double adaptive_threshold = 0;
+  double last_utilization = 0;
+  uint64_t tombstone_count = 0;
+  if (!r.U32(&magic) || magic != kDeltaMagic || !r.U64(&next_array_id) ||
+      !r.U64(&egress_offset) || !r.F64(&adaptive_threshold) || !r.F64(&last_utilization) ||
+      !r.U64(&tombstone_count)) {
+    return malformed;
+  }
+  // Validate the whole payload before mutating anything: a rejected delta must leave the
+  // replica's base state byte-for-byte intact so the retransmitted (or correct successor)
+  // delta still applies.
+  std::vector<uint64_t> tombstones;
+  tombstones.reserve(tombstone_count);
+  std::set<uint64_t> tombstoned;
+  for (uint64_t i = 0; i < tombstone_count; ++i) {
+    uint64_t id = 0;
+    if (!r.U64(&id)) {
+      return malformed;
+    }
+    if (sealed_ids_.find(id) == sealed_ids_.end() || !tombstoned.insert(id).second) {
+      return malformed;  // tombstone for an id this replica never held, or a duplicate
+    }
+    if (alloc_.Find(id) == nullptr) {
+      return Internal("replica base holds an id with no live uArray");
+    }
+    tombstones.push_back(id);
+  }
+  uint64_t addition_count = 0;
+  if (!r.U64(&addition_count)) {
+    return malformed;
+  }
+  struct Addition {
+    uint64_t ref = 0;
+    uint64_t array_id = 0;
+    uint16_t stream = 0;
+    uint8_t scope = 0;
+    uint64_t elem_size = 0;
+    std::span<const uint8_t> bytes;
+  };
+  std::vector<Addition> additions;
+  additions.reserve(addition_count);
+  for (uint64_t i = 0; i < addition_count; ++i) {
+    Addition add;
+    uint64_t byte_count = 0;
+    if (!r.U64(&add.ref) || !r.U64(&add.array_id) || !r.U16(&add.stream) || !r.U8(&add.scope) ||
+        !r.U64(&add.elem_size) || !r.U64(&byte_count) || !r.View(byte_count, &add.bytes)) {
+      return malformed;
+    }
+    // Array ids are never reused, so an addition can never collide with a tombstone; it must
+    // be new to this replica outright.
+    if (add.scope > static_cast<uint8_t>(UArrayScope::kTemporary) || add.elem_size == 0 ||
+        add.bytes.size() % add.elem_size != 0 || sealed_ids_.count(add.array_id) != 0) {
+      return malformed;
+    }
+    additions.push_back(add);
+  }
+  std::vector<uint8_t> annex;
+  if (!r.Blob(&annex) || !r.exhausted()) {
+    return malformed;
+  }
+
+  for (const uint64_t id : tombstones) {
+    const auto it = sealed_ids_.find(id);
+    refs_.Remove(it->second);
+    alloc_.Retire(alloc_.Find(id));
+    sealed_ids_.erase(it);
+  }
+  for (const Addition& add : additions) {
+    const PlacementHint hint =
+        PlacementHint::Parallel(kRestoreLaneBase + static_cast<uint32_t>(add.array_id) %
+                                                       kRestoreLanes);
+    SBT_ASSIGN_OR_RETURN(UArray * array,
+                         alloc_.RestoreArray(add.array_id, add.elem_size,
+                                             static_cast<UArrayScope>(add.scope), hint));
+    const Status appended = array->Append(add.bytes.data(), add.bytes.size());
+    if (!appended.ok()) {
+      alloc_.Retire(array);
+      return appended;  // kResourceExhausted: delta state exceeds this partition
+    }
+    array->Produce();
+    SBT_RETURN_IF_ERROR(refs_.RegisterExisting(add.ref, add.array_id, add.stream));
+    sealed_ids_.emplace(add.array_id, add.ref);
+  }
+
+  alloc_.AdvanceNextArrayId(next_array_id);
+  egress_ctr_offset_.store(egress_offset, std::memory_order_relaxed);
+  adaptive_threshold_.store(adaptive_threshold, std::memory_order_relaxed);
+  last_utilization_.store(last_utilization, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(audit_mu_);
+    chain_seq_ = sealed.identity.chain_seq;
+    chain_head_ = sealed.identity.chain_head;
+  }
+  seal_base_seq_ = sealed.identity.chain_seq;
+  seal_base_head_ = sealed.identity.chain_head;
   return annex;
 }
 

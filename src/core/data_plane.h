@@ -39,6 +39,7 @@
 #include "src/common/time.h"
 #include "src/core/checkpoint.h"
 #include "src/core/cmd_buffer.h"
+#include "src/core/exec_knobs.h"
 #include "src/core/opaque_ref.h"
 #include "src/crypto/aes128.h"
 #include "src/crypto/sha256.h"
@@ -82,12 +83,15 @@ struct DataPlaneConfig {
   // Freshness delays are meaningless in this mode; never enable it in a deployment.
   bool logical_audit_timestamps = false;
 
-  // Ticket reorder buffer implementation. The lock-free ring (default) stages and retires
-  // tickets without a shared mutex; `false` selects the legacy seq_mu_-guarded std::map path.
-  // Both produce byte-identical audit streams (property-tested); the flag exists so the
-  // equivalence tests can diff old-vs-new and so a deployment can fall back if a platform's
-  // atomics misbehave.
-  bool lockfree_retire = true;
+  // Shared execution knobs (src/core/exec_knobs.h). The data plane consumes only
+  // knobs.lockfree_retire — the ring vs. legacy reorder buffer; both produce byte-identical
+  // audit streams (property-tested). The rest ride along so one struct propagates top to
+  // bottom unchanged.
+  ExecutionKnobs knobs;
+
+  // Who this plane is, for seals, reports, and replication frames. The chain-position fields
+  // are ignored here — they are stamped at seal time. Standalone harnesses leave it zeroed.
+  EngineIdentity identity;
 
   // Automatic flow control (the paper's stated future work, §4.2): tune the threshold online
   // from the pool-utilization trend. While committed memory grows faster than it reclaims the
@@ -273,19 +277,35 @@ class DataPlane {
     AuditUpload audit;
   };
 
-  // Quiesce-and-snapshot: serializes all live state (uArray contents, reference table,
-  // allocator and egress-cipher positions, flow-control state) plus the caller's opaque
-  // `control_annex`, seals it with the tenant keys, and flushes the audit log so the chain
-  // position embedded in the seal is current. The caller must have drained all in-flight work
-  // (Runner::Drain); an open uArray or an Invoke/Submit chain still inside the TEE fails with
-  // kFailedPrecondition (a command buffer is atomic with respect to checkpoints).
-  Result<CheckpointBundle> Checkpoint(std::span<const uint8_t> control_annex = {});
+  // Quiesce-and-snapshot: serializes live state (uArray contents, reference table, allocator
+  // and egress-cipher positions, flow-control state) plus the caller's opaque `control_annex`,
+  // seals it with the tenant keys, and flushes the audit log so the chain position embedded in
+  // the seal is current. The caller must have drained all in-flight work (Runner::Drain); an
+  // open uArray or an Invoke/Submit chain still inside the TEE fails with kFailedPrecondition
+  // (a command buffer is atomic with respect to checkpoints), and the Status message plus the
+  // reason-labeled sbt_checkpoint_refusals_total counter name which guard tripped.
+  //
+  // mode == kDelta seals only the change since this plane's previous seal: full entries for
+  // uArrays created since, a tombstone list for uArrays retired since (sound because ids are
+  // never reused and a Produced uArray is immutable), and the scalar positions. A delta
+  // requested before any seal exists falls back to a full seal — check sealed.mode.
+  Result<CheckpointBundle> Checkpoint(std::span<const uint8_t> control_annex = {},
+                                      SealMode mode = SealMode::kFull);
 
-  // Restores a sealed checkpoint into this freshly constructed data plane (same tenant keys)
-  // and returns the control annex. Tampered or truncated seals fail with kDataLoss; restoring
-  // into a non-fresh data plane fails with kFailedPrecondition; a partition too small for the
-  // checkpointed state fails with kResourceExhausted (discard the instance on any failure).
+  // Restores a sealed FULL checkpoint into this freshly constructed data plane (same tenant
+  // keys) and returns the control annex. Tampered or truncated seals fail with kDataLoss;
+  // restoring into a non-fresh data plane (or from a delta seal) fails with
+  // kFailedPrecondition; a partition too small for the checkpointed state fails with
+  // kResourceExhausted (discard the instance on any failure).
   Result<std::vector<uint8_t>> Restore(const SealedCheckpoint& sealed);
+
+  // Applies a delta seal on top of previously restored state (standby replica path, or a
+  // restored primary catching up through a seal chain). The delta's base position must equal
+  // this plane's current chain position exactly — a reordered, replayed, or forked delta fails
+  // with kDataLoss and leaves no partial mutation observable to a subsequent retry only if the
+  // caller discards the instance (treat any failure as fatal to the replica). Returns the
+  // control annex sealed with the delta.
+  Result<std::vector<uint8_t>> ApplyDelta(const SealedCheckpoint& sealed);
 
   // Audit chain position: sequence number of the next upload and MAC of the last one.
   uint64_t audit_chain_seq() const;
@@ -305,6 +325,8 @@ class DataPlane {
                ? adaptive_threshold_.load(std::memory_order_relaxed)
                : config_.backpressure_threshold;
   }
+  // The construction-time config (knob-observation tests read knobs through this).
+  const DataPlaneConfig& config() const { return config_; }
   SecureMemoryStats memory_stats() const { return world_.stats(); }
   WorldSwitchStats switch_stats() const { return gate_.stats(); }
   DataPlaneCycleStats cycle_stats() const;
@@ -451,7 +473,22 @@ class DataPlane {
   obs::Histogram* m_ticket_latency_cycles_;   // OpenTicket -> RetireTicket
   obs::Histogram* m_ticket_reorder_depth_;    // in-flight tickets observed at each retire
   obs::Histogram* m_checkpoint_seal_cycles_;  // successful Checkpoint() duration
-  obs::Counter* m_checkpoint_refusals_;       // kFailedPrecondition refusals
+  obs::Counter* m_checkpoint_refusals_;       // kFailedPrecondition refusals (all reasons)
+  // Same counter family with a {"reason", ...} label naming the guard that tripped:
+  obs::Counter* m_refuse_inflight_;  // reason="inflight_chain"
+  obs::Counter* m_refuse_ticket_;    // reason="open_ticket"
+  obs::Counter* m_refuse_ring_;      // reason="retire_ring"
+  obs::Counter* m_refuse_uarray_;    // reason="open_uarray"
+
+  // --- delta-seal base tracking (guarded by admission_mu_) ---
+  // Array ids included in this plane's previous seal (or restored/applied baseline), mapped to
+  // their table refs so a delta can tombstone retired ids. Sound because array ids are
+  // monotonic (never reused) and a Produced uArray is immutable: "dirtied since the last seal"
+  // reduces to set difference on ids.
+  std::map<uint64_t, OpaqueRef> sealed_ids_;
+  bool has_seal_base_ = false;
+  uint64_t seal_base_seq_ = 0;     // chain position of the previous seal
+  Sha256Digest seal_base_head_{};
   // Serial-section attribution for the lock-free retire path (fig7 reads these).
   obs::Histogram* m_commit_stall_cycles_;     // cycles inside a frontier-commit drain
   obs::Histogram* m_commit_batch_tickets_;    // tickets committed per frontier drain

@@ -162,6 +162,20 @@ void AppendBye(std::vector<uint8_t>* out, bool final) {
   PatchLength(out, at);
 }
 
+void AppendSeal(std::vector<uint8_t>* out, std::span<const uint8_t> artifact) {
+  const size_t at = BeginMessage(out, MsgType::kSeal);
+  Writer{out}.Bytes(artifact);
+  PatchLength(out, at);
+}
+
+void AppendSealAck(std::vector<uint8_t>* out, const SealAck& ack) {
+  const size_t at = BeginMessage(out, MsgType::kSealAck);
+  Writer w{out};
+  w.U64(ack.engine_id);
+  w.U64(ack.chain_seq);
+  PatchLength(out, at);
+}
+
 std::vector<uint8_t> EncodeDgram(const SessionKey& key, const Dgram& dgram) {
   std::vector<uint8_t> out;
   out.reserve(1 + 4 + 4 + 2 + 1 + 8 + 8 + dgram.payload.size() + kSessionTagSize);
@@ -236,6 +250,15 @@ std::optional<Bye> DecodeBye(std::span<const uint8_t> body) {
   const uint8_t flag = r.U8();
   if (!r.Exhausted() || flag > 1) return std::nullopt;
   return Bye{.final = flag == 1};
+}
+
+std::optional<SealAck> DecodeSealAck(std::span<const uint8_t> body) {
+  Reader r{body};
+  SealAck ack;
+  ack.engine_id = r.U64();
+  ack.chain_seq = r.U64();
+  if (!r.Exhausted()) return std::nullopt;
+  return ack;
 }
 
 std::optional<Dgram> DecodeDgram(

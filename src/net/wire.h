@@ -58,6 +58,11 @@ enum class MsgType : uint8_t {
   kWatermark = 7,
   kBye = 8,
   kDgram = 9,
+  // Replication stream (standby link, same handshake): one sealed engine artifact per kSeal
+  // frame (src/server/replica.h codec; everything sensitive rides inside the seal), answered
+  // by kSealAck once the standby has applied it.
+  kSeal = 10,
+  kSealAck = 11,
 };
 
 // What a datagram carries (the TCP stream encodes these as distinct message types).
@@ -89,6 +94,14 @@ struct Bye {
   bool final = false;  // true: stream complete; false: churn disconnect, the source will return
 };
 
+// The standby's receipt for one applied seal artifact: which engine, and the chain position
+// the artifact advanced it to (== sealed.identity.chain_seq). The primary retires its replay
+// buffers only up to acked artifacts.
+struct SealAck {
+  uint64_t engine_id = 0;
+  uint64_t chain_seq = 0;
+};
+
 struct Dgram {
   uint32_t tenant = 0;
   uint32_t source = 0;
@@ -111,6 +124,9 @@ void AppendData(std::vector<uint8_t>* out, uint64_t seq, uint64_t ctr_offset,
                 std::span<const uint8_t> payload);
 void AppendWatermark(std::vector<uint8_t>* out, uint64_t seq, uint64_t value);
 void AppendBye(std::vector<uint8_t>* out, bool final);
+// `artifact` is an encoded SealArtifact (must fit one message: < kMaxMessageBytes).
+void AppendSeal(std::vector<uint8_t>* out, std::span<const uint8_t> artifact);
+void AppendSealAck(std::vector<uint8_t>* out, const SealAck& ack);
 
 // Encodes one authenticated datagram (no length prefix; one per UDP packet).
 std::vector<uint8_t> EncodeDgram(const SessionKey& key, const Dgram& dgram);
@@ -143,6 +159,8 @@ std::optional<SessionTag> DecodeTag(std::span<const uint8_t> body);  // kAuth / 
 std::optional<Data> DecodeData(std::span<const uint8_t> body);
 std::optional<Watermark> DecodeWatermark(std::span<const uint8_t> body);
 std::optional<Bye> DecodeBye(std::span<const uint8_t> body);
+// The kSeal body IS the encoded artifact; no decoder needed beyond the artifact codec.
+std::optional<SealAck> DecodeSealAck(std::span<const uint8_t> body);
 
 // Verifies the tag and decodes one datagram. `key_of` resolves the datagram key for a
 // (tenant, source) claim; packets claiming unknown sources fail before any MAC work.

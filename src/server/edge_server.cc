@@ -7,6 +7,7 @@
 
 #include "src/attest/compress.h"
 #include "src/common/logging.h"
+#include "src/control/lifecycle.h"
 #include "src/core/checkpoint.h"
 #include "src/obs/trace.h"
 
@@ -51,14 +52,13 @@ constexpr auto kFrontendIdleWait = std::chrono::milliseconds(5);
 // Leading marker of the server-side annex sealed inside an engine checkpoint ("SBTS").
 constexpr uint32_t kServerAnnexMagic = 0x53544253u;
 
-size_t RoundUpToPage(size_t bytes, size_t page) { return (bytes + page - 1) / page * page; }
-
 uint64_t SourceKey(TenantId tenant, uint32_t source) {
   return (static_cast<uint64_t>(tenant) << 32) | source;
 }
 
 // The EdgeServer-level state of one engine, sealed alongside the runner state: watermark
-// frontier per source, applied minimum, admission counters, and the engine's stable identity.
+// frontier per source, applied minimum, covered-frame counts, admission counters, and the
+// engine's stable identity.
 struct ServerAnnex {
   uint64_t engine_id = 0;
   EventTimeMs advanced = 0;
@@ -66,6 +66,7 @@ struct ServerAnnex {
   uint64_t dispatch_errors = 0;
   uint64_t restores = 0;
   std::map<uint32_t, EventTimeMs> source_watermarks;
+  std::map<uint32_t, uint64_t> source_frames;
 };
 
 std::vector<uint8_t> EncodeServerAnnex(const ServerAnnex& annex) {
@@ -80,6 +81,11 @@ std::vector<uint8_t> EncodeServerAnnex(const ServerAnnex& annex) {
   for (const auto& [source, watermark] : annex.source_watermarks) {
     w.U32(source);
     w.U64(watermark);
+  }
+  w.U64(annex.source_frames.size());
+  for (const auto& [source, frames] : annex.source_frames) {
+    w.U32(source);
+    w.U64(frames);
   }
   return w.Take();
 }
@@ -103,6 +109,18 @@ Result<ServerAnnex> DecodeServerAnnex(std::span<const uint8_t> bytes) {
       return DataLoss("engine server annex is malformed");
     }
     annex.source_watermarks[source] = watermark;
+  }
+  uint64_t frame_count = 0;
+  if (!r.U64(&frame_count)) {
+    return DataLoss("engine server annex is malformed");
+  }
+  for (uint64_t i = 0; i < frame_count; ++i) {
+    uint32_t source = 0;
+    uint64_t frames = 0;
+    if (!r.U32(&source) || !r.U64(&frames)) {
+      return DataLoss("engine server annex is malformed");
+    }
+    annex.source_frames[source] = frames;
   }
   if (!r.exhausted()) {
     return DataLoss("engine server annex is malformed");
@@ -173,28 +191,21 @@ uint32_t EdgeServer::EngineHome(const ShardRouter& router, const Engine& engine)
   return router.Route(engine.tenant, key);
 }
 
-Result<EdgeServer::Engine*> EdgeServer::CreateEngine(Shard& shard, const TenantSpec& spec) {
-  TzPartitionConfig partition;
-  partition.secure_page_bytes = 64u << 10;
-  partition.secure_dram_bytes =
-      RoundUpToPage(spec.secure_quota_bytes, partition.secure_page_bytes);
-  partition.group_reserve_bytes = partition.secure_dram_bytes;
-  if (shard.carved_bytes + partition.secure_dram_bytes > shard.slice_bytes) {
+ReplicaSession::Options EdgeServer::ReplicaOptions() const {
+  ReplicaSession::Options opts;
+  opts.switch_cost = config_.switch_cost;
+  opts.logical_audit_timestamps = config_.logical_audit_timestamps;
+  opts.knobs.combine_submissions = config_.combine_submissions;
+  return opts;
+}
+
+Result<EdgeServer::Engine*> EdgeServer::CreateEngine(Shard& shard, const TenantSpec& spec,
+                                                     const EngineIdentity& identity) {
+  const size_t partition_bytes = EnginePartitionBytes(spec);
+  if (shard.carved_bytes + partition_bytes > shard.slice_bytes) {
     return ResourceExhausted("tenant " + spec.name + " quota oversubscribes shard " +
                              std::to_string(shard.index));
   }
-
-  DataPlaneConfig dp_cfg;
-  dp_cfg.partition = partition;
-  dp_cfg.switch_cost = config_.switch_cost;
-  dp_cfg.decrypt_ingress = spec.encrypted_ingress;
-  dp_cfg.ingress_key = spec.ingress_key;
-  dp_cfg.ingress_nonce = spec.ingress_nonce;
-  dp_cfg.egress_key = spec.egress_key;
-  dp_cfg.egress_nonce = spec.egress_nonce;
-  dp_cfg.mac_key = spec.mac_key;
-  dp_cfg.backpressure_threshold = spec.backpressure_threshold;
-  dp_cfg.logical_audit_timestamps = config_.logical_audit_timestamps;
 
   // Worker carve: the tenant's requested parallelism (or the server default), clamped so the
   // host-wide worker budget is never oversubscribed — but never below one worker, since a
@@ -210,30 +221,36 @@ Result<EdgeServer::Engine*> EdgeServer::CreateEngine(Shard& shard, const TenantS
   // runner intern carries the tenant and its current shard home. A re-homed engine re-creates
   // here with its new shard label; the old series simply stops moving.
   const obs::MetricLabels labels = EngineMetricLabels(spec.name, shard.index);
-  dp_cfg.metric_labels = labels;
+
+  // One knob set drives both layers through the one propagation point; the data-plane config
+  // itself comes from the shared recipe every construction site uses.
+  ExecutionKnobs knobs;
+  knobs.worker_threads = workers;
+  knobs.combine_submissions = config_.combine_submissions;
+  const DataPlaneConfig dp_cfg = MakeEngineDataPlaneConfig(
+      spec, identity, knobs, config_.switch_cost, config_.logical_audit_timestamps, labels);
 
   RunnerConfig rc;
-  rc.worker_threads = workers;
+  ApplyExecutionKnobs(knobs, nullptr, &rc);
   rc.metric_labels = labels;
   rc.ingest_path = IngestPath::kTrustedIo;
   // kShed tenants drop at the data-plane door instead of blocking inside IngestFrame.
   rc.block_on_backpressure = spec.admission == AdmissionPolicy::kStall;
-  rc.combine_submissions = config_.combine_submissions;
   // With cross-engine combining the shard's co-resident engines share one queue (one session
   // per engine per drained batch); otherwise each runner owns a private queue.
   rc.combiner = shard.combiner.get();
 
   auto owned = std::make_unique<Engine>();
-  owned->engine_id = next_engine_id_++;
+  owned->engine_id = identity.engine_id;
   owned->tenant = spec.id;
   owned->admission = spec.admission;
   owned->worker_threads = workers;
-  owned->partition_bytes = partition.secure_dram_bytes;
+  owned->partition_bytes = partition_bytes;
   owned->dp = std::make_unique<DataPlane>(dp_cfg);
   owned->runner = std::make_unique<Runner>(owned->dp.get(), spec.pipeline, rc);
   owned->committed_gauge =
       obs::MetricsRegistry::Global().GetGauge("sbt_engine_committed_bytes", labels);
-  shard.carved_bytes += partition.secure_dram_bytes;
+  shard.carved_bytes += partition_bytes;
   Engine* engine = owned.get();
   shard.engines.push_back(std::move(owned));
   return engine;
@@ -283,9 +300,15 @@ Status EdgeServer::BindSource(TenantId tenant, uint32_t source, FrameChannel* ch
   if (engine == nullptr) {
     // First contact of this tenant with this shard: carve its partition out of the shard's
     // slice and instantiate the engine.
-    SBT_ASSIGN_OR_RETURN(engine, CreateEngine(shard, *spec));
+    EngineIdentity identity;
+    identity.tenant = tenant;
+    identity.engine_id = next_engine_id_;
+    identity.shard = shard_index;
+    SBT_ASSIGN_OR_RETURN(engine, CreateEngine(shard, *spec, identity));
+    ++next_engine_id_;
   }
   engine->source_watermarks.emplace(source, 0);
+  engine->source_frames.emplace(source, 0);
   shard.by_source[SourceKey(tenant, source)] = engine;
 
   auto src = std::make_unique<Source>();
@@ -375,11 +398,11 @@ bool EdgeServer::TryDeliver(Source& src, RoutedFrame& rf) {
     ++src.frames_delivered;
     return true;
   }
-  // A closed queue is a dead shard (sealed and never restored, with the server now shutting
-  // down): the frame can never be delivered, so drop it — watermarks included — exactly as
-  // dispatch drops frames for an engine that failed to restore. Holding it would wedge the
-  // frontend run-down. During a live checkpoint/restore window this path cannot fire: the
-  // shard's sources are suspended before its queue closes.
+  // A closed queue is a dead shard (sealed or killed and never revived, with the server now
+  // shutting down): the frame can never be delivered, so drop it — watermarks included —
+  // exactly as dispatch drops frames for an engine that failed to restore. Holding it would
+  // wedge the frontend run-down. During a live checkpoint/restore window this path cannot
+  // fire: the shard's sources are suspended before its queue closes.
   if (queue.closed()) {
     ++src.frames_shed;
     return true;
@@ -499,6 +522,9 @@ void EdgeServer::Dispatch(Shard* shard, RoutedFrame rf) {
     }
     return;
   }
+  // Covered-frame accounting: every data frame that reaches this engine counts, shed or not —
+  // the seal reflects its (possibly null) effect, so replication replay must skip it.
+  ++e.source_frames[rf.source];
   if (e.admission == AdmissionPolicy::kShed && e.dp->ShouldBackpressure()) {
     ++e.shed_frames;
     Admission().shed_frames->Add(1);
@@ -531,7 +557,7 @@ void EdgeServer::DispatchLoop(Shard* shard) {
   }
 }
 
-Result<ShardEngineCheckpoint> EdgeServer::SealEngine(Engine& engine) {
+Result<SealArtifact> EdgeServer::SealEngine(Engine& engine, SealMode mode, bool detach) {
   ServerAnnex annex;
   annex.engine_id = engine.engine_id;
   annex.advanced = engine.advanced;
@@ -539,27 +565,49 @@ Result<ShardEngineCheckpoint> EdgeServer::SealEngine(Engine& engine) {
   annex.dispatch_errors = engine.dispatch_errors;
   annex.restores = engine.restores;
   annex.source_watermarks = engine.source_watermarks;
+  annex.source_frames = engine.source_frames;
   const std::vector<uint8_t> annex_bytes = EncodeServerAnnex(annex);
 
-  SBT_ASSIGN_OR_RETURN(
-      DataPlane::CheckpointBundle bundle,
-      CheckpointEngine(*engine.dp, *engine.runner,
-                       std::span<const uint8_t>(annex_bytes.data(), annex_bytes.size()),
-                       &engine.results));
+  EngineLifecycle lifecycle(engine.dp.get(), engine.runner.get());
+  EngineLifecycle::CheckpointRequest request;
+  request.mode = mode;
+  request.server_annex = std::span<const uint8_t>(annex_bytes.data(), annex_bytes.size());
+  SBT_ASSIGN_OR_RETURN(DataPlane::CheckpointBundle bundle,
+                       lifecycle.Checkpoint(request, &engine.results));
   engine.uploads.push_back(std::move(bundle.audit));
   chain_heads_[engine.engine_id] = {engine.uploads.back().chain_seq + 1,
                                     engine.uploads.back().mac};
 
-  ShardEngineCheckpoint ckpt;
-  ckpt.tenant = engine.tenant;
-  ckpt.engine_id = engine.engine_id;
-  ckpt.sealed = std::move(bundle.sealed);
-  ckpt.uploads = std::move(engine.uploads);
-  ckpt.results = std::move(engine.results);
-  return ckpt;
+  SealArtifact artifact;
+  artifact.sealed = std::move(bundle.sealed);
+  artifact.source_frames = engine.source_frames;
+  // Branch on the seal the plane actually produced, not the requested mode: a kDelta request
+  // with no prior seal falls back to full, and a full artifact must stand alone.
+  if (detach) {
+    artifact.uploads = std::move(engine.uploads);
+    artifact.results = std::move(engine.results);
+    engine.uploads.clear();
+    engine.results.clear();
+    engine.uploads_shipped = 0;
+    engine.results_shipped = 0;
+  } else if (artifact.sealed.mode == SealMode::kFull) {
+    artifact.uploads = engine.uploads;
+    artifact.results = engine.results;
+    engine.uploads_shipped = engine.uploads.size();
+    engine.results_shipped = engine.results.size();
+  } else {
+    artifact.uploads.assign(engine.uploads.begin() + engine.uploads_shipped,
+                            engine.uploads.end());
+    artifact.results.assign(engine.results.begin() + engine.results_shipped,
+                            engine.results.end());
+    engine.uploads_shipped = engine.uploads.size();
+    engine.results_shipped = engine.results.size();
+  }
+  return artifact;
 }
 
-Result<std::vector<ShardEngineCheckpoint>> EdgeServer::DrainAndSealShard(Shard& shard) {
+Result<std::vector<SealArtifact>> EdgeServer::DrainAndSealShard(Shard& shard, SealMode mode,
+                                                                bool detach) {
   // Close-then-join drains every frame already routed to this shard into its engines.
   shard.queue->Close();
   if (shard.dispatcher.joinable()) {
@@ -567,19 +615,22 @@ Result<std::vector<ShardEngineCheckpoint>> EdgeServer::DrainAndSealShard(Shard& 
   }
   // Seal what seals. An engine that refuses (it cannot, after the drain above — this is
   // defensive) stays resident with its upload history intact rather than poisoning the
-  // checkpoints already taken from its co-residents.
-  std::vector<ShardEngineCheckpoint> out;
+  // artifacts already taken from its co-residents.
+  std::vector<SealArtifact> out;
   std::vector<std::unique_ptr<Engine>> kept;
   out.reserve(shard.engines.size());
   for (auto& engine : shard.engines) {
-    auto ckpt = SealEngine(*engine);
-    if (!ckpt.ok()) {
+    auto artifact = SealEngine(*engine, mode, detach);
+    if (!artifact.ok()) {
       SBT_LOG(Error) << "shard " << shard.index << ": sealing engine for tenant "
-                     << engine->tenant << " failed: " << ckpt.status().ToString();
+                     << engine->tenant << " failed: " << artifact.status().ToString();
       kept.push_back(std::move(engine));
       continue;
     }
-    out.push_back(std::move(*ckpt));
+    out.push_back(std::move(*artifact));
+    if (!detach) {
+      kept.push_back(std::move(engine));
+    }
   }
   shard.engines = std::move(kept);
   shard.by_source.clear();
@@ -593,9 +644,229 @@ Result<std::vector<ShardEngineCheckpoint>> EdgeServer::DrainAndSealShard(Shard& 
   return out;
 }
 
-Result<std::vector<ShardEngineCheckpoint>> EdgeServer::CheckpointShard(uint32_t shard_index) {
+Result<std::vector<SealArtifact>> EdgeServer::Checkpoint(const CheckpointRequest& request) {
   if (!started_ || stopped_) {
-    return FailedPrecondition("CheckpointShard on a server that is not running");
+    return FailedPrecondition("Checkpoint on a server that is not running");
+  }
+  if (request.shard >= shards_.size()) {
+    return InvalidArgument("no such shard");
+  }
+  PauseFrontends();
+  for (auto& src : sources_) {
+    if (src->shard == request.shard) {
+      src->suspended.store(true, std::memory_order_relaxed);
+    }
+  }
+  Shard& shard = *shards_[request.shard];
+  auto result = DrainAndSealShard(shard, request.mode, request.detach);
+  if (!request.detach) {
+    // Seal-in-place: revive the shard's queue and dispatcher and resume its sources — serving
+    // continues with the seal gap bounded by the drain, not by any restore.
+    shard.queue = std::make_unique<BoundedChannel<RoutedFrame>>(config_.shard_queue_frames);
+    AttachQueueGauge(shard);
+    shard.dispatcher = std::thread([this, s = &shard] { DispatchLoop(s); });
+    for (auto& src : sources_) {
+      if (src->shard == request.shard) {
+        src->suspended.store(false, std::memory_order_relaxed);
+      }
+    }
+  }
+  ResumeFrontends();
+  return result;
+}
+
+Status EdgeServer::AdoptEngine(Shard& shard, ReplicaSession::PromotedEngine pe) {
+  const TenantSpec* spec = registry_.Find(pe.identity.tenant);
+  if (spec == nullptr) {
+    return NotFound("promoted engine for unknown tenant " + std::to_string(pe.identity.tenant));
+  }
+  // Tamper-evident recovery, server side: the adopted chain position must continue the last
+  // verified upload this server saw leave the engine. (The ReplicaSession already verified
+  // every link up to this position.) A stale or forked artifact is rejected.
+  if (const auto it = chain_heads_.find(pe.identity.engine_id); it != chain_heads_.end()) {
+    if (pe.identity.chain_seq != it->second.first ||
+        !DigestEqual(pe.identity.chain_head, it->second.second)) {
+      return DataLoss("checkpoint is stale: the engine's audit chain advanced past it");
+    }
+  }
+  // A pristine engine never processed anything and sealed nothing: a bind-time placeholder,
+  // not a live incarnation of any checkpointed identity.
+  const auto pristine = [](const Engine& e) {
+    return e.uploads.empty() && e.dp->live_refs() == 0 && e.dp->audit_chain_seq() == 0 &&
+           e.dp->cycle_stats().audit_records == 0;
+  };
+  // Split-brain guard: a checkpointed engine identity may be live at most once on this server.
+  // Placeholders are exempt — their ids are locally assigned and may collide with ids from the
+  // server that sealed the artifact.
+  for (auto& other : shards_) {
+    for (const auto& engine : other->engines) {
+      if (engine->tenant == pe.identity.tenant &&
+          engine->engine_id == pe.identity.engine_id && !pristine(*engine)) {
+        return FailedPrecondition("engine is already live; refusing a second restore");
+      }
+    }
+  }
+  // A placeholder of the promoted tenant yields its carve to the promoted incarnation (the
+  // standby warm-up path: BindSource created it, the real state streamed in). A tenant engine
+  // with real state refuses — promotion never silently discards work.
+  for (size_t i = 0; i < shard.engines.size(); ++i) {
+    Engine& resident = *shard.engines[i];
+    if (resident.tenant != pe.identity.tenant) {
+      continue;
+    }
+    if (!pristine(resident)) {
+      return FailedPrecondition("tenant already has a live engine on this shard");
+    }
+    shard.carved_bytes -= resident.partition_bytes;
+    for (auto it = shard.by_source.begin(); it != shard.by_source.end();) {
+      it = (it->second == &resident) ? shard.by_source.erase(it) : std::next(it);
+    }
+    shard.engines.erase(shard.engines.begin() + static_cast<ptrdiff_t>(i));
+    break;
+  }
+
+  const size_t partition_bytes = EnginePartitionBytes(*spec);
+  if (shard.carved_bytes + partition_bytes > shard.slice_bytes) {
+    return ResourceExhausted("tenant " + spec->name + " quota oversubscribes shard " +
+                             std::to_string(shard.index));
+  }
+  int workers = spec->worker_threads > 0 ? spec->worker_threads : config_.workers_per_engine;
+  if (config_.host_worker_budget > 0) {
+    const int remaining = config_.host_worker_budget - WorkersAllocated();
+    workers = std::max(1, std::min(workers, remaining));
+  }
+  const obs::MetricLabels labels = EngineMetricLabels(spec->name, shard.index);
+  ExecutionKnobs knobs;
+  knobs.worker_threads = workers;
+  knobs.combine_submissions = config_.combine_submissions;
+  RunnerConfig rc;
+  ApplyExecutionKnobs(knobs, nullptr, &rc);
+  rc.metric_labels = labels;
+  rc.ingest_path = IngestPath::kTrustedIo;
+  rc.block_on_backpressure = spec->admission == AdmissionPolicy::kStall;
+  rc.combiner = shard.combiner.get();
+
+  auto owned = std::make_unique<Engine>();
+  owned->engine_id = pe.identity.engine_id;
+  owned->tenant = pe.identity.tenant;
+  owned->admission = spec->admission;
+  owned->worker_threads = workers;
+  owned->partition_bytes = partition_bytes;
+  owned->dp = std::move(pe.dp);
+  owned->runner = std::make_unique<Runner>(owned->dp.get(), spec->pipeline, rc);
+  owned->committed_gauge =
+      obs::MetricsRegistry::Global().GetGauge("sbt_engine_committed_bytes", labels);
+
+  // The promote-path splice: the plane already carries the applied state; the fresh runner
+  // adopts the latest control annex, and the server annex restores our own bookkeeping.
+  EngineLifecycle lifecycle(owned->dp.get(), owned->runner.get());
+  auto server_annex = lifecycle.AdoptState(
+      std::span<const uint8_t>(pe.engine_annex.data(), pe.engine_annex.size()));
+  if (!server_annex.ok()) {
+    return server_annex.status();
+  }
+  auto annex = DecodeServerAnnex(
+      std::span<const uint8_t>(server_annex->data(), server_annex->size()));
+  if (!annex.ok()) {
+    return annex.status();
+  }
+  if (annex->engine_id != pe.identity.engine_id) {
+    return DataLoss("checkpoint metadata does not match its sealed engine identity");
+  }
+  owned->advanced = annex->advanced;
+  owned->shed_frames = annex->shed_frames;
+  owned->dispatch_errors = annex->dispatch_errors;
+  owned->restores = annex->restores + 1;
+  owned->source_watermarks = annex->source_watermarks;
+  owned->source_frames = annex->source_frames;
+  owned->uploads = std::move(pe.uploads);
+  owned->results = std::move(pe.results);
+  owned->uploads_shipped = owned->uploads.size();
+  owned->results_shipped = owned->results.size();
+  next_engine_id_ = std::max(next_engine_id_, owned->engine_id + 1);
+
+  Engine* engine = owned.get();
+  shard.carved_bytes += partition_bytes;
+  shard.engines.push_back(std::move(owned));
+  for (const auto& [source, watermark] : engine->source_watermarks) {
+    shard.by_source[SourceKey(engine->tenant, source)] = engine;
+  }
+  // Re-point and resume the engine's sources (frontends are parked or not yet started).
+  for (auto& src : sources_) {
+    if (src->tenant == engine->tenant && engine->source_watermarks.contains(src->id)) {
+      src->shard = shard.index;
+      src->suspended.store(false, std::memory_order_relaxed);
+    }
+  }
+  return OkStatus();
+}
+
+Status EdgeServer::Promote(ReplicaSession& replica, uint32_t shard_index) {
+  if (stopped_) {
+    return FailedPrecondition("Promote on a stopped server");
+  }
+  if (shard_index >= shards_.size()) {
+    return InvalidArgument("no such shard");
+  }
+  SBT_ASSIGN_OR_RETURN(std::vector<ReplicaSession::PromotedEngine> engines,
+                       replica.TakeEngines());
+  Shard& shard = *shards_[shard_index];
+  const bool live = started_;
+  if (live) {
+    PauseFrontends();
+    // Quiesce the target shard's dispatcher: promoting mutates its routing table, which the
+    // dispatcher reads without a lock. (Frontends are parked; nobody pushes meanwhile.) On a
+    // dead shard — detached checkpoint, KillShard — the queue is already closed and the
+    // dispatcher already joined; this revives it below.
+    shard.queue->Close();
+    if (shard.dispatcher.joinable()) {
+      shard.dispatcher.join();
+    }
+  }
+  Status status = OkStatus();
+  for (auto& pe : engines) {
+    const Status s = AdoptEngine(shard, std::move(pe));
+    if (!s.ok()) {
+      SBT_LOG(Error) << "shard " << shard_index << ": promoting an engine failed: "
+                     << s.ToString();
+      if (status.ok()) {
+        status = s;  // keep promoting the rest; their state must not be stranded
+      }
+    }
+  }
+  if (live) {
+    shard.queue = std::make_unique<BoundedChannel<RoutedFrame>>(config_.shard_queue_frames);
+    AttachQueueGauge(shard);
+    shard.dispatcher = std::thread([this, s = &shard] { DispatchLoop(s); });
+    ResumeFrontends();
+  }
+  return status;
+}
+
+Status EdgeServer::Restore(uint32_t shard_index, std::vector<SealArtifact> artifacts) {
+  if (!started_ || stopped_) {
+    return FailedPrecondition("Restore on a server that is not running");
+  }
+  if (shard_index >= shards_.size()) {
+    return InvalidArgument("no such shard");
+  }
+  // The operator path consumes the same pipeline as streamed failover: apply through a
+  // ReplicaSession (full chain verification + delta-base checks), then promote.
+  ReplicaSession replica(&registry_, ReplicaOptions());
+  Status status = OkStatus();
+  for (auto& artifact : artifacts) {
+    const Status s = replica.Apply(std::move(artifact));
+    if (!s.ok() && status.ok()) {
+      status = s;  // keep applying the rest; their state must not be stranded
+    }
+  }
+  const Status promoted = Promote(replica, shard_index);
+  return status.ok() ? promoted : status;
+}
+
+Status EdgeServer::KillShard(uint32_t shard_index) {
+  if (!started_ || stopped_) {
+    return FailedPrecondition("KillShard on a server that is not running");
   }
   if (shard_index >= shards_.size()) {
     return InvalidArgument("no such shard");
@@ -606,115 +877,20 @@ Result<std::vector<ShardEngineCheckpoint>> EdgeServer::CheckpointShard(uint32_t 
       src->suspended.store(true, std::memory_order_relaxed);
     }
   }
-  auto result = DrainAndSealShard(*shards_[shard_index]);
-  ResumeFrontends();
-  return result;
-}
-
-Status EdgeServer::RestoreEngineOnShard(Shard& shard, ShardEngineCheckpoint ckpt) {
-  const TenantSpec* spec = registry_.Find(ckpt.tenant);
-  if (spec == nullptr) {
-    return NotFound("checkpoint for unknown tenant " + std::to_string(ckpt.tenant));
-  }
-
-  // Tamper-evident recovery: the sealed chain position must continue the verified upload
-  // chain. A checkpoint whose own upload prefix is inconsistent fails the Accept walk; one
-  // sealed before newer uploads left the engine (a stale/forked replay, or a double restore
-  // after the engine produced more chain links) fails against the cloud-side head.
-  AuditChainVerifier chain(spec->mac_key);
-  for (const AuditUpload& upload : ckpt.uploads) {
-    SBT_RETURN_IF_ERROR(chain.Accept(upload));
-  }
-  SBT_RETURN_IF_ERROR(chain.AcceptResume(ckpt.sealed.chain_seq, ckpt.sealed.chain_head));
-  if (const auto it = chain_heads_.find(ckpt.engine_id); it != chain_heads_.end()) {
-    if (ckpt.sealed.chain_seq != it->second.first ||
-        !DigestEqual(ckpt.sealed.chain_head, it->second.second)) {
-      return DataLoss("checkpoint is stale: the engine's audit chain advanced past it");
-    }
-  }
-  // A source can only be resumed from a checkpoint if it is not already served by a live
-  // engine (double-restore / engine-cloning guard).
-  for (auto& other : shards_) {
-    for (const auto& [key, resident] : other->by_source) {
-      if (resident->engine_id == ckpt.engine_id) {
-        return FailedPrecondition("engine is already live; refusing a second restore");
-      }
-    }
-  }
-
-  SBT_ASSIGN_OR_RETURN(Engine * engine, CreateEngine(shard, *spec));
-  auto discard_engine = [&shard, engine] {
-    shard.carved_bytes -= engine->partition_bytes;
-    shard.engines.pop_back();
-  };
-  auto annex_bytes = RestoreEngine(*engine->dp, *engine->runner, ckpt.sealed);
-  if (!annex_bytes.ok()) {
-    discard_engine();
-    return annex_bytes.status();
-  }
-  auto annex = DecodeServerAnnex(
-      std::span<const uint8_t>(annex_bytes->data(), annex_bytes->size()));
-  if (!annex.ok()) {
-    discard_engine();
-    return annex.status();
-  }
-  if (annex->engine_id != ckpt.engine_id) {
-    discard_engine();
-    return DataLoss("checkpoint metadata does not match its sealed engine identity");
-  }
-
-  engine->engine_id = annex->engine_id;
-  engine->advanced = annex->advanced;
-  engine->shed_frames = annex->shed_frames;
-  engine->dispatch_errors = annex->dispatch_errors;
-  engine->restores = annex->restores + 1;
-  engine->source_watermarks = annex->source_watermarks;
-  engine->uploads = std::move(ckpt.uploads);
-  engine->results = std::move(ckpt.results);
-  next_engine_id_ = std::max(next_engine_id_, engine->engine_id + 1);
-
-  for (const auto& [source, watermark] : engine->source_watermarks) {
-    shard.by_source[SourceKey(engine->tenant, source)] = engine;
-  }
-  // Re-point and resume the engine's sources (frontends are parked; see callers).
-  for (auto& src : sources_) {
-    if (src->tenant == engine->tenant &&
-        engine->source_watermarks.contains(src->id)) {
-      src->shard = shard.index;
-      src->suspended.store(false, std::memory_order_relaxed);
-    }
-  }
-  return OkStatus();
-}
-
-Status EdgeServer::RestoreShard(uint32_t shard_index,
-                                std::vector<ShardEngineCheckpoint> checkpoints) {
-  if (!started_ || stopped_) {
-    return FailedPrecondition("RestoreShard on a server that is not running");
-  }
-  if (shard_index >= shards_.size()) {
-    return InvalidArgument("no such shard");
-  }
   Shard& shard = *shards_[shard_index];
-  PauseFrontends();
-  // Quiesce the target shard's dispatcher: restoring mutates its routing table, which the
-  // dispatcher reads without a lock. (Frontends are parked; nobody pushes meanwhile.)
   shard.queue->Close();
   if (shard.dispatcher.joinable()) {
     shard.dispatcher.join();
   }
-  Status status = OkStatus();
-  for (auto& ckpt : checkpoints) {
-    const Status s = RestoreEngineOnShard(shard, std::move(ckpt));
-    if (!s.ok() && status.ok()) {
-      status = s;  // keep restoring the rest; their state must not be stranded
-    }
-  }
-  shard.queue = std::make_unique<BoundedChannel<RoutedFrame>>(config_.shard_queue_frames);
-  AttachQueueGauge(shard);
-  shard.dispatcher = std::thread([this, s = &shard] { DispatchLoop(s); });
+  // The fault itself: every resident engine vanishes with whatever it had not sealed, exactly
+  // as if the shard's secure world died. chain_heads_ deliberately survives — the cloud's
+  // knowledge of the verified chain does not die with the edge hardware, so a stale artifact
+  // sealed before newer uploads is still rejected at promote.
+  shard.engines.clear();
+  shard.by_source.clear();
+  shard.carved_bytes = 0;
   ResumeFrontends();
-  return status;
+  return OkStatus();
 }
 
 Status EdgeServer::Resize(uint32_t new_num_shards) {
@@ -731,12 +907,12 @@ Status EdgeServer::Resize(uint32_t new_num_shards) {
   const ShardRouter new_router(new_num_shards);
   const size_t new_slice = config_.host_secure_budget_bytes / new_num_shards;
   std::vector<size_t> planned_carve(new_num_shards, 0);
-  std::vector<std::pair<Engine*, uint32_t>> homes;
+  std::map<uint64_t, uint32_t> home_of;  // engine_id -> new home
   for (auto& shard : shards_) {
     for (auto& engine : shard->engines) {
       const uint32_t home = EngineHome(new_router, *engine);
       planned_carve[home] += engine->partition_bytes;
-      homes.emplace_back(engine.get(), home);
+      home_of[engine->engine_id] = home;
     }
   }
   for (uint32_t s = 0; s < new_num_shards; ++s) {
@@ -747,9 +923,7 @@ Status EdgeServer::Resize(uint32_t new_num_shards) {
     }
   }
 
-  // Quiesce and seal everything. Engine homes were computed above; seal order is per shard.
-  std::vector<std::pair<uint32_t, ShardEngineCheckpoint>> moves;
-  moves.reserve(homes.size());
+  // Quiesce and detach-seal everything (full seals: each artifact must stand alone).
   Status status = OkStatus();
   for (auto& shard : shards_) {
     shard->queue->Close();
@@ -759,23 +933,27 @@ Status EdgeServer::Resize(uint32_t new_num_shards) {
       shard->dispatcher.join();
     }
   }
-  for (auto& [engine, home] : homes) {
-    auto ckpt = SealEngine(*engine);
-    if (!ckpt.ok()) {
-      // Unsealable engine (should not happen after a drain): its state cannot move; drop it
-      // and surface the error after the fleet is rebuilt.
-      SBT_LOG(Error) << "resize: sealing engine for tenant " << engine->tenant
-                     << " failed: " << ckpt.status().ToString();
-      if (status.ok()) {
-        status = ckpt.status();
+  std::vector<SealArtifact> moves;
+  moves.reserve(home_of.size());
+  for (auto& shard : shards_) {
+    for (auto& engine : shard->engines) {
+      auto artifact = SealEngine(*engine, SealMode::kFull, /*detach=*/true);
+      if (!artifact.ok()) {
+        // Unsealable engine (should not happen after a drain): its state cannot move; drop it
+        // and surface the error after the fleet is rebuilt.
+        SBT_LOG(Error) << "resize: sealing engine for tenant " << engine->tenant
+                       << " failed: " << artifact.status().ToString();
+        if (status.ok()) {
+          status = artifact.status();
+        }
+        continue;
       }
-      continue;
+      moves.push_back(std::move(*artifact));
     }
-    moves.emplace_back(home, std::move(*ckpt));
   }
 
   // Rebuild the fleet under the new partition plan. Every source is suspended and parked on a
-  // valid shard index first; each engine's restore re-points and resumes its own sources, so
+  // valid shard index first; each engine's adoption re-points and resumes its own sources, so
   // only the sources of an engine that failed to move stay suspended (their frames are dropped
   // at shutdown like any engine-less frames) — and no source is ever left aiming at an index
   // beyond the new, possibly smaller, fleet.
@@ -798,13 +976,33 @@ Status EdgeServer::Resize(uint32_t new_num_shards) {
     }
     shards_.push_back(std::move(shard));
   }
-  for (auto& [home, ckpt] : moves) {
-    const Status s = RestoreEngineOnShard(*shards_[home], std::move(ckpt));
+  // One ReplicaSession re-verifies every moved engine's full chain (re-sharding is as
+  // tamper-evident as recovery), then each engine is adopted at its planned home.
+  ReplicaSession replica(&registry_, ReplicaOptions());
+  for (auto& artifact : moves) {
+    const Status s = replica.Apply(std::move(artifact));
     if (!s.ok()) {
-      SBT_LOG(Error) << "resize: restoring an engine on shard " << home
-                     << " failed: " << s.ToString();
+      SBT_LOG(Error) << "resize: applying a sealed engine failed: " << s.ToString();
       if (status.ok()) {
         status = s;
+      }
+    }
+  }
+  auto engines = replica.TakeEngines();
+  if (!engines.ok()) {
+    if (status.ok()) {
+      status = engines.status();
+    }
+  } else {
+    for (auto& pe : *engines) {
+      const uint32_t home = home_of[pe.identity.engine_id];
+      const Status s = AdoptEngine(*shards_[home], std::move(pe));
+      if (!s.ok()) {
+        SBT_LOG(Error) << "resize: restoring an engine on shard " << home
+                       << " failed: " << s.ToString();
+        if (status.ok()) {
+          status = s;
+        }
       }
     }
   }

@@ -36,22 +36,43 @@
 // quota cannot hold a window of in-flight data wedges exactly like the paper's engine would —
 // size quotas to windows.
 //
-// Checkpoint / recovery / elastic resize. CheckpointShard quiesces one shard (its sources
-// stall at the frontends, its queue drains, its runners drain) and seals every resident
-// engine's secure-world state into a tenant-keyed checkpoint (src/core/checkpoint.h), plus the
-// audit-chain link flushed at seal time. A fused command buffer in flight on a dispatcher is
-// atomic with respect to all of this: the runner drain waits for the whole Submit task (the
-// guarantee), and DataPlane::Checkpoint additionally refuses when it can see a chain inside
-// the TEE (a best-effort backstop against undrained callers) — so a seal never splits a chain
-// and a restored engine resumes at a state some unfused schedule could also have reached.
-// RestoreShard re-instantiates those engines — on the
-// same server after a simulated crash, or a different one — verifying that each checkpoint
-// continues its tenant's audit hash chain (a stale or forked checkpoint is rejected: recovery
-// is tamper-evident). Resize(N') drains everything once, checkpoints every engine, rebuilds
-// the shard fleet with N' partitions, and re-homes each engine (with all of its bound sources)
-// to its jump-hash home under the new count. Sources are sticky to their engine — windows in
-// flight must complete where their contributions live — so re-homing is engine-granular, and
-// no event is lost: stalled sources simply resume into their restored engine.
+// Lifecycle surface (one entrypoint per operation — everything funnels through
+// EngineLifecycle and ReplicaSession underneath):
+//
+//   Checkpoint(CheckpointRequest{shard, mode, detach})
+//       Quiesces one shard (its sources stall at the frontends, its queue drains, its runners
+//       drain) and seals every resident engine into a SealArtifact (src/server/replica.h).
+//       mode=kFull seals the whole engine; mode=kDelta seals only state dirtied since the
+//       engine's previous seal (first seal falls back to full). detach=false — the
+//       continuous-replication flavor — seals in place: the shard's dispatcher and sources
+//       resume immediately and serving continues. detach=true — the migration flavor — lifts
+//       the engines off the shard; their sources stay suspended until a Restore/Promote
+//       revives them. A fused command buffer in flight is atomic with respect to all of this:
+//       the runner drain waits for the whole Submit task, and DataPlane::Checkpoint refuses
+//       (naming the tripped guard) if it can still see in-flight boundary work.
+//   Restore(shard, artifacts)
+//       The operator recovery path: applies the artifacts through a fresh ReplicaSession
+//       (verifying every audit-chain link and every delta's base position — recovery is
+//       tamper-evident) and promotes the resulting engines onto `shard`.
+//   Promote(replica, shard)
+//       Adopts a ReplicaSession's pre-applied engines onto `shard` — the hot-standby failover
+//       path (the session streamed seals for minutes; promotion is just runner construction
+//       plus source re-pointing, so RTO does not scale with state size). Works both before
+//       Start() (a standby warming up) and on a live server (re-homing onto a survivor).
+//       The session's promote-exactly-once rule makes split-brain impossible through this API.
+//   KillShard(shard)
+//       Chaos entrypoint: the shard's engines vanish with their un-sealed state, exactly as if
+//       the shard's secure world died. Its sources stay suspended until a Promote re-homes
+//       them. The cloud's verified chain positions survive — a stale artifact sealed before
+//       newer uploads is still rejected.
+//   Resize(N')
+//       Elastic re-sharding: drains everything once, detach-seals every engine, rebuilds the
+//       fleet with N' partitions, and re-applies every artifact through one ReplicaSession to
+//       its new jump-hash home. Sources are sticky to their engine, so re-homing is
+//       engine-granular and no event is lost. Validated before any state is touched.
+//
+// Control-plane operations (Checkpoint / Restore / Promote / KillShard / Resize / Shutdown)
+// must be called from one control thread.
 //
 // Lifecycle: Add tenants to the registry, BindSource for every source, Start, feed the
 // channels, Shutdown. Shutdown closes source channels, runs the frontends down, drains shard
@@ -72,6 +93,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/attest/audit_chain.h"
@@ -82,6 +104,7 @@
 #include "src/core/data_plane.h"
 #include "src/net/channel.h"
 #include "src/obs/metrics.h"
+#include "src/server/replica.h"
 #include "src/server/shard_router.h"
 #include "src/server/tenant.h"
 #include "src/tz/world_switch.h"
@@ -137,7 +160,7 @@ struct TenantShardReport {
 
   AuditUpload audit;            // the final upload (last link of the chain)
   size_t uploads = 0;           // audit chain length (1 + one per checkpoint taken)
-  uint64_t restores = 0;        // times this engine was sealed and restored/re-homed
+  uint64_t restores = 0;        // times this engine was sealed and restored/re-homed/promoted
   bool chain_ok = false;        // upload MACs + hash-chain continuity verified
   VerifyReport verify;  // replay of this engine's decoded audit chain against its pipeline
   bool verified = false;
@@ -184,17 +207,6 @@ struct ServerReport {
   }
 };
 
-// One sealed engine lifted off a shard: the tamper-evident artifact (sealed + the chain link
-// flushed at seal time, now the tail of `uploads`) plus the cloud-side session accumulation
-// that the consumer already holds (prior uploads, collected results).
-struct ShardEngineCheckpoint {
-  TenantId tenant = 0;
-  uint64_t engine_id = 0;              // stable engine identity (also sealed inside)
-  SealedCheckpoint sealed;
-  std::vector<AuditUpload> uploads;    // full audit chain up to and including the seal link
-  std::vector<WindowResult> results;   // results egressed before the seal
-};
-
 class EdgeServer {
  public:
   EdgeServer(EdgeServerConfig config, TenantRegistry registry);
@@ -217,26 +229,38 @@ class EdgeServer {
   // only the first call yields a populated report.
   ServerReport Shutdown();
 
-  // Quiesces one shard and seals every resident engine (see the class comment). The shard's
-  // sources stall at the frontends until RestoreShard resumes them; other shards are paused
-  // only for the drain itself. An engine that fails to seal (defensive; a drained engine
-  // cannot) stays resident and is simply absent from the result. Control-plane operations
-  // (CheckpointShard / RestoreShard / Resize / Shutdown) must be called from one control
-  // thread. A sealed shard that is never restored drops its sources' remaining frames at
-  // shutdown (counted as shed) instead of wedging the run-down.
-  Result<std::vector<ShardEngineCheckpoint>> CheckpointShard(uint32_t shard);
+  // The one checkpoint entrypoint (see the class comment for the full contract).
+  struct CheckpointRequest {
+    uint32_t shard = 0;
+    SealMode mode = SealMode::kFull;
+    // false: seal in place, the shard keeps serving (continuous replication).
+    // true: lift the engines off the shard; sources stay suspended (migration / operator
+    // checkpoint). An engine that fails to seal (defensive; a drained engine cannot) stays
+    // resident either way and is simply absent from the result.
+    bool detach = false;
+  };
+  Result<std::vector<SealArtifact>> Checkpoint(const CheckpointRequest& request);
 
-  // Restores sealed engines onto `shard` (quiescing its dispatcher for the swap), verifying
-  // each checkpoint's audit-chain position (kDataLoss for a stale or forked checkpoint),
-  // re-carving quotas (kResourceExhausted if the shard's partition cannot hold them), and
-  // resuming the engines' sources.
-  Status RestoreShard(uint32_t shard, std::vector<ShardEngineCheckpoint> checkpoints);
+  // The one restore entrypoint: applies the artifacts through a fresh ReplicaSession (chain
+  // verification + delta-base checks) and promotes the result onto `shard`. kDataLoss for a
+  // stale/forked/corrupt artifact, kResourceExhausted if the shard's partition cannot hold the
+  // re-carves; engines that apply cleanly are restored even if a sibling fails.
+  Status Restore(uint32_t shard, std::vector<SealArtifact> artifacts);
 
-  // Elastic resize under live ingest: drains all shards, checkpoints every engine, rebuilds
-  // the fleet with `new_num_shards` partitions, and restores each engine (with its sources) at
-  // its new jump-hash home. Validated before any state is touched: an infeasible plan (some
-  // new partition cannot hold its engines' carves) fails with kResourceExhausted and the
-  // server continues unchanged. No events are lost: sources stall during the move.
+  // Adopts a ReplicaSession's pre-applied engines onto `shard` — hot-standby promotion.
+  // Callable before Start() (standby warm-up) or on a live server (re-homing). Each adopted
+  // engine's chain position must match the server's last verified head for that engine (when
+  // known), its tenant must not already run a live engine (a pristine bind-time placeholder
+  // yields its carve), and its sources are re-pointed and resumed.
+  Status Promote(ReplicaSession& replica, uint32_t shard);
+
+  // Chaos entrypoint: kills `shard` as if its secure world died — resident engines vanish with
+  // their un-sealed state, their sources stay suspended until promoted elsewhere.
+  Status KillShard(uint32_t shard);
+
+  // Elastic resize under live ingest (see the class comment). Validated before any state is
+  // touched: an infeasible plan (some new partition cannot hold its engines' carves) fails
+  // with kResourceExhausted and the server continues unchanged.
   Status Resize(uint32_t new_num_shards);
 
   // The shard a source's frames land on under the CURRENT shard count (stable; callable before
@@ -268,9 +292,9 @@ class EdgeServer {
     Frame frame;
   };
 
-  // One tenant's engine instance. Created at bind time (or by restore), driven only by its
-  // shard's dispatcher thread after Start(). Identity — the audit chain — survives re-homing:
-  // the instance is sealed on one shard and restored on another with its sources.
+  // One tenant's engine instance. Created at bind time (or adopted at promote), driven only by
+  // its shard's dispatcher thread after Start(). Identity — the audit chain — survives
+  // re-homing: the instance is sealed on one shard and promoted on another with its sources.
   struct Engine {
     uint64_t engine_id = 0;
     TenantId tenant = 0;
@@ -281,6 +305,9 @@ class EdgeServer {
     std::unique_ptr<Runner> runner;
     std::map<uint32_t, EventTimeMs> source_watermarks;  // source -> latest in-band watermark
     EventTimeMs advanced = 0;                           // min watermark already applied
+    // Cumulative data frames dispatched into this engine per source (sealed in the annex; the
+    // replication trim/replay boundary).
+    std::map<uint32_t, uint64_t> source_frames;
     uint64_t shed_frames = 0;
     uint64_t dispatch_errors = 0;
     uint64_t restores = 0;
@@ -288,9 +315,13 @@ class EdgeServer {
     // dispatcher on its sampling cadence; interned at engine creation.
     obs::Gauge* committed_gauge = nullptr;
     // Cloud-side session accumulation (what the consumer already received), carried across
-    // re-homing in server memory — the stand-in for the uplink's far end.
+    // re-homing in server memory — the stand-in for the uplink's far end. The *_shipped marks
+    // track how much of it the last seal artifact already carried, so a delta artifact ships
+    // only the new tail.
     std::vector<AuditUpload> uploads;
     std::vector<WindowResult> results;
+    size_t uploads_shipped = 0;
+    size_t results_shipped = 0;
   };
 
   struct Shard {
@@ -316,7 +347,7 @@ class EdgeServer {
     AdmissionPolicy admission = AdmissionPolicy::kStall;
     FrameChannel* channel = nullptr;
     uint32_t shard = 0;
-    std::atomic<bool> suspended{false};  // engine sealed; hold frames until restore
+    std::atomic<bool> suspended{false};  // engine sealed/killed; hold frames until revived
     std::optional<RoutedFrame> pending;  // admission-stalled frame, retried before new pops
     bool finished = false;
     uint64_t frames_delivered = 0;
@@ -341,21 +372,26 @@ class EdgeServer {
   // Blocks until `pause_requested_` drops, counting this thread as parked meanwhile.
   void ParkUntilResumed();
 
-  Result<Engine*> CreateEngine(Shard& shard, const TenantSpec& spec);
+  Result<Engine*> CreateEngine(Shard& shard, const TenantSpec& spec,
+                               const EngineIdentity& identity);
   // Points the shard's (possibly fresh) ingest queue at its labeled depth gauge. Called
-  // wherever a shard queue is created: construction, restore, resize.
+  // wherever a shard queue is created: construction, revival after a seal/promote, resize.
   void AttachQueueGauge(Shard& shard);
   // Worker threads currently granted across every resident engine (the spent budget).
   int WorkersAllocated() const;
-  // Seals `engine` (which must belong to a drained shard) into a transferable checkpoint.
-  Result<ShardEngineCheckpoint> SealEngine(Engine& engine);
-  // Restores one sealed engine onto `shard` and re-points its sources there.
-  Status RestoreEngineOnShard(Shard& shard, ShardEngineCheckpoint ckpt);
+  // Seals `engine` (which must belong to a drained shard) into a transferable artifact.
+  Result<SealArtifact> SealEngine(Engine& engine, SealMode mode, bool detach);
+  // Adopts one pre-applied engine onto `shard` and re-points its sources there. The target
+  // shard's dispatcher must be quiesced (or not yet started); frontends must be parked (or not
+  // yet started).
+  Status AdoptEngine(Shard& shard, ReplicaSession::PromotedEngine pe);
   // Drains and seals every engine of `shard` (queue closed, dispatcher joined, runners
   // drained). Caller holds the frontend pause.
-  Result<std::vector<ShardEngineCheckpoint>> DrainAndSealShard(Shard& shard);
+  Result<std::vector<SealArtifact>> DrainAndSealShard(Shard& shard, SealMode mode, bool detach);
   // The shard an engine (and its sources) belongs on under `router`.
   uint32_t EngineHome(const ShardRouter& router, const Engine& engine) const;
+  // The ReplicaSession options matching this server's engine construction.
+  ReplicaSession::Options ReplicaOptions() const;
 
   EdgeServerConfig config_;
   TenantRegistry registry_;
@@ -364,7 +400,8 @@ class EdgeServer {
   uint64_t next_engine_id_ = 1;
   // Cloud-side stand-in: the last verified chain position per engine (next seq, head MAC),
   // advanced whenever an upload leaves an engine. Restores must continue from here — replaying
-  // a checkpoint sealed before newer uploads exists only in attacks, and is rejected.
+  // a checkpoint sealed before newer uploads exists only in attacks, and is rejected. Survives
+  // KillShard: a dead shard does not launder a stale artifact.
   std::map<uint64_t, std::pair<uint64_t, Sha256Digest>> chain_heads_;
 
   std::vector<std::unique_ptr<Shard>> shards_;

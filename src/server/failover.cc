@@ -1,0 +1,185 @@
+#include "src/server/failover.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sbt {
+namespace {
+
+// Pump cadence while the downstream is full or the upstream idle. Short: failover RTO includes
+// at most one of these per in-flight frame.
+constexpr auto kPumpWait = std::chrono::microseconds(200);
+
+Frame CopyFrame(const Frame& f) { return f; }
+
+}  // namespace
+
+FailoverProxy::FailoverProxy(std::vector<Upstream> upstreams, size_t downstream_capacity)
+    : downstream_capacity_(downstream_capacity) {
+  lanes_.reserve(upstreams.size());
+  for (Upstream& up : upstreams) {
+    auto lane = std::make_unique<Lane>();
+    lane->up = up;
+    lane->down = std::make_unique<FrameChannel>(downstream_capacity_);
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+FailoverProxy::~FailoverProxy() { Stop(); }
+
+Status FailoverProxy::BindTo(EdgeServer* server) {
+  for (auto& lane : lanes_) {
+    SBT_RETURN_IF_ERROR(server->BindSource(lane->up.tenant, lane->up.source,
+                                           lane->down.get(), lane->up.stream));
+  }
+  return OkStatus();
+}
+
+void FailoverProxy::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  for (auto& lane : lanes_) {
+    lane->pump = std::thread([this, l = lane.get()] { PumpLoop(*l); });
+  }
+}
+
+void FailoverProxy::PumpLoop(Lane& lane) {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto frame = lane.up.channel->PopWithTimeout(std::chrono::milliseconds(1));
+    if (!frame.has_value()) {
+      if (lane.up.channel->drained()) {
+        break;
+      }
+      continue;
+    }
+    // Record first, under the lane lock, so a concurrent Failover either sees this frame in
+    // `retained` (and replays it into the fresh channel itself) or has already swapped — in
+    // which case the epoch it bumped tells this thread to deliver to the fresh channel.
+    FrameChannel* target;
+    uint64_t epoch;
+    {
+      std::lock_guard<std::mutex> lock(lane.mu);
+      if (!frame->is_watermark) {
+        ++lane.data_frames;
+      }
+      lane.retained.emplace_back(lane.data_frames, CopyFrame(*frame));
+      target = lane.down.get();
+      epoch = lane.epoch;
+    }
+    while (!stop_.load(std::memory_order_relaxed)) {
+      if (target->TryPush(*frame)) {
+        break;
+      }
+      // A closed downstream is an abandoned one (the old primary's, post-failover, or a
+      // server shutting down): the retained copy is the only delivery that matters now.
+      if (target->closed()) {
+        break;
+      }
+      std::this_thread::sleep_for(kPumpWait);
+      std::lock_guard<std::mutex> lock(lane.mu);
+      if (lane.epoch != epoch) {
+        // Failover replayed the retained suffix — this frame included — into the fresh
+        // channel while we were blocked; delivering it again would duplicate it.
+        break;
+      }
+      target = lane.down.get();
+    }
+  }
+  // Upstream drained: close the current downstream so the server's frontend sees
+  // end-of-stream. (On a Stop() mid-stream the channel stays open; Shutdown closes it.)
+  if (lane.up.channel->drained()) {
+    std::lock_guard<std::mutex> lock(lane.mu);
+    lane.down->Close();
+  }
+}
+
+void FailoverProxy::Retire(TenantId tenant, uint32_t source, uint64_t covered_frames) {
+  for (auto& lane : lanes_) {
+    if (lane->up.tenant != tenant || lane->up.source != source) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(lane->mu);
+    // Drop data frames the seal covers and watermarks strictly before the boundary; a
+    // watermark AT the boundary (ordinal == covered) may postdate the seal, so it stays.
+    while (!lane->retained.empty()) {
+      const auto& [ordinal, frame] = lane->retained.front();
+      const bool droppable = frame.is_watermark ? ordinal < covered_frames
+                                                : ordinal <= covered_frames;
+      if (!droppable) {
+        break;
+      }
+      lane->retained.pop_front();
+    }
+    return;
+  }
+}
+
+std::map<std::pair<TenantId, uint32_t>, FrameChannel*> FailoverProxy::Failover(
+    const std::map<std::pair<TenantId, uint32_t>, uint64_t>& covered) {
+  std::map<std::pair<TenantId, uint32_t>, FrameChannel*> out;
+  for (auto& lane : lanes_) {
+    const auto key = std::make_pair(lane->up.tenant, lane->up.source);
+    const auto it = covered.find(key);
+    const uint64_t boundary = it == covered.end() ? 0 : it->second;
+    std::lock_guard<std::mutex> lock(lane->mu);
+    // Count the replay suffix first so the fresh channel can hold all of it un-popped (the
+    // standby binds it before starting; nothing drains until then).
+    size_t replay = 0;
+    for (const auto& [ordinal, frame] : lane->retained) {
+      const bool uncovered =
+          frame.is_watermark ? ordinal >= boundary : ordinal > boundary;
+      if (uncovered) {
+        ++replay;
+      }
+    }
+    auto fresh = std::make_unique<FrameChannel>(replay + downstream_capacity_);
+    for (const auto& [ordinal, frame] : lane->retained) {
+      const bool uncovered =
+          frame.is_watermark ? ordinal >= boundary : ordinal > boundary;
+      if (uncovered) {
+        Frame copy = CopyFrame(frame);
+        fresh->TryPush(copy);  // cannot fail: sized above
+      }
+    }
+    // If the upstream already drained, its pump has exited (after closing the OLD channel):
+    // nobody will close the fresh one, so end the stream here.
+    if (lane->up.channel->drained()) {
+      fresh->Close();
+    }
+    lane->down = std::move(fresh);
+    ++lane->epoch;
+    out.emplace(key, lane->down.get());
+  }
+  return out;
+}
+
+void FailoverProxy::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& lane : lanes_) {
+    if (lane->pump.joinable()) {
+      lane->pump.join();
+    }
+  }
+}
+
+size_t FailoverProxy::RetainedFrames() const {
+  size_t n = 0;
+  for (const auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    n += lane->retained.size();
+  }
+  return n;
+}
+
+std::map<std::pair<TenantId, uint32_t>, uint64_t> FailoverProxy::PumpedFrames() const {
+  std::map<std::pair<TenantId, uint32_t>, uint64_t> out;
+  for (const auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    out.emplace(std::make_pair(lane->up.tenant, lane->up.source), lane->data_frames);
+  }
+  return out;
+}
+
+}  // namespace sbt

@@ -1,0 +1,122 @@
+// FailoverProxy: the event-retaining tee between ingress source channels and a serving
+// EdgeServer, closing the zero-loss gap in hot-standby failover.
+//
+// Continuous delta checkpoints make the standby's STATE current up to the last applied seal,
+// but events dispatched after that seal died with the primary's secure world. The proxy is the
+// untrusted transport-side answer: it pumps every source channel into the serving server while
+// retaining a copy of each frame, and on failover replays exactly the uncovered suffix to the
+// standby:
+//
+//   upstream (ingress group channel)
+//        |  pump thread: record ordinal, retain copy, deliver to current downstream
+//        v
+//   downstream FrameChannel  ->  primary EdgeServer   (until Failover())
+//   downstream' FrameChannel ->  standby EdgeServer   (seeded with the uncovered suffix)
+//
+// Correctness rests on per-source FIFO and count-based coverage. Every data frame gets a
+// per-source ordinal in delivery order; an engine seal records the cumulative count it had
+// dispatched (EdgeServer source_frames, sealed in the annex and carried on the artifact), so
+// "the standby applied a seal covering N frames" means ordinals 1..N are reflected in standby
+// state — including frames the engine shed or failed at its door, whose null effect the seal
+// equally reflects. Failover(covered) drops ordinals <= N and seeds a fresh channel with the
+// rest, in order; watermark replay is idempotent (the dispatcher advances by max), so
+// watermarks at the boundary are replayed rather than risked.
+//
+// Retire(acked) is the memory bound, nothing more: after the standby acks a seal covering N
+// frames, ordinals <= N can never be needed again. The authoritative trim at failover is the
+// `covered` map from ReplicaSession::CoveredFrames() — what the standby actually applied —
+// never the ack bookkeeping.
+//
+// Threading: one pump thread per source; Retire is safe from any thread. BindTo/Start/
+// Failover/Stop are control-plane calls from one thread. Failover may be called once.
+
+#ifndef SRC_SERVER_FAILOVER_H_
+#define SRC_SERVER_FAILOVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/channel.h"
+#include "src/server/edge_server.h"
+#include "src/server/tenant.h"
+
+namespace sbt {
+
+class FailoverProxy {
+ public:
+  // One proxied source (an ingress group binding, or any producer-owned channel).
+  struct Upstream {
+    TenantId tenant = 0;
+    uint32_t source = 0;
+    uint16_t stream = 0;
+    FrameChannel* channel = nullptr;
+  };
+
+  // `downstream_capacity` sizes the per-source channel between the proxy and the server
+  // (bounded: a stalled server backpressures the pump, which backpressures ingress).
+  explicit FailoverProxy(std::vector<Upstream> upstreams, size_t downstream_capacity = 16);
+  ~FailoverProxy();
+
+  FailoverProxy(const FailoverProxy&) = delete;
+  FailoverProxy& operator=(const FailoverProxy&) = delete;
+
+  // Binds every downstream channel to `server` (must precede server->Start()).
+  Status BindTo(EdgeServer* server);
+
+  // Spawns the pump threads. Call after the serving server started (a pump may block on a full
+  // downstream channel otherwise; harmless, but frames sit in the proxy instead of the server).
+  void Start();
+
+  // Drops retained frames a standby-acked seal covers (cumulative data-frame count for one
+  // source). Monotonic; lower-than-before counts are no-ops. Safe from any thread.
+  void Retire(TenantId tenant, uint32_t source, uint64_t covered_frames);
+
+  // The failover cut: for every source, abandons the current downstream channel, creates a
+  // fresh one seeded with every retained frame NOT covered by `covered` (missing key = 0 =
+  // replay everything retained), and re-aims the pump at it. Returns the fresh channels for
+  // BindSource on the standby; the proxy keeps ownership. Call once, after the primary's
+  // engines are dead (KillShard) and the replication stream is stopped — `covered` must be
+  // ReplicaSession::CoveredFrames() of the session about to be promoted.
+  std::map<std::pair<TenantId, uint32_t>, FrameChannel*> Failover(
+      const std::map<std::pair<TenantId, uint32_t>, uint64_t>& covered);
+
+  // Joins the pumps. Idempotent; also invoked by the destructor.
+  void Stop();
+
+  // Frames currently retained across all sources (the replay-memory gauge Retire bounds).
+  size_t RetainedFrames() const;
+  // Cumulative data frames pumped per source (diagnostics; equals each source's last ordinal).
+  std::map<std::pair<TenantId, uint32_t>, uint64_t> PumpedFrames() const;
+
+ private:
+  struct Lane {
+    Upstream up;
+    mutable std::mutex mu;
+    std::unique_ptr<FrameChannel> down;                // guarded by mu (pointer swap only)
+    uint64_t epoch = 0;                                // guarded by mu; bumped by Failover
+    // (ordinal, frame): data frames carry their own ordinal; a watermark carries the ordinal
+    // of the last data frame before it (so a boundary watermark is replayed, not dropped).
+    std::deque<std::pair<uint64_t, Frame>> retained;   // guarded by mu
+    uint64_t data_frames = 0;                          // guarded by mu; cumulative ordinal
+    std::thread pump;
+  };
+
+  void PumpLoop(Lane& lane);
+
+  const size_t downstream_capacity_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+};
+
+}  // namespace sbt
+
+#endif  // SRC_SERVER_FAILOVER_H_

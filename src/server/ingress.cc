@@ -303,6 +303,19 @@ Status IngressFrontend::BindTo(EdgeServer* server) {
   return OkStatus();
 }
 
+std::vector<IngressFrontend::GroupBinding> IngressFrontend::GroupBindings() {
+  std::vector<GroupBinding> out;
+  out.reserve(groups_.size());
+  for (auto& [key, group] : groups_) {
+    out.push_back(GroupBinding{.tenant = group->tenant,
+                               .source = group->group_source_id,
+                               .stream = group->stream,
+                               .channel = group->seq->channel()});
+  }
+  bound_ = true;
+  return out;
+}
+
 Status IngressFrontend::Start() {
   if (started_) {
     return FailedPrecondition("Start called twice");

@@ -151,6 +151,18 @@ class IngressFrontend {
   // Binds every group channel as a server source. Must precede server->Start().
   Status BindTo(EdgeServer* server);
 
+  // The proxy-interposition alternative to BindTo: hands out every group's (tenant, server
+  // source id, stream, channel) so a FailoverProxy (src/server/failover.h) can sit between the
+  // sequencers and the serving EdgeServer. Freezes provisioning exactly like BindTo; call one
+  // or the other, once.
+  struct GroupBinding {
+    TenantId tenant = 0;
+    uint32_t source = 0;  // group source id: what the EdgeServer binds
+    uint16_t stream = 0;
+    FrameChannel* channel = nullptr;
+  };
+  std::vector<GroupBinding> GroupBindings();
+
   // Opens sockets and spawns the IO thread.
   Status Start();
   uint16_t tcp_port() const { return tcp_port_; }

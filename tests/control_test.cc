@@ -11,6 +11,7 @@
 
 #include "src/control/benchmarks.h"
 #include "src/control/harness.h"
+#include "src/control/lifecycle.h"
 #include "src/core/submit_combiner.h"
 #include "src/net/workloads.h"
 #include "tests/testing/testing.h"
@@ -355,8 +356,8 @@ uint64_t EntriesForChainRun(bool fuse_chains) {
 
   DataPlane dp(testing::SmallDataPlaneConfig(/*decrypt_ingress=*/false));
   RunnerConfig rc;
-  rc.worker_threads = 1;
-  rc.fuse_chains = fuse_chains;
+  rc.knobs.worker_threads = 1;
+  rc.knobs.fuse_chains = fuse_chains;
   Runner runner(&dp, pipeline, rc);
   const auto events = testing::ConstantEvents(500);
   EXPECT_TRUE(runner.IngestFrame(testing::AsBytes(events)).ok());
@@ -458,8 +459,8 @@ TEST_P(ChainFailureTest, FailedChainDoesNotWedgeItsWindow) {
 
   DataPlane dp(testing::SmallDataPlaneConfig(/*decrypt_ingress=*/false));
   RunnerConfig rc;
-  rc.worker_threads = 1;
-  rc.fuse_chains = GetParam();
+  rc.knobs.worker_threads = 1;
+  rc.knobs.fuse_chains = GetParam();
   Runner runner(&dp, pipeline, rc);
   const auto events = testing::ConstantEvents(200);
   ASSERT_TRUE(runner.IngestFrame(testing::AsBytes(events)).ok());
@@ -468,7 +469,8 @@ TEST_P(ChainFailureTest, FailedChainDoesNotWedgeItsWindow) {
 
   EXPECT_GE(runner.stats().task_errors, 1u);
   EXPECT_EQ(runner.stats().windows_emitted, 1u) << "window must close despite the failed chain";
-  EXPECT_TRUE(runner.CheckpointState().ok()) << "no pending chains may linger";
+  EXPECT_TRUE(EngineLifecycle(&dp, &runner).Checkpoint({}, nullptr).ok())
+      << "no pending chains may linger";
   EXPECT_EQ(dp.live_refs(), 0u) << "a failed chain must not pin refs (or pool memory) forever";
 }
 
@@ -487,6 +489,40 @@ TEST(ControlTest, PipelineExportsMatchingVerifierSpec) {
   ASSERT_EQ(spec.per_window_stages.size(), 3u);
   EXPECT_EQ(spec.per_window_stages[0].op, PrimitiveOp::kMergeN);
   EXPECT_EQ(spec.per_window_stages[2].op, PrimitiveOp::kCount);
+}
+
+// The shared execution knobs are declared once (src/core/exec_knobs.h) and flow through one
+// propagation point (ApplyExecutionKnobs): a knob set at the very top — EngineOptions — is
+// observable at the very bottom, on the live DataPlane's and Runner's own configs, with no
+// hand-copied per-layer field anywhere on the way down.
+TEST(ControlTest, ExecutionKnobsSetAtTheTopAreObservedAtTheBottom) {
+  EngineOptions opts;
+  opts.secure_pool_mb = 8;
+  opts.knobs.worker_threads = 3;
+  opts.knobs.fuse_chains = false;
+  opts.knobs.combine_submissions = false;
+  opts.knobs.lockfree_retire = false;
+
+  const DataPlaneConfig dp_cfg = MakeEngineConfig(EngineVersion::kSbtClearIngress, opts);
+  const RunnerConfig rc = MakeRunnerConfig(EngineVersion::kSbtClearIngress, opts);
+  DataPlane dp(dp_cfg);
+  Runner runner(&dp, MakeWinSum(1000), rc);
+
+  EXPECT_EQ(dp.config().knobs.worker_threads, 3);
+  EXPECT_FALSE(dp.config().knobs.fuse_chains);
+  EXPECT_FALSE(dp.config().knobs.combine_submissions);
+  EXPECT_FALSE(dp.config().knobs.lockfree_retire);
+  EXPECT_EQ(runner.config().knobs.worker_threads, 3);
+  EXPECT_FALSE(runner.config().knobs.fuse_chains);
+  EXPECT_FALSE(runner.config().knobs.combine_submissions);
+  EXPECT_FALSE(runner.config().knobs.lockfree_retire);
+
+  // Flipping one knob at the top reaches both layers; the others are untouched.
+  opts.knobs.lockfree_retire = true;
+  EXPECT_TRUE(MakeEngineConfig(EngineVersion::kSbtClearIngress, opts).knobs.lockfree_retire);
+  EXPECT_TRUE(MakeRunnerConfig(EngineVersion::kSbtClearIngress, opts).knobs.lockfree_retire);
+  EXPECT_FALSE(MakeRunnerConfig(EngineVersion::kSbtClearIngress, opts).knobs.fuse_chains);
+  runner.Drain();
 }
 
 }  // namespace

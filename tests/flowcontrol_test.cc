@@ -149,7 +149,7 @@ TEST(FlowControlTest, SeededAllocFaultsNeverBreakTheEngine) {
   cfg.adaptive_backpressure = false;
   DataPlane dp(cfg);
   RunnerConfig rc;
-  rc.worker_threads = 2;
+  rc.knobs.worker_threads = 2;
   rc.block_on_backpressure = false;
   Runner runner(&dp, MakeWinSum(1000), rc);
 

@@ -1,7 +1,8 @@
 // Randomized corruption of the two tamper-evident artifacts that leave the TEE — compressed
-// audit uploads and sealed engine checkpoints (DESIGN.md invariants 2-3). A seed matrix drives
-// deterministic bit-flips and truncations; every corruption must surface as a kDataLoss-class
-// rejection, and decode/restore must never crash regardless of what the bytes decode to.
+// audit uploads and sealed engine checkpoints, full and delta alike (DESIGN.md invariants 2-3
+// and the delta-seal chain rule). A seed matrix drives deterministic bit-flips, truncations,
+// and chain-order violations; every corruption must surface as a kDataLoss-class rejection,
+// and decode/restore/apply must never crash regardless of what the bytes decode to.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +14,7 @@
 #include "src/common/rng.h"
 #include "src/control/benchmarks.h"
 #include "src/control/engine.h"
+#include "src/control/lifecycle.h"
 #include "src/core/data_plane.h"
 #include "tests/testing/testing.h"
 
@@ -25,32 +27,52 @@ DataPlaneConfig FuzzConfig() {
   return cfg;
 }
 
-// One real engine session, sealed mid-flight: the checkpoint carries live window state.
+// One real engine session, sealed mid-flight as a chain: a full seal with live window state,
+// then two delta seals as the session keeps running.
 struct SealedFixture {
   DataPlaneConfig cfg = FuzzConfig();
-  SealedCheckpoint sealed;
+  SealedCheckpoint sealed;  // the full seal (chain base)
   AuditUpload upload;
+  SealedCheckpoint delta1;
+  SealedCheckpoint delta2;
 };
+
+void IngestFuzzWindow(Runner& runner, uint32_t w) {
+  std::vector<Event> events = testing::MakeEvents(2000, 32, 1000, 7 + w);
+  for (Event& e : events) {
+    e.ts_ms = w * 1000 + e.ts_ms % 1000;
+  }
+  EXPECT_TRUE(runner.IngestFrame(testing::AsBytes(events)).ok());
+  runner.Drain();
+}
 
 const SealedFixture& Fixture() {
   static const SealedFixture* fixture = [] {
     auto* f = new SealedFixture();
     DataPlane dp(f->cfg);
     RunnerConfig rc;
-    rc.worker_threads = 1;
+    rc.knobs.worker_threads = 1;
     Runner runner(&dp, MakeDistinct(1000), rc);
+    EngineLifecycle lifecycle(&dp, &runner);
     for (uint32_t w = 0; w < 2; ++w) {
-      std::vector<Event> events = testing::MakeEvents(2000, 32, 1000, 7 + w);
-      for (Event& e : events) {
-        e.ts_ms = w * 1000 + e.ts_ms % 1000;
-      }
-      EXPECT_TRUE(runner.IngestFrame(testing::AsBytes(events)).ok());
+      IngestFuzzWindow(runner, w);
     }
-    runner.Drain();
-    auto bundle = CheckpointEngine(dp, runner, {}, nullptr);
+    auto bundle = lifecycle.Checkpoint({}, nullptr);
     EXPECT_TRUE(bundle.ok());
     f->sealed = std::move(bundle->sealed);
     f->upload = std::move(bundle->audit);
+    // Extend the session and cut two deltas on top of the full base.
+    IngestFuzzWindow(runner, 2);
+    auto d1 = lifecycle.Checkpoint({.mode = SealMode::kDelta}, nullptr);
+    EXPECT_TRUE(d1.ok());
+    EXPECT_EQ(d1->sealed.mode, SealMode::kDelta);
+    f->delta1 = std::move(d1->sealed);
+    EXPECT_TRUE(runner.AdvanceWatermark(1000).ok());
+    runner.Drain();
+    auto d2 = lifecycle.Checkpoint({.mode = SealMode::kDelta}, nullptr);
+    EXPECT_TRUE(d2.ok());
+    EXPECT_EQ(d2->sealed.mode, SealMode::kDelta);
+    f->delta2 = std::move(d2->sealed);
     return f;
   }();
   return *fixture;
@@ -117,10 +139,10 @@ TEST_P(CorruptionFuzz, CorruptSealedCheckpointsAreRejectedAndNeverCrash) {
             static_cast<uint8_t>(1u << rng.NextBelow(8));
         break;
       case 3:  // chain position tamper
-        corrupt.chain_seq += 1 + rng.NextBelow(1000);
+        corrupt.identity.chain_seq += 1 + rng.NextBelow(1000);
         break;
       default:  // claimed chain head tamper
-        corrupt.chain_head[rng.NextBelow(corrupt.chain_head.size())] ^=
+        corrupt.identity.chain_head[rng.NextBelow(corrupt.identity.chain_head.size())] ^=
             static_cast<uint8_t>(1u << rng.NextBelow(8));
         break;
     }
@@ -132,6 +154,79 @@ TEST_P(CorruptionFuzz, CorruptSealedCheckpointsAreRejectedAndNeverCrash) {
   // The pristine artifact still restores: rejection above is the corruption's doing.
   DataPlane fresh(fx.cfg);
   EXPECT_TRUE(fresh.Restore(fx.sealed).ok());
+}
+
+TEST_P(CorruptionFuzz, CorruptMidChainDeltasAreRejectedAndLeaveTheBaseIntact) {
+  // The delta-seal chain rule under fuzz: any corrupted, reordered, or replayed mid-chain
+  // delta is rejected — and because a rejected delta must not half-apply, the SAME replica
+  // instance then accepts the pristine chain.
+  const SealedFixture& fx = Fixture();
+  ASSERT_GT(fx.delta1.ciphertext.size(), 0u);
+
+  Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 12; ++trial) {
+    DataPlane replica(fx.cfg);
+    ASSERT_TRUE(replica.Restore(fx.sealed).ok()) << "trial " << trial;
+    Status rejected;
+    switch (rng.NextBelow(8)) {
+      case 0: {  // bit flip anywhere in the delta ciphertext
+        SealedCheckpoint corrupt = fx.delta1;
+        corrupt.ciphertext[rng.NextBelow(corrupt.ciphertext.size())] ^=
+            static_cast<uint8_t>(1u << rng.NextBelow(8));
+        rejected = replica.ApplyDelta(corrupt).status();
+        break;
+      }
+      case 1: {  // truncation
+        SealedCheckpoint corrupt = fx.delta1;
+        corrupt.ciphertext.resize(rng.NextBelow(corrupt.ciphertext.size()));
+        rejected = replica.ApplyDelta(corrupt).status();
+        break;
+      }
+      case 2: {  // MAC tamper
+        SealedCheckpoint corrupt = fx.delta1;
+        corrupt.mac[rng.NextBelow(corrupt.mac.size())] ^=
+            static_cast<uint8_t>(1u << rng.NextBelow(8));
+        rejected = replica.ApplyDelta(corrupt).status();
+        break;
+      }
+      case 3: {  // base position tamper (graft onto the wrong link)
+        SealedCheckpoint corrupt = fx.delta1;
+        corrupt.base_chain_seq += 1 + rng.NextBelow(1000);
+        rejected = replica.ApplyDelta(corrupt).status();
+        break;
+      }
+      case 4: {  // claimed base head tamper
+        SealedCheckpoint corrupt = fx.delta1;
+        corrupt.base_chain_head[rng.NextBelow(corrupt.base_chain_head.size())] ^=
+            static_cast<uint8_t>(1u << rng.NextBelow(8));
+        rejected = replica.ApplyDelta(corrupt).status();
+        break;
+      }
+      case 5: {  // seal-position tamper (the delta's own chain stamp)
+        SealedCheckpoint corrupt = fx.delta1;
+        corrupt.identity.chain_seq += 1 + rng.NextBelow(1000);
+        rejected = replica.ApplyDelta(corrupt).status();
+        break;
+      }
+      case 6:  // reordered: the second delta without the first
+        rejected = replica.ApplyDelta(fx.delta2).status();
+        break;
+      default: {  // replayed: the first delta twice
+        ASSERT_TRUE(replica.ApplyDelta(fx.delta1).ok()) << "trial " << trial;
+        rejected = replica.ApplyDelta(fx.delta1).status();
+        // Rewind for the pristine-chain check below: this replica already holds delta1.
+        ASSERT_FALSE(rejected.ok()) << "trial " << trial;
+        EXPECT_EQ(rejected.code(), StatusCode::kDataLoss) << "trial " << trial;
+        EXPECT_TRUE(replica.ApplyDelta(fx.delta2).ok()) << "trial " << trial;
+        continue;
+      }
+    }
+    ASSERT_FALSE(rejected.ok()) << "trial " << trial;
+    EXPECT_EQ(rejected.code(), StatusCode::kDataLoss) << "trial " << trial;
+    // Nothing half-applied: the pristine chain still lands on this very replica.
+    EXPECT_TRUE(replica.ApplyDelta(fx.delta1).ok()) << "trial " << trial;
+    EXPECT_TRUE(replica.ApplyDelta(fx.delta2).ok()) << "trial " << trial;
+  }
 }
 
 // Seed matrix: 8 seeds by default; the nightly workflow widens it via SBT_FUZZ_SEEDS (seed

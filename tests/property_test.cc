@@ -15,6 +15,7 @@
 #include "src/control/benchmarks.h"
 #include "src/control/engine.h"
 #include "src/control/harness.h"
+#include "src/control/lifecycle.h"
 #include "src/crypto/sha256.h"
 #include "src/primitives/primitives.h"
 #include "src/primitives/simd_kernels.h"
@@ -229,7 +230,7 @@ std::vector<AuditRecord> HonestStream() {
   HarnessOptions opts;
   opts.version = EngineVersion::kSbtClearIngress;
   opts.engine.secure_pool_mb = 64;
-  opts.engine.worker_threads = 2;
+  opts.engine.knobs.worker_threads = 2;
   opts.generator.batch_events = 5000;
   opts.generator.num_windows = 2;
   opts.generator.workload.kind = WorkloadKind::kSynthetic;
@@ -397,8 +398,8 @@ SessionArtifacts RunBoundarySession(const Pipeline& pipeline, WorkloadKind kind,
   SessionArtifacts out;
   {
     RunnerConfig rc;
-    rc.worker_threads = 1;
-    rc.fuse_chains = fuse_chains;
+    rc.knobs.worker_threads = 1;
+    rc.knobs.fuse_chains = fuse_chains;
     Runner runner(&dp, pipeline, rc);
     Generator gen(opts.generator);
     while (auto frame = gen.NextFrame()) {
@@ -524,14 +525,14 @@ WorkerSessionArtifacts RunWorkerSession(const Pipeline& pipeline, WorkloadKind k
 
   DataPlaneConfig cfg = MakeEngineConfig(opts.version, opts.engine);
   cfg.logical_audit_timestamps = true;
-  cfg.lockfree_retire = lockfree_retire;
+  cfg.knobs.lockfree_retire = lockfree_retire;
   DataPlane dp(cfg);
   WorkerSessionArtifacts out;
   {
     RunnerConfig rc;
-    rc.worker_threads = worker_threads;
-    rc.fuse_chains = fuse_chains;
-    rc.combine_submissions = combine_submissions;
+    rc.knobs.worker_threads = worker_threads;
+    rc.knobs.fuse_chains = fuse_chains;
+    rc.knobs.combine_submissions = combine_submissions;
     Runner runner(&dp, pipeline, rc);
     Generator gen(opts.generator);
     while (auto frame = gen.NextFrame()) {
@@ -806,10 +807,10 @@ TEST(LockfreeRetireEquivalence, CheckpointAtRingFrontierIsByteIdentical) {
 
     DataPlaneConfig cfg = MakeEngineConfig(opts.version, opts.engine);
     cfg.logical_audit_timestamps = true;
-    cfg.lockfree_retire = lockfree;
+    cfg.knobs.lockfree_retire = lockfree;
     DataPlane dp(cfg);
     RunnerConfig rc;
-    rc.worker_threads = workers;
+    rc.knobs.worker_threads = workers;
     Runner runner(&dp, p, rc);
     Generator gen(opts.generator);
     int frames = 0;
@@ -824,7 +825,7 @@ TEST(LockfreeRetireEquivalence, CheckpointAtRingFrontierIsByteIdentical) {
       }
     }
     std::vector<WindowResult> results;
-    auto bundle = CheckpointEngine(dp, runner, {}, &results);
+    auto bundle = EngineLifecycle(&dp, &runner).Checkpoint({}, &results);
     EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
     EXPECT_EQ(dp.open_tickets(), 0u) << "seal before the commit frontier caught up";
     return std::pair<AuditUpload, std::vector<WindowResult>>(

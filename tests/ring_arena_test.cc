@@ -23,7 +23,7 @@ namespace {
 
 DataPlaneConfig RingConfig(bool lockfree) {
   DataPlaneConfig cfg = testing::SmallDataPlaneConfig(/*decrypt_ingress=*/false);
-  cfg.lockfree_retire = lockfree;
+  cfg.knobs.lockfree_retire = lockfree;
   return cfg;
 }
 

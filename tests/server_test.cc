@@ -634,14 +634,14 @@ TEST(EdgeServerTest, ShardCheckpointRestoreRoundTripUnderLiveIngest) {
   StartSources(sources);
 
   const uint32_t shard = server.RouteOf(1, 0);
-  auto checkpoints = server.CheckpointShard(shard);
+  auto checkpoints = server.Checkpoint({.shard = shard, .detach = true});
   ASSERT_TRUE(checkpoints.ok()) << checkpoints.status().ToString();
   ASSERT_EQ(checkpoints->size(), 1u);
-  EXPECT_EQ((*checkpoints)[0].tenant, 1u);
-  // While sealed, the shard hosts nothing and the source stalls at the frontend.
+  EXPECT_EQ((*checkpoints)[0].tenant(), 1u);
+  // While sealed-and-detached, the shard hosts nothing and the source stalls at the frontend.
   EXPECT_EQ(server.shard_snapshot(shard).carved_bytes, 0u);
 
-  ASSERT_TRUE(server.RestoreShard(shard, std::move(*checkpoints)).ok());
+  ASSERT_TRUE(server.Restore(shard, std::move(*checkpoints)).ok());
   JoinSources(sources);
   const ServerReport report = server.Shutdown();
 
@@ -677,7 +677,7 @@ TEST(EdgeServerTest, ShutdownAfterUnrestoredCheckpointTerminates) {
   ASSERT_TRUE(server.Start().ok());
   StartSources(sources);
 
-  auto checkpoints = server.CheckpointShard(server.RouteOf(1, 0));
+  auto checkpoints = server.Checkpoint({.shard = server.RouteOf(1, 0), .detach = true});
   ASSERT_TRUE(checkpoints.ok());
   ASSERT_EQ(checkpoints->size(), 1u);
   // The sealed engines leave with the checkpoints; the server shuts down without them — and
@@ -709,22 +709,22 @@ TEST(EdgeServerTest, StaleOrDuplicateShardCheckpointIsRejected) {
   generator.RunInto(&channel);
 
   const uint32_t shard = server.RouteOf(1, 0);
-  auto first = server.CheckpointShard(shard);
+  auto first = server.Checkpoint({.shard = shard, .detach = true});
   ASSERT_TRUE(first.ok());
   ASSERT_EQ(first->size(), 1u);
-  const ShardEngineCheckpoint stale = (*first)[0];  // attacker keeps a copy
+  const SealArtifact stale = (*first)[0];  // attacker keeps a copy
 
-  ASSERT_TRUE(server.RestoreShard(shard, std::move(*first)).ok());
-  auto second = server.CheckpointShard(shard);
+  ASSERT_TRUE(server.Restore(shard, std::move(*first)).ok());
+  auto second = server.Checkpoint({.shard = shard, .detach = true});
   ASSERT_TRUE(second.ok());
-  const ShardEngineCheckpoint current = (*second)[0];
+  const SealArtifact current = (*second)[0];
 
   // The stale copy self-verifies but no longer continues the engine's chain.
-  EXPECT_EQ(server.RestoreShard(shard, {stale}).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(server.Restore(shard, {stale}).code(), StatusCode::kDataLoss);
   // The current seal restores.
-  ASSERT_TRUE(server.RestoreShard(shard, std::move(*second)).ok());
+  ASSERT_TRUE(server.Restore(shard, std::move(*second)).ok());
   // A second restore of the same seal is refused: the engine is already live.
-  EXPECT_EQ(server.RestoreShard(shard, {current}).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(server.Restore(shard, {current}).code(), StatusCode::kFailedPrecondition);
 
   const ServerReport report = server.Shutdown();
   ASSERT_EQ(report.engines.size(), 1u);
@@ -743,7 +743,7 @@ TEST(RunnerDrainTest, ConcurrentDrainNeverMissesWindowCloses) {
   DataPlaneConfig cfg = testing::SmallDataPlaneConfig(/*decrypt_ingress=*/false);
   DataPlane dp(cfg);
   RunnerConfig rc;
-  rc.worker_threads = 2;
+  rc.knobs.worker_threads = 2;
   Runner runner(&dp, MakeWinSum(100), rc);
 
   std::atomic<bool> stop{false};

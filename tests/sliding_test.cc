@@ -84,7 +84,7 @@ TEST(SlidingEndToEndTest, SlidingWinSumMatchesReferenceAndVerifies) {
   HarnessOptions opts;
   opts.version = EngineVersion::kSbtClearIngress;
   opts.engine.secure_pool_mb = 128;
-  opts.engine.worker_threads = 2;
+  opts.engine.knobs.worker_threads = 2;
   opts.generator.batch_events = 10000;
   opts.generator.num_windows = 3;
   opts.generator.workload.kind = WorkloadKind::kIntelLab;

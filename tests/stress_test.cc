@@ -25,6 +25,7 @@
 #include "src/attest/verifier.h"
 #include "src/common/event.h"
 #include "src/common/failpoint.h"
+#include "src/control/lifecycle.h"
 #include "src/control/benchmarks.h"
 #include "src/control/engine.h"
 #include "src/core/data_plane.h"
@@ -45,8 +46,8 @@ DataPlaneConfig StressConfig() {
 
 RunnerConfig StressRunnerConfig(int workers, bool combine = true) {
   RunnerConfig rc;
-  rc.worker_threads = workers;
-  rc.combine_submissions = combine;
+  rc.knobs.worker_threads = workers;
+  rc.knobs.combine_submissions = combine;
   return rc;
 }
 
@@ -86,16 +87,10 @@ void RunCheckpointedSession(int workers, ContinuationArtifacts* artifacts,
         const std::vector<Event> events = WindowEvents(w, 2000, 7 * w + f);
         ASSERT_TRUE(runner.IngestFrame(testing::AsBytes(events)).ok()) << w;
       }
-      // A checkpoint racing in-flight work must refuse cleanly (quiesce barrier), never
-      // corrupt: chains for this window are queued or executing right now. A transient
-      // success (every task already finished) is equally fine — the bytes are discarded.
-      auto racing = runner.CheckpointState();
-      if (!racing.ok()) {
-        EXPECT_EQ(racing.status().code(), StatusCode::kFailedPrecondition);
-      }
-      // Deterministic version of the same barrier (no race with the workers draining): with
-      // a ticket held open by this thread, the data plane must refuse to seal — and refuse
-      // BEFORE flushing the audit log, or the byte-for-byte comparison below would notice.
+      // A checkpoint racing in-flight work must refuse cleanly at the data-plane barrier:
+      // chains for this window are queued or executing right now. With a ticket held open by
+      // this thread, the data plane must refuse to seal — and refuse BEFORE flushing the
+      // audit log, or the byte-for-byte comparison below would notice.
       {
         ExecTicket open = dp.OpenTicket(0);
         EXPECT_EQ(dp.Checkpoint().status().code(), StatusCode::kFailedPrecondition);
@@ -107,7 +102,7 @@ void RunCheckpointedSession(int workers, ContinuationArtifacts* artifacts,
     std::vector<WindowResult> pre = runner.TakeResults();
     out.results.insert(out.results.end(), std::make_move_iterator(pre.begin()),
                        std::make_move_iterator(pre.end()));
-    auto bundle = CheckpointEngine(dp, runner, {}, &out.results);
+    auto bundle = EngineLifecycle(&dp, &runner).Checkpoint({}, &out.results);
     ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
     sealed = std::move(bundle->sealed);
     out.seal_upload = std::move(bundle->audit);
@@ -117,7 +112,7 @@ void RunCheckpointedSession(int workers, ContinuationArtifacts* artifacts,
   // Continue in a re-homed incarnation at the same worker count.
   DataPlane dp(cfg);
   Runner runner(&dp, pipeline, StressRunnerConfig(workers, combine));
-  ASSERT_TRUE(RestoreEngine(dp, runner, sealed).ok());
+  ASSERT_TRUE(EngineLifecycle(&dp, &runner).Restore(sealed).ok());
   for (uint32_t w = 3; w < 5; ++w) {
     for (int f = 0; f < 2; ++f) {
       const std::vector<Event> events = WindowEvents(w, 2000, 7 * w + f);
@@ -284,7 +279,7 @@ TEST_P(WorkerStress, SeededChainFailuresNeverWedgeOrLeak) {
   EXPECT_EQ(dp.open_tickets(), 0u);
 
   std::vector<WindowResult> results;
-  auto bundle = CheckpointEngine(dp, runner, {}, &results);
+  auto bundle = EngineLifecycle(&dp, &runner).Checkpoint({}, &results);
   ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
   AuditChainVerifier chain(cfg.mac_key);
   EXPECT_TRUE(chain.Accept(bundle->audit).ok());

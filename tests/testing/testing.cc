@@ -81,7 +81,7 @@ HarnessOptions SmallHarnessOptions(EngineVersion version) {
   HarnessOptions opts;
   opts.version = version;
   opts.engine.secure_pool_mb = 128;
-  opts.engine.worker_threads = 4;
+  opts.engine.knobs.worker_threads = 4;
   opts.generator.batch_events = 10000;
   opts.generator.num_windows = 3;
   opts.generator.workload.events_per_window = 30000;

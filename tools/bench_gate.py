@@ -99,6 +99,18 @@ BENCHES = {
         ],
         "require": {"verified": True, "errors": 0},
     },
+    "failover": {
+        "keys": ["checkpoint_interval_ms"],
+        "metrics": [
+            # Ingest throughput under continuous sealing and the promotion RTO are both
+            # runner-class-absolute; they warn until baselines are refreshed on this runner.
+            # Zero loss + chain verification across the kill gate unconditionally through the
+            # require clause — that is the availability claim, and it must never be host-relative.
+            Metric("events_per_sec"),
+            Metric("rto_ms", lower_is_worse=False),
+        ],
+        "require": {"verified": True, "errors": 0},
+    },
     "ingress": {
         "keys": ["sources"],
         "metrics": [
